@@ -1,0 +1,126 @@
+// Command attilasim runs one synthetic game timedemo through the GPU
+// pipeline simulator and dumps the per-stage statistics — the direct
+// equivalent of a single ATTILA simulation run in the paper's
+// methodology.
+//
+// Usage:
+//
+//	attilasim -demo "Doom3/trdemo2" -frames 2
+//	attilasim -list
+//	attilasim -demo "UT2004/Primeval" -w 512 -h 384 -nohz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpuchar"
+	"gpuchar/internal/mem"
+)
+
+// microFromGPU wraps an already-run GPU's frames as a MicroResult.
+func microFromGPU(prof *gpuchar.Profile, g *gpuchar.GPU, cfg gpuchar.GPUConfig) *gpuchar.MicroResult {
+	res := &gpuchar.MicroResult{Prof: prof, W: cfg.Width, H: cfg.Height, Frames: g.Frames()}
+	for _, f := range res.Frames {
+		res.Agg.Accumulate(f)
+	}
+	return res
+}
+
+func main() {
+	var (
+		demo   = flag.String("demo", "UT2004/Primeval", "Table I demo name")
+		frames = flag.Int("frames", 2, "frames to simulate")
+		width  = flag.Int("w", 1024, "framebuffer width")
+		height = flag.Int("h", 768, "framebuffer height")
+		list   = flag.Bool("list", false, "list simulated demo names")
+		pngOut = flag.String("png", "", "write the last rendered frame as PNG")
+		noHZ   = flag.Bool("nohz", false, "disable Hierarchical Z")
+		noComp = flag.Bool("nocompress", false, "disable z/color compression and fast clear")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range gpuchar.SimulatedProfiles() {
+			fmt.Println(p.Name)
+		}
+		return
+	}
+
+	prof := gpuchar.ProfileByName(*demo)
+	if prof == nil || !prof.Simulated {
+		fmt.Fprintf(os.Stderr, "attilasim: %q is not a simulated demo (see -list)\n", *demo)
+		os.Exit(1)
+	}
+	cfg := gpuchar.R520Config(*width, *height)
+	if *noHZ {
+		cfg.HZ = false
+	}
+	if *noComp {
+		cfg.ZCompression = false
+		cfg.ColorCompression = false
+		cfg.FastClear = false
+	}
+	var res *gpuchar.MicroResult
+	var err error
+	if *pngOut != "" {
+		// Drive the pipeline directly so the framebuffer survives.
+		g := gpuchar.NewGPU(cfg)
+		dev := gpuchar.NewDevice(prof.API, g)
+		wl := gpuchar.NewWorkload(prof, dev, cfg.Width, cfg.Height)
+		if err := wl.Run(*frames); err != nil {
+			fmt.Fprintf(os.Stderr, "attilasim: %v\n", err)
+			os.Exit(1)
+		}
+		out, err := os.Create(*pngOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "attilasim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := g.Target().EncodePNG(out); err != nil {
+			fmt.Fprintf(os.Stderr, "attilasim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := out.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "attilasim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *pngOut)
+		res = microFromGPU(prof, g, cfg)
+	} else {
+		res, err = gpuchar.CharacterizeConfig(prof, *frames, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "attilasim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("== %s: %d frames at %dx%d\n", prof.Name, *frames, *width, *height)
+	clip, cull, trav := res.ClipCullPct()
+	fmt.Printf("geometry: clip %.1f%%  cull %.1f%%  traversed %.1f%%  vcache %.3f\n",
+		clip, cull, trav, res.VertexCacheHitRate())
+	or, oz, osd, ob := res.Overdraw()
+	fmt.Printf("overdraw: raster %.2f  z&st %.2f  shaded %.2f  blended %.2f\n",
+		or, oz, osd, ob)
+	hz, zs, alpha, mask, blend := res.QuadKillPct()
+	fmt.Printf("quads:    HZ %.2f%%  z&st %.2f%%  alpha %.2f%%  mask %.2f%%  blend %.2f%%\n",
+		hz, zs, alpha, mask, blend)
+	qr, qz := res.QuadEfficiency()
+	fmt.Printf("quad efficiency: raster %.1f%%  z&st %.1f%%\n", qr, qz)
+	fmt.Printf("texturing: %.2f bilinear samples/request, %.2f ALU instr/bilinear\n",
+		res.BilinearPerRequest(), res.ALUPerBilinear())
+	zc, l0, l1, colc := res.CacheHitRates()
+	fmt.Printf("caches: z&st %.1f%%  texL0 %.1f%%  texL1 %.1f%%  color %.1f%%\n",
+		zc, l0, l1, colc)
+	mb, rd, wr, gbs := res.MemoryProfile()
+	fmt.Printf("memory: %.1f MB/frame (%.0f%% read / %.0f%% write), %.1f GB/s @100fps\n",
+		mb, rd, wr, gbs)
+	split := res.TrafficSplit()
+	for c := mem.Client(0); c < mem.NumClients; c++ {
+		fmt.Printf("  %-10s %5.1f%%\n", c, split[c])
+	}
+	v, zb, sh, col := res.BytesPer()
+	fmt.Printf("bytes: %.2f /vertex, %.2f /z&st frag, %.2f /shaded frag, %.2f /blended frag\n",
+		v, zb, sh, col)
+}

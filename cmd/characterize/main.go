@@ -1,0 +1,105 @@
+// Command characterize regenerates the paper's tables and figures from
+// the synthetic workloads.
+//
+// Usage:
+//
+//	characterize -exp table7            # one experiment
+//	characterize -exp all               # everything (slow: full simulation)
+//	characterize -exp api               # the API-level tables/figures only
+//	characterize -list                  # list experiment ids
+//	characterize -exp fig1 -csv out/    # write figure CSVs to a directory
+//	characterize -simframes 4 -frames 500 -exp table16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gpuchar"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment id (tableN/figN), 'all', or 'api'")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		frames    = flag.Int("frames", 120, "API-level frames per demo")
+		simFrames = flag.Int("simframes", 2, "simulated frames per demo")
+		width     = flag.Int("w", 1024, "framebuffer width")
+		height    = flag.Int("h", 768, "framebuffer height")
+		csvDir    = flag.String("csv", "", "directory for figure CSV output")
+		markdown  = flag.Bool("md", false, "emit tables as markdown")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range gpuchar.Experiments() {
+			kind := "api  "
+			if e.Micro {
+				kind = "micro"
+			}
+			fmt.Printf("%-8s %s  %s\n", e.ID, kind, e.Title)
+		}
+		return
+	}
+
+	ctx := gpuchar.NewContext()
+	ctx.APIFrames = *frames
+	ctx.SimFrames = *simFrames
+	ctx.W, ctx.H = *width, *height
+
+	var ids []string
+	switch *exp {
+	case "all":
+		for _, e := range gpuchar.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	case "api":
+		for _, e := range gpuchar.Experiments() {
+			if !e.Micro {
+				ids = append(ids, e.ID)
+			}
+		}
+	default:
+		ids = []string{*exp}
+	}
+
+	for _, id := range ids {
+		res, err := gpuchar.RunExperiment(id, ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "characterize: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, t := range res.Tables {
+			if *markdown {
+				t.Markdown(os.Stdout)
+			} else {
+				t.Render(os.Stdout)
+			}
+			fmt.Println()
+		}
+		for _, f := range res.Figures {
+			f.Summary(os.Stdout)
+			fmt.Println()
+			if *csvDir != "" {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
+					os.Exit(1)
+				}
+				path := filepath.Join(*csvDir, f.ID+".csv")
+				out, err := os.Create(path)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
+					os.Exit(1)
+				}
+				f.RenderCSV(out)
+				if err := out.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s\n\n", path)
+			}
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Command tracetool records, inspects and replays API-call traces — the
+// GLInterceptor/PIX-player side of the paper's methodology.
+//
+// Usage:
+//
+//	tracetool -record doom3.trc -demo "Doom3/trdemo2" -frames 20
+//	tracetool -inspect doom3.trc
+//	tracetool -replay doom3.trc            # API-level statistics
+//	tracetool -replay doom3.trc -simulate  # through the GPU simulator
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gpuchar"
+	"gpuchar/internal/gfxapi"
+	"gpuchar/internal/trace"
+)
+
+func main() {
+	var (
+		record   = flag.String("record", "", "record a demo trace to this file")
+		demo     = flag.String("demo", "UT2004/Primeval", "demo to record")
+		frames   = flag.Int("frames", 10, "frames to record")
+		inspect  = flag.String("inspect", "", "print a trace's command histogram")
+		replay   = flag.String("replay", "", "replay a trace and print API statistics")
+		simulate = flag.Bool("simulate", false, "replay through the GPU simulator")
+		width    = flag.Int("w", 1024, "framebuffer width")
+		height   = flag.Int("h", 768, "framebuffer height")
+	)
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		if err := doRecord(*record, *demo, *frames, *width, *height); err != nil {
+			fail(err)
+		}
+	case *inspect != "":
+		if err := doInspect(*inspect); err != nil {
+			fail(err)
+		}
+	case *replay != "":
+		if err := doReplay(*replay, *simulate, *width, *height); err != nil {
+			fail(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "tracetool: %v\n", err)
+	os.Exit(1)
+}
+
+func doRecord(path, demo string, frames, w, h int) error {
+	prof := gpuchar.ProfileByName(demo)
+	if prof == nil {
+		return fmt.Errorf("unknown demo %q", demo)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rec, err := trace.NewRecorder(f, prof.API)
+	if err != nil {
+		return err
+	}
+	dev := gpuchar.NewDevice(prof.API, gpuchar.NullBackend{})
+	dev.SetRecorder(rec)
+	wl := gpuchar.NewWorkload(prof, dev, w, h)
+	if err := wl.Run(frames); err != nil {
+		return err
+	}
+	if err := rec.Close(); err != nil {
+		return err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d commands over %d frames to %s (%d bytes)\n",
+		rec.Commands(), frames, path, info.Size())
+	return nil
+}
+
+func doInspect(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("API: %s\n", r.API())
+	hist := map[gfxapi.Op]int{}
+	total, framesN := 0, 0
+	for {
+		cmd, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		hist[cmd.Op]++
+		total++
+		if cmd.Op == gfxapi.OpEndFrame {
+			framesN++
+		}
+	}
+	fmt.Printf("%d commands, %d frames\n", total, framesN)
+	for op := gfxapi.OpCreateVB; op <= gfxapi.OpEndFrame; op++ {
+		if n := hist[op]; n > 0 {
+			fmt.Printf("  %-14s %d\n", op, n)
+		}
+	}
+	return nil
+}
+
+func doReplay(path string, simulate bool, w, h int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	var backend gpuchar.Backend = gpuchar.NullBackend{}
+	var g *gpuchar.GPU
+	if simulate {
+		g = gpuchar.NewGPU(gpuchar.R520Config(w, h))
+		backend = g
+	}
+	dev := gpuchar.NewDevice(r.API(), backend)
+	framesN, err := trace.NewPlayer(dev).Play(r)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d frames\n", framesN)
+	var batches, indices, calls int64
+	for _, fr := range dev.Frames() {
+		batches += fr.Batches
+		indices += fr.Indices
+		calls += fr.StateCalls
+	}
+	fmt.Printf("API: %d batches, %d indices, %d state calls\n",
+		batches, indices, calls)
+	if g != nil {
+		var frags int64
+		for _, fr := range g.Frames() {
+			frags += fr.Rast.Fragments
+		}
+		fmt.Printf("simulated: %d fragments rasterized\n", frags)
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+// API trace: record a few frames of a synthetic timedemo, replay the
+// trace into a fresh device, and verify the replay reproduces the same
+// API-level statistics — the reproducibility property the paper's
+// tracing methodology (§II.B) depends on.
+//
+//	go run ./examples/apitrace
+package main
+
+import (
+	"bytes"
+	"fmt"
+
+	"gpuchar"
+	"gpuchar/internal/trace"
+)
+
+func main() {
+	prof := gpuchar.ProfileByName("FEAR/interval2")
+	const frames = 8
+
+	// Record.
+	var buf bytes.Buffer
+	rec, err := trace.NewRecorder(&buf, prof.API)
+	check(err)
+	src := gpuchar.NewDevice(prof.API, gpuchar.NullBackend{})
+	src.SetRecorder(rec)
+	wl := gpuchar.NewWorkload(prof, src, 1024, 768)
+	check(wl.Run(frames))
+	check(rec.Close())
+	fmt.Printf("recorded %d frames of %s: %d commands, %d bytes\n",
+		frames, prof.Name, rec.Commands(), buf.Len())
+
+	// Replay.
+	r, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	check(err)
+	dst := gpuchar.NewDevice(r.API(), gpuchar.NullBackend{})
+	played, err := trace.NewPlayer(dst).Play(r)
+	check(err)
+	fmt.Printf("replayed %d frames\n", played)
+
+	// Compare per-frame statistics.
+	a, b := src.Frames(), dst.Frames()
+	identical := len(a) == len(b)
+	for i := range a {
+		if !identical || a[i] != b[i] {
+			identical = false
+			break
+		}
+	}
+	fmt.Printf("statistics identical: %v\n", identical)
+	var batches, indices int64
+	for _, f := range b {
+		batches += f.Batches
+		indices += f.Indices
+	}
+	fmt.Printf("totals: %d batches, %d indices (%.0f idx/batch — paper Table III: %d)\n",
+		batches, indices, float64(indices)/float64(batches), prof.AvgIndicesPerBatch)
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,3 @@
+module gpuchar
+
+go 1.22

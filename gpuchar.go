@@ -1,0 +1,137 @@
+// Package gpuchar reproduces "Workload Characterization of 3D Games"
+// (Roca, Moya, González, Solís, Fernández, Espasa — IISWC 2006): a
+// functional GPU pipeline simulator in the mould of ATTILA, an abstract
+// graphics API with trace record/replay, synthetic re-creations of the
+// paper's twelve game timedemos, and a characterization engine that
+// regenerates every table and figure of the paper's evaluation.
+//
+// This package is the public facade over the internal packages. Typical
+// use:
+//
+//	prof := gpuchar.ProfileByName("Doom3/trdemo2")
+//	res, err := gpuchar.Characterize(prof, 2)      // simulate 2 frames
+//	clip, cull, trav := res.ClipCullPct()           // Table VII
+//
+// or run a whole experiment:
+//
+//	ctx := gpuchar.NewContext()
+//	result, err := gpuchar.RunExperiment("table16", ctx)
+//	result.Tables[0].Render(os.Stdout)
+package gpuchar
+
+import (
+	"gpuchar/internal/core"
+	"gpuchar/internal/gfxapi"
+	"gpuchar/internal/gpu"
+	"gpuchar/internal/trace"
+	"gpuchar/internal/workloads"
+)
+
+// Re-exported core types. The aliases expose the full method sets of the
+// internal implementations.
+type (
+	// Profile describes one of the paper's Table I game timedemos.
+	Profile = workloads.Profile
+	// Workload drives a profile's synthetic timedemo through a device.
+	Workload = workloads.Workload
+	// Device is the abstract graphics API front-end (the OGL/D3D
+	// boundary the paper instruments).
+	Device = gfxapi.Device
+	// Backend consumes draw calls: the GPU simulator or NullBackend.
+	Backend = gfxapi.Backend
+	// NullBackend discards GPU work, keeping API statistics only.
+	NullBackend = gfxapi.NullBackend
+	// GPU is the ATTILA-like pipeline simulator.
+	GPU = gpu.GPU
+	// GPUConfig is the simulator configuration (Table II).
+	GPUConfig = gpu.Config
+	// FrameStats is one simulated frame's microarchitectural counters.
+	FrameStats = gpu.FrameStats
+	// APIResult is a demo's API-level characterization.
+	APIResult = core.APIResult
+	// MicroResult is a demo's microarchitectural characterization.
+	MicroResult = core.MicroResult
+	// Context carries experiment parameters and caches runs.
+	Context = core.Context
+	// Experiment regenerates one paper table or figure.
+	Experiment = core.Experiment
+	// ExperimentResult holds regenerated tables and figures.
+	ExperimentResult = core.Result
+	// TraceRecorder captures a device's API call stream.
+	TraceRecorder = trace.Recorder
+	// TracePlayer replays a captured stream into a device.
+	TracePlayer = trace.Player
+)
+
+// Graphics API dialects (Table I).
+const (
+	OpenGL   = gfxapi.OpenGL
+	Direct3D = gfxapi.Direct3D
+)
+
+// Profiles returns the twelve Table I workload profiles.
+func Profiles() []Profile { return workloads.Registry() }
+
+// ProfileByName returns the profile with the given Table I name, or nil.
+func ProfileByName(name string) *Profile { return workloads.ByName(name) }
+
+// SimulatedProfiles returns the three demos the paper measures
+// microarchitecturally.
+func SimulatedProfiles() []Profile { return workloads.Simulated() }
+
+// R520Config returns the paper's Table II simulator configuration at the
+// given framebuffer size.
+func R520Config(w, h int) GPUConfig { return gpu.R520Config(w, h) }
+
+// NewGPU creates a pipeline simulator.
+func NewGPU(cfg GPUConfig) *GPU { return gpu.New(cfg) }
+
+// NewDevice creates a graphics device over a backend.
+func NewDevice(api gfxapi.API, b Backend) *Device { return gfxapi.NewDevice(api, b) }
+
+// NewWorkload prepares a profile's generator on a device at w x h.
+func NewWorkload(p *Profile, d *Device, w, h int) *Workload {
+	return workloads.New(p, d, w, h)
+}
+
+// ProfileAPI runs frames of a demo at the API level (null backend) and
+// returns its Table III/IV/V/XII statistics.
+func ProfileAPI(p *Profile, frames int) (*APIResult, error) {
+	return core.RunAPI(p, frames)
+}
+
+// Characterize simulates frames of a demo through the R520-like GPU at
+// 1024x768 and returns its microarchitectural characterization
+// (Tables VII-XVII).
+func Characterize(p *Profile, frames int) (*MicroResult, error) {
+	return core.RunMicro(p, frames, 1024, 768)
+}
+
+// CharacterizeConfig is Characterize with an explicit GPU configuration,
+// for ablation studies.
+func CharacterizeConfig(p *Profile, frames int, cfg GPUConfig) (*MicroResult, error) {
+	return core.RunMicroConfig(p, frames, cfg)
+}
+
+// NewContext returns an experiment context with paper-resolution
+// defaults.
+func NewContext() *Context { return core.NewContext() }
+
+// Experiments lists every regenerable paper table and figure.
+func Experiments() []Experiment { return core.Experiments() }
+
+// RunExperiment regenerates one table or figure by id ("table7",
+// "fig5", ...).
+func RunExperiment(id string, ctx *Context) (*ExperimentResult, error) {
+	e := core.ByID(id)
+	if e == nil {
+		return nil, errUnknownExperiment(id)
+	}
+	return e.Run(ctx)
+}
+
+type errUnknownExperiment string
+
+func (e errUnknownExperiment) Error() string {
+	return "gpuchar: unknown experiment " + string(e)
+}

@@ -1,0 +1,77 @@
+package gpuchar_test
+
+import (
+	"testing"
+
+	"gpuchar"
+)
+
+func TestFacadeProfiles(t *testing.T) {
+	profs := gpuchar.Profiles()
+	if len(profs) != 12 {
+		t.Fatalf("profiles = %d, want 12", len(profs))
+	}
+	if gpuchar.ProfileByName("Doom3/trdemo2") == nil {
+		t.Error("lookup failed")
+	}
+	if gpuchar.ProfileByName("missing") != nil {
+		t.Error("bogus lookup succeeded")
+	}
+	if len(gpuchar.SimulatedProfiles()) != 3 {
+		t.Error("simulated set wrong")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if len(gpuchar.Experiments()) != 24 {
+		t.Errorf("experiments = %d", len(gpuchar.Experiments()))
+	}
+	ctx := gpuchar.NewContext()
+	res, err := gpuchar.RunExperiment("table1", ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 1 || len(res.Tables[0].Rows) != 12 {
+		t.Error("table1 wrong shape")
+	}
+	if _, err := gpuchar.RunExperiment("nope", ctx); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestFacadeProfileAPI(t *testing.T) {
+	r, err := gpuchar.ProfileAPI(gpuchar.ProfileByName("Riddick/MainFrame"), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AvgIndicesPerFrame() <= 0 {
+		t.Error("no indices measured")
+	}
+}
+
+func TestFacadeCharacterizeSmall(t *testing.T) {
+	cfg := gpuchar.R520Config(128, 96)
+	res, err := gpuchar.CharacterizeConfig(
+		gpuchar.ProfileByName("UT2004/Primeval"), 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VertexCacheHitRate() <= 0.4 {
+		t.Errorf("vcache = %v", res.VertexCacheHitRate())
+	}
+	or, _, _, ob := res.Overdraw()
+	if or <= 0 || ob <= 0 {
+		t.Error("no overdraw measured")
+	}
+}
+
+func TestFacadeGPUConstruction(t *testing.T) {
+	g := gpuchar.NewGPU(gpuchar.R520Config(64, 48))
+	dev := gpuchar.NewDevice(gpuchar.OpenGL, g)
+	if dev.API() != gpuchar.OpenGL {
+		t.Error("API lost")
+	}
+	// The null backend also satisfies the Backend interface.
+	var b gpuchar.Backend = gpuchar.NullBackend{}
+	_ = gpuchar.NewDevice(gpuchar.Direct3D, b)
+}

@@ -1,0 +1,183 @@
+// Package cache provides the cache models used across the GPU pipeline:
+// a set-associative write-back LRU cache (z & stencil, texture L0/L1 and
+// color caches, Table XIV of the paper) and a FIFO stream cache matching
+// the post-transform vertex cache of real GPUs (Figure 5).
+//
+// The models are functional: they track hits, misses and the memory
+// traffic implied by line fills and dirty write-backs, but not timing.
+package cache
+
+import "fmt"
+
+// Config describes a set-associative cache geometry.
+type Config struct {
+	// Ways is the associativity (lines per set).
+	Ways int
+	// Sets is the number of sets. Ways*Sets*LineBytes is the capacity.
+	Sets int
+	// LineBytes is the line size in bytes. Must be a power of two.
+	LineBytes int
+}
+
+// Size returns the total capacity in bytes.
+func (c Config) Size() int { return c.Ways * c.Sets * c.LineBytes }
+
+// String renders the geometry like the paper's Table XIV ("64w x 256B").
+func (c Config) String() string {
+	if c.Sets == 1 {
+		return fmt.Sprintf("%dw x %dB", c.Ways, c.LineBytes)
+	}
+	return fmt.Sprintf("%dw x %ds x %dB", c.Ways, c.Sets, c.LineBytes)
+}
+
+// Stats accumulates cache activity.
+type Stats struct {
+	Hits           int64
+	Misses         int64
+	FillBytes      int64 // bytes read from memory on line fills
+	WritebackBytes int64 // bytes written to memory on dirty evictions
+}
+
+// Accesses returns the total number of accesses.
+func (s Stats) Accesses() int64 { return s.Hits + s.Misses }
+
+// HitRate returns hits/accesses in [0,1], or 0 when idle.
+func (s Stats) HitRate() float64 {
+	t := s.Accesses()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// age is a per-set LRU stamp; larger is more recent.
+	age uint64
+}
+
+// Cache is a set-associative, write-allocate, write-back cache with LRU
+// replacement.
+type Cache struct {
+	cfg       Config
+	lines     []line // sets*ways lines, set-major
+	stamp     uint64
+	stats     Stats
+	lineShift uint
+
+	// mru short-circuits the way scan for repeated accesses to the same
+	// line — the dominant pattern for texture fetches. Semantics are
+	// identical to a full lookup (the hit is counted and the LRU age
+	// refreshed).
+	mruLineAddr uint64
+	mruLine     *line
+}
+
+// New creates a cache. LineBytes must be a positive power of two and
+// Ways and Sets must be positive; New panics otherwise, since cache
+// geometry is static configuration, not runtime input.
+func New(cfg Config) *Cache {
+	if cfg.Ways <= 0 || cfg.Sets <= 0 || cfg.LineBytes <= 0 {
+		panic(fmt.Sprintf("cache: invalid config %+v", cfg))
+	}
+	if cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic(fmt.Sprintf("cache: line size %d not a power of two", cfg.LineBytes))
+	}
+	shift := uint(0)
+	for 1<<shift != cfg.LineBytes {
+		shift++
+	}
+	return &Cache{
+		cfg:       cfg,
+		lines:     make([]line, cfg.Sets*cfg.Ways),
+		lineShift: shift,
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears the statistics but keeps cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Access touches the line containing addr. If write is true the line is
+// marked dirty. It returns true on a hit. On a miss the line is filled
+// (FillBytes grows by one line) and, if the victim was dirty, written
+// back (WritebackBytes grows by one line).
+func (c *Cache) Access(addr uint64, write bool) bool {
+	lineAddr := addr >> c.lineShift
+	c.stamp++
+	if c.mruLine != nil && c.mruLineAddr == lineAddr && c.mruLine.valid {
+		c.mruLine.age = c.stamp
+		if write {
+			c.mruLine.dirty = true
+		}
+		c.stats.Hits++
+		return true
+	}
+	set := int(lineAddr % uint64(c.cfg.Sets))
+	tag := lineAddr / uint64(c.cfg.Sets)
+	base := set * c.cfg.Ways
+
+	// Lookup.
+	for i := 0; i < c.cfg.Ways; i++ {
+		ln := &c.lines[base+i]
+		if ln.valid && ln.tag == tag {
+			ln.age = c.stamp
+			if write {
+				ln.dirty = true
+			}
+			c.stats.Hits++
+			c.mruLineAddr, c.mruLine = lineAddr, ln
+			return true
+		}
+	}
+
+	// Miss: pick the LRU victim (preferring invalid lines).
+	victim := base
+	for i := 1; i < c.cfg.Ways; i++ {
+		v, cand := &c.lines[victim], &c.lines[base+i]
+		if !cand.valid {
+			victim = base + i
+			break
+		}
+		if v.valid && cand.age < v.age {
+			victim = base + i
+		}
+	}
+	v := &c.lines[victim]
+	if v.valid && v.dirty {
+		c.stats.WritebackBytes += int64(c.cfg.LineBytes)
+	}
+	c.stats.Misses++
+	c.stats.FillBytes += int64(c.cfg.LineBytes)
+	*v = line{tag: tag, valid: true, dirty: write, age: c.stamp}
+	c.mruLineAddr, c.mruLine = lineAddr, v
+	return false
+}
+
+// Flush writes back all dirty lines and invalidates the cache, adding the
+// corresponding write-back traffic. Real pipelines do this between frames.
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			c.stats.WritebackBytes += int64(c.cfg.LineBytes)
+		}
+		c.lines[i] = line{}
+	}
+	c.mruLine = nil
+}
+
+// Invalidate drops all lines without writing anything back. Used for
+// fast-clear semantics where the backing store is reset wholesale.
+func (c *Cache) Invalidate() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	c.mruLine = nil
+}

@@ -1,0 +1,225 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigString(t *testing.T) {
+	c := Config{Ways: 64, Sets: 1, LineBytes: 256}
+	if c.String() != "64w x 256B" {
+		t.Errorf("String = %q", c.String())
+	}
+	c2 := Config{Ways: 16, Sets: 16, LineBytes: 64}
+	if c2.String() != "16w x 16s x 64B" {
+		t.Errorf("String = %q", c2.String())
+	}
+	if c.Size() != 64*256 {
+		t.Errorf("Size = %d", c.Size())
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	cases := []Config{
+		{Ways: 0, Sets: 1, LineBytes: 64},
+		{Ways: 1, Sets: 0, LineBytes: 64},
+		{Ways: 1, Sets: 1, LineBytes: 0},
+		{Ways: 1, Sets: 1, LineBytes: 48}, // not a power of two
+	}
+	for _, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestCacheHitOnRepeat(t *testing.T) {
+	c := New(Config{Ways: 2, Sets: 4, LineBytes: 64})
+	if c.Access(0x100, false) {
+		t.Error("first access should miss")
+	}
+	if !c.Access(0x100, false) {
+		t.Error("second access should hit")
+	}
+	// Same line, different byte.
+	if !c.Access(0x13F, false) {
+		t.Error("access within same line should hit")
+	}
+	// Next line misses.
+	if c.Access(0x140, false) {
+		t.Error("next line should miss")
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 2 {
+		t.Errorf("hits=%d misses=%d", s.Hits, s.Misses)
+	}
+	if s.FillBytes != 128 {
+		t.Errorf("FillBytes = %d, want 128", s.FillBytes)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Direct construction: 1 set, 2 ways, 64B lines. Three distinct lines
+	// force an eviction of the least recently used.
+	c := New(Config{Ways: 2, Sets: 1, LineBytes: 64})
+	c.Access(0*64, false) // A
+	c.Access(1*64, false) // B
+	c.Access(0*64, false) // touch A; B becomes LRU
+	c.Access(2*64, false) // C evicts B
+	if !c.Access(0*64, false) {
+		t.Error("A should still be resident")
+	}
+	if c.Access(1*64, false) {
+		t.Error("B should have been evicted")
+	}
+}
+
+func TestCacheWriteback(t *testing.T) {
+	c := New(Config{Ways: 1, Sets: 1, LineBytes: 64})
+	c.Access(0, true)  // dirty A
+	c.Access(64, true) // evicts dirty A -> writeback
+	s := c.Stats()
+	if s.WritebackBytes != 64 {
+		t.Errorf("WritebackBytes = %d, want 64", s.WritebackBytes)
+	}
+	c.Flush() // B is dirty -> writeback
+	if c.Stats().WritebackBytes != 128 {
+		t.Errorf("after flush WritebackBytes = %d, want 128", c.Stats().WritebackBytes)
+	}
+	// After flush everything misses again.
+	if c.Access(64, false) {
+		t.Error("flushed line should miss")
+	}
+}
+
+func TestCacheInvalidateDropsDirty(t *testing.T) {
+	c := New(Config{Ways: 1, Sets: 1, LineBytes: 64})
+	c.Access(0, true)
+	c.Invalidate()
+	if c.Stats().WritebackBytes != 0 {
+		t.Error("Invalidate should not write back")
+	}
+	if c.Access(0, false) {
+		t.Error("invalidated line should miss")
+	}
+}
+
+func TestCacheHitRate(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Error("idle hit rate should be 0")
+	}
+	s = Stats{Hits: 3, Misses: 1}
+	if s.HitRate() != 0.75 {
+		t.Errorf("hit rate = %v", s.HitRate())
+	}
+	if s.Accesses() != 4 {
+		t.Errorf("accesses = %d", s.Accesses())
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	c := New(Config{Ways: 2, Sets: 2, LineBytes: 64})
+	c.Access(0, false)
+	c.ResetStats()
+	if c.Stats().Accesses() != 0 {
+		t.Error("stats not reset")
+	}
+	if !c.Access(0, false) {
+		t.Error("contents should survive ResetStats")
+	}
+}
+
+func TestVertexCacheSequentialStrip(t *testing.T) {
+	// A triangle-strip-ordered list: triangle i uses indices (i, i+1, i+2).
+	// After warm-up each triangle misses exactly once -> hit rate -> 2/3.
+	vc := NewVertexCache(16)
+	for tri := 0; tri < 1000; tri++ {
+		for k := 0; k < 3; k++ {
+			vc.Lookup(uint32(tri + k))
+		}
+	}
+	hr := vc.Stats().HitRate()
+	if hr < 0.65 || hr > 0.67 {
+		t.Errorf("strip-ordered hit rate = %v, want ~0.666", hr)
+	}
+}
+
+func TestVertexCacheNoReuse(t *testing.T) {
+	vc := NewVertexCache(16)
+	for i := uint32(0); i < 300; i++ {
+		if vc.Lookup(i * 100) {
+			t.Fatal("distinct indices should never hit")
+		}
+	}
+	if vc.Stats().HitRate() != 0 {
+		t.Errorf("hit rate = %v", vc.Stats().HitRate())
+	}
+}
+
+func TestVertexCacheFIFOEviction(t *testing.T) {
+	vc := NewVertexCache(2)
+	vc.Lookup(1)
+	vc.Lookup(2)
+	vc.Lookup(1) // hit: FIFO does NOT refresh recency
+	vc.Lookup(3) // evicts 1 (oldest by insertion)
+	if vc.Lookup(1) {
+		t.Error("FIFO should have evicted 1 despite the recent hit")
+	}
+}
+
+func TestVertexCacheClear(t *testing.T) {
+	vc := NewVertexCache(4)
+	vc.Lookup(7)
+	vc.Clear()
+	if vc.Lookup(7) {
+		t.Error("cleared cache should miss")
+	}
+	if vc.Capacity() != 4 {
+		t.Errorf("capacity = %d", vc.Capacity())
+	}
+}
+
+func TestVertexCachePanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewVertexCache(0) did not panic")
+		}
+	}()
+	NewVertexCache(0)
+}
+
+// Property: fills equal misses times line size; a second pass over a
+// working set smaller than capacity hits entirely.
+func TestQuickCacheConservation(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := New(Config{Ways: 4, Sets: 16, LineBytes: 64})
+		for _, a := range addrs {
+			c.Access(uint64(a), a%2 == 0)
+		}
+		s := c.Stats()
+		return s.FillBytes == s.Misses*64 && s.Accesses() == int64(len(addrs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSecondPassFullyHits(t *testing.T) {
+	c := New(Config{Ways: 4, Sets: 4, LineBytes: 64})
+	// Working set: 8 lines, capacity 16 lines.
+	for pass := 0; pass < 2; pass++ {
+		for i := uint64(0); i < 8; i++ {
+			c.Access(i*64, false)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 8 || s.Hits != 8 {
+		t.Errorf("hits=%d misses=%d, want 8/8", s.Hits, s.Misses)
+	}
+}

@@ -1,0 +1,72 @@
+package cache
+
+// VertexCache models the post-transform vertex cache of a modern GPU:
+// a small FIFO of recently shaded vertex indices. When an index hits, the
+// already-transformed vertex is reused and the vertex shader run is
+// skipped.
+//
+// The FIFO (rather than LRU) policy matches real hardware and is what the
+// paper's Figure 5 measures: for a well-ordered indexed triangle list each
+// triangle shares two vertices with its neighbourhood, so the steady-state
+// hit rate approaches the theoretical 66% bound (one miss per triangle,
+// three index references per triangle).
+type VertexCache struct {
+	entries []uint32
+	pos     map[uint32]int // index -> slot, for O(1) lookup
+	head    int
+	size    int
+	stats   Stats
+}
+
+// NewVertexCache creates a FIFO post-transform cache holding n vertices.
+// Real GPUs of the paper's era used 16-32 entries; n must be positive.
+func NewVertexCache(n int) *VertexCache {
+	if n <= 0 {
+		panic("cache: vertex cache size must be positive")
+	}
+	return &VertexCache{
+		entries: make([]uint32, n),
+		pos:     make(map[uint32]int, n),
+		size:    0,
+	}
+}
+
+// Lookup consults the cache for vertex index idx and inserts it on a miss,
+// evicting the oldest entry when full. It returns true on a hit.
+func (vc *VertexCache) Lookup(idx uint32) bool {
+	if _, ok := vc.pos[idx]; ok {
+		vc.stats.Hits++
+		return true
+	}
+	vc.stats.Misses++
+	if vc.size == len(vc.entries) {
+		old := vc.entries[vc.head]
+		delete(vc.pos, old)
+	} else {
+		vc.size++
+	}
+	vc.entries[vc.head] = idx
+	vc.pos[idx] = vc.head
+	vc.head = (vc.head + 1) % len(vc.entries)
+	return false
+}
+
+// Clear empties the cache, as happens between draw batches (a batch
+// boundary changes vertex buffers and shader state, invalidating any
+// transformed results).
+func (vc *VertexCache) Clear() {
+	vc.head = 0
+	vc.size = 0
+	for k := range vc.pos {
+		delete(vc.pos, k)
+	}
+}
+
+// Stats returns a snapshot of the hit/miss counters.
+func (vc *VertexCache) Stats() Stats { return vc.stats }
+
+// ResetStats clears the counters but keeps the cache contents.
+func (vc *VertexCache) ResetStats() { vc.stats = Stats{} }
+
+// Capacity returns the number of entries the cache can hold.
+func (vc *VertexCache) Capacity() int { return len(vc.entries) }

@@ -1,0 +1,164 @@
+// Package core is the characterization engine: it runs the synthetic
+// workloads at the API level and through the GPU simulator, derives
+// every metric the paper reports, and regenerates each table and figure
+// with the paper's published values alongside for comparison.
+package core
+
+// PaperAPIRow holds one demo's published API-level numbers (Tables III,
+// IV, V and XII).
+type PaperAPIRow struct {
+	IdxPerBatch   float64
+	IdxPerFrame   float64
+	BytesPerIndex int
+	IndexBWMBs    float64 // Table III "BW @100fps" in MB/s
+
+	VSInstr  float64 // Table IV
+	VSInstr2 float64 // second region (Oblivion)
+
+	FSInstr float64 // Table XII
+	FSTex   float64
+	Ratio   float64
+
+	TLPct, TSPct, TFPct float64 // Table V
+	PrimsPerFrame       float64
+}
+
+// PaperAPI indexes the Table I demo names.
+var PaperAPI = map[string]PaperAPIRow{
+	"UT2004/Primeval": {
+		IdxPerBatch: 1110, IdxPerFrame: 249285, BytesPerIndex: 2, IndexBWMBs: 50,
+		VSInstr: 23.46, FSInstr: 4.63, FSTex: 1.54, Ratio: 2.01,
+		TLPct: 99.9, TFPct: 0.1, PrimsPerFrame: 83095,
+	},
+	"Doom3/trdemo1": {
+		IdxPerBatch: 275, IdxPerFrame: 196416, BytesPerIndex: 4, IndexBWMBs: 79,
+		VSInstr: 20.31, FSInstr: 12.85, FSTex: 3.98, Ratio: 2.23,
+		TLPct: 100, PrimsPerFrame: 65472,
+	},
+	"Doom3/trdemo2": {
+		IdxPerBatch: 304, IdxPerFrame: 136548, BytesPerIndex: 4, IndexBWMBs: 55,
+		VSInstr: 19.35, FSInstr: 12.95, FSTex: 3.98, Ratio: 2.25,
+		TLPct: 100, PrimsPerFrame: 45516,
+	},
+	"Quake4/demo4": {
+		IdxPerBatch: 405, IdxPerFrame: 172330, BytesPerIndex: 4, IndexBWMBs: 69,
+		VSInstr: 27.92, FSInstr: 16.29, FSTex: 4.33, Ratio: 2.76,
+		TLPct: 100, PrimsPerFrame: 57443,
+	},
+	"Quake4/guru5": {
+		IdxPerBatch: 166, IdxPerFrame: 135051, BytesPerIndex: 4, IndexBWMBs: 54,
+		VSInstr: 24.42, FSInstr: 17.16, FSTex: 4.54, Ratio: 2.78,
+		TLPct: 100, PrimsPerFrame: 45017,
+	},
+	"Riddick/MainFrame": {
+		IdxPerBatch: 356, IdxPerFrame: 214965, BytesPerIndex: 2, IndexBWMBs: 43,
+		VSInstr: 16.70, FSInstr: 14.64, FSTex: 1.94, Ratio: 6.55,
+		TLPct: 100, PrimsPerFrame: 71655,
+	},
+	"Riddick/PrisonArea": {
+		IdxPerBatch: 658, IdxPerFrame: 239425, BytesPerIndex: 2, IndexBWMBs: 48,
+		VSInstr: 20.96, FSInstr: 13.63, FSTex: 1.83, Ratio: 6.45,
+		TLPct: 100, PrimsPerFrame: 79808,
+	},
+	"FEAR/built-in demo": {
+		IdxPerBatch: 641, IdxPerFrame: 331374, BytesPerIndex: 2, IndexBWMBs: 66,
+		VSInstr: 18.19, FSInstr: 21.30, FSTex: 2.79, Ratio: 6.63,
+		TLPct: 100, PrimsPerFrame: 110458,
+	},
+	"FEAR/interval2": {
+		IdxPerBatch: 1085, IdxPerFrame: 307202, BytesPerIndex: 2, IndexBWMBs: 61,
+		VSInstr: 21.02, FSInstr: 19.31, FSTex: 2.72, Ratio: 6.10,
+		TLPct: 96.7, TFPct: 3.3, PrimsPerFrame: 102402,
+	},
+	"Half Life 2 LC/built-in": {
+		IdxPerBatch: 736, IdxPerFrame: 328919, BytesPerIndex: 2, IndexBWMBs: 66,
+		VSInstr: 27.04, FSInstr: 19.94, FSTex: 3.88, Ratio: 4.14,
+		TLPct: 100, PrimsPerFrame: 109640,
+	},
+	"Oblivion/Anvil Castle": {
+		IdxPerBatch: 998, IdxPerFrame: 711196, BytesPerIndex: 2, IndexBWMBs: 142,
+		VSInstr: 18.88, VSInstr2: 37.72, FSInstr: 15.48, FSTex: 1.36, Ratio: 10.38,
+		TLPct: 46.3, TSPct: 53.7, PrimsPerFrame: 551694,
+	},
+	"Splinter Cell 3/first level": {
+		IdxPerBatch: 308, IdxPerFrame: 177300, BytesPerIndex: 2, IndexBWMBs: 35,
+		VSInstr: 28.36, FSInstr: 4.62, FSTex: 2.13, Ratio: 1.17,
+		TLPct: 69.1, TSPct: 26.7, TFPct: 4.2, PrimsPerFrame: 107494,
+	},
+}
+
+// PaperMicroRow holds one simulated demo's published microarchitectural
+// numbers (Tables VII-XVII).
+type PaperMicroRow struct {
+	// Table VII.
+	ClipPct, CullPct, TravPct float64
+	// Table VIII: average triangle size in fragments per stage.
+	TriRaster, TriZSt, TriShade, TriBlend float64
+	// Table IX: percentage of quads removed or processed per stage.
+	QHZPct, QZStPct, QAlphaPct, QMaskPct, QBlendPct float64
+	// Table X: quad efficiency.
+	QuadEffRaster, QuadEffZSt float64
+	// Table XI: overdraw per pixel per stage.
+	ODRaster, ODZSt, ODShade, ODBlend float64
+	// Table XIII.
+	Bilinear, ALUPerBilinear float64
+	// Table XIV hit rates (percent).
+	ZCacheHit, TexL0Hit, ColorCacheHit float64
+	// Table XV.
+	MBPerFrame, ReadPct, WritePct, BWGBs float64
+	// Table XVI: Vertex, Z&Stencil, Texture, Color, DAC, CP (percent).
+	Split [6]float64
+	// Table XVII: bytes per vertex / fragment per stage.
+	BVertex, BZSt, BShade, BColor float64
+}
+
+// PaperMicro indexes the three simulated demos.
+var PaperMicro = map[string]PaperMicroRow{
+	"UT2004/Primeval": {
+		ClipPct: 30, CullPct: 21, TravPct: 49,
+		TriRaster: 652, TriZSt: 417, TriShade: 510, TriBlend: 411,
+		QHZPct: 37.50, QZStPct: 2.42, QAlphaPct: 4.15, QMaskPct: 0, QBlendPct: 55.93,
+		QuadEffRaster: 91.5, QuadEffZSt: 93.0,
+		ODRaster: 8.94, ODZSt: 5.22, ODShade: 5.52, ODBlend: 5.00,
+		Bilinear: 5.15, ALUPerBilinear: 0.39,
+		ZCacheHit: 93.9, TexL0Hit: 97.7, ColorCacheHit: 93.7,
+		MBPerFrame: 81, ReadPct: 73, WritePct: 27, BWGBs: 8,
+		Split:   [6]float64{3.9, 15.2, 41.7, 35.2, 3.5, 0.5},
+		BVertex: 50.18, BZSt: 3.14, BShade: 7.71, BColor: 7.40,
+	},
+	"Doom3/trdemo2": {
+		ClipPct: 37, CullPct: 28, TravPct: 35,
+		TriRaster: 2117, TriZSt: 1651, TriShade: 1027, TriBlend: 1024,
+		QHZPct: 33.95, QZStPct: 13.81, QAlphaPct: 0.03, QMaskPct: 34.48, QBlendPct: 17.73,
+		QuadEffRaster: 93.1, QuadEffZSt: 95.0,
+		ODRaster: 24.58, ODZSt: 16.22, ODShade: 4.38, ODBlend: 4.36,
+		Bilinear: 4.37, ALUPerBilinear: 0.52,
+		ZCacheHit: 91.0, TexL0Hit: 99.2, ColorCacheHit: 93.2,
+		MBPerFrame: 108, ReadPct: 63, WritePct: 37, BWGBs: 11,
+		Split:   [6]float64{2.5, 53.5, 26.1, 14.8, 2.1, 1.1},
+		BVertex: 50.88, BZSt: 4.61, BShade: 8.31, BColor: 4.60,
+	},
+	"Quake4/demo4": {
+		ClipPct: 51, CullPct: 21, TravPct: 28,
+		TriRaster: 1232, TriZSt: 749, TriShade: 411, TriBlend: 406,
+		QHZPct: 41.81, QZStPct: 20.57, QAlphaPct: 0.32, QMaskPct: 19.00, QBlendPct: 18.30,
+		QuadEffRaster: 92.0, QuadEffZSt: 92.7,
+		ODRaster: 24.39, ODZSt: 14.12, ODShade: 4.55, ODBlend: 4.46,
+		Bilinear: 4.67, ALUPerBilinear: 0.59,
+		ZCacheHit: 93.4, TexL0Hit: 99.3, ColorCacheHit: 93.2,
+		MBPerFrame: 101, ReadPct: 62, WritePct: 38, BWGBs: 10,
+		Split:   [6]float64{4.2, 51.4, 23.0, 17.4, 2.7, 1.3},
+		BVertex: 67.60, BZSt: 4.48, BShade: 6.68, BColor: 5.11,
+	},
+}
+
+// PlottedDemos lists the eight demos the paper draws in Figures 1-3
+// (one timedemo per benchmark, OGL then D3D).
+var PlottedDemos = []string{
+	"UT2004/Primeval", "Doom3/trdemo2", "Quake4/demo4", "Riddick/PrisonArea",
+	"Oblivion/Anvil Castle", "Half Life 2 LC/built-in", "FEAR/interval2",
+	"Splinter Cell 3/first level",
+}
+
+// SimDemos lists the three microarchitecturally simulated demos.
+var SimDemos = []string{"UT2004/Primeval", "Doom3/trdemo2", "Quake4/demo4"}

@@ -1,0 +1,111 @@
+// Package fragment implements the fragment shading stage: quads arriving
+// from the z & stencil (or hierarchical Z) stage have their varyings
+// evaluated with perspective correction, are shaded in 2x2 lockstep by
+// the shader interpreter — helper lanes included, so texture
+// level-of-detail derivatives are exact — and may be discarded by the
+// KIL instruction, which is how ATTILA models the alpha test (paper,
+// Table IX).
+package fragment
+
+import (
+	"gpuchar/internal/geom"
+	"gpuchar/internal/gmath"
+	"gpuchar/internal/rast"
+	"gpuchar/internal/shader"
+)
+
+// Stats accumulates shading-stage activity.
+type Stats struct {
+	QuadsIn          int64
+	QuadsShaded      int64
+	QuadsKilledAlpha int64 // quads fully discarded by KIL
+	FragmentsShaded  int64 // covered fragments shaded
+	FragmentsKilled  int64
+	QuadsOut         int64
+	CompleteOut      int64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.QuadsIn += o.QuadsIn
+	s.QuadsShaded += o.QuadsShaded
+	s.QuadsKilledAlpha += o.QuadsKilledAlpha
+	s.FragmentsShaded += o.FragmentsShaded
+	s.FragmentsKilled += o.FragmentsKilled
+	s.QuadsOut += o.QuadsOut
+	s.CompleteOut += o.CompleteOut
+}
+
+// Stage is the fragment shading engine. The Machine carries the bound
+// constants and texture sampler.
+type Stage struct {
+	Machine *shader.Machine
+	stats   Stats
+
+	// scratch reused across quads
+	in     [4][shader.NumInputs]gmath.Vec4
+	out    [4][shader.NumOutputs]gmath.Vec4
+	colors [4]gmath.Vec4
+}
+
+// NewStage creates a fragment stage around a shader machine.
+func NewStage(m *shader.Machine) *Stage { return &Stage{Machine: m} }
+
+// Stats returns accumulated statistics.
+func (s *Stage) Stats() Stats { return s.stats }
+
+// ResetStats clears the counters.
+func (s *Stage) ResetStats() { s.stats = Stats{} }
+
+// ShadeQuad runs the fragment program on a quad. mask selects the
+// fragments still alive after earlier tests; all four lanes execute (the
+// dead ones as helper lanes for derivatives) but only live lanes count.
+// It returns the surviving mask after KIL and the shaded colors.
+func (s *Stage) ShadeQuad(q *rast.Quad, mask uint8, fs *shader.Program) (uint8, *[4]gmath.Vec4) {
+	s.stats.QuadsIn++
+	if mask == 0 {
+		return 0, nil
+	}
+
+	// Build shader inputs: v0 = window position (x, y, z, 1/w),
+	// v1..v4 = the interpolated varyings.
+	for lane := 0; lane < 4; lane++ {
+		x, y := q.PixelX(lane), q.PixelY(lane)
+		s.in[lane][0] = gmath.V4(float32(x)+0.5, float32(y)+0.5, q.Z[lane], 1)
+		for slot := 0; slot < geom.NumVaryings; slot++ {
+			s.in[lane][1+slot] = q.Tri.Varying(slot, x, y)
+		}
+	}
+
+	live := s.Machine.RunQuad(fs, &s.in, mask, &s.out)
+
+	n := popcount(mask)
+	s.stats.QuadsShaded++
+	s.stats.FragmentsShaded += int64(n)
+	s.stats.FragmentsKilled += int64(n - popcount(live))
+	if live == 0 {
+		s.stats.QuadsKilledAlpha++
+		return 0, nil
+	}
+	s.stats.QuadsOut++
+	if live == 0xF {
+		s.stats.CompleteOut++
+	}
+
+	for lane := 0; lane < 4; lane++ {
+		s.colors[lane] = s.out[lane][0]
+	}
+	// The returned slice of colors is scratch owned by the stage and
+	// valid until the next ShadeQuad call.
+	return live, &s.colors
+}
+
+func popcount(m uint8) int {
+	n := 0
+	for i := 0; i < 4; i++ {
+		if m&(1<<i) != 0 {
+			n++
+		}
+	}
+	return n
+}

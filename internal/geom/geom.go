@@ -1,0 +1,444 @@
+// Package geom implements the geometry stages of the rendering pipeline:
+// indexed vertex fetch, vertex shading through a post-transform vertex
+// cache, primitive assembly for triangle lists, strips and fans,
+// homogeneous view-frustum clipping, face culling and the viewport
+// transform.
+//
+// These stages produce the statistics of the paper's §III.B: indices and
+// assembled triangles per frame (Figure 6), the percentage of clipped,
+// culled and traversed triangles (Table VII), and the vertex cache hit
+// rate (Figure 5) whose ~66% bound explains why games use triangle lists
+// rather than strips.
+package geom
+
+import (
+	"fmt"
+
+	"gpuchar/internal/cache"
+	"gpuchar/internal/gmath"
+	"gpuchar/internal/mem"
+	"gpuchar/internal/shader"
+)
+
+// PrimitiveType selects how the index stream is assembled into
+// triangles. The paper's benchmarks use only these three (Table V).
+type PrimitiveType uint8
+
+// Triangle assembly modes.
+const (
+	TriangleList PrimitiveType = iota
+	TriangleStrip
+	TriangleFan
+)
+
+// String names the primitive type with the paper's abbreviations.
+func (p PrimitiveType) String() string {
+	switch p {
+	case TriangleList:
+		return "TL"
+	case TriangleStrip:
+		return "TS"
+	case TriangleFan:
+		return "TF"
+	default:
+		return fmt.Sprintf("Prim(%d)", uint8(p))
+	}
+}
+
+// TriangleCount returns the number of triangles assembled from n indices
+// under this primitive type — the arithmetic behind the paper's Table V
+// "primitives per frame" column.
+func (p PrimitiveType) TriangleCount(n int) int {
+	switch p {
+	case TriangleList:
+		return n / 3
+	default: // strip or fan
+		if n < 3 {
+			return 0
+		}
+		return n - 2
+	}
+}
+
+// NumVaryings is the number of interpolated attribute slots carried from
+// vertex to fragment shading (vertex shader outputs o1..o4; o0 is the
+// clip-space position).
+const NumVaryings = 4
+
+// VertexBuffer holds per-vertex attributes resident in GPU memory.
+// Attribute slot 0 is the object-space position.
+type VertexBuffer struct {
+	// Attribs[slot][vertex]; all slots must have equal length.
+	Attribs [][]gmath.Vec4
+	// StrideBytes is the memory footprint of one vertex, used for
+	// traffic accounting (up to 16 attributes x 16 bytes in the paper).
+	StrideBytes int
+	// BaseAddr is the GPU virtual address of the buffer.
+	BaseAddr uint64
+}
+
+// NumVertices returns the vertex count (0 for an empty buffer).
+func (vb *VertexBuffer) NumVertices() int {
+	if len(vb.Attribs) == 0 {
+		return 0
+	}
+	return len(vb.Attribs[0])
+}
+
+// IndexBuffer is a list of vertex indices plus the per-index byte size,
+// which Table III shows is fixed per game middleware (2 or 4 bytes).
+type IndexBuffer struct {
+	Indices       []uint32
+	BytesPerIndex int
+	BaseAddr      uint64
+}
+
+// ShadedVertex is a post-vertex-shader vertex: clip-space position plus
+// varyings.
+type ShadedVertex struct {
+	ClipPos gmath.Vec4
+	Var     [NumVaryings]gmath.Vec4
+}
+
+// ScreenVertex is a viewport-transformed vertex ready for
+// rasterization. Varyings are pre-multiplied by InvW for
+// perspective-correct interpolation.
+type ScreenVertex struct {
+	X, Y float32 // window coordinates (pixels)
+	Z    float32 // depth in [0,1]
+	InvW float32
+	Var  [NumVaryings]gmath.Vec4 // varying * InvW
+}
+
+// Triangle is a screen-space triangle emitted to the rasterizer. The
+// vertex order is always counter-clockwise; back-facing triangles kept
+// alive by CullNone are re-wound and flagged via FrontFacing, which the
+// two-sided stencil test consumes (Doom3/Quake4 shadow volumes).
+type Triangle struct {
+	V [3]ScreenVertex
+	// CountsAsTraversed is false for the extra sub-triangles produced
+	// when clipping splits a triangle, so triangle-level statistics
+	// count each source triangle once.
+	CountsAsTraversed bool
+	// FrontFacing is false when the source triangle was back-facing and
+	// survived because culling was off.
+	FrontFacing bool
+}
+
+// Stats accumulates geometry-stage activity.
+type Stats struct {
+	Indices            int64 // index references processed
+	VerticesShaded     int64 // vertex cache misses = vertex shader runs
+	TrianglesAssembled int64
+	TrianglesClipped   int64 // fully outside the frustum
+	TrianglesCulled    int64 // back-facing or zero area
+	TrianglesTraversed int64 // sent to the rasterizer
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.Indices += o.Indices
+	s.VerticesShaded += o.VerticesShaded
+	s.TrianglesAssembled += o.TrianglesAssembled
+	s.TrianglesClipped += o.TrianglesClipped
+	s.TrianglesCulled += o.TrianglesCulled
+	s.TrianglesTraversed += o.TrianglesTraversed
+}
+
+// CullMode selects which triangle facing is discarded.
+type CullMode uint8
+
+// Face culling modes.
+const (
+	CullBack CullMode = iota
+	CullFront
+	CullNone
+)
+
+// Config sets the fixed-function geometry state for a draw.
+type Config struct {
+	ViewportW int
+	ViewportH int
+	Cull      CullMode
+}
+
+// Pipeline is the geometry engine. It owns the post-transform vertex
+// cache and a scratch table of shaded vertices.
+type Pipeline struct {
+	VCache  *cache.VertexCache
+	Machine *shader.Machine
+	Memctl  *mem.Controller
+
+	// scratch, reused across draws
+	shaded []ShadedVertex
+	epoch  []uint32
+	gen    uint32
+}
+
+// DefaultVertexCacheSize matches the mid-2000s hardware the paper
+// simulates (a small FIFO; ATTILA and contemporary GPUs used 16 entries).
+const DefaultVertexCacheSize = 16
+
+// NewPipeline creates a geometry pipeline with the given shader machine
+// and memory controller (memctl may be nil to skip traffic accounting).
+func NewPipeline(m *shader.Machine, memctl *mem.Controller) *Pipeline {
+	return &Pipeline{
+		VCache:  cache.NewVertexCache(DefaultVertexCacheSize),
+		Machine: m,
+		Memctl:  memctl,
+	}
+}
+
+// Draw runs one batch through the geometry pipeline and returns the
+// screen triangles to rasterize plus the per-draw statistics. The vertex
+// shader program's constants must already be loaded into the Machine.
+func (p *Pipeline) Draw(vb *VertexBuffer, ib *IndexBuffer, prim PrimitiveType,
+	vs *shader.Program, cfg Config) ([]Triangle, Stats) {
+
+	var st Stats
+	nv := vb.NumVertices()
+	if nv == 0 || len(ib.Indices) == 0 {
+		return nil, st
+	}
+	p.ensureScratch(nv)
+	// A new batch invalidates the post-transform cache: shader state and
+	// stream bindings changed.
+	p.VCache.Clear()
+
+	// Shade (through the vertex cache) every referenced index.
+	shadedIdx := make([]uint32, 0, len(ib.Indices))
+	for _, idx := range ib.Indices {
+		if int(idx) >= nv {
+			continue // out-of-range index: drop, like a defensive driver
+		}
+		st.Indices++
+		if p.Memctl != nil {
+			p.Memctl.Read(mem.ClientVertex, int64(ib.BytesPerIndex))
+		}
+		if !p.VCache.Lookup(idx) {
+			p.shadeVertex(vb, idx, vs)
+			st.VerticesShaded++
+			if p.Memctl != nil {
+				p.Memctl.Read(mem.ClientVertex, int64(vb.StrideBytes))
+			}
+		} else if p.epoch[idx] != p.gen {
+			// The FIFO remembers the index from a previous generation of
+			// this scratch table; reshade to keep values fresh.
+			p.shadeVertex(vb, idx, vs)
+		}
+		shadedIdx = append(shadedIdx, idx)
+	}
+
+	// Assemble primitives and clip/cull/transform.
+	tris := assemble(shadedIdx, prim)
+	st.TrianglesAssembled += int64(len(tris))
+	var out []Triangle
+	for _, tri := range tris {
+		v0 := &p.shaded[tri[0]]
+		v1 := &p.shaded[tri[1]]
+		v2 := &p.shaded[tri[2]]
+		outcome := p.clipCullEmit(v0, v1, v2, cfg, &out)
+		switch outcome {
+		case resultClipped:
+			st.TrianglesClipped++
+		case resultCulled:
+			st.TrianglesCulled++
+		default:
+			st.TrianglesTraversed++
+		}
+	}
+	return out, st
+}
+
+func (p *Pipeline) ensureScratch(nv int) {
+	if cap(p.shaded) < nv {
+		p.shaded = make([]ShadedVertex, nv)
+		p.epoch = make([]uint32, nv)
+	}
+	p.shaded = p.shaded[:nv]
+	p.epoch = p.epoch[:nv]
+	p.gen++
+}
+
+func (p *Pipeline) shadeVertex(vb *VertexBuffer, idx uint32, vs *shader.Program) {
+	var in [shader.NumInputs]gmath.Vec4
+	for slot, data := range vb.Attribs {
+		if slot >= shader.NumInputs {
+			break
+		}
+		in[slot] = data[idx]
+	}
+	var out [shader.NumOutputs]gmath.Vec4
+	p.Machine.RunVertex(vs, &in, &out)
+	sv := &p.shaded[idx]
+	sv.ClipPos = out[0]
+	for i := 0; i < NumVaryings; i++ {
+		sv.Var[i] = out[1+i]
+	}
+	p.epoch[idx] = p.gen
+}
+
+// assemble converts an index stream to triangles (as index triples).
+func assemble(idx []uint32, prim PrimitiveType) [][3]uint32 {
+	var tris [][3]uint32
+	switch prim {
+	case TriangleList:
+		for i := 0; i+2 < len(idx); i += 3 {
+			tris = append(tris, [3]uint32{idx[i], idx[i+1], idx[i+2]})
+		}
+	case TriangleStrip:
+		for i := 0; i+2 < len(idx); i++ {
+			a, b, c := idx[i], idx[i+1], idx[i+2]
+			if i%2 == 1 {
+				// Flip winding on odd triangles to keep orientation.
+				a, b = b, a
+			}
+			tris = append(tris, [3]uint32{a, b, c})
+		}
+	case TriangleFan:
+		for i := 1; i+1 < len(idx); i++ {
+			tris = append(tris, [3]uint32{idx[0], idx[i], idx[i+1]})
+		}
+	}
+	return tris
+}
+
+type clipResult uint8
+
+const (
+	resultTraversed clipResult = iota
+	resultClipped
+	resultCulled
+)
+
+// clipCullEmit classifies one assembled triangle and appends its screen
+// triangles to out when it survives.
+func (p *Pipeline) clipCullEmit(v0, v1, v2 *ShadedVertex, cfg Config,
+	out *[]Triangle) clipResult {
+
+	c0 := gmath.OutcodeOf(v0.ClipPos)
+	c1 := gmath.OutcodeOf(v1.ClipPos)
+	c2 := gmath.OutcodeOf(v2.ClipPos)
+	if c0&c1&c2 != 0 {
+		return resultClipped // trivially outside one plane
+	}
+
+	verts := []ShadedVertex{*v0, *v1, *v2}
+	if c0|c1|c2 != 0 {
+		// Straddles the frustum: Sutherland-Hodgman clip in homogeneous
+		// space against all six planes.
+		verts = clipPolygon(verts)
+		if len(verts) < 3 {
+			return resultClipped
+		}
+	}
+
+	// Project to screen space.
+	screen := make([]ScreenVertex, len(verts))
+	for i := range verts {
+		screen[i] = toScreen(&verts[i], cfg)
+	}
+
+	// Face cull using the signed area of the first sub-triangle (the
+	// polygon is planar and convex, so all sub-triangles agree).
+	area := signedArea(screen[0], screen[1], screen[2])
+	front := area > 0
+	switch cfg.Cull {
+	case CullBack:
+		if area <= 0 {
+			return resultCulled
+		}
+	case CullFront:
+		if area >= 0 {
+			return resultCulled
+		}
+		// Kept triangles are back-facing: re-wind to CCW for setup.
+		reverse(screen)
+	default:
+		if area == 0 {
+			return resultCulled // degenerate
+		}
+		if !front {
+			reverse(screen)
+		}
+	}
+
+	// Fan-triangulate the clipped polygon.
+	for i := 1; i+1 < len(screen); i++ {
+		*out = append(*out, Triangle{
+			V:                 [3]ScreenVertex{screen[0], screen[i], screen[i+1]},
+			CountsAsTraversed: i == 1,
+			FrontFacing:       front,
+		})
+	}
+	return resultTraversed
+}
+
+func reverse(s []ScreenVertex) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// clipPolygon clips a convex polygon against the six frustum planes in
+// homogeneous space.
+func clipPolygon(in []ShadedVertex) []ShadedVertex {
+	planes := gmath.FrustumPlanes()
+	poly := in
+	for _, pl := range planes {
+		if len(poly) == 0 {
+			return nil
+		}
+		var next []ShadedVertex
+		for i := range poly {
+			cur := &poly[i]
+			prev := &poly[(i+len(poly)-1)%len(poly)]
+			dc := pl.Dist(cur.ClipPos)
+			dp := pl.Dist(prev.ClipPos)
+			if dp >= 0 != (dc >= 0) {
+				// Edge crosses the plane: add intersection.
+				t := dp / (dp - dc)
+				next = append(next, lerpVertex(prev, cur, t))
+			}
+			if dc >= 0 {
+				next = append(next, *cur)
+			}
+		}
+		poly = next
+	}
+	return poly
+}
+
+func lerpVertex(a, b *ShadedVertex, t float32) ShadedVertex {
+	var out ShadedVertex
+	out.ClipPos = a.ClipPos.Lerp(b.ClipPos, t)
+	for i := 0; i < NumVaryings; i++ {
+		out.Var[i] = a.Var[i].Lerp(b.Var[i], t)
+	}
+	return out
+}
+
+func toScreen(v *ShadedVertex, cfg Config) ScreenVertex {
+	w := v.ClipPos.W
+	if w == 0 {
+		w = 1e-9
+	}
+	invW := 1 / w
+	ndcX := v.ClipPos.X * invW
+	ndcY := v.ClipPos.Y * invW
+	ndcZ := v.ClipPos.Z * invW
+	sv := ScreenVertex{
+		X:    (ndcX*0.5 + 0.5) * float32(cfg.ViewportW),
+		Y:    (ndcY*0.5 + 0.5) * float32(cfg.ViewportH),
+		Z:    ndcZ*0.5 + 0.5,
+		InvW: invW,
+	}
+	for i := 0; i < NumVaryings; i++ {
+		sv.Var[i] = v.Var[i].Scale(invW)
+	}
+	return sv
+}
+
+func signedArea(a, b, c ScreenVertex) float32 {
+	return (b.X-a.X)*(c.Y-a.Y) - (c.X-a.X)*(b.Y-a.Y)
+}

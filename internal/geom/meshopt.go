@@ -1,0 +1,139 @@
+package geom
+
+// Vertex-cache-aware index reordering. The paper (§III.B, Figure 5)
+// observes hit rates above the 66% adjacent-triangle bound for some
+// scenes and attributes them to meshes whose face order was optimized
+// for transparent vertex caching, citing Hoppe (SIGGRAPH '99). This file
+// implements a greedy reordering in that family so the effect can be
+// measured directly.
+
+// OptimizeForVertexCache reorders the triangles of an indexed triangle
+// list to improve post-transform FIFO cache locality. The algorithm is
+// a greedy "grow from the cache" strategy: repeatedly pick the triangle
+// that needs the fewest vertices not currently resident in a simulated
+// FIFO of the given size (breaking ties toward lower-valence vertices so
+// fans complete before the hub is evicted), emit it, and update the
+// simulated cache.
+//
+// indices must be a multiple of 3; the returned slice is a permutation
+// of the input triangles.
+func OptimizeForVertexCache(indices []uint32, cacheSize int) []uint32 {
+	n := len(indices) / 3
+	if n <= 1 || cacheSize < 3 {
+		return append([]uint32(nil), indices...)
+	}
+
+	// Adjacency: vertex -> triangles using it.
+	maxV := uint32(0)
+	for _, v := range indices {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	valence := make([]int, maxV+1)
+	for _, v := range indices {
+		valence[v]++
+	}
+	use := make([][]int32, maxV+1)
+	for t := 0; t < n; t++ {
+		for k := 0; k < 3; k++ {
+			v := indices[3*t+k]
+			use[v] = append(use[v], int32(t))
+		}
+	}
+
+	emitted := make([]bool, n)
+	// Simulated FIFO cache.
+	fifo := make([]uint32, cacheSize)
+	inCache := make(map[uint32]bool, cacheSize)
+	head, size := 0, 0
+	touch := func(v uint32) {
+		if inCache[v] {
+			return
+		}
+		if size == cacheSize {
+			delete(inCache, fifo[head])
+		} else {
+			size++
+		}
+		fifo[head] = v
+		inCache[v] = true
+		head = (head + 1) % cacheSize
+	}
+
+	// cost returns how many vertices of triangle t are cache misses.
+	cost := func(t int) int {
+		c := 0
+		for k := 0; k < 3; k++ {
+			if !inCache[indices[3*t+k]] {
+				c++
+			}
+		}
+		return c
+	}
+
+	out := make([]uint32, 0, len(indices))
+	remaining := n
+	cursor := 0 // fallback scan position for restarts
+	for remaining > 0 {
+		// Candidates: triangles touching any cached vertex.
+		best, bestCost, bestVal := -1, 4, 1<<30
+		for v := range inCache {
+			for _, t32 := range use[v] {
+				t := int(t32)
+				if emitted[t] {
+					continue
+				}
+				c := cost(t)
+				val := valence[indices[3*t]] + valence[indices[3*t+1]] +
+					valence[indices[3*t+2]]
+				if c < bestCost || (c == bestCost && val < bestVal) {
+					best, bestCost, bestVal = t, c, val
+				}
+			}
+		}
+		if best < 0 {
+			// Cold restart: next unemitted triangle in input order.
+			for emitted[cursor] {
+				cursor++
+			}
+			best = cursor
+		}
+		emitted[best] = true
+		remaining--
+		for k := 0; k < 3; k++ {
+			v := indices[3*best+k]
+			out = append(out, v)
+			valence[v]--
+			touch(v)
+		}
+	}
+	return out
+}
+
+// CacheMissesOf counts the vertex shader executions an index stream
+// costs under a FIFO post-transform cache of the given size — the
+// quantity Figure 5's hit rate is one minus.
+func CacheMissesOf(indices []uint32, cacheSize int) int {
+	if cacheSize < 1 {
+		return len(indices)
+	}
+	fifo := make([]uint32, cacheSize)
+	inCache := make(map[uint32]bool, cacheSize)
+	head, size, misses := 0, 0, 0
+	for _, v := range indices {
+		if inCache[v] {
+			continue
+		}
+		misses++
+		if size == cacheSize {
+			delete(inCache, fifo[head])
+		} else {
+			size++
+		}
+		fifo[head] = v
+		inCache[v] = true
+		head = (head + 1) % cacheSize
+	}
+	return misses
+}

@@ -1,0 +1,125 @@
+package gfxapi
+
+import (
+	"gpuchar/internal/geom"
+	"gpuchar/internal/gmath"
+	"gpuchar/internal/rop"
+	"gpuchar/internal/shader"
+	"gpuchar/internal/texture"
+	"gpuchar/internal/zst"
+)
+
+// Op is a traceable API operation, the unit GLInterceptor-style tracers
+// store and replay.
+type Op uint8
+
+// Trace operations.
+const (
+	OpCreateVB Op = iota
+	OpCreateIB
+	OpCreateTex
+	OpCreateProgram
+	OpSetZState
+	OpSetRopState
+	OpSetCull
+	OpBindTexture
+	OpSetConst
+	OpDraw
+	OpClear
+	OpEndFrame
+)
+
+var opNames = [...]string{
+	"CreateVB", "CreateIB", "CreateTex", "CreateProgram",
+	"SetZState", "SetRopState", "SetCull", "BindTexture",
+	"SetConst", "Draw", "Clear", "EndFrame",
+}
+
+// String names the operation.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "Op?"
+}
+
+// Command is one recorded API call. It is a tagged union: which fields
+// are meaningful depends on Op. Resource references use IDs so traces
+// can be re-materialized by a player.
+type Command struct {
+	Op   Op
+	ID   uint32 // primary resource id
+	ID2  uint32 // secondary (index buffer of a draw)
+	Unit uint8  // texture unit or constant index
+
+	// Creation payloads.
+	VBData  [][]gmath.Vec4
+	IBData  []uint32
+	Stride  int
+	TexSpec TextureSpec
+	Program *shader.Program
+
+	// State payloads.
+	ZState   *zst.State
+	RopState *rop.State
+	Cull     geom.CullMode
+	Sampler  *texture.SamplerState
+	Vec      gmath.Vec4
+	ClearOp  *ClearOp
+
+	// Draw payload.
+	Prim    geom.PrimitiveType
+	ProgID  uint32 // vertex program id
+	ProgID2 uint32 // fragment program id
+}
+
+// TextureKind selects how a TextureSpec generates texel content.
+type TextureKind uint8
+
+// Texture content kinds. Procedural kinds keep traces small; KindData
+// carries explicit texels.
+const (
+	KindChecker TextureKind = iota
+	KindNoise
+	KindFlat
+	KindData
+	// KindBlockNoise is hash noise constant over Cell x Cell texel
+	// blocks, giving alpha-tested materials a controllable kill rate.
+	KindBlockNoise
+)
+
+// TextureSpec is a serializable description of a texture: the synthetic
+// workloads use procedural content, so a compact spec fully determines
+// the texture.
+type TextureSpec struct {
+	Name   string
+	Format texture.Format
+	W, H   int
+	Kind   TextureKind
+	// Checker parameters.
+	Cell   int
+	ColorA texture.RGBA
+	ColorB texture.RGBA
+	// Noise seed.
+	Seed uint32
+	// Explicit data for KindData.
+	Data []texture.RGBA
+}
+
+// Build materializes the texture described by the spec.
+func (s TextureSpec) Build() (*texture.Texture, error) {
+	switch s.Kind {
+	case KindChecker:
+		return texture.New(s.Name, s.Format, s.W, s.H,
+			texture.Checker(s.Cell, s.ColorA, s.ColorB))
+	case KindNoise:
+		return texture.New(s.Name, s.Format, s.W, s.H, texture.Noise(s.Seed))
+	case KindFlat:
+		return texture.New(s.Name, s.Format, s.W, s.H, texture.Flat(s.ColorA))
+	case KindBlockNoise:
+		return texture.New(s.Name, s.Format, s.W, s.H,
+			texture.BlockNoise(s.Seed, s.Cell))
+	default:
+		return texture.FromRGBA(s.Name, s.Format, s.W, s.H, s.Data)
+	}
+}

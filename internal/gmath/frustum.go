@@ -1,0 +1,102 @@
+package gmath
+
+// Plane is the plane a*x + b*y + c*z + d*w = 0 expressed in homogeneous
+// coordinates. A point p is inside (on the positive half-space) when
+// Plane.Dist(p) >= 0.
+type Plane struct{ A, B, C, D float32 }
+
+// Dist returns the signed homogeneous distance of p from the plane.
+func (pl Plane) Dist(p Vec4) float32 {
+	return pl.A*p.X + pl.B*p.Y + pl.C*p.Z + pl.D*p.W
+}
+
+// ClipPlane identifies one of the six view-frustum planes in clip space.
+type ClipPlane int
+
+// The six frustum planes. In clip space a vertex is inside the frustum
+// when -w <= x,y,z <= w.
+const (
+	PlaneLeft ClipPlane = iota
+	PlaneRight
+	PlaneBottom
+	PlaneTop
+	PlaneNear
+	PlaneFar
+	NumClipPlanes
+)
+
+// FrustumPlanes returns the six clip-space frustum planes for the canonical
+// OpenGL clip volume -w <= x,y,z <= w, ordered by ClipPlane.
+func FrustumPlanes() [NumClipPlanes]Plane {
+	return [NumClipPlanes]Plane{
+		PlaneLeft:   {1, 0, 0, 1},  // x >= -w
+		PlaneRight:  {-1, 0, 0, 1}, // x <= w
+		PlaneBottom: {0, 1, 0, 1},  // y >= -w
+		PlaneTop:    {0, -1, 0, 1}, // y <= w
+		PlaneNear:   {0, 0, 1, 1},  // z >= -w
+		PlaneFar:    {0, 0, -1, 1}, // z <= w
+	}
+}
+
+// OutcodeOf returns the bitmask of frustum planes that the clip-space
+// vertex v is outside of. An outcode of zero means the vertex is inside
+// the view frustum.
+func OutcodeOf(v Vec4) uint8 {
+	var code uint8
+	if v.X < -v.W {
+		code |= 1 << PlaneLeft
+	}
+	if v.X > v.W {
+		code |= 1 << PlaneRight
+	}
+	if v.Y < -v.W {
+		code |= 1 << PlaneBottom
+	}
+	if v.Y > v.W {
+		code |= 1 << PlaneTop
+	}
+	if v.Z < -v.W {
+		code |= 1 << PlaneNear
+	}
+	if v.Z > v.W {
+		code |= 1 << PlaneFar
+	}
+	return code
+}
+
+// AABB is an axis-aligned bounding box.
+type AABB struct{ Min, Max Vec3 }
+
+// NewAABB returns an empty box ready to be extended.
+func NewAABB() AABB {
+	const inf = float32(3.4e38)
+	return AABB{Min: V3(inf, inf, inf), Max: V3(-inf, -inf, -inf)}
+}
+
+// Extend grows the box to include point p.
+func (b *AABB) Extend(p Vec3) {
+	if p.X < b.Min.X {
+		b.Min.X = p.X
+	}
+	if p.Y < b.Min.Y {
+		b.Min.Y = p.Y
+	}
+	if p.Z < b.Min.Z {
+		b.Min.Z = p.Z
+	}
+	if p.X > b.Max.X {
+		b.Max.X = p.X
+	}
+	if p.Y > b.Max.Y {
+		b.Max.Y = p.Y
+	}
+	if p.Z > b.Max.Z {
+		b.Max.Z = p.Z
+	}
+}
+
+// Center returns the box center.
+func (b AABB) Center() Vec3 { return b.Min.Add(b.Max).Scale(0.5) }
+
+// Size returns the box extents.
+func (b AABB) Size() Vec3 { return b.Max.Sub(b.Min) }

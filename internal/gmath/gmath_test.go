@@ -1,0 +1,215 @@
+package gmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-4
+
+func near(a, b float32) bool { return math.Abs(float64(a-b)) < eps }
+
+func vecNear(a, b Vec4) bool {
+	return near(a.X, b.X) && near(a.Y, b.Y) && near(a.Z, b.Z) && near(a.W, b.W)
+}
+
+func TestVec3Cross(t *testing.T) {
+	x, y, z := V3(1, 0, 0), V3(0, 1, 0), V3(0, 0, 1)
+	if got := x.Cross(y); got != z {
+		t.Errorf("x cross y = %v, want %v", got, z)
+	}
+	if got := y.Cross(x); got != z.Scale(-1) {
+		t.Errorf("y cross x = %v, want %v", got, z.Scale(-1))
+	}
+	// Cross product is perpendicular to both operands.
+	a, b := V3(1, 2, 3), V3(-4, 5, 0.5)
+	c := a.Cross(b)
+	if !near(c.Dot(a), 0) || !near(c.Dot(b), 0) {
+		t.Errorf("cross product not perpendicular: %v", c)
+	}
+}
+
+func TestVec3Norm(t *testing.T) {
+	v := V3(3, 4, 0).Norm()
+	if !near(v.Len(), 1) {
+		t.Errorf("normalized length = %v, want 1", v.Len())
+	}
+	zero := V3(0, 0, 0)
+	if zero.Norm() != zero {
+		t.Errorf("Norm of zero vector changed it: %v", zero.Norm())
+	}
+}
+
+func TestVec4CompRoundTrip(t *testing.T) {
+	v := V4(1, 2, 3, 4)
+	for i := 0; i < 4; i++ {
+		if v.Comp(i) != float32(i+1) {
+			t.Errorf("Comp(%d) = %v, want %v", i, v.Comp(i), i+1)
+		}
+		u := v.SetComp(i, 9)
+		if u.Comp(i) != 9 {
+			t.Errorf("SetComp(%d) did not stick", i)
+		}
+	}
+}
+
+func TestVec4Lerp(t *testing.T) {
+	a, b := V4(0, 0, 0, 0), V4(2, 4, 6, 8)
+	if got := a.Lerp(b, 0.5); !vecNear(got, V4(1, 2, 3, 4)) {
+		t.Errorf("Lerp = %v", got)
+	}
+	if got := a.Lerp(b, 0); !vecNear(got, a) {
+		t.Errorf("Lerp(0) = %v, want a", got)
+	}
+	if got := a.Lerp(b, 1); !vecNear(got, b) {
+		t.Errorf("Lerp(1) = %v, want b", got)
+	}
+}
+
+func TestMat4Identity(t *testing.T) {
+	v := V4(1, -2, 3, 1)
+	if got := Identity().MulVec4(v); got != v {
+		t.Errorf("I*v = %v, want %v", got, v)
+	}
+}
+
+func TestMat4MulAssociativity(t *testing.T) {
+	a := Translate(1, 2, 3)
+	b := RotateY(0.7)
+	c := Scale3(2, 2, 2)
+	v := V4(0.5, -1, 4, 1)
+	lhs := a.Mul(b).Mul(c).MulVec4(v)
+	rhs := a.MulVec4(b.MulVec4(c.MulVec4(v)))
+	if !vecNear(lhs, rhs) {
+		t.Errorf("(ABC)v = %v, A(B(Cv)) = %v", lhs, rhs)
+	}
+}
+
+func TestTranslatePoint(t *testing.T) {
+	p := Translate(1, 2, 3).MulPoint(V3(10, 20, 30))
+	if p != V3(11, 22, 33) {
+		t.Errorf("translated point = %v", p)
+	}
+	// Directions are unaffected by translation.
+	d := Translate(1, 2, 3).MulDir(V3(1, 0, 0))
+	if d != V3(1, 0, 0) {
+		t.Errorf("translated dir = %v", d)
+	}
+}
+
+func TestRotateYQuarterTurn(t *testing.T) {
+	p := RotateY(float32(math.Pi / 2)).MulPoint(V3(1, 0, 0))
+	want := V3(0, 0, -1)
+	if !near(p.X, want.X) || !near(p.Y, want.Y) || !near(p.Z, want.Z) {
+		t.Errorf("rotated = %v, want %v", p, want)
+	}
+}
+
+func TestPerspectiveMapsNearFar(t *testing.T) {
+	m := Perspective(float32(math.Pi/2), 4.0/3.0, 1, 100)
+	// A point on the near plane maps to z/w = -1.
+	nearPt := m.MulVec4(V4(0, 0, -1, 1))
+	if !near(nearPt.Z/nearPt.W, -1) {
+		t.Errorf("near plane z/w = %v, want -1", nearPt.Z/nearPt.W)
+	}
+	farPt := m.MulVec4(V4(0, 0, -100, 1))
+	if !near(farPt.Z/farPt.W, 1) {
+		t.Errorf("far plane z/w = %v, want 1", farPt.Z/farPt.W)
+	}
+}
+
+func TestLookAtOrigin(t *testing.T) {
+	m := LookAt(V3(0, 0, 10), V3(0, 0, 0), V3(0, 1, 0))
+	// The look-at target should land on the -Z axis in eye space.
+	p := m.MulPoint(V3(0, 0, 0))
+	if !near(p.X, 0) || !near(p.Y, 0) || !near(p.Z, -10) {
+		t.Errorf("center in eye space = %v, want (0,0,-10)", p)
+	}
+	// The eye maps to the origin.
+	e := m.MulPoint(V3(0, 0, 10))
+	if !near(e.Len(), 0) {
+		t.Errorf("eye in eye space = %v, want origin", e)
+	}
+}
+
+func TestOutcodeInside(t *testing.T) {
+	if code := OutcodeOf(V4(0, 0, 0, 1)); code != 0 {
+		t.Errorf("origin outcode = %b, want 0", code)
+	}
+	if code := OutcodeOf(V4(2, 0, 0, 1)); code&(1<<PlaneRight) == 0 {
+		t.Errorf("x=2 w=1 should be outside right plane, code=%b", code)
+	}
+	if code := OutcodeOf(V4(0, 0, -2, 1)); code&(1<<PlaneNear) == 0 {
+		t.Errorf("z=-2 w=1 should be outside near plane, code=%b", code)
+	}
+}
+
+func TestFrustumPlanesAgreeWithOutcode(t *testing.T) {
+	planes := FrustumPlanes()
+	pts := []Vec4{
+		{0, 0, 0, 1}, {2, 0, 0, 1}, {-2, 0, 0, 1}, {0, 2, 0, 1},
+		{0, -2, 0, 1}, {0, 0, 2, 1}, {0, 0, -2, 1}, {0.5, -0.5, 0.9, 1},
+	}
+	for _, p := range pts {
+		code := OutcodeOf(p)
+		for i := ClipPlane(0); i < NumClipPlanes; i++ {
+			outByPlane := planes[i].Dist(p) < 0
+			outByCode := code&(1<<i) != 0
+			if outByPlane != outByCode {
+				t.Errorf("point %v plane %d: plane says out=%v, outcode says %v",
+					p, i, outByPlane, outByCode)
+			}
+		}
+	}
+}
+
+func TestAABB(t *testing.T) {
+	b := NewAABB()
+	b.Extend(V3(1, 2, 3))
+	b.Extend(V3(-1, 5, 0))
+	if b.Min != V3(-1, 2, 0) || b.Max != V3(1, 5, 3) {
+		t.Errorf("box = %+v", b)
+	}
+	if c := b.Center(); !near(c.X, 0) || !near(c.Y, 3.5) || !near(c.Z, 1.5) {
+		t.Errorf("center = %v", c)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ x, lo, hi, want float32 }{
+		{5, 0, 1, 1}, {-5, 0, 1, 0}, {0.5, 0, 1, 0.5},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.x, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", c.x, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+// Property: dot product is bilinear.
+func TestQuickDotBilinear(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz, s float32) bool {
+		a, b := V3(ax, ay, az), V3(bx, by, bz)
+		lhs := a.Scale(s).Dot(b)
+		rhs := s * a.Dot(b)
+		diff := math.Abs(float64(lhs - rhs))
+		mag := math.Abs(float64(lhs)) + math.Abs(float64(rhs)) + 1
+		return diff/mag < 1e-3 || math.IsNaN(diff) || math.IsInf(diff, 0)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: matrix transpose is an involution.
+func TestQuickTransposeInvolution(t *testing.T) {
+	f := func(vals [16]float32) bool {
+		m := Mat4(vals)
+		return m.Transpose().Transpose() == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

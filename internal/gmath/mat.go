@@ -1,0 +1,145 @@
+package gmath
+
+import "math"
+
+// Mat4 is a 4x4 float32 matrix stored in row-major order:
+// element (r, c) is M[r*4+c]. Vectors are treated as columns, so a point p
+// transforms as M.MulVec4(p).
+type Mat4 [16]float32
+
+// Identity returns the 4x4 identity matrix.
+func Identity() Mat4 {
+	return Mat4{
+		1, 0, 0, 0,
+		0, 1, 0, 0,
+		0, 0, 1, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// Mul returns the matrix product m * n.
+func (m Mat4) Mul(n Mat4) Mat4 {
+	var r Mat4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var s float32
+			for k := 0; k < 4; k++ {
+				s += m[i*4+k] * n[k*4+j]
+			}
+			r[i*4+j] = s
+		}
+	}
+	return r
+}
+
+// MulVec4 returns m * v.
+func (m Mat4) MulVec4(v Vec4) Vec4 {
+	return Vec4{
+		m[0]*v.X + m[1]*v.Y + m[2]*v.Z + m[3]*v.W,
+		m[4]*v.X + m[5]*v.Y + m[6]*v.Z + m[7]*v.W,
+		m[8]*v.X + m[9]*v.Y + m[10]*v.Z + m[11]*v.W,
+		m[12]*v.X + m[13]*v.Y + m[14]*v.Z + m[15]*v.W,
+	}
+}
+
+// MulPoint transforms the point p (w assumed 1) and returns the xyz of the
+// result without perspective division.
+func (m Mat4) MulPoint(p Vec3) Vec3 {
+	v := m.MulVec4(p.Vec4(1))
+	return v.Vec3()
+}
+
+// MulDir transforms the direction d (w assumed 0).
+func (m Mat4) MulDir(d Vec3) Vec3 {
+	v := m.MulVec4(d.Vec4(0))
+	return v.Vec3()
+}
+
+// Transpose returns the transpose of m.
+func (m Mat4) Transpose() Mat4 {
+	var r Mat4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			r[i*4+j] = m[j*4+i]
+		}
+	}
+	return r
+}
+
+// Row returns row r of m as a Vec4.
+func (m Mat4) Row(r int) Vec4 {
+	return Vec4{m[r*4], m[r*4+1], m[r*4+2], m[r*4+3]}
+}
+
+// Translate returns a translation matrix by (x, y, z).
+func Translate(x, y, z float32) Mat4 {
+	m := Identity()
+	m[3], m[7], m[11] = x, y, z
+	return m
+}
+
+// Scale3 returns a scaling matrix by (x, y, z).
+func Scale3(x, y, z float32) Mat4 {
+	m := Identity()
+	m[0], m[5], m[10] = x, y, z
+	return m
+}
+
+// RotateY returns a rotation matrix of angle radians about the Y axis.
+func RotateY(angle float32) Mat4 {
+	s := float32(math.Sin(float64(angle)))
+	c := float32(math.Cos(float64(angle)))
+	m := Identity()
+	m[0], m[2] = c, s
+	m[8], m[10] = -s, c
+	return m
+}
+
+// RotateX returns a rotation matrix of angle radians about the X axis.
+func RotateX(angle float32) Mat4 {
+	s := float32(math.Sin(float64(angle)))
+	c := float32(math.Cos(float64(angle)))
+	m := Identity()
+	m[5], m[6] = c, -s
+	m[9], m[10] = s, c
+	return m
+}
+
+// RotateZ returns a rotation matrix of angle radians about the Z axis.
+func RotateZ(angle float32) Mat4 {
+	s := float32(math.Sin(float64(angle)))
+	c := float32(math.Cos(float64(angle)))
+	m := Identity()
+	m[0], m[1] = c, -s
+	m[4], m[5] = s, c
+	return m
+}
+
+// Perspective returns an OpenGL-style perspective projection matrix.
+// fovy is the vertical field of view in radians, aspect = width/height,
+// and near/far are the positive distances to the clip planes.
+func Perspective(fovy, aspect, near, far float32) Mat4 {
+	f := float32(1 / math.Tan(float64(fovy)/2))
+	var m Mat4
+	m[0] = f / aspect
+	m[5] = f
+	m[10] = (far + near) / (near - far)
+	m[11] = 2 * far * near / (near - far)
+	m[14] = -1
+	return m
+}
+
+// LookAt returns a right-handed view matrix with the camera at eye looking
+// toward center with the given up vector.
+func LookAt(eye, center, up Vec3) Mat4 {
+	f := center.Sub(eye).Norm()
+	s := f.Cross(up.Norm()).Norm()
+	u := s.Cross(f)
+	m := Mat4{
+		s.X, s.Y, s.Z, -s.Dot(eye),
+		u.X, u.Y, u.Z, -u.Dot(eye),
+		-f.X, -f.Y, -f.Z, f.Dot(eye),
+		0, 0, 0, 1,
+	}
+	return m
+}

@@ -1,0 +1,180 @@
+// Package gmath provides the small linear-algebra kernel used by the
+// geometry pipeline and shader interpreter: 2/3/4-component float32
+// vectors, 4x4 matrices, projection and view transforms, frustum planes
+// and axis-aligned bounding boxes.
+//
+// All types are small value types; operations return new values and never
+// allocate. The conventions follow OpenGL: column vectors, right-handed
+// eye space, clip space with -w <= x,y,z <= w.
+package gmath
+
+import "math"
+
+// Vec2 is a 2-component float32 vector.
+type Vec2 struct{ X, Y float32 }
+
+// Vec3 is a 3-component float32 vector.
+type Vec3 struct{ X, Y, Z float32 }
+
+// Vec4 is a 4-component float32 vector (homogeneous position or RGBA color).
+type Vec4 struct{ X, Y, Z, W float32 }
+
+// V2 constructs a Vec2.
+func V2(x, y float32) Vec2 { return Vec2{x, y} }
+
+// V3 constructs a Vec3.
+func V3(x, y, z float32) Vec3 { return Vec3{x, y, z} }
+
+// V4 constructs a Vec4.
+func V4(x, y, z, w float32) Vec4 { return Vec4{x, y, z, w} }
+
+// Add returns v + u.
+func (v Vec2) Add(u Vec2) Vec2 { return Vec2{v.X + u.X, v.Y + u.Y} }
+
+// Sub returns v - u.
+func (v Vec2) Sub(u Vec2) Vec2 { return Vec2{v.X - u.X, v.Y - u.Y} }
+
+// Scale returns v * s.
+func (v Vec2) Scale(s float32) Vec2 { return Vec2{v.X * s, v.Y * s} }
+
+// Dot returns the dot product of v and u.
+func (v Vec2) Dot(u Vec2) float32 { return v.X*u.X + v.Y*u.Y }
+
+// Len returns the Euclidean length of v.
+func (v Vec2) Len() float32 { return float32(math.Sqrt(float64(v.Dot(v)))) }
+
+// Add returns v + u.
+func (v Vec3) Add(u Vec3) Vec3 { return Vec3{v.X + u.X, v.Y + u.Y, v.Z + u.Z} }
+
+// Sub returns v - u.
+func (v Vec3) Sub(u Vec3) Vec3 { return Vec3{v.X - u.X, v.Y - u.Y, v.Z - u.Z} }
+
+// Scale returns v * s.
+func (v Vec3) Scale(s float32) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Mul returns the component-wise product of v and u.
+func (v Vec3) Mul(u Vec3) Vec3 { return Vec3{v.X * u.X, v.Y * u.Y, v.Z * u.Z} }
+
+// Dot returns the dot product of v and u.
+func (v Vec3) Dot(u Vec3) float32 { return v.X*u.X + v.Y*u.Y + v.Z*u.Z }
+
+// Cross returns the cross product v x u.
+func (v Vec3) Cross(u Vec3) Vec3 {
+	return Vec3{
+		v.Y*u.Z - v.Z*u.Y,
+		v.Z*u.X - v.X*u.Z,
+		v.X*u.Y - v.Y*u.X,
+	}
+}
+
+// Len returns the Euclidean length of v.
+func (v Vec3) Len() float32 { return float32(math.Sqrt(float64(v.Dot(v)))) }
+
+// Norm returns v scaled to unit length. The zero vector is returned
+// unchanged.
+func (v Vec3) Norm() Vec3 {
+	l := v.Len()
+	if l == 0 {
+		return v
+	}
+	return v.Scale(1 / l)
+}
+
+// Vec4 returns v extended with the given w component.
+func (v Vec3) Vec4(w float32) Vec4 { return Vec4{v.X, v.Y, v.Z, w} }
+
+// Add returns v + u.
+func (v Vec4) Add(u Vec4) Vec4 {
+	return Vec4{v.X + u.X, v.Y + u.Y, v.Z + u.Z, v.W + u.W}
+}
+
+// Sub returns v - u.
+func (v Vec4) Sub(u Vec4) Vec4 {
+	return Vec4{v.X - u.X, v.Y - u.Y, v.Z - u.Z, v.W - u.W}
+}
+
+// Scale returns v * s.
+func (v Vec4) Scale(s float32) Vec4 {
+	return Vec4{v.X * s, v.Y * s, v.Z * s, v.W * s}
+}
+
+// Mul returns the component-wise product of v and u.
+func (v Vec4) Mul(u Vec4) Vec4 {
+	return Vec4{v.X * u.X, v.Y * u.Y, v.Z * u.Z, v.W * u.W}
+}
+
+// Dot returns the 4-component dot product of v and u.
+func (v Vec4) Dot(u Vec4) float32 {
+	return v.X*u.X + v.Y*u.Y + v.Z*u.Z + v.W*u.W
+}
+
+// Dot3 returns the dot product of the xyz parts of v and u.
+func (v Vec4) Dot3(u Vec4) float32 { return v.X*u.X + v.Y*u.Y + v.Z*u.Z }
+
+// Vec3 returns the xyz part of v.
+func (v Vec4) Vec3() Vec3 { return Vec3{v.X, v.Y, v.Z} }
+
+// Lerp returns v + t*(u-v), component-wise.
+func (v Vec4) Lerp(u Vec4, t float32) Vec4 {
+	return Vec4{
+		v.X + t*(u.X-v.X),
+		v.Y + t*(u.Y-v.Y),
+		v.Z + t*(u.Z-v.Z),
+		v.W + t*(u.W-v.W),
+	}
+}
+
+// Comp returns component i of v (0=X, 1=Y, 2=Z, 3=W).
+func (v Vec4) Comp(i int) float32 {
+	switch i {
+	case 0:
+		return v.X
+	case 1:
+		return v.Y
+	case 2:
+		return v.Z
+	default:
+		return v.W
+	}
+}
+
+// SetComp returns v with component i replaced by x.
+func (v Vec4) SetComp(i int, x float32) Vec4 {
+	switch i {
+	case 0:
+		v.X = x
+	case 1:
+		v.Y = x
+	case 2:
+		v.Z = x
+	default:
+		v.W = x
+	}
+	return v
+}
+
+// Clamp01 clamps every component of v to [0, 1].
+func (v Vec4) Clamp01() Vec4 {
+	return Vec4{clamp01(v.X), clamp01(v.Y), clamp01(v.Z), clamp01(v.W)}
+}
+
+func clamp01(x float32) float32 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Clamp returns x limited to the range [lo, hi].
+func Clamp(x, lo, hi float32) float32 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,291 @@
+// Package gpu assembles the full rendering pipeline — geometry,
+// rasterization, hierarchical Z, z & stencil, fragment shading with
+// texturing, and the color stage — into a GPU simulator that implements
+// the gfxapi.Backend interface, in the mould of the ATTILA simulator the
+// paper drives its microarchitectural measurements with (§II.B).
+//
+// The simulator is functional plus exact traffic accounting: every
+// statistic the paper reports (fragment counts, quad kill rates, cache
+// hit rates, per-stage memory traffic) is a count, not a latency, so no
+// cycle timing is modelled. The Table II rate parameters are kept in
+// Config for bandwidth projections.
+package gpu
+
+import (
+	"gpuchar/internal/cache"
+	"gpuchar/internal/fragment"
+	"gpuchar/internal/geom"
+	"gpuchar/internal/gfxapi"
+	"gpuchar/internal/gmath"
+	"gpuchar/internal/mem"
+	"gpuchar/internal/rast"
+	"gpuchar/internal/rop"
+	"gpuchar/internal/shader"
+	"gpuchar/internal/texture"
+	"gpuchar/internal/zst"
+)
+
+// Config is the simulated GPU configuration. R520Config reproduces the
+// paper's Table II.
+type Config struct {
+	Width, Height int
+
+	// Informational rate parameters (Table II).
+	UnifiedShaders    int
+	TrianglesPerCycle int
+	BilinearsPerCycle int
+	ZStencilRate      int
+	ColorRate         int
+	MemBytesPerCycle  int
+
+	// VertexCacheSize is the post-transform FIFO depth.
+	VertexCacheSize int
+
+	// Feature toggles for ablation studies.
+	HZ               bool
+	ZCompression     bool
+	ColorCompression bool
+	FastClear        bool
+}
+
+// R520Config returns the ATTILA configuration of Table II at the given
+// framebuffer size (the paper uses 1024x768).
+func R520Config(w, h int) Config {
+	return Config{
+		Width: w, Height: h,
+		UnifiedShaders:    16,
+		TrianglesPerCycle: 2,
+		BilinearsPerCycle: 16,
+		ZStencilRate:      16,
+		ColorRate:         16,
+		MemBytesPerCycle:  64,
+		VertexCacheSize:   geom.DefaultVertexCacheSize,
+		HZ:                true,
+		ZCompression:      true,
+		ColorCompression:  true,
+		FastClear:         true,
+	}
+}
+
+// FrameStats gathers every stage's per-frame counters — the raw data
+// for all the microarchitectural tables of the paper.
+type FrameStats struct {
+	Geom geom.Stats
+	Rast rast.Stats
+	ZSt  zst.Stats
+	Frag fragment.Stats
+	Rop  rop.Stats
+	Tex  texture.SampleStats
+
+	VCache     cache.Stats
+	ZCache     cache.Stats
+	TexL0      cache.Stats
+	TexL1      cache.Stats
+	ColorCache cache.Stats
+
+	VS shader.ExecStats
+	FS shader.ExecStats
+
+	Mem [mem.NumClients]mem.Traffic
+}
+
+// GPU is the pipeline simulator.
+type GPU struct {
+	Cfg Config
+	Mem *mem.Controller
+
+	vsMachine *shader.Machine
+	fsMachine *shader.Machine
+	geom      *geom.Pipeline
+	rast      *rast.Rasterizer
+	zbuf      *zst.Buffer
+	texUnit   *texture.Unit
+	frag      *fragment.Stage
+	target    *rop.Target
+
+	frames    []FrameStats
+	prev      FrameStats // cumulative snapshot at last frame boundary
+	geomAccum geom.Stats // geometry stats accumulated across draws
+}
+
+// New creates a GPU simulator with the given configuration.
+func New(cfg Config) *GPU {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		cfg.Width, cfg.Height = 1024, 768
+	}
+	if cfg.VertexCacheSize <= 0 {
+		cfg.VertexCacheSize = geom.DefaultVertexCacheSize
+	}
+	m := mem.NewController()
+	vs := shader.NewMachine()
+	fs := shader.NewMachine()
+	g := &GPU{
+		Cfg:       cfg,
+		Mem:       m,
+		vsMachine: vs,
+		fsMachine: fs,
+		geom:      geom.NewPipeline(vs, m),
+		rast:      rast.New(),
+		zbuf:      zst.NewBuffer(cfg.Width, cfg.Height, 0x0200_0000, m),
+		texUnit:   texture.NewUnit(m),
+		frag:      fragment.NewStage(fs),
+		target:    rop.NewTarget(cfg.Width, cfg.Height, 0x0400_0000, m),
+	}
+	g.geom.VCache = cache.NewVertexCache(cfg.VertexCacheSize)
+	g.fsMachine.Sampler = g.texUnit
+	g.zbuf.Compression = cfg.ZCompression
+	g.zbuf.FastClear = cfg.FastClear
+	g.target.Compression = cfg.ColorCompression
+	g.target.FastClear = cfg.FastClear
+	return g
+}
+
+// Target exposes the render target (for image inspection).
+func (g *GPU) Target() *rop.Target { return g.target }
+
+// ZBuffer exposes the depth/stencil buffer (for inspection).
+func (g *GPU) ZBuffer() *zst.Buffer { return g.zbuf }
+
+// Frames returns the completed per-frame statistics.
+func (g *GPU) Frames() []FrameStats { return g.frames }
+
+// cpBytesPerDraw approximates the command processor's fetch of one draw
+// packet (command header plus state deltas).
+const cpBytesPerDraw = 512
+
+// zeroColors feeds WriteQuad for quads that skip shading because their
+// color writes are masked off.
+var zeroColors [4]gmath.Vec4
+
+// Execute runs one draw call through the whole pipeline.
+func (g *GPU) Execute(dc *gfxapi.DrawCall) {
+	// Load the unified constant file into both shader stages.
+	g.vsMachine.Consts = dc.Consts
+	g.fsMachine.Consts = dc.Consts
+
+	// Bind textures.
+	for unit, b := range dc.State.Tex {
+		if b.Tex != nil {
+			g.texUnit.Bind(unit, b.Tex, b.State)
+		}
+	}
+
+	// Command processor fetch.
+	g.Mem.Read(mem.ClientCP, cpBytesPerDraw)
+
+	zstate := dc.State.Z
+	if !g.Cfg.HZ {
+		zstate.HZ = false
+	}
+	// Early z is legal when shading cannot change the outcome of the
+	// depth test: no KIL (ATTILA's alpha test) in the fragment program.
+	earlyZ := !dc.FS.UsesKill()
+
+	gcfg := geom.Config{
+		ViewportW: g.Cfg.Width, ViewportH: g.Cfg.Height, Cull: dc.State.Cull,
+	}
+	tris, gstats := g.geom.Draw(dc.VB, dc.IB, dc.Prim, dc.VS, gcfg)
+	g.geomAccum.Add(gstats)
+
+	rcfg := rast.Config{Width: g.Cfg.Width, Height: g.Cfg.Height}
+	ropState := dc.State.Rop
+	for i := range tris {
+		tri := &tris[i]
+		setup := rast.Setup(tri)
+		if setup == nil {
+			continue
+		}
+		g.rast.Rasterize(setup, rcfg, func(q *rast.Quad) {
+			g.processQuad(q, dc, &zstate, &ropState, earlyZ, tri.FrontFacing)
+		})
+	}
+}
+
+func (g *GPU) processQuad(q *rast.Quad, dc *gfxapi.DrawCall,
+	zstate *zst.State, ropState *rop.State, earlyZ, frontFacing bool) {
+
+	mask := q.Mask
+
+	// Hierarchical Z runs before shading regardless of early/late z.
+	if !g.zbuf.HZTestQuad(q, zstate) {
+		g.zbuf.RecordHZKill(q, mask)
+		return
+	}
+
+	if earlyZ {
+		mask = g.zbuf.TestQuad(q, mask, zstate, frontFacing)
+		if mask == 0 {
+			return
+		}
+		if ropState.MaskedOff() {
+			// Color writes are masked (z prepass, stencil volumes): the
+			// quad reaches the color stage without being shaded, where
+			// it is dropped — the paper's Table IX "Color Mask" bucket.
+			g.target.WriteQuad(q, mask, &zeroColors, ropState)
+			return
+		}
+		live, colors := g.frag.ShadeQuad(q, mask, dc.FS)
+		if live == 0 {
+			return
+		}
+		g.target.WriteQuad(q, live, colors, ropState)
+		return
+	}
+
+	// Late z: shade first (the program may kill), then test.
+	live, colors := g.frag.ShadeQuad(q, mask, dc.FS)
+	if live == 0 {
+		return
+	}
+	live = g.zbuf.TestQuad(q, live, zstate, frontFacing)
+	if live == 0 {
+		return
+	}
+	g.target.WriteQuad(q, live, colors, ropState)
+}
+
+// Clear fast-clears the requested buffers.
+func (g *GPU) Clear(op gfxapi.ClearOp) {
+	g.Mem.Read(mem.ClientCP, 64)
+	switch {
+	case op.ClearDepth:
+		g.zbuf.Clear(op.Z, op.Stencil)
+	case op.ClearStencil:
+		g.zbuf.ClearStencil(op.Stencil)
+	}
+	if op.ClearColor {
+		g.target.Clear(op.Color)
+	}
+}
+
+// EndFrame flushes caches, scans out the frame and snapshots per-frame
+// statistics.
+func (g *GPU) EndFrame() {
+	g.zbuf.FlushCache()
+	g.target.FlushCache()
+	g.target.ScanOut()
+
+	cur := g.cumulative()
+	g.frames = append(g.frames, diffStats(cur, g.prev))
+	g.prev = cur
+}
+
+// cumulative snapshots all stage counters since construction.
+func (g *GPU) cumulative() FrameStats {
+	return FrameStats{
+		Geom:       g.geomAccum,
+		Rast:       g.rast.Stats(),
+		ZSt:        g.zbuf.Stats(),
+		Frag:       g.frag.Stats(),
+		Rop:        g.target.Stats(),
+		Tex:        g.texUnit.Stats(),
+		VCache:     g.geom.VCache.Stats(),
+		ZCache:     g.zbuf.CacheStats(),
+		TexL0:      g.texUnit.L0Stats(),
+		TexL1:      g.texUnit.L1Stats(),
+		ColorCache: g.target.CacheStats(),
+		VS:         g.vsMachine.Stats(),
+		FS:         g.fsMachine.Stats(),
+		Mem:        g.Mem.Snapshot(),
+	}
+}

@@ -1,0 +1,375 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+
+	"gpuchar/internal/geom"
+	"gpuchar/internal/gfxapi"
+	"gpuchar/internal/gmath"
+	"gpuchar/internal/mem"
+	"gpuchar/internal/rop"
+	"gpuchar/internal/shader"
+	"gpuchar/internal/texture"
+	"gpuchar/internal/zst"
+)
+
+// newScene builds a device over a small GPU and returns both.
+func newScene(t *testing.T, w, h int) (*gfxapi.Device, *GPU) {
+	t.Helper()
+	cfg := R520Config(w, h)
+	g := New(cfg)
+	return gfxapi.NewDevice(gfxapi.OpenGL, g), g
+}
+
+// fullscreenQuadVB returns a clip-space quad as two triangles (CCW).
+func fullscreenQuadVB(d *gfxapi.Device, z float32) (*geom.VertexBuffer, *geom.IndexBuffer) {
+	pos := []gmath.Vec4{
+		{X: -1, Y: -1, Z: z, W: 1},
+		{X: 1, Y: -1, Z: z, W: 1},
+		{X: 1, Y: 1, Z: z, W: 1},
+		{X: -1, Y: 1, Z: z, W: 1},
+	}
+	uv := []gmath.Vec4{
+		{X: 0, Y: 0, W: 1}, {X: 1, Y: 0, W: 1}, {X: 1, Y: 1, W: 1}, {X: 0, Y: 1, W: 1},
+	}
+	col := []gmath.Vec4{
+		{X: 1, Y: 1, Z: 1, W: 1}, {X: 1, Y: 1, Z: 1, W: 1},
+		{X: 1, Y: 1, Z: 1, W: 1}, {X: 1, Y: 1, Z: 1, W: 1},
+	}
+	vb := d.CreateVertexBuffer([][]gmath.Vec4{pos, uv, col}, 48)
+	ib := d.CreateIndexBuffer([]uint32{0, 1, 2, 0, 2, 3}, 2)
+	return vb, ib
+}
+
+func identityMVP(d *gfxapi.Device) {
+	d.SetMatrix(0, gmath.Identity())
+}
+
+func TestRenderFullscreenQuad(t *testing.T) {
+	d, g := newScene(t, 64, 64)
+	identityMVP(d)
+	vb, ib := fullscreenQuadVB(d, 0)
+	vs, _ := d.CreateProgram(shader.BasicTransformVS())
+	fsProg, _ := d.CreateProgram(shader.MustAssemble("red", shader.FragmentProgram,
+		"mov o0, c8"))
+	d.SetConst(8, gmath.V4(1, 0, 0, 1))
+	d.Clear(gfxapi.ClearOp{ClearColor: true, ClearDepth: true, Z: 1})
+	d.DrawIndexed(vb, ib, geom.TriangleList, vs, fsProg)
+	d.EndFrame()
+
+	// Every pixel is red.
+	for _, p := range [][2]int{{0, 0}, {31, 31}, {63, 63}, {5, 60}} {
+		c := g.Target().At(p[0], p[1])
+		if c.X < 0.99 || c.Y > 0.01 {
+			t.Fatalf("pixel %v = %v, want red", p, c)
+		}
+	}
+	frames := g.Frames()
+	if len(frames) != 1 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+	f := frames[0]
+	if f.Rast.Fragments != 64*64 {
+		t.Errorf("rasterized fragments = %d, want 4096", f.Rast.Fragments)
+	}
+	if f.Geom.TrianglesTraversed != 2 {
+		t.Errorf("traversed = %d", f.Geom.TrianglesTraversed)
+	}
+	if f.Rop.Fragments != 64*64 {
+		t.Errorf("blended fragments = %d", f.Rop.Fragments)
+	}
+	// Depth was written everywhere.
+	if g.ZBuffer().DepthAt(10, 10) != 0.5 { // z=0 clip -> 0.5 window
+		t.Errorf("depth = %v", g.ZBuffer().DepthAt(10, 10))
+	}
+}
+
+func TestDepthOcclusionBetweenDraws(t *testing.T) {
+	d, g := newScene(t, 64, 64)
+	identityMVP(d)
+	vbNear, ibNear := fullscreenQuadVB(d, -0.5) // closer
+	vbFar, ibFar := fullscreenQuadVB(d, 0.5)    // farther
+	vs, _ := d.CreateProgram(shader.BasicTransformVS())
+	fsProg, _ := d.CreateProgram(shader.MustAssemble("flat", shader.FragmentProgram,
+		"mov o0, c8"))
+	d.Clear(gfxapi.ClearOp{ClearColor: true, ClearDepth: true, Z: 1})
+	// Near quad in green.
+	d.SetConst(8, gmath.V4(0, 1, 0, 1))
+	d.DrawIndexed(vbNear, ibNear, geom.TriangleList, vs, fsProg)
+	// Far quad in red: all fragments must fail z.
+	d.SetConst(8, gmath.V4(1, 0, 0, 1))
+	d.DrawIndexed(vbFar, ibFar, geom.TriangleList, vs, fsProg)
+	d.EndFrame()
+
+	if c := g.Target().At(32, 32); c.Y < 0.99 {
+		t.Fatalf("center = %v, want green", c)
+	}
+	f := g.Frames()[0]
+	killed := f.ZSt.QuadsKilledHZ + f.ZSt.QuadsKilled
+	if killed < 64*64/4/2 {
+		t.Errorf("killed quads = %d, want at least the far quad's %d",
+			killed, 64*64/4/2)
+	}
+	// HZ catches most of them once blocks are fully covered.
+	if f.ZSt.QuadsKilledHZ == 0 {
+		t.Error("HZ never killed anything")
+	}
+}
+
+func TestHZDisabledAblation(t *testing.T) {
+	cfg := R520Config(64, 64)
+	cfg.HZ = false
+	g := New(cfg)
+	d := gfxapi.NewDevice(gfxapi.OpenGL, g)
+	identityMVP(d)
+	vbNear, ibNear := fullscreenQuadVB(d, -0.5)
+	vbFar, ibFar := fullscreenQuadVB(d, 0.5)
+	vs, _ := d.CreateProgram(shader.BasicTransformVS())
+	fsProg, _ := d.CreateProgram(shader.MustAssemble("flat", shader.FragmentProgram, "mov o0, c8"))
+	d.Clear(gfxapi.ClearOp{ClearColor: true, ClearDepth: true, Z: 1})
+	d.DrawIndexed(vbNear, ibNear, geom.TriangleList, vs, fsProg)
+	d.DrawIndexed(vbFar, ibFar, geom.TriangleList, vs, fsProg)
+	d.EndFrame()
+	f := g.Frames()[0]
+	if f.ZSt.QuadsKilledHZ != 0 {
+		t.Errorf("HZ kills with HZ disabled = %d", f.ZSt.QuadsKilledHZ)
+	}
+	if f.ZSt.QuadsKilled == 0 {
+		t.Error("z test killed nothing")
+	}
+}
+
+func TestTexturedDraw(t *testing.T) {
+	d, g := newScene(t, 64, 64)
+	identityMVP(d)
+	vb, ib := fullscreenQuadVB(d, 0)
+	vs, _ := d.CreateProgram(shader.BasicTransformVS())
+	fsProg, _ := d.CreateProgram(shader.TexturedFS())
+	tex, err := d.CreateTexture(gfxapi.TextureSpec{
+		Name: "checker", Format: texture.FormatDXT1, W: 64, H: 64,
+		Kind: gfxapi.KindChecker, Cell: 32,
+		ColorA: texture.RGBA{R: 255, G: 255, B: 255, A: 255},
+		ColorB: texture.RGBA{A: 255},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.BindTexture(0, tex, texture.SamplerState{Filter: texture.FilterBilinear})
+	d.Clear(gfxapi.ClearOp{ClearColor: true, ClearDepth: true, Z: 1})
+	d.DrawIndexed(vb, ib, geom.TriangleList, vs, fsProg)
+	d.EndFrame()
+
+	f := g.Frames()[0]
+	// The sampler serves whole quads, so helper lanes on triangle edges
+	// also issue requests: exactly 4 per shaded quad.
+	if f.Tex.Requests != f.Frag.QuadsShaded*4 {
+		t.Errorf("texture requests = %d, want %d (4 per shaded quad)",
+			f.Tex.Requests, f.Frag.QuadsShaded*4)
+	}
+	if f.Tex.Requests < 64*64 {
+		t.Errorf("texture requests = %d, want >= 4096", f.Tex.Requests)
+	}
+	if f.Mem[mem.ClientTexture].ReadBytes == 0 {
+		t.Error("no texture memory traffic")
+	}
+	// The white cell is white, the black cell black (uv (0.2,0.2) is in
+	// the first 32x32 cell).
+	if c := g.Target().At(12, 12); c.X < 0.9 {
+		t.Errorf("white cell = %v", c)
+	}
+	if c := g.Target().At(44, 12); c.X > 0.1 {
+		t.Errorf("black cell = %v", c)
+	}
+}
+
+func TestAlphaKillPath(t *testing.T) {
+	d, g := newScene(t, 64, 64)
+	identityMVP(d)
+	vb, ib := fullscreenQuadVB(d, 0)
+	vs, _ := d.CreateProgram(shader.BasicTransformVS())
+	// Kill every fragment via constant alpha below the threshold.
+	fsProg, _ := d.CreateProgram(shader.MustAssemble("killall", shader.FragmentProgram, `
+		sub r0, c8, c9
+		kil r0
+		mov o0, c8
+	`))
+	d.SetConst(8, gmath.V4(0.2, 0.2, 0.2, 0.2))
+	d.SetConst(9, gmath.V4(0.5, 0.5, 0.5, 0.5))
+	d.Clear(gfxapi.ClearOp{ClearColor: true, ClearDepth: true, Z: 1})
+	d.DrawIndexed(vb, ib, geom.TriangleList, vs, fsProg)
+	d.EndFrame()
+	f := g.Frames()[0]
+	if f.Frag.QuadsKilledAlpha != f.Frag.QuadsShaded {
+		t.Errorf("alpha-killed %d of %d quads, want all",
+			f.Frag.QuadsKilledAlpha, f.Frag.QuadsShaded)
+	}
+	if f.Rop.QuadsIn != 0 {
+		t.Errorf("killed quads reached color stage: %d", f.Rop.QuadsIn)
+	}
+	// Late z: depth untouched because kill happens before the z write.
+	if g.ZBuffer().DepthAt(5, 5) != 1 {
+		t.Errorf("killed fragment wrote depth: %v", g.ZBuffer().DepthAt(5, 5))
+	}
+}
+
+func TestStencilShadowFrame(t *testing.T) {
+	// A miniature Doom3 frame: z prepass, stencil volume, lit pass.
+	d, g := newScene(t, 64, 64)
+	identityMVP(d)
+	vb, ib := fullscreenQuadVB(d, 0)
+	vs, _ := d.CreateProgram(shader.DepthOnlyVS())
+	vsFull, _ := d.CreateProgram(shader.BasicTransformVS())
+	fsFlat, _ := d.CreateProgram(shader.StencilVolumeFS())
+	fsLight, _ := d.CreateProgram(shader.MustAssemble("light", shader.FragmentProgram,
+		"mov o0, c8"))
+	d.SetConst(8, gmath.V4(1, 1, 0, 1))
+
+	d.Clear(gfxapi.ClearOp{ClearColor: true, ClearDepth: true, ClearStencil: true, Z: 1})
+
+	// 1. Depth prepass, color masked off.
+	maskOff := rop.State{}
+	d.SetRopState(maskOff)
+	d.DrawIndexed(vb, ib, geom.TriangleList, vs, fsFlat)
+
+	// 2. Shadow volume behind the geometry: stencil increments on z-fail.
+	volZ := zst.DefaultState()
+	volZ.ZWrite = false
+	volZ.StencilTest = true
+	volZ.StencilFunc = zst.CmpAlways
+	volZ.Back = zst.FaceOps{Fail: zst.OpKeep, ZFail: zst.OpIncr, ZPass: zst.OpKeep}
+	volZ.Front = zst.FaceOps{Fail: zst.OpKeep, ZFail: zst.OpIncr, ZPass: zst.OpKeep}
+	d.SetZState(volZ)
+	vbVol, ibVol := fullscreenQuadVB(d, 0.9) // behind the prepassed z=0.5
+	d.DrawIndexed(vbVol, ibVol, geom.TriangleList, vs, fsFlat)
+
+	// 3. Lighting pass where stencil == 0 (everything is 1 -> all fail).
+	lit := zst.DefaultState()
+	lit.ZFunc = zst.CmpEqual
+	lit.ZWrite = false
+	lit.StencilTest = true
+	lit.StencilFunc = zst.CmpEqual
+	lit.StencilRef = 0
+	d.SetZState(lit)
+	d.SetRopState(rop.AdditiveBlend())
+	d.DrawIndexed(vb, ib, geom.TriangleList, vsFull, fsLight)
+	d.EndFrame()
+
+	f := g.Frames()[0]
+	// The volume pass quads reached zst but never the color stage
+	// (masked) — and the lit pass was stencil-rejected.
+	if f.Rop.QuadsMasked == 0 {
+		t.Error("no color-masked quads recorded")
+	}
+	if c := g.Target().At(32, 32); c.X > 0.01 {
+		t.Errorf("shadowed pixel lit: %v", c)
+	}
+	// Stencil buffer holds 1 everywhere the volume z-failed.
+	if g.ZBuffer().StencilAt(32, 32) != 1 {
+		t.Errorf("stencil = %d, want 1", g.ZBuffer().StencilAt(32, 32))
+	}
+}
+
+func TestPerFrameStatsAreDeltas(t *testing.T) {
+	d, g := newScene(t, 32, 32)
+	identityMVP(d)
+	vb, ib := fullscreenQuadVB(d, 0)
+	vs, _ := d.CreateProgram(shader.BasicTransformVS())
+	fsProg, _ := d.CreateProgram(shader.MustAssemble("f", shader.FragmentProgram, "mov o0, v2"))
+	for frame := 0; frame < 3; frame++ {
+		d.Clear(gfxapi.ClearOp{ClearColor: true, ClearDepth: true, Z: 1})
+		d.DrawIndexed(vb, ib, geom.TriangleList, vs, fsProg)
+		d.EndFrame()
+	}
+	frames := g.Frames()
+	if len(frames) != 3 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+	for i, f := range frames {
+		if f.Rast.Fragments != 32*32 {
+			t.Errorf("frame %d fragments = %d, want 1024", i, f.Rast.Fragments)
+		}
+		if f.Geom.TrianglesAssembled != 2 {
+			t.Errorf("frame %d assembled = %d", i, f.Geom.TrianglesAssembled)
+		}
+	}
+}
+
+func TestMemoryClientsAllAccounted(t *testing.T) {
+	d, g := newScene(t, 64, 64)
+	identityMVP(d)
+	vb, ib := fullscreenQuadVB(d, 0)
+	vs, _ := d.CreateProgram(shader.BasicTransformVS())
+	fsProg, _ := d.CreateProgram(shader.TexturedFS())
+	tex, _ := d.CreateTexture(gfxapi.TextureSpec{
+		Name: "n", Format: texture.FormatDXT1, W: 256, H: 256,
+		Kind: gfxapi.KindNoise, Seed: 1,
+	})
+	d.BindTexture(0, tex, texture.SamplerState{Filter: texture.FilterTrilinear})
+	d.Clear(gfxapi.ClearOp{ClearColor: true, ClearDepth: true, Z: 1})
+	d.DrawIndexed(vb, ib, geom.TriangleList, vs, fsProg)
+	d.EndFrame()
+	f := g.Frames()[0]
+	for _, c := range []mem.Client{mem.ClientVertex, mem.ClientTexture,
+		mem.ClientDAC, mem.ClientCP} {
+		if f.Mem[c].Total() == 0 {
+			t.Errorf("client %v has no traffic", c)
+		}
+	}
+	// DAC reads exactly one frame.
+	if f.Mem[mem.ClientDAC].ReadBytes != 64*64*4 {
+		t.Errorf("DAC = %d", f.Mem[mem.ClientDAC].ReadBytes)
+	}
+}
+
+func TestR520ConfigMatchesTableII(t *testing.T) {
+	cfg := R520Config(1024, 768)
+	if cfg.UnifiedShaders != 16 || cfg.TrianglesPerCycle != 2 ||
+		cfg.BilinearsPerCycle != 16 || cfg.ZStencilRate != 16 ||
+		cfg.ColorRate != 16 || cfg.MemBytesPerCycle != 64 {
+		t.Errorf("config = %+v", cfg)
+	}
+}
+
+func TestDefaultDimensions(t *testing.T) {
+	g := New(Config{})
+	if g.Cfg.Width != 1024 || g.Cfg.Height != 768 {
+		t.Errorf("default dims = %dx%d", g.Cfg.Width, g.Cfg.Height)
+	}
+}
+
+func TestPerspectiveSceneOverdraw(t *testing.T) {
+	// Two walls at different depths drawn back to front: overdraw = 2 in
+	// covered areas; rasterized fragments accumulate across draws.
+	d, g := newScene(t, 64, 64)
+	proj := gmath.Perspective(float32(math.Pi/2), 1, 0.1, 100)
+	view := gmath.LookAt(gmath.V3(0, 0, 5), gmath.V3(0, 0, 0), gmath.V3(0, 1, 0))
+	d.SetMatrix(0, proj.Mul(view))
+	vs, _ := d.CreateProgram(shader.BasicTransformVS())
+	fsProg, _ := d.CreateProgram(shader.MustAssemble("f", shader.FragmentProgram, "mov o0, v2"))
+
+	mkWall := func(z, ext float32) (*geom.VertexBuffer, *geom.IndexBuffer) {
+		pos := []gmath.Vec4{
+			{X: -ext, Y: -ext, Z: z, W: 1}, {X: ext, Y: -ext, Z: z, W: 1},
+			{X: ext, Y: ext, Z: z, W: 1}, {X: -ext, Y: ext, Z: z, W: 1},
+		}
+		attr := make([]gmath.Vec4, 4)
+		vb := d.CreateVertexBuffer([][]gmath.Vec4{pos, attr, attr}, 48)
+		ib := d.CreateIndexBuffer([]uint32{0, 1, 2, 0, 2, 3}, 2)
+		return vb, ib
+	}
+	// With a 90-degree fov from z=5, a wall at depth z needs half-extent
+	// (5-z) to fill the frame.
+	farVB, farIB := mkWall(-10, 20)
+	nearVB, nearIB := mkWall(-2, 10)
+	d.Clear(gfxapi.ClearOp{ClearColor: true, ClearDepth: true, Z: 1})
+	d.DrawIndexed(farVB, farIB, geom.TriangleList, vs, fsProg)
+	d.DrawIndexed(nearVB, nearIB, geom.TriangleList, vs, fsProg)
+	d.EndFrame()
+	f := g.Frames()[0]
+	// Both walls cover the full screen: raster overdraw = 2.
+	overdraw := float64(f.Rast.Fragments) / float64(64*64)
+	if overdraw < 1.9 || overdraw > 2.1 {
+		t.Errorf("raster overdraw = %v, want ~2", overdraw)
+	}
+}

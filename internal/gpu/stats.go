@@ -1,0 +1,124 @@
+package gpu
+
+import (
+	"gpuchar/internal/cache"
+	"gpuchar/internal/fragment"
+	"gpuchar/internal/geom"
+	"gpuchar/internal/mem"
+	"gpuchar/internal/rast"
+	"gpuchar/internal/rop"
+	"gpuchar/internal/shader"
+	"gpuchar/internal/texture"
+	"gpuchar/internal/zst"
+)
+
+// diffStats subtracts two cumulative snapshots to produce one frame's
+// activity.
+func diffStats(now, before FrameStats) FrameStats {
+	return FrameStats{
+		Geom: geom.Stats{
+			Indices:            now.Geom.Indices - before.Geom.Indices,
+			VerticesShaded:     now.Geom.VerticesShaded - before.Geom.VerticesShaded,
+			TrianglesAssembled: now.Geom.TrianglesAssembled - before.Geom.TrianglesAssembled,
+			TrianglesClipped:   now.Geom.TrianglesClipped - before.Geom.TrianglesClipped,
+			TrianglesCulled:    now.Geom.TrianglesCulled - before.Geom.TrianglesCulled,
+			TrianglesTraversed: now.Geom.TrianglesTraversed - before.Geom.TrianglesTraversed,
+		},
+		Rast: rast.Stats{
+			TrianglesSetup: now.Rast.TrianglesSetup - before.Rast.TrianglesSetup,
+			QuadsEmitted:   now.Rast.QuadsEmitted - before.Rast.QuadsEmitted,
+			Fragments:      now.Rast.Fragments - before.Rast.Fragments,
+			CompleteQuads:  now.Rast.CompleteQuads - before.Rast.CompleteQuads,
+		},
+		ZSt: zst.Stats{
+			QuadsIn:          now.ZSt.QuadsIn - before.ZSt.QuadsIn,
+			QuadsKilledHZ:    now.ZSt.QuadsKilledHZ - before.ZSt.QuadsKilledHZ,
+			QuadsKilled:      now.ZSt.QuadsKilled - before.ZSt.QuadsKilled,
+			QuadsOut:         now.ZSt.QuadsOut - before.ZSt.QuadsOut,
+			CompleteOut:      now.ZSt.CompleteOut - before.ZSt.CompleteOut,
+			FragmentsIn:      now.ZSt.FragmentsIn - before.ZSt.FragmentsIn,
+			FragmentsOut:     now.ZSt.FragmentsOut - before.ZSt.FragmentsOut,
+			ZKilledFragments: now.ZSt.ZKilledFragments - before.ZSt.ZKilledFragments,
+		},
+		Frag: fragment.Stats{
+			QuadsIn:          now.Frag.QuadsIn - before.Frag.QuadsIn,
+			QuadsShaded:      now.Frag.QuadsShaded - before.Frag.QuadsShaded,
+			QuadsKilledAlpha: now.Frag.QuadsKilledAlpha - before.Frag.QuadsKilledAlpha,
+			FragmentsShaded:  now.Frag.FragmentsShaded - before.Frag.FragmentsShaded,
+			FragmentsKilled:  now.Frag.FragmentsKilled - before.Frag.FragmentsKilled,
+			QuadsOut:         now.Frag.QuadsOut - before.Frag.QuadsOut,
+			CompleteOut:      now.Frag.CompleteOut - before.Frag.CompleteOut,
+		},
+		Rop: rop.Stats{
+			QuadsIn:     now.Rop.QuadsIn - before.Rop.QuadsIn,
+			QuadsMasked: now.Rop.QuadsMasked - before.Rop.QuadsMasked,
+			QuadsOut:    now.Rop.QuadsOut - before.Rop.QuadsOut,
+			Fragments:   now.Rop.Fragments - before.Rop.Fragments,
+		},
+		Tex: texture.SampleStats{
+			Requests:        now.Tex.Requests - before.Tex.Requests,
+			BilinearSamples: now.Tex.BilinearSamples - before.Tex.BilinearSamples,
+			TexelFetches:    now.Tex.TexelFetches - before.Tex.TexelFetches,
+		},
+
+		VCache:     subCache(now.VCache, before.VCache),
+		ZCache:     subCache(now.ZCache, before.ZCache),
+		TexL0:      subCache(now.TexL0, before.TexL0),
+		TexL1:      subCache(now.TexL1, before.TexL1),
+		ColorCache: subCache(now.ColorCache, before.ColorCache),
+
+		VS:  subExec(now.VS, before.VS),
+		FS:  subExec(now.FS, before.FS),
+		Mem: mem.Delta(now.Mem, before.Mem),
+	}
+}
+
+func subCache(a, b cache.Stats) cache.Stats {
+	return cache.Stats{
+		Hits:           a.Hits - b.Hits,
+		Misses:         a.Misses - b.Misses,
+		FillBytes:      a.FillBytes - b.FillBytes,
+		WritebackBytes: a.WritebackBytes - b.WritebackBytes,
+	}
+}
+
+func subExec(a, b shader.ExecStats) shader.ExecStats {
+	return shader.ExecStats{
+		Invocations:     a.Invocations - b.Invocations,
+		Instructions:    a.Instructions - b.Instructions,
+		TexInstructions: a.TexInstructions - b.TexInstructions,
+		Kills:           a.Kills - b.Kills,
+	}
+}
+
+// Accumulate adds b's counters into a — used to aggregate per-frame
+// statistics over a run.
+func (a *FrameStats) Accumulate(b FrameStats) {
+	a.Geom.Add(b.Geom)
+	a.Rast.Add(b.Rast)
+	a.ZSt.Add(b.ZSt)
+	a.Frag.Add(b.Frag)
+	a.Rop.Add(b.Rop)
+	a.Tex.Requests += b.Tex.Requests
+	a.Tex.BilinearSamples += b.Tex.BilinearSamples
+	a.Tex.TexelFetches += b.Tex.TexelFetches
+	a.VCache = addCache(a.VCache, b.VCache)
+	a.ZCache = addCache(a.ZCache, b.ZCache)
+	a.TexL0 = addCache(a.TexL0, b.TexL0)
+	a.TexL1 = addCache(a.TexL1, b.TexL1)
+	a.ColorCache = addCache(a.ColorCache, b.ColorCache)
+	a.VS.Add(b.VS)
+	a.FS.Add(b.FS)
+	for c := 0; c < int(mem.NumClients); c++ {
+		a.Mem[c].Add(b.Mem[c])
+	}
+}
+
+func addCache(a, b cache.Stats) cache.Stats {
+	return cache.Stats{
+		Hits:           a.Hits + b.Hits,
+		Misses:         a.Misses + b.Misses,
+		FillBytes:      a.FillBytes + b.FillBytes,
+		WritebackBytes: a.WritebackBytes + b.WritebackBytes,
+	}
+}

@@ -1,0 +1,39 @@
+package mem
+
+// BusSpec describes a CPU-to-GPU system bus, reproducing the reference
+// data of the paper's Table VI. The paper uses these figures to argue that
+// index traffic (well under 1 GB/s) never saturates the host bus, which
+// explains why developers prefer triangle lists over strips.
+type BusSpec struct {
+	Name string
+	// WidthBits is the link width in bits (PCIe lanes are serial).
+	WidthBits int
+	// ClockDesc describes the signalling rate, as printed in the paper.
+	ClockDesc string
+	// BandwidthBytes is the usable bandwidth in bytes per second.
+	BandwidthBytes int64
+}
+
+// GB is one decimal gigabyte, the unit Table VI uses.
+const GB = 1000 * 1000 * 1000
+
+// SystemBuses returns the Table VI reference rows. PCI Express figures
+// account for the 10 bits/byte (8b/10b) encoding of the serial links.
+func SystemBuses() []BusSpec {
+	return []BusSpec{
+		{Name: "AGP 4X", WidthBits: 32, ClockDesc: "66x4 MHz", BandwidthBytes: 1056 * GB / 1000},
+		{Name: "AGP 8X", WidthBits: 32, ClockDesc: "66x8 MHz", BandwidthBytes: 2112 * GB / 1000},
+		{Name: "PCI Express x4 lanes", WidthBits: 1, ClockDesc: "2.5 Gbaud x 4", BandwidthBytes: 1 * GB},
+		{Name: "PCI Express x8 lanes", WidthBits: 1, ClockDesc: "2.5 Gbaud x 8", BandwidthBytes: 2 * GB},
+		{Name: "PCI Express x16 lanes", WidthBits: 1, ClockDesc: "2.5 Gbaud x 16", BandwidthBytes: 4 * GB},
+	}
+}
+
+// PCIeBandwidth returns the usable bandwidth of a PCIe 1.x link with the
+// given lane count: 2.5 Gbaud per lane with 8b/10b encoding gives
+// 250 MB/s per lane.
+func PCIeBandwidth(lanes int) int64 {
+	const baudPerLane = 2_500_000_000 // 2.5 Gbaud
+	const bitsPerByte = 10            // 8b/10b encoding
+	return int64(lanes) * baudPerLane / bitsPerByte
+}

@@ -1,0 +1,128 @@
+// Package mem models the GPU memory subsystem at the traffic level: every
+// pipeline stage that touches GDDR registers its reads and writes against
+// a named client, and the controller aggregates per-frame totals, the
+// read/write split and the per-stage distribution reported in the paper's
+// Tables XV and XVI.
+//
+// The model is bandwidth-accounting only. The paper's memory results
+// (MB/frame, traffic split, bytes per vertex/fragment) are pure byte
+// counts, so no timing model is needed; the R520-style peak rate is kept
+// to express results as "GB/s at N fps" like the paper does.
+package mem
+
+import "fmt"
+
+// Client identifies a memory traffic source, matching the stage breakdown
+// of the paper's Table XVI.
+type Client int
+
+// Memory clients in the order the paper reports them.
+const (
+	ClientVertex   Client = iota // index + vertex attribute fetch
+	ClientZStencil               // z & stencil buffer traffic
+	ClientTexture                // texture sampling
+	ClientColor                  // color buffer read-modify-write
+	ClientDAC                    // display scan-out
+	ClientCP                     // command processor
+	NumClients
+)
+
+var clientNames = [NumClients]string{
+	"Vertex", "Z&Stencil", "Texture", "Color", "DAC", "CP",
+}
+
+// String returns the stage name used in the paper's tables.
+func (c Client) String() string {
+	if c < 0 || c >= NumClients {
+		return fmt.Sprintf("Client(%d)", int(c))
+	}
+	return clientNames[c]
+}
+
+// Traffic is a read/write byte pair.
+type Traffic struct {
+	ReadBytes  int64
+	WriteBytes int64
+}
+
+// Total returns read + write bytes.
+func (t Traffic) Total() int64 { return t.ReadBytes + t.WriteBytes }
+
+// Add accumulates other into t.
+func (t *Traffic) Add(o Traffic) {
+	t.ReadBytes += o.ReadBytes
+	t.WriteBytes += o.WriteBytes
+}
+
+// Controller accumulates per-client memory traffic.
+type Controller struct {
+	perClient [NumClients]Traffic
+	// BytesPerCycle is the peak GDDR transfer rate (Table II: 64 B/cycle
+	// for the R520-like configuration).
+	BytesPerCycle int
+}
+
+// NewController returns a controller with the R520-like 64 bytes/cycle
+// peak rate.
+func NewController() *Controller {
+	return &Controller{BytesPerCycle: 64}
+}
+
+// Read records n bytes read from memory by client c.
+func (m *Controller) Read(c Client, n int64) { m.perClient[c].ReadBytes += n }
+
+// Write records n bytes written to memory by client c.
+func (m *Controller) Write(c Client, n int64) { m.perClient[c].WriteBytes += n }
+
+// ClientTraffic returns the accumulated traffic for one client.
+func (m *Controller) ClientTraffic(c Client) Traffic { return m.perClient[c] }
+
+// Total returns the traffic summed over all clients.
+func (m *Controller) Total() Traffic {
+	var t Traffic
+	for c := Client(0); c < NumClients; c++ {
+		t.Add(m.perClient[c])
+	}
+	return t
+}
+
+// Snapshot captures the current per-client totals.
+func (m *Controller) Snapshot() [NumClients]Traffic { return m.perClient }
+
+// Reset zeroes all counters (typically at frame boundaries).
+func (m *Controller) Reset() { m.perClient = [NumClients]Traffic{} }
+
+// Delta returns the traffic accumulated since an earlier snapshot.
+func Delta(now, before [NumClients]Traffic) [NumClients]Traffic {
+	var d [NumClients]Traffic
+	for c := 0; c < int(NumClients); c++ {
+		d[c] = Traffic{
+			ReadBytes:  now[c].ReadBytes - before[c].ReadBytes,
+			WriteBytes: now[c].WriteBytes - before[c].WriteBytes,
+		}
+	}
+	return d
+}
+
+// SumTraffic totals a per-client traffic array.
+func SumTraffic(t [NumClients]Traffic) Traffic {
+	var s Traffic
+	for c := 0; c < int(NumClients); c++ {
+		s.Add(t[c])
+	}
+	return s
+}
+
+// BWAtFPS converts bytes-per-frame into bytes-per-second at the given
+// frame rate, the projection the paper uses for its "BW @100fps" columns.
+func BWAtFPS(bytesPerFrame float64, fps float64) float64 {
+	return bytesPerFrame * fps
+}
+
+// MB expresses bytes as binary megabytes (the unit of Table XV).
+func MB(bytes float64) float64 { return bytes / (1024 * 1024) }
+
+// GBs expresses bytes/second as binary gigabytes per second.
+func GBs(bytesPerSecond float64) float64 {
+	return bytesPerSecond / (1024 * 1024 * 1024)
+}

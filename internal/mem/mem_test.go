@@ -1,0 +1,156 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClientString(t *testing.T) {
+	want := map[Client]string{
+		ClientVertex:   "Vertex",
+		ClientZStencil: "Z&Stencil",
+		ClientTexture:  "Texture",
+		ClientColor:    "Color",
+		ClientDAC:      "DAC",
+		ClientCP:       "CP",
+	}
+	for c, name := range want {
+		if c.String() != name {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), name)
+		}
+	}
+	if Client(99).String() != "Client(99)" {
+		t.Errorf("out-of-range String = %q", Client(99).String())
+	}
+}
+
+func TestControllerAccounting(t *testing.T) {
+	m := NewController()
+	m.Read(ClientTexture, 100)
+	m.Write(ClientColor, 50)
+	m.Read(ClientTexture, 28)
+	if got := m.ClientTraffic(ClientTexture).ReadBytes; got != 128 {
+		t.Errorf("texture reads = %d", got)
+	}
+	if got := m.ClientTraffic(ClientColor).WriteBytes; got != 50 {
+		t.Errorf("color writes = %d", got)
+	}
+	total := m.Total()
+	if total.ReadBytes != 128 || total.WriteBytes != 50 || total.Total() != 178 {
+		t.Errorf("total = %+v", total)
+	}
+}
+
+func TestControllerReset(t *testing.T) {
+	m := NewController()
+	m.Read(ClientDAC, 1000)
+	m.Reset()
+	if m.Total().Total() != 0 {
+		t.Error("Reset did not clear counters")
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	m := NewController()
+	m.Read(ClientVertex, 10)
+	before := m.Snapshot()
+	m.Read(ClientVertex, 5)
+	m.Write(ClientZStencil, 7)
+	d := Delta(m.Snapshot(), before)
+	if d[ClientVertex].ReadBytes != 5 {
+		t.Errorf("vertex delta = %+v", d[ClientVertex])
+	}
+	if d[ClientZStencil].WriteBytes != 7 {
+		t.Errorf("zst delta = %+v", d[ClientZStencil])
+	}
+	if s := SumTraffic(d); s.Total() != 12 {
+		t.Errorf("sum = %+v", s)
+	}
+}
+
+func TestBWAtFPS(t *testing.T) {
+	// 81 MB/frame at 100 fps should be ~7.9 GB/s, which the paper rounds
+	// to 8 GB/s for UT2004 in Table XV.
+	perFrame := 81.0 * 1024 * 1024
+	gbs := GBs(BWAtFPS(perFrame, 100))
+	if gbs < 7.8 || gbs > 8.0 {
+		t.Errorf("UT2004 projection = %v GB/s, want ~7.9", gbs)
+	}
+}
+
+func TestUnits(t *testing.T) {
+	if MB(1024*1024) != 1 {
+		t.Errorf("MB(1MiB) = %v", MB(1024*1024))
+	}
+	if GBs(1024*1024*1024) != 1 {
+		t.Errorf("GBs(1GiB/s) = %v", GBs(1024*1024*1024))
+	}
+}
+
+func TestSystemBuses(t *testing.T) {
+	buses := SystemBuses()
+	if len(buses) != 5 {
+		t.Fatalf("bus count = %d", len(buses))
+	}
+	// Table VI: AGP 8X = 2.112 GB/s, PCIe x16 = 4 GB/s.
+	byName := map[string]int64{}
+	for _, b := range buses {
+		byName[b.Name] = b.BandwidthBytes
+	}
+	if byName["AGP 8X"] != 2112*GB/1000 {
+		t.Errorf("AGP 8X = %d", byName["AGP 8X"])
+	}
+	if byName["PCI Express x16 lanes"] != 4*GB {
+		t.Errorf("PCIe x16 = %d", byName["PCI Express x16 lanes"])
+	}
+}
+
+func TestPCIeBandwidth(t *testing.T) {
+	// 250 MB/s per lane after 8b/10b.
+	if got := PCIeBandwidth(1); got != 250_000_000 {
+		t.Errorf("1 lane = %d", got)
+	}
+	if got := PCIeBandwidth(16); got != 4*GB {
+		t.Errorf("16 lanes = %d, want 4GB", got)
+	}
+	// Table VI consistency.
+	for _, b := range SystemBuses() {
+		switch b.Name {
+		case "PCI Express x4 lanes":
+			if PCIeBandwidth(4) != b.BandwidthBytes {
+				t.Errorf("x4 mismatch: %d vs %d", PCIeBandwidth(4), b.BandwidthBytes)
+			}
+		case "PCI Express x8 lanes":
+			if PCIeBandwidth(8) != b.BandwidthBytes {
+				t.Errorf("x8 mismatch")
+			}
+		}
+	}
+}
+
+// Property: controller totals equal the sum of what was fed in.
+func TestQuickControllerConservation(t *testing.T) {
+	f := func(ops []struct {
+		C     uint8
+		N     uint16
+		Write bool
+	}) bool {
+		m := NewController()
+		var wantR, wantW int64
+		for _, op := range ops {
+			c := Client(int(op.C) % int(NumClients))
+			if op.Write {
+				m.Write(c, int64(op.N))
+				wantW += int64(op.N)
+			} else {
+				m.Read(c, int64(op.N))
+				wantR += int64(op.N)
+			}
+		}
+		tot := m.Total()
+		return tot.ReadBytes == wantR && tot.WriteBytes == wantW
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package report renders characterization results: ASCII tables in the
+// layout of the paper's tables, and CSV series for its figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"gpuchar/internal/stats"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	ID      string // experiment id, e.g. "table7"
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends one row; cells beyond the header count are kept.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table in aligned ASCII form.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s — %s\n", strings.ToUpper(t.ID), t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(w, "| %-*s ", widths[i], c)
+			} else {
+				fmt.Fprintf(w, "| %s ", c)
+			}
+		}
+		fmt.Fprintln(w, "|")
+	}
+	line(t.Headers)
+	total := 1
+	for _, wd := range widths {
+		total += wd + 3
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// Markdown writes the table as GitHub-flavoured markdown.
+func (t *Table) Markdown(w io.Writer) {
+	fmt.Fprintf(w, "### %s — %s\n\n", strings.ToUpper(t.ID), t.Title)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Headers, " | "))
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n*%s*\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Figure is a set of per-frame series sharing an x axis (frame number).
+type Figure struct {
+	ID     string
+	Title  string
+	YLabel string
+	Series []*stats.Series
+}
+
+// RenderCSV writes the figure as CSV: frame, series1, series2, ...
+func (f *Figure) RenderCSV(w io.Writer) {
+	fmt.Fprintf(w, "# %s — %s (%s)\n", strings.ToUpper(f.ID), f.Title, f.YLabel)
+	fmt.Fprint(w, "frame")
+	maxLen := 0
+	for _, s := range f.Series {
+		fmt.Fprintf(w, ",%s", strings.ReplaceAll(s.Name, ",", ";"))
+		if s.Len() > maxLen {
+			maxLen = s.Len()
+		}
+	}
+	fmt.Fprintln(w)
+	for i := 0; i < maxLen; i++ {
+		fmt.Fprintf(w, "%d", i+1)
+		for _, s := range f.Series {
+			if i < s.Len() {
+				fmt.Fprintf(w, ",%g", s.Values[i])
+			} else {
+				fmt.Fprint(w, ",")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Summary prints per-series min/mean/max, the quick-look form of a
+// figure.
+func (f *Figure) Summary(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s (%s)\n", strings.ToUpper(f.ID), f.Title, f.YLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, "  %-28s frames=%-5d min=%-10.4g mean=%-10.4g max=%-10.4g %s\n",
+			s.Name, s.Len(), s.Min(), s.Mean(), s.Max(), Sparkline(s, 32))
+	}
+}
+
+// F formats a float compactly for table cells.
+func F(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// Pct formats a percentage cell.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// PaperVs formats a "measured (paper X)" comparison cell.
+func PaperVs(measured, paper float64) string {
+	return fmt.Sprintf("%s (paper %s)", F(measured), F(paper))
+}
+
+// Sparkline renders a series as a compact unicode sparkline, the
+// terminal-friendly stand-in for the paper's per-frame plots.
+func Sparkline(s *stats.Series, width int) string {
+	if s.Len() == 0 || width < 1 {
+		return ""
+	}
+	ticks := []rune("▁▂▃▄▅▆▇█")
+	min, max := s.Min(), s.Max()
+	span := max - min
+	out := make([]rune, 0, width)
+	for i := 0; i < width; i++ {
+		// Average the bucket of frames mapping to this column.
+		lo := i * s.Len() / width
+		hi := (i + 1) * s.Len() / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var sum float64
+		for _, v := range s.Values[lo:minInt(hi, s.Len())] {
+			sum += v
+		}
+		v := sum / float64(minInt(hi, s.Len())-lo)
+		idx := 0
+		if span > 0 {
+			idx = int((v - min) / span * float64(len(ticks)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ticks) {
+			idx = len(ticks) - 1
+		}
+		out = append(out, ticks[idx])
+	}
+	return string(out)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,152 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gpuchar/internal/stats"
+)
+
+func sampleTable() *Table {
+	t := &Table{
+		ID: "table9", Title: "Quad kills",
+		Headers: []string{"Demo", "HZ", "Blend"},
+	}
+	t.AddRow("UT2004", "37.5%", "55.9%")
+	t.AddRow("Doom3", "34.0%", "17.7%")
+	t.Notes = append(t.Notes, "percentages of rasterized quads")
+	return t
+}
+
+func TestTableRender(t *testing.T) {
+	var buf bytes.Buffer
+	sampleTable().Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"TABLE9", "Quad kills", "UT2004", "37.5%",
+		"note: percentages"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Column alignment: every data line has the same number of pipes.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	pipeCount := strings.Count(lines[1], "|")
+	for _, ln := range lines[1:4] {
+		if strings.HasPrefix(ln, "-") {
+			continue
+		}
+		if strings.Count(ln, "|") != pipeCount {
+			t.Errorf("misaligned row %q", ln)
+		}
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	sampleTable().Markdown(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "### TABLE9") {
+		t.Error("markdown missing header")
+	}
+	if !strings.Contains(out, "| --- | --- | --- |") {
+		t.Error("markdown missing separator row")
+	}
+	if !strings.Contains(out, "| Doom3 | 34.0% | 17.7% |") {
+		t.Error("markdown missing data row")
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	s1 := stats.NewSeries("a")
+	s1.Append(1)
+	s1.Append(2)
+	s2 := stats.NewSeries("b,with comma")
+	s2.Append(10)
+	fig := &Figure{ID: "fig1", Title: "Batches", YLabel: "#", Series: []*stats.Series{s1, s2}}
+	var buf bytes.Buffer
+	fig.RenderCSV(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // comment, header, 2 rows
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out)
+	}
+	if lines[1] != "frame,a,b;with comma" {
+		t.Errorf("header = %q (commas must be escaped)", lines[1])
+	}
+	if lines[2] != "1,1,10" {
+		t.Errorf("row 1 = %q", lines[2])
+	}
+	// Shorter series pad with empty cells.
+	if lines[3] != "2,2," {
+		t.Errorf("row 2 = %q", lines[3])
+	}
+}
+
+func TestFigureSummary(t *testing.T) {
+	s := stats.NewSeries("x")
+	for _, v := range []float64{1, 5, 3} {
+		s.Append(v)
+	}
+	fig := &Figure{ID: "fig2", Title: "T", YLabel: "y", Series: []*stats.Series{s}}
+	var buf bytes.Buffer
+	fig.Summary(&buf)
+	out := buf.String()
+	for _, want := range []string{"FIG2", "min=1", "mean=3", "max=5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"}, {0.123, "0.12"}, {9.87, "9.87"}, {42.4, "42.4"}, {1234.5, "1234"},
+	}
+	for _, c := range cases {
+		if got := F(c.v); got != c.want {
+			t.Errorf("F(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+	if Pct(12.34) != "12.3%" {
+		t.Errorf("Pct = %q", Pct(12.34))
+	}
+	if PaperVs(1.5, 2.5) != "1.50 (paper 2.50)" {
+		t.Errorf("PaperVs = %q", PaperVs(1.5, 2.5))
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := stats.NewSeries("x")
+	for i := 0; i < 64; i++ {
+		s.Append(float64(i))
+	}
+	sp := Sparkline(s, 8)
+	if len([]rune(sp)) != 8 {
+		t.Fatalf("sparkline runes = %d", len([]rune(sp)))
+	}
+	runes := []rune(sp)
+	if runes[0] != '▁' {
+		t.Errorf("ramp should start at the lowest tick: %q", sp)
+	}
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Errorf("ramp sparkline not monotone: %q", sp)
+		}
+	}
+	// Flat series renders the lowest tick everywhere.
+	flat := stats.NewSeries("f")
+	flat.Append(5)
+	flat.Append(5)
+	for _, r := range Sparkline(flat, 4) {
+		if r != '▁' {
+			t.Errorf("flat sparkline = %q", Sparkline(flat, 4))
+		}
+	}
+	if Sparkline(stats.NewSeries("e"), 4) != "" {
+		t.Error("empty series should render empty")
+	}
+}

@@ -1,0 +1,349 @@
+// Package rop implements the raster output stage: alpha blending, the
+// color write mask, and the color buffer with its cache, fast clear and
+// same-color block compression.
+//
+// The stage produces the color-mask and blending quad percentages of the
+// paper's Table IX (Doom3/Quake4 send huge numbers of stencil-only quads
+// whose color writes are masked off) and the color traffic of Tables
+// XV-XVII, where the same-color compressor only pays off in games with
+// large flat (shadowed) regions.
+package rop
+
+import (
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+
+	"gpuchar/internal/cache"
+	"gpuchar/internal/gmath"
+	"gpuchar/internal/mem"
+	"gpuchar/internal/rast"
+)
+
+// BlendFactor scales a blend operand.
+type BlendFactor uint8
+
+// Blend factors (OpenGL semantics).
+const (
+	FactorZero BlendFactor = iota
+	FactorOne
+	FactorSrcAlpha
+	FactorOneMinusSrcAlpha
+	FactorDstColor
+	FactorSrcColor
+)
+
+// State is the color stage configuration for one draw.
+type State struct {
+	// Blend enables src*SrcFactor + dst*DstFactor combining; when off
+	// the source color replaces the destination.
+	Blend     bool
+	SrcFactor BlendFactor
+	DstFactor BlendFactor
+	// WriteMask enables the R, G, B, A channels. All-false turns the
+	// draw into a no-color-update pass (stencil volumes, z prepass).
+	WriteMask [4]bool
+}
+
+// DefaultState returns opaque rendering with all channels enabled.
+func DefaultState() State {
+	return State{WriteMask: [4]bool{true, true, true, true}}
+}
+
+// AdditiveBlend returns the src*1 + dst*1 state used by multipass
+// lighting.
+func AdditiveBlend() State {
+	return State{
+		Blend: true, SrcFactor: FactorOne, DstFactor: FactorOne,
+		WriteMask: [4]bool{true, true, true, true},
+	}
+}
+
+// AlphaBlend returns standard transparency blending.
+func AlphaBlend() State {
+	return State{
+		Blend: true, SrcFactor: FactorSrcAlpha, DstFactor: FactorOneMinusSrcAlpha,
+		WriteMask: [4]bool{true, true, true, true},
+	}
+}
+
+// MaskedOff reports whether every channel is disabled.
+func (s *State) MaskedOff() bool {
+	return !s.WriteMask[0] && !s.WriteMask[1] && !s.WriteMask[2] && !s.WriteMask[3]
+}
+
+// Stats accumulates color-stage activity.
+type Stats struct {
+	QuadsIn     int64
+	QuadsMasked int64 // removed by an all-false color write mask
+	QuadsOut    int64 // quads updating the color buffer
+	Fragments   int64 // fragments blended/written
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.QuadsIn += o.QuadsIn
+	s.QuadsMasked += o.QuadsMasked
+	s.QuadsOut += o.QuadsOut
+	s.Fragments += o.Fragments
+}
+
+// blockDim is the pixel footprint of a 256-byte color cache line
+// (8x8 x 4 bytes), also the granularity of fast clear and same-color
+// compression.
+const blockDim = 8
+
+// ColorCacheConfig is the paper's Table XIV color cache geometry.
+var ColorCacheConfig = cache.Config{Ways: 64, Sets: 1, LineBytes: 256}
+
+// compressedLineBytes is the cost of transferring a same-color block:
+// the color plus block metadata.
+const compressedLineBytes = 32
+
+// Target is the render target: an RGBA8 color buffer with cache, fast
+// clear and same-color compression.
+type Target struct {
+	w, h     int
+	pix      []gmath.Vec4 // stored as float for blending precision
+	baseAddr uint64
+
+	clearLine []bool       // fast-clear flag per block
+	uniform   []bool       // same-color compressibility per block
+	blockCol  []gmath.Vec4 // the uniform color per block
+	clearCol  gmath.Vec4
+
+	cache  *cache.Cache
+	memctl *mem.Controller
+	stats  Stats
+
+	// Compression and FastClear enable the color bandwidth reduction
+	// techniques (on by default); ablation benches switch them off.
+	Compression bool
+	FastClear   bool
+}
+
+// NewTarget creates a w x h render target at baseAddr; memctl may be
+// nil to skip traffic accounting.
+func NewTarget(w, h int, baseAddr uint64, memctl *mem.Controller) *Target {
+	nb := blocks(w) * blocks(h)
+	t := &Target{
+		w: w, h: h,
+		pix:       make([]gmath.Vec4, w*h),
+		baseAddr:  baseAddr,
+		clearLine: make([]bool, nb),
+		uniform:   make([]bool, nb),
+		blockCol:  make([]gmath.Vec4, nb),
+		cache:     cache.New(ColorCacheConfig),
+		memctl:    memctl,
+
+		Compression: true,
+		FastClear:   true,
+	}
+	t.Clear(gmath.Vec4{})
+	return t
+}
+
+func blocks(n int) int { return (n + blockDim - 1) / blockDim }
+
+// Clear fast-clears the target to color c with no memory traffic.
+func (t *Target) Clear(c gmath.Vec4) {
+	t.clearCol = c
+	for i := range t.pix {
+		t.pix[i] = c
+	}
+	for i := range t.clearLine {
+		t.clearLine[i] = true
+		t.uniform[i] = true
+		t.blockCol[i] = c
+	}
+	t.cache.Invalidate()
+}
+
+// Stats returns the accumulated statistics.
+func (t *Target) Stats() Stats { return t.stats }
+
+// ResetStats clears counters (contents survive).
+func (t *Target) ResetStats() {
+	t.stats = Stats{}
+	t.cache.ResetStats()
+}
+
+// CacheStats exposes the color cache counters for Table XIV.
+func (t *Target) CacheStats() cache.Stats { return t.cache.Stats() }
+
+// At returns the stored color (for tests and the DAC).
+func (t *Target) At(x, y int) gmath.Vec4 { return t.pix[y*t.w+x] }
+
+// Size returns the target dimensions.
+func (t *Target) Size() (w, h int) { return t.w, t.h }
+
+func (t *Target) blockIndex(x, y int) int {
+	return (y/blockDim)*blocks(t.w) + x/blockDim
+}
+
+// WriteQuad blends the covered fragments of a quad into the target.
+// colors holds the shaded fragment colors per lane.
+func (t *Target) WriteQuad(q *rast.Quad, mask uint8, colors *[4]gmath.Vec4, st *State) {
+	t.stats.QuadsIn++
+	if mask == 0 {
+		return
+	}
+	if st.MaskedOff() {
+		// The quad reaches the color stage but is immediately removed
+		// (Table IX "Color Mask" column); no buffer traffic.
+		t.stats.QuadsMasked++
+		return
+	}
+	t.touchLine(q.X, q.Y)
+	bi := t.blockIndex(q.X, q.Y)
+	for lane := 0; lane < 4; lane++ {
+		if mask&(1<<lane) == 0 {
+			continue
+		}
+		x, y := q.PixelX(lane), q.PixelY(lane)
+		idx := y*t.w + x
+		src := colors[lane].Clamp01()
+		dst := t.pix[idx]
+		var out gmath.Vec4
+		if st.Blend {
+			out = src.Mul(factor(st.SrcFactor, src, dst)).
+				Add(dst.Mul(factor(st.DstFactor, src, dst))).Clamp01()
+		} else {
+			out = src
+		}
+		for c := 0; c < 4; c++ {
+			if st.WriteMask[c] {
+				dst = dst.SetComp(c, out.Comp(c))
+			}
+		}
+		t.pix[idx] = dst
+		t.stats.Fragments++
+		// Maintain same-color compressibility.
+		if t.uniform[bi] && dst != t.blockCol[bi] {
+			t.uniform[bi] = false
+		}
+	}
+	t.stats.QuadsOut++
+}
+
+func factor(f BlendFactor, src, dst gmath.Vec4) gmath.Vec4 {
+	switch f {
+	case FactorZero:
+		return gmath.Vec4{}
+	case FactorOne:
+		return gmath.V4(1, 1, 1, 1)
+	case FactorSrcAlpha:
+		return gmath.V4(src.W, src.W, src.W, src.W)
+	case FactorOneMinusSrcAlpha:
+		a := 1 - src.W
+		return gmath.V4(a, a, a, a)
+	case FactorDstColor:
+		return dst
+	default: // FactorSrcColor
+		return src
+	}
+}
+
+// touchLine drives the color cache. Blending (and partial-line writes
+// in general) make every line fill a read-modify-write: fills of
+// cleared lines are free, same-color lines fill at the compressed rate,
+// others transfer a full line. Write-backs follow the same ladder.
+func (t *Target) touchLine(x, y int) {
+	bi := t.blockIndex(x, y)
+	addr := t.baseAddr + uint64(bi)*uint64(ColorCacheConfig.LineBytes)
+	before := t.cache.Stats()
+	hit := t.cache.Access(addr, true)
+	if t.memctl == nil {
+		return
+	}
+	after := t.cache.Stats()
+	if wb := after.WritebackBytes - before.WritebackBytes; wb > 0 {
+		// The evicted line's compressibility decides its cost. We no
+		// longer know which block it held, so approximate with this
+		// block's state before the write: uniform blocks write back
+		// compressed. This matches the aggregate behaviour the paper
+		// describes (compression pays off when much of the frame stays
+		// one color).
+		if t.uniform[bi] && t.Compression {
+			t.memctl.Write(mem.ClientColor, compressedLineBytes)
+		} else {
+			t.memctl.Write(mem.ClientColor, wb)
+		}
+	}
+	if !hit {
+		switch {
+		case t.clearLine[bi] && t.FastClear:
+			// Fast clear: fill from the on-die clear register.
+			t.clearLine[bi] = false
+		case t.uniform[bi] && t.Compression:
+			t.memctl.Read(mem.ClientColor, compressedLineBytes)
+		default:
+			t.memctl.Read(mem.ClientColor, int64(ColorCacheConfig.LineBytes))
+		}
+	}
+	t.clearLine[bi] = false
+}
+
+// FlushCache writes back dirty lines, costing full or compressed
+// transfers depending on block uniformity; approximated at the full
+// rate for mixed blocks.
+func (t *Target) FlushCache() {
+	before := t.cache.Stats()
+	t.cache.Flush()
+	if t.memctl == nil {
+		return
+	}
+	wb := t.cache.Stats().WritebackBytes - before.WritebackBytes
+	if wb == 0 {
+		return
+	}
+	// Estimate the compressed share from the current uniform-block
+	// fraction.
+	uni := 0
+	for _, u := range t.uniform {
+		if u {
+			uni++
+		}
+	}
+	frac := float64(uni) / float64(len(t.uniform))
+	if !t.Compression {
+		frac = 0
+	}
+	lines := wb / int64(ColorCacheConfig.LineBytes)
+	compLines := int64(frac * float64(lines))
+	t.memctl.Write(mem.ClientColor,
+		compLines*compressedLineBytes+(lines-compLines)*int64(ColorCacheConfig.LineBytes))
+}
+
+// ScanOut models the DAC reading the full frame for display, charging
+// the uncompressed frame size to the DAC client.
+func (t *Target) ScanOut() {
+	if t.memctl != nil {
+		t.memctl.Read(mem.ClientDAC, int64(t.w*t.h*4))
+	}
+}
+
+// Image converts the render target to an 8-bit RGBA image for
+// inspection or PNG export. Row 0 of the image is the top of the frame
+// (window y points up, image y points down).
+func (t *Target) Image() *image.RGBA {
+	img := image.NewRGBA(image.Rect(0, 0, t.w, t.h))
+	for y := 0; y < t.h; y++ {
+		for x := 0; x < t.w; x++ {
+			c := t.pix[y*t.w+x].Clamp01()
+			img.SetRGBA(x, t.h-1-y, color.RGBA{
+				R: uint8(c.X*255 + 0.5),
+				G: uint8(c.Y*255 + 0.5),
+				B: uint8(c.Z*255 + 0.5),
+				A: uint8(c.W*255 + 0.5),
+			})
+		}
+	}
+	return img
+}
+
+// EncodePNG writes the rendered frame as a PNG.
+func (t *Target) EncodePNG(w io.Writer) error {
+	return png.Encode(w, t.Image())
+}

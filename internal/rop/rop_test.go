@@ -1,0 +1,264 @@
+package rop
+
+import (
+	"bytes"
+	"image/png"
+	"testing"
+
+	"gpuchar/internal/gmath"
+	"gpuchar/internal/mem"
+	"gpuchar/internal/rast"
+)
+
+func fullQuad(x, y int) *rast.Quad {
+	return &rast.Quad{X: x, Y: y, Mask: 0xF}
+}
+
+func uniformColors(c gmath.Vec4) [4]gmath.Vec4 {
+	return [4]gmath.Vec4{c, c, c, c}
+}
+
+func newTestTarget() (*Target, *mem.Controller) {
+	m := mem.NewController()
+	return NewTarget(64, 64, 0x400000, m), m
+}
+
+func TestOpaqueWrite(t *testing.T) {
+	tgt, _ := newTestTarget()
+	st := DefaultState()
+	colors := uniformColors(gmath.V4(1, 0.5, 0.25, 1))
+	tgt.WriteQuad(fullQuad(0, 0), 0xF, &colors, &st)
+	got := tgt.At(0, 0)
+	if got != gmath.V4(1, 0.5, 0.25, 1) {
+		t.Errorf("pixel = %v", got)
+	}
+	if tgt.At(1, 1) != gmath.V4(1, 0.5, 0.25, 1) {
+		t.Error("lane 3 not written")
+	}
+	s := tgt.Stats()
+	if s.QuadsIn != 1 || s.QuadsOut != 1 || s.Fragments != 4 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestAdditiveBlend(t *testing.T) {
+	tgt, _ := newTestTarget()
+	opaque := DefaultState()
+	base := uniformColors(gmath.V4(0.25, 0.25, 0.25, 1))
+	tgt.WriteQuad(fullQuad(0, 0), 0xF, &base, &opaque)
+	add := AdditiveBlend()
+	light := uniformColors(gmath.V4(0.5, 0, 0, 0))
+	tgt.WriteQuad(fullQuad(0, 0), 0xF, &light, &add)
+	got := tgt.At(0, 0)
+	if got.X != 0.75 || got.Y != 0.25 {
+		t.Errorf("additive result = %v", got)
+	}
+	// Saturation clamps at 1.
+	tgt.WriteQuad(fullQuad(0, 0), 0xF, &light, &add)
+	tgt.WriteQuad(fullQuad(0, 0), 0xF, &light, &add)
+	if got := tgt.At(0, 0); got.X != 1 {
+		t.Errorf("saturated = %v", got)
+	}
+}
+
+func TestAlphaBlend(t *testing.T) {
+	tgt, _ := newTestTarget()
+	opaque := DefaultState()
+	base := uniformColors(gmath.V4(0, 0, 1, 1))
+	tgt.WriteQuad(fullQuad(0, 0), 0xF, &base, &opaque)
+	ab := AlphaBlend()
+	// 50% red over blue -> purple-ish.
+	overlay := uniformColors(gmath.V4(1, 0, 0, 0.5))
+	tgt.WriteQuad(fullQuad(0, 0), 0xF, &overlay, &ab)
+	got := tgt.At(0, 0)
+	if got.X != 0.5 || got.Z != 0.5 {
+		t.Errorf("alpha blend = %v", got)
+	}
+}
+
+func TestColorMaskDropsQuad(t *testing.T) {
+	tgt, m := newTestTarget()
+	st := State{} // all channels off
+	if !st.MaskedOff() {
+		t.Fatal("zero state should be masked off")
+	}
+	colors := uniformColors(gmath.V4(1, 1, 1, 1))
+	tgt.WriteQuad(fullQuad(0, 0), 0xF, &colors, &st)
+	if tgt.At(0, 0) != (gmath.Vec4{}) {
+		t.Error("masked write changed pixel")
+	}
+	if m.ClientTraffic(mem.ClientColor).Total() != 0 {
+		t.Error("masked quad generated traffic")
+	}
+	s := tgt.Stats()
+	if s.QuadsMasked != 1 || s.QuadsOut != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestPartialChannelMask(t *testing.T) {
+	tgt, _ := newTestTarget()
+	st := DefaultState()
+	st.WriteMask = [4]bool{true, false, false, false} // red only
+	colors := uniformColors(gmath.V4(1, 1, 1, 1))
+	tgt.WriteQuad(fullQuad(0, 0), 0xF, &colors, &st)
+	got := tgt.At(0, 0)
+	if got.X != 1 || got.Y != 0 || got.Z != 0 || got.W != 0 {
+		t.Errorf("red-only write = %v", got)
+	}
+}
+
+func TestPartialMaskFragments(t *testing.T) {
+	tgt, _ := newTestTarget()
+	st := DefaultState()
+	colors := uniformColors(gmath.V4(1, 1, 1, 1))
+	tgt.WriteQuad(fullQuad(0, 0), 0b0001, &colors, &st)
+	if tgt.At(1, 0) != (gmath.Vec4{}) {
+		t.Error("uncovered fragment written")
+	}
+	if tgt.Stats().Fragments != 1 {
+		t.Errorf("fragments = %d", tgt.Stats().Fragments)
+	}
+	// Empty mask is a no-op beyond the QuadsIn count.
+	tgt.WriteQuad(fullQuad(8, 8), 0, &colors, &st)
+	if tgt.Stats().QuadsIn != 2 || tgt.Stats().QuadsOut != 1 {
+		t.Errorf("stats = %+v", tgt.Stats())
+	}
+}
+
+func TestFastClearNoTraffic(t *testing.T) {
+	tgt, m := newTestTarget()
+	st := DefaultState()
+	colors := uniformColors(gmath.V4(0.5, 0.5, 0.5, 1))
+	tgt.WriteQuad(fullQuad(0, 0), 0xF, &colors, &st)
+	if m.ClientTraffic(mem.ClientColor).ReadBytes != 0 {
+		t.Error("first touch of cleared line read memory")
+	}
+}
+
+func TestUniformBlockCompression(t *testing.T) {
+	m := mem.NewController()
+	// 64x128: 128 blocks, cache holds 64 lines -> evictions happen.
+	tgt := NewTarget(64, 128, 0x400000, m)
+	st := DefaultState()
+	// Paint every block a single color (uniform): write-backs should be
+	// compressed (32B), not full lines (256B).
+	colors := uniformColors(gmath.Vec4{}) // same as clear color: stays uniform
+	for i := 0; i < 128; i++ {
+		x := (i % 8) * 8
+		y := (i / 8) * 8
+		tgt.WriteQuad(fullQuad(x, y), 0xF, &colors, &st)
+	}
+	w := m.ClientTraffic(mem.ClientColor).WriteBytes
+	if w == 0 {
+		t.Skip("no evictions: cache larger than expected")
+	}
+	if w%compressedLineBytes != 0 || w >= 128*int64(ColorCacheConfig.LineBytes) {
+		t.Errorf("uniform write-backs = %d bytes, want compressed multiples of %d",
+			w, compressedLineBytes)
+	}
+}
+
+func TestNonUniformBlockFullTraffic(t *testing.T) {
+	tgt, _ := newTestTarget()
+	st := DefaultState()
+	colors := [4]gmath.Vec4{
+		gmath.V4(1, 0, 0, 1), gmath.V4(0, 1, 0, 1),
+		gmath.V4(0, 0, 1, 1), gmath.V4(1, 1, 1, 1),
+	}
+	tgt.WriteQuad(fullQuad(0, 0), 0xF, &colors, &st)
+	// The block is no longer uniform.
+	if tgt.uniform[0] {
+		t.Error("block with mixed colors still marked uniform")
+	}
+}
+
+func TestClearResetsEverything(t *testing.T) {
+	tgt, _ := newTestTarget()
+	st := DefaultState()
+	colors := uniformColors(gmath.V4(1, 0, 0, 1))
+	tgt.WriteQuad(fullQuad(0, 0), 0xF, &colors, &st)
+	tgt.Clear(gmath.V4(0, 0, 0.5, 1))
+	if tgt.At(0, 0) != gmath.V4(0, 0, 0.5, 1) {
+		t.Error("clear color not applied")
+	}
+	if !tgt.uniform[0] || !tgt.clearLine[0] {
+		t.Error("clear flags not reset")
+	}
+}
+
+func TestScanOutChargesDAC(t *testing.T) {
+	tgt, m := newTestTarget()
+	tgt.ScanOut()
+	want := int64(64 * 64 * 4)
+	if got := m.ClientTraffic(mem.ClientDAC).ReadBytes; got != want {
+		t.Errorf("DAC traffic = %d, want %d", got, want)
+	}
+}
+
+func TestFlushCache(t *testing.T) {
+	tgt, m := newTestTarget()
+	st := DefaultState()
+	colors := uniformColors(gmath.V4(0.3, 0.3, 0.3, 1))
+	tgt.WriteQuad(fullQuad(0, 0), 0xF, &colors, &st)
+	tgt.FlushCache()
+	if m.ClientTraffic(mem.ClientColor).WriteBytes == 0 {
+		t.Error("flush wrote nothing")
+	}
+}
+
+func TestSizeAccessor(t *testing.T) {
+	tgt, _ := newTestTarget()
+	w, h := tgt.Size()
+	if w != 64 || h != 64 {
+		t.Errorf("size = %dx%d", w, h)
+	}
+}
+
+func TestBlendFactors(t *testing.T) {
+	src := gmath.V4(0.5, 0.5, 0.5, 0.25)
+	dst := gmath.V4(1, 0, 1, 1)
+	cases := []struct {
+		f    BlendFactor
+		want gmath.Vec4
+	}{
+		{FactorZero, gmath.Vec4{}},
+		{FactorOne, gmath.V4(1, 1, 1, 1)},
+		{FactorSrcAlpha, gmath.V4(0.25, 0.25, 0.25, 0.25)},
+		{FactorOneMinusSrcAlpha, gmath.V4(0.75, 0.75, 0.75, 0.75)},
+		{FactorDstColor, dst},
+		{FactorSrcColor, src},
+	}
+	for _, c := range cases {
+		if got := factor(c.f, src, dst); got != c.want {
+			t.Errorf("factor %d = %v, want %v", c.f, got, c.want)
+		}
+	}
+}
+
+func TestImageAndPNG(t *testing.T) {
+	tgt, _ := newTestTarget()
+	st := DefaultState()
+	colors := uniformColors(gmath.V4(1, 0, 0, 1))
+	tgt.WriteQuad(fullQuad(0, 62), 0xF, &colors, &st) // top-left in window coords
+	img := tgt.Image()
+	if img.Bounds().Dx() != 64 || img.Bounds().Dy() != 64 {
+		t.Fatalf("image bounds = %v", img.Bounds())
+	}
+	// Window y is up; image y is down: window (0,63) is image (0,0).
+	r, _, _, a := img.At(0, 0).RGBA()
+	if r>>8 != 255 || a>>8 != 255 {
+		t.Errorf("top-left pixel = %v", img.At(0, 0))
+	}
+	var buf bytes.Buffer
+	if err := tgt.EncodePNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Bounds().Dx() != 64 {
+		t.Errorf("decoded bounds = %v", decoded.Bounds())
+	}
+}

@@ -1,0 +1,225 @@
+package shader
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses a text shader program. The syntax is ARB-assembly
+// flavoured, one instruction per line:
+//
+//	# comment
+//	dp4 o0.x, c0, v0
+//	mad r0.xyz, r1, c2.w, -v2
+//	tex r1, v3, t0
+//	kil r1
+//
+// Registers: rN temporaries, vN inputs, oN outputs, cN constants, tN
+// texture units. Destinations take an optional write mask (.xyz);
+// sources take an optional swizzle (one component broadcasts, four
+// select) and a leading '-' for negation.
+func Assemble(name string, kind Kind, src string) (*Program, error) {
+	p := &Program{Name: name, Kind: kind}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		in, err := assembleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", name, lineNo+1, err)
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble for statically known programs; it panics on
+// error.
+func MustAssemble(name string, kind Kind, src string) *Program {
+	p, err := Assemble(name, kind, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func assembleLine(line string) (Instruction, error) {
+	var in Instruction
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	op, ok := opByName(strings.ToLower(mnemonic))
+	if !ok {
+		return in, fmt.Errorf("unknown opcode %q", mnemonic)
+	}
+	in.Op = op
+
+	var operands []string
+	for _, f := range strings.Split(rest, ",") {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			operands = append(operands, f)
+		}
+	}
+
+	want := op.srcCount()
+	if op.hasDst() {
+		want++
+	}
+	if op.IsTexture() {
+		want++ // trailing texture unit
+	}
+	if len(operands) != want {
+		return in, fmt.Errorf("%s: got %d operands, want %d", op, len(operands), want)
+	}
+
+	i := 0
+	if op.hasDst() {
+		d, err := parseDst(operands[i])
+		if err != nil {
+			return in, err
+		}
+		in.Dst = d
+		i++
+	}
+	for s := 0; s < op.srcCount(); s++ {
+		src, err := parseSrc(operands[i])
+		if err != nil {
+			return in, err
+		}
+		in.Src[s] = src
+		i++
+	}
+	if op.IsTexture() {
+		unit, err := parseTexUnit(operands[i])
+		if err != nil {
+			return in, err
+		}
+		in.TexUnit = unit
+	}
+	return in, nil
+}
+
+func opByName(name string) (Opcode, bool) {
+	for i, n := range opNames {
+		if n == name {
+			return Opcode(i), true
+		}
+	}
+	return 0, false
+}
+
+func parseReg(tok string) (RegFile, uint8, string, error) {
+	if tok == "" {
+		return 0, 0, "", fmt.Errorf("empty register")
+	}
+	var file RegFile
+	switch tok[0] {
+	case 'r':
+		file = FileTemp
+	case 'v', 'i':
+		file = FileInput
+	case 'o':
+		file = FileOutput
+	case 'c':
+		file = FileConst
+	default:
+		return 0, 0, "", fmt.Errorf("bad register %q", tok)
+	}
+	rest := tok[1:]
+	numEnd := 0
+	for numEnd < len(rest) && rest[numEnd] >= '0' && rest[numEnd] <= '9' {
+		numEnd++
+	}
+	if numEnd == 0 {
+		return 0, 0, "", fmt.Errorf("register %q missing index", tok)
+	}
+	n, err := strconv.Atoi(rest[:numEnd])
+	if err != nil || n > 255 {
+		return 0, 0, "", fmt.Errorf("register %q bad index", tok)
+	}
+	return file, uint8(n), rest[numEnd:], nil
+}
+
+func parseDst(tok string) (Dst, error) {
+	file, idx, suffix, err := parseReg(tok)
+	if err != nil {
+		return Dst{}, err
+	}
+	d := Dst{File: file, Index: idx, Mask: MaskXYZW}
+	if suffix != "" {
+		if suffix[0] != '.' {
+			return Dst{}, fmt.Errorf("bad destination suffix %q", suffix)
+		}
+		mask := uint8(0)
+		for _, c := range suffix[1:] {
+			ci := strings.IndexRune(compNames, c)
+			if ci < 0 {
+				return Dst{}, fmt.Errorf("bad mask component %q", string(c))
+			}
+			mask |= 1 << ci
+		}
+		if mask == 0 {
+			return Dst{}, fmt.Errorf("empty write mask in %q", tok)
+		}
+		d.Mask = mask
+	}
+	return d, nil
+}
+
+func parseSrc(tok string) (Src, error) {
+	s := Src{Swizzle: SwizzleIdentity}
+	if strings.HasPrefix(tok, "-") {
+		s.Negate = true
+		tok = tok[1:]
+	}
+	file, idx, suffix, err := parseReg(tok)
+	if err != nil {
+		return Src{}, err
+	}
+	s.File, s.Index = file, idx
+	if suffix != "" {
+		if suffix[0] != '.' {
+			return Src{}, fmt.Errorf("bad source suffix %q", suffix)
+		}
+		sw := suffix[1:]
+		switch len(sw) {
+		case 1:
+			ci := strings.IndexByte(compNames, sw[0])
+			if ci < 0 {
+				return Src{}, fmt.Errorf("bad swizzle %q", sw)
+			}
+			c := uint8(ci)
+			s.Swizzle = Swizzle{c, c, c, c}
+		case 4:
+			for i := 0; i < 4; i++ {
+				ci := strings.IndexByte(compNames, sw[i])
+				if ci < 0 {
+					return Src{}, fmt.Errorf("bad swizzle %q", sw)
+				}
+				s.Swizzle[i] = uint8(ci)
+			}
+		default:
+			return Src{}, fmt.Errorf("swizzle %q must have 1 or 4 components", sw)
+		}
+	}
+	return s, nil
+}
+
+func parseTexUnit(tok string) (uint8, error) {
+	if len(tok) < 2 || tok[0] != 't' {
+		return 0, fmt.Errorf("bad texture unit %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil || n < 0 || n >= NumTexUnits {
+		return 0, fmt.Errorf("texture unit %q out of range", tok)
+	}
+	return uint8(n), nil
+}

@@ -1,0 +1,361 @@
+package shader
+
+import (
+	"math"
+
+	"gpuchar/internal/gmath"
+)
+
+// Sampler provides texture sampling to fragment programs. The interpreter
+// always samples a whole 2x2 quad at once so the implementation can
+// compute level-of-detail from coordinate derivatives, exactly as the
+// hardware texture unit does.
+type Sampler interface {
+	// SampleQuad samples texture unit for four lockstep fragments.
+	// coords holds the per-lane texture coordinates (s, t in x, y; the
+	// q coordinate for projective lookups in w). bias is a per-lane LOD
+	// bias (from TXB), and projective requests division by w (TXP).
+	SampleQuad(unit int, coords *[4]gmath.Vec4, bias float32, projective bool) [4]gmath.Vec4
+}
+
+// ExecStats counts interpreter activity in the units the paper reports.
+type ExecStats struct {
+	// Invocations is the number of per-vertex or per-fragment program
+	// runs (lanes, not quads).
+	Invocations int64
+	// Instructions is the number of instructions executed summed over
+	// lanes; Instructions/Invocations is the paper's "average shader
+	// instructions" metric.
+	Instructions int64
+	// TexInstructions counts executed texture instructions over lanes.
+	TexInstructions int64
+	// Kills counts fragments discarded by KIL.
+	Kills int64
+}
+
+// Add accumulates other into s.
+func (s *ExecStats) Add(o ExecStats) {
+	s.Invocations += o.Invocations
+	s.Instructions += o.Instructions
+	s.TexInstructions += o.TexInstructions
+	s.Kills += o.Kills
+}
+
+// AvgInstructions returns instructions per invocation.
+func (s ExecStats) AvgInstructions() float64 {
+	if s.Invocations == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Invocations)
+}
+
+// AvgTexInstructions returns texture instructions per invocation.
+func (s ExecStats) AvgTexInstructions() float64 {
+	if s.Invocations == 0 {
+		return 0
+	}
+	return float64(s.TexInstructions) / float64(s.Invocations)
+}
+
+// Machine executes shader programs. It holds the constant register bank
+// (shared by all invocations of a program, like real hardware) and the
+// texture sampler binding.
+type Machine struct {
+	Consts  [NumConsts]gmath.Vec4
+	Sampler Sampler
+
+	stats ExecStats
+	// scratch register state, reused across invocations
+	temps [4][NumTemps]gmath.Vec4
+}
+
+// NewMachine returns a Machine with zeroed constants and no sampler.
+func NewMachine() *Machine { return &Machine{} }
+
+// Stats returns the accumulated execution statistics.
+func (m *Machine) Stats() ExecStats { return m.stats }
+
+// ResetStats zeroes the statistics counters.
+func (m *Machine) ResetStats() { m.stats = ExecStats{} }
+
+// RunVertex executes a vertex program on a single vertex. in holds the
+// vertex attributes; the shaded results are written to out.
+func (m *Machine) RunVertex(p *Program, in *[NumInputs]gmath.Vec4, out *[NumOutputs]gmath.Vec4) {
+	m.stats.Invocations++
+	m.stats.Instructions += int64(len(p.Instrs))
+	temps := &m.temps[0]
+	for i := range p.Instrs {
+		in0 := &p.Instrs[i]
+		a := m.gather(in0, 0, in, temps)
+		m.writeResult(in0, compute(in0.Op, a), temps, out)
+	}
+}
+
+// RunQuad executes a fragment program on a 2x2 quad in lockstep.
+// activeMask bit i enables lane i (lanes outside the triangle are helper
+// lanes: they execute for derivative purposes but their outputs are
+// ignored by the caller). The returned liveMask clears lanes killed by
+// KIL. Statistics count only lanes active on entry.
+func (m *Machine) RunQuad(p *Program, in *[4][NumInputs]gmath.Vec4, activeMask uint8,
+	out *[4][NumOutputs]gmath.Vec4) (liveMask uint8) {
+
+	active := int64(popcount4(activeMask))
+	m.stats.Invocations += active
+	m.stats.Instructions += int64(len(p.Instrs)) * active
+	liveMask = activeMask
+
+	for i := range p.Instrs {
+		ins := &p.Instrs[i]
+		switch {
+		case ins.Op.IsTexture():
+			m.stats.TexInstructions += active
+			m.execTex(ins, in, out)
+		case ins.Op == OpKIL:
+			for lane := 0; lane < 4; lane++ {
+				if liveMask&(1<<lane) == 0 {
+					continue
+				}
+				v := m.gather(ins, lane, &in[lane], &m.temps[lane])[0]
+				if v.X < 0 || v.Y < 0 || v.Z < 0 || v.W < 0 {
+					liveMask &^= 1 << lane
+					m.stats.Kills++
+				}
+			}
+		default:
+			for lane := 0; lane < 4; lane++ {
+				a := m.gather(ins, lane, &in[lane], &m.temps[lane])
+				m.writeResult(ins, compute(ins.Op, a), &m.temps[lane], &out[lane])
+			}
+		}
+	}
+	return liveMask
+}
+
+// execTex evaluates a texture instruction for all four lanes at once.
+func (m *Machine) execTex(ins *Instruction, in *[4][NumInputs]gmath.Vec4,
+	out *[4][NumOutputs]gmath.Vec4) {
+
+	var coords [4]gmath.Vec4
+	var bias float32
+	for lane := 0; lane < 4; lane++ {
+		c := m.readSrc(ins.Src[0], &in[lane], &m.temps[lane])
+		coords[lane] = c
+	}
+	if ins.Op == OpTXB {
+		// The bias is taken from the first lane's w; real hardware also
+		// evaluates the bias per quad.
+		bias = coords[0].W
+	}
+	var texels [4]gmath.Vec4
+	if m.Sampler != nil {
+		texels = m.Sampler.SampleQuad(int(ins.TexUnit), &coords, bias, ins.Op == OpTXP)
+	}
+	for lane := 0; lane < 4; lane++ {
+		writeMasked(ins.Dst, texels[lane], &m.temps[lane], &out[lane])
+	}
+}
+
+// gather reads the source operands of ins for one lane.
+func (m *Machine) gather(ins *Instruction, lane int, in *[NumInputs]gmath.Vec4,
+	temps *[NumTemps]gmath.Vec4) [3]gmath.Vec4 {
+
+	var a [3]gmath.Vec4
+	n := ins.Op.srcCount()
+	for s := 0; s < n; s++ {
+		a[s] = m.readSrc(ins.Src[s], in, temps)
+	}
+	return a
+}
+
+func (m *Machine) readSrc(s Src, in *[NumInputs]gmath.Vec4,
+	temps *[NumTemps]gmath.Vec4) gmath.Vec4 {
+
+	var v gmath.Vec4
+	switch s.File {
+	case FileTemp:
+		v = temps[s.Index]
+	case FileInput:
+		v = in[s.Index]
+	case FileConst:
+		v = m.Consts[s.Index]
+	}
+	if s.Swizzle != SwizzleIdentity {
+		v = gmath.Vec4{
+			X: v.Comp(int(s.Swizzle[0])),
+			Y: v.Comp(int(s.Swizzle[1])),
+			Z: v.Comp(int(s.Swizzle[2])),
+			W: v.Comp(int(s.Swizzle[3])),
+		}
+	}
+	if s.Negate {
+		v = v.Scale(-1)
+	}
+	return v
+}
+
+func (m *Machine) writeResult(ins *Instruction, v gmath.Vec4,
+	temps *[NumTemps]gmath.Vec4, out *[NumOutputs]gmath.Vec4) {
+	writeMasked(ins.Dst, v, temps, out)
+}
+
+func writeMasked(d Dst, v gmath.Vec4, temps *[NumTemps]gmath.Vec4,
+	out *[NumOutputs]gmath.Vec4) {
+
+	var dst *gmath.Vec4
+	switch d.File {
+	case FileTemp:
+		dst = &temps[d.Index]
+	case FileOutput:
+		dst = &out[d.Index]
+	default:
+		return
+	}
+	if d.Mask == MaskXYZW {
+		*dst = v
+		return
+	}
+	if d.Mask&1 != 0 {
+		dst.X = v.X
+	}
+	if d.Mask&2 != 0 {
+		dst.Y = v.Y
+	}
+	if d.Mask&4 != 0 {
+		dst.Z = v.Z
+	}
+	if d.Mask&8 != 0 {
+		dst.W = v.W
+	}
+}
+
+// compute evaluates a non-texture, non-kill ALU operation.
+func compute(op Opcode, a [3]gmath.Vec4) gmath.Vec4 {
+	switch op {
+	case OpMOV:
+		return a[0]
+	case OpADD:
+		return a[0].Add(a[1])
+	case OpSUB:
+		return a[0].Sub(a[1])
+	case OpMUL:
+		return a[0].Mul(a[1])
+	case OpMAD:
+		return a[0].Mul(a[1]).Add(a[2])
+	case OpDP3:
+		d := a[0].Dot3(a[1])
+		return gmath.V4(d, d, d, d)
+	case OpDP4:
+		d := a[0].Dot(a[1])
+		return gmath.V4(d, d, d, d)
+	case OpMIN:
+		return gmath.Vec4{
+			X: minf(a[0].X, a[1].X), Y: minf(a[0].Y, a[1].Y),
+			Z: minf(a[0].Z, a[1].Z), W: minf(a[0].W, a[1].W),
+		}
+	case OpMAX:
+		return gmath.Vec4{
+			X: maxf(a[0].X, a[1].X), Y: maxf(a[0].Y, a[1].Y),
+			Z: maxf(a[0].Z, a[1].Z), W: maxf(a[0].W, a[1].W),
+		}
+	case OpSLT:
+		return cmpEach(a[0], a[1], func(x, y float32) bool { return x < y })
+	case OpSGE:
+		return cmpEach(a[0], a[1], func(x, y float32) bool { return x >= y })
+	case OpRCP:
+		r := float32(1) / a[0].X
+		return gmath.V4(r, r, r, r)
+	case OpRSQ:
+		r := float32(1 / math.Sqrt(math.Abs(float64(a[0].X))))
+		return gmath.V4(r, r, r, r)
+	case OpEX2:
+		r := float32(math.Exp2(float64(a[0].X)))
+		return gmath.V4(r, r, r, r)
+	case OpLG2:
+		r := float32(math.Log2(math.Abs(float64(a[0].X))))
+		return gmath.V4(r, r, r, r)
+	case OpPOW:
+		r := float32(math.Pow(float64(a[0].X), float64(a[1].X)))
+		return gmath.V4(r, r, r, r)
+	case OpFRC:
+		return gmath.Vec4{
+			X: frc(a[0].X), Y: frc(a[0].Y), Z: frc(a[0].Z), W: frc(a[0].W),
+		}
+	case OpFLR:
+		return gmath.Vec4{
+			X: flr(a[0].X), Y: flr(a[0].Y), Z: flr(a[0].Z), W: flr(a[0].W),
+		}
+	case OpABS:
+		return gmath.Vec4{
+			X: absf(a[0].X), Y: absf(a[0].Y), Z: absf(a[0].Z), W: absf(a[0].W),
+		}
+	case OpLRP:
+		// dst = src0*src1 + (1-src0)*src2
+		one := gmath.V4(1, 1, 1, 1)
+		return a[0].Mul(a[1]).Add(one.Sub(a[0]).Mul(a[2]))
+	case OpXPD:
+		c := a[0].Vec3().Cross(a[1].Vec3())
+		return c.Vec4(0)
+	case OpCMP:
+		return gmath.Vec4{
+			X: cmpSel(a[0].X, a[1].X, a[2].X),
+			Y: cmpSel(a[0].Y, a[1].Y, a[2].Y),
+			Z: cmpSel(a[0].Z, a[1].Z, a[2].Z),
+			W: cmpSel(a[0].W, a[1].W, a[2].W),
+		}
+	}
+	return gmath.Vec4{}
+}
+
+func minf(a, b float32) float32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func absf(a float32) float32 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func frc(a float32) float32 { return a - flr(a) }
+
+func flr(a float32) float32 { return float32(math.Floor(float64(a))) }
+
+func cmpSel(c, a, b float32) float32 {
+	if c < 0 {
+		return a
+	}
+	return b
+}
+
+func cmpEach(a, b gmath.Vec4, pred func(x, y float32) bool) gmath.Vec4 {
+	sel := func(x, y float32) float32 {
+		if pred(x, y) {
+			return 1
+		}
+		return 0
+	}
+	return gmath.Vec4{
+		X: sel(a.X, b.X), Y: sel(a.Y, b.Y), Z: sel(a.Z, b.Z), W: sel(a.W, b.W),
+	}
+}
+
+func popcount4(m uint8) int {
+	n := 0
+	for i := 0; i < 4; i++ {
+		if m&(1<<i) != 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,154 @@
+// Package shader implements the programmable shader model of the
+// simulated GPU: an ARB-assembly-style SIMD4 instruction set, a text
+// assembler and disassembler, and a lockstep interpreter that executes
+// vertex programs (one lane) and fragment programs (2x2 quad, four lanes,
+// as required for texture level-of-detail derivatives).
+//
+// The paper's Tables IV and XII report the average number of vertex and
+// fragment program instructions executed, the number of texture
+// instructions, and the ALU-to-texture ratio; the interpreter counts all
+// three per invocation.
+package shader
+
+import "fmt"
+
+// Opcode identifies one ISA operation. The set mirrors the
+// ARB_vertex_program / ARB_fragment_program instructions the paper's era
+// of games compiled to.
+type Opcode uint8
+
+// Instruction opcodes.
+const (
+	OpMOV Opcode = iota // dst = src0
+	OpADD               // dst = src0 + src1
+	OpSUB               // dst = src0 - src1
+	OpMUL               // dst = src0 * src1
+	OpMAD               // dst = src0 * src1 + src2
+	OpDP3               // dst = src0 . src1 (xyz), broadcast
+	OpDP4               // dst = src0 . src1 (xyzw), broadcast
+	OpMIN               // dst = min(src0, src1)
+	OpMAX               // dst = max(src0, src1)
+	OpSLT               // dst = src0 < src1 ? 1 : 0
+	OpSGE               // dst = src0 >= src1 ? 1 : 0
+	OpRCP               // dst = 1/src0.x, broadcast
+	OpRSQ               // dst = 1/sqrt(|src0.x|), broadcast
+	OpEX2               // dst = 2^src0.x, broadcast
+	OpLG2               // dst = log2(|src0.x|), broadcast
+	OpPOW               // dst = src0.x ^ src1.x, broadcast
+	OpFRC               // dst = src0 - floor(src0)
+	OpFLR               // dst = floor(src0)
+	OpABS               // dst = |src0|
+	OpLRP               // dst = src0*src1 + (1-src0)*src2
+	OpXPD               // dst.xyz = src0 x src1
+	OpCMP               // dst = src0 < 0 ? src1 : src2
+	OpTEX               // dst = texture[unit] sampled at src0
+	OpTXB               // TEX with LOD bias in src0.w
+	OpTXP               // TEX with projective divide by src0.w
+	OpKIL               // kill fragment if any component of src0 < 0
+	numOpcodes
+)
+
+var opNames = [numOpcodes]string{
+	"mov", "add", "sub", "mul", "mad", "dp3", "dp4", "min", "max",
+	"slt", "sge", "rcp", "rsq", "ex2", "lg2", "pow", "frc", "flr",
+	"abs", "lrp", "xpd", "cmp", "tex", "txb", "txp", "kil",
+}
+
+// String returns the assembly mnemonic.
+func (o Opcode) String() string {
+	if int(o) >= len(opNames) {
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+	return opNames[o]
+}
+
+// IsTexture reports whether the opcode samples a texture. These are the
+// instructions counted in the paper's "Texture Instructions" column.
+func (o Opcode) IsTexture() bool {
+	return o == OpTEX || o == OpTXB || o == OpTXP
+}
+
+// srcCount returns how many source operands each opcode consumes.
+func (o Opcode) srcCount() int {
+	switch o {
+	case OpMOV, OpRCP, OpRSQ, OpEX2, OpLG2, OpFRC, OpFLR, OpABS, OpKIL,
+		OpTEX, OpTXB, OpTXP:
+		return 1
+	case OpMAD, OpLRP, OpCMP:
+		return 3
+	default:
+		return 2
+	}
+}
+
+// hasDst reports whether the opcode writes a destination register.
+func (o Opcode) hasDst() bool { return o != OpKIL }
+
+// RegFile identifies a register bank.
+type RegFile uint8
+
+// Register banks.
+const (
+	FileTemp   RegFile = iota // r0..r15, read/write scratch
+	FileInput                 // v0..v15, per-vertex attributes or varyings
+	FileOutput                // o0..o15, shaded results
+	FileConst                 // c0..c255, uniform parameters
+)
+
+var filePrefix = [...]string{"r", "v", "o", "c"}
+
+// Limits of each register bank.
+const (
+	NumTemps   = 16
+	NumInputs  = 16
+	NumOutputs = 16
+	NumConsts  = 256
+	// NumTexUnits is the number of bindable texture samplers.
+	NumTexUnits = 16
+)
+
+// Swizzle selects and replicates source components. Each element is a
+// component index 0..3 (x,y,z,w).
+type Swizzle [4]uint8
+
+// SwizzleIdentity is the no-op swizzle .xyzw.
+var SwizzleIdentity = Swizzle{0, 1, 2, 3}
+
+// Src is a source operand: a register reference with swizzle and optional
+// negation.
+type Src struct {
+	File    RegFile
+	Index   uint8
+	Swizzle Swizzle
+	Negate  bool
+}
+
+// Dst is a destination operand: a register reference with a component
+// write mask (bit i enables component i).
+type Dst struct {
+	File  RegFile
+	Index uint8
+	Mask  uint8
+}
+
+// MaskXYZW writes all four components.
+const MaskXYZW = 0xF
+
+// Instruction is one decoded ISA instruction.
+type Instruction struct {
+	Op  Opcode
+	Dst Dst
+	Src [3]Src
+	// TexUnit selects the sampler for TEX/TXB/TXP.
+	TexUnit uint8
+}
+
+// SrcReg is a convenience constructor for a plain source operand.
+func SrcReg(file RegFile, index int) Src {
+	return Src{File: file, Index: uint8(index), Swizzle: SwizzleIdentity}
+}
+
+// DstReg is a convenience constructor for a full-mask destination.
+func DstReg(file RegFile, index int) Dst {
+	return Dst{File: file, Index: uint8(index), Mask: MaskXYZW}
+}

@@ -1,0 +1,258 @@
+package shader
+
+import "fmt"
+
+// This file provides canonical programs and a program synthesizer. The
+// workload generators need shader programs whose instruction and texture
+// counts match the per-game averages of the paper's Tables IV and XII;
+// Synthesize builds valid programs with exact counts that still perform
+// meaningful arithmetic, so interpreter results stay well-defined.
+
+// BasicTransformVS returns the minimal vertex program: a 4x4
+// model-view-projection transform (constants c0..c3 hold the matrix rows)
+// plus pass-through of one texture coordinate and one color.
+func BasicTransformVS() *Program {
+	return MustAssemble("basic-transform", VertexProgram, `
+		dp4 o0.x, c0, v0
+		dp4 o0.y, c1, v0
+		dp4 o0.z, c2, v0
+		dp4 o0.w, c3, v0
+		mov o1, v1   # texcoord
+		mov o2, v2   # color
+	`)
+}
+
+// DepthOnlyVS returns the vertex program used by depth-prepass and
+// stencil shadow volume batches: position transform only.
+func DepthOnlyVS() *Program {
+	return MustAssemble("depth-only", VertexProgram, `
+		dp4 o0.x, c0, v0
+		dp4 o0.y, c1, v0
+		dp4 o0.z, c2, v0
+		dp4 o0.w, c3, v0
+	`)
+}
+
+// TexturedFS returns a minimal fragment program: one texture lookup
+// modulated by the interpolated color.
+func TexturedFS() *Program {
+	return MustAssemble("textured", FragmentProgram, `
+		tex r0, v1, t0
+		mul o0, r0, v2
+	`)
+}
+
+// StencilVolumeFS returns the trivial fragment program bound during
+// stencil shadow volume rendering; color writes are masked off so the
+// result is irrelevant, but hardware still needs a bound program.
+func StencilVolumeFS() *Program {
+	return MustAssemble("stencil-volume", FragmentProgram, `
+		mov o0, v2
+	`)
+}
+
+// AlphaTestedFS returns a fragment program implementing alpha test via
+// KIL, the way ATTILA models alpha test (paper, Table IX footnote): the
+// fragment is discarded when the sampled alpha falls below the reference
+// in c15.x.
+func AlphaTestedFS() *Program {
+	return MustAssemble("alpha-tested", FragmentProgram, `
+		tex r0, v1, t0
+		sub r1.x, r0.w, c15.x
+		kil r1.x
+		mul o0, r0, v2
+	`)
+}
+
+// SynthesizeVS builds a vertex program with exactly total instructions.
+// The program always starts with the 4-instruction position transform
+// and forwards the texture coordinate and color varyings; the remainder
+// are arithmetic instructions typical of skinning and per-vertex
+// lighting. total must be at least 6.
+func SynthesizeVS(name string, total int) (*Program, error) {
+	if total < 6 {
+		return nil, fmt.Errorf("shader: vertex program needs >= 6 instructions, got %d", total)
+	}
+	p := &Program{Name: name, Kind: VertexProgram}
+	p.Instrs = append(p.Instrs,
+		dp4(DstC(FileOutput, 0, 1), SrcReg(FileConst, 0), SrcReg(FileInput, 0)),
+		dp4(DstC(FileOutput, 0, 2), SrcReg(FileConst, 1), SrcReg(FileInput, 0)),
+		dp4(DstC(FileOutput, 0, 4), SrcReg(FileConst, 2), SrcReg(FileInput, 0)),
+		dp4(DstC(FileOutput, 0, 8), SrcReg(FileConst, 3), SrcReg(FileInput, 0)),
+		Instruction{Op: OpMOV, Dst: DstReg(FileOutput, 1), Src: [3]Src{SrcReg(FileInput, 1)}},
+		Instruction{Op: OpMOV, Dst: DstReg(FileOutput, 2), Src: [3]Src{SrcReg(FileInput, 2)}},
+	)
+	// Fill with a lighting-flavoured MAD/DP3/MUL rotation writing temps.
+	fill := total - 6
+	for i := 0; i < fill; i++ {
+		r := uint8(i % 4)
+		switch i % 3 {
+		case 0:
+			p.Instrs = append(p.Instrs, Instruction{
+				Op:  OpMAD,
+				Dst: DstReg(FileTemp, int(r)),
+				Src: [3]Src{SrcReg(FileInput, 1), SrcReg(FileConst, 4+int(r)), SrcReg(FileConst, 8)},
+			})
+		case 1:
+			p.Instrs = append(p.Instrs, Instruction{
+				Op:  OpDP3,
+				Dst: Dst{File: FileTemp, Index: r, Mask: 1},
+				Src: [3]Src{SrcReg(FileTemp, int(r)), SrcReg(FileConst, 9)},
+			})
+		default:
+			// Only varying slots o3/o4 are scratch; o1/o2 carry the
+			// texture coordinate and color pass-throughs.
+			p.Instrs = append(p.Instrs, Instruction{
+				Op:  OpMUL,
+				Dst: DstReg(FileOutput, 3+int(r)%2),
+				Src: [3]Src{SrcReg(FileTemp, int(r)), SrcReg(FileConst, 10)},
+			})
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// SynthesizeFS builds a fragment program with exactly total instructions
+// of which tex are texture lookups, cycling over the first texUnits
+// sampler units. The ALU part is a MAD/MUL/DP3 combiner chain over the
+// sampled values; output o0 is always written last. Requirements:
+// total >= tex+1, tex >= 0, texUnits >= 1 when tex > 0.
+func SynthesizeFS(name string, total, tex, texUnits int) (*Program, error) {
+	if tex < 0 || total < tex+1 || total < 1 {
+		return nil, fmt.Errorf("shader: bad fragment program shape total=%d tex=%d", total, tex)
+	}
+	if tex > 0 && texUnits < 1 {
+		return nil, fmt.Errorf("shader: tex instructions need texUnits >= 1")
+	}
+	p := &Program{Name: name, Kind: FragmentProgram}
+	// Interleave texture lookups with ALU work the way real shaders do:
+	// sample, combine, sample, combine...
+	alu := total - tex - 1 // reserve the final output move/mul
+	for i := 0; i < tex; i++ {
+		p.Instrs = append(p.Instrs, Instruction{
+			Op:      OpTEX,
+			Dst:     DstReg(FileTemp, i%4),
+			Src:     [3]Src{SrcReg(FileInput, 1)},
+			TexUnit: uint8(i % texUnits),
+		})
+		// Spread the ALU instructions between texture lookups.
+		share := alu / max(tex, 1)
+		if i == tex-1 {
+			share = alu - share*(tex-1)
+		}
+		appendALUChain(p, share, i)
+	}
+	if tex == 0 {
+		appendALUChain(p, alu, 0)
+	}
+	// Final combine into the color output.
+	src := SrcReg(FileTemp, 0)
+	if tex == 0 && alu == 0 {
+		src = SrcReg(FileInput, 2)
+	}
+	p.Instrs = append(p.Instrs, Instruction{
+		Op:  OpMUL,
+		Dst: DstReg(FileOutput, 0),
+		Src: [3]Src{src, SrcReg(FileInput, 2)},
+	})
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// SynthesizeAlphaFS builds an alpha-tested fragment program with exactly
+// total instructions of which tex are texture lookups: the first lookup
+// feeds a KIL against the alpha reference in c15.x (ATTILA's alpha-test
+// model). Requires total >= tex+3 and tex >= 1.
+func SynthesizeAlphaFS(name string, total, tex, texUnits int) (*Program, error) {
+	if tex < 1 || total < tex+3 {
+		return nil, fmt.Errorf("shader: bad alpha program shape total=%d tex=%d", total, tex)
+	}
+	if texUnits < 1 {
+		return nil, fmt.Errorf("shader: alpha program needs texUnits >= 1")
+	}
+	p := &Program{Name: name, Kind: FragmentProgram}
+	// Sample, compare alpha against the reference, kill.
+	p.Instrs = append(p.Instrs,
+		Instruction{Op: OpTEX, Dst: DstReg(FileTemp, 0),
+			Src: [3]Src{SrcReg(FileInput, 1)}, TexUnit: 0},
+		Instruction{Op: OpSUB, Dst: DstC(FileTemp, 3, 1),
+			Src: [3]Src{swizzleW(SrcReg(FileTemp, 0)), swizzleX(SrcReg(FileConst, 15))}},
+		// Broadcast .x so stale components of the scratch register can
+		// never trigger the kill.
+		Instruction{Op: OpKIL, Src: [3]Src{swizzleX(SrcReg(FileTemp, 3))}},
+	)
+	for i := 1; i < tex; i++ {
+		p.Instrs = append(p.Instrs, Instruction{
+			Op: OpTEX, Dst: DstReg(FileTemp, i%4),
+			Src: [3]Src{SrcReg(FileInput, 1)}, TexUnit: uint8(i % texUnits),
+		})
+	}
+	appendALUChain(p, total-tex-3, 1)
+	p.Instrs = append(p.Instrs, Instruction{
+		Op:  OpMUL,
+		Dst: DstReg(FileOutput, 0),
+		Src: [3]Src{SrcReg(FileTemp, 0), SrcReg(FileInput, 2)},
+	})
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func swizzleW(s Src) Src {
+	s.Swizzle = Swizzle{3, 3, 3, 3}
+	return s
+}
+
+func swizzleX(s Src) Src {
+	s.Swizzle = Swizzle{0, 0, 0, 0}
+	return s
+}
+
+func appendALUChain(p *Program, n, salt int) {
+	for i := 0; i < n; i++ {
+		r := (salt + i) % 4
+		switch i % 3 {
+		case 0:
+			p.Instrs = append(p.Instrs, Instruction{
+				Op:  OpMAD,
+				Dst: DstReg(FileTemp, r),
+				Src: [3]Src{SrcReg(FileTemp, r), SrcReg(FileConst, 4), SrcReg(FileConst, 5)},
+			})
+		case 1:
+			p.Instrs = append(p.Instrs, Instruction{
+				Op:  OpMUL,
+				Dst: DstReg(FileTemp, (r+1)%4),
+				Src: [3]Src{SrcReg(FileTemp, r), SrcReg(FileInput, 2)},
+			})
+		default:
+			p.Instrs = append(p.Instrs, Instruction{
+				Op:  OpDP3,
+				Dst: Dst{File: FileTemp, Index: uint8(r), Mask: MaskXYZW},
+				Src: [3]Src{SrcReg(FileTemp, r), SrcReg(FileConst, 6)},
+			})
+		}
+	}
+}
+
+// dp4 builds a DP4 instruction.
+func dp4(d Dst, a, b Src) Instruction {
+	return Instruction{Op: OpDP4, Dst: d, Src: [3]Src{a, b}}
+}
+
+// DstC builds a destination with an explicit component mask.
+func DstC(file RegFile, index int, mask uint8) Dst {
+	return Dst{File: file, Index: uint8(index), Mask: mask}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,215 @@
+package shader
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind distinguishes vertex from fragment programs.
+type Kind uint8
+
+// Program kinds.
+const (
+	VertexProgram Kind = iota
+	FragmentProgram
+)
+
+// String names the program kind.
+func (k Kind) String() string {
+	if k == VertexProgram {
+		return "vertex"
+	}
+	return "fragment"
+}
+
+// Program is a validated shader program.
+type Program struct {
+	Name   string
+	Kind   Kind
+	Instrs []Instruction
+}
+
+// Len returns the total instruction count, the unit of the paper's
+// Tables IV and XII.
+func (p *Program) Len() int { return len(p.Instrs) }
+
+// TexCount returns the number of texture instructions.
+func (p *Program) TexCount() int {
+	n := 0
+	for _, in := range p.Instrs {
+		if in.Op.IsTexture() {
+			n++
+		}
+	}
+	return n
+}
+
+// ALUCount returns the number of non-texture instructions.
+func (p *Program) ALUCount() int { return p.Len() - p.TexCount() }
+
+// ALUTexRatio returns ALUCount/TexCount, the balance metric of the
+// paper's Table XII. It returns 0 when the program has no texture
+// instructions.
+func (p *Program) ALUTexRatio() float64 {
+	t := p.TexCount()
+	if t == 0 {
+		return 0
+	}
+	return float64(p.ALUCount()) / float64(t)
+}
+
+// UsesKill reports whether the program contains a KIL instruction, which
+// forces the z & stencil test after shading (late z) in the pipeline.
+func (p *Program) UsesKill() bool {
+	for _, in := range p.Instrs {
+		if in.Op == OpKIL {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks register indices, operand counts and kind-specific
+// rules (vertex programs cannot sample textures in this ISA generation,
+// and KIL is fragment-only).
+func (p *Program) Validate() error {
+	if len(p.Instrs) == 0 {
+		return fmt.Errorf("program %q: empty", p.Name)
+	}
+	for i, in := range p.Instrs {
+		if in.Op >= numOpcodes {
+			return fmt.Errorf("program %q instr %d: bad opcode %d", p.Name, i, in.Op)
+		}
+		if in.Op.IsTexture() {
+			if p.Kind == VertexProgram {
+				return fmt.Errorf("program %q instr %d: %s not allowed in vertex program",
+					p.Name, i, in.Op)
+			}
+			if in.TexUnit >= NumTexUnits {
+				return fmt.Errorf("program %q instr %d: texture unit %d out of range",
+					p.Name, i, in.TexUnit)
+			}
+		}
+		if in.Op == OpKIL && p.Kind == VertexProgram {
+			return fmt.Errorf("program %q instr %d: kil not allowed in vertex program",
+				p.Name, i)
+		}
+		if in.Op.hasDst() {
+			if err := checkDst(in.Dst); err != nil {
+				return fmt.Errorf("program %q instr %d: %v", p.Name, i, err)
+			}
+		}
+		for s := 0; s < in.Op.srcCount(); s++ {
+			if err := checkSrc(in.Src[s]); err != nil {
+				return fmt.Errorf("program %q instr %d src %d: %v", p.Name, i, s, err)
+			}
+		}
+	}
+	return nil
+}
+
+func checkDst(d Dst) error {
+	switch d.File {
+	case FileTemp:
+		if d.Index >= NumTemps {
+			return fmt.Errorf("temp register r%d out of range", d.Index)
+		}
+	case FileOutput:
+		if d.Index >= NumOutputs {
+			return fmt.Errorf("output register o%d out of range", d.Index)
+		}
+	default:
+		return fmt.Errorf("cannot write register file %d", d.File)
+	}
+	if d.Mask == 0 || d.Mask > MaskXYZW {
+		return fmt.Errorf("bad write mask %#x", d.Mask)
+	}
+	return nil
+}
+
+func checkSrc(s Src) error {
+	var limit uint8
+	switch s.File {
+	case FileTemp:
+		limit = NumTemps
+	case FileInput:
+		limit = NumInputs
+	case FileConst:
+		limit = NumConsts - 1 // uint8 max index is 255 anyway
+		return nil
+	case FileOutput:
+		return fmt.Errorf("cannot read output register")
+	default:
+		return fmt.Errorf("bad register file %d", s.File)
+	}
+	if s.Index >= limit {
+		return fmt.Errorf("register %s%d out of range", filePrefix[s.File], s.Index)
+	}
+	return nil
+}
+
+// String disassembles the whole program.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "!!%s program %q (%d instructions, %d tex)\n",
+		p.Kind, p.Name, p.Len(), p.TexCount())
+	for _, in := range p.Instrs {
+		b.WriteString(in.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String disassembles one instruction.
+func (in Instruction) String() string {
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	if in.Op.hasDst() {
+		b.WriteByte(' ')
+		b.WriteString(in.Dst.String())
+	}
+	for s := 0; s < in.Op.srcCount(); s++ {
+		if s == 0 && !in.Op.hasDst() {
+			b.WriteByte(' ')
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(in.Src[s].String())
+	}
+	if in.Op.IsTexture() {
+		fmt.Fprintf(&b, ", t%d", in.TexUnit)
+	}
+	return b.String()
+}
+
+const compNames = "xyzw"
+
+// String renders the destination operand with its write mask.
+func (d Dst) String() string {
+	s := fmt.Sprintf("%s%d", filePrefix[d.File], d.Index)
+	if d.Mask != MaskXYZW {
+		s += "."
+		for i := 0; i < 4; i++ {
+			if d.Mask&(1<<i) != 0 {
+				s += string(compNames[i])
+			}
+		}
+	}
+	return s
+}
+
+// String renders the source operand with swizzle and negation.
+func (s Src) String() string {
+	out := ""
+	if s.Negate {
+		out = "-"
+	}
+	out += fmt.Sprintf("%s%d", filePrefix[s.File], s.Index)
+	if s.Swizzle != SwizzleIdentity {
+		out += "."
+		for i := 0; i < 4; i++ {
+			out += string(compNames[s.Swizzle[i]])
+		}
+	}
+	return out
+}

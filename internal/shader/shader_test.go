@@ -1,0 +1,445 @@
+package shader
+
+import (
+	"strings"
+	"testing"
+
+	"gpuchar/internal/gmath"
+)
+
+func TestAssembleBasic(t *testing.T) {
+	p, err := Assemble("t", VertexProgram, `
+		# position transform
+		dp4 o0.x, c0, v0
+		mov o1, v1
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	if p.Instrs[0].Op != OpDP4 || p.Instrs[0].Dst.Mask != 1 {
+		t.Errorf("instr0 = %+v", p.Instrs[0])
+	}
+	if p.Instrs[1].Op != OpMOV || p.Instrs[1].Dst.File != FileOutput {
+		t.Errorf("instr1 = %+v", p.Instrs[1])
+	}
+}
+
+func TestAssembleSwizzleNegate(t *testing.T) {
+	p, err := Assemble("t", FragmentProgram, "add r0, -v0.wzyx, c1.y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := p.Instrs[0].Src[0]
+	if !s0.Negate || s0.Swizzle != (Swizzle{3, 2, 1, 0}) {
+		t.Errorf("src0 = %+v", s0)
+	}
+	s1 := p.Instrs[0].Src[1]
+	if s1.Swizzle != (Swizzle{1, 1, 1, 1}) {
+		t.Errorf("broadcast swizzle = %+v", s1)
+	}
+}
+
+func TestAssembleTexAndKil(t *testing.T) {
+	p, err := Assemble("t", FragmentProgram, `
+		tex r0, v1, t3
+		kil r0
+		mov o0, r0
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[0].TexUnit != 3 {
+		t.Errorf("tex unit = %d", p.Instrs[0].TexUnit)
+	}
+	if p.TexCount() != 1 || p.ALUCount() != 2 {
+		t.Errorf("tex=%d alu=%d", p.TexCount(), p.ALUCount())
+	}
+	if !p.UsesKill() {
+		t.Error("UsesKill = false")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		src  string
+	}{
+		{VertexProgram, "bogus r0, r1"},        // unknown opcode
+		{VertexProgram, "add r0"},              // missing operand
+		{VertexProgram, "tex r0, v0, t0"},      // tex in vertex program
+		{VertexProgram, "kil r0"},              // kil in vertex program
+		{FragmentProgram, "mov c0, r0"},        // write to const
+		{FragmentProgram, "mov o0, o1"},        // read from output
+		{FragmentProgram, "mov r99, r0"},       // temp out of range
+		{FragmentProgram, "tex r0, v0, t99"},   // tex unit out of range
+		{FragmentProgram, "mov r0.q, r1"},      // bad mask
+		{FragmentProgram, "add r0, r1.xy, r2"}, // bad swizzle length
+		{FragmentProgram, ""},                  // empty program
+		{FragmentProgram, "mov r0, x1"},        // bad register file
+	}
+	for _, c := range cases {
+		if _, err := Assemble("bad", c.kind, c.src); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", c.src)
+		}
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+		dp4 o0.x, c0, v0
+		mad r1.xyz, -r0.wzyx, c2.y, v3
+		tex r2, v1, t5
+		kil r2
+		mul o0, r2, v2
+	`
+	p, err := Assemble("rt", FragmentProgram, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := p.String()
+	// Reassemble the disassembly (skip the header line).
+	lines := strings.SplitN(text, "\n", 2)
+	p2, err := Assemble("rt2", FragmentProgram, lines[1])
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, text)
+	}
+	if len(p2.Instrs) != len(p.Instrs) {
+		t.Fatalf("round trip changed length: %d vs %d", len(p2.Instrs), len(p.Instrs))
+	}
+	for i := range p.Instrs {
+		if p.Instrs[i] != p2.Instrs[i] {
+			t.Errorf("instr %d: %+v vs %+v", i, p.Instrs[i], p2.Instrs[i])
+		}
+	}
+}
+
+func runVS(t *testing.T, src string, in0 gmath.Vec4, consts map[int]gmath.Vec4) [NumOutputs]gmath.Vec4 {
+	t.Helper()
+	p, err := Assemble("t", VertexProgram, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine()
+	for i, v := range consts {
+		m.Consts[i] = v
+	}
+	var in [NumInputs]gmath.Vec4
+	in[0] = in0
+	var out [NumOutputs]gmath.Vec4
+	m.RunVertex(p, &in, &out)
+	return out
+}
+
+func TestExecArithmetic(t *testing.T) {
+	out := runVS(t, `
+		add r0, v0, c0
+		mul r1, r0, c1
+		mov o0, r1
+	`, gmath.V4(1, 2, 3, 4), map[int]gmath.Vec4{
+		0: gmath.V4(1, 1, 1, 1),
+		1: gmath.V4(2, 2, 2, 2),
+	})
+	want := gmath.V4(4, 6, 8, 10)
+	if out[0] != want {
+		t.Errorf("out = %v, want %v", out[0], want)
+	}
+}
+
+func TestExecDP4WriteMask(t *testing.T) {
+	out := runVS(t, `
+		mov o0, c2
+		dp4 o0.x, c0, v0
+	`, gmath.V4(1, 2, 3, 1), map[int]gmath.Vec4{
+		0: gmath.V4(1, 0, 0, 10), // x + 10
+		2: gmath.V4(9, 9, 9, 9),
+	})
+	if out[0] != gmath.V4(11, 9, 9, 9) {
+		t.Errorf("out = %v", out[0])
+	}
+}
+
+func TestExecScalarOps(t *testing.T) {
+	out := runVS(t, `
+		rcp r0, c0.x
+		rsq r1, c0.y
+		ex2 r2, c0.z
+		mov o0.x, r0
+		mov o0.y, r1
+		mov o0.z, r2
+		lg2 r3, c0.w
+		mov o0.w, r3
+	`, gmath.V4(0, 0, 0, 0), map[int]gmath.Vec4{
+		0: gmath.V4(4, 16, 3, 8),
+	})
+	if out[0].X != 0.25 {
+		t.Errorf("rcp(4) = %v", out[0].X)
+	}
+	if out[0].Y != 0.25 {
+		t.Errorf("rsq(16) = %v", out[0].Y)
+	}
+	if out[0].Z != 8 {
+		t.Errorf("ex2(3) = %v", out[0].Z)
+	}
+	if out[0].W != 3 {
+		t.Errorf("lg2(8) = %v", out[0].W)
+	}
+}
+
+func TestExecCmpSltSge(t *testing.T) {
+	out := runVS(t, `
+		slt r0, v0, c0
+		sge r1, v0, c0
+		cmp r2, v0, c1, c2
+		add r3, r0, r1
+		mov o0, r3
+		mov o1, r2
+	`, gmath.V4(-1, 0, 1, 2), map[int]gmath.Vec4{
+		0: gmath.V4(0, 0, 0, 0),
+		1: gmath.V4(5, 5, 5, 5),
+		2: gmath.V4(7, 7, 7, 7),
+	})
+	// slt + sge must always sum to exactly 1 per component.
+	if out[0] != gmath.V4(1, 1, 1, 1) {
+		t.Errorf("slt+sge = %v", out[0])
+	}
+	// cmp selects c1 where v0 < 0, c2 elsewhere.
+	if out[1] != gmath.V4(5, 7, 7, 7) {
+		t.Errorf("cmp = %v", out[1])
+	}
+}
+
+func TestExecLrpFrcFlrAbsXpd(t *testing.T) {
+	out := runVS(t, `
+		lrp r0, c0, c1, c2
+		frc r1, c3
+		flr r2, c3
+		abs r3, -c3
+		xpd r4, c4, c5
+		mov o0, r0
+		mov o1, r1
+		mov o2, r2
+		mov o3, r3
+		mov o4, r4
+	`, gmath.V4(0, 0, 0, 0), map[int]gmath.Vec4{
+		0: gmath.V4(0.5, 0, 1, 0.25),
+		1: gmath.V4(10, 10, 10, 10),
+		2: gmath.V4(20, 20, 20, 20),
+		3: gmath.V4(1.5, -0.25, 3, -2.5),
+		4: gmath.V4(1, 0, 0, 0),
+		5: gmath.V4(0, 1, 0, 0),
+	})
+	if out[0] != gmath.V4(15, 20, 10, 17.5) {
+		t.Errorf("lrp = %v", out[0])
+	}
+	if out[1] != gmath.V4(0.5, 0.75, 0, 0.5) {
+		t.Errorf("frc = %v", out[1])
+	}
+	if out[2] != gmath.V4(1, -1, 3, -3) {
+		t.Errorf("flr = %v", out[2])
+	}
+	if out[3] != gmath.V4(1.5, 0.25, 3, 2.5) {
+		t.Errorf("abs = %v", out[3])
+	}
+	if out[4].Vec3() != gmath.V3(0, 0, 1) {
+		t.Errorf("xpd = %v", out[4])
+	}
+}
+
+func TestExecStatsCounting(t *testing.T) {
+	p := MustAssemble("count", VertexProgram, `
+		add r0, v0, v0
+		mov o0, r0
+	`)
+	m := NewMachine()
+	var in [NumInputs]gmath.Vec4
+	var out [NumOutputs]gmath.Vec4
+	for i := 0; i < 10; i++ {
+		m.RunVertex(p, &in, &out)
+	}
+	s := m.Stats()
+	if s.Invocations != 10 || s.Instructions != 20 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.AvgInstructions() != 2 {
+		t.Errorf("avg = %v", s.AvgInstructions())
+	}
+	m.ResetStats()
+	if m.Stats().Invocations != 0 {
+		t.Error("ResetStats failed")
+	}
+}
+
+// fakeSampler returns a fixed color and records calls.
+type fakeSampler struct {
+	calls int
+	unit  int
+	color gmath.Vec4
+}
+
+func (f *fakeSampler) SampleQuad(unit int, coords *[4]gmath.Vec4, bias float32,
+	projective bool) [4]gmath.Vec4 {
+	f.calls++
+	f.unit = unit
+	return [4]gmath.Vec4{f.color, f.color, f.color, f.color}
+}
+
+func TestRunQuadTexture(t *testing.T) {
+	p := MustAssemble("fs", FragmentProgram, `
+		tex r0, v1, t2
+		mul o0, r0, v2
+	`)
+	m := NewMachine()
+	fs := &fakeSampler{color: gmath.V4(0.5, 0.5, 0.5, 1)}
+	m.Sampler = fs
+	var in [4][NumInputs]gmath.Vec4
+	for lane := range in {
+		in[lane][2] = gmath.V4(1, 2, 2, 1)
+	}
+	var out [4][NumOutputs]gmath.Vec4
+	live := m.RunQuad(p, &in, 0xF, &out)
+	if live != 0xF {
+		t.Errorf("live = %x", live)
+	}
+	if fs.calls != 1 || fs.unit != 2 {
+		t.Errorf("sampler calls=%d unit=%d", fs.calls, fs.unit)
+	}
+	if out[0][0] != gmath.V4(0.5, 1, 1, 1) {
+		t.Errorf("out = %v", out[0][0])
+	}
+	s := m.Stats()
+	if s.Invocations != 4 || s.Instructions != 8 || s.TexInstructions != 4 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestRunQuadKill(t *testing.T) {
+	p := MustAssemble("killer", FragmentProgram, `
+		kil v0
+		mov o0, v0
+	`)
+	m := NewMachine()
+	var in [4][NumInputs]gmath.Vec4
+	in[0][0] = gmath.V4(1, 1, 1, 1)  // survives
+	in[1][0] = gmath.V4(-1, 1, 1, 1) // killed
+	in[2][0] = gmath.V4(1, 1, 1, -1) // killed
+	in[3][0] = gmath.V4(0, 0, 0, 0)  // survives (>= 0)
+	var out [4][NumOutputs]gmath.Vec4
+	live := m.RunQuad(p, &in, 0xF, &out)
+	if live != 0b1001 {
+		t.Errorf("live = %04b, want 1001", live)
+	}
+	if m.Stats().Kills != 2 {
+		t.Errorf("kills = %d", m.Stats().Kills)
+	}
+}
+
+func TestRunQuadPartialMask(t *testing.T) {
+	p := MustAssemble("fs", FragmentProgram, "mov o0, v0")
+	m := NewMachine()
+	var in [4][NumInputs]gmath.Vec4
+	var out [4][NumOutputs]gmath.Vec4
+	live := m.RunQuad(p, &in, 0b0101, &out)
+	if live != 0b0101 {
+		t.Errorf("live = %04b", live)
+	}
+	// Stats only count active lanes.
+	if m.Stats().Invocations != 2 {
+		t.Errorf("invocations = %d", m.Stats().Invocations)
+	}
+}
+
+func TestLibraryPrograms(t *testing.T) {
+	for _, p := range []*Program{
+		BasicTransformVS(), DepthOnlyVS(), TexturedFS(),
+		StencilVolumeFS(), AlphaTestedFS(),
+	} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	if !AlphaTestedFS().UsesKill() {
+		t.Error("AlphaTestedFS should use KIL")
+	}
+	if DepthOnlyVS().Len() != 4 {
+		t.Errorf("DepthOnlyVS len = %d", DepthOnlyVS().Len())
+	}
+}
+
+func TestSynthesizeVS(t *testing.T) {
+	for _, n := range []int{6, 7, 17, 23, 38} {
+		p, err := SynthesizeVS("vs", n)
+		if err != nil {
+			t.Fatalf("SynthesizeVS(%d): %v", n, err)
+		}
+		if p.Len() != n {
+			t.Errorf("SynthesizeVS(%d) len = %d", n, p.Len())
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("SynthesizeVS(%d): %v", n, err)
+		}
+	}
+	if _, err := SynthesizeVS("vs", 5); err == nil {
+		t.Error("SynthesizeVS(5) should fail")
+	}
+}
+
+func TestSynthesizeFS(t *testing.T) {
+	cases := []struct{ total, tex int }{
+		{5, 2}, {13, 4}, {16, 4}, {21, 3}, {2, 1}, {1, 0}, {15, 1},
+	}
+	for _, c := range cases {
+		p, err := SynthesizeFS("fs", c.total, c.tex, 4)
+		if err != nil {
+			t.Fatalf("SynthesizeFS(%d,%d): %v", c.total, c.tex, err)
+		}
+		if p.Len() != c.total || p.TexCount() != c.tex {
+			t.Errorf("SynthesizeFS(%d,%d) got len=%d tex=%d",
+				c.total, c.tex, p.Len(), p.TexCount())
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("SynthesizeFS(%d,%d): %v", c.total, c.tex, err)
+		}
+	}
+	if _, err := SynthesizeFS("fs", 2, 2, 4); err == nil {
+		t.Error("total==tex should fail (no room for output write)")
+	}
+	if _, err := SynthesizeFS("fs", 5, 2, 0); err == nil {
+		t.Error("tex>0 with no units should fail")
+	}
+}
+
+func TestSynthesizedProgramsExecute(t *testing.T) {
+	// Synthesized programs must actually run without touching
+	// out-of-range registers.
+	vs, _ := SynthesizeVS("vs", 24)
+	m := NewMachine()
+	var in [NumInputs]gmath.Vec4
+	var out [NumOutputs]gmath.Vec4
+	m.RunVertex(vs, &in, &out)
+
+	fs, _ := SynthesizeFS("fs", 16, 4, 4)
+	m.Sampler = &fakeSampler{color: gmath.V4(1, 1, 1, 1)}
+	var qin [4][NumInputs]gmath.Vec4
+	var qout [4][NumOutputs]gmath.Vec4
+	m.RunQuad(fs, &qin, 0xF, &qout)
+	if m.Stats().TexInstructions != 16 { // 4 tex * 4 lanes
+		t.Errorf("tex instructions = %d", m.Stats().TexInstructions)
+	}
+}
+
+func TestALUTexRatioMatchesPaperDefinition(t *testing.T) {
+	// Paper Table XII: UT2004 has 4.63 total, 1.54 tex, ratio 2.01 —
+	// i.e. ratio = (total-tex)/tex. Verify our Program computes it so.
+	p, err := SynthesizeFS("ut", 463, 154, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := p.ALUTexRatio()
+	want := float64(463-154) / 154
+	if ratio != want {
+		t.Errorf("ratio = %v, want %v", ratio, want)
+	}
+}

@@ -1,0 +1,220 @@
+// Package stats provides the lightweight statistics primitives used
+// throughout the characterization framework: running means, per-frame
+// series, counters with ratios, and simple histograms.
+//
+// The paper reports two kinds of data: averages over a whole timedemo
+// (tables) and per-frame series (figures). Mean and Series mirror those
+// two shapes directly.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean accumulates a running arithmetic mean without storing samples.
+type Mean struct {
+	sum float64
+	n   int64
+}
+
+// Add accumulates one sample.
+func (m *Mean) Add(x float64) { m.sum += x; m.n++ }
+
+// AddN accumulates a pre-summed batch of n samples.
+func (m *Mean) AddN(sum float64, n int64) { m.sum += sum; m.n += n }
+
+// Value returns the mean of the accumulated samples, or 0 when empty.
+func (m *Mean) Value() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// Sum returns the total of all accumulated samples.
+func (m *Mean) Sum() float64 { return m.sum }
+
+// Count returns the number of accumulated samples.
+func (m *Mean) Count() int64 { return m.n }
+
+// Series is an ordered per-frame sequence of values, the unit of data
+// behind every figure in the paper.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Append adds one frame's value.
+func (s *Series) Append(v float64) { s.Values = append(s.Values, v) }
+
+// Len returns the number of frames recorded.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Mean returns the arithmetic mean of the series, or 0 when empty.
+func (s *Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// Min returns the smallest value in the series, or 0 when empty.
+func (s *Series) Min() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	min := s.Values[0]
+	for _, v := range s.Values[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Max returns the largest value in the series, or 0 when empty.
+func (s *Series) Max() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	max := s.Values[0]
+	for _, v := range s.Values[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// MeanRange returns the mean of values[from:to] (clamped), the tool used
+// for Oblivion's two-region vertex shader statistic in Table IV.
+func (s *Series) MeanRange(from, to int) float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(s.Values) {
+		to = len(s.Values)
+	}
+	if from >= to {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.Values[from:to] {
+		sum += v
+	}
+	return sum / float64(to-from)
+}
+
+// Percentile returns the p-th percentile (0-100) using nearest-rank on a
+// sorted copy. It returns 0 when the series is empty.
+func (s *Series) Percentile(p float64) float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.Values...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// Downsample returns a new series keeping every stride-th frame, used when
+// plotting long runs compactly.
+func (s *Series) Downsample(stride int) *Series {
+	if stride < 1 {
+		stride = 1
+	}
+	out := NewSeries(s.Name)
+	for i := 0; i < len(s.Values); i += stride {
+		out.Append(s.Values[i])
+	}
+	return out
+}
+
+// Counter counts discrete events.
+type Counter struct {
+	n int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Ratio returns c / total as a float in [0,1], or 0 when total is zero.
+func Ratio(c, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(c) / float64(total)
+}
+
+// Percent returns 100 * c / total, or 0 when total is zero.
+func Percent(c, total int64) float64 { return 100 * Ratio(c, total) }
+
+// Histogram is a fixed-bucket histogram over [min, max).
+type Histogram struct {
+	Min, Max float64
+	Buckets  []int64
+	under    int64
+	over     int64
+}
+
+// NewHistogram creates a histogram with n equal-width buckets over
+// [min, max).
+func NewHistogram(min, max float64, n int) *Histogram {
+	if n < 1 {
+		n = 1
+	}
+	return &Histogram{Min: min, Max: max, Buckets: make([]int64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	if x < h.Min {
+		h.under++
+		return
+	}
+	if x >= h.Max {
+		h.over++
+		return
+	}
+	i := int((x - h.Min) / (h.Max - h.Min) * float64(len(h.Buckets)))
+	if i >= len(h.Buckets) {
+		i = len(h.Buckets) - 1
+	}
+	h.Buckets[i]++
+}
+
+// Total returns the number of observations, including out-of-range ones.
+func (h *Histogram) Total() int64 {
+	t := h.under + h.over
+	for _, b := range h.Buckets {
+		t += b
+	}
+	return t
+}
+
+// String renders a short textual summary of the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("hist[%g,%g) n=%d under=%d over=%d",
+		h.Min, h.Max, h.Total(), h.under, h.over)
+}

@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 {
+		t.Errorf("empty mean = %v, want 0", m.Value())
+	}
+	for _, x := range []float64{1, 2, 3, 4} {
+		m.Add(x)
+	}
+	if m.Value() != 2.5 {
+		t.Errorf("mean = %v, want 2.5", m.Value())
+	}
+	if m.Count() != 4 || m.Sum() != 10 {
+		t.Errorf("count=%d sum=%v", m.Count(), m.Sum())
+	}
+	m.AddN(10, 2) // two samples totalling 10
+	if m.Value() != 20.0/6 {
+		t.Errorf("mean after AddN = %v", m.Value())
+	}
+}
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries("batches")
+	for _, v := range []float64{5, 1, 9, 3} {
+		s.Append(v)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Mean() != 4.5 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 9 {
+		t.Errorf("min=%v max=%v", s.Min(), s.Max())
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	s := NewSeries("empty")
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(50) != 0 {
+		t.Error("empty series should return zeros")
+	}
+}
+
+func TestSeriesMeanRange(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i < 10; i++ {
+		s.Append(float64(i))
+	}
+	if got := s.MeanRange(0, 5); got != 2 {
+		t.Errorf("MeanRange(0,5) = %v, want 2", got)
+	}
+	if got := s.MeanRange(5, 10); got != 7 {
+		t.Errorf("MeanRange(5,10) = %v, want 7", got)
+	}
+	// Clamping behaviour.
+	if got := s.MeanRange(-3, 100); got != 4.5 {
+		t.Errorf("clamped MeanRange = %v, want 4.5", got)
+	}
+	if got := s.MeanRange(7, 3); got != 0 {
+		t.Errorf("inverted range = %v, want 0", got)
+	}
+}
+
+func TestSeriesPercentile(t *testing.T) {
+	s := NewSeries("x")
+	for i := 1; i <= 100; i++ {
+		s.Append(float64(i))
+	}
+	if got := s.Percentile(50); got != 50 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+}
+
+func TestSeriesDownsample(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i < 10; i++ {
+		s.Append(float64(i))
+	}
+	d := s.Downsample(3)
+	want := []float64{0, 3, 6, 9}
+	if len(d.Values) != len(want) {
+		t.Fatalf("downsampled len = %d", len(d.Values))
+	}
+	for i, v := range want {
+		if d.Values[i] != v {
+			t.Errorf("d[%d] = %v, want %v", i, d.Values[i], v)
+		}
+	}
+	if d0 := s.Downsample(0); d0.Len() != s.Len() {
+		t.Errorf("stride 0 should behave as 1")
+	}
+}
+
+func TestRatioPercent(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio with zero total should be 0")
+	}
+	if Ratio(1, 4) != 0.25 {
+		t.Errorf("Ratio = %v", Ratio(1, 4))
+	}
+	if Percent(1, 4) != 25 {
+		t.Errorf("Percent = %v", Percent(1, 4))
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d", c.Value())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 100} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.Buckets[0] != 2 { // 0 and 1.9
+		t.Errorf("bucket0 = %d", h.Buckets[0])
+	}
+	if h.Buckets[1] != 1 { // 2
+		t.Errorf("bucket1 = %d", h.Buckets[1])
+	}
+	if h.Buckets[4] != 1 { // 9.99
+		t.Errorf("bucket4 = %d", h.Buckets[4])
+	}
+	if h.under != 1 || h.over != 2 {
+		t.Errorf("under=%d over=%d", h.under, h.over)
+	}
+	if h.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+// Property: the running mean matches a direct computation.
+func TestQuickMeanMatchesDirect(t *testing.T) {
+	f := func(xs []float64) bool {
+		var m Mean
+		var sum float64
+		ok := true
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true // skip pathological inputs
+			}
+			// Keep magnitudes reasonable to avoid float blow-up.
+			x = math.Mod(x, 1e6)
+			m.Add(x)
+			sum += x
+		}
+		if len(xs) == 0 {
+			return m.Value() == 0
+		}
+		want := sum / float64(len(xs))
+		diff := math.Abs(m.Value() - want)
+		scale := math.Abs(want) + 1
+		ok = diff/scale < 1e-9
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: series mean lies between min and max.
+func TestQuickSeriesMeanBounded(t *testing.T) {
+	f := func(xs []float64) bool {
+		s := NewSeries("q")
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			s.Append(math.Mod(x, 1e9))
+		}
+		if s.Len() == 0 {
+			return true
+		}
+		const slack = 1e-6
+		return s.Mean() >= s.Min()-slack && s.Mean() <= s.Max()+slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

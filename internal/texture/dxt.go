@@ -1,0 +1,224 @@
+package texture
+
+// S3TC (DXT1/3/5) block codec. The paper's benchmarks store most texture
+// data DXT-compressed, which together with the texture cache reduces
+// texture bandwidth "almost to a tenth" (paper §III.E); the codec here
+// provides the real storage layout so that compressed-space addressing
+// and traffic accounting are exact, and encode/decode are implemented in
+// full so textures with real data round-trip.
+
+// RGBA is one 8-bit-per-channel texel.
+type RGBA struct{ R, G, B, A uint8 }
+
+// pack565 converts an RGBA color to RGB565.
+func pack565(c RGBA) uint16 {
+	return uint16(c.R>>3)<<11 | uint16(c.G>>2)<<5 | uint16(c.B>>3)
+}
+
+// unpack565 expands an RGB565 color to RGBA with full alpha.
+func unpack565(v uint16) RGBA {
+	r := uint8(v >> 11 & 0x1F)
+	g := uint8(v >> 5 & 0x3F)
+	b := uint8(v & 0x1F)
+	// Standard bit replication.
+	return RGBA{
+		R: r<<3 | r>>2,
+		G: g<<2 | g>>4,
+		B: b<<3 | b>>2,
+		A: 255,
+	}
+}
+
+func lerpU8(a, b uint8, num, den int) uint8 {
+	return uint8((int(a)*(den-num) + int(b)*num) / den)
+}
+
+// EncodeDXT1Block compresses a 4x4 texel block (row-major, 16 texels)
+// into 8 bytes. The encoder picks the min/max luminance colors as
+// endpoints — not optimal but standard-layout and deterministic.
+// Alpha is ignored (DXT1 opaque mode: c0 > c1).
+func EncodeDXT1Block(texels *[16]RGBA, out *[8]byte) {
+	c0, c1 := blockEndpoints(texels)
+	p0, p1 := pack565(c0), pack565(c1)
+	if p0 < p1 {
+		p0, p1 = p1, p0
+		c0, c1 = c1, c0
+	}
+	if p0 == p1 {
+		// Degenerate single-color block: all indices 0.
+		out[0], out[1] = byte(p0), byte(p0>>8)
+		out[2], out[3] = byte(p1), byte(p1>>8)
+		out[4], out[5], out[6], out[7] = 0, 0, 0, 0
+		return
+	}
+	palette := dxt1Palette(p0, p1)
+	var bits uint32
+	for i := 15; i >= 0; i-- {
+		bits = bits<<2 | uint32(nearestIndex(texels[i], &palette))
+	}
+	out[0], out[1] = byte(p0), byte(p0>>8)
+	out[2], out[3] = byte(p1), byte(p1>>8)
+	out[4], out[5] = byte(bits), byte(bits>>8)
+	out[6], out[7] = byte(bits>>16), byte(bits>>24)
+}
+
+// DecodeDXT1Block expands an 8-byte DXT1 block into 16 texels.
+func DecodeDXT1Block(block []byte, texels *[16]RGBA) {
+	p0 := uint16(block[0]) | uint16(block[1])<<8
+	p1 := uint16(block[2]) | uint16(block[3])<<8
+	palette := dxt1Palette(p0, p1)
+	bits := uint32(block[4]) | uint32(block[5])<<8 |
+		uint32(block[6])<<16 | uint32(block[7])<<24
+	for i := 0; i < 16; i++ {
+		texels[i] = palette[bits>>(2*i)&3]
+	}
+}
+
+// dxt1Palette builds the 4-color palette for a DXT1 block. When
+// p0 > p1 the two interpolants are 1/3 and 2/3 blends; otherwise the
+// punch-through mode provides a midpoint and transparent black.
+func dxt1Palette(p0, p1 uint16) [4]RGBA {
+	c0, c1 := unpack565(p0), unpack565(p1)
+	var pal [4]RGBA
+	pal[0], pal[1] = c0, c1
+	if p0 > p1 {
+		pal[2] = RGBA{
+			lerpU8(c0.R, c1.R, 1, 3), lerpU8(c0.G, c1.G, 1, 3),
+			lerpU8(c0.B, c1.B, 1, 3), 255,
+		}
+		pal[3] = RGBA{
+			lerpU8(c0.R, c1.R, 2, 3), lerpU8(c0.G, c1.G, 2, 3),
+			lerpU8(c0.B, c1.B, 2, 3), 255,
+		}
+	} else {
+		pal[2] = RGBA{
+			lerpU8(c0.R, c1.R, 1, 2), lerpU8(c0.G, c1.G, 1, 2),
+			lerpU8(c0.B, c1.B, 1, 2), 255,
+		}
+		pal[3] = RGBA{} // transparent black
+	}
+	return pal
+}
+
+func blockEndpoints(texels *[16]RGBA) (lo, hi RGBA) {
+	lum := func(c RGBA) int { return 2*int(c.R) + 5*int(c.G) + int(c.B) }
+	lo, hi = texels[0], texels[0]
+	loL, hiL := lum(lo), lum(hi)
+	for _, t := range texels[1:] {
+		l := lum(t)
+		if l < loL {
+			lo, loL = t, l
+		}
+		if l > hiL {
+			hi, hiL = t, l
+		}
+	}
+	return hi, lo // c0 = brighter endpoint by convention
+}
+
+func nearestIndex(c RGBA, pal *[4]RGBA) int {
+	best, bestD := 0, 1<<30
+	for i, p := range pal {
+		dr, dg, db := int(c.R)-int(p.R), int(c.G)-int(p.G), int(c.B)-int(p.B)
+		d := dr*dr + dg*dg + db*db
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// EncodeDXT3Block compresses a 4x4 block into 16 bytes: 8 bytes of
+// explicit 4-bit alpha followed by a DXT1 color block.
+func EncodeDXT3Block(texels *[16]RGBA, out *[16]byte) {
+	for i := 0; i < 8; i++ {
+		a0 := texels[2*i].A >> 4
+		a1 := texels[2*i+1].A >> 4
+		out[i] = a0 | a1<<4
+	}
+	var color [8]byte
+	EncodeDXT1Block(texels, &color)
+	copy(out[8:], color[:])
+}
+
+// DecodeDXT3Block expands a 16-byte DXT3 block.
+func DecodeDXT3Block(block []byte, texels *[16]RGBA) {
+	DecodeDXT1Block(block[8:16], texels)
+	for i := 0; i < 8; i++ {
+		a0 := block[i] & 0xF
+		a1 := block[i] >> 4
+		texels[2*i].A = a0<<4 | a0
+		texels[2*i+1].A = a1<<4 | a1
+	}
+}
+
+// EncodeDXT5Block compresses a 4x4 block into 16 bytes: two alpha
+// endpoints with 3-bit interpolation indices, then a DXT1 color block.
+func EncodeDXT5Block(texels *[16]RGBA, out *[16]byte) {
+	aLo, aHi := texels[0].A, texels[0].A
+	for _, t := range texels[1:] {
+		if t.A < aLo {
+			aLo = t.A
+		}
+		if t.A > aHi {
+			aHi = t.A
+		}
+	}
+	// Use the 8-value mode (a0 > a1); degenerate blocks keep a0 == a1.
+	a0, a1 := aHi, aLo
+	out[0], out[1] = a0, a1
+	pal := dxt5AlphaPalette(a0, a1)
+	var bits uint64
+	for i := 15; i >= 0; i-- {
+		bits = bits<<3 | uint64(nearestAlpha(texels[i].A, &pal))
+	}
+	for i := 0; i < 6; i++ {
+		out[2+i] = byte(bits >> (8 * i))
+	}
+	var color [8]byte
+	EncodeDXT1Block(texels, &color)
+	copy(out[8:], color[:])
+}
+
+// DecodeDXT5Block expands a 16-byte DXT5 block.
+func DecodeDXT5Block(block []byte, texels *[16]RGBA) {
+	DecodeDXT1Block(block[8:16], texels)
+	pal := dxt5AlphaPalette(block[0], block[1])
+	var bits uint64
+	for i := 0; i < 6; i++ {
+		bits |= uint64(block[2+i]) << (8 * i)
+	}
+	for i := 0; i < 16; i++ {
+		texels[i].A = pal[bits>>(3*i)&7]
+	}
+}
+
+func dxt5AlphaPalette(a0, a1 uint8) [8]uint8 {
+	var pal [8]uint8
+	pal[0], pal[1] = a0, a1
+	if a0 > a1 {
+		for i := 1; i <= 6; i++ {
+			pal[1+i] = lerpU8(a0, a1, i, 7)
+		}
+	} else {
+		for i := 1; i <= 4; i++ {
+			pal[1+i] = lerpU8(a0, a1, i, 5)
+		}
+		pal[6], pal[7] = 0, 255
+	}
+	return pal
+}
+
+func nearestAlpha(a uint8, pal *[8]uint8) int {
+	best, bestD := 0, 1<<30
+	for i, p := range pal {
+		d := int(a) - int(p)
+		if d < 0 {
+			d = -d
+		}
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}

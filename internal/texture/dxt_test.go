@@ -1,0 +1,180 @@
+package texture
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPack565RoundTrip(t *testing.T) {
+	// Colors representable in 565 survive exactly thanks to bit
+	// replication.
+	cases := []RGBA{
+		{0, 0, 0, 255}, {255, 255, 255, 255}, {255, 0, 0, 255},
+		{0, 255, 0, 255}, {0, 0, 255, 255}, {0x84, 0x82, 0x84, 255},
+	}
+	for _, c := range cases {
+		got := unpack565(pack565(c))
+		if got != c {
+			t.Errorf("565 round trip %v -> %v", c, got)
+		}
+	}
+}
+
+func TestDXT1FlatBlock(t *testing.T) {
+	var texels [16]RGBA
+	for i := range texels {
+		texels[i] = RGBA{100, 150, 200, 255}
+	}
+	var enc [8]byte
+	EncodeDXT1Block(&texels, &enc)
+	var dec [16]RGBA
+	DecodeDXT1Block(enc[:], &dec)
+	for i, c := range dec {
+		if absDiff(c.R, 100) > 8 || absDiff(c.G, 150) > 4 || absDiff(c.B, 200) > 8 {
+			t.Fatalf("texel %d = %v, want ~(100,150,200)", i, c)
+		}
+		if c.A != 255 {
+			t.Fatalf("texel %d alpha = %d", i, c.A)
+		}
+	}
+}
+
+func TestDXT1TwoColorBlock(t *testing.T) {
+	var texels [16]RGBA
+	black := RGBA{0, 0, 0, 255}
+	white := RGBA{255, 255, 255, 255}
+	for i := range texels {
+		if i%2 == 0 {
+			texels[i] = black
+		} else {
+			texels[i] = white
+		}
+	}
+	var enc [8]byte
+	EncodeDXT1Block(&texels, &enc)
+	var dec [16]RGBA
+	DecodeDXT1Block(enc[:], &dec)
+	for i := range dec {
+		want := texels[i]
+		if dec[i] != want {
+			t.Errorf("texel %d = %v, want %v", i, dec[i], want)
+		}
+	}
+}
+
+func TestDXT1GradientQuality(t *testing.T) {
+	// A gradient block must decode within palette-quantization error.
+	var texels [16]RGBA
+	for i := range texels {
+		v := uint8(i * 16)
+		texels[i] = RGBA{v, v, v, 255}
+	}
+	var enc [8]byte
+	EncodeDXT1Block(&texels, &enc)
+	var dec [16]RGBA
+	DecodeDXT1Block(enc[:], &dec)
+	for i := range dec {
+		// 4 palette entries over a 0..240 ramp: max error ~ half the
+		// inter-entry distance (40) plus 565 quantization.
+		if absDiff(dec[i].R, texels[i].R) > 48 {
+			t.Errorf("texel %d = %v, want ~%v", i, dec[i], texels[i])
+		}
+	}
+}
+
+func TestDXT3AlphaExact(t *testing.T) {
+	var texels [16]RGBA
+	for i := range texels {
+		// DXT3 stores 4-bit alpha: multiples of 17 are exact.
+		texels[i] = RGBA{128, 128, 128, uint8((i % 16) * 17)}
+	}
+	var enc [16]byte
+	EncodeDXT3Block(&texels, &enc)
+	var dec [16]RGBA
+	DecodeDXT3Block(enc[:], &dec)
+	for i := range dec {
+		if dec[i].A != texels[i].A {
+			t.Errorf("texel %d alpha = %d, want %d", i, dec[i].A, texels[i].A)
+		}
+	}
+}
+
+func TestDXT5AlphaEndpoints(t *testing.T) {
+	var texels [16]RGBA
+	for i := range texels {
+		texels[i] = RGBA{50, 60, 70, uint8(i * 17)}
+	}
+	var enc [16]byte
+	EncodeDXT5Block(&texels, &enc)
+	var dec [16]RGBA
+	DecodeDXT5Block(enc[:], &dec)
+	for i := range dec {
+		// 8-entry palette over the alpha range: max error about half
+		// the palette step (255/7/2 ~ 18) plus rounding.
+		if absDiff(dec[i].A, texels[i].A) > 20 {
+			t.Errorf("texel %d alpha = %d, want ~%d", i, dec[i].A, texels[i].A)
+		}
+	}
+}
+
+func TestDXT5FlatAlpha(t *testing.T) {
+	var texels [16]RGBA
+	for i := range texels {
+		texels[i] = RGBA{10, 20, 30, 77}
+	}
+	var enc [16]byte
+	EncodeDXT5Block(&texels, &enc)
+	var dec [16]RGBA
+	DecodeDXT5Block(enc[:], &dec)
+	for i := range dec {
+		if dec[i].A != 77 {
+			t.Errorf("texel %d alpha = %d, want 77", i, dec[i].A)
+		}
+	}
+}
+
+// Property: DXT1 decode of any encode yields colors within palette
+// distance of the inputs' extremes (i.e. decode never produces colors
+// wildly outside the block's range).
+func TestQuickDXT1BoundedError(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func() bool {
+		var texels [16]RGBA
+		lo, hi := uint8(255), uint8(0)
+		for i := range texels {
+			v := uint8(rng.Intn(256))
+			texels[i] = RGBA{v, v, v, 255}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		var enc [8]byte
+		EncodeDXT1Block(&texels, &enc)
+		var dec [16]RGBA
+		DecodeDXT1Block(enc[:], &dec)
+		for i := range dec {
+			// Worst-case quantization: palette spans [lo,hi] with 4
+			// entries; error bounded by half a step plus 565 loss.
+			step := (int(hi) - int(lo)) / 3
+			bound := step/2 + 16
+			if int(absDiff(dec[i].R, texels[i].R)) > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func absDiff(a, b uint8) uint8 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,297 @@
+package texture
+
+import (
+	"math"
+
+	"gpuchar/internal/cache"
+	"gpuchar/internal/gmath"
+	"gpuchar/internal/mem"
+)
+
+// FilterMode selects the texture filtering algorithm.
+type FilterMode uint8
+
+// Filtering modes. Anisotropic filtering takes a variable number of
+// bilinear probes along the major axis of the pixel footprint — the
+// dynamic component the paper's Table XIII characterizes.
+const (
+	FilterNearest FilterMode = iota
+	FilterBilinear
+	FilterTrilinear
+	FilterAniso
+)
+
+// String names the filter mode like the paper's Table I ("Trilinear",
+// "Anisotropic").
+func (f FilterMode) String() string {
+	switch f {
+	case FilterNearest:
+		return "Nearest"
+	case FilterBilinear:
+		return "Bilinear"
+	case FilterTrilinear:
+		return "Trilinear"
+	default:
+		return "Anisotropic"
+	}
+}
+
+// SamplerState is the per-unit filtering configuration.
+type SamplerState struct {
+	Filter FilterMode
+	// MaxAniso caps the anisotropy ratio (16 in the paper's "16X" runs).
+	MaxAniso int
+	// LODBias is added to the computed level of detail.
+	LODBias float32
+}
+
+// SampleStats counts filtering work in the paper's units.
+type SampleStats struct {
+	// Requests counts texture requests (one per fragment per texture
+	// instruction).
+	Requests int64
+	// BilinearSamples counts bilinear samples taken; modern GPUs
+	// execute one per cycle per pipe, so BilinearSamples/Requests is
+	// the throughput cost of Table XIII.
+	BilinearSamples int64
+	// TexelFetches counts individual texel reads before cache filtering.
+	TexelFetches int64
+}
+
+// AvgBilinearPerRequest returns the Table XIII headline metric.
+func (s SampleStats) AvgBilinearPerRequest() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.BilinearSamples) / float64(s.Requests)
+}
+
+// L0Config and L1Config are the paper's Table XIV texture cache
+// geometries: a small fully-associative L0 holding decompressed texels
+// and a set-associative L1 holding compressed data.
+var (
+	L0Config = cache.Config{Ways: 64, Sets: 1, LineBytes: 64}
+	L1Config = cache.Config{Ways: 16, Sets: 16, LineBytes: 64}
+)
+
+// Unit is the texture sampling unit: sixteen texture bindings, the
+// two-level cache hierarchy, and the memory controller connection. It
+// implements the shader.Sampler interface.
+type Unit struct {
+	bindings [16]binding
+	l0       *cache.Cache
+	l1       *cache.Cache
+	memctl   *mem.Controller
+	stats    SampleStats
+}
+
+type binding struct {
+	tex   *Texture
+	state SamplerState
+}
+
+// NewUnit creates a texture unit connected to the given memory
+// controller (which may be nil for pure filtering tests).
+func NewUnit(m *mem.Controller) *Unit {
+	return &Unit{
+		l0:     cache.New(L0Config),
+		l1:     cache.New(L1Config),
+		memctl: m,
+	}
+}
+
+// Bind attaches a texture with sampling state to a unit slot.
+func (u *Unit) Bind(slot int, t *Texture, st SamplerState) {
+	u.bindings[slot&15] = binding{tex: t, state: st}
+}
+
+// Stats returns the accumulated sampling statistics.
+func (u *Unit) Stats() SampleStats { return u.stats }
+
+// L0Stats and L1Stats expose the cache statistics for Table XIV.
+func (u *Unit) L0Stats() cache.Stats { return u.l0.Stats() }
+
+// L1Stats returns the compressed-level cache statistics.
+func (u *Unit) L1Stats() cache.Stats { return u.l1.Stats() }
+
+// ResetStats clears sampling and cache statistics.
+func (u *Unit) ResetStats() {
+	u.stats = SampleStats{}
+	u.l0.ResetStats()
+	u.l1.ResetStats()
+}
+
+// SampleQuad filters the bound texture for a 2x2 quad. The level of
+// detail and anisotropy are derived from the coordinate differences
+// across the quad, exactly as hardware does. Lane order is (x,y),
+// (x+1,y), (x,y+1), (x+1,y+1).
+func (u *Unit) SampleQuad(unit int, coords *[4]gmath.Vec4, bias float32,
+	projective bool) [4]gmath.Vec4 {
+
+	b := &u.bindings[unit&15]
+	if b.tex == nil {
+		return [4]gmath.Vec4{}
+	}
+	var st [4]gmath.Vec2
+	for lane := 0; lane < 4; lane++ {
+		s, t, q := coords[lane].X, coords[lane].Y, coords[lane].W
+		if projective && q != 0 {
+			s, t = s/q, t/q
+		}
+		st[lane] = gmath.V2(s, t)
+	}
+
+	w0, h0 := b.tex.LevelSize(0)
+	fw, fh := float32(w0), float32(h0)
+	// Texel-space derivatives across the quad.
+	dx := gmath.V2((st[1].X-st[0].X)*fw, (st[1].Y-st[0].Y)*fh)
+	dy := gmath.V2((st[2].X-st[0].X)*fw, (st[2].Y-st[0].Y)*fh)
+	lenX := dx.Len()
+	lenY := dy.Len()
+
+	pMax, pMin := lenX, lenY
+	major := dx
+	if lenY > lenX {
+		pMax, pMin = lenY, lenX
+		major = dy
+	}
+	if pMax < 1e-8 {
+		pMax = 1e-8
+	}
+	if pMin < 1e-8 {
+		pMin = 1e-8
+	}
+
+	// Probe count and LOD per filter mode.
+	probes := 1
+	lod := float32(math.Log2(float64(pMax)))
+	switch b.state.Filter {
+	case FilterAniso:
+		ratio := pMax / pMin
+		maxA := float32(b.state.MaxAniso)
+		if maxA < 1 {
+			maxA = 1
+		}
+		if ratio > maxA {
+			ratio = maxA
+		}
+		probes = int(math.Ceil(float64(ratio)))
+		if probes < 1 {
+			probes = 1
+		}
+		lod = float32(math.Log2(float64(pMax / float32(probes))))
+	case FilterNearest, FilterBilinear:
+		// single probe at rounded/fractional lod below
+	case FilterTrilinear:
+		// single probe, two mips
+	}
+	lod += b.state.LODBias + bias
+	maxLod := float32(b.tex.Levels() - 1)
+	lod = gmath.Clamp(lod, 0, maxLod)
+
+	trilinear := b.state.Filter == FilterTrilinear || b.state.Filter == FilterAniso
+	var out [4]gmath.Vec4
+	for lane := 0; lane < 4; lane++ {
+		u.stats.Requests++
+		var acc gmath.Vec4
+		// Probe positions step along the major footprint axis in
+		// normalized coordinates.
+		stepS := major.X / (fw * float32(probes))
+		stepT := major.Y / (fh * float32(probes))
+		for p := 0; p < probes; p++ {
+			off := float32(p) - float32(probes-1)/2
+			ps := st[lane].X + stepS*off
+			pt := st[lane].Y + stepT*off
+			var c gmath.Vec4
+			switch {
+			case b.state.Filter == FilterNearest:
+				c = u.fetchNearest(b.tex, ps, pt, int(lod+0.5))
+				u.stats.BilinearSamples++ // nearest occupies one sample slot
+			case trilinear:
+				l0i := int(lod)
+				frac := lod - float32(l0i)
+				cA := u.bilinear(b.tex, ps, pt, l0i)
+				cB := u.bilinear(b.tex, ps, pt, minInt(l0i+1, int(maxLod)))
+				c = cA.Lerp(cB, frac)
+				u.stats.BilinearSamples += 2
+			default: // bilinear
+				c = u.bilinear(b.tex, ps, pt, int(lod+0.5))
+				u.stats.BilinearSamples++
+			}
+			acc = acc.Add(c)
+		}
+		out[lane] = acc.Scale(1 / float32(probes))
+	}
+	return out
+}
+
+// bilinear performs one bilinear sample: four texel fetches with
+// fractional weighting.
+func (u *Unit) bilinear(t *Texture, s, tc float32, lv int) gmath.Vec4 {
+	lw, lh := t.LevelSize(lv)
+	x := s*float32(lw) - 0.5
+	y := tc*float32(lh) - 0.5
+	x0 := int(floorf(x))
+	y0 := int(floorf(y))
+	fx := x - float32(x0)
+	fy := y - float32(y0)
+
+	c00 := u.fetchTexel(t, x0, y0, lv)
+	c10 := u.fetchTexel(t, x0+1, y0, lv)
+	c01 := u.fetchTexel(t, x0, y0+1, lv)
+	c11 := u.fetchTexel(t, x0+1, y0+1, lv)
+
+	top := c00.Lerp(c10, fx)
+	bot := c01.Lerp(c11, fx)
+	return top.Lerp(bot, fy)
+}
+
+func (u *Unit) fetchNearest(t *Texture, s, tc float32, lv int) gmath.Vec4 {
+	lw, lh := t.LevelSize(lv)
+	x := int(floorf(s * float32(lw)))
+	y := int(floorf(tc * float32(lh)))
+	return u.fetchTexel(t, x, y, lv)
+}
+
+// fetchTexel reads one texel, driving the cache hierarchy: the L0 cache
+// is addressed in decompressed space; an L0 miss fetches through the L1
+// cache in compressed space; an L1 miss reads GDDR.
+func (u *Unit) fetchTexel(t *Texture, x, y, lv int) gmath.Vec4 {
+	c, compAddr := t.Texel(x, y, lv)
+	u.stats.TexelFetches++
+	// Decompressed-space address: scale the texture's base so distinct
+	// textures never alias (decompressed data is at most 8x larger than
+	// DXT1; 16x margin).
+	uncAddr := t.BaseAddr*16 + t.uncompressedOffset(x, y, lv)
+	if !u.l0.Access(uncAddr, false) {
+		if !u.l1.Access(compAddr, false) && u.memctl != nil {
+			u.memctl.Read(mem.ClientTexture, int64(L1Config.LineBytes))
+		}
+	}
+	return gmath.Vec4{
+		X: float32(c.R) / 255,
+		Y: float32(c.G) / 255,
+		Z: float32(c.B) / 255,
+		W: float32(c.A) / 255,
+	}
+}
+
+// uncompressedOffset computes the tiled 4-bytes-per-texel address used
+// for L0 (decompressed) lookups: 4x4-texel tiles of 64 bytes.
+func (t *Texture) uncompressedOffset(x, y, lv int) uint64 {
+	lv = clampInt(lv, 0, len(t.levels)-1)
+	li := &t.levels[lv]
+	x &= li.w - 1
+	y &= li.h - 1
+	// Level base in decompressed space: sum of 4-byte-per-texel levels.
+	var base uint64
+	for i := 0; i < lv; i++ {
+		base += uint64(t.levels[i].w*t.levels[i].h) * 4
+	}
+	tilesPerRow := (li.w + 3) / 4
+	tile := (y/4)*tilesPerRow + x/4
+	within := (y%4)*4 + x%4
+	return base + uint64(tile*64+within*4)
+}
+
+func floorf(x float32) float32 { return float32(math.Floor(float64(x))) }

@@ -1,0 +1,206 @@
+package texture
+
+import "testing"
+
+func TestFormatProperties(t *testing.T) {
+	cases := []struct {
+		f          Format
+		compressed bool
+		blockDim   int
+		blockBytes int
+	}{
+		{FormatRGBA8, false, 1, 4},
+		{FormatL8, false, 1, 1},
+		{FormatDXT1, true, 4, 8},
+		{FormatDXT3, true, 4, 16},
+		{FormatDXT5, true, 4, 16},
+	}
+	for _, c := range cases {
+		if c.f.Compressed() != c.compressed {
+			t.Errorf("%v Compressed = %v", c.f, c.f.Compressed())
+		}
+		if c.f.BlockDim() != c.blockDim {
+			t.Errorf("%v BlockDim = %d", c.f, c.f.BlockDim())
+		}
+		if c.f.BlockBytes() != c.blockBytes {
+			t.Errorf("%v BlockBytes = %d", c.f, c.f.BlockBytes())
+		}
+	}
+	if FormatDXT1.BytesPerTexel() != 0.5 {
+		t.Errorf("DXT1 bytes/texel = %v", FormatDXT1.BytesPerTexel())
+	}
+	if FormatDXT1.LevelBytes(256, 256) != 256*256/2 {
+		t.Errorf("DXT1 256x256 = %d bytes", FormatDXT1.LevelBytes(256, 256))
+	}
+	// Non-multiple-of-4 dims round up to whole blocks.
+	if FormatDXT1.LevelBytes(1, 1) != 8 {
+		t.Errorf("DXT1 1x1 = %d bytes, want 8", FormatDXT1.LevelBytes(1, 1))
+	}
+}
+
+func TestNewMipChain(t *testing.T) {
+	tex := MustNew("t", FormatRGBA8, 256, 128, Flat(RGBA{1, 2, 3, 4}))
+	// 256x128 -> ... -> 1x1: levels are max(log2)+1 = 9.
+	if tex.Levels() != 9 {
+		t.Errorf("levels = %d, want 9", tex.Levels())
+	}
+	w, h := tex.LevelSize(0)
+	if w != 256 || h != 128 {
+		t.Errorf("level0 = %dx%d", w, h)
+	}
+	w, h = tex.LevelSize(8)
+	if w != 1 || h != 1 {
+		t.Errorf("level8 = %dx%d", w, h)
+	}
+	// Clamped out-of-range level.
+	w, h = tex.LevelSize(99)
+	if w != 1 || h != 1 {
+		t.Errorf("clamped level = %dx%d", w, h)
+	}
+}
+
+func TestNewRejectsNonPow2(t *testing.T) {
+	if _, err := New("bad", FormatRGBA8, 100, 64, nil); err == nil {
+		t.Error("non-power-of-two width accepted")
+	}
+	if _, err := New("bad", FormatRGBA8, 64, 0, nil); err == nil {
+		t.Error("zero height accepted")
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	tex := MustNew("t", FormatRGBA8, 4, 4, nil)
+	// 4x4*4 + 2x2*4 + 1x1*4 = 64+16+4 = 84.
+	if tex.TotalBytes() != 84 {
+		t.Errorf("TotalBytes = %d, want 84", tex.TotalBytes())
+	}
+}
+
+func TestTexelWrapAddressing(t *testing.T) {
+	tex := MustNew("t", FormatRGBA8, 8, 8, func(x, y, lv int) RGBA {
+		return RGBA{uint8(x), uint8(y), 0, 255}
+	})
+	c, _ := tex.Texel(3, 5, 0)
+	if c.R != 3 || c.G != 5 {
+		t.Errorf("texel(3,5) = %v", c)
+	}
+	// Wrap: x=11 -> 3, y=-3 -> 5.
+	c2, _ := tex.Texel(11, 13, 0)
+	if c2.R != 3 || c2.G != 5 {
+		t.Errorf("wrapped texel = %v", c2)
+	}
+}
+
+func TestTexelAddressesDistinctPerLevel(t *testing.T) {
+	tex := MustNew("t", FormatDXT1, 16, 16, Flat(RGBA{}))
+	_, a0 := tex.Texel(0, 0, 0)
+	_, a1 := tex.Texel(0, 0, 1)
+	if a0 == a1 {
+		t.Error("different mip levels share an address")
+	}
+	// Addresses within one level but different blocks differ too.
+	_, b0 := tex.Texel(0, 0, 0)
+	_, b1 := tex.Texel(8, 8, 0)
+	if b0 == b1 {
+		t.Error("different blocks share an address")
+	}
+	// Same block shares an address.
+	_, c0 := tex.Texel(1, 1, 0)
+	if b0 != c0 {
+		t.Error("texels of the same DXT block should share a block address")
+	}
+}
+
+func TestFromRGBARoundTrip(t *testing.T) {
+	w, h := 8, 8
+	img := make([]RGBA, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img[y*w+x] = RGBA{uint8(x * 30), uint8(y * 30), 128, 255}
+		}
+	}
+	tex, err := FromRGBA("data", FormatRGBA8, w, h, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			c, _ := tex.Texel(x, y, 0)
+			if c != img[y*w+x] {
+				t.Fatalf("texel(%d,%d) = %v, want %v", x, y, c, img[y*w+x])
+			}
+		}
+	}
+	// Level 1 is the box filter of level 0.
+	c, _ := tex.Texel(0, 0, 1)
+	want := RGBA{15, 15, 128, 255} // avg of (0,30),(30,*) corners
+	if absDiff(c.R, want.R) > 1 || absDiff(c.G, want.G) > 1 {
+		t.Errorf("mip texel = %v, want ~%v", c, want)
+	}
+}
+
+func TestFromRGBADXT1Decode(t *testing.T) {
+	w, h := 8, 8
+	img := make([]RGBA, w*h)
+	for i := range img {
+		img[i] = RGBA{200, 100, 50, 255}
+	}
+	tex, err := FromRGBA("dxt", FormatDXT1, w, h, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := tex.Texel(3, 3, 0)
+	if absDiff(c.R, 200) > 8 || absDiff(c.G, 100) > 4 || absDiff(c.B, 50) > 8 {
+		t.Errorf("DXT1 texel = %v, want ~(200,100,50)", c)
+	}
+}
+
+func TestFromRGBASizeMismatch(t *testing.T) {
+	if _, err := FromRGBA("bad", FormatRGBA8, 8, 8, make([]RGBA, 10)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestCheckerProc(t *testing.T) {
+	a, b := RGBA{255, 0, 0, 255}, RGBA{0, 0, 255, 255}
+	f := Checker(4, a, b)
+	if f(0, 0, 0) != a {
+		t.Error("checker origin should be color a")
+	}
+	if f(4, 0, 0) != b {
+		t.Error("checker (4,0) should be color b")
+	}
+	if f(4, 4, 0) != a {
+		t.Error("checker (4,4) should be color a")
+	}
+	// At a deeper mip the cell size shrinks.
+	if f(1, 0, 2) != b {
+		t.Error("mip-2 checker (1,0) should be color b")
+	}
+}
+
+func TestNoiseDeterministic(t *testing.T) {
+	f := Noise(7)
+	if f(3, 4, 0) != f(3, 4, 0) {
+		t.Error("noise not deterministic")
+	}
+	if f(3, 4, 0) == f(4, 3, 0) {
+		t.Error("noise suspiciously symmetric") // extremely unlikely
+	}
+	g := Noise(8)
+	if f(3, 4, 0) == g(3, 4, 0) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestTileShape(t *testing.T) {
+	cases := []struct{ blocks, tw, th int }{
+		{16, 4, 4}, {8, 4, 2}, {4, 2, 2}, {1, 1, 1}, {64, 8, 8},
+	}
+	for _, c := range cases {
+		tw, th := tileShape(c.blocks)
+		if tw != c.tw || th != c.th {
+			t.Errorf("tileShape(%d) = %dx%d, want %dx%d", c.blocks, tw, th, c.tw, c.th)
+		}
+	}
+}

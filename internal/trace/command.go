@@ -1,0 +1,484 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"gpuchar/internal/geom"
+	"gpuchar/internal/gfxapi"
+	"gpuchar/internal/gmath"
+	"gpuchar/internal/rop"
+	"gpuchar/internal/texture"
+	"gpuchar/internal/zst"
+)
+
+// writeCommand encodes one API call.
+func writeCommand(w *bufio.Writer, c *gfxapi.Command) error {
+	if err := writeU8(w, uint8(c.Op)); err != nil {
+		return err
+	}
+	switch c.Op {
+	case gfxapi.OpCreateVB:
+		if err := writeU32(w, c.ID); err != nil {
+			return err
+		}
+		if err := writeU32(w, uint32(c.Stride)); err != nil {
+			return err
+		}
+		if err := writeU32(w, uint32(len(c.VBData))); err != nil {
+			return err
+		}
+		for _, attr := range c.VBData {
+			if err := writeU32(w, uint32(len(attr))); err != nil {
+				return err
+			}
+			for _, v := range attr {
+				if err := writeVec4(w, v); err != nil {
+					return err
+				}
+			}
+		}
+	case gfxapi.OpCreateIB:
+		if err := writeU32(w, c.ID); err != nil {
+			return err
+		}
+		if err := writeU32(w, uint32(c.Stride)); err != nil {
+			return err
+		}
+		if err := writeU32(w, uint32(len(c.IBData))); err != nil {
+			return err
+		}
+		for _, idx := range c.IBData {
+			if err := writeU32(w, idx); err != nil {
+				return err
+			}
+		}
+	case gfxapi.OpCreateTex:
+		if err := writeU32(w, c.ID); err != nil {
+			return err
+		}
+		if err := writeTexSpec(w, &c.TexSpec); err != nil {
+			return err
+		}
+	case gfxapi.OpCreateProgram:
+		if err := writeU32(w, c.ID); err != nil {
+			return err
+		}
+		if err := writeProgram(w, c.Program); err != nil {
+			return err
+		}
+	case gfxapi.OpSetZState:
+		return writeZState(w, c.ZState)
+	case gfxapi.OpSetRopState:
+		return writeRopState(w, c.RopState)
+	case gfxapi.OpSetCull:
+		return writeU8(w, uint8(c.Cull))
+	case gfxapi.OpBindTexture:
+		if err := writeU8(w, c.Unit); err != nil {
+			return err
+		}
+		if err := writeU32(w, c.ID); err != nil {
+			return err
+		}
+		return writeSampler(w, c.Sampler)
+	case gfxapi.OpSetConst:
+		if err := writeU8(w, c.Unit); err != nil {
+			return err
+		}
+		return writeVec4(w, c.Vec)
+	case gfxapi.OpDraw:
+		for _, v := range []uint32{c.ID, c.ID2, c.ProgID, c.ProgID2} {
+			if err := writeU32(w, v); err != nil {
+				return err
+			}
+		}
+		return writeU8(w, uint8(c.Prim))
+	case gfxapi.OpClear:
+		return writeClear(w, c.ClearOp)
+	case gfxapi.OpEndFrame:
+		// no payload
+	default:
+		return fmt.Errorf("trace: cannot encode op %v", c.Op)
+	}
+	return nil
+}
+
+// readCommand decodes one API call. io.EOF before the op byte is a
+// clean end of trace; EOF inside a command payload is reported as
+// io.ErrUnexpectedEOF.
+func readCommand(r *bufio.Reader) (gfxapi.Command, error) {
+	var c gfxapi.Command
+	opB, err := readU8(r)
+	if err != nil {
+		return c, err // io.EOF propagates cleanly here
+	}
+	c.Op = gfxapi.Op(opB)
+	c, err = readPayload(r, c)
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return c, err
+}
+
+func readPayload(r *bufio.Reader, c gfxapi.Command) (gfxapi.Command, error) {
+	var err error
+	switch c.Op {
+	case gfxapi.OpCreateVB:
+		if c.ID, err = readU32(r); err != nil {
+			return c, err
+		}
+		stride, err := readU32(r)
+		if err != nil {
+			return c, err
+		}
+		c.Stride = int(stride)
+		nAttr, err := readU32(r)
+		if err != nil {
+			return c, err
+		}
+		if nAttr > 64 {
+			return c, fmt.Errorf("trace: %d attributes", nAttr)
+		}
+		c.VBData = make([][]gmath.Vec4, nAttr)
+		for i := range c.VBData {
+			n, err := readU32(r)
+			if err != nil {
+				return c, err
+			}
+			if n > 1<<24 {
+				return c, fmt.Errorf("trace: %d vertices", n)
+			}
+			attr := make([]gmath.Vec4, n)
+			for j := range attr {
+				if attr[j], err = readVec4(r); err != nil {
+					return c, err
+				}
+			}
+			c.VBData[i] = attr
+		}
+	case gfxapi.OpCreateIB:
+		if c.ID, err = readU32(r); err != nil {
+			return c, err
+		}
+		stride, err := readU32(r)
+		if err != nil {
+			return c, err
+		}
+		c.Stride = int(stride)
+		n, err := readU32(r)
+		if err != nil {
+			return c, err
+		}
+		if n > 1<<26 {
+			return c, fmt.Errorf("trace: %d indices", n)
+		}
+		c.IBData = make([]uint32, n)
+		for i := range c.IBData {
+			if c.IBData[i], err = readU32(r); err != nil {
+				return c, err
+			}
+		}
+	case gfxapi.OpCreateTex:
+		if c.ID, err = readU32(r); err != nil {
+			return c, err
+		}
+		spec, err := readTexSpec(r)
+		if err != nil {
+			return c, err
+		}
+		c.TexSpec = spec
+	case gfxapi.OpCreateProgram:
+		if c.ID, err = readU32(r); err != nil {
+			return c, err
+		}
+		if c.Program, err = readProgram(r); err != nil {
+			return c, err
+		}
+	case gfxapi.OpSetZState:
+		st, err := readZState(r)
+		if err != nil {
+			return c, err
+		}
+		c.ZState = &st
+	case gfxapi.OpSetRopState:
+		st, err := readRopState(r)
+		if err != nil {
+			return c, err
+		}
+		c.RopState = &st
+	case gfxapi.OpSetCull:
+		b, err := readU8(r)
+		if err != nil {
+			return c, err
+		}
+		c.Cull = geom.CullMode(b)
+	case gfxapi.OpBindTexture:
+		if c.Unit, err = readU8(r); err != nil {
+			return c, err
+		}
+		if c.ID, err = readU32(r); err != nil {
+			return c, err
+		}
+		st, err := readSampler(r)
+		if err != nil {
+			return c, err
+		}
+		c.Sampler = &st
+	case gfxapi.OpSetConst:
+		if c.Unit, err = readU8(r); err != nil {
+			return c, err
+		}
+		if c.Vec, err = readVec4(r); err != nil {
+			return c, err
+		}
+	case gfxapi.OpDraw:
+		for _, dst := range []*uint32{&c.ID, &c.ID2, &c.ProgID, &c.ProgID2} {
+			if *dst, err = readU32(r); err != nil {
+				return c, err
+			}
+		}
+		b, err := readU8(r)
+		if err != nil {
+			return c, err
+		}
+		c.Prim = geom.PrimitiveType(b)
+	case gfxapi.OpClear:
+		op, err := readClear(r)
+		if err != nil {
+			return c, err
+		}
+		c.ClearOp = &op
+	case gfxapi.OpEndFrame:
+	default:
+		return c, fmt.Errorf("trace: unknown op %d", uint8(c.Op))
+	}
+	return c, nil
+}
+
+func writeTexSpec(w *bufio.Writer, s *gfxapi.TextureSpec) error {
+	if err := writeString(w, s.Name); err != nil {
+		return err
+	}
+	for _, b := range []uint8{uint8(s.Format), uint8(s.Kind)} {
+		if err := writeU8(w, b); err != nil {
+			return err
+		}
+	}
+	for _, v := range []uint32{uint32(s.W), uint32(s.H), uint32(s.Cell), s.Seed} {
+		if err := writeU32(w, v); err != nil {
+			return err
+		}
+	}
+	for _, c := range []texture.RGBA{s.ColorA, s.ColorB} {
+		for _, b := range []uint8{c.R, c.G, c.B, c.A} {
+			if err := writeU8(w, b); err != nil {
+				return err
+			}
+		}
+	}
+	if err := writeU32(w, uint32(len(s.Data))); err != nil {
+		return err
+	}
+	for _, c := range s.Data {
+		for _, b := range []uint8{c.R, c.G, c.B, c.A} {
+			if err := writeU8(w, b); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func readTexSpec(r *bufio.Reader) (gfxapi.TextureSpec, error) {
+	var s gfxapi.TextureSpec
+	var err error
+	if s.Name, err = readString(r); err != nil {
+		return s, err
+	}
+	fm, err := readU8(r)
+	if err != nil {
+		return s, err
+	}
+	s.Format = texture.Format(fm)
+	kd, err := readU8(r)
+	if err != nil {
+		return s, err
+	}
+	s.Kind = gfxapi.TextureKind(kd)
+	var u [4]uint32
+	for i := range u {
+		if u[i], err = readU32(r); err != nil {
+			return s, err
+		}
+	}
+	s.W, s.H, s.Cell, s.Seed = int(u[0]), int(u[1]), int(u[2]), u[3]
+	readRGBA := func() (texture.RGBA, error) {
+		var c texture.RGBA
+		var b [4]uint8
+		for i := range b {
+			if b[i], err = readU8(r); err != nil {
+				return c, err
+			}
+		}
+		return texture.RGBA{R: b[0], G: b[1], B: b[2], A: b[3]}, nil
+	}
+	if s.ColorA, err = readRGBA(); err != nil {
+		return s, err
+	}
+	if s.ColorB, err = readRGBA(); err != nil {
+		return s, err
+	}
+	n, err := readU32(r)
+	if err != nil {
+		return s, err
+	}
+	if n > 1<<24 {
+		return s, fmt.Errorf("trace: %d texels", n)
+	}
+	if n > 0 {
+		s.Data = make([]texture.RGBA, n)
+		for i := range s.Data {
+			if s.Data[i], err = readRGBA(); err != nil {
+				return s, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func writeZState(w *bufio.Writer, st *zst.State) error {
+	bytes := []uint8{
+		boolByte(st.ZTest), uint8(st.ZFunc), boolByte(st.ZWrite),
+		boolByte(st.StencilTest), uint8(st.StencilFunc), st.StencilRef,
+		st.StencilMask,
+		uint8(st.Front.Fail), uint8(st.Front.ZFail), uint8(st.Front.ZPass),
+		uint8(st.Back.Fail), uint8(st.Back.ZFail), uint8(st.Back.ZPass),
+		boolByte(st.HZ),
+	}
+	for _, b := range bytes {
+		if err := writeU8(w, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readZState(r *bufio.Reader) (zst.State, error) {
+	var b [14]uint8
+	var err error
+	for i := range b {
+		if b[i], err = readU8(r); err != nil {
+			return zst.State{}, err
+		}
+	}
+	return zst.State{
+		ZTest: b[0] != 0, ZFunc: zst.CompareFunc(b[1]), ZWrite: b[2] != 0,
+		StencilTest: b[3] != 0, StencilFunc: zst.CompareFunc(b[4]),
+		StencilRef: b[5], StencilMask: b[6],
+		Front: zst.FaceOps{Fail: zst.StencilOp(b[7]), ZFail: zst.StencilOp(b[8]),
+			ZPass: zst.StencilOp(b[9])},
+		Back: zst.FaceOps{Fail: zst.StencilOp(b[10]), ZFail: zst.StencilOp(b[11]),
+			ZPass: zst.StencilOp(b[12])},
+		HZ: b[13] != 0,
+	}, nil
+}
+
+func writeRopState(w *bufio.Writer, st *rop.State) error {
+	bytes := []uint8{
+		boolByte(st.Blend), uint8(st.SrcFactor), uint8(st.DstFactor),
+		boolByte(st.WriteMask[0]), boolByte(st.WriteMask[1]),
+		boolByte(st.WriteMask[2]), boolByte(st.WriteMask[3]),
+	}
+	for _, b := range bytes {
+		if err := writeU8(w, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readRopState(r *bufio.Reader) (rop.State, error) {
+	var b [7]uint8
+	var err error
+	for i := range b {
+		if b[i], err = readU8(r); err != nil {
+			return rop.State{}, err
+		}
+	}
+	return rop.State{
+		Blend: b[0] != 0, SrcFactor: rop.BlendFactor(b[1]),
+		DstFactor: rop.BlendFactor(b[2]),
+		WriteMask: [4]bool{b[3] != 0, b[4] != 0, b[5] != 0, b[6] != 0},
+	}, nil
+}
+
+func writeSampler(w *bufio.Writer, st *texture.SamplerState) error {
+	if err := writeU8(w, uint8(st.Filter)); err != nil {
+		return err
+	}
+	if err := writeU32(w, uint32(st.MaxAniso)); err != nil {
+		return err
+	}
+	return writeF32(w, st.LODBias)
+}
+
+func readSampler(r *bufio.Reader) (texture.SamplerState, error) {
+	var st texture.SamplerState
+	f, err := readU8(r)
+	if err != nil {
+		return st, err
+	}
+	st.Filter = texture.FilterMode(f)
+	ma, err := readU32(r)
+	if err != nil {
+		return st, err
+	}
+	st.MaxAniso = int(ma)
+	st.LODBias, err = readF32(r)
+	return st, err
+}
+
+func writeClear(w *bufio.Writer, op *gfxapi.ClearOp) error {
+	if err := writeVec4(w, op.Color); err != nil {
+		return err
+	}
+	if err := writeF32(w, op.Z); err != nil {
+		return err
+	}
+	bytes := []uint8{op.Stencil, boolByte(op.ClearColor),
+		boolByte(op.ClearDepth), boolByte(op.ClearStencil)}
+	for _, b := range bytes {
+		if err := writeU8(w, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readClear(r *bufio.Reader) (gfxapi.ClearOp, error) {
+	var op gfxapi.ClearOp
+	var err error
+	if op.Color, err = readVec4(r); err != nil {
+		return op, err
+	}
+	if op.Z, err = readF32(r); err != nil {
+		return op, err
+	}
+	var b [4]uint8
+	for i := range b {
+		if b[i], err = readU8(r); err != nil {
+			return op, err
+		}
+	}
+	op.Stencil = b[0]
+	op.ClearColor, op.ClearDepth, op.ClearStencil = b[1] != 0, b[2] != 0, b[3] != 0
+	return op, nil
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"gpuchar/internal/geom"
+	"gpuchar/internal/gfxapi"
+	"gpuchar/internal/shader"
+	"gpuchar/internal/texture"
+)
+
+// Player replays a recorded trace against a device, re-materializing
+// resources and reissuing every call in order — the simulator-driving
+// half of the paper's methodology.
+type Player struct {
+	dev *gfxapi.Device
+
+	vbs   map[uint32]*geom.VertexBuffer
+	ibs   map[uint32]*geom.IndexBuffer
+	texs  map[uint32]*texture.Texture
+	progs map[uint32]*shader.Program
+}
+
+// NewPlayer creates a player issuing calls into dev.
+func NewPlayer(dev *gfxapi.Device) *Player {
+	return &Player{
+		dev:   dev,
+		vbs:   map[uint32]*geom.VertexBuffer{},
+		ibs:   map[uint32]*geom.IndexBuffer{},
+		texs:  map[uint32]*texture.Texture{},
+		progs: map[uint32]*shader.Program{},
+	}
+}
+
+// Play replays the whole trace. It returns the number of frames played.
+func (p *Player) Play(r *Reader) (int, error) {
+	frames := 0
+	for {
+		cmd, err := r.Next()
+		if err == io.EOF {
+			return frames, nil
+		}
+		if err != nil {
+			return frames, err
+		}
+		if cmd.Op == gfxapi.OpEndFrame {
+			frames++
+		}
+		if err := p.Apply(&cmd); err != nil {
+			return frames, err
+		}
+	}
+}
+
+// Apply executes a single decoded command.
+func (p *Player) Apply(c *gfxapi.Command) error {
+	switch c.Op {
+	case gfxapi.OpCreateVB:
+		p.vbs[c.ID] = p.dev.CreateVertexBuffer(c.VBData, c.Stride)
+	case gfxapi.OpCreateIB:
+		p.ibs[c.ID] = p.dev.CreateIndexBuffer(c.IBData, c.Stride)
+	case gfxapi.OpCreateTex:
+		t, err := p.dev.CreateTexture(c.TexSpec)
+		if err != nil {
+			return fmt.Errorf("trace: replay texture %d: %w", c.ID, err)
+		}
+		p.texs[c.ID] = t
+	case gfxapi.OpCreateProgram:
+		prog, err := p.dev.CreateProgram(c.Program)
+		if err != nil {
+			return fmt.Errorf("trace: replay program %d: %w", c.ID, err)
+		}
+		p.progs[c.ID] = prog
+	case gfxapi.OpSetZState:
+		p.dev.SetZState(*c.ZState)
+	case gfxapi.OpSetRopState:
+		p.dev.SetRopState(*c.RopState)
+	case gfxapi.OpSetCull:
+		p.dev.SetCull(c.Cull)
+	case gfxapi.OpBindTexture:
+		t := p.texs[c.ID]
+		if t == nil && c.ID != 0 {
+			return fmt.Errorf("trace: bind of unknown texture %d", c.ID)
+		}
+		p.dev.BindTexture(int(c.Unit), t, *c.Sampler)
+	case gfxapi.OpSetConst:
+		p.dev.SetConst(int(c.Unit), c.Vec)
+	case gfxapi.OpDraw:
+		vb, ib := p.vbs[c.ID], p.ibs[c.ID2]
+		vs, fs := p.progs[c.ProgID], p.progs[c.ProgID2]
+		if vb == nil || ib == nil || vs == nil || fs == nil {
+			return fmt.Errorf("trace: draw references missing resources "+
+				"(vb=%d ib=%d vs=%d fs=%d)", c.ID, c.ID2, c.ProgID, c.ProgID2)
+		}
+		p.dev.DrawIndexed(vb, ib, c.Prim, vs, fs)
+	case gfxapi.OpClear:
+		p.dev.Clear(*c.ClearOp)
+	case gfxapi.OpEndFrame:
+		p.dev.EndFrame()
+	default:
+		return fmt.Errorf("trace: cannot replay op %v", c.Op)
+	}
+	return nil
+}

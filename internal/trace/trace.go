@@ -1,0 +1,280 @@
+// Package trace implements API-call tracing: a compact binary format for
+// gfxapi command streams, a Recorder that captures a device's calls, and
+// a Player that reproduces a captured stream against a fresh device.
+//
+// This mirrors the paper's methodology (§II.B and ref [4]): a tracer
+// intercepts calls at the graphics library boundary and stores them so
+// the identical input can be replayed any number of times — on the real
+// card for API statistics, or through the simulator for
+// microarchitectural ones.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"gpuchar/internal/gfxapi"
+	"gpuchar/internal/gmath"
+	"gpuchar/internal/shader"
+)
+
+// magic identifies a trace stream.
+var magic = [4]byte{'G', 'T', 'R', 'C'}
+
+// version is the trace format version.
+const version = 1
+
+// Recorder captures a device's API calls into a writer. Attach with
+// Device.SetRecorder.
+type Recorder struct {
+	w   *bufio.Writer
+	err error
+	n   int64 // commands written
+}
+
+// NewRecorder creates a recorder writing the trace header for the given
+// API dialect.
+func NewRecorder(w io.Writer, api gfxapi.API) (*Recorder, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(version); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(byte(api)); err != nil {
+		return nil, err
+	}
+	return &Recorder{w: bw}, nil
+}
+
+// Record implements gfxapi.Recorder.
+func (r *Recorder) Record(cmd gfxapi.Command) {
+	if r.err != nil {
+		return
+	}
+	r.err = writeCommand(r.w, &cmd)
+	if r.err == nil {
+		r.n++
+	}
+}
+
+// Commands returns the number of commands recorded so far.
+func (r *Recorder) Commands() int64 { return r.n }
+
+// Close flushes the trace; the first write error, if any, surfaces here.
+func (r *Recorder) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	return r.w.Flush()
+}
+
+// Reader decodes a trace stream command by command.
+type Reader struct {
+	r   *bufio.Reader
+	api gfxapi.API
+}
+
+// NewReader validates the header and prepares to decode commands.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	apiB, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{r: br, api: gfxapi.API(apiB)}, nil
+}
+
+// API returns the dialect recorded in the header.
+func (r *Reader) API() gfxapi.API { return r.api }
+
+// Next decodes the next command; io.EOF signals a clean end of trace.
+// A stream that ends inside a command reports io.ErrUnexpectedEOF.
+func (r *Reader) Next() (gfxapi.Command, error) {
+	return readCommand(r.r)
+}
+
+// --- binary encoding helpers ---
+
+func writeU8(w *bufio.Writer, v uint8) error { return w.WriteByte(v) }
+
+func writeU32(w *bufio.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func writeF32(w *bufio.Writer, v float32) error {
+	return writeU32(w, math.Float32bits(v))
+}
+
+func writeVec4(w *bufio.Writer, v gmath.Vec4) error {
+	if err := writeF32(w, v.X); err != nil {
+		return err
+	}
+	if err := writeF32(w, v.Y); err != nil {
+		return err
+	}
+	if err := writeF32(w, v.Z); err != nil {
+		return err
+	}
+	return writeF32(w, v.W)
+}
+
+func writeString(w *bufio.Writer, s string) error {
+	if err := writeU32(w, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+func readU8(r *bufio.Reader) (uint8, error) { return r.ReadByte() }
+
+func readU32(r *bufio.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func readF32(r *bufio.Reader) (float32, error) {
+	v, err := readU32(r)
+	return math.Float32frombits(v), err
+}
+
+func readVec4(r *bufio.Reader) (gmath.Vec4, error) {
+	var v gmath.Vec4
+	var err error
+	if v.X, err = readF32(r); err != nil {
+		return v, err
+	}
+	if v.Y, err = readF32(r); err != nil {
+		return v, err
+	}
+	if v.Z, err = readF32(r); err != nil {
+		return v, err
+	}
+	v.W, err = readF32(r)
+	return v, err
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("trace: unreasonable string length %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func writeProgram(w *bufio.Writer, p *shader.Program) error {
+	if err := writeString(w, p.Name); err != nil {
+		return err
+	}
+	if err := writeU8(w, uint8(p.Kind)); err != nil {
+		return err
+	}
+	if err := writeU32(w, uint32(len(p.Instrs))); err != nil {
+		return err
+	}
+	for _, in := range p.Instrs {
+		fields := []uint8{
+			uint8(in.Op), uint8(in.Dst.File), in.Dst.Index, in.Dst.Mask,
+			in.TexUnit,
+		}
+		for _, f := range fields {
+			if err := writeU8(w, f); err != nil {
+				return err
+			}
+		}
+		for s := 0; s < 3; s++ {
+			src := in.Src[s]
+			neg := uint8(0)
+			if src.Negate {
+				neg = 1
+			}
+			fields := []uint8{
+				uint8(src.File), src.Index, neg,
+				src.Swizzle[0], src.Swizzle[1], src.Swizzle[2], src.Swizzle[3],
+			}
+			for _, f := range fields {
+				if err := writeU8(w, f); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func readProgram(r *bufio.Reader) (*shader.Program, error) {
+	name, err := readString(r)
+	if err != nil {
+		return nil, err
+	}
+	kind, err := readU8(r)
+	if err != nil {
+		return nil, err
+	}
+	n, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<16 {
+		return nil, fmt.Errorf("trace: unreasonable program length %d", n)
+	}
+	p := &shader.Program{Name: name, Kind: shader.Kind(kind)}
+	p.Instrs = make([]shader.Instruction, n)
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		var b [5]uint8
+		for j := range b {
+			if b[j], err = readU8(r); err != nil {
+				return nil, err
+			}
+		}
+		in.Op = shader.Opcode(b[0])
+		in.Dst = shader.Dst{File: shader.RegFile(b[1]), Index: b[2], Mask: b[3]}
+		in.TexUnit = b[4]
+		for s := 0; s < 3; s++ {
+			var sb [7]uint8
+			for j := range sb {
+				if sb[j], err = readU8(r); err != nil {
+					return nil, err
+				}
+			}
+			in.Src[s] = shader.Src{
+				File: shader.RegFile(sb[0]), Index: sb[1], Negate: sb[2] != 0,
+				Swizzle: shader.Swizzle{sb[3], sb[4], sb[5], sb[6]},
+			}
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,238 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"gpuchar/internal/geom"
+	"gpuchar/internal/gfxapi"
+	"gpuchar/internal/gmath"
+	"gpuchar/internal/rop"
+	"gpuchar/internal/shader"
+	"gpuchar/internal/texture"
+	"gpuchar/internal/zst"
+)
+
+// renderSmallScene drives a device through a representative call
+// sequence: creation, state changes, two frames of draws.
+func renderSmallScene(t *testing.T, d *gfxapi.Device) {
+	t.Helper()
+	pos := []gmath.Vec4{
+		{X: -1, Y: -1, W: 1}, {X: 1, Y: -1, W: 1}, {X: 0, Y: 1, W: 1},
+	}
+	uv := []gmath.Vec4{{W: 1}, {X: 1, W: 1}, {X: 0.5, Y: 1, W: 1}}
+	col := []gmath.Vec4{{X: 1, W: 1}, {Y: 1, W: 1}, {Z: 1, W: 1}}
+	vb := d.CreateVertexBuffer([][]gmath.Vec4{pos, uv, col}, 48)
+	ib := d.CreateIndexBuffer([]uint32{0, 1, 2}, 2)
+	vs, err := d.CreateProgram(shader.BasicTransformVS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := d.CreateProgram(shader.TexturedFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tex, err := d.CreateTexture(gfxapi.TextureSpec{
+		Name: "t", Format: texture.FormatDXT1, W: 64, H: 64,
+		Kind: gfxapi.KindChecker, Cell: 8,
+		ColorA: texture.RGBA{R: 255, A: 255}, ColorB: texture.RGBA{B: 255, A: 255},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetMatrix(0, gmath.Identity())
+	d.BindTexture(0, tex, texture.SamplerState{
+		Filter: texture.FilterAniso, MaxAniso: 16,
+	})
+	zs := zst.DefaultState()
+	zs.ZFunc = zst.CmpLEqual
+	d.SetZState(zs)
+	d.SetRopState(rop.AlphaBlend())
+	d.SetCull(geom.CullNone)
+	for frame := 0; frame < 2; frame++ {
+		d.Clear(gfxapi.ClearOp{ClearColor: true, ClearDepth: true, Z: 1})
+		d.DrawIndexed(vb, ib, geom.TriangleList, vs, fs)
+		d.DrawIndexed(vb, ib, geom.TriangleStrip, vs, fs)
+		d.EndFrame()
+	}
+}
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rec, err := NewRecorder(&buf, gfxapi.OpenGL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := gfxapi.NewDevice(gfxapi.OpenGL, gfxapi.NullBackend{})
+	src.SetRecorder(rec)
+	renderSmallScene(t, src)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Commands() == 0 {
+		t.Fatal("nothing recorded")
+	}
+
+	// Replay into a fresh device and compare the API statistics: the
+	// replayed stream must produce identical per-frame numbers.
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.API() != gfxapi.OpenGL {
+		t.Errorf("API = %v", r.API())
+	}
+	dst := gfxapi.NewDevice(gfxapi.OpenGL, gfxapi.NullBackend{})
+	frames, err := NewPlayer(dst).Play(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames != 2 {
+		t.Errorf("frames = %d, want 2", frames)
+	}
+	a, b := src.Frames(), dst.Frames()
+	if len(a) != len(b) {
+		t.Fatalf("frame counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("frame %d stats differ:\n  src=%+v\n  dst=%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestReaderRejectsBadHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOPE"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte{'G', 'T', 'R', 'C', 99, 0})); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestTruncatedTrace(t *testing.T) {
+	var buf bytes.Buffer
+	rec, _ := NewRecorder(&buf, gfxapi.OpenGL)
+	d := gfxapi.NewDevice(gfxapi.OpenGL, gfxapi.NullBackend{})
+	d.SetRecorder(rec)
+	renderSmallScene(t, d)
+	rec.Close()
+
+	// Cut the stream mid-command.
+	cut := buf.Bytes()[:buf.Len()/2]
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := gfxapi.NewDevice(gfxapi.OpenGL, gfxapi.NullBackend{})
+	if _, err := NewPlayer(dst).Play(r); err == nil {
+		t.Error("truncated trace replayed without error")
+	}
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	progs := []*shader.Program{
+		shader.BasicTransformVS(),
+		shader.AlphaTestedFS(),
+		shader.MustAssemble("swz", shader.FragmentProgram,
+			"mad r1.xz, -v0.wzyx, c2.y, r0\nmov o0, r1"),
+	}
+	for _, p := range progs {
+		var buf bytes.Buffer
+		rec, _ := NewRecorder(&buf, gfxapi.OpenGL)
+		rec.Record(gfxapi.Command{Op: gfxapi.OpCreateProgram, ID: 1, Program: p})
+		rec.Close()
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd, err := r.Next()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		got := cmd.Program
+		if got.Name != p.Name || got.Kind != p.Kind || len(got.Instrs) != len(p.Instrs) {
+			t.Fatalf("%s: header mismatch", p.Name)
+		}
+		for i := range p.Instrs {
+			if got.Instrs[i] != p.Instrs[i] {
+				t.Errorf("%s instr %d: %+v vs %+v", p.Name, i, got.Instrs[i], p.Instrs[i])
+			}
+		}
+	}
+}
+
+func TestZStateRoundTrip(t *testing.T) {
+	st := zst.State{
+		ZTest: true, ZFunc: zst.CmpGEqual, ZWrite: false,
+		StencilTest: true, StencilFunc: zst.CmpNotEqual,
+		StencilRef: 42, StencilMask: 0xAB,
+		Front: zst.FaceOps{Fail: zst.OpInvert, ZFail: zst.OpIncrWrap, ZPass: zst.OpDecr},
+		Back:  zst.FaceOps{Fail: zst.OpZero, ZFail: zst.OpReplace, ZPass: zst.OpIncr},
+		HZ:    true,
+	}
+	var buf bytes.Buffer
+	rec, _ := NewRecorder(&buf, gfxapi.Direct3D)
+	rec.Record(gfxapi.Command{Op: gfxapi.OpSetZState, ZState: &st})
+	rec.Close()
+	r, _ := NewReader(bytes.NewReader(buf.Bytes()))
+	if r.API() != gfxapi.Direct3D {
+		t.Error("API dialect lost")
+	}
+	cmd, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *cmd.ZState != st {
+		t.Errorf("round trip: %+v vs %+v", *cmd.ZState, st)
+	}
+	// Clean EOF afterwards.
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestTextureSpecWithDataRoundTrip(t *testing.T) {
+	data := make([]texture.RGBA, 16)
+	for i := range data {
+		data[i] = texture.RGBA{R: uint8(i), G: uint8(i * 2), B: 3, A: 255}
+	}
+	spec := gfxapi.TextureSpec{
+		Name: "explicit", Format: texture.FormatRGBA8, W: 4, H: 4,
+		Kind: gfxapi.KindData, Data: data,
+	}
+	var buf bytes.Buffer
+	rec, _ := NewRecorder(&buf, gfxapi.OpenGL)
+	rec.Record(gfxapi.Command{Op: gfxapi.OpCreateTex, ID: 5, TexSpec: spec})
+	rec.Close()
+	r, _ := NewReader(bytes.NewReader(buf.Bytes()))
+	cmd, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cmd.TexSpec
+	if got.Name != "explicit" || len(got.Data) != 16 {
+		t.Fatalf("spec = %+v", got)
+	}
+	for i := range data {
+		if got.Data[i] != data[i] {
+			t.Errorf("texel %d: %v vs %v", i, got.Data[i], data[i])
+		}
+	}
+}
+
+func TestPlayerRejectsDanglingReferences(t *testing.T) {
+	var buf bytes.Buffer
+	rec, _ := NewRecorder(&buf, gfxapi.OpenGL)
+	rec.Record(gfxapi.Command{Op: gfxapi.OpDraw, ID: 99, ID2: 98, ProgID: 97, ProgID2: 96})
+	rec.Close()
+	r, _ := NewReader(bytes.NewReader(buf.Bytes()))
+	d := gfxapi.NewDevice(gfxapi.OpenGL, gfxapi.NullBackend{})
+	if _, err := NewPlayer(d).Play(r); err == nil {
+		t.Error("dangling draw replayed without error")
+	}
+}

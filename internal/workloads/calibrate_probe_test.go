@@ -1,0 +1,111 @@
+package workloads
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"gpuchar/internal/gfxapi"
+	"gpuchar/internal/gpu"
+	"gpuchar/internal/mem"
+	"gpuchar/internal/stats"
+)
+
+// TestCalibrationProbe is a development harness: run with
+// GPUCHAR_PROBE=<demo name> to print paper-vs-measured for one simulated
+// demo. It is skipped in normal test runs.
+func TestCalibrationProbe(t *testing.T) {
+	name := os.Getenv("GPUCHAR_PROBE")
+	if name == "" {
+		t.Skip("set GPUCHAR_PROBE to a simulated demo name to run")
+	}
+	p := ByName(name)
+	if p == nil || !p.Simulated {
+		t.Fatalf("unknown or unsimulated demo %q", name)
+	}
+	w, h := 1024, 768
+	g := gpu.New(gpu.R520Config(w, h))
+	dev := gfxapi.NewDevice(p.API, g)
+	wl := New(p, dev, w, h)
+	if err := wl.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	frames := 3
+	start := time.Now()
+	for i := 0; i < frames; i++ {
+		wl.RenderFrame()
+	}
+	dt := time.Since(start)
+	fmt.Printf("== %s: %d frames in %v (%.1fs/frame)\n",
+		name, frames, dt, dt.Seconds()/float64(frames))
+
+	// Aggregate over frames.
+	var agg gpu.FrameStats
+	for _, f := range g.Frames() {
+		agg.Geom.Add(f.Geom)
+		agg.Rast.Add(f.Rast)
+		agg.ZSt.Add(f.ZSt)
+		agg.Frag.Add(f.Frag)
+		agg.Rop.Add(f.Rop)
+		agg.Tex.Requests += f.Tex.Requests
+		agg.Tex.BilinearSamples += f.Tex.BilinearSamples
+		agg.VCache.Hits += f.VCache.Hits
+		agg.VCache.Misses += f.VCache.Misses
+		agg.ZCache.Hits += f.ZCache.Hits
+		agg.ZCache.Misses += f.ZCache.Misses
+		agg.TexL0.Hits += f.TexL0.Hits
+		agg.TexL0.Misses += f.TexL0.Misses
+		agg.ColorCache.Hits += f.ColorCache.Hits
+		agg.ColorCache.Misses += f.ColorCache.Misses
+		agg.VS.Add(f.VS)
+		agg.FS.Add(f.FS)
+		for c := 0; c < int(mem.NumClients); c++ {
+			agg.Mem[c].Add(f.Mem[c])
+		}
+	}
+	nf := float64(frames)
+	screen := float64(w * h)
+	asm := float64(agg.Geom.TrianglesAssembled)
+	fmt.Printf("geom: idx/frame %.0f  assembled %.0f  clip %.1f%%  cull %.1f%%  trav %.1f%%\n",
+		float64(agg.Geom.Indices)/nf, asm/nf,
+		stats.Percent(agg.Geom.TrianglesClipped, agg.Geom.TrianglesAssembled),
+		stats.Percent(agg.Geom.TrianglesCulled, agg.Geom.TrianglesAssembled),
+		stats.Percent(agg.Geom.TrianglesTraversed, agg.Geom.TrianglesAssembled))
+	fmt.Printf("vcache hit %.3f\n",
+		float64(agg.VCache.Hits)/float64(agg.VCache.Hits+agg.VCache.Misses))
+	fmt.Printf("overdraw: raster %.2f  zst %.2f  shaded %.2f  blend %.2f\n",
+		float64(agg.Rast.Fragments)/nf/screen,
+		float64(agg.ZSt.FragmentsIn)/nf/screen,
+		float64(agg.Frag.FragmentsShaded)/nf/screen,
+		float64(agg.Rop.Fragments)/nf/screen)
+	totQ := agg.Rast.QuadsEmitted
+	fmt.Printf("quads: HZ %.2f%%  zst %.2f%%  alpha %.2f%%  mask %.2f%%  blend %.2f%%\n",
+		stats.Percent(agg.ZSt.QuadsKilledHZ, totQ),
+		stats.Percent(agg.ZSt.QuadsKilled, totQ),
+		stats.Percent(agg.Frag.QuadsKilledAlpha, totQ),
+		stats.Percent(agg.Rop.QuadsMasked, totQ),
+		stats.Percent(agg.Rop.QuadsOut, totQ))
+	fmt.Printf("quad eff: raster %.1f%%\n", agg.Rast.QuadEfficiency())
+	fmt.Printf("tri size: raster %.0f frags\n",
+		float64(agg.Rast.Fragments)/float64(agg.Geom.TrianglesTraversed))
+	fmt.Printf("tex: bilinear/req %.2f  FS instr/frag %.2f  tex/frag %.2f\n",
+		agg.Tex.AvgBilinearPerRequest(), agg.FS.AvgInstructions(),
+		agg.FS.AvgTexInstructions())
+	fmt.Printf("caches: z %.3f  texL0 %.3f  color %.3f\n",
+		agg.ZCache.HitRate(), agg.TexL0.HitRate(), agg.ColorCache.HitRate())
+	tot := mem.SumTraffic(agg.Mem)
+	fmt.Printf("mem: %.1f MB/frame  read %.0f%%  write %.0f%%\n",
+		mem.MB(float64(tot.Total())/nf),
+		100*float64(tot.ReadBytes)/float64(tot.Total()),
+		100*float64(tot.WriteBytes)/float64(tot.Total()))
+	for c := mem.Client(0); c < mem.NumClients; c++ {
+		fmt.Printf("  %-10s %5.1f%%\n", c,
+			100*float64(agg.Mem[c].Total())/float64(tot.Total()))
+	}
+	fmt.Printf("bytes/vertex %.2f  zst/frag %.2f  tex/frag %.2f  color/frag %.2f\n",
+		float64(agg.Mem[mem.ClientVertex].Total())/float64(agg.Geom.VerticesShaded),
+		float64(agg.Mem[mem.ClientZStencil].Total())/float64(agg.ZSt.FragmentsIn),
+		float64(agg.Mem[mem.ClientTexture].Total())/float64(agg.Frag.FragmentsShaded),
+		float64(agg.Mem[mem.ClientColor].Total())/float64(agg.Rop.Fragments))
+}

@@ -1,0 +1,345 @@
+// Package workloads synthesizes the twelve game timedemos of the paper's
+// Table I as parameterized scene generators. Real game traces are not
+// redistributable, so each generator is calibrated against the per-demo
+// numbers the paper publishes: the API-level statistics (indices per
+// batch and frame, primitive mix, shader lengths — Tables III, IV, V,
+// XII) are matched by construction, and the scene structure (depth
+// layers, draw order, stencil shadow volumes, alpha-tested foliage,
+// filter settings) is shaped so that the simulated microarchitectural
+// metrics land in the paper's bands (Tables VII-XVII).
+package workloads
+
+import "gpuchar/internal/gfxapi"
+
+// RenderStyle selects the frame composition algorithm.
+type RenderStyle uint8
+
+// Rendering styles used by the 2004-2006 engines the paper studies.
+const (
+	// StyleForward is single-pass forward rendering with alpha-tested
+	// and blended details (Unreal 2.5, Source, Gamebryo...).
+	StyleForward RenderStyle = iota
+	// StyleStencilShadow is the Doom3-engine multipass algorithm: depth
+	// prepass, stencil shadow volumes, additive per-light passes.
+	StyleStencilShadow
+)
+
+// SimParams shapes the simulated scene for the three OpenGL demos the
+// paper runs through ATTILA. All "coverage" quantities are in screens
+// (multiples of the framebuffer area) of rasterized fragments.
+type SimParams struct {
+	Style RenderStyle
+
+	// VisibleLayers is the back-to-front-drawn opaque overdraw: every
+	// fragment passes the depth test and reaches the color stage.
+	VisibleLayers float64
+	// HiddenLayers is opaque overdraw drawn behind existing geometry:
+	// HZ fodder.
+	HiddenLayers float64
+	// InterleaveLayers is overdraw at depths between drawn surfaces
+	// whose quads escape HZ but die in the fine z test.
+	InterleaveLayers float64
+
+	// AlphaCoverage is alpha-tested foliage overdraw (late z);
+	// AlphaKillFrac of its fragments fail the alpha test.
+	AlphaCoverage float64
+	AlphaKillFrac float64
+
+	// Stencil shadow parameters (StyleStencilShadow only).
+	Lights             int     // additive lighting passes per frame
+	ShadowCoverage     float64 // fraction of the screen in shadow
+	VolumePassCoverage float64 // volume quads in front of the scene (pass z)
+	VolumeFailCoverage float64 // volume quads behind the scene (z-fail)
+
+	// ClipFrac and CullFrac are the Table VII targets: fractions of
+	// assembled triangles fully outside the frustum and back-facing.
+	ClipFrac float64
+	CullFrac float64
+
+	// FillerCoverage is the share of VisibleLayers carried by the small
+	// "filler" triangles that supply the Table III triangle counts.
+	FillerCoverage float64
+
+	// AnisoFrac is the fraction of shaded coverage rendered with a 4x
+	// anisotropic footprint (Table XIII calibration).
+	AnisoFrac float64
+
+	// LODBias sharpens texturing (negative values sample finer mip
+	// levels than the footprint warrants — the common "sharpen" driver
+	// setting of the era), multiplying unique-texel traffic.
+	LODBias float64
+
+	// BigCell is the aligned grid cell in pixels for the large
+	// triangles that carry most of the coverage (controls quad
+	// efficiency and triangle size).
+	BigCell int
+
+	// VertexStride is the per-vertex fetch size in bytes (Table XVII).
+	VertexStride int
+
+	// Texturing.
+	TexSize     int // texture dimensions (square, power of two)
+	NumTextures int // distinct textures cycled across batches
+}
+
+// Profile is one Table I row plus the calibration targets from the API
+// level tables.
+type Profile struct {
+	Name    string // "Game/timedemo"
+	Game    string
+	Engine  string
+	Release string // engine release date as printed in Table I
+	API     gfxapi.API
+
+	Frames         int    // Table I frame count
+	TextureQuality string // "High/Anisotropic" or "High/Trilinear"
+	AnisoLevel     int    // 16, or 0 for trilinear titles
+	UsesShaders    bool   // UT2004 is fixed-function (translated)
+
+	// Table III calibration.
+	AvgIndicesPerBatch int
+	AvgIndicesPerFrame int
+	BytesPerIndex      int
+
+	// Table IV calibration. VSInstr2 is the second-region average for
+	// Oblivion (0 when the demo has a single region).
+	VSInstr  float64
+	VSInstr2 float64
+
+	// Table XII calibration.
+	FSInstr float64
+	FSTex   float64
+
+	// Table V calibration: fraction of indices per primitive type
+	// (TL, TS, TF). Must sum to 1.
+	PrimMix [3]float64
+
+	// Figure 3 shape: steady-state state calls per frame scale, and
+	// whether the demo shows inter-scene transition peaks (FEAR,
+	// Oblivion).
+	StateCallsPerBatch float64
+	TransitionPeaks    bool
+
+	// Simulated is set for the three OpenGL demos measured with the
+	// simulator in the paper; Sim holds their scene shape.
+	Simulated bool
+	Sim       SimParams
+}
+
+// DurationAt30FPS returns the Table I duration string for the demo's
+// frame count at 30 fps.
+func (p *Profile) DurationAt30FPS() (min, sec int) {
+	total := p.Frames / 30
+	return total / 60, total % 60
+}
+
+// Registry returns the twelve Table I workloads. The order matches the
+// paper's tables.
+func Registry() []Profile {
+	return []Profile{
+		{
+			Name: "UT2004/Primeval", Game: "UT2004", Engine: "Unreal 2.5",
+			Release: "March 2004", API: gfxapi.OpenGL,
+			Frames: 1992, TextureQuality: "High/Anisotropic", AnisoLevel: 16,
+			UsesShaders:        false,
+			AvgIndicesPerBatch: 1110, AvgIndicesPerFrame: 249285, BytesPerIndex: 2,
+			VSInstr: 23.46, FSInstr: 4.63, FSTex: 1.54,
+			PrimMix:            [3]float64{0.999, 0, 0.001},
+			StateCallsPerBatch: 2.0,
+			Simulated:          true,
+			Sim: SimParams{
+				Style:            StyleForward,
+				VisibleLayers:    3.84,
+				HiddenLayers:     3.32,
+				InterleaveLayers: 0.15,
+				AlphaCoverage:    1.53,
+				AlphaKillFrac:    0.24,
+				ClipFrac:         0.30,
+				CullFrac:         0.21,
+				FillerCoverage:   0.40,
+				AnisoFrac:        0.72,
+				LODBias:          -0.5,
+				BigCell:          128,
+				VertexStride:     44,
+				TexSize:          1024,
+				NumTextures:      24,
+			},
+		},
+		{
+			Name: "Doom3/trdemo1", Game: "Doom3", Engine: "Doom3",
+			Release: "August 2004", API: gfxapi.OpenGL,
+			Frames: 3464, TextureQuality: "High/Anisotropic", AnisoLevel: 16,
+			UsesShaders:        true,
+			AvgIndicesPerBatch: 275, AvgIndicesPerFrame: 196416, BytesPerIndex: 4,
+			VSInstr: 20.31, FSInstr: 12.85, FSTex: 3.98,
+			PrimMix:            [3]float64{1, 0, 0},
+			StateCallsPerBatch: 1.4,
+		},
+		{
+			Name: "Doom3/trdemo2", Game: "Doom3", Engine: "Doom3",
+			Release: "August 2004", API: gfxapi.OpenGL,
+			Frames: 3990, TextureQuality: "High/Anisotropic", AnisoLevel: 16,
+			UsesShaders:        true,
+			AvgIndicesPerBatch: 304, AvgIndicesPerFrame: 136548, BytesPerIndex: 4,
+			VSInstr: 19.35, FSInstr: 12.95, FSTex: 3.98,
+			PrimMix:            [3]float64{1, 0, 0},
+			StateCallsPerBatch: 1.4,
+			Simulated:          true,
+			Sim: SimParams{
+				Style:              StyleStencilShadow,
+				VisibleLayers:      1.15,
+				HiddenLayers:       1.39,
+				Lights:             5,
+				ShadowCoverage:     0.13,
+				VolumePassCoverage: 7.0,
+				VolumeFailCoverage: 2.6,
+				ClipFrac:           0.37,
+				CullFrac:           0.28,
+				FillerCoverage:     0.15,
+				AnisoFrac:          0.40,
+				BigCell:            128,
+				VertexStride:       36,
+				TexSize:            1024,
+				NumTextures:        6,
+			},
+		},
+		{
+			Name: "Quake4/demo4", Game: "Quake4", Engine: "Doom3",
+			Release: "October 2005", API: gfxapi.OpenGL,
+			Frames: 2976, TextureQuality: "High/Anisotropic", AnisoLevel: 16,
+			UsesShaders:        true,
+			AvgIndicesPerBatch: 405, AvgIndicesPerFrame: 172330, BytesPerIndex: 4,
+			VSInstr: 27.92, FSInstr: 16.29, FSTex: 4.33,
+			PrimMix:            [3]float64{1, 0, 0},
+			StateCallsPerBatch: 1.4,
+			Simulated:          true,
+			Sim: SimParams{
+				Style:              StyleStencilShadow,
+				VisibleLayers:      1.1,
+				HiddenLayers:       1.25,
+				Lights:             7,
+				ShadowCoverage:     0.36,
+				VolumePassCoverage: 3.6,
+				VolumeFailCoverage: 2.6,
+				ClipFrac:           0.51,
+				CullFrac:           0.21,
+				FillerCoverage:     0.08,
+				AnisoFrac:          0.32,
+				BigCell:            96,
+				VertexStride:       52,
+				TexSize:            512,
+				NumTextures:        6,
+			},
+		},
+		{
+			Name: "Quake4/guru5", Game: "Quake4", Engine: "Doom3",
+			Release: "October 2005", API: gfxapi.OpenGL,
+			Frames: 3081, TextureQuality: "High/Anisotropic", AnisoLevel: 16,
+			UsesShaders:        true,
+			AvgIndicesPerBatch: 166, AvgIndicesPerFrame: 135051, BytesPerIndex: 4,
+			VSInstr: 24.42, FSInstr: 17.16, FSTex: 4.54,
+			PrimMix:            [3]float64{1, 0, 0},
+			StateCallsPerBatch: 1.4,
+		},
+		{
+			Name: "Riddick/MainFrame", Game: "Riddick", Engine: "Starbreeze",
+			Release: "December 2004", API: gfxapi.OpenGL,
+			Frames: 1629, TextureQuality: "High/Trilinear", AnisoLevel: 0,
+			UsesShaders:        true,
+			AvgIndicesPerBatch: 356, AvgIndicesPerFrame: 214965, BytesPerIndex: 2,
+			VSInstr: 16.70, FSInstr: 14.64, FSTex: 1.94,
+			PrimMix:            [3]float64{1, 0, 0},
+			StateCallsPerBatch: 1.6,
+		},
+		{
+			Name: "Riddick/PrisonArea", Game: "Riddick", Engine: "Starbreeze",
+			Release: "December 2004", API: gfxapi.OpenGL,
+			Frames: 2310, TextureQuality: "High/Trilinear", AnisoLevel: 0,
+			UsesShaders:        true,
+			AvgIndicesPerBatch: 658, AvgIndicesPerFrame: 239425, BytesPerIndex: 2,
+			VSInstr: 20.96, FSInstr: 13.63, FSTex: 1.83,
+			PrimMix:            [3]float64{1, 0, 0},
+			StateCallsPerBatch: 1.6,
+		},
+		{
+			Name: "FEAR/built-in demo", Game: "FEAR", Engine: "Monolith",
+			Release: "October 2005", API: gfxapi.Direct3D,
+			Frames: 576, TextureQuality: "High/Anisotropic", AnisoLevel: 16,
+			UsesShaders:        true,
+			AvgIndicesPerBatch: 641, AvgIndicesPerFrame: 331374, BytesPerIndex: 2,
+			VSInstr: 18.19, FSInstr: 21.30, FSTex: 2.79,
+			PrimMix:            [3]float64{1, 0, 0},
+			StateCallsPerBatch: 2.2,
+			TransitionPeaks:    true,
+		},
+		{
+			Name: "FEAR/interval2", Game: "FEAR", Engine: "Monolith",
+			Release: "October 2005", API: gfxapi.Direct3D,
+			Frames: 2102, TextureQuality: "High/Anisotropic", AnisoLevel: 16,
+			UsesShaders:        true,
+			AvgIndicesPerBatch: 1085, AvgIndicesPerFrame: 307202, BytesPerIndex: 2,
+			VSInstr: 21.02, FSInstr: 19.31, FSTex: 2.72,
+			PrimMix:            [3]float64{0.967, 0, 0.033},
+			StateCallsPerBatch: 2.2,
+			TransitionPeaks:    true,
+		},
+		{
+			Name: "Half Life 2 LC/built-in", Game: "Half Life 2 Lost Coast",
+			Engine:  "Valve Source",
+			Release: "October 2005", API: gfxapi.Direct3D,
+			Frames: 1805, TextureQuality: "High/Anisotropic", AnisoLevel: 16,
+			UsesShaders:        true,
+			AvgIndicesPerBatch: 736, AvgIndicesPerFrame: 328919, BytesPerIndex: 2,
+			VSInstr: 27.04, FSInstr: 19.94, FSTex: 3.88,
+			PrimMix:            [3]float64{1, 0, 0},
+			StateCallsPerBatch: 1.8,
+		},
+		{
+			Name: "Oblivion/Anvil Castle", Game: "Oblivion", Engine: "Gamebryo",
+			Release: "March 2006", API: gfxapi.Direct3D,
+			Frames: 2620, TextureQuality: "High/Trilinear", AnisoLevel: 0,
+			UsesShaders:        true,
+			AvgIndicesPerBatch: 998, AvgIndicesPerFrame: 711196, BytesPerIndex: 2,
+			VSInstr: 18.88, VSInstr2: 37.72,
+			FSInstr: 15.48, FSTex: 1.36,
+			PrimMix:            [3]float64{0.463, 0.537, 0},
+			StateCallsPerBatch: 1.2,
+			TransitionPeaks:    true,
+		},
+		{
+			Name: "Splinter Cell 3/first level", Game: "Splinter Cell 3",
+			Engine:  "Unreal 2.5++",
+			Release: "March 2005", API: gfxapi.Direct3D,
+			Frames: 2970, TextureQuality: "High/Anisotropic", AnisoLevel: 16,
+			UsesShaders:        true,
+			AvgIndicesPerBatch: 308, AvgIndicesPerFrame: 177300, BytesPerIndex: 2,
+			VSInstr: 28.36, FSInstr: 4.62, FSTex: 2.13,
+			PrimMix:            [3]float64{0.691, 0.267, 0.042},
+			StateCallsPerBatch: 1.6,
+		},
+	}
+}
+
+// ByName returns the profile with the given Table I name, or nil.
+func ByName(name string) *Profile {
+	reg := Registry()
+	for i := range reg {
+		if reg[i].Name == name {
+			return &reg[i]
+		}
+	}
+	return nil
+}
+
+// Simulated returns the profiles the paper measures microarchitecturally
+// (the OpenGL demos driven through ATTILA): UT2004/Primeval,
+// Doom3/trdemo2 and Quake4/demo4.
+func Simulated() []Profile {
+	var out []Profile
+	for _, p := range Registry() {
+		if p.Simulated {
+			out = append(out, p)
+		}
+	}
+	return out
+}

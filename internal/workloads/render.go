@@ -1,0 +1,316 @@
+package workloads
+
+import (
+	"gpuchar/internal/geom"
+	"gpuchar/internal/gfxapi"
+	"gpuchar/internal/gmath"
+	"gpuchar/internal/rop"
+	"gpuchar/internal/texture"
+	"gpuchar/internal/zst"
+)
+
+// stateAcc dithers fractional per-batch state calls; declared here next
+// to the renderers that consume it.
+type renderScratch struct {
+	stateAcc float64
+	batchNum int
+}
+
+// drawMesh issues one batch: program dithering, texture rotation, state
+// call padding, then the draw.
+func (wl *Workload) drawMesh(m mesh, prim geom.PrimitiveType, alpha bool) {
+	wl.drawBuffers(m.vb, m.ib, prim, alpha)
+}
+
+func (wl *Workload) drawBuffers(vb *geom.VertexBuffer, ib *geom.IndexBuffer,
+	prim geom.PrimitiveType, alpha bool) {
+
+	w := float64(len(ib.Indices))
+	vs := wl.pickVS(w)
+	fs := wl.pickFS(w, alpha)
+	if wl.scratch.batchNum%8 == 0 {
+		wl.bindNextTextures()
+	}
+	if alpha {
+		wl.Dev.BindTexture(0, wl.alphaTex,
+			texture.SamplerState{Filter: texture.FilterBilinear})
+	}
+	wl.scratch.batchNum++
+	wl.scratch.stateAcc += wl.Prof.StateCallsPerBatch
+	if n := int(wl.scratch.stateAcc); n > 0 {
+		wl.emitStateCalls(n)
+		wl.scratch.stateAcc -= float64(n)
+	}
+	wl.Dev.DrawIndexed(vb, ib, prim, vs, fs)
+}
+
+// chunkCounts converts this frame's index budget into per-pass chunk
+// counts for the filler, clip and cull ribbons, carrying rounding error
+// across frames so long-run averages hit Table III exactly.
+func (wl *Workload) chunkCounts(m float64) (fill, clip, cull int) {
+	sp := &wl.Prof.Sim
+	a := float64(wl.assembledTarget(m))
+	perPass := (a - float64(wl.volumeTris)) / float64(wl.passes)
+	clipT := sp.ClipFrac * a / float64(wl.passes)
+	cullT := sp.CullFrac * a / float64(wl.passes)
+	fillT := perPass - clipT - cullT - float64(wl.fixedTrisPass)
+	if fillT < 0 {
+		fillT = 0
+	}
+	take := func(acc *float64, want float64, pool *chunkedRibbon) int {
+		*acc += want / float64(pool.chunkTri)
+		n := int(*acc)
+		*acc -= float64(n)
+		return clampI(n, 0, len(pool.chunks))
+	}
+	fill = take(&wl.accChunks[0], fillT, wl.filler)
+	clip = take(&wl.accChunks[1], clipT, wl.clipR)
+	cull = take(&wl.accChunks[2], cullT, wl.cullR)
+	return fill, clip, cull
+}
+
+// drawRibbonChunks draws the first n chunks of a pool.
+func (wl *Workload) drawRibbonChunks(pool *chunkedRibbon, n int, prim geom.PrimitiveType) {
+	for i := 0; i < n && i < len(pool.chunks); i++ {
+		wl.drawBuffers(pool.vb, pool.chunks[i], prim, false)
+	}
+}
+
+// renderForwardFrame composes one UT2004-style frame: opaque layers back
+// to front, an interleaved z-killed layer, filler detail, alpha-tested
+// foliage, then hidden geometry that Hierarchical Z rejects.
+func (wl *Workload) renderForwardFrame() {
+	dev := wl.Dev
+	sp := &wl.Prof.Sim
+	dev.SetMatrix(0, gmath.Identity())
+	wl.setShadingConsts()
+	dev.SetConst(15, gmath.V4(float32(sp.AlphaKillFrac), 0, 0, 0))
+	dev.Clear(gfxapi.ClearOp{ClearColor: true, ClearDepth: true, Z: 1})
+
+	dev.SetCull(geom.CullBack)
+	dev.SetZState(zst.DefaultState())
+	// Blending is always active in the color stage for the simulated
+	// benchmarks (paper §III.C).
+	dev.SetRopState(rop.AlphaBlend())
+
+	fill, clip, cull := wl.chunkCounts(wl.frameMod(wl.frameIdx))
+
+	// Opaque visible layers, deepest first.
+	for i := range wl.visFull {
+		wl.drawMesh(wl.visFull[i].mesh, geom.TriangleList, false)
+		if i == 1 && wl.interleave.tris > 0 {
+			// Sits between the two backmost layers in depth but is drawn
+			// after them: passes HZ, dies in the fine z test.
+			wl.drawMesh(wl.interleave.mesh, geom.TriangleList, false)
+		}
+	}
+	if wl.visPartial.tris > 0 {
+		wl.drawMesh(wl.visPartial.mesh, geom.TriangleList, false)
+	}
+
+	// Filler detail at the front.
+	wl.drawRibbonChunks(wl.filler, fill, geom.TriangleList)
+
+	// Alpha-tested foliage (late z because of KIL).
+	for i := range wl.foliage {
+		wl.drawMesh(wl.foliage[i].mesh, geom.TriangleList, true)
+	}
+
+	// Hidden geometry behind everything: HZ food.
+	for i := range wl.hidden {
+		wl.drawMesh(wl.hidden[i].mesh, geom.TriangleList, false)
+	}
+	if wl.hiddenPart.tris > 0 {
+		wl.drawMesh(wl.hiddenPart.mesh, geom.TriangleList, false)
+	}
+
+	// Off-frustum and back-facing geometry.
+	wl.drawRibbonChunks(wl.clipR, clip, geom.TriangleList)
+	wl.drawRibbonChunks(wl.cullR, cull, geom.TriangleList)
+
+	// The occasional triangle-fan batch (Table V's 0.1%).
+	if wl.fanR != nil && len(wl.fanR.chunks) > 0 {
+		wl.drawBuffers(wl.fanR.vb, wl.fanR.chunks[wl.frameIdx%len(wl.fanR.chunks)],
+			geom.TriangleFan, false)
+	}
+}
+
+// renderStencilFrame composes one Doom3/Quake4-style frame: z prepass
+// with color masked, then per light a stencil clear, shadow volumes and
+// an equal-z additive lighting pass.
+func (wl *Workload) renderStencilFrame() {
+	dev := wl.Dev
+	sp := &wl.Prof.Sim
+	dev.SetMatrix(0, gmath.Identity())
+	wl.setShadingConsts()
+	dev.Clear(gfxapi.ClearOp{
+		ClearColor: true, ClearDepth: true, ClearStencil: true, Z: 1,
+	})
+
+	fill, clip, cull := wl.chunkCounts(wl.frameMod(wl.frameIdx))
+
+	maskOff := rop.State{}
+
+	// --- Depth prepass: writes z, color masked off. ---
+	dev.SetCull(geom.CullBack)
+	dev.SetZState(zst.DefaultState())
+	dev.SetRopState(maskOff)
+	wl.drawScenePass(fill, clip, cull)
+
+	// --- Per light: stencil volumes then the additive lighting pass. ---
+	volZ := zst.DefaultState()
+	volZ.ZWrite = false
+	volZ.StencilTest = true
+	volZ.StencilFunc = zst.CmpAlways
+	volZ.Front = zst.FaceOps{Fail: zst.OpKeep, ZFail: zst.OpDecrWrap, ZPass: zst.OpKeep}
+	volZ.Back = zst.FaceOps{Fail: zst.OpKeep, ZFail: zst.OpIncrWrap, ZPass: zst.OpKeep}
+
+	lightZ := zst.DefaultState()
+	lightZ.ZFunc = zst.CmpEqual
+	lightZ.ZWrite = false
+	lightZ.StencilTest = true
+	lightZ.StencilFunc = zst.CmpEqual
+	lightZ.StencilRef = 0
+
+	// Distribute round(VolumePassCoverage) full-screen passing volumes
+	// across the lights without rounding inflation.
+	totalPass := int(sp.VolumePassCoverage + 0.5)
+	for l := 0; l < sp.Lights; l++ {
+		nPass := (l+1)*totalPass/sp.Lights - l*totalPass/sp.Lights
+		dev.Clear(gfxapi.ClearOp{ClearStencil: true})
+
+		// Shadow volumes: two-sided, z-fail stencil ops, color masked.
+		dev.SetZState(volZ)
+		dev.SetRopState(maskOff)
+		dev.SetCull(geom.CullNone)
+		if wl.volShadow.tris > 0 {
+			// Back faces behind the scene over the shadow rect: z-fail
+			// increments, putting the rect in shadow.
+			wl.drawFlipped(&wl.volShadow)
+		}
+		if wl.volPairBack.tris > 0 {
+			// Balanced +1/-1 pair: coverage without net stencil.
+			wl.drawFlipped(&wl.volPairBack)
+			wl.drawMesh(wl.volPairFrnt, geom.TriangleList, false)
+		}
+		for i := 0; i < nPass && wl.volPass.tris > 0; i++ {
+			wl.drawMesh(wl.volPass, geom.TriangleList, false)
+		}
+
+		// Lighting pass: equal z, unshadowed stencil, additive blend.
+		dev.SetCull(geom.CullBack)
+		dev.SetZState(lightZ)
+		dev.SetRopState(rop.AdditiveBlend())
+		wl.drawScenePass(fill, clip, cull)
+	}
+}
+
+// setShadingConsts loads the constant registers the synthesized shader
+// chains read (c4..c10): without them the combiner chains collapse to
+// zero and every output color degenerates.
+func (wl *Workload) setShadingConsts() {
+	dev := wl.Dev
+	dev.SetConst(4, gmath.V4(0.91, 0.87, 0.83, 1))
+	dev.SetConst(5, gmath.V4(0.07, 0.06, 0.08, 0))
+	dev.SetConst(6, gmath.V4(0.30, 0.59, 0.11, 0))
+	dev.SetConst(7, gmath.V4(0.5, 0.5, 0.5, 1))
+	dev.SetConst(8, gmath.V4(0.12, 0.10, 0.08, 0))
+	dev.SetConst(9, gmath.V4(0.57, 0.57, 0.57, 0))
+	dev.SetConst(10, gmath.V4(0.95, 0.92, 0.9, 1))
+}
+
+// drawScenePass draws the scene geometry once: visible and hidden grids
+// plus the per-pass ribbon shares.
+func (wl *Workload) drawScenePass(fill, clip, cull int) {
+	for i := range wl.visFull {
+		wl.drawMesh(wl.visFull[i].mesh, geom.TriangleList, false)
+	}
+	if wl.visPartial.tris > 0 {
+		wl.drawMesh(wl.visPartial.mesh, geom.TriangleList, false)
+	}
+	wl.drawRibbonChunks(wl.filler, fill, geom.TriangleList)
+	for i := range wl.hidden {
+		wl.drawMesh(wl.hidden[i].mesh, geom.TriangleList, false)
+	}
+	if wl.hiddenPart.tris > 0 {
+		wl.drawMesh(wl.hiddenPart.mesh, geom.TriangleList, false)
+	}
+	wl.drawRibbonChunks(wl.clipR, clip, geom.TriangleList)
+	wl.drawRibbonChunks(wl.cullR, cull, geom.TriangleList)
+}
+
+// drawFlipped draws a grid with reversed winding (its back faces).
+func (wl *Workload) drawFlipped(m *mesh) {
+	if m.flipIB == nil {
+		idx := make([]uint32, len(m.ib.Indices))
+		for i := 0; i < len(idx); i += 3 {
+			idx[i] = m.ib.Indices[i+1]
+			idx[i+1] = m.ib.Indices[i]
+			idx[i+2] = m.ib.Indices[i+2]
+		}
+		m.flipIB = wl.Dev.CreateIndexBuffer(idx, m.ib.BytesPerIndex)
+	}
+	wl.drawBuffers(m.vb, m.flipIB, geom.TriangleList, false)
+}
+
+// renderAPIOnlyFrame issues the batch/state structure of a non-simulated
+// demo: ribbon chunks in the Table V primitive mix with the calibrated
+// index volume. The geometry is valid but only the API-level statistics
+// are consumed (the paper, too, measured the Direct3D titles at the API
+// level only).
+func (wl *Workload) renderAPIOnlyFrame() {
+	dev := wl.Dev
+	p := wl.Prof
+	dev.SetMatrix(0, gmath.Identity())
+	dev.Clear(gfxapi.ClearOp{ClearColor: true, ClearDepth: true, Z: 1})
+
+	m := wl.frameMod(wl.frameIdx)
+	// Inter-scene transitions reload content (Figure 3 peaks).
+	if p.TransitionPeaks && wl.frameIdx > 0 && wl.frameIdx%420 == 0 {
+		wl.reloadBurst()
+	}
+
+	idxTarget := float64(p.AvgIndicesPerFrame) * m
+	chunkTri := wl.filler.chunkTri
+
+	// Triangle lists.
+	tlChunks := int(idxTarget * p.PrimMix[0] / float64(3*chunkTri))
+	for i := 0; i < tlChunks; i++ {
+		wl.drawBuffers(wl.filler.vb, wl.filler.chunks[i%len(wl.filler.chunks)],
+			geom.TriangleList, false)
+	}
+	// Strips and fans use sequential-index chunks over their ribbons.
+	if wl.stripR != nil {
+		per := float64(wl.stripR.chunkTri + 2)
+		n := int(idxTarget * p.PrimMix[1] / per)
+		for i := 0; i < n; i++ {
+			wl.drawBuffers(wl.stripR.vb, wl.stripR.chunks[i%len(wl.stripR.chunks)],
+				geom.TriangleStrip, false)
+		}
+	}
+	if wl.fanR != nil && p.PrimMix[2] > 0 {
+		per := float64(wl.fanR.chunkTri + 2)
+		n := int(idxTarget * p.PrimMix[2] / per)
+		for i := 0; i < n; i++ {
+			wl.drawBuffers(wl.fanR.vb, wl.fanR.chunks[i%len(wl.fanR.chunks)],
+				geom.TriangleFan, false)
+		}
+	}
+}
+
+// reloadBurst models a scene transition: a burst of texture and buffer
+// creation calls.
+func (wl *Workload) reloadBurst() {
+	wl.emitStateCalls(2600)
+	for i := 0; i < 100; i++ {
+		spec := gfxapi.TextureSpec{
+			Name:   "reload",
+			Format: texture.FormatDXT1, W: 64, H: 64,
+			Kind: gfxapi.KindNoise, Seed: wl.nextRand(),
+		}
+		if _, err := wl.Dev.CreateTexture(spec); err != nil {
+			break
+		}
+	}
+	wl.emitStateCalls(400)
+}

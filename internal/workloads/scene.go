@@ -1,0 +1,264 @@
+package workloads
+
+import (
+	"gpuchar/internal/cache"
+	"gpuchar/internal/geom"
+	"gpuchar/internal/gfxapi"
+	"gpuchar/internal/gmath"
+)
+
+// Scene geometry is specified directly in clip space (the vertex
+// programs transform with an identity model-view-projection), which
+// gives exact control over screen coverage, triangle size and depth
+// layering — the quantities the paper's microarchitectural tables are
+// calibrated against.
+
+// pixelToClipX converts an x pixel coordinate to clip space.
+func pixelToClipX(x float64, w int) float32 { return float32(x/float64(w)*2 - 1) }
+
+// pixelToClipY converts a y pixel coordinate to clip space.
+func pixelToClipY(y float64, h int) float32 { return float32(y/float64(h)*2 - 1) }
+
+// mesh couples the device buffers of one piece of geometry.
+type mesh struct {
+	vb   *geom.VertexBuffer
+	ib   *geom.IndexBuffer
+	tris int
+	// flipIB, created on demand, reverses the winding (back faces of
+	// shadow volumes).
+	flipIB *geom.IndexBuffer
+}
+
+// gridMesh builds an axis-aligned rectangular grid covering the pixel
+// rectangle [x0,x1) x [y0,y1) at clip depth z, subdivided into cell x
+// cell quads (two triangles each). Cells aligned to even pixels keep
+// horizontal and vertical edges on quad boundaries, so only the cell
+// diagonals produce partial quads — matching the high quad efficiencies
+// of the paper's Table X. Indices are emitted row-major so the
+// post-transform vertex cache sees the locality of a well-ordered mesh.
+//
+// uTile and vTile set the texture tiling in texels per pixel; unequal
+// values create the anisotropic footprints that drive Table XIII.
+func gridMesh(dev *gfxapi.Device, x0, y0, x1, y1, cell int, z float32,
+	uTile, vTile float64, stride, idxBytes, screenW, screenH int) mesh {
+
+	if cell < 2 {
+		cell = 2
+	}
+	cols := (x1 - x0 + cell - 1) / cell
+	rows := (y1 - y0 + cell - 1) / cell
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	nvx, nvy := cols+1, rows+1
+	pos := make([]gmath.Vec4, 0, nvx*nvy)
+	uv := make([]gmath.Vec4, 0, nvx*nvy)
+	col := make([]gmath.Vec4, 0, nvx*nvy)
+	for r := 0; r < nvy; r++ {
+		for c := 0; c < nvx; c++ {
+			px := float64(minI(x0+c*cell, x1))
+			py := float64(minI(y0+r*cell, y1))
+			pos = append(pos, gmath.Vec4{
+				X: pixelToClipX(px, screenW), Y: pixelToClipY(py, screenH),
+				Z: z, W: 1,
+			})
+			uv = append(uv, gmath.Vec4{
+				X: float32(px * uTile), Y: float32(py * vTile), W: 1,
+			})
+			col = append(col, gmath.V4(0.8, 0.8, 0.8, 1))
+		}
+	}
+	idx := make([]uint32, 0, rows*cols*6)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v00 := uint32(r*nvx + c)
+			v10 := v00 + 1
+			v01 := v00 + uint32(nvx)
+			v11 := v01 + 1
+			// CCW winding in window space (y grows upward after the
+			// viewport transform).
+			idx = append(idx, v00, v10, v11, v00, v11, v01)
+		}
+	}
+	vb := dev.CreateVertexBuffer([][]gmath.Vec4{pos, uv, col}, stride)
+	ib := dev.CreateIndexBuffer(idx, idxBytes)
+	return mesh{vb: vb, ib: ib, tris: rows * cols * 2}
+}
+
+// ribbonKind selects the geometric disposition of a ribbon.
+type ribbonKind uint8
+
+const (
+	// ribbonVisible places small on-screen triangles that pass all
+	// tests — the numerical triangle filler.
+	ribbonVisible ribbonKind = iota
+	// ribbonClipped places the strip fully outside the view frustum.
+	ribbonClipped
+	// ribbonCulled winds the strip backward so every triangle is
+	// back-face culled.
+	ribbonCulled
+)
+
+// ribbonMesh builds a strip-ordered triangle list of n triangles:
+// triangle i uses vertices (i, i+1, i+2), so each triangle shares two
+// vertices with its predecessor and the post-transform vertex cache
+// converges to the paper's 66% hit rate. The ribbon serpentines across
+// the screen with triangles of roughly triPx pixels; row turns produce
+// a couple of degenerate (culled) triangles instead of screen-spanning
+// slivers, and a full vertical wrap steps slightly closer in depth so
+// re-covered rows still pass the depth test.
+func ribbonMesh(dev *gfxapi.Device, n int, kind ribbonKind, z float32,
+	triPx float64, seed uint32, stride, idxBytes, screenW, screenH int) mesh {
+
+	if n < 1 {
+		n = 1
+	}
+	nv := n + 2
+	pos := make([]gmath.Vec4, nv)
+	uv := make([]gmath.Vec4, nv)
+	col := make([]gmath.Vec4, nv)
+	// dirAt records the horizontal direction in force when each vertex
+	// was placed, which determines per-triangle winding.
+	dirAt := make([]int8, nv)
+
+	// Triangle legs: width w horizontal step, height h. Area = w*h/2.
+	w := 4.0
+	h := 2 * triPx / w
+	if h < 2 {
+		h = 2
+	}
+	x := float64(2 + int(seed%32)*2)
+	y := float64(2 + int(seed/7%32)*2)
+	depth := z
+	dir := int8(1)
+	for i := 0; i < nv; i++ {
+		py := y
+		if i%2 == 1 {
+			py = y + h
+		}
+		pos[i] = gmath.Vec4{
+			X: pixelToClipX(x, screenW), Y: pixelToClipY(py, screenH),
+			Z: depth, W: 1,
+		}
+		// Normalized UVs at roughly half a texel per pixel for typical
+		// texture sizes.
+		uv[i] = gmath.Vec4{X: float32(x / 1024), Y: float32(py / 1024), W: 1}
+		col[i] = gmath.V4(0.5, 0.6, 0.7, 1)
+		dirAt[i] = dir
+		if i%2 == 1 {
+			// Both vertices of this column placed: advance.
+			nx := x + float64(dir)*w
+			if nx > float64(screenW)-8 || nx < 2 {
+				// Turn: next row, reversed direction, same x (the two
+				// bridging triangles are degenerate and get culled).
+				dir = -dir
+				y += h + 2
+				if y > float64(screenH)-h-8 {
+					// Vertical wrap: restart at the top a hair closer.
+					y = 2
+					depth -= 0.002
+				}
+			} else {
+				x = nx
+			}
+		}
+	}
+	if kind == ribbonClipped {
+		// Shift the whole strip beyond the right clip plane.
+		for i := range pos {
+			pos[i].X += 4
+		}
+	}
+
+	idx := make([]uint32, 0, 3*n)
+	for i := 0; i < n; i++ {
+		a, b, c := uint32(i), uint32(i+1), uint32(i+2)
+		// On right-going rows the even triangles come out clockwise; on
+		// left-going rows the odd ones do. Swap two indices to make
+		// every triangle counter-clockwise...
+		if (i%2 == 0) == (dirAt[i+2] > 0) {
+			a, b = b, a
+		}
+		// ...and flip all of them for the culled ribbon, so back-face
+		// culling removes the whole strip.
+		if kind == ribbonCulled {
+			a, b = b, a
+		}
+		idx = append(idx, a, b, c)
+	}
+	vb := dev.CreateVertexBuffer([][]gmath.Vec4{pos, uv, col}, stride)
+	ib := dev.CreateIndexBuffer(idx, idxBytes)
+	return mesh{vb: vb, ib: ib, tris: n}
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// mergeMeshes concatenates two meshes sharing the same attribute layout
+// into one vertex buffer and one index buffer, so a split layer still
+// issues a single draw call.
+func mergeMeshes(dev *gfxapi.Device, a, b mesh, stride, idxBytes int) mesh {
+	n := uint32(a.vb.NumVertices())
+	attribs := make([][]gmath.Vec4, len(a.vb.Attribs))
+	for i := range attribs {
+		merged := make([]gmath.Vec4, 0, len(a.vb.Attribs[i])+len(b.vb.Attribs[i]))
+		merged = append(merged, a.vb.Attribs[i]...)
+		merged = append(merged, b.vb.Attribs[i]...)
+		attribs[i] = merged
+	}
+	vb := dev.CreateVertexBuffer(attribs, stride)
+	idx := make([]uint32, 0, len(a.ib.Indices)+len(b.ib.Indices))
+	idx = append(idx, a.ib.Indices...)
+	for _, x := range b.ib.Indices {
+		idx = append(idx, x+n)
+	}
+	ib := dev.CreateIndexBuffer(idx, idxBytes)
+	return mesh{vb: vb, ib: ib, tris: a.tris + b.tris}
+}
+
+// SharingStats compares vertex-shading work for the same mesh submitted
+// as an indexed triangle list versus a triangle strip — the paper's
+// Table V argument: with a post-transform cache, a well-ordered list
+// shades almost exactly as few vertices as a strip, so developers pick
+// lists for their convenience and pay only index bandwidth.
+type SharingStats struct {
+	Triangles    int
+	ListIndices  int
+	StripIndices int
+	// ListShades and StripShades are vertex shader executions under a
+	// FIFO post-transform cache of the given size.
+	ListShades  int
+	StripShades int
+}
+
+// ListVsStrip runs the comparison for a serpentine mesh of n triangles
+// under a vertex cache with cacheSize entries.
+func ListVsStrip(n, cacheSize int) SharingStats {
+	st := SharingStats{Triangles: n}
+	vc := cache.NewVertexCache(cacheSize)
+	// Strip-ordered triangle list: triangle i references (i, i+1, i+2).
+	for i := 0; i < n; i++ {
+		for k := 0; k < 3; k++ {
+			if !vc.Lookup(uint32(i + k)) {
+				st.ListShades++
+			}
+			st.ListIndices++
+		}
+	}
+	// Strip: each vertex referenced exactly once.
+	vc.Clear()
+	for i := 0; i < n+2; i++ {
+		if !vc.Lookup(uint32(i)) {
+			st.StripShades++
+		}
+		st.StripIndices++
+	}
+	return st
+}

@@ -1,0 +1,305 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"gpuchar/internal/gfxapi"
+)
+
+func TestRegistryMatchesTableI(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 12 {
+		t.Fatalf("registry has %d entries, want 12", len(reg))
+	}
+	// Spot checks against Table I / Table III.
+	ut := ByName("UT2004/Primeval")
+	if ut == nil || ut.Frames != 1992 || ut.BytesPerIndex != 2 {
+		t.Errorf("UT2004 profile wrong: %+v", ut)
+	}
+	d3 := ByName("Doom3/trdemo2")
+	if d3 == nil || d3.Frames != 3990 || d3.BytesPerIndex != 4 ||
+		d3.AvgIndicesPerFrame != 136548 {
+		t.Errorf("Doom3 profile wrong: %+v", d3)
+	}
+	if ByName("nope") != nil {
+		t.Error("unknown name should return nil")
+	}
+	// API split: 7 OpenGL, 5 Direct3D like the paper.
+	ogl, d3d := 0, 0
+	for _, p := range reg {
+		if p.API == gfxapi.OpenGL {
+			ogl++
+		} else {
+			d3d++
+		}
+	}
+	if ogl != 7 || d3d != 5 {
+		t.Errorf("API split = %d OGL / %d D3D, want 7/5", ogl, d3d)
+	}
+	// Primitive mixes sum to 1.
+	for _, p := range reg {
+		sum := p.PrimMix[0] + p.PrimMix[1] + p.PrimMix[2]
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s prim mix sums to %v", p.Name, sum)
+		}
+	}
+}
+
+func TestSimulatedSet(t *testing.T) {
+	sim := Simulated()
+	if len(sim) != 3 {
+		t.Fatalf("simulated set = %d, want 3", len(sim))
+	}
+	want := map[string]bool{
+		"UT2004/Primeval": true, "Doom3/trdemo2": true, "Quake4/demo4": true,
+	}
+	for _, p := range sim {
+		if !want[p.Name] {
+			t.Errorf("unexpected simulated demo %s", p.Name)
+		}
+	}
+}
+
+func TestDurationMatchesTableI(t *testing.T) {
+	cases := []struct {
+		name     string
+		min, sec int
+	}{
+		{"UT2004/Primeval", 1, 6},
+		{"Doom3/trdemo2", 2, 13},
+		{"Quake4/demo4", 1, 39},
+		{"FEAR/built-in demo", 0, 19},
+		{"Half Life 2 LC/built-in", 1, 0},
+	}
+	for _, c := range cases {
+		p := ByName(c.name)
+		min, sec := p.DurationAt30FPS()
+		if min != c.min || sec != c.sec {
+			t.Errorf("%s duration = %d'%02d'', want %d'%02d''",
+				c.name, min, sec, c.min, c.sec)
+		}
+	}
+}
+
+// runAPILevel renders n frames of a profile against a null backend and
+// returns the device.
+func runAPILevel(t *testing.T, name string, n int) *gfxapi.Device {
+	t.Helper()
+	p := ByName(name)
+	if p == nil {
+		t.Fatalf("no profile %s", name)
+	}
+	dev := gfxapi.NewDevice(p.API, gfxapi.NullBackend{})
+	wl := New(p, dev, 1024, 768)
+	if err := wl.Run(n); err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+// meanOver computes the average of f over frames [skip:].
+func meanOver(frames []gfxapi.FrameStats, skip int, f func(gfxapi.FrameStats) float64) float64 {
+	var sum float64
+	n := 0
+	for _, fr := range frames[skip:] {
+		sum += f(fr)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func TestAPILevelIndexCalibration(t *testing.T) {
+	for _, name := range []string{"UT2004/Primeval", "Doom3/trdemo2",
+		"FEAR/interval2", "Oblivion/Anvil Castle"} {
+		p := ByName(name)
+		dev := runAPILevel(t, name, 140)
+		frames := dev.Frames()
+		idxPerFrame := meanOver(frames, 3, func(f gfxapi.FrameStats) float64 {
+			return float64(f.Indices)
+		})
+		target := float64(p.AvgIndicesPerFrame)
+		if math.Abs(idxPerFrame-target)/target > 0.10 {
+			t.Errorf("%s indices/frame = %.0f, want %.0f +-10%%",
+				name, idxPerFrame, target)
+		}
+		// Indices per batch within a factor of ~2 of Table III (the
+		// chunking quantizes batch sizes).
+		batches := meanOver(frames, 3, func(f gfxapi.FrameStats) float64 {
+			return float64(f.Batches)
+		})
+		idxPerBatch := idxPerFrame / batches
+		ratio := idxPerBatch / float64(p.AvgIndicesPerBatch)
+		if ratio < 0.5 || ratio > 2 {
+			t.Errorf("%s indices/batch = %.0f, want ~%d",
+				name, idxPerBatch, p.AvgIndicesPerBatch)
+		}
+	}
+}
+
+func TestAPILevelShaderCalibration(t *testing.T) {
+	for _, name := range []string{"UT2004/Primeval", "Quake4/demo4",
+		"Half Life 2 LC/built-in"} {
+		p := ByName(name)
+		dev := runAPILevel(t, name, 120)
+		frames := dev.Frames()
+		vs := meanOver(frames, 3, func(f gfxapi.FrameStats) float64 { return f.AvgVSInstr() })
+		if math.Abs(vs-p.VSInstr) > 0.2 {
+			t.Errorf("%s VS instr = %.2f, want %.2f", name, vs, p.VSInstr)
+		}
+		fs := meanOver(frames, 3, func(f gfxapi.FrameStats) float64 { return f.AvgFSInstr() })
+		if math.Abs(fs-p.FSInstr) > 0.3 {
+			t.Errorf("%s FS instr = %.2f, want %.2f", name, fs, p.FSInstr)
+		}
+		ft := meanOver(frames, 3, func(f gfxapi.FrameStats) float64 { return f.AvgFSTex() })
+		if math.Abs(ft-p.FSTex) > 0.2 {
+			t.Errorf("%s FS tex = %.2f, want %.2f", name, ft, p.FSTex)
+		}
+	}
+}
+
+func TestOblivionTwoRegions(t *testing.T) {
+	p := ByName("Oblivion/Anvil Castle")
+	dev := gfxapi.NewDevice(p.API, gfxapi.NullBackend{})
+	// Shrink the run: pretend the demo is 80 frames so the region flips
+	// at 40.
+	prof := *p
+	prof.Frames = 80
+	wl := New(&prof, dev, 1024, 768)
+	if err := wl.Run(80); err != nil {
+		t.Fatal(err)
+	}
+	frames := dev.Frames()
+	r1 := meanOver(frames[:40], 3, func(f gfxapi.FrameStats) float64 { return f.AvgVSInstr() })
+	r2 := meanOver(frames[40:], 0, func(f gfxapi.FrameStats) float64 { return f.AvgVSInstr() })
+	if math.Abs(r1-18.88) > 0.3 {
+		t.Errorf("region 1 VS = %.2f, want 18.88", r1)
+	}
+	if math.Abs(r2-37.72) > 0.6 {
+		t.Errorf("region 2 VS = %.2f, want 37.72", r2)
+	}
+}
+
+func TestPrimitiveMixCalibration(t *testing.T) {
+	p := ByName("Splinter Cell 3/first level")
+	dev := runAPILevel(t, p.Name, 100)
+	var byPrim [3]int64
+	var total int64
+	for _, f := range dev.Frames()[3:] {
+		for i := 0; i < 3; i++ {
+			byPrim[i] += f.IndicesByPrim[i]
+			total += f.IndicesByPrim[i]
+		}
+	}
+	for i := 0; i < 3; i++ {
+		got := float64(byPrim[i]) / float64(total)
+		if math.Abs(got-p.PrimMix[i]) > 0.05 {
+			t.Errorf("prim %d mix = %.3f, want %.3f", i, got, p.PrimMix[i])
+		}
+	}
+}
+
+func TestStartupSpike(t *testing.T) {
+	dev := runAPILevel(t, "Doom3/trdemo2", 30)
+	frames := dev.Frames()
+	first := float64(frames[0].StateCalls)
+	steady := meanOver(frames, 10, func(f gfxapi.FrameStats) float64 {
+		return float64(f.StateCalls)
+	})
+	if first < 5*steady {
+		t.Errorf("startup state calls %.0f not much larger than steady %.0f",
+			first, steady)
+	}
+}
+
+func TestTransitionPeaks(t *testing.T) {
+	p := ByName("FEAR/interval2")
+	dev := gfxapi.NewDevice(p.API, gfxapi.NullBackend{})
+	wl := New(p, dev, 1024, 768)
+	if err := wl.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	// Jump the frame counter near a transition boundary.
+	wl.frameIdx = 418
+	for i := 0; i < 5; i++ {
+		wl.RenderFrame()
+	}
+	frames := dev.Frames()
+	// Frame index 420 is the 3rd rendered frame (418, 419, 420...). The
+	// first rendered frame carries the setup burst, so baseline on the
+	// second.
+	peak := float64(frames[2].StateCalls)
+	base := float64(frames[1].StateCalls)
+	if peak < 2*base {
+		t.Errorf("transition peak %.0f not above baseline %.0f", peak, base)
+	}
+}
+
+func TestBatchVariabilityOverTime(t *testing.T) {
+	// Figure 1: batches per frame vary substantially across frames.
+	dev := runAPILevel(t, "UT2004/Primeval", 140)
+	frames := dev.Frames()[3:]
+	min, max := frames[0].Batches, frames[0].Batches
+	for _, f := range frames {
+		if f.Batches < min {
+			min = f.Batches
+		}
+		if f.Batches > max {
+			max = f.Batches
+		}
+	}
+	if float64(max) < 1.3*float64(min) {
+		t.Errorf("batches range [%d,%d] too flat for Figure 1", min, max)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []gfxapi.FrameStats {
+		p := ByName("Quake4/demo4")
+		dev := gfxapi.NewDevice(p.API, gfxapi.NullBackend{})
+		wl := New(p, dev, 1024, 768)
+		if err := wl.Run(20); err != nil {
+			t.Fatal(err)
+		}
+		return dev.Frames()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("frame %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestListVsStripSharing(t *testing.T) {
+	// The paper's Table V argument: with the post-transform cache, a
+	// well-ordered triangle list shades the same vertices as a strip;
+	// the only difference left is index bandwidth (3x vs ~1x).
+	st := ListVsStrip(3000, 16)
+	if st.ListShades != st.StripShades {
+		t.Errorf("list shades %d vs strip shades %d, want equal",
+			st.ListShades, st.StripShades)
+	}
+	if st.ListIndices != 3*st.Triangles {
+		t.Errorf("list indices = %d", st.ListIndices)
+	}
+	if st.StripIndices != st.Triangles+2 {
+		t.Errorf("strip indices = %d", st.StripIndices)
+	}
+	// Hit rate of the list converges to the theoretical 2/3.
+	hr := 1 - float64(st.ListShades)/float64(st.ListIndices)
+	if hr < 0.66 || hr > 0.67 {
+		t.Errorf("list hit rate = %v, want ~0.667", hr)
+	}
+	// A 1-entry cache breaks the equivalence: the list reshades.
+	tiny := ListVsStrip(3000, 1)
+	if tiny.ListShades <= tiny.StripShades {
+		t.Error("tiny cache should penalize the list")
+	}
+}

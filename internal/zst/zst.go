@@ -1,0 +1,469 @@
+// Package zst implements the depth and stencil stage: the on-die
+// Hierarchical Z buffer, the combined z & stencil test with two-sided
+// stencil operations (Doom3/Quake4 shadow volumes), and the z & stencil
+// cache with fast clear and 2:1 block compression.
+//
+// This stage generates the quad-kill statistics of the paper's Table IX
+// (HZ vs z&stencil removals), the z&stencil quad efficiency of Table X,
+// and — via the cache — the z traffic of Tables XV-XVII, which fast
+// clear and compression cut roughly in half (paper §III.E).
+package zst
+
+import (
+	"gpuchar/internal/cache"
+	"gpuchar/internal/mem"
+	"gpuchar/internal/rast"
+)
+
+// CompareFunc is a depth or stencil comparison.
+type CompareFunc uint8
+
+// Comparison functions (OpenGL semantics).
+const (
+	CmpNever CompareFunc = iota
+	CmpLess
+	CmpLEqual
+	CmpEqual
+	CmpGreater
+	CmpGEqual
+	CmpNotEqual
+	CmpAlways
+)
+
+// eval applies the comparison to (new, stored).
+func (c CompareFunc) eval(a, b float32) bool {
+	switch c {
+	case CmpNever:
+		return false
+	case CmpLess:
+		return a < b
+	case CmpLEqual:
+		return a <= b
+	case CmpEqual:
+		return a == b
+	case CmpGreater:
+		return a > b
+	case CmpGEqual:
+		return a >= b
+	case CmpNotEqual:
+		return a != b
+	default:
+		return true
+	}
+}
+
+func (c CompareFunc) evalU8(a, b uint8) bool {
+	return c.eval(float32(a), float32(b))
+}
+
+// StencilOp updates a stencil value.
+type StencilOp uint8
+
+// Stencil operations.
+const (
+	OpKeep StencilOp = iota
+	OpZero
+	OpReplace
+	OpIncr
+	OpDecr
+	OpIncrWrap
+	OpDecrWrap
+	OpInvert
+)
+
+func (o StencilOp) apply(v, ref uint8) uint8 {
+	switch o {
+	case OpZero:
+		return 0
+	case OpReplace:
+		return ref
+	case OpIncr:
+		if v == 255 {
+			return v
+		}
+		return v + 1
+	case OpDecr:
+		if v == 0 {
+			return v
+		}
+		return v - 1
+	case OpIncrWrap:
+		return v + 1
+	case OpDecrWrap:
+		return v - 1
+	case OpInvert:
+		return ^v
+	default:
+		return v
+	}
+}
+
+// FaceOps is the stencil operation triple for one triangle facing.
+type FaceOps struct {
+	Fail  StencilOp // stencil test failed
+	ZFail StencilOp // stencil passed, depth failed
+	ZPass StencilOp // both passed
+}
+
+// State is the z & stencil pipeline state of a draw call.
+type State struct {
+	ZTest  bool
+	ZFunc  CompareFunc
+	ZWrite bool
+
+	StencilTest bool
+	StencilFunc CompareFunc
+	StencilRef  uint8
+	StencilMask uint8
+	Front       FaceOps
+	Back        FaceOps
+
+	// HZ gates the Hierarchical Z early rejection for this draw. Real
+	// drivers disable it for z modes HZ cannot express.
+	HZ bool
+}
+
+// DefaultState returns plain less-than depth testing with writes.
+func DefaultState() State {
+	return State{
+		ZTest: true, ZFunc: CmpLess, ZWrite: true,
+		StencilMask: 0xFF,
+		Front:       FaceOps{OpKeep, OpKeep, OpKeep},
+		Back:        FaceOps{OpKeep, OpKeep, OpKeep},
+		HZ:          true,
+	}
+}
+
+// Stats accumulates stage activity.
+type Stats struct {
+	QuadsIn       int64
+	QuadsKilledHZ int64 // removed whole by Hierarchical Z
+	QuadsKilled   int64 // removed whole by the z & stencil test
+	QuadsOut      int64
+	CompleteOut   int64 // quads leaving with all four fragments
+	FragmentsIn   int64
+	FragmentsOut  int64
+	// HZWouldPassButZFails counts fragments the z test killed that HZ
+	// let through — the headroom a better HZ could claim (paper §III.C).
+	ZKilledFragments int64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.QuadsIn += o.QuadsIn
+	s.QuadsKilledHZ += o.QuadsKilledHZ
+	s.QuadsKilled += o.QuadsKilled
+	s.QuadsOut += o.QuadsOut
+	s.CompleteOut += o.CompleteOut
+	s.FragmentsIn += o.FragmentsIn
+	s.FragmentsOut += o.FragmentsOut
+	s.ZKilledFragments += o.ZKilledFragments
+}
+
+// hzBlockDim is the footprint of one Hierarchical Z entry. ATTILA uses
+// 8x8 blocks over the framebuffer, matching the inner rasterizer tile.
+const hzBlockDim = 8
+
+// lineDim is the footprint of one z-cache line: 256 bytes of 4-byte
+// depth+stencil values = an 8x8 pixel block (Table XIV: 64w x 256B).
+const lineDim = 8
+
+// ZCacheConfig is the paper's Table XIV z & stencil cache geometry.
+var ZCacheConfig = cache.Config{Ways: 64, Sets: 1, LineBytes: 256}
+
+// Buffer is the combined depth (float) + stencil (uint8) framebuffer
+// with its Hierarchical Z mirror and cache.
+type Buffer struct {
+	w, h     int
+	depth    []float32
+	stencil  []uint8
+	baseAddr uint64
+
+	// HZ state, per 8x8 block.
+	hzMax    []float32
+	cover    []uint64 // per-block coverage bitmask since clear
+	maxSince []float32
+
+	// Per-line clear flag for fast clear: a set bit means the line
+	// still holds the clear value and costs nothing to fill.
+	clearLine []bool
+	clearZ    float32
+	clearS    uint8
+
+	zcache *cache.Cache
+	memctl *mem.Controller
+	stats  Stats
+
+	// Compression and FastClear enable the bandwidth reduction
+	// techniques (on by default); the ablation benches switch them off
+	// to measure the paper's "reduced by half" claim.
+	Compression bool
+	FastClear   bool
+}
+
+// NewBuffer creates a w x h depth/stencil buffer. baseAddr places it in
+// the GPU address space for cache addressing; memctl may be nil.
+func NewBuffer(w, h int, baseAddr uint64, memctl *mem.Controller) *Buffer {
+	blocksX := (w + hzBlockDim - 1) / hzBlockDim
+	blocksY := (h + hzBlockDim - 1) / hzBlockDim
+	nb := blocksX * blocksY
+	b := &Buffer{
+		w: w, h: h,
+		depth:     make([]float32, w*h),
+		stencil:   make([]uint8, w*h),
+		baseAddr:  baseAddr,
+		hzMax:     make([]float32, nb),
+		cover:     make([]uint64, nb),
+		maxSince:  make([]float32, nb),
+		clearLine: make([]bool, nb),
+		zcache:    cache.New(ZCacheConfig),
+		memctl:    memctl,
+
+		Compression: true,
+		FastClear:   true,
+	}
+	b.Clear(1, 0)
+	return b
+}
+
+// Clear fast-clears the buffer: every block is tagged clear (no memory
+// traffic — the clear value lives in a register) and HZ resets.
+func (b *Buffer) Clear(z float32, s uint8) {
+	b.clearZ, b.clearS = z, s
+	for i := range b.depth {
+		b.depth[i] = z
+	}
+	for i := range b.stencil {
+		b.stencil[i] = s
+	}
+	for i := range b.hzMax {
+		b.hzMax[i] = z
+		b.cover[i] = 0
+		b.maxSince[i] = 0
+		b.clearLine[i] = true
+	}
+	b.zcache.Invalidate()
+}
+
+// ClearStencil fast-clears only the stencil plane, leaving depth and
+// Hierarchical Z intact — the per-light stencil reset of the Doom3
+// shadow algorithm.
+func (b *Buffer) ClearStencil(s uint8) {
+	b.clearS = s
+	for i := range b.stencil {
+		b.stencil[i] = s
+	}
+}
+
+// Stats returns the accumulated statistics.
+func (b *Buffer) Stats() Stats { return b.stats }
+
+// ResetStats clears statistics (buffer contents survive).
+func (b *Buffer) ResetStats() {
+	b.stats = Stats{}
+	b.zcache.ResetStats()
+}
+
+// CacheStats exposes the z & stencil cache counters for Table XIV.
+func (b *Buffer) CacheStats() cache.Stats { return b.zcache.Stats() }
+
+// DepthAt returns the stored depth (for tests and debugging).
+func (b *Buffer) DepthAt(x, y int) float32 { return b.depth[y*b.w+x] }
+
+// StencilAt returns the stored stencil value.
+func (b *Buffer) StencilAt(x, y int) uint8 { return b.stencil[y*b.w+x] }
+
+func (b *Buffer) blockIndex(x, y int) int {
+	blocksX := (b.w + hzBlockDim - 1) / hzBlockDim
+	return (y/hzBlockDim)*blocksX + x/hzBlockDim
+}
+
+// HZTestQuad performs the Hierarchical Z early rejection for a quad. It
+// returns false when the whole quad provably fails the depth test and
+// can be discarded without touching GDDR. Only less-style comparisons
+// are accelerated, like real HyperZ.
+func (b *Buffer) HZTestQuad(q *rast.Quad, st *State) bool {
+	if !st.HZ || !st.ZTest {
+		return true
+	}
+	if st.ZFunc != CmpLess && st.ZFunc != CmpLEqual && st.ZFunc != CmpEqual {
+		return true
+	}
+	// A z-fail stencil update (Doom3-style shadow volumes) must observe
+	// every depth failure, so HZ cannot discard those quads — one of the
+	// "z and stencil modes" the paper notes HZ is disabled for.
+	if st.StencilTest && (st.Front.ZFail != OpKeep || st.Back.ZFail != OpKeep) {
+		return true
+	}
+	bi := b.blockIndex(q.X, q.Y)
+	minZ := q.Z[0]
+	for i := 1; i < 4; i++ {
+		if q.Z[i] < minZ {
+			minZ = q.Z[i]
+		}
+	}
+	if st.ZFunc == CmpLess {
+		return minZ < b.hzMax[bi]
+	}
+	// LEqual passes on minZ <= max. Equal can only pass if some stored z
+	// equals the quad z, which requires minZ <= max as well — so the
+	// same conservative bound rejects hidden geometry in Doom3-style
+	// equal-z lighting passes.
+	return minZ <= b.hzMax[bi]
+}
+
+// TestQuad runs the z & stencil test for the covered fragments of a
+// quad, updating the buffers, HZ and cache traffic. mask selects the
+// fragments still alive; the surviving mask is returned. frontFacing
+// selects the stencil operation set.
+func (b *Buffer) TestQuad(q *rast.Quad, mask uint8, st *State, frontFacing bool) uint8 {
+	b.stats.QuadsIn++
+	b.stats.FragmentsIn += int64(popcount(mask))
+
+	if !st.ZTest && !st.StencilTest {
+		// Stage bypassed entirely: no buffer traffic.
+		b.stats.QuadsOut++
+		b.stats.FragmentsOut += int64(popcount(mask))
+		if mask == 0xF {
+			b.stats.CompleteOut++
+		}
+		return mask
+	}
+
+	b.touchLine(q.X, q.Y, st.ZWrite || st.StencilTest)
+
+	ops := &st.Front
+	if !frontFacing {
+		ops = &st.Back
+	}
+	out := uint8(0)
+	for lane := 0; lane < 4; lane++ {
+		if mask&(1<<lane) == 0 {
+			continue
+		}
+		x, y := q.PixelX(lane), q.PixelY(lane)
+		idx := y*b.w + x
+		pass := true
+
+		if st.StencilTest {
+			sv := b.stencil[idx]
+			if !st.StencilFunc.evalU8(st.StencilRef&st.StencilMask, sv&st.StencilMask) {
+				b.stencil[idx] = ops.Fail.apply(sv, st.StencilRef)
+				pass = false
+			} else if st.ZTest && !st.ZFunc.eval(q.Z[lane], b.depth[idx]) {
+				b.stencil[idx] = ops.ZFail.apply(sv, st.StencilRef)
+				pass = false
+				b.stats.ZKilledFragments++
+			} else {
+				b.stencil[idx] = ops.ZPass.apply(sv, st.StencilRef)
+			}
+		} else if st.ZTest && !st.ZFunc.eval(q.Z[lane], b.depth[idx]) {
+			pass = false
+			b.stats.ZKilledFragments++
+		}
+
+		if pass {
+			out |= 1 << lane
+			if st.ZWrite {
+				b.writeDepth(x, y, idx, q.Z[lane])
+			}
+		}
+	}
+	if out == 0 {
+		b.stats.QuadsKilled++
+		return 0
+	}
+	b.stats.QuadsOut++
+	b.stats.FragmentsOut += int64(popcount(out))
+	if out == 0xF {
+		b.stats.CompleteOut++
+	}
+	return out
+}
+
+// RecordHZKill accounts a quad removed by HZTestQuad.
+func (b *Buffer) RecordHZKill(q *rast.Quad, mask uint8) {
+	b.stats.QuadsIn++
+	b.stats.FragmentsIn += int64(popcount(mask))
+	b.stats.QuadsKilledHZ++
+}
+
+// writeDepth updates the depth value and maintains the HZ mirror.
+func (b *Buffer) writeDepth(x, y, idx int, z float32) {
+	b.depth[idx] = z
+	bi := b.blockIndex(x, y)
+	// Coverage bit within the 8x8 block.
+	cbit := uint64(1) << uint((y%hzBlockDim)*hzBlockDim+(x%hzBlockDim))
+	b.cover[bi] |= cbit
+	if z > b.maxSince[bi] {
+		b.maxSince[bi] = z
+	}
+	if b.cover[bi] == ^uint64(0) {
+		// Every pixel of the block has been written since clear: the
+		// conservative max of all writes bounds the true block max.
+		if b.maxSince[bi] < b.hzMax[bi] {
+			b.hzMax[bi] = b.maxSince[bi]
+		}
+	}
+}
+
+// touchLine drives the z-cache for the 8x8 line containing the quad.
+// Fast clear makes fills of still-clear lines free; compression halves
+// fill and write-back traffic (accounted by charging half a line).
+func (b *Buffer) touchLine(x, y int, write bool) {
+	bi := b.blockIndex(x, y)
+	addr := b.baseAddr + uint64(bi)*uint64(ZCacheConfig.LineBytes)
+	before := b.zcache.Stats()
+	hit := b.zcache.Access(addr, write)
+	if b.memctl == nil {
+		return
+	}
+	after := b.zcache.Stats()
+	// Write-back traffic from evictions, at the 2:1 compressed rate.
+	if wb := after.WritebackBytes - before.WritebackBytes; wb > 0 {
+		b.memctl.Write(mem.ClientZStencil, b.compressed(wb))
+	}
+	if !hit {
+		if b.clearLine[bi] && b.FastClear {
+			// Fast clear: line materializes from the on-die clear value.
+			b.clearLine[bi] = false
+		} else {
+			b.memctl.Read(mem.ClientZStencil,
+				b.compressed(int64(ZCacheConfig.LineBytes)))
+		}
+		if write {
+			b.clearLine[bi] = false
+		}
+	} else if write {
+		b.clearLine[bi] = false
+	}
+}
+
+// compressed applies the 2:1 z compression rate when enabled.
+func (b *Buffer) compressed(n int64) int64 {
+	if b.Compression {
+		return n / 2
+	}
+	return n
+}
+
+// FlushCache writes back dirty lines at the compressed rate, modelling
+// the end-of-frame flush.
+func (b *Buffer) FlushCache() {
+	before := b.zcache.Stats()
+	b.zcache.Flush()
+	if b.memctl != nil {
+		wb := b.zcache.Stats().WritebackBytes - before.WritebackBytes
+		b.memctl.Write(mem.ClientZStencil, b.compressed(wb))
+	}
+}
+
+func popcount(m uint8) int {
+	n := 0
+	for i := 0; i < 4; i++ {
+		if m&(1<<i) != 0 {
+			n++
+		}
+	}
+	return n
+}

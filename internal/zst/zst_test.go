@@ -1,0 +1,333 @@
+package zst
+
+import (
+	"testing"
+
+	"gpuchar/internal/mem"
+	"gpuchar/internal/rast"
+)
+
+// quadAt builds a full quad at (x, y) with uniform depth z.
+func quadAt(x, y int, z float32) *rast.Quad {
+	return &rast.Quad{X: x, Y: y, Mask: 0xF, Z: [4]float32{z, z, z, z}}
+}
+
+func newTestBuffer() (*Buffer, *mem.Controller) {
+	m := mem.NewController()
+	return NewBuffer(64, 64, 0x200000, m), m
+}
+
+func TestCompareFuncs(t *testing.T) {
+	cases := []struct {
+		f    CompareFunc
+		a, b float32
+		want bool
+	}{
+		{CmpNever, 0, 1, false},
+		{CmpAlways, 1, 0, true},
+		{CmpLess, 0.5, 1, true},
+		{CmpLess, 1, 0.5, false},
+		{CmpLEqual, 1, 1, true},
+		{CmpEqual, 1, 1, true},
+		{CmpEqual, 1, 2, false},
+		{CmpGreater, 2, 1, true},
+		{CmpGEqual, 1, 1, true},
+		{CmpNotEqual, 1, 2, true},
+	}
+	for _, c := range cases {
+		if got := c.f.eval(c.a, c.b); got != c.want {
+			t.Errorf("cmp %d (%v,%v) = %v, want %v", c.f, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestStencilOps(t *testing.T) {
+	cases := []struct {
+		op     StencilOp
+		v, ref uint8
+		want   uint8
+	}{
+		{OpKeep, 5, 9, 5},
+		{OpZero, 5, 9, 0},
+		{OpReplace, 5, 9, 9},
+		{OpIncr, 5, 0, 6},
+		{OpIncr, 255, 0, 255}, // saturate
+		{OpDecr, 5, 0, 4},
+		{OpDecr, 0, 0, 0}, // saturate
+		{OpIncrWrap, 255, 0, 0},
+		{OpDecrWrap, 0, 0, 255},
+		{OpInvert, 0x0F, 0, 0xF0},
+	}
+	for _, c := range cases {
+		if got := c.op.apply(c.v, c.ref); got != c.want {
+			t.Errorf("op %d apply(%d,%d) = %d, want %d", c.op, c.v, c.ref, got, c.want)
+		}
+	}
+}
+
+func TestBasicDepthTest(t *testing.T) {
+	b, _ := newTestBuffer()
+	st := DefaultState()
+	// First quad at z=0.5 passes against the cleared 1.0.
+	q := quadAt(0, 0, 0.5)
+	if out := b.TestQuad(q, 0xF, &st, true); out != 0xF {
+		t.Fatalf("first quad mask = %04b", out)
+	}
+	if b.DepthAt(0, 0) != 0.5 {
+		t.Errorf("depth not written: %v", b.DepthAt(0, 0))
+	}
+	// Second quad behind fails completely.
+	q2 := quadAt(0, 0, 0.8)
+	if out := b.TestQuad(q2, 0xF, &st, true); out != 0 {
+		t.Errorf("occluded quad mask = %04b", out)
+	}
+	// Closer quad passes.
+	q3 := quadAt(0, 0, 0.3)
+	if out := b.TestQuad(q3, 0xF, &st, true); out != 0xF {
+		t.Errorf("closer quad mask = %04b", out)
+	}
+	s := b.Stats()
+	if s.QuadsIn != 3 || s.QuadsOut != 2 || s.QuadsKilled != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestZWriteDisabled(t *testing.T) {
+	b, _ := newTestBuffer()
+	st := DefaultState()
+	st.ZWrite = false
+	b.TestQuad(quadAt(0, 0, 0.5), 0xF, &st, true)
+	if b.DepthAt(0, 0) != 1 {
+		t.Errorf("depth written despite ZWrite=false: %v", b.DepthAt(0, 0))
+	}
+}
+
+func TestZEqualPassAfterPrepass(t *testing.T) {
+	// Doom3-style: depth prepass then shading with CmpEqual.
+	b, _ := newTestBuffer()
+	pre := DefaultState()
+	b.TestQuad(quadAt(4, 4, 0.25), 0xF, &pre, true)
+	shade := DefaultState()
+	shade.ZFunc = CmpEqual
+	shade.ZWrite = false
+	shade.HZ = false
+	if out := b.TestQuad(quadAt(4, 4, 0.25), 0xF, &shade, true); out != 0xF {
+		t.Errorf("equal-z shading pass mask = %04b", out)
+	}
+	if out := b.TestQuad(quadAt(4, 4, 0.26), 0xF, &shade, true); out != 0 {
+		t.Errorf("non-equal z mask = %04b", out)
+	}
+}
+
+func TestHZKillsOccludedQuad(t *testing.T) {
+	b, _ := newTestBuffer()
+	st := DefaultState()
+	// Fill the whole 8x8 block at depth 0.2 so HZ learns the block max.
+	for y := 0; y < 8; y += 2 {
+		for x := 0; x < 8; x += 2 {
+			b.TestQuad(quadAt(x, y, 0.2), 0xF, &st, true)
+		}
+	}
+	// A quad behind the block must now be HZ-rejected.
+	q := quadAt(2, 2, 0.9)
+	if b.HZTestQuad(q, &st) {
+		t.Error("HZ failed to reject occluded quad")
+	}
+	// A quad in front still passes HZ.
+	if !b.HZTestQuad(quadAt(2, 2, 0.1), &st) {
+		t.Error("HZ rejected visible quad")
+	}
+}
+
+func TestHZConservativeBeforeFullCoverage(t *testing.T) {
+	b, _ := newTestBuffer()
+	st := DefaultState()
+	// Write only one quad: block not fully covered, HZ must stay at the
+	// clear value and admit everything.
+	b.TestQuad(quadAt(0, 0, 0.1), 0xF, &st, true)
+	if !b.HZTestQuad(quadAt(4, 4, 0.99), &st) {
+		t.Error("HZ rejected a quad while block still partially clear")
+	}
+}
+
+func TestHZDisabledModes(t *testing.T) {
+	b, _ := newTestBuffer()
+	st := DefaultState()
+	st.ZFunc = CmpGreater
+	if !b.HZTestQuad(quadAt(0, 0, 0.5), &st) {
+		t.Error("HZ must not reject under greater-than depth tests")
+	}
+	st2 := DefaultState()
+	st2.HZ = false
+	if !b.HZTestQuad(quadAt(0, 0, 0.5), &st2) {
+		t.Error("HZ disabled must pass")
+	}
+}
+
+func TestStencilShadowVolumePattern(t *testing.T) {
+	// Depth-fail ("Carmack's reverse") shadow volumes: front faces
+	// decrement on z-fail, back faces increment on z-fail.
+	b, _ := newTestBuffer()
+
+	// Scene geometry at depth 0.5.
+	scene := DefaultState()
+	b.TestQuad(quadAt(0, 0, 0.5), 0xF, &scene, true)
+
+	vol := DefaultState()
+	vol.ZWrite = false
+	vol.HZ = false
+	vol.StencilTest = true
+	vol.StencilFunc = CmpAlways
+	vol.Front = FaceOps{OpKeep, OpDecr, OpKeep}
+	vol.Back = FaceOps{OpKeep, OpIncr, OpKeep}
+
+	// Shadow volume spanning depth: back face behind the scene z-fails
+	// and increments; front face behind too -> decrements. A pixel
+	// enclosed by the volume but with geometry inside gets +1 then 0...
+	// here both faces are behind the scene: net 0 (not in shadow).
+	b.TestQuad(quadAt(0, 0, 0.9), 0xF, &vol, false) // back face, z-fail -> +1
+	if b.StencilAt(0, 0) != 1 {
+		t.Fatalf("stencil after back face = %d, want 1", b.StencilAt(0, 0))
+	}
+	b.TestQuad(quadAt(0, 0, 0.8), 0xF, &vol, true) // front face, z-fail -> -1
+	if b.StencilAt(0, 0) != 0 {
+		t.Fatalf("stencil after front face = %d, want 0", b.StencilAt(0, 0))
+	}
+	// Volume enclosing the geometry: back face z-fails (+1), front face
+	// z-passes (keep) -> stencil 1 = in shadow.
+	b.TestQuad(quadAt(0, 0, 0.9), 0xF, &vol, false)
+	b.TestQuad(quadAt(0, 0, 0.1), 0xF, &vol, true)
+	if b.StencilAt(0, 0) != 1 {
+		t.Fatalf("shadowed stencil = %d, want 1", b.StencilAt(0, 0))
+	}
+
+	// Lighting pass: stencil func Equal 0 masks shadowed pixels.
+	light := DefaultState()
+	light.ZFunc = CmpEqual
+	light.ZWrite = false
+	light.HZ = false
+	light.StencilTest = true
+	light.StencilFunc = CmpEqual
+	light.StencilRef = 0
+	light.Front = FaceOps{OpKeep, OpKeep, OpKeep}
+	if out := b.TestQuad(quadAt(0, 0, 0.5), 0xF, &light, true); out != 0 {
+		t.Errorf("shadowed pixels lit: mask = %04b", out)
+	}
+}
+
+func TestFastClearNoTrafficOnFirstTouch(t *testing.T) {
+	b, m := newTestBuffer()
+	st := DefaultState()
+	b.TestQuad(quadAt(0, 0, 0.5), 0xF, &st, true)
+	// The first touch of a cleared line must not read memory.
+	if r := m.ClientTraffic(mem.ClientZStencil).ReadBytes; r != 0 {
+		t.Errorf("fast clear read traffic = %d, want 0", r)
+	}
+}
+
+func TestCompressedTrafficOnRefill(t *testing.T) {
+	m := mem.NewController()
+	// 64x128 buffer = 128 distinct 8x8 lines, double the 64-line cache.
+	b := NewBuffer(64, 128, 0x200000, m)
+	st := DefaultState()
+	// Touch more 8x8 lines than the 64-line cache holds so lines evict
+	// (dirty -> compressed write-back) and refill (compressed read).
+	for i := 0; i < 128; i++ {
+		x := (i % 8) * 8
+		y := (i / 8) * 8
+		b.TestQuad(quadAt(x, y, 0.4), 0xF, &st, true)
+	}
+	// Second sweep revisits evicted lines: compressed refills.
+	for i := 0; i < 128; i++ {
+		x := (i % 8) * 8
+		y := (i / 8) * 8
+		b.TestQuad(quadAt(x, y, 0.3), 0xF, &st, true)
+	}
+	tr := m.ClientTraffic(mem.ClientZStencil)
+	if tr.ReadBytes == 0 || tr.WriteBytes == 0 {
+		t.Fatalf("traffic = %+v, want both read and write", tr)
+	}
+	// All traffic is at the 2:1 compressed rate: multiples of 128.
+	if tr.ReadBytes%128 != 0 || tr.WriteBytes%128 != 0 {
+		t.Errorf("traffic not compressed-sized: %+v", tr)
+	}
+}
+
+func TestBypassWhenDisabled(t *testing.T) {
+	b, m := newTestBuffer()
+	st := State{} // everything off
+	out := b.TestQuad(quadAt(0, 0, 0.5), 0xF, &st, true)
+	if out != 0xF {
+		t.Errorf("bypass mask = %04b", out)
+	}
+	if m.Total().Total() != 0 {
+		t.Error("bypass generated traffic")
+	}
+	s := b.Stats()
+	if s.QuadsIn != 1 || s.QuadsOut != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestPartialQuadMask(t *testing.T) {
+	b, _ := newTestBuffer()
+	st := DefaultState()
+	q := quadAt(0, 0, 0.5)
+	out := b.TestQuad(q, 0b0011, &st, true)
+	if out != 0b0011 {
+		t.Errorf("mask = %04b", out)
+	}
+	// Only the tested fragments were written.
+	if b.DepthAt(0, 1) != 1 {
+		t.Error("untested fragment written")
+	}
+	s := b.Stats()
+	if s.FragmentsIn != 2 || s.FragmentsOut != 2 || s.CompleteOut != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestRecordHZKill(t *testing.T) {
+	b, _ := newTestBuffer()
+	b.RecordHZKill(quadAt(0, 0, 0.5), 0xF)
+	s := b.Stats()
+	if s.QuadsIn != 1 || s.QuadsKilledHZ != 1 || s.FragmentsIn != 4 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestClearResetsState(t *testing.T) {
+	b, _ := newTestBuffer()
+	st := DefaultState()
+	b.TestQuad(quadAt(0, 0, 0.2), 0xF, &st, true)
+	b.Clear(1, 0)
+	if b.DepthAt(0, 0) != 1 || b.StencilAt(0, 0) != 0 {
+		t.Error("clear did not reset values")
+	}
+	// After clear, behind-everything quads pass again.
+	if out := b.TestQuad(quadAt(0, 0, 0.99), 0xF, &st, true); out != 0xF {
+		t.Errorf("post-clear mask = %04b", out)
+	}
+}
+
+func TestFlushCacheWritesBackCompressed(t *testing.T) {
+	b, m := newTestBuffer()
+	st := DefaultState()
+	b.TestQuad(quadAt(0, 0, 0.5), 0xF, &st, true)
+	before := m.ClientTraffic(mem.ClientZStencil).WriteBytes
+	b.FlushCache()
+	after := m.ClientTraffic(mem.ClientZStencil).WriteBytes
+	if after-before != 128 { // one dirty 256B line at 2:1
+		t.Errorf("flush wrote %d bytes, want 128", after-before)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{QuadsIn: 1, QuadsKilledHZ: 2, QuadsKilled: 3, QuadsOut: 4,
+		CompleteOut: 5, FragmentsIn: 6, FragmentsOut: 7, ZKilledFragments: 8}
+	b := a
+	a.Add(b)
+	if a.QuadsIn != 2 || a.ZKilledFragments != 16 {
+		t.Errorf("Add = %+v", a)
+	}
+}
