@@ -8,12 +8,14 @@
 //	attilasim -demo "Doom3/trdemo2" -frames 2
 //	attilasim -list
 //	attilasim -demo "UT2004/Primeval" -w 512 -h 384 -nohz
+//	attilasim -demo "Quake4/demo4" -workers 8     # tile-parallel backend
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"gpuchar"
 	"gpuchar/internal/mem"
@@ -30,14 +32,16 @@ func microFromGPU(prof *gpuchar.Profile, g *gpuchar.GPU, cfg gpuchar.GPUConfig) 
 
 func main() {
 	var (
-		demo   = flag.String("demo", "UT2004/Primeval", "Table I demo name")
-		frames = flag.Int("frames", 2, "frames to simulate")
-		width  = flag.Int("w", 1024, "framebuffer width")
-		height = flag.Int("h", 768, "framebuffer height")
-		list   = flag.Bool("list", false, "list simulated demo names")
-		pngOut = flag.String("png", "", "write the last rendered frame as PNG")
-		noHZ   = flag.Bool("nohz", false, "disable Hierarchical Z")
-		noComp = flag.Bool("nocompress", false, "disable z/color compression and fast clear")
+		demo    = flag.String("demo", "UT2004/Primeval", "Table I demo name")
+		frames  = flag.Int("frames", 2, "frames to simulate")
+		width   = flag.Int("w", 1024, "framebuffer width")
+		height  = flag.Int("h", 768, "framebuffer height")
+		list    = flag.Bool("list", false, "list simulated demo names")
+		pngOut  = flag.String("png", "", "write the last rendered frame as PNG")
+		noHZ    = flag.Bool("nohz", false, "disable Hierarchical Z")
+		noComp  = flag.Bool("nocompress", false, "disable z/color compression and fast clear")
+		workers = flag.Int("workers", runtime.NumCPU(),
+			"tile-parallel fragment workers; framebuffer and kill counts are exact at any count, cache/memory counters are sharded (see DESIGN.md)")
 	)
 	flag.Parse()
 
@@ -54,6 +58,7 @@ func main() {
 		os.Exit(1)
 	}
 	cfg := gpuchar.R520Config(*width, *height)
+	cfg.TileWorkers = *workers
 	if *noHZ {
 		cfg.HZ = false
 	}

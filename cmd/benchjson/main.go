@@ -1,0 +1,168 @@
+// Command benchjson measures the simulator's frame throughput and
+// allocation profile across tile-worker counts, plus the rasterizer
+// feed paths, and writes the results as JSON (BENCH_pipeline.json in
+// the repo) so performance changes are reviewable in diffs.
+//
+// Usage:
+//
+//	benchjson                     # print JSON to stdout
+//	benchjson -o BENCH_pipeline.json
+//	benchjson -w 256 -h 192 -demo "Doom3/trdemo2"
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"gpuchar"
+	"gpuchar/internal/geom"
+	"gpuchar/internal/rast"
+)
+
+// measurement is one benchmark result in the output JSON.
+type measurement struct {
+	Workers     int     `json:"workers,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// output is the BENCH_pipeline.json document.
+type output struct {
+	Demo       string `json:"demo"`
+	Resolution string `json:"resolution"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+
+	// PipelineFrame is one full simulated frame per op, swept over
+	// tile-worker counts (workers=1 is the serial pipeline).
+	PipelineFrame []measurement `json:"pipeline_frame"`
+
+	// Rasterizer compares the two triangle feed paths per op (one
+	// triangle covering ~64x64 pixels): the legacy heap Setup + closure
+	// callback, and the allocation-free SetupInto + reused QuadEmitter
+	// the pipeline now uses.
+	Rasterizer map[string]measurement `json:"rasterizer"`
+}
+
+func bench(f func(b *testing.B)) measurement {
+	r := testing.Benchmark(f)
+	return measurement{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// benchFrame measures one rendered frame per op at a tile-worker count.
+func benchFrame(demo string, w, h, workers int) measurement {
+	m := bench(func(b *testing.B) {
+		prof := gpuchar.ProfileByName(demo)
+		cfg := gpuchar.R520Config(w, h)
+		cfg.TileWorkers = workers
+		g := gpuchar.NewGPU(cfg)
+		dev := gpuchar.NewDevice(prof.API, g)
+		wl := gpuchar.NewWorkload(prof, dev, w, h)
+		if err := wl.Setup(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			wl.RenderFrame()
+		}
+	})
+	m.Workers = workers
+	return m
+}
+
+// benchTri returns a screen-space triangle for the rasterizer paths.
+func benchTri() geom.Triangle {
+	var tri geom.Triangle
+	tri.V[0] = geom.ScreenVertex{X: 2, Y: 2, Z: 0.5, InvW: 1}
+	tri.V[1] = geom.ScreenVertex{X: 66, Y: 2, Z: 0.5, InvW: 1}
+	tri.V[2] = geom.ScreenVertex{X: 2, Y: 66, Z: 0.5, InvW: 1}
+	tri.CountsAsTraversed = true
+	tri.FrontFacing = true
+	return tri
+}
+
+func benchRasterizer() map[string]measurement {
+	cfg := rast.Config{Width: 128, Height: 128}
+	tri := benchTri()
+	legacy := bench(func(b *testing.B) {
+		r := rast.New()
+		quads := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := rast.Setup(&tri)
+			r.Rasterize(s, cfg, func(q *rast.Quad) { quads++ })
+		}
+	})
+	reused := bench(func(b *testing.B) {
+		r := rast.New()
+		var s rast.SetupTri
+		var em countEmitter
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rast.SetupInto(&tri, &s)
+			r.RasterizeTo(&s, cfg, &em)
+		}
+	})
+	return map[string]measurement{
+		"legacy_closure": legacy,
+		"emitter_reuse":  reused,
+	}
+}
+
+type countEmitter struct{ quads int }
+
+func (c *countEmitter) EmitQuad(q *rast.Quad) { c.quads++ }
+
+func main() {
+	var (
+		demo   = flag.String("demo", "Doom3/trdemo2", "simulated demo to measure")
+		width  = flag.Int("w", 256, "framebuffer width")
+		height = flag.Int("h", 192, "framebuffer height")
+		out    = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	doc := output{
+		Demo:       *demo,
+		Resolution: fmt.Sprintf("%dx%d", *width, *height),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Rasterizer: benchRasterizer(),
+	}
+	for _, n := range counts {
+		fmt.Fprintf(os.Stderr, "benchjson: pipeline frame, workers=%d...\n", n)
+		doc.PipelineFrame = append(doc.PipelineFrame, benchFrame(*demo, *width, *height, n))
+	}
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -9,6 +9,7 @@
 //	characterize -list                  # list experiment ids
 //	characterize -exp fig1 -csv out/    # write figure CSVs to a directory
 //	characterize -simframes 4 -frames 500 -exp table16
+//	characterize -exp all -workers 8    # fan demo renders over 8 goroutines
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"gpuchar"
 )
@@ -28,8 +30,12 @@ func main() {
 		simFrames = flag.Int("simframes", 2, "simulated frames per demo")
 		width     = flag.Int("w", 1024, "framebuffer width")
 		height    = flag.Int("h", 768, "framebuffer height")
-		csvDir    = flag.String("csv", "", "directory for figure CSV output")
-		markdown  = flag.Bool("md", false, "emit tables as markdown")
+		workers   = flag.Int("workers", runtime.NumCPU(),
+			"concurrent demo renders (output is identical at any count)")
+		tileWorkers = flag.Int("tileworkers", 1,
+			"tile-parallel fragment workers inside the simulator; >1 shards cache/memory counters (framebuffer and kill counts stay exact)")
+		csvDir   = flag.String("csv", "", "directory for figure CSV output")
+		markdown = flag.Bool("md", false, "emit tables as markdown")
 	)
 	flag.Parse()
 
@@ -48,6 +54,8 @@ func main() {
 	ctx.APIFrames = *frames
 	ctx.SimFrames = *simFrames
 	ctx.W, ctx.H = *width, *height
+	ctx.Workers = *workers
+	ctx.TileWorkers = *tileWorkers
 
 	var ids []string
 	switch *exp {
@@ -65,12 +73,12 @@ func main() {
 		ids = []string{*exp}
 	}
 
-	for _, id := range ids {
-		res, err := gpuchar.RunExperiment(id, ctx)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "characterize: %s: %v\n", id, err)
-			os.Exit(1)
-		}
+	results, err := gpuchar.RunExperiments(ids, ctx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
+		os.Exit(1)
+	}
+	for _, res := range results {
 		for _, t := range res.Tables {
 			if *markdown {
 				t.Markdown(os.Stdout)

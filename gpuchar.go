@@ -130,6 +130,14 @@ func RunExperiment(id string, ctx *Context) (*ExperimentResult, error) {
 	return e.Run(ctx)
 }
 
+// RunExperiments regenerates several experiments, rendering the demos
+// they need concurrently on ctx.Workers goroutines. Results come back
+// in the requested order and are identical to a serial run at any
+// worker count.
+func RunExperiments(ids []string, ctx *Context) ([]*ExperimentResult, error) {
+	return core.RunExperiments(ctx, ids)
+}
+
 type errUnknownExperiment string
 
 func (e errUnknownExperiment) Error() string {

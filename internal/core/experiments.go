@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"gpuchar/internal/gpu"
 	"gpuchar/internal/mem"
@@ -10,7 +11,10 @@ import (
 )
 
 // Context carries the run parameters and caches workload runs so that a
-// full table sweep renders each demo once.
+// full table sweep renders each demo once. The demo caches are
+// concurrency-safe: Prefetch renders independent demos on a bounded
+// worker pool, after which experiments read the cached results in
+// paper order, so output is identical at any worker count.
 type Context struct {
 	// APIFrames is the number of frames for API-level statistics
 	// (cheap; the paper uses each demo's full Table I length).
@@ -20,7 +24,17 @@ type Context struct {
 	SimFrames int
 	// W, H is the rendering resolution (paper: 1024x768).
 	W, H int
+	// Workers bounds the experiment fan-out pool: how many demos render
+	// concurrently in Prefetch/RunExperiments. <= 1 keeps the serial
+	// lazy behaviour.
+	Workers int
+	// TileWorkers is passed to the GPU simulator's tile-parallel
+	// fragment backend (gpu.Config.TileWorkers). The default 0 keeps
+	// the serial pipeline, whose counters — including the sharded cache
+	// and memory ones — are bit-identical to the seed implementation.
+	TileWorkers int
 
+	mu         sync.Mutex
 	apiCache   map[string]*APIResult
 	microCache map[string]*MicroResult
 }
@@ -28,17 +42,20 @@ type Context struct {
 // NewContext returns a context with the paper's resolution and modest
 // defaults: enough frames for stable averages at tractable runtimes.
 func NewContext() *Context {
-	return &Context{APIFrames: 120, SimFrames: 2, W: 1024, H: 768}
+	return &Context{APIFrames: 120, SimFrames: 2, W: 1024, H: 768, Workers: 1}
 }
 
 // API returns (and caches) the API-level run of a demo.
 func (c *Context) API(name string) (*APIResult, error) {
+	c.mu.Lock()
 	if c.apiCache == nil {
 		c.apiCache = map[string]*APIResult{}
 	}
 	if r, ok := c.apiCache[name]; ok {
+		c.mu.Unlock()
 		return r, nil
 	}
+	c.mu.Unlock()
 	prof := workloads.ByName(name)
 	if prof == nil {
 		return nil, fmt.Errorf("core: unknown demo %q", name)
@@ -47,27 +64,36 @@ func (c *Context) API(name string) (*APIResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.mu.Lock()
 	c.apiCache[name] = r
+	c.mu.Unlock()
 	return r, nil
 }
 
 // Micro returns (and caches) the simulated run of a demo.
 func (c *Context) Micro(name string) (*MicroResult, error) {
+	c.mu.Lock()
 	if c.microCache == nil {
 		c.microCache = map[string]*MicroResult{}
 	}
 	if r, ok := c.microCache[name]; ok {
+		c.mu.Unlock()
 		return r, nil
 	}
+	c.mu.Unlock()
 	prof := workloads.ByName(name)
 	if prof == nil {
 		return nil, fmt.Errorf("core: unknown demo %q", name)
 	}
-	r, err := RunMicro(prof, c.SimFrames, c.W, c.H)
+	cfg := gpu.R520Config(c.W, c.H)
+	cfg.TileWorkers = c.TileWorkers
+	r, err := RunMicroConfig(prof, c.SimFrames, cfg)
 	if err != nil {
 		return nil, err
 	}
+	c.mu.Lock()
 	c.microCache[name] = r
+	c.mu.Unlock()
 	return r, nil
 }
 
@@ -83,7 +109,10 @@ type Experiment struct {
 	Title string
 	// Micro marks experiments that need the GPU simulator.
 	Micro bool
-	Run   func(*Context) (*Result, error)
+	// API marks experiments that replay demos at the API level; Prefetch
+	// uses the two flags to decide which runs to fan out.
+	API bool
+	Run func(*Context) (*Result, error)
 }
 
 // Experiments returns the full registry in paper order.
@@ -91,12 +120,12 @@ func Experiments() []Experiment {
 	return []Experiment{
 		{ID: "table1", Title: "Game workload description", Run: runTable1},
 		{ID: "table2", Title: "ATTILA/R520 configuration", Run: runTable2},
-		{ID: "fig1", Title: "Batches per frame", Run: runFig1},
-		{ID: "table3", Title: "Indices per batch and frame, index BW", Run: runTable3},
-		{ID: "fig2", Title: "Index BW per frame", Run: runFig2},
-		{ID: "fig3", Title: "Average state calls between batches", Run: runFig3},
-		{ID: "table4", Title: "Average vertex shader instructions", Run: runTable4},
-		{ID: "table5", Title: "Primitive utilization", Run: runTable5},
+		{ID: "fig1", Title: "Batches per frame", API: true, Run: runFig1},
+		{ID: "table3", Title: "Indices per batch and frame, index BW", API: true, Run: runTable3},
+		{ID: "fig2", Title: "Index BW per frame", API: true, Run: runFig2},
+		{ID: "fig3", Title: "Average state calls between batches", API: true, Run: runFig3},
+		{ID: "table4", Title: "Average vertex shader instructions", API: true, Run: runTable4},
+		{ID: "table5", Title: "Primitive utilization", API: true, Run: runTable5},
 		{ID: "fig5", Title: "Post-transform vertex cache hit rate", Micro: true, Run: runFig5},
 		{ID: "table6", Title: "System bus bandwidths", Run: runTable6},
 		{ID: "fig6", Title: "Indices, assembled and traversed triangles", Micro: true, Run: runFig6},
@@ -106,8 +135,8 @@ func Experiments() []Experiment {
 		{ID: "table9", Title: "Quads removed or processed per stage", Micro: true, Run: runTable9},
 		{ID: "table10", Title: "Quad efficiency", Micro: true, Run: runTable10},
 		{ID: "table11", Title: "Average overdraw per pixel and stage", Micro: true, Run: runTable11},
-		{ID: "table12", Title: "Fragment program instructions and ALU/TEX ratio", Run: runTable12},
-		{ID: "fig8", Title: "Fragment program instructions per frame", Run: runFig8},
+		{ID: "table12", Title: "Fragment program instructions and ALU/TEX ratio", API: true, Run: runTable12},
+		{ID: "fig8", Title: "Fragment program instructions per frame", API: true, Run: runFig8},
 		{ID: "table13", Title: "Bilinear samples and ALU-to-bilinear ratio", Micro: true, Run: runTable13},
 		{ID: "table14", Title: "Cache configuration and hit rates", Micro: true, Run: runTable14},
 		{ID: "table15", Title: "Average memory usage profile", Micro: true, Run: runTable15},

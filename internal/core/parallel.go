@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"gpuchar/internal/workloads"
+)
+
+// prefetchJob is one demo render: an API-level replay or a full
+// simulation.
+type prefetchJob struct {
+	name  string
+	micro bool
+}
+
+// Prefetch renders every demo the given experiments will need on a
+// bounded pool of Workers goroutines, populating the context caches.
+// Each demo owns a private GPU/device/workload, so runs are
+// embarrassingly parallel; experiments afterwards read the cached
+// results in paper order, making the final output independent of
+// completion order. With Workers <= 1 it is a no-op (the experiments
+// render lazily, exactly as before).
+func (c *Context) Prefetch(ids []string) error {
+	if c.Workers <= 1 {
+		return nil
+	}
+	needAPI, needMicro := false, false
+	for _, id := range ids {
+		e := ByID(id)
+		if e == nil {
+			return fmt.Errorf("core: unknown experiment %q", id)
+		}
+		needAPI = needAPI || e.API
+		needMicro = needMicro || e.Micro
+	}
+	var jobs []prefetchJob
+	if needAPI {
+		for _, p := range workloads.Registry() {
+			jobs = append(jobs, prefetchJob{name: p.Name})
+		}
+	}
+	if needMicro {
+		for _, name := range SimDemos {
+			jobs = append(jobs, prefetchJob{name: name, micro: true})
+		}
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+
+	sem := make(chan struct{}, c.Workers)
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j prefetchJob) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if j.micro {
+				_, errs[i] = c.Micro(j.name)
+			} else {
+				_, errs[i] = c.API(j.name)
+			}
+		}(i, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunExperiments regenerates the given experiments in order, fanning
+// the underlying demo renders out across Context.Workers goroutines
+// first. Results arrive in the requested order and are identical to a
+// serial run at any worker count.
+func RunExperiments(c *Context, ids []string) ([]*Result, error) {
+	if err := c.Prefetch(ids); err != nil {
+		return nil, err
+	}
+	out := make([]*Result, 0, len(ids))
+	for _, id := range ids {
+		e := ByID(id)
+		if e == nil {
+			return nil, fmt.Errorf("core: unknown experiment %q", id)
+		}
+		res, err := e.Run(c)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", id, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

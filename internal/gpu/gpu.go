@@ -9,9 +9,28 @@
 // hit rates, per-stage memory traffic) is a count, not a latency, so no
 // cycle timing is modelled. The Table II rate parameters are kept in
 // Config for bandwidth projections.
+//
+// # Parallel fragment backend
+//
+// With Config.TileWorkers > 1 the fragment backend runs sort-middle
+// tile-parallel: geometry and triangle setup stay serial, rasterized
+// quads are binned to screen-space 8x8-block buckets owned round-robin
+// by N workers, and each worker runs HZ -> z & stencil -> fragment
+// shading -> blend for its quads in submission order against private
+// shader machine, texture unit, cache and stat shards. Because every
+// 8x8 framebuffer block (the granularity of the z/color cache lines,
+// the HZ mirror and the compression metadata) is owned by exactly one
+// worker and quads never straddle blocks, all order-dependent results —
+// framebuffer bytes, kill counts, overdraw — are exactly those of the
+// serial pipeline at any worker count. Cache hit rates and memory
+// traffic are per-shard and merged at frame end; they are deterministic
+// for a fixed worker count but shift slightly with N (see DESIGN.md
+// "Parallel architecture").
 package gpu
 
 import (
+	"sync"
+
 	"gpuchar/internal/cache"
 	"gpuchar/internal/fragment"
 	"gpuchar/internal/geom"
@@ -40,6 +59,14 @@ type Config struct {
 
 	// VertexCacheSize is the post-transform FIFO depth.
 	VertexCacheSize int
+
+	// TileWorkers is the number of tile-parallel fragment-backend
+	// workers. 0 or 1 selects the serial pipeline; larger values shard
+	// the framebuffer into disjoint 8x8-block sets processed
+	// concurrently. The framebuffer and all order-dependent statistics
+	// are bit-identical at any worker count; cache counters are sharded
+	// (deterministic per count, slightly different across counts).
+	TileWorkers int
 
 	// Feature toggles for ablation studies.
 	HZ               bool
@@ -89,6 +116,34 @@ type FrameStats struct {
 	Mem [mem.NumClients]mem.Traffic
 }
 
+// pipe groups the per-quad backend stages. The serial pipeline uses the
+// GPU's own stages; each tile worker carries shard views of the z and
+// color buffers plus a private shading stage.
+type pipe struct {
+	zbuf   *zst.Buffer
+	frag   *fragment.Stage
+	target *rop.Target
+}
+
+// tileWorker is one fine-grained fragment-backend worker: a pipe over
+// buffer shards, a private fragment shader machine with its own texture
+// unit, a private memory-controller shard, and the quad queue binned to
+// the worker's tiles for the current draw.
+type tileWorker struct {
+	pipe
+	fs    *shader.Machine
+	tex   *texture.Unit
+	mem   *mem.Controller
+	queue []quadWork
+}
+
+// quadWork is one binned quad: a copy of the rasterizer's scratch quad
+// plus the facing of its triangle (which selects the stencil op set).
+type quadWork struct {
+	q     rast.Quad
+	front bool
+}
+
 // GPU is the pipeline simulator.
 type GPU struct {
 	Cfg Config
@@ -103,10 +158,24 @@ type GPU struct {
 	frag      *fragment.Stage
 	target    *rop.Target
 
+	serial pipe    // serial backend over the stages above
+	emit   emitCtx // reusable serial emitter (no per-draw closure)
+
+	// Tile-parallel backend state (Cfg.TileWorkers > 1).
+	workers  []*tileWorker
+	blocksX  int             // framebuffer width in 8x8 blocks
+	setupBuf []rast.SetupTri // per-draw triangle setups, reused
+
 	frames    []FrameStats
 	prev      FrameStats // cumulative snapshot at last frame boundary
 	geomAccum geom.Stats // geometry stats accumulated across draws
 }
+
+// tileDim is the screen-space binning granularity of the parallel
+// backend: 8x8 pixels, matching the z/color cache line footprint, the
+// HZ block and the compression metadata, so one worker owns every
+// order-dependent structure a quad touches.
+const tileDim = 8
 
 // New creates a GPU simulator with the given configuration.
 func New(cfg Config) *GPU {
@@ -137,6 +206,28 @@ func New(cfg Config) *GPU {
 	g.zbuf.FastClear = cfg.FastClear
 	g.target.Compression = cfg.ColorCompression
 	g.target.FastClear = cfg.FastClear
+	g.serial = pipe{zbuf: g.zbuf, frag: g.frag, target: g.target}
+	if cfg.TileWorkers > 1 {
+		// Shards must be created after the Compression/FastClear flags
+		// above are final: they copy the flags at creation.
+		g.blocksX = (cfg.Width + tileDim - 1) / tileDim
+		for i := 0; i < cfg.TileWorkers; i++ {
+			wmem := mem.NewController()
+			wfs := shader.NewMachine()
+			wtex := texture.NewUnit(wmem)
+			wfs.Sampler = wtex
+			g.workers = append(g.workers, &tileWorker{
+				pipe: pipe{
+					zbuf:   g.zbuf.NewShard(wmem),
+					frag:   fragment.NewStage(wfs),
+					target: g.target.NewShard(wmem),
+				},
+				fs:  wfs,
+				tex: wtex,
+				mem: wmem,
+			})
+		}
+	}
 	return g
 }
 
@@ -156,6 +247,23 @@ const cpBytesPerDraw = 512
 // zeroColors feeds WriteQuad for quads that skip shading because their
 // color writes are masked off.
 var zeroColors [4]gmath.Vec4
+
+// emitCtx is the serial path's QuadEmitter: the per-draw state is
+// stored by value on the GPU so the hot loop allocates neither a
+// closure nor escaping state.
+type emitCtx struct {
+	g        *GPU
+	fs       *shader.Program
+	zstate   zst.State
+	ropState rop.State
+	earlyZ   bool
+	front    bool
+}
+
+// EmitQuad routes one rasterized quad through the serial backend.
+func (e *emitCtx) EmitQuad(q *rast.Quad) {
+	e.g.serial.processQuad(q, e.fs, &e.zstate, &e.ropState, e.earlyZ, e.front)
+}
 
 // Execute runs one draw call through the whole pipeline.
 func (g *GPU) Execute(dc *gfxapi.DrawCall) {
@@ -188,32 +296,114 @@ func (g *GPU) Execute(dc *gfxapi.DrawCall) {
 	g.geomAccum.Add(gstats)
 
 	rcfg := rast.Config{Width: g.Cfg.Width, Height: g.Cfg.Height}
-	ropState := dc.State.Rop
+	if len(g.workers) > 0 {
+		g.executeParallel(tris, dc, rcfg, &zstate, earlyZ)
+		return
+	}
+
+	g.emit = emitCtx{g: g, fs: dc.FS, zstate: zstate, ropState: dc.State.Rop, earlyZ: earlyZ}
+	var setup rast.SetupTri
 	for i := range tris {
 		tri := &tris[i]
-		setup := rast.Setup(tri)
-		if setup == nil {
+		if !rast.SetupInto(tri, &setup) {
 			continue
 		}
-		g.rast.Rasterize(setup, rcfg, func(q *rast.Quad) {
-			g.processQuad(q, dc, &zstate, &ropState, earlyZ, tri.FrontFacing)
-		})
+		g.emit.front = tri.FrontFacing
+		g.rast.RasterizeTo(&setup, rcfg, &g.emit)
 	}
 }
 
-func (g *GPU) processQuad(q *rast.Quad, dc *gfxapi.DrawCall,
+// binner is the parallel path's QuadEmitter: it copies each rasterized
+// quad into the queue of the worker owning the quad's 8x8 block, in
+// submission order.
+type binner struct {
+	g     *GPU
+	front bool
+}
+
+// EmitQuad bins one quad to its owning worker.
+func (bn *binner) EmitQuad(q *rast.Quad) {
+	g := bn.g
+	// Quads are 2x2 at even coordinates, so a quad never straddles an
+	// 8x8 block; the top-left pixel identifies the owner.
+	bi := (q.Y/tileDim)*g.blocksX + q.X/tileDim
+	w := g.workers[bi%len(g.workers)]
+	w.queue = append(w.queue, quadWork{q: *q, front: bn.front})
+}
+
+// executeParallel runs the draw's fragment backend tile-parallel:
+// serial setup + binning, then one goroutine per worker draining its
+// queue in submission order. The per-draw barrier keeps Clear and
+// EndFrame (main-thread operations) trivially safe.
+func (g *GPU) executeParallel(tris []geom.Triangle, dc *gfxapi.DrawCall,
+	rcfg rast.Config, zstate *zst.State, earlyZ bool) {
+
+	for _, w := range g.workers {
+		w.fs.Consts = dc.Consts
+		for unit, b := range dc.State.Tex {
+			if b.Tex != nil {
+				w.tex.Bind(unit, b.Tex, b.State)
+			}
+		}
+	}
+
+	// Setups must outlive binning (queued quads point into them), so
+	// they live in a per-draw scratch slice reused across draws. Stale
+	// pointers into an outgrown backing array stay valid: setups are
+	// never mutated after SetupInto.
+	g.setupBuf = g.setupBuf[:0]
+	bn := binner{g: g}
+	for i := range tris {
+		tri := &tris[i]
+		if len(g.setupBuf) == cap(g.setupBuf) {
+			g.setupBuf = append(g.setupBuf, rast.SetupTri{})
+		} else {
+			g.setupBuf = g.setupBuf[:len(g.setupBuf)+1]
+		}
+		s := &g.setupBuf[len(g.setupBuf)-1]
+		if !rast.SetupInto(tri, s) {
+			g.setupBuf = g.setupBuf[:len(g.setupBuf)-1]
+			continue
+		}
+		bn.front = tri.FrontFacing
+		g.rast.RasterizeTo(s, rcfg, &bn)
+	}
+
+	var wg sync.WaitGroup
+	for _, w := range g.workers {
+		if len(w.queue) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w *tileWorker) {
+			defer wg.Done()
+			ropState := dc.State.Rop
+			zs := *zstate
+			for i := range w.queue {
+				qw := &w.queue[i]
+				w.processQuad(&qw.q, dc.FS, &zs, &ropState, earlyZ, qw.front)
+			}
+			w.queue = w.queue[:0]
+		}(w)
+	}
+	wg.Wait()
+}
+
+// processQuad runs one quad through HZ, z & stencil, shading and the
+// color stage of this pipe.
+func (p *pipe) processQuad(q *rast.Quad, fs *shader.Program,
 	zstate *zst.State, ropState *rop.State, earlyZ, frontFacing bool) {
 
 	mask := q.Mask
 
 	// Hierarchical Z runs before shading regardless of early/late z.
-	if !g.zbuf.HZTestQuad(q, zstate) {
-		g.zbuf.RecordHZKill(q, mask)
+	if !p.zbuf.HZTestQuad(q, zstate) {
+		p.zbuf.RecordHZKill(q, mask)
 		return
 	}
 
 	if earlyZ {
-		mask = g.zbuf.TestQuad(q, mask, zstate, frontFacing)
+		mask = p.zbuf.TestQuad(q, mask, zstate, frontFacing)
 		if mask == 0 {
 			return
 		}
@@ -221,27 +411,27 @@ func (g *GPU) processQuad(q *rast.Quad, dc *gfxapi.DrawCall,
 			// Color writes are masked (z prepass, stencil volumes): the
 			// quad reaches the color stage without being shaded, where
 			// it is dropped — the paper's Table IX "Color Mask" bucket.
-			g.target.WriteQuad(q, mask, &zeroColors, ropState)
+			p.target.WriteQuad(q, mask, &zeroColors, ropState)
 			return
 		}
-		live, colors := g.frag.ShadeQuad(q, mask, dc.FS)
+		live, colors := p.frag.ShadeQuad(q, mask, fs)
 		if live == 0 {
 			return
 		}
-		g.target.WriteQuad(q, live, colors, ropState)
+		p.target.WriteQuad(q, live, colors, ropState)
 		return
 	}
 
 	// Late z: shade first (the program may kill), then test.
-	live, colors := g.frag.ShadeQuad(q, mask, dc.FS)
+	live, colors := p.frag.ShadeQuad(q, mask, fs)
 	if live == 0 {
 		return
 	}
-	live = g.zbuf.TestQuad(q, live, zstate, frontFacing)
+	live = p.zbuf.TestQuad(q, live, zstate, frontFacing)
 	if live == 0 {
 		return
 	}
-	g.target.WriteQuad(q, live, colors, ropState)
+	p.target.WriteQuad(q, live, colors, ropState)
 }
 
 // Clear fast-clears the requested buffers.
@@ -259,10 +449,15 @@ func (g *GPU) Clear(op gfxapi.ClearOp) {
 }
 
 // EndFrame flushes caches, scans out the frame and snapshots per-frame
-// statistics.
+// statistics. Shard caches flush in worker order, so the merged
+// counters are deterministic for a fixed worker count.
 func (g *GPU) EndFrame() {
 	g.zbuf.FlushCache()
 	g.target.FlushCache()
+	for _, w := range g.workers {
+		w.zbuf.FlushCache()
+		w.target.FlushCache()
+	}
 	g.target.ScanOut()
 
 	cur := g.cumulative()
@@ -270,9 +465,10 @@ func (g *GPU) EndFrame() {
 	g.prev = cur
 }
 
-// cumulative snapshots all stage counters since construction.
+// cumulative snapshots all stage counters since construction, merging
+// the tile-worker shards into the serial stages' counters.
 func (g *GPU) cumulative() FrameStats {
-	return FrameStats{
+	f := FrameStats{
 		Geom:       g.geomAccum,
 		Rast:       g.rast.Stats(),
 		ZSt:        g.zbuf.Stats(),
@@ -288,4 +484,20 @@ func (g *GPU) cumulative() FrameStats {
 		FS:         g.fsMachine.Stats(),
 		Mem:        g.Mem.Snapshot(),
 	}
+	for _, w := range g.workers {
+		f.ZSt.Add(w.zbuf.Stats())
+		f.Frag.Add(w.frag.Stats())
+		f.Rop.Add(w.target.Stats())
+		f.Tex.Add(w.tex.Stats())
+		f.ZCache = addCache(f.ZCache, w.zbuf.CacheStats())
+		f.TexL0 = addCache(f.TexL0, w.tex.L0Stats())
+		f.TexL1 = addCache(f.TexL1, w.tex.L1Stats())
+		f.ColorCache = addCache(f.ColorCache, w.target.CacheStats())
+		f.FS.Add(w.fs.Stats())
+		ws := w.mem.Snapshot()
+		for c := 0; c < int(mem.NumClients); c++ {
+			f.Mem[c].Add(ws[c])
+		}
+	}
+	return f
 }

@@ -1,0 +1,99 @@
+package gpu
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fillLeaves assigns f(i) to the i-th integer leaf of v (in field
+// order) and returns the number of leaves visited. It panics on any
+// leaf kind walkStats cannot handle, so a FrameStats field that the
+// snapshot arithmetic would silently drop fails this test instead.
+func fillLeaves(v reflect.Value, n *int, f func(i int) int64) {
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			fillLeaves(v.Field(i), n, f)
+		}
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			fillLeaves(v.Index(i), n, f)
+		}
+	default:
+		v.SetInt(f(*n))
+		*n++
+	}
+}
+
+// leafValues flattens every integer leaf of v in field order.
+func leafValues(v reflect.Value, out *[]int64) {
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			leafValues(v.Field(i), out)
+		}
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			leafValues(v.Index(i), out)
+		}
+	default:
+		*out = append(*out, v.Int())
+	}
+}
+
+// TestFrameStatsArithmeticCoversEveryField gives every counter in
+// FrameStats a distinct value and checks that diffStats and Accumulate
+// transform each leaf independently — so a stage can add a counter
+// without touching the snapshot arithmetic, and shard merging cannot
+// drift from the per-frame diff.
+func TestFrameStatsArithmeticCoversEveryField(t *testing.T) {
+	var now, before FrameStats
+	n := 0
+	fillLeaves(reflect.ValueOf(&now).Elem(), &n, func(i int) int64 { return 100_000 + 7*int64(i) })
+	leaves := n
+	if leaves < 40 {
+		t.Fatalf("FrameStats has only %d counters; reflection walk is broken", leaves)
+	}
+	n = 0
+	fillLeaves(reflect.ValueOf(&before).Elem(), &n, func(i int) int64 { return 3 * int64(i) })
+
+	diff := diffStats(now, before)
+	var got []int64
+	leafValues(reflect.ValueOf(&diff).Elem(), &got)
+	if len(got) != leaves {
+		t.Fatalf("diff visited %d leaves, want %d", len(got), leaves)
+	}
+	for i, v := range got {
+		want := 100_000 + 7*int64(i) - 3*int64(i)
+		if v != want {
+			t.Errorf("diff leaf %d = %d, want %d", i, v, want)
+		}
+	}
+
+	acc := before
+	acc.Accumulate(diff)
+	var accLeaves []int64
+	leafValues(reflect.ValueOf(&acc).Elem(), &accLeaves)
+	for i, v := range accLeaves {
+		want := 100_000 + 7*int64(i)
+		if v != want {
+			t.Errorf("accumulate leaf %d = %d, want %d", i, v, want)
+		}
+	}
+}
+
+// TestDiffStatsMatchesCumulativeShape renders nothing but checks that a
+// zero diff of a live GPU's cumulative snapshot is exactly zero — the
+// identity that EndFrame's bookkeeping depends on.
+func TestDiffStatsMatchesCumulativeShape(t *testing.T) {
+	g := New(R520Config(64, 64))
+	cur := g.cumulative()
+	d := diffStats(cur, cur)
+	var zeros []int64
+	leafValues(reflect.ValueOf(&d).Elem(), &zeros)
+	for i, v := range zeros {
+		if v != 0 {
+			t.Fatalf("self-diff leaf %d = %d, want 0", i, v)
+		}
+	}
+}

@@ -132,9 +132,27 @@ func (c Config) bounds() (x0, y0, x1, y1 int) {
 	return
 }
 
+// QuadEmitter consumes the quads a triangle traversal produces. The
+// *Quad passed to EmitQuad is scratch owned by the rasterizer and valid
+// only for the duration of the call; consumers that defer processing
+// (the tile binner) must copy it.
+type QuadEmitter interface {
+	EmitQuad(*Quad)
+}
+
+// funcEmitter adapts a plain function to the QuadEmitter interface for
+// the legacy callback API.
+type funcEmitter func(*Quad)
+
+func (f funcEmitter) EmitQuad(q *Quad) { f(q) }
+
 // Rasterizer traverses triangles into quads.
 type Rasterizer struct {
 	stats Stats
+	// q is the scratch quad passed to emitters; kept on the rasterizer
+	// because taking its address for the QuadEmitter interface call
+	// would otherwise heap-allocate one quad per triangle.
+	q Quad
 }
 
 // New creates a rasterizer.
@@ -150,12 +168,23 @@ func (r *Rasterizer) ResetStats() { r.stats = Stats{} }
 // triangle. It returns nil for triangles with non-positive area (the
 // geometry stage has already oriented front faces counter-clockwise).
 func Setup(tri *geom.Triangle) *SetupTri {
+	s := &SetupTri{}
+	if !SetupInto(tri, s) {
+		return nil
+	}
+	return s
+}
+
+// SetupInto is Setup into caller-owned storage, so per-triangle setup
+// runs without heap allocation on the pipeline's hot path. Every field
+// of s is overwritten. It reports false (s undefined) for triangles
+// with non-positive area.
+func SetupInto(tri *geom.Triangle, s *SetupTri) bool {
 	v0, v1, v2 := &tri.V[0], &tri.V[1], &tri.V[2]
 	area2 := (v1.X-v0.X)*(v2.Y-v0.Y) - (v2.X-v0.X)*(v1.Y-v0.Y)
 	if area2 <= 0 {
-		return nil
+		return false
 	}
-	s := &SetupTri{}
 	s.e[0] = edgePlane(v1, v2)
 	s.e[1] = edgePlane(v2, v0)
 	s.e[2] = edgePlane(v0, v1)
@@ -178,7 +207,7 @@ func Setup(tri *geom.Triangle) *SetupTri {
 	s.minY = int(floor3(v0.Y, v1.Y, v2.Y))
 	s.maxX = int(ceil3(v0.X, v1.X, v2.X))
 	s.maxY = int(ceil3(v0.Y, v1.Y, v2.Y))
-	return s
+	return true
 }
 
 // edgePlane builds the edge function through a->b, positive on the left
@@ -202,9 +231,17 @@ func interpPlane(v0, v1, v2 *geom.ScreenVertex, f0, f1, f2, invArea2 float32) pl
 }
 
 // Rasterize traverses one prepared triangle, invoking emit for every
-// quad with at least one covered fragment. Statistics accumulate on the
-// rasterizer.
+// quad with at least one covered fragment. It is the closure-based
+// convenience over RasterizeTo; the pipeline uses RasterizeTo directly
+// so the inner loop carries no closure.
 func (r *Rasterizer) Rasterize(s *SetupTri, cfg Config, emit func(*Quad)) {
+	r.RasterizeTo(s, cfg, funcEmitter(emit))
+}
+
+// RasterizeTo traverses one prepared triangle, passing every quad with
+// at least one covered fragment to em. Statistics accumulate on the
+// rasterizer.
+func (r *Rasterizer) RasterizeTo(s *SetupTri, cfg Config, em QuadEmitter) {
 	if s == nil {
 		return
 	}
@@ -215,7 +252,7 @@ func (r *Rasterizer) Rasterize(s *SetupTri, cfg Config, emit func(*Quad)) {
 	x1 := minInt(s.maxX+1, bx1)
 	y1 := minInt(s.maxY+1, by1)
 
-	var q Quad
+	q := &r.q
 	q.Tri = s
 	for ty := y0; ty < y1; ty += OuterTile {
 		for tx := x0; tx < x1; tx += OuterTile {
@@ -228,7 +265,7 @@ func (r *Rasterizer) Rasterize(s *SetupTri, cfg Config, emit func(*Quad)) {
 					if !s.tileOverlaps(ix, iy, InnerTile) {
 						continue
 					}
-					r.emitQuads(s, ix, iy, bx0, by0, x1, y1, &q, emit)
+					r.emitQuads(s, ix, iy, bx0, by0, x1, y1, q, em)
 				}
 			}
 		}
@@ -259,7 +296,7 @@ func (s *SetupTri) tileOverlaps(tx, ty, dim int) bool {
 
 // emitQuads walks the 2x2 quads of one 8x8 inner tile.
 func (r *Rasterizer) emitQuads(s *SetupTri, ix, iy, bx0, by0, x1, y1 int,
-	q *Quad, emit func(*Quad)) {
+	q *Quad, em QuadEmitter) {
 
 	for qy := iy; qy < iy+InnerTile && qy < y1; qy += QuadDim {
 		if qy+QuadDim <= by0 {
@@ -292,7 +329,7 @@ func (r *Rasterizer) emitQuads(s *SetupTri, ix, iy, bx0, by0, x1, y1 int,
 			if q.Complete() {
 				r.stats.CompleteQuads++
 			}
-			emit(q)
+			em.EmitQuad(q)
 		}
 	}
 }

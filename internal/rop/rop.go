@@ -117,6 +117,11 @@ type Target struct {
 	memctl *mem.Controller
 	stats  Stats
 
+	// shards lists the tile-worker views created by NewShard so Clear
+	// can propagate the clear register and cache invalidations. Only
+	// the parent target has a non-empty list.
+	shards []*Target
+
 	// Compression and FastClear enable the color bandwidth reduction
 	// techniques (on by default); ablation benches switch them off.
 	Compression bool
@@ -144,6 +149,31 @@ func NewTarget(w, h int, baseAddr uint64, memctl *mem.Controller) *Target {
 	return t
 }
 
+// NewShard returns a tile-worker view of the target: it shares the
+// pixel plane and the per-8x8-block fast-clear/uniformity state (so
+// disjoint block ownership keeps accesses race-free) while carrying a
+// private color cache, private statistics and a private memory
+// controller shard. Create shards after the parent's Compression and
+// FastClear flags are final; the parent's Clear propagates to shards.
+func (t *Target) NewShard(memctl *mem.Controller) *Target {
+	s := &Target{
+		w: t.w, h: t.h,
+		pix:       t.pix,
+		baseAddr:  t.baseAddr,
+		clearLine: t.clearLine,
+		uniform:   t.uniform,
+		blockCol:  t.blockCol,
+		clearCol:  t.clearCol,
+		cache:     cache.New(ColorCacheConfig),
+		memctl:    memctl,
+
+		Compression: t.Compression,
+		FastClear:   t.FastClear,
+	}
+	t.shards = append(t.shards, s)
+	return s
+}
+
 func blocks(n int) int { return (n + blockDim - 1) / blockDim }
 
 // Clear fast-clears the target to color c with no memory traffic.
@@ -158,6 +188,10 @@ func (t *Target) Clear(c gmath.Vec4) {
 		t.blockCol[i] = c
 	}
 	t.cache.Invalidate()
+	for _, s := range t.shards {
+		s.clearCol = c
+		s.cache.Invalidate()
+	}
 }
 
 // Stats returns the accumulated statistics.

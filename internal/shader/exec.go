@@ -104,6 +104,21 @@ func (m *Machine) RunQuad(p *Program, in *[4][NumInputs]gmath.Vec4, activeMask u
 	m.stats.Instructions += int64(len(p.Instrs)) * active
 	liveMask = activeMask
 
+	// Zero the registers this program can touch so the invocation is a
+	// pure function of its inputs: with scratch residue, the shaded
+	// colors would depend on which machine (serial or tile worker)
+	// shaded the previous quad.
+	tempHi, outHi := p.regBounds()
+	var zero gmath.Vec4
+	for lane := 0; lane < 4; lane++ {
+		for r := uint8(0); r < tempHi; r++ {
+			m.temps[lane][r] = zero
+		}
+		for r := uint8(0); r < outHi; r++ {
+			out[lane][r] = zero
+		}
+	}
+
 	for i := range p.Instrs {
 		ins := &p.Instrs[i]
 		switch {

@@ -3,6 +3,7 @@ package shader
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Kind distinguishes vertex from fragment programs.
@@ -27,6 +28,42 @@ type Program struct {
 	Name   string
 	Kind   Kind
 	Instrs []Instruction
+
+	// Register high-water marks (exclusive), computed lazily by
+	// regBounds so the machine can zero exactly the registers an
+	// invocation can touch.
+	boundsOnce    sync.Once
+	tempHi, outHi uint8
+}
+
+// regBounds returns the exclusive upper bounds of the temp and output
+// registers the program reads or writes. The machine zeroes these at
+// invocation start, making every invocation a pure function of its
+// inputs — required for the tile-parallel backend, where quads from one
+// draw are shaded by different machines than in a serial run.
+func (p *Program) regBounds() (tempHi, outHi uint8) {
+	p.boundsOnce.Do(func() {
+		for _, in := range p.Instrs {
+			if in.Op.hasDst() {
+				switch in.Dst.File {
+				case FileTemp:
+					if in.Dst.Index >= p.tempHi {
+						p.tempHi = in.Dst.Index + 1
+					}
+				case FileOutput:
+					if in.Dst.Index >= p.outHi {
+						p.outHi = in.Dst.Index + 1
+					}
+				}
+			}
+			for s := 0; s < in.Op.srcCount(); s++ {
+				if in.Src[s].File == FileTemp && in.Src[s].Index >= p.tempHi {
+					p.tempHi = in.Src[s].Index + 1
+				}
+			}
+		}
+	})
+	return p.tempHi, p.outHi
 }
 
 // Len returns the total instruction count, the unit of the paper's

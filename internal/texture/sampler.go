@@ -58,6 +58,13 @@ type SampleStats struct {
 	TexelFetches int64
 }
 
+// Add accumulates o into s (merging per-worker sampling shards).
+func (s *SampleStats) Add(o SampleStats) {
+	s.Requests += o.Requests
+	s.BilinearSamples += o.BilinearSamples
+	s.TexelFetches += o.TexelFetches
+}
+
 // AvgBilinearPerRequest returns the Table XIII headline metric.
 func (s SampleStats) AvgBilinearPerRequest() float64 {
 	if s.Requests == 0 {

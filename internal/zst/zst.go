@@ -194,6 +194,11 @@ type Buffer struct {
 	memctl *mem.Controller
 	stats  Stats
 
+	// shards lists the tile-worker views created by NewShard, so that
+	// Clear/ClearStencil can propagate the clear registers and cache
+	// invalidations. Only the parent buffer has a non-empty list.
+	shards []*Buffer
+
 	// Compression and FastClear enable the bandwidth reduction
 	// techniques (on by default); the ablation benches switch them off
 	// to measure the paper's "reduced by half" claim.
@@ -226,15 +231,44 @@ func NewBuffer(w, h int, baseAddr uint64, memctl *mem.Controller) *Buffer {
 	return b
 }
 
+// NewShard returns a tile-worker view of the buffer: it shares the
+// depth/stencil planes, the Hierarchical Z mirror and the fast-clear
+// flags (all indexed per pixel or per 8x8 block, so disjoint tile
+// ownership keeps accesses race-free), while carrying a private z-cache,
+// private statistics and a private memory-controller shard. Create
+// shards after the parent's Compression/FastClear flags are final; the
+// parent's Clear and ClearStencil propagate to shards.
+func (b *Buffer) NewShard(memctl *mem.Controller) *Buffer {
+	s := &Buffer{
+		w: b.w, h: b.h,
+		depth:     b.depth,
+		stencil:   b.stencil,
+		baseAddr:  b.baseAddr,
+		hzMax:     b.hzMax,
+		cover:     b.cover,
+		maxSince:  b.maxSince,
+		clearLine: b.clearLine,
+		clearZ:    b.clearZ,
+		clearS:    b.clearS,
+		zcache:    cache.New(ZCacheConfig),
+		memctl:    memctl,
+
+		Compression: b.Compression,
+		FastClear:   b.FastClear,
+	}
+	b.shards = append(b.shards, s)
+	return s
+}
+
 // Clear fast-clears the buffer: every block is tagged clear (no memory
 // traffic — the clear value lives in a register) and HZ resets.
-func (b *Buffer) Clear(z float32, s uint8) {
-	b.clearZ, b.clearS = z, s
+func (b *Buffer) Clear(z float32, sten uint8) {
+	b.clearZ, b.clearS = z, sten
 	for i := range b.depth {
 		b.depth[i] = z
 	}
 	for i := range b.stencil {
-		b.stencil[i] = s
+		b.stencil[i] = sten
 	}
 	for i := range b.hzMax {
 		b.hzMax[i] = z
@@ -243,6 +277,10 @@ func (b *Buffer) Clear(z float32, s uint8) {
 		b.clearLine[i] = true
 	}
 	b.zcache.Invalidate()
+	for _, s := range b.shards {
+		s.clearZ, s.clearS = z, sten
+		s.zcache.Invalidate()
+	}
 }
 
 // ClearStencil fast-clears only the stencil plane, leaving depth and
@@ -252,6 +290,9 @@ func (b *Buffer) ClearStencil(s uint8) {
 	b.clearS = s
 	for i := range b.stencil {
 		b.stencil[i] = s
+	}
+	for _, sh := range b.shards {
+		sh.clearS = s
 	}
 }
 
