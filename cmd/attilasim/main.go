@@ -9,9 +9,13 @@
 //	attilasim -list
 //	attilasim -demo "UT2004/Primeval" -w 512 -h 384 -nohz
 //	attilasim -demo "Quake4/demo4" -workers 8     # tile-parallel backend
+//
+// Exit codes: 0 success, 1 simulation failure, 2 usage error, 3 trace
+// format error, 4 replay error.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -19,7 +23,23 @@ import (
 
 	"gpuchar"
 	"gpuchar/internal/mem"
+	"gpuchar/internal/trace"
 )
+
+// fail reports err and exits with a code distinguishing trace format
+// damage (3) and replay failures (4) from simulation errors (1).
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "attilasim: %v\n", err)
+	var fe *trace.FormatError
+	var re *trace.ReplayError
+	switch {
+	case errors.As(err, &fe):
+		os.Exit(3)
+	case errors.As(err, &re):
+		os.Exit(4)
+	}
+	os.Exit(1)
+}
 
 // microFromGPU wraps an already-run GPU's frames as a MicroResult.
 func microFromGPU(prof *gpuchar.Profile, g *gpuchar.GPU, cfg gpuchar.GPUConfig) *gpuchar.MicroResult {
@@ -55,7 +75,11 @@ func main() {
 	prof := gpuchar.ProfileByName(*demo)
 	if prof == nil || !prof.Simulated {
 		fmt.Fprintf(os.Stderr, "attilasim: %q is not a simulated demo (see -list)\n", *demo)
-		os.Exit(1)
+		os.Exit(2)
+	}
+	if *frames <= 0 || *width <= 0 || *height <= 0 {
+		fmt.Fprintf(os.Stderr, "attilasim: -frames/-w/-h must be positive\n")
+		os.Exit(2)
 	}
 	cfg := gpuchar.R520Config(*width, *height)
 	cfg.TileWorkers = *workers
@@ -75,29 +99,24 @@ func main() {
 		dev := gpuchar.NewDevice(prof.API, g)
 		wl := gpuchar.NewWorkload(prof, dev, cfg.Width, cfg.Height)
 		if err := wl.Run(*frames); err != nil {
-			fmt.Fprintf(os.Stderr, "attilasim: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		out, err := os.Create(*pngOut)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "attilasim: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		if err := g.Target().EncodePNG(out); err != nil {
-			fmt.Fprintf(os.Stderr, "attilasim: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		if err := out.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "attilasim: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Printf("wrote %s\n", *pngOut)
 		res = microFromGPU(prof, g, cfg)
 	} else {
 		res, err = gpuchar.CharacterizeConfig(prof, *frames, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "attilasim: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 	}
 

@@ -34,8 +34,10 @@ func main() {
 			"concurrent demo renders (output is identical at any count)")
 		tileWorkers = flag.Int("tileworkers", 1,
 			"tile-parallel fragment workers inside the simulator; >1 shards cache/memory counters (framebuffer and kill counts stay exact)")
-		csvDir   = flag.String("csv", "", "directory for figure CSV output")
-		markdown = flag.Bool("md", false, "emit tables as markdown")
+		csvDir    = flag.String("csv", "", "directory for figure CSV output")
+		markdown  = flag.Bool("md", false, "emit tables as markdown")
+		keepGoing = flag.Bool("keep-going", false,
+			"tolerate failing demos/experiments: emit the surviving tables and report the casualties")
 	)
 	flag.Parse()
 
@@ -56,6 +58,7 @@ func main() {
 	ctx.W, ctx.H = *width, *height
 	ctx.Workers = *workers
 	ctx.TileWorkers = *tileWorkers
+	ctx.KeepGoing = *keepGoing
 
 	var ids []string
 	switch *exp {
@@ -73,12 +76,15 @@ func main() {
 		ids = []string{*exp}
 	}
 
-	results, err := gpuchar.RunExperiments(ids, ctx)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
+	results, runErr := gpuchar.RunExperiments(ids, ctx)
+	if runErr != nil && !*keepGoing {
+		fmt.Fprintf(os.Stderr, "characterize: %v\n", runErr)
 		os.Exit(1)
 	}
 	for _, res := range results {
+		if res == nil {
+			continue // failed experiment in a -keep-going run
+		}
 		for _, t := range res.Tables {
 			if *markdown {
 				t.Markdown(os.Stdout)
@@ -109,5 +115,9 @@ func main() {
 				fmt.Printf("wrote %s\n\n", path)
 			}
 		}
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "characterize: %v\n", runErr)
+		os.Exit(1)
 	}
 }

@@ -7,9 +7,14 @@
 //	tracetool -inspect doom3.trc
 //	tracetool -replay doom3.trc            # API-level statistics
 //	tracetool -replay doom3.trc -simulate  # through the GPU simulator
+//	tracetool -verify doom3.trc            # end-to-end validation report
+//
+// Exit codes: 0 success, 1 failure, 2 usage error, 3 trace format error,
+// 4 replay error.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -27,34 +32,77 @@ func main() {
 		frames   = flag.Int("frames", 10, "frames to record")
 		inspect  = flag.String("inspect", "", "print a trace's command histogram")
 		replay   = flag.String("replay", "", "replay a trace and print API statistics")
+		verify   = flag.String("verify", "", "validate a trace end-to-end (lenient replay) and print the damage report")
 		simulate = flag.Bool("simulate", false, "replay through the GPU simulator")
+		lenient  = flag.Bool("lenient", false, "skip bad commands during -replay instead of failing fast")
 		width    = flag.Int("w", 1024, "framebuffer width")
 		height   = flag.Int("h", 768, "framebuffer height")
 	)
 	flag.Parse()
 
+	modes := 0
+	for _, m := range []string{*record, *inspect, *replay, *verify} {
+		if m != "" {
+			modes++
+		}
+	}
+	switch {
+	case modes != 1:
+		usageErr("exactly one of -record, -inspect, -replay, -verify is required")
+	case *simulate && *replay == "":
+		usageErr("-simulate only applies to -replay")
+	case *lenient && *replay == "":
+		usageErr("-lenient only applies to -replay")
+	case *record != "" && *frames <= 0:
+		usageErr(fmt.Sprintf("-frames %d must be positive", *frames))
+	case *width <= 0 || *height <= 0:
+		usageErr(fmt.Sprintf("framebuffer %dx%d must be positive", *width, *height))
+	}
+
 	switch {
 	case *record != "":
 		if err := doRecord(*record, *demo, *frames, *width, *height); err != nil {
-			fail(err)
+			fail("record", err)
 		}
 	case *inspect != "":
 		if err := doInspect(*inspect); err != nil {
-			fail(err)
+			fail("inspect", err)
 		}
 	case *replay != "":
-		if err := doReplay(*replay, *simulate, *width, *height); err != nil {
-			fail(err)
+		if err := doReplay(*replay, *simulate, *lenient, *width, *height); err != nil {
+			fail("replay", err)
 		}
-	default:
-		flag.Usage()
-		os.Exit(2)
+	case *verify != "":
+		if err := doVerify(*verify); err != nil {
+			fail("verify", err)
+		}
 	}
 }
 
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "tracetool: %v\n", err)
-	os.Exit(1)
+func usageErr(msg string) {
+	fmt.Fprintf(os.Stderr, "tracetool: %s\n", msg)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// exitCode maps the error taxonomy onto distinct process exit codes so
+// scripts can tell a malformed trace (3) from a replay failure (4) from
+// everything else (1).
+func exitCode(err error) int {
+	var fe *trace.FormatError
+	var re *trace.ReplayError
+	switch {
+	case errors.As(err, &fe):
+		return 3
+	case errors.As(err, &re):
+		return 4
+	}
+	return 1
+}
+
+func fail(sub string, err error) {
+	fmt.Fprintf(os.Stderr, "tracetool: %s: %v\n", sub, err)
+	os.Exit(exitCode(err))
 }
 
 func doRecord(path, demo string, frames, w, h int) error {
@@ -125,7 +173,7 @@ func doInspect(path string) error {
 	return nil
 }
 
-func doReplay(path string, simulate bool, w, h int) error {
+func doReplay(path string, simulate, lenient bool, w, h int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -142,11 +190,18 @@ func doReplay(path string, simulate bool, w, h int) error {
 		backend = g
 	}
 	dev := gpuchar.NewDevice(r.API(), backend)
-	framesN, err := trace.NewPlayer(dev).Play(r)
+	p := trace.NewPlayer(dev)
+	if lenient {
+		p.SetMode(trace.Lenient)
+	}
+	framesN, err := p.Play(r)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("replayed %d frames\n", framesN)
+	if rep := p.Report(); !rep.Clean() {
+		fmt.Printf("damage: %s\n", rep.Summary())
+	}
 	var batches, indices, calls int64
 	for _, fr := range dev.Frames() {
 		batches += fr.Batches
@@ -162,5 +217,39 @@ func doReplay(path string, simulate bool, w, h int) error {
 		}
 		fmt.Printf("simulated: %d fragments rasterized\n", frags)
 	}
+	return nil
+}
+
+// doVerify validates a trace end-to-end: every command is decoded under
+// the default limits and replayed leniently into a null backend, and the
+// resulting damage report is printed. Unrecoverable stream damage exits
+// with the format (3) or replay (4) code; a recoverable-but-damaged
+// trace exits 1; a clean trace exits 0.
+func doVerify(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	dev := gpuchar.NewDevice(r.API(), gpuchar.NullBackend{})
+	p := trace.NewPlayer(dev)
+	p.SetMode(trace.Lenient)
+	_, playErr := p.Play(r)
+	rep := p.Report()
+	fmt.Printf("%s: trace v%d, %s\n", path, r.Version(), rep.Summary())
+	for _, e := range rep.Errs {
+		fmt.Printf("  %v\n", e)
+	}
+	if playErr != nil {
+		return playErr
+	}
+	if !rep.Clean() {
+		return fmt.Errorf("trace is damaged (replayable with -lenient)")
+	}
+	fmt.Println("ok")
 	return nil
 }

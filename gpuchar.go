@@ -57,6 +57,10 @@ type (
 	Experiment = core.Experiment
 	// ExperimentResult holds regenerated tables and figures.
 	ExperimentResult = core.Result
+	// ExperimentError is one failure inside an experiment sweep.
+	ExperimentError = core.ExperimentError
+	// ExperimentErrors aggregates the failures of a keep-going sweep.
+	ExperimentErrors = core.ExperimentErrors
 	// TraceRecorder captures a device's API call stream.
 	TraceRecorder = trace.Recorder
 	// TracePlayer replays a captured stream into a device.
@@ -133,7 +137,9 @@ func RunExperiment(id string, ctx *Context) (*ExperimentResult, error) {
 // RunExperiments regenerates several experiments, rendering the demos
 // they need concurrently on ctx.Workers goroutines. Results come back
 // in the requested order and are identical to a serial run at any
-// worker count.
+// worker count. With ctx.KeepGoing set, failed experiments yield nil
+// result slots and the error is an ExperimentErrors aggregate returned
+// alongside the surviving results.
 func RunExperiments(ids []string, ctx *Context) ([]*ExperimentResult, error) {
 	return core.RunExperiments(ctx, ids)
 }

@@ -76,14 +76,15 @@ type Cache struct {
 }
 
 // New creates a cache. LineBytes must be a positive power of two and
-// Ways and Sets must be positive; New panics otherwise, since cache
-// geometry is static configuration, not runtime input.
-func New(cfg Config) *Cache {
+// Ways and Sets must be positive; New returns an error otherwise, so
+// callers wiring user-supplied geometry (config files, CLI flags) can
+// reject it instead of crashing.
+func New(cfg Config) (*Cache, error) {
 	if cfg.Ways <= 0 || cfg.Sets <= 0 || cfg.LineBytes <= 0 {
-		panic(fmt.Sprintf("cache: invalid config %+v", cfg))
+		return nil, fmt.Errorf("cache: invalid config %+v", cfg)
 	}
 	if cfg.LineBytes&(cfg.LineBytes-1) != 0 {
-		panic(fmt.Sprintf("cache: line size %d not a power of two", cfg.LineBytes))
+		return nil, fmt.Errorf("cache: line size %d not a power of two", cfg.LineBytes)
 	}
 	shift := uint(0)
 	for 1<<shift != cfg.LineBytes {
@@ -93,7 +94,17 @@ func New(cfg Config) *Cache {
 		cfg:       cfg,
 		lines:     make([]line, cfg.Sets*cfg.Ways),
 		lineShift: shift,
+	}, nil
+}
+
+// MustNew is New for statically known geometry (the paper's Table XIV
+// configurations); it panics on error.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
 	}
+	return c
 }
 
 // Config returns the cache geometry.

@@ -19,7 +19,7 @@ func TestConfigString(t *testing.T) {
 	}
 }
 
-func TestNewPanicsOnBadConfig(t *testing.T) {
+func TestNewRejectsBadConfig(t *testing.T) {
 	cases := []Config{
 		{Ways: 0, Sets: 1, LineBytes: 64},
 		{Ways: 1, Sets: 0, LineBytes: 64},
@@ -27,19 +27,22 @@ func TestNewPanicsOnBadConfig(t *testing.T) {
 		{Ways: 1, Sets: 1, LineBytes: 48}, // not a power of two
 	}
 	for _, cfg := range cases {
+		if c, err := New(cfg); err == nil || c != nil {
+			t.Errorf("New(%+v) = %v, %v; want nil, error", cfg, c, err)
+		}
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Errorf("New(%+v) did not panic", cfg)
+					t.Errorf("MustNew(%+v) did not panic", cfg)
 				}
 			}()
-			New(cfg)
+			MustNew(cfg)
 		}()
 	}
 }
 
 func TestCacheHitOnRepeat(t *testing.T) {
-	c := New(Config{Ways: 2, Sets: 4, LineBytes: 64})
+	c := MustNew(Config{Ways: 2, Sets: 4, LineBytes: 64})
 	if c.Access(0x100, false) {
 		t.Error("first access should miss")
 	}
@@ -66,7 +69,7 @@ func TestCacheHitOnRepeat(t *testing.T) {
 func TestCacheLRUEviction(t *testing.T) {
 	// Direct construction: 1 set, 2 ways, 64B lines. Three distinct lines
 	// force an eviction of the least recently used.
-	c := New(Config{Ways: 2, Sets: 1, LineBytes: 64})
+	c := MustNew(Config{Ways: 2, Sets: 1, LineBytes: 64})
 	c.Access(0*64, false) // A
 	c.Access(1*64, false) // B
 	c.Access(0*64, false) // touch A; B becomes LRU
@@ -80,7 +83,7 @@ func TestCacheLRUEviction(t *testing.T) {
 }
 
 func TestCacheWriteback(t *testing.T) {
-	c := New(Config{Ways: 1, Sets: 1, LineBytes: 64})
+	c := MustNew(Config{Ways: 1, Sets: 1, LineBytes: 64})
 	c.Access(0, true)  // dirty A
 	c.Access(64, true) // evicts dirty A -> writeback
 	s := c.Stats()
@@ -98,7 +101,7 @@ func TestCacheWriteback(t *testing.T) {
 }
 
 func TestCacheInvalidateDropsDirty(t *testing.T) {
-	c := New(Config{Ways: 1, Sets: 1, LineBytes: 64})
+	c := MustNew(Config{Ways: 1, Sets: 1, LineBytes: 64})
 	c.Access(0, true)
 	c.Invalidate()
 	if c.Stats().WritebackBytes != 0 {
@@ -124,7 +127,7 @@ func TestCacheHitRate(t *testing.T) {
 }
 
 func TestResetStatsKeepsContents(t *testing.T) {
-	c := New(Config{Ways: 2, Sets: 2, LineBytes: 64})
+	c := MustNew(Config{Ways: 2, Sets: 2, LineBytes: 64})
 	c.Access(0, false)
 	c.ResetStats()
 	if c.Stats().Accesses() != 0 {
@@ -138,7 +141,7 @@ func TestResetStatsKeepsContents(t *testing.T) {
 func TestVertexCacheSequentialStrip(t *testing.T) {
 	// A triangle-strip-ordered list: triangle i uses indices (i, i+1, i+2).
 	// After warm-up each triangle misses exactly once -> hit rate -> 2/3.
-	vc := NewVertexCache(16)
+	vc := MustVertexCache(16)
 	for tri := 0; tri < 1000; tri++ {
 		for k := 0; k < 3; k++ {
 			vc.Lookup(uint32(tri + k))
@@ -151,7 +154,7 @@ func TestVertexCacheSequentialStrip(t *testing.T) {
 }
 
 func TestVertexCacheNoReuse(t *testing.T) {
-	vc := NewVertexCache(16)
+	vc := MustVertexCache(16)
 	for i := uint32(0); i < 300; i++ {
 		if vc.Lookup(i * 100) {
 			t.Fatal("distinct indices should never hit")
@@ -163,7 +166,7 @@ func TestVertexCacheNoReuse(t *testing.T) {
 }
 
 func TestVertexCacheFIFOEviction(t *testing.T) {
-	vc := NewVertexCache(2)
+	vc := MustVertexCache(2)
 	vc.Lookup(1)
 	vc.Lookup(2)
 	vc.Lookup(1) // hit: FIFO does NOT refresh recency
@@ -174,7 +177,7 @@ func TestVertexCacheFIFOEviction(t *testing.T) {
 }
 
 func TestVertexCacheClear(t *testing.T) {
-	vc := NewVertexCache(4)
+	vc := MustVertexCache(4)
 	vc.Lookup(7)
 	vc.Clear()
 	if vc.Lookup(7) {
@@ -185,20 +188,23 @@ func TestVertexCacheClear(t *testing.T) {
 	}
 }
 
-func TestVertexCachePanicsOnBadSize(t *testing.T) {
+func TestVertexCacheRejectsBadSize(t *testing.T) {
+	if vc, err := NewVertexCache(0); err == nil || vc != nil {
+		t.Errorf("MustVertexCache(0) = %v, %v; want nil, error", vc, err)
+	}
 	defer func() {
 		if recover() == nil {
-			t.Error("NewVertexCache(0) did not panic")
+			t.Error("MustVertexCache(0) did not panic")
 		}
 	}()
-	NewVertexCache(0)
+	MustVertexCache(0)
 }
 
 // Property: fills equal misses times line size; a second pass over a
 // working set smaller than capacity hits entirely.
 func TestQuickCacheConservation(t *testing.T) {
 	f := func(addrs []uint16) bool {
-		c := New(Config{Ways: 4, Sets: 16, LineBytes: 64})
+		c := MustNew(Config{Ways: 4, Sets: 16, LineBytes: 64})
 		for _, a := range addrs {
 			c.Access(uint64(a), a%2 == 0)
 		}
@@ -211,7 +217,7 @@ func TestQuickCacheConservation(t *testing.T) {
 }
 
 func TestSecondPassFullyHits(t *testing.T) {
-	c := New(Config{Ways: 4, Sets: 4, LineBytes: 64})
+	c := MustNew(Config{Ways: 4, Sets: 4, LineBytes: 64})
 	// Working set: 8 lines, capacity 16 lines.
 	for pass := 0; pass < 2; pass++ {
 		for i := uint64(0); i < 8; i++ {

@@ -1,5 +1,7 @@
 package cache
 
+import "fmt"
+
 // VertexCache models the post-transform vertex cache of a modern GPU:
 // a small FIFO of recently shaded vertex indices. When an index hits, the
 // already-transformed vertex is reused and the vertex shader run is
@@ -19,16 +21,28 @@ type VertexCache struct {
 }
 
 // NewVertexCache creates a FIFO post-transform cache holding n vertices.
-// Real GPUs of the paper's era used 16-32 entries; n must be positive.
-func NewVertexCache(n int) *VertexCache {
+// Real GPUs of the paper's era used 16-32 entries; n must be positive or
+// an error is returned (the size reaches here from CLI flags and
+// ablation sweeps, i.e. runtime input).
+func NewVertexCache(n int) (*VertexCache, error) {
 	if n <= 0 {
-		panic("cache: vertex cache size must be positive")
+		return nil, fmt.Errorf("cache: vertex cache size %d must be positive", n)
 	}
 	return &VertexCache{
 		entries: make([]uint32, n),
 		pos:     make(map[uint32]int, n),
 		size:    0,
+	}, nil
+}
+
+// MustVertexCache is NewVertexCache for statically known sizes; it
+// panics on error.
+func MustVertexCache(n int) *VertexCache {
+	vc, err := NewVertexCache(n)
+	if err != nil {
+		panic(err)
 	}
+	return vc
 }
 
 // Lookup consults the cache for vertex index idx and inserts it on a miss,

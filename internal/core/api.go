@@ -27,8 +27,8 @@ func RunAPI(prof *workloads.Profile, frames int) (*APIResult, error) {
 	wl := workloads.New(prof, dev, 1024, 768)
 	// Scale two-region demos so short runs sample both regions.
 	wl.SetRegionBoundary(frames / 2)
-	if err := wl.Run(frames); err != nil {
-		return nil, fmt.Errorf("core: %s: %w", prof.Name, err)
+	if err := runGuarded(prof.Name, dev, wl, frames); err != nil {
+		return nil, err
 	}
 	return &APIResult{Prof: prof, Frames: dev.Frames()}, nil
 }

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ExperimentError records one failure inside an experiment sweep: either
+// an experiment that could not run (ID set) or a demo render that failed
+// and was dropped from every table that wanted it (Demo set). A failed
+// demo surfaces once, not once per experiment that referenced it.
+type ExperimentError struct {
+	// ID is the experiment ("table7", "fig5"), empty for demo failures.
+	ID string
+	// Demo is the Table I demo name, empty for experiment failures.
+	Demo string
+	// Err is the underlying failure. Panics recovered at the render or
+	// experiment boundary arrive here as errors carrying the position
+	// (frame and batch, or command index and byte offset) of the crash.
+	Err error
+}
+
+// Error renders the failure with its experiment and/or demo context.
+func (e *ExperimentError) Error() string {
+	switch {
+	case e.ID != "" && e.Demo != "":
+		return fmt.Sprintf("core: %s: demo %s: %v", e.ID, e.Demo, e.Err)
+	case e.Demo != "":
+		return fmt.Sprintf("core: demo %s: %v", e.Demo, e.Err)
+	default:
+		return fmt.Sprintf("core: %s: %v", e.ID, e.Err)
+	}
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *ExperimentError) Unwrap() error { return e.Err }
+
+// ExperimentErrors aggregates every failure of a keep-going sweep. It is
+// returned alongside the partial results, so callers can render what
+// succeeded and report what did not.
+type ExperimentErrors []*ExperimentError
+
+// Error renders one line per failure.
+func (es ExperimentErrors) Error() string {
+	if len(es) == 1 {
+		return es[0].Error()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: %d failures:", len(es))
+	for _, e := range es {
+		b.WriteString("\n  ")
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}

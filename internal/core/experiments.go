@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"gpuchar/internal/gpu"
 	"gpuchar/internal/mem"
@@ -33,10 +34,28 @@ type Context struct {
 	// the serial pipeline, whose counters — including the sharded cache
 	// and memory ones — are bit-identical to the seed implementation.
 	TileWorkers int
+	// KeepGoing makes the sweep fault-tolerant: a demo whose render
+	// fails (error or recovered panic) is dropped from every table and
+	// figure that wanted it, an experiment that fails is skipped, and
+	// RunExperiments returns the partial results together with an
+	// ExperimentErrors aggregate instead of aborting on the first
+	// casualty. The surviving rows are byte-identical to a clean run.
+	KeepGoing bool
+	// Deadline, when positive, bounds each experiment's wall-clock time
+	// in RunExperiments. An overrunning experiment is reported as failed
+	// (the simulation has no cancellation points, so its goroutine is
+	// abandoned and its eventual result discarded).
+	Deadline time.Duration
 
 	mu         sync.Mutex
 	apiCache   map[string]*APIResult
 	microCache map[string]*MicroResult
+	// apiErr/microErr negative-cache failed renders so a poisoned demo
+	// fails once, not once per experiment that references it.
+	apiErr   map[string]error
+	microErr map[string]error
+	// demoErrs records the demos dropped by keep-going experiments.
+	demoErrs map[string]error
 }
 
 // NewContext returns a context with the paper's resolution and modest
@@ -45,15 +64,21 @@ func NewContext() *Context {
 	return &Context{APIFrames: 120, SimFrames: 2, W: 1024, H: 768, Workers: 1}
 }
 
-// API returns (and caches) the API-level run of a demo.
+// API returns (and caches) the API-level run of a demo. Failures are
+// cached too, so a poisoned demo renders (and fails) once per sweep.
 func (c *Context) API(name string) (*APIResult, error) {
 	c.mu.Lock()
 	if c.apiCache == nil {
 		c.apiCache = map[string]*APIResult{}
+		c.apiErr = map[string]error{}
 	}
 	if r, ok := c.apiCache[name]; ok {
 		c.mu.Unlock()
 		return r, nil
+	}
+	if err, ok := c.apiErr[name]; ok {
+		c.mu.Unlock()
+		return nil, err
 	}
 	c.mu.Unlock()
 	prof := workloads.ByName(name)
@@ -61,24 +86,31 @@ func (c *Context) API(name string) (*APIResult, error) {
 		return nil, fmt.Errorf("core: unknown demo %q", name)
 	}
 	r, err := RunAPI(prof, c.APIFrames)
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if err != nil {
+		c.apiErr[name] = err
 		return nil, err
 	}
-	c.mu.Lock()
 	c.apiCache[name] = r
-	c.mu.Unlock()
 	return r, nil
 }
 
-// Micro returns (and caches) the simulated run of a demo.
+// Micro returns (and caches) the simulated run of a demo. Failures are
+// cached too, so a poisoned demo simulates (and fails) once per sweep.
 func (c *Context) Micro(name string) (*MicroResult, error) {
 	c.mu.Lock()
 	if c.microCache == nil {
 		c.microCache = map[string]*MicroResult{}
+		c.microErr = map[string]error{}
 	}
 	if r, ok := c.microCache[name]; ok {
 		c.mu.Unlock()
 		return r, nil
+	}
+	if err, ok := c.microErr[name]; ok {
+		c.mu.Unlock()
+		return nil, err
 	}
 	c.mu.Unlock()
 	prof := workloads.ByName(name)
@@ -88,13 +120,50 @@ func (c *Context) Micro(name string) (*MicroResult, error) {
 	cfg := gpu.R520Config(c.W, c.H)
 	cfg.TileWorkers = c.TileWorkers
 	r, err := RunMicroConfig(prof, c.SimFrames, cfg)
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if err != nil {
+		c.microErr[name] = err
 		return nil, err
 	}
-	c.mu.Lock()
 	c.microCache[name] = r
-	c.mu.Unlock()
 	return r, nil
+}
+
+// skipDemo decides what a failed demo render means for the experiment
+// calling it: abort (strict, the default) or drop the demo's rows and
+// record the casualty once (KeepGoing). Experiment run functions call
+// it on every per-demo error.
+func (c *Context) skipDemo(demo string, err error) bool {
+	if !c.KeepGoing {
+		return false
+	}
+	c.mu.Lock()
+	if c.demoErrs == nil {
+		c.demoErrs = map[string]error{}
+	}
+	if _, ok := c.demoErrs[demo]; !ok {
+		c.demoErrs[demo] = err
+	}
+	c.mu.Unlock()
+	return true
+}
+
+// demoFailures returns the demos dropped so far, in Table I order so
+// reports are deterministic.
+func (c *Context) demoFailures() ExperimentErrors {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.demoErrs) == 0 {
+		return nil
+	}
+	var out ExperimentErrors
+	for _, p := range workloads.Registry() {
+		if err, ok := c.demoErrs[p.Name]; ok {
+			out = append(out, &ExperimentError{Demo: p.Name, Err: err})
+		}
+	}
+	return out
 }
 
 // Result is one experiment's regenerated output.
@@ -198,6 +267,9 @@ func runFig1(c *Context) (*Result, error) {
 	for _, name := range PlottedDemos {
 		r, err := c.API(name)
 		if err != nil {
+			if c.skipDemo(name, err) {
+				continue
+			}
 			return nil, err
 		}
 		fig.Series = append(fig.Series, r.BatchesSeries())
@@ -214,6 +286,9 @@ func runTable3(c *Context) (*Result, error) {
 	for _, p := range workloads.Registry() {
 		r, err := c.API(p.Name)
 		if err != nil {
+			if c.skipDemo(p.Name, err) {
+				continue
+			}
 			return nil, err
 		}
 		ref := PaperAPI[p.Name]
@@ -231,6 +306,9 @@ func runFig2(c *Context) (*Result, error) {
 	for _, name := range PlottedDemos {
 		r, err := c.API(name)
 		if err != nil {
+			if c.skipDemo(name, err) {
+				continue
+			}
 			return nil, err
 		}
 		fig.Series = append(fig.Series, r.IndexMBSeries())
@@ -244,6 +322,9 @@ func runFig3(c *Context) (*Result, error) {
 	for _, name := range PlottedDemos {
 		r, err := c.API(name)
 		if err != nil {
+			if c.skipDemo(name, err) {
+				continue
+			}
 			return nil, err
 		}
 		fig.Series = append(fig.Series, r.StateCallsSeries())
@@ -259,6 +340,9 @@ func runTable4(c *Context) (*Result, error) {
 	for _, p := range workloads.Registry() {
 		r, err := c.API(p.Name)
 		if err != nil {
+			if c.skipDemo(p.Name, err) {
+				continue
+			}
 			return nil, err
 		}
 		ref := PaperAPI[p.Name]
@@ -285,6 +369,9 @@ func runTable5(c *Context) (*Result, error) {
 	for _, p := range workloads.Registry() {
 		r, err := c.API(p.Name)
 		if err != nil {
+			if c.skipDemo(p.Name, err) {
+				continue
+			}
 			return nil, err
 		}
 		ref := PaperAPI[p.Name]
@@ -307,6 +394,9 @@ func runFig5(c *Context) (*Result, error) {
 	for _, name := range SimDemos {
 		r, err := c.Micro(name)
 		if err != nil {
+			if c.skipDemo(name, err) {
+				continue
+			}
 			return nil, err
 		}
 		fig.Series = append(fig.Series, r.VCacheSeries())
@@ -335,6 +425,9 @@ func runFig6(c *Context) (*Result, error) {
 	for _, name := range SimDemos {
 		r, err := c.Micro(name)
 		if err != nil {
+			if c.skipDemo(name, err) {
+				continue
+			}
 			return nil, err
 		}
 		idx, asm, trav := r.TriangleFlowSeries()
@@ -351,6 +444,9 @@ func runTable7(c *Context) (*Result, error) {
 	for _, name := range SimDemos {
 		r, err := c.Micro(name)
 		if err != nil {
+			if c.skipDemo(name, err) {
+				continue
+			}
 			return nil, err
 		}
 		ref := PaperMicro[name]
@@ -368,6 +464,9 @@ func runFig7(c *Context) (*Result, error) {
 	for _, name := range SimDemos {
 		r, err := c.Micro(name)
 		if err != nil {
+			if c.skipDemo(name, err) {
+				continue
+			}
 			return nil, err
 		}
 		raster, zs, shade := r.TriangleSizeSeries()
@@ -391,6 +490,9 @@ func runTable8(c *Context) (*Result, error) {
 	for _, name := range SimDemos {
 		r, err := c.Micro(name)
 		if err != nil {
+			if c.skipDemo(name, err) {
+				continue
+			}
 			return nil, err
 		}
 		ref := PaperMicro[name]
@@ -411,6 +513,9 @@ func runTable9(c *Context) (*Result, error) {
 	for _, name := range SimDemos {
 		r, err := c.Micro(name)
 		if err != nil {
+			if c.skipDemo(name, err) {
+				continue
+			}
 			return nil, err
 		}
 		ref := PaperMicro[name]
@@ -431,6 +536,9 @@ func runTable10(c *Context) (*Result, error) {
 	for _, name := range SimDemos {
 		r, err := c.Micro(name)
 		if err != nil {
+			if c.skipDemo(name, err) {
+				continue
+			}
 			return nil, err
 		}
 		ref := PaperMicro[name]
@@ -450,6 +558,9 @@ func runTable11(c *Context) (*Result, error) {
 	for _, name := range SimDemos {
 		r, err := c.Micro(name)
 		if err != nil {
+			if c.skipDemo(name, err) {
+				continue
+			}
 			return nil, err
 		}
 		ref := PaperMicro[name]
@@ -470,6 +581,9 @@ func runTable12(c *Context) (*Result, error) {
 	for _, p := range workloads.Registry() {
 		r, err := c.API(p.Name)
 		if err != nil {
+			if c.skipDemo(p.Name, err) {
+				continue
+			}
 			return nil, err
 		}
 		ref := PaperAPI[p.Name]
@@ -487,6 +601,9 @@ func runFig8(c *Context) (*Result, error) {
 	for _, name := range []string{"Quake4/demo4", "FEAR/interval2"} {
 		r, err := c.API(name)
 		if err != nil {
+			if c.skipDemo(name, err) {
+				continue
+			}
 			return nil, err
 		}
 		fig.Series = append(fig.Series, r.FSInstrSeries(), r.FSTexSeries())
@@ -503,6 +620,9 @@ func runTable13(c *Context) (*Result, error) {
 	for _, name := range SimDemos {
 		r, err := c.Micro(name)
 		if err != nil {
+			if c.skipDemo(name, err) {
+				continue
+			}
 			return nil, err
 		}
 		ref := PaperMicro[name]
@@ -522,6 +642,9 @@ func runTable14(c *Context) (*Result, error) {
 	for _, name := range SimDemos {
 		r, err := c.Micro(name)
 		if err != nil {
+			if c.skipDemo(name, err) {
+				continue
+			}
 			return nil, err
 		}
 		ref := PaperMicro[name]
@@ -541,6 +664,9 @@ func runTable15(c *Context) (*Result, error) {
 	for _, name := range SimDemos {
 		r, err := c.Micro(name)
 		if err != nil {
+			if c.skipDemo(name, err) {
+				continue
+			}
 			return nil, err
 		}
 		ref := PaperMicro[name]
@@ -561,6 +687,9 @@ func runTable16(c *Context) (*Result, error) {
 	for _, name := range SimDemos {
 		r, err := c.Micro(name)
 		if err != nil {
+			if c.skipDemo(name, err) {
+				continue
+			}
 			return nil, err
 		}
 		ref := PaperMicro[name]
@@ -582,6 +711,9 @@ func runTable17(c *Context) (*Result, error) {
 	for _, name := range SimDemos {
 		r, err := c.Micro(name)
 		if err != nil {
+			if c.skipDemo(name, err) {
+				continue
+			}
 			return nil, err
 		}
 		ref := PaperMicro[name]

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"gpuchar/internal/gfxapi"
+	"gpuchar/internal/workloads"
+)
+
+// testRenderHook, when non-nil, runs at the start of every demo render.
+// Tests use it to poison a specific demo with a panic and prove the
+// fault isolation around it; it is never set outside tests. Access goes
+// through hookMu because a deadline-abandoned experiment goroutine can
+// still be rendering when a test swaps the hook.
+var (
+	hookMu         sync.Mutex
+	testRenderHook func(demo string)
+)
+
+func setTestRenderHook(h func(demo string)) {
+	hookMu.Lock()
+	testRenderHook = h
+	hookMu.Unlock()
+}
+
+func renderHook(demo string) {
+	hookMu.Lock()
+	h := testRenderHook
+	hookMu.Unlock()
+	if h != nil {
+		h(demo)
+	}
+}
+
+// runGuarded drives a workload for the given number of frames under a
+// recover guard: a panic escaping the workload generator or the
+// pipeline backend is converted into an error naming the demo and the
+// API-stream position (frames completed, batches into the current
+// frame) where it happened, so a poisoned demo is locatable without a
+// debugger and cannot kill the fan-out hosting the other eleven titles.
+func runGuarded(name string, dev *gfxapi.Device, wl *workloads.Workload, frames int) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("core: %s: panic at frame %d, batch %d: %v",
+				name, len(dev.Frames()), dev.CurrentFrame().Batches, rec)
+		}
+	}()
+	renderHook(name)
+	if err := wl.Run(frames); err != nil {
+		return fmt.Errorf("core: %s: %w", name, err)
+	}
+	return nil
+}

@@ -36,8 +36,8 @@ func RunMicroConfig(prof *workloads.Profile, frames int, cfg gpu.Config) (*Micro
 	g := gpu.New(cfg)
 	dev := gfxapi.NewDevice(prof.API, g)
 	wl := workloads.New(prof, dev, cfg.Width, cfg.Height)
-	if err := wl.Run(frames); err != nil {
-		return nil, fmt.Errorf("core: %s: %w", prof.Name, err)
+	if err := runGuarded(prof.Name, dev, wl, frames); err != nil {
+		return nil, err
 	}
 	r := &MicroResult{Prof: prof, W: cfg.Width, H: cfg.Height, Frames: g.Frames()}
 	for _, f := range r.Frames {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"gpuchar/internal/workloads"
 )
@@ -67,7 +68,9 @@ func (c *Context) Prefetch(ids []string) error {
 	}
 	wg.Wait()
 	for _, err := range errs {
-		if err != nil {
+		// With KeepGoing the failure is negative-cached in the context;
+		// the experiments that want the demo surface and record it.
+		if err != nil && !c.KeepGoing {
 			return err
 		}
 	}
@@ -78,21 +81,75 @@ func (c *Context) Prefetch(ids []string) error {
 // the underlying demo renders out across Context.Workers goroutines
 // first. Results arrive in the requested order and are identical to a
 // serial run at any worker count.
+//
+// By default the first failure aborts the sweep. With Context.KeepGoing
+// a failed experiment yields a nil slot in the results and the sweep
+// continues; the error return is then an ExperimentErrors aggregate
+// listing every failed experiment and every dropped demo alongside the
+// partial results.
 func RunExperiments(c *Context, ids []string) ([]*Result, error) {
 	if err := c.Prefetch(ids); err != nil {
 		return nil, err
 	}
 	out := make([]*Result, 0, len(ids))
+	var errs ExperimentErrors
 	for _, id := range ids {
-		e := ByID(id)
-		if e == nil {
-			return nil, fmt.Errorf("core: unknown experiment %q", id)
+		var res *Result
+		var err error
+		if e := ByID(id); e == nil {
+			err = fmt.Errorf("unknown experiment %q", id)
+		} else {
+			res, err = runExperiment(c, e)
 		}
-		res, err := e.Run(c)
 		if err != nil {
-			return nil, fmt.Errorf("core: %s: %w", id, err)
+			ee := &ExperimentError{ID: id, Err: err}
+			if !c.KeepGoing {
+				return nil, ee
+			}
+			errs = append(errs, ee)
+			out = append(out, nil)
+			continue
 		}
 		out = append(out, res)
 	}
+	errs = append(errs, c.demoFailures()...)
+	if len(errs) > 0 {
+		return out, errs
+	}
 	return out, nil
+}
+
+// runExperiment executes one experiment under a recover guard and,
+// when Context.Deadline is set, a watchdog timer.
+func runExperiment(c *Context, e *Experiment) (*Result, error) {
+	if c.Deadline <= 0 {
+		return runRecover(c, e)
+	}
+	type outcome struct {
+		res *Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := runRecover(c, e)
+		ch <- outcome{res, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-time.After(c.Deadline):
+		return nil, fmt.Errorf("deadline %s exceeded", c.Deadline)
+	}
+}
+
+// runRecover converts a panic escaping an experiment's run function
+// (as opposed to a demo render, which runGuarded already covers) into
+// an error, so one broken table generator cannot take down the sweep.
+func runRecover(c *Context, e *Experiment) (res *Result, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			res, err = nil, fmt.Errorf("panic: %v", rec)
+		}
+	}()
+	return e.Run(c)
 }

@@ -183,7 +183,7 @@ const DefaultVertexCacheSize = 16
 // and memory controller (memctl may be nil to skip traffic accounting).
 func NewPipeline(m *shader.Machine, memctl *mem.Controller) *Pipeline {
 	return &Pipeline{
-		VCache:  cache.NewVertexCache(DefaultVertexCacheSize),
+		VCache:  cache.MustVertexCache(DefaultVertexCacheSize),
 		Machine: m,
 		Memctl:  memctl,
 	}

@@ -347,7 +347,12 @@ func (d *Device) DrawIndexed(vb *geom.VertexBuffer, ib *geom.IndexBuffer,
 	d.frame.Indices += int64(n)
 	d.frame.IndexBytes += int64(n * ib.BytesPerIndex)
 	d.frame.Primitives += int64(prim.TriangleCount(n))
-	d.frame.IndicesByPrim[prim] += int64(n)
+	// Guard the per-type array: an out-of-range primitive byte (possible
+	// only through a hostile trace; the decoder rejects it, this is
+	// defense in depth) must not crash the statistics counter.
+	if int(prim) < len(d.frame.IndicesByPrim) {
+		d.frame.IndicesByPrim[prim] += int64(n)
+	}
 	w := float64(n)
 	d.frame.WeightVertices += w
 	d.frame.VSInstrWeighted += w * float64(vs.Len())

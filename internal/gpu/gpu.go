@@ -200,7 +200,7 @@ func New(cfg Config) *GPU {
 		frag:      fragment.NewStage(fs),
 		target:    rop.NewTarget(cfg.Width, cfg.Height, 0x0400_0000, m),
 	}
-	g.geom.VCache = cache.NewVertexCache(cfg.VertexCacheSize)
+	g.geom.VCache = cache.MustVertexCache(cfg.VertexCacheSize)
 	g.fsMachine.Sampler = g.texUnit
 	g.zbuf.Compression = cfg.ZCompression
 	g.zbuf.FastClear = cfg.FastClear

@@ -139,7 +139,7 @@ func NewTarget(w, h int, baseAddr uint64, memctl *mem.Controller) *Target {
 		clearLine: make([]bool, nb),
 		uniform:   make([]bool, nb),
 		blockCol:  make([]gmath.Vec4, nb),
-		cache:     cache.New(ColorCacheConfig),
+		cache:     cache.MustNew(ColorCacheConfig),
 		memctl:    memctl,
 
 		Compression: true,
@@ -164,7 +164,7 @@ func (t *Target) NewShard(memctl *mem.Controller) *Target {
 		uniform:   t.uniform,
 		blockCol:  t.blockCol,
 		clearCol:  t.clearCol,
-		cache:     cache.New(ColorCacheConfig),
+		cache:     cache.MustNew(ColorCacheConfig),
 		memctl:    memctl,
 
 		Compression: t.Compression,

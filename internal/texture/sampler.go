@@ -101,8 +101,8 @@ type binding struct {
 // controller (which may be nil for pure filtering tests).
 func NewUnit(m *mem.Controller) *Unit {
 	return &Unit{
-		l0:     cache.New(L0Config),
-		l1:     cache.New(L1Config),
+		l0:     cache.MustNew(L0Config),
+		l1:     cache.MustNew(L1Config),
 		memctl: m,
 	}
 }

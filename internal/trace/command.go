@@ -3,21 +3,19 @@ package trace
 import (
 	"bufio"
 	"fmt"
-	"io"
 
 	"gpuchar/internal/geom"
 	"gpuchar/internal/gfxapi"
 	"gpuchar/internal/gmath"
 	"gpuchar/internal/rop"
+	"gpuchar/internal/shader"
 	"gpuchar/internal/texture"
 	"gpuchar/internal/zst"
 )
 
-// writeCommand encodes one API call.
-func writeCommand(w *bufio.Writer, c *gfxapi.Command) error {
-	if err := writeU8(w, uint8(c.Op)); err != nil {
-		return err
-	}
+// writePayload encodes one API call's payload (everything after the op
+// byte; the Recorder frames it with a length).
+func writePayload(w *bufio.Writer, c *gfxapi.Command) error {
 	switch c.Op {
 	case gfxapi.OpCreateVB:
 		if err := writeU32(w, c.ID); err != nil {
@@ -104,156 +102,252 @@ func writeCommand(w *bufio.Writer, c *gfxapi.Command) error {
 	return nil
 }
 
-// readCommand decodes one API call. io.EOF before the op byte is a
-// clean end of trace; EOF inside a command payload is reported as
-// io.ErrUnexpectedEOF.
-func readCommand(r *bufio.Reader) (gfxapi.Command, error) {
-	var c gfxapi.Command
-	opB, err := readU8(r)
-	if err != nil {
-		return c, err // io.EOF propagates cleanly here
-	}
-	c.Op = gfxapi.Op(opB)
-	c, err = readPayload(r, c)
-	if err == io.EOF {
-		err = io.ErrUnexpectedEOF
-	}
-	return c, err
-}
-
-func readPayload(r *bufio.Reader, c gfxapi.Command) (gfxapi.Command, error) {
+// readPayload decodes one API call's payload, validating every length
+// and enum field against the decoder's limits before allocating.
+func readPayload(d *decoder, c gfxapi.Command) (gfxapi.Command, error) {
 	var err error
 	switch c.Op {
 	case gfxapi.OpCreateVB:
-		if c.ID, err = readU32(r); err != nil {
+		if c.ID, err = d.readU32(); err != nil {
 			return c, err
 		}
-		stride, err := readU32(r)
+		stride, err := d.readU32()
 		if err != nil {
 			return c, err
+		}
+		if int64(stride) > int64(d.lim.MaxStride) {
+			return c, fmt.Errorf("vertex stride %d: %w", stride, ErrLimit)
 		}
 		c.Stride = int(stride)
-		nAttr, err := readU32(r)
+		nAttr, err := d.readU32()
 		if err != nil {
 			return c, err
 		}
-		if nAttr > 64 {
-			return c, fmt.Errorf("trace: %d attributes", nAttr)
+		if int64(nAttr) > int64(d.lim.MaxAttrs) {
+			return c, fmt.Errorf("%d attributes: %w", nAttr, ErrLimit)
+		}
+		if err := d.charge(int64(nAttr) * 24); err != nil {
+			return c, err
 		}
 		c.VBData = make([][]gmath.Vec4, nAttr)
 		for i := range c.VBData {
-			n, err := readU32(r)
+			n, err := d.readU32()
 			if err != nil {
 				return c, err
 			}
-			if n > 1<<24 {
-				return c, fmt.Errorf("trace: %d vertices", n)
+			if int64(n) > int64(d.lim.MaxVertices) {
+				return c, fmt.Errorf("%d vertices: %w", n, ErrLimit)
 			}
-			attr := make([]gmath.Vec4, n)
-			for j := range attr {
-				if attr[j], err = readVec4(r); err != nil {
-					return c, err
-				}
+			// Ragged attribute slots would index out of range in the
+			// vertex fetch stage; reject them at the wire.
+			if i > 0 && int(n) != len(c.VBData[0]) {
+				return c, fmt.Errorf("ragged vertex buffer: attr %d has %d vertices, attr 0 has %d",
+					i, n, len(c.VBData[0]))
 			}
-			c.VBData[i] = attr
-		}
-	case gfxapi.OpCreateIB:
-		if c.ID, err = readU32(r); err != nil {
-			return c, err
-		}
-		stride, err := readU32(r)
-		if err != nil {
-			return c, err
-		}
-		c.Stride = int(stride)
-		n, err := readU32(r)
-		if err != nil {
-			return c, err
-		}
-		if n > 1<<26 {
-			return c, fmt.Errorf("trace: %d indices", n)
-		}
-		c.IBData = make([]uint32, n)
-		for i := range c.IBData {
-			if c.IBData[i], err = readU32(r); err != nil {
+			if c.VBData[i], err = d.readVec4s(int(n)); err != nil {
 				return c, err
 			}
 		}
-	case gfxapi.OpCreateTex:
-		if c.ID, err = readU32(r); err != nil {
+	case gfxapi.OpCreateIB:
+		if c.ID, err = d.readU32(); err != nil {
 			return c, err
 		}
-		spec, err := readTexSpec(r)
+		stride, err := d.readU32()
+		if err != nil {
+			return c, err
+		}
+		if int64(stride) > int64(d.lim.MaxStride) {
+			return c, fmt.Errorf("index stride %d: %w", stride, ErrLimit)
+		}
+		c.Stride = int(stride)
+		n, err := d.readU32()
+		if err != nil {
+			return c, err
+		}
+		if int64(n) > int64(d.lim.MaxIndices) {
+			return c, fmt.Errorf("%d indices: %w", n, ErrLimit)
+		}
+		if c.IBData, err = d.readU32s(int(n)); err != nil {
+			return c, err
+		}
+	case gfxapi.OpCreateTex:
+		if c.ID, err = d.readU32(); err != nil {
+			return c, err
+		}
+		spec, err := readTexSpec(d)
 		if err != nil {
 			return c, err
 		}
 		c.TexSpec = spec
 	case gfxapi.OpCreateProgram:
-		if c.ID, err = readU32(r); err != nil {
+		if c.ID, err = d.readU32(); err != nil {
 			return c, err
 		}
-		if c.Program, err = readProgram(r); err != nil {
+		if c.Program, err = readProgram(d); err != nil {
 			return c, err
 		}
 	case gfxapi.OpSetZState:
-		st, err := readZState(r)
+		st, err := readZState(d)
 		if err != nil {
 			return c, err
 		}
 		c.ZState = &st
 	case gfxapi.OpSetRopState:
-		st, err := readRopState(r)
+		st, err := readRopState(d)
 		if err != nil {
 			return c, err
 		}
 		c.RopState = &st
 	case gfxapi.OpSetCull:
-		b, err := readU8(r)
+		b, err := d.readU8()
 		if err != nil {
 			return c, err
 		}
+		if b > uint8(geom.CullNone) {
+			return c, fmt.Errorf("unknown cull mode %d", b)
+		}
 		c.Cull = geom.CullMode(b)
 	case gfxapi.OpBindTexture:
-		if c.Unit, err = readU8(r); err != nil {
+		if c.Unit, err = d.readU8(); err != nil {
 			return c, err
 		}
-		if c.ID, err = readU32(r); err != nil {
+		if c.ID, err = d.readU32(); err != nil {
 			return c, err
 		}
-		st, err := readSampler(r)
+		st, err := readSampler(d)
 		if err != nil {
 			return c, err
 		}
 		c.Sampler = &st
 	case gfxapi.OpSetConst:
-		if c.Unit, err = readU8(r); err != nil {
+		if c.Unit, err = d.readU8(); err != nil {
 			return c, err
 		}
-		if c.Vec, err = readVec4(r); err != nil {
+		if c.Vec, err = d.readVec4(); err != nil {
 			return c, err
 		}
 	case gfxapi.OpDraw:
 		for _, dst := range []*uint32{&c.ID, &c.ID2, &c.ProgID, &c.ProgID2} {
-			if *dst, err = readU32(r); err != nil {
+			if *dst, err = d.readU32(); err != nil {
 				return c, err
 			}
 		}
-		b, err := readU8(r)
+		b, err := d.readU8()
 		if err != nil {
 			return c, err
 		}
+		// The per-primitive statistics array is indexed by this byte.
+		if b > uint8(geom.TriangleFan) {
+			return c, fmt.Errorf("unknown primitive type %d", b)
+		}
 		c.Prim = geom.PrimitiveType(b)
 	case gfxapi.OpClear:
-		op, err := readClear(r)
+		op, err := readClear(d)
 		if err != nil {
 			return c, err
 		}
 		c.ClearOp = &op
 	case gfxapi.OpEndFrame:
 	default:
-		return c, fmt.Errorf("trace: unknown op %d", uint8(c.Op))
+		return c, fmt.Errorf("op %d: %w", uint8(c.Op), ErrUnknownOp)
 	}
 	return c, nil
+}
+
+func writeProgram(w *bufio.Writer, p *shader.Program) error {
+	if err := writeString(w, p.Name); err != nil {
+		return err
+	}
+	if err := writeU8(w, uint8(p.Kind)); err != nil {
+		return err
+	}
+	if err := writeU32(w, uint32(len(p.Instrs))); err != nil {
+		return err
+	}
+	for _, in := range p.Instrs {
+		fields := []uint8{
+			uint8(in.Op), uint8(in.Dst.File), in.Dst.Index, in.Dst.Mask,
+			in.TexUnit,
+		}
+		for _, f := range fields {
+			if err := writeU8(w, f); err != nil {
+				return err
+			}
+		}
+		for s := 0; s < 3; s++ {
+			src := in.Src[s]
+			neg := uint8(0)
+			if src.Negate {
+				neg = 1
+			}
+			fields := []uint8{
+				uint8(src.File), src.Index, neg,
+				src.Swizzle[0], src.Swizzle[1], src.Swizzle[2], src.Swizzle[3],
+			}
+			for _, f := range fields {
+				if err := writeU8(w, f); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func readProgram(d *decoder) (*shader.Program, error) {
+	name, err := d.readString()
+	if err != nil {
+		return nil, err
+	}
+	kind, err := d.readU8()
+	if err != nil {
+		return nil, err
+	}
+	if kind > uint8(shader.FragmentProgram) {
+		return nil, fmt.Errorf("unknown program kind %d", kind)
+	}
+	n, err := d.readU32()
+	if err != nil {
+		return nil, err
+	}
+	if int64(n) > int64(d.lim.MaxProgramInstrs) {
+		return nil, fmt.Errorf("program length %d: %w", n, ErrLimit)
+	}
+	if err := d.charge(int64(n) * 32); err != nil {
+		return nil, err
+	}
+	p := &shader.Program{Name: name, Kind: shader.Kind(kind)}
+	p.Instrs = make([]shader.Instruction, n)
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		var b [5]uint8
+		for j := range b {
+			if b[j], err = d.readU8(); err != nil {
+				return nil, err
+			}
+		}
+		in.Op = shader.Opcode(b[0])
+		in.Dst = shader.Dst{File: shader.RegFile(b[1]), Index: b[2], Mask: b[3]}
+		in.TexUnit = b[4]
+		for s := 0; s < 3; s++ {
+			var sb [7]uint8
+			for j := range sb {
+				if sb[j], err = d.readU8(); err != nil {
+					return nil, err
+				}
+			}
+			in.Src[s] = shader.Src{
+				File: shader.RegFile(sb[0]), Index: sb[1], Negate: sb[2] != 0,
+				Swizzle: shader.Swizzle{sb[3], sb[4], sb[5], sb[6]},
+			}
+		}
+	}
+	// The device revalidates on CreateProgram; validating here as well
+	// pins the error to the command's stream position.
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 func writeTexSpec(w *bufio.Writer, s *gfxapi.TextureSpec) error {
@@ -290,34 +384,43 @@ func writeTexSpec(w *bufio.Writer, s *gfxapi.TextureSpec) error {
 	return nil
 }
 
-func readTexSpec(r *bufio.Reader) (gfxapi.TextureSpec, error) {
+func readTexSpec(d *decoder) (gfxapi.TextureSpec, error) {
 	var s gfxapi.TextureSpec
 	var err error
-	if s.Name, err = readString(r); err != nil {
+	if s.Name, err = d.readString(); err != nil {
 		return s, err
 	}
-	fm, err := readU8(r)
+	fm, err := d.readU8()
 	if err != nil {
 		return s, err
+	}
+	if fm > uint8(texture.FormatDXT5) {
+		return s, fmt.Errorf("unknown texture format %d", fm)
 	}
 	s.Format = texture.Format(fm)
-	kd, err := readU8(r)
+	kd, err := d.readU8()
 	if err != nil {
 		return s, err
+	}
+	if kd > uint8(gfxapi.KindBlockNoise) {
+		return s, fmt.Errorf("unknown texture kind %d", kd)
 	}
 	s.Kind = gfxapi.TextureKind(kd)
 	var u [4]uint32
 	for i := range u {
-		if u[i], err = readU32(r); err != nil {
+		if u[i], err = d.readU32(); err != nil {
 			return s, err
 		}
+	}
+	if int64(u[0]) > int64(d.lim.MaxTexDim) || int64(u[1]) > int64(d.lim.MaxTexDim) {
+		return s, fmt.Errorf("texture %dx%d: %w", u[0], u[1], ErrLimit)
 	}
 	s.W, s.H, s.Cell, s.Seed = int(u[0]), int(u[1]), int(u[2]), u[3]
 	readRGBA := func() (texture.RGBA, error) {
 		var c texture.RGBA
 		var b [4]uint8
 		for i := range b {
-			if b[i], err = readU8(r); err != nil {
+			if b[i], err = d.readU8(); err != nil {
 				return c, err
 			}
 		}
@@ -329,19 +432,28 @@ func readTexSpec(r *bufio.Reader) (gfxapi.TextureSpec, error) {
 	if s.ColorB, err = readRGBA(); err != nil {
 		return s, err
 	}
-	n, err := readU32(r)
+	n, err := d.readU32()
 	if err != nil {
 		return s, err
 	}
-	if n > 1<<24 {
-		return s, fmt.Errorf("trace: %d texels", n)
+	if int64(n) > int64(d.lim.MaxTexels) {
+		return s, fmt.Errorf("%d texels: %w", n, ErrLimit)
 	}
-	if n > 0 {
-		s.Data = make([]texture.RGBA, n)
-		for i := range s.Data {
-			if s.Data[i], err = readRGBA(); err != nil {
+	const chunk = 4096
+	for len(s.Data) < int(n) {
+		c := int(n) - len(s.Data)
+		if c > chunk {
+			c = chunk
+		}
+		if err := d.charge(int64(c) * 4); err != nil {
+			return s, err
+		}
+		for i := 0; i < c; i++ {
+			t, err := readRGBA()
+			if err != nil {
 				return s, err
 			}
+			s.Data = append(s.Data, t)
 		}
 	}
 	return s, nil
@@ -371,11 +483,11 @@ func writeZState(w *bufio.Writer, st *zst.State) error {
 	return nil
 }
 
-func readZState(r *bufio.Reader) (zst.State, error) {
+func readZState(d *decoder) (zst.State, error) {
 	var b [14]uint8
 	var err error
 	for i := range b {
-		if b[i], err = readU8(r); err != nil {
+		if b[i], err = d.readU8(); err != nil {
 			return zst.State{}, err
 		}
 	}
@@ -405,11 +517,11 @@ func writeRopState(w *bufio.Writer, st *rop.State) error {
 	return nil
 }
 
-func readRopState(r *bufio.Reader) (rop.State, error) {
+func readRopState(d *decoder) (rop.State, error) {
 	var b [7]uint8
 	var err error
 	for i := range b {
-		if b[i], err = readU8(r); err != nil {
+		if b[i], err = d.readU8(); err != nil {
 			return rop.State{}, err
 		}
 	}
@@ -430,19 +542,27 @@ func writeSampler(w *bufio.Writer, st *texture.SamplerState) error {
 	return writeF32(w, st.LODBias)
 }
 
-func readSampler(r *bufio.Reader) (texture.SamplerState, error) {
+func readSampler(d *decoder) (texture.SamplerState, error) {
 	var st texture.SamplerState
-	f, err := readU8(r)
+	f, err := d.readU8()
 	if err != nil {
 		return st, err
+	}
+	if f > uint8(texture.FilterAniso) {
+		return st, fmt.Errorf("unknown filter mode %d", f)
 	}
 	st.Filter = texture.FilterMode(f)
-	ma, err := readU32(r)
+	ma, err := d.readU32()
 	if err != nil {
 		return st, err
 	}
+	// The anisotropic filter walks MaxAniso probes per fragment, so an
+	// unbounded wire value is a denial of service.
+	if int64(ma) > int64(d.lim.MaxAniso) {
+		return st, fmt.Errorf("aniso ratio %d: %w", ma, ErrLimit)
+	}
 	st.MaxAniso = int(ma)
-	st.LODBias, err = readF32(r)
+	st.LODBias, err = d.readF32()
 	return st, err
 }
 
@@ -463,18 +583,18 @@ func writeClear(w *bufio.Writer, op *gfxapi.ClearOp) error {
 	return nil
 }
 
-func readClear(r *bufio.Reader) (gfxapi.ClearOp, error) {
+func readClear(d *decoder) (gfxapi.ClearOp, error) {
 	var op gfxapi.ClearOp
 	var err error
-	if op.Color, err = readVec4(r); err != nil {
+	if op.Color, err = d.readVec4(); err != nil {
 		return op, err
 	}
-	if op.Z, err = readF32(r); err != nil {
+	if op.Z, err = d.readF32(); err != nil {
 		return op, err
 	}
 	var b [4]uint8
 	for i := range b {
-		if b[i], err = readU8(r); err != nil {
+		if b[i], err = d.readU8(); err != nil {
 			return op, err
 		}
 	}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+
+	"gpuchar/internal/gfxapi"
+)
+
+// Sentinel errors the validating decoder and player wrap. Match with
+// errors.Is through the typed *FormatError / *ReplayError wrappers.
+var (
+	// ErrBudget reports that decoding the trace would exceed the
+	// reader's cumulative allocation budget (Limits.AllocBudget).
+	ErrBudget = errors.New("allocation budget exceeded")
+	// ErrUnknownOp reports a command with an opcode this decoder does
+	// not know. In the framed v2 format the payload length is known, so
+	// a lenient player can skip the command and continue.
+	ErrUnknownOp = errors.New("unknown op")
+	// ErrLimit reports a field that exceeds a per-field sanity limit.
+	ErrLimit = errors.New("limit exceeded")
+)
+
+// FormatError reports a malformed or hostile trace stream. It carries
+// the position of the failure so a corrupt capture can be triaged the
+// way the paper's tooling would triage a corrupt timedemo: which
+// command, at which byte offset, decoding which op.
+type FormatError struct {
+	// Cmd is the zero-based index of the failing command in the stream.
+	Cmd int64
+	// Offset is the byte offset at which the command started.
+	Offset int64
+	// Op is the opcode being decoded (may be unnamed for hostile bytes).
+	Op gfxapi.Op
+	// Err is the underlying cause.
+	Err error
+
+	// resynced records that the reader skipped the rest of the framed
+	// payload and is positioned at the next command boundary.
+	resynced bool
+}
+
+// Resynced reports whether the reader recovered its position after this
+// error: the stream was framed (v2), the payload length was intact, and
+// the remaining payload bytes were skipped. A lenient player may keep
+// reading after a resynced error; a non-resynced one is terminal.
+func (e *FormatError) Resynced() bool { return e.resynced }
+
+// Error formats the failure with its stream position. A negative Cmd
+// marks damage in the stream header, before any command exists.
+func (e *FormatError) Error() string {
+	if e.Cmd < 0 {
+		return fmt.Sprintf("trace: header: %v", e.Err)
+	}
+	return fmt.Sprintf("trace: command %d (op %s) at offset %d: %v",
+		e.Cmd, e.Op, e.Offset, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *FormatError) Unwrap() error { return e.Err }
+
+// ReplayError reports a decoded command that could not be applied to
+// the device: a dangling resource reference, a rejected resource, or a
+// recovered panic from a pipeline stage.
+type ReplayError struct {
+	// Cmd is the zero-based index of the failing command.
+	Cmd int64
+	// Offset is the byte offset at which the command started.
+	Offset int64
+	// Op is the command's opcode.
+	Op gfxapi.Op
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error formats the failure with its stream position.
+func (e *ReplayError) Error() string {
+	return fmt.Sprintf("trace: replay command %d (op %s) at offset %d: %v",
+		e.Cmd, e.Op, e.Offset, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *ReplayError) Unwrap() error { return e.Err }

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"gpuchar/internal/gfxapi"
+)
+
+// fuzzSeeds returns representative streams for both fuzz targets:
+// a healthy v2 trace, a v1 stream, a hostile-length claim, and some
+// structurally broken prefixes.
+func fuzzSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	var buf bytes.Buffer
+	rec, err := NewRecorder(&buf, gfxapi.OpenGL)
+	if err != nil {
+		f.Fatal(err)
+	}
+	d := gfxapi.NewDevice(gfxapi.OpenGL, gfxapi.NullBackend{})
+	d.SetRecorder(rec)
+	renderSmallScene(f, d)
+	if err := rec.Close(); err != nil {
+		f.Fatal(err)
+	}
+	golden := buf.Bytes()
+
+	hostile := append(header(), frame(uint8(gfxapi.OpCreateVB), append(append(append(
+		u32le(1), u32le(48)...), u32le(1)...), u32le(1<<24)...))...)
+
+	return [][]byte{
+		golden,
+		golden[:len(golden)/2],
+		hostile,
+		header(),
+		{'G', 'T', 'R', 'C', 1, 0, uint8(gfxapi.OpEndFrame)},
+		append(header(), frame(200, []byte{1, 2, 3})...),
+	}
+}
+
+// FuzzReadCommand feeds arbitrary bytes through the decoder. The only
+// acceptable failures are typed *FormatError values; allocation must
+// respect the budget and resynced errors must not loop forever.
+func FuzzReadCommand(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lim := DefaultLimits()
+		lim.AllocBudget = 1 << 22
+		r, err := NewReaderLimits(bytes.NewReader(data), lim)
+		if err != nil {
+			return // invalid header: rejected up front
+		}
+		for {
+			_, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				var fe *FormatError
+				if !errors.As(err, &fe) {
+					t.Fatalf("untyped decode error %T: %v", err, err)
+				}
+				if !fe.Resynced() {
+					break
+				}
+				continue // framing let us skip the bad command
+			}
+		}
+		if got := r.Allocated(); got > lim.AllocBudget+allocSlack {
+			t.Fatalf("allocated %d bytes, budget %d", got, lim.AllocBudget)
+		}
+	})
+}
+
+// FuzzPlay replays arbitrary bytes leniently into a full device. No
+// input may panic the pipeline; failures must be typed trace errors.
+func FuzzPlay(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lim := DefaultLimits()
+		lim.AllocBudget = 1 << 22
+		r, err := NewReaderLimits(bytes.NewReader(data), lim)
+		if err != nil {
+			return
+		}
+		dev := gfxapi.NewDevice(r.API(), gfxapi.NullBackend{})
+		p := NewPlayer(dev)
+		p.SetMode(Lenient)
+		if _, err := p.Play(r); err != nil {
+			var fe *FormatError
+			var re *ReplayError
+			if !errors.As(err, &fe) && !errors.As(err, &re) {
+				t.Fatalf("untyped replay error %T: %v", err, err)
+			}
+		}
+		if got := r.Allocated(); got > lim.AllocBudget+allocSlack {
+			t.Fatalf("allocated %d bytes, budget %d", got, lim.AllocBudget)
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package trace
+
+// Limits bounds what a trace stream may ask the decoder to materialize.
+// Every u32 length in the wire format is checked against a per-field
+// cap before anything is allocated, and every allocation the decoder
+// does commit is charged against a cumulative budget, so a hostile
+// 16-byte file cannot demand gigabytes and a truncated one cannot
+// commit a giant make before the missing bytes surface.
+type Limits struct {
+	// MaxAttrs caps vertex buffer attribute slots.
+	MaxAttrs int
+	// MaxVertices caps the vertices of one attribute slot.
+	MaxVertices int
+	// MaxIndices caps one index buffer's length.
+	MaxIndices int
+	// MaxTexels caps one texture's explicit texel payload.
+	MaxTexels int
+	// MaxTexDim caps texture width and height.
+	MaxTexDim int
+	// MaxProgramInstrs caps one shader program's instruction count.
+	MaxProgramInstrs int
+	// MaxStringBytes caps resource name strings.
+	MaxStringBytes int
+	// MaxStride caps the vertex/index stride field (bytes).
+	MaxStride int
+	// MaxAniso caps the sampler anisotropy ratio; the filter loop walks
+	// that many probes per fragment, so an unclamped wire value is a
+	// denial of service, not just bad data.
+	MaxAniso int
+	// MaxCommandBytes caps one framed (v2) command payload.
+	MaxCommandBytes int64
+	// AllocBudget caps the cumulative bytes the decoder materializes
+	// across the whole stream. 0 means no cumulative cap.
+	AllocBudget int64
+}
+
+// DefaultLimits returns caps sized generously above anything the
+// synthetic workloads record (the largest legitimate demo trace stays
+// far below every cap) while keeping the worst-case decode cost of a
+// hostile stream bounded.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxAttrs:         64,
+		MaxVertices:      1 << 24,
+		MaxIndices:       1 << 26,
+		MaxTexels:        1 << 24,
+		MaxTexDim:        1 << 14,
+		MaxProgramInstrs: 1 << 16,
+		MaxStringBytes:   1 << 20,
+		MaxStride:        1 << 12,
+		MaxAniso:         64,
+		MaxCommandBytes:  1 << 30,
+		AllocBudget:      1 << 31,
+	}
+}

@@ -7,10 +7,18 @@
 // the identical input can be replayed any number of times — on the real
 // card for API statistics, or through the simulator for
 // microarchitectural ones.
+//
+// Because the whole capture-once/replay-many methodology collapses if a
+// corrupt trace can crash or OOM the player, the decoder is validating:
+// every wire length is checked against Limits before allocation, large
+// payloads are read in chunks so truncation surfaces before memory is
+// committed, and failures carry their command index and byte offset in
+// typed *FormatError / *ReplayError values.
 package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -18,14 +26,20 @@ import (
 
 	"gpuchar/internal/gfxapi"
 	"gpuchar/internal/gmath"
-	"gpuchar/internal/shader"
 )
 
 // magic identifies a trace stream.
 var magic = [4]byte{'G', 'T', 'R', 'C'}
 
-// version is the trace format version.
-const version = 1
+// Trace format versions. Version 1 streamed commands back to back;
+// version 2 frames each command as op byte + u32 payload length +
+// payload, which lets a reader stay in sync across commands it cannot
+// decode (unknown ops from a newer writer, corrupt payloads). The
+// reader negotiates: it accepts both, the recorder writes the latest.
+const (
+	version    = 2
+	minVersion = 1
+)
 
 // Recorder captures a device's API calls into a writer. Attach with
 // Device.SetRecorder.
@@ -33,6 +47,11 @@ type Recorder struct {
 	w   *bufio.Writer
 	err error
 	n   int64 // commands written
+
+	// scratch holds one command's encoded payload so its length can be
+	// written before its bytes (the v2 framing).
+	scratch bytes.Buffer
+	sw      *bufio.Writer
 }
 
 // NewRecorder creates a recorder writing the trace header for the given
@@ -48,7 +67,9 @@ func NewRecorder(w io.Writer, api gfxapi.API) (*Recorder, error) {
 	if err := bw.WriteByte(byte(api)); err != nil {
 		return nil, err
 	}
-	return &Recorder{w: bw}, nil
+	r := &Recorder{w: bw}
+	r.sw = bufio.NewWriter(&r.scratch)
+	return r, nil
 }
 
 // Record implements gfxapi.Recorder.
@@ -56,10 +77,24 @@ func (r *Recorder) Record(cmd gfxapi.Command) {
 	if r.err != nil {
 		return
 	}
-	r.err = writeCommand(r.w, &cmd)
-	if r.err == nil {
-		r.n++
+	r.scratch.Reset()
+	r.sw.Reset(&r.scratch)
+	if r.err = writePayload(r.sw, &cmd); r.err != nil {
+		return
 	}
+	if r.err = r.sw.Flush(); r.err != nil {
+		return
+	}
+	if r.err = writeU8(r.w, uint8(cmd.Op)); r.err != nil {
+		return
+	}
+	if r.err = writeU32(r.w, uint32(r.scratch.Len())); r.err != nil {
+		return
+	}
+	if _, r.err = r.w.Write(r.scratch.Bytes()); r.err != nil {
+		return
+	}
+	r.n++
 }
 
 // Commands returns the number of commands recorded so far.
@@ -73,46 +108,171 @@ func (r *Recorder) Close() error {
 	return r.w.Flush()
 }
 
-// Reader decodes a trace stream command by command.
-type Reader struct {
-	r   *bufio.Reader
-	api gfxapi.API
+// countingReader tracks how many bytes the buffered reader has pulled
+// from the underlying stream, so the decoder can report exact byte
+// offsets (underlying count minus what is still buffered).
+type countingReader struct {
+	r io.Reader
+	n int64
 }
 
-// NewReader validates the header and prepares to decode commands.
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Reader decodes a trace stream command by command, validating every
+// length field against its Limits before allocating.
+type Reader struct {
+	cr  *countingReader
+	br  *bufio.Reader
+	api gfxapi.API
+	ver uint8
+
+	lim   Limits
+	alloc int64 // cumulative bytes materialized, charged against AllocBudget
+	cmds  int64 // commands decoded (including failed ones)
+}
+
+// NewReader validates the header and prepares to decode commands with
+// DefaultLimits.
 func NewReader(r io.Reader) (*Reader, error) {
-	br := bufio.NewReader(r)
+	return NewReaderLimits(r, DefaultLimits())
+}
+
+// NewReaderLimits is NewReader with explicit decode limits. Header
+// damage is reported as a *FormatError with Cmd -1, so callers can
+// classify a rejected file without caring where the corruption sits.
+func NewReaderLimits(r io.Reader, lim Limits) (*Reader, error) {
+	headerErr := func(err error) error {
+		return &FormatError{Cmd: -1, Err: err}
+	}
+	cr := &countingReader{r: r}
+	br := bufio.NewReader(cr)
 	var m [4]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: short header: %w", err)
+		return nil, headerErr(fmt.Errorf("truncated: %w", err))
 	}
 	if m != magic {
-		return nil, fmt.Errorf("trace: bad magic %q", m)
+		return nil, headerErr(fmt.Errorf("bad magic %q", m))
 	}
 	ver, err := br.ReadByte()
 	if err != nil {
-		return nil, err
+		return nil, headerErr(fmt.Errorf("truncated: %w", err))
 	}
-	if ver != version {
-		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	if ver < minVersion || ver > version {
+		return nil, headerErr(fmt.Errorf("unsupported version %d (reader handles %d-%d)",
+			ver, minVersion, version))
 	}
 	apiB, err := br.ReadByte()
 	if err != nil {
-		return nil, err
+		return nil, headerErr(fmt.Errorf("truncated: %w", err))
 	}
-	return &Reader{r: br, api: gfxapi.API(apiB)}, nil
+	if apiB > uint8(gfxapi.Direct3D) {
+		return nil, headerErr(fmt.Errorf("unknown API dialect %d", apiB))
+	}
+	return &Reader{cr: cr, br: br, api: gfxapi.API(apiB), ver: ver, lim: lim}, nil
 }
 
 // API returns the dialect recorded in the header.
 func (r *Reader) API() gfxapi.API { return r.api }
 
+// Version returns the negotiated format version.
+func (r *Reader) Version() uint8 { return r.ver }
+
+// Offset returns the byte offset of the next unread trace byte.
+func (r *Reader) Offset() int64 { return r.cr.n - int64(r.br.Buffered()) }
+
+// Commands returns how many commands Next has consumed so far,
+// including commands that failed to decode.
+func (r *Reader) Commands() int64 { return r.cmds }
+
+// Allocated returns the cumulative bytes the decoder has materialized.
+func (r *Reader) Allocated() int64 { return r.alloc }
+
 // Next decodes the next command; io.EOF signals a clean end of trace.
-// A stream that ends inside a command reports io.ErrUnexpectedEOF.
+// Any other failure is a *FormatError carrying the command index, byte
+// offset and op. A stream that ends inside a command wraps
+// io.ErrUnexpectedEOF. On a v2 stream, a *FormatError with
+// Resynced() == true leaves the reader positioned at the next command,
+// so a lenient caller may keep reading.
 func (r *Reader) Next() (gfxapi.Command, error) {
-	return readCommand(r.r)
+	var c gfxapi.Command
+	start := r.Offset()
+	opB, err := r.br.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return c, io.EOF // clean end of trace
+		}
+		return c, r.formatErr(start, c.Op, err)
+	}
+	c.Op = gfxapi.Op(opB)
+	idx := r.cmds
+	r.cmds++
+
+	d := decoder{r: r.br, lim: r.lim, alloc: &r.alloc, rem: -1}
+	if r.ver >= 2 {
+		n, err := d.readU32()
+		if err != nil {
+			return c, r.cmdErr(idx, start, c.Op, eofToUnexpected(err))
+		}
+		if int64(n) > r.lim.MaxCommandBytes {
+			return c, r.cmdErr(idx, start, c.Op,
+				fmt.Errorf("payload of %d bytes: %w", n, ErrLimit))
+		}
+		d.rem = int64(n)
+	}
+
+	c, err = readPayload(&d, c)
+	if err == nil && d.rem > 0 {
+		// A known op that left payload bytes unread is corrupt (the
+		// encoder never writes trailing bytes).
+		err = fmt.Errorf("%d trailing payload bytes", d.rem)
+	}
+	if err == nil {
+		return c, nil
+	}
+	err = eofToUnexpected(err)
+
+	// On a framed stream the payload length is known even when its
+	// contents are not decodable, so skip to the next command boundary
+	// and mark the error resynced.
+	if d.rem > 0 && !isTruncation(err) {
+		if _, derr := io.CopyN(io.Discard, r.br, d.rem); derr != nil {
+			return c, r.cmdErr(idx, start, c.Op, io.ErrUnexpectedEOF)
+		}
+		d.rem = 0
+	}
+	fe := &FormatError{Cmd: idx, Offset: start, Op: c.Op, Err: err}
+	fe.resynced = r.ver >= 2 && d.rem == 0 && !isTruncation(err)
+	return c, fe
 }
 
-// --- binary encoding helpers ---
+func (r *Reader) cmdErr(idx, off int64, op gfxapi.Op, err error) error {
+	return &FormatError{Cmd: idx, Offset: off, Op: op, Err: err}
+}
+
+func (r *Reader) formatErr(off int64, op gfxapi.Op, err error) error {
+	return &FormatError{Cmd: r.cmds, Offset: off, Op: op, Err: err}
+}
+
+// eofToUnexpected converts a bare EOF inside a command payload into
+// io.ErrUnexpectedEOF: the stream ended where bytes were promised.
+func eofToUnexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// isTruncation reports whether err means the underlying stream ran out,
+// as opposed to the bytes being present but invalid.
+func isTruncation(err error) bool {
+	return err == io.ErrUnexpectedEOF || err == io.EOF
+}
+
+// --- binary encoding helpers (writer side) ---
 
 func writeU8(w *bufio.Writer, v uint8) error { return w.WriteByte(v) }
 
@@ -148,133 +308,146 @@ func writeString(w *bufio.Writer, s string) error {
 	return err
 }
 
-func readU8(r *bufio.Reader) (uint8, error) { return r.ReadByte() }
+// --- binary decoding: the budgeted, bounds-checked decoder ---
 
-func readU32(r *bufio.Reader) (uint32, error) {
+// decoder reads one command payload. For framed (v2) streams rem holds
+// the payload bytes still owed; every read is checked against it so a
+// payload cannot read into the next command. rem < 0 disables framing
+// (v1 streams). alloc accumulates materialized bytes against
+// lim.AllocBudget.
+type decoder struct {
+	r     *bufio.Reader
+	lim   Limits
+	alloc *int64
+	rem   int64
+}
+
+// take accounts n payload bytes about to be read.
+func (d *decoder) take(n int) error {
+	if d.rem < 0 {
+		return nil
+	}
+	if int64(n) > d.rem {
+		return fmt.Errorf("payload overrun: need %d bytes, %d left", n, d.rem)
+	}
+	d.rem -= int64(n)
+	return nil
+}
+
+// charge accounts n bytes of decoder-side allocation against the
+// cumulative budget.
+func (d *decoder) charge(n int64) error {
+	*d.alloc += n
+	if d.lim.AllocBudget > 0 && *d.alloc > d.lim.AllocBudget {
+		return fmt.Errorf("%w: %d bytes over %d",
+			ErrBudget, *d.alloc, d.lim.AllocBudget)
+	}
+	return nil
+}
+
+func (d *decoder) readU8() (uint8, error) {
+	if err := d.take(1); err != nil {
+		return 0, err
+	}
+	return d.r.ReadByte()
+}
+
+func (d *decoder) readU32() (uint32, error) {
+	if err := d.take(4); err != nil {
+		return 0, err
+	}
 	var b [4]byte
-	if _, err := io.ReadFull(r, b[:]); err != nil {
+	if _, err := io.ReadFull(d.r, b[:]); err != nil {
 		return 0, err
 	}
 	return binary.LittleEndian.Uint32(b[:]), nil
 }
 
-func readF32(r *bufio.Reader) (float32, error) {
-	v, err := readU32(r)
+func (d *decoder) readF32() (float32, error) {
+	v, err := d.readU32()
 	return math.Float32frombits(v), err
 }
 
-func readVec4(r *bufio.Reader) (gmath.Vec4, error) {
+func (d *decoder) readVec4() (gmath.Vec4, error) {
 	var v gmath.Vec4
 	var err error
-	if v.X, err = readF32(r); err != nil {
+	if v.X, err = d.readF32(); err != nil {
 		return v, err
 	}
-	if v.Y, err = readF32(r); err != nil {
+	if v.Y, err = d.readF32(); err != nil {
 		return v, err
 	}
-	if v.Z, err = readF32(r); err != nil {
+	if v.Z, err = d.readF32(); err != nil {
 		return v, err
 	}
-	v.W, err = readF32(r)
+	v.W, err = d.readF32()
 	return v, err
 }
 
-func readString(r *bufio.Reader) (string, error) {
-	n, err := readU32(r)
+func (d *decoder) readString() (string, error) {
+	n, err := d.readU32()
 	if err != nil {
 		return "", err
 	}
-	if n > 1<<20 {
-		return "", fmt.Errorf("trace: unreasonable string length %d", n)
+	if int64(n) > int64(d.lim.MaxStringBytes) {
+		return "", fmt.Errorf("string length %d: %w", n, ErrLimit)
+	}
+	if err := d.take(int(n)); err != nil {
+		return "", err
+	}
+	if err := d.charge(int64(n)); err != nil {
+		return "", err
 	}
 	b := make([]byte, n)
-	if _, err := io.ReadFull(r, b); err != nil {
+	if _, err := io.ReadFull(d.r, b); err != nil {
 		return "", err
 	}
 	return string(b), nil
 }
 
-func writeProgram(w *bufio.Writer, p *shader.Program) error {
-	if err := writeString(w, p.Name); err != nil {
-		return err
-	}
-	if err := writeU8(w, uint8(p.Kind)); err != nil {
-		return err
-	}
-	if err := writeU32(w, uint32(len(p.Instrs))); err != nil {
-		return err
-	}
-	for _, in := range p.Instrs {
-		fields := []uint8{
-			uint8(in.Op), uint8(in.Dst.File), in.Dst.Index, in.Dst.Mask,
-			in.TexUnit,
+// readVec4s reads n Vec4s, growing the slice in chunks so a length
+// field pointing past a truncation cannot commit one giant make.
+func (d *decoder) readVec4s(n int) ([]gmath.Vec4, error) {
+	const chunk = 4096
+	var out []gmath.Vec4
+	for len(out) < n {
+		c := n - len(out)
+		if c > chunk {
+			c = chunk
 		}
-		for _, f := range fields {
-			if err := writeU8(w, f); err != nil {
-				return err
-			}
+		if err := d.charge(int64(c) * 16); err != nil {
+			return nil, err
 		}
-		for s := 0; s < 3; s++ {
-			src := in.Src[s]
-			neg := uint8(0)
-			if src.Negate {
-				neg = 1
-			}
-			fields := []uint8{
-				uint8(src.File), src.Index, neg,
-				src.Swizzle[0], src.Swizzle[1], src.Swizzle[2], src.Swizzle[3],
-			}
-			for _, f := range fields {
-				if err := writeU8(w, f); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	return nil
-}
-
-func readProgram(r *bufio.Reader) (*shader.Program, error) {
-	name, err := readString(r)
-	if err != nil {
-		return nil, err
-	}
-	kind, err := readU8(r)
-	if err != nil {
-		return nil, err
-	}
-	n, err := readU32(r)
-	if err != nil {
-		return nil, err
-	}
-	if n > 1<<16 {
-		return nil, fmt.Errorf("trace: unreasonable program length %d", n)
-	}
-	p := &shader.Program{Name: name, Kind: shader.Kind(kind)}
-	p.Instrs = make([]shader.Instruction, n)
-	for i := range p.Instrs {
-		in := &p.Instrs[i]
-		var b [5]uint8
-		for j := range b {
-			if b[j], err = readU8(r); err != nil {
+		for i := 0; i < c; i++ {
+			v, err := d.readVec4()
+			if err != nil {
 				return nil, err
 			}
-		}
-		in.Op = shader.Opcode(b[0])
-		in.Dst = shader.Dst{File: shader.RegFile(b[1]), Index: b[2], Mask: b[3]}
-		in.TexUnit = b[4]
-		for s := 0; s < 3; s++ {
-			var sb [7]uint8
-			for j := range sb {
-				if sb[j], err = readU8(r); err != nil {
-					return nil, err
-				}
-			}
-			in.Src[s] = shader.Src{
-				File: shader.RegFile(sb[0]), Index: sb[1], Negate: sb[2] != 0,
-				Swizzle: shader.Swizzle{sb[3], sb[4], sb[5], sb[6]},
-			}
+			out = append(out, v)
 		}
 	}
-	return p, nil
+	return out, nil
+}
+
+// readU32s reads n uint32s in chunks, like readVec4s.
+func (d *decoder) readU32s(n int) ([]uint32, error) {
+	const chunk = 16384
+	var out []uint32
+	for len(out) < n {
+		c := n - len(out)
+		if c > chunk {
+			c = chunk
+		}
+		if err := d.charge(int64(c) * 4); err != nil {
+			return nil, err
+		}
+		for i := 0; i < c; i++ {
+			v, err := d.readU32()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
 }

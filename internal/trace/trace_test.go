@@ -16,7 +16,7 @@ import (
 
 // renderSmallScene drives a device through a representative call
 // sequence: creation, state changes, two frames of draws.
-func renderSmallScene(t *testing.T, d *gfxapi.Device) {
+func renderSmallScene(t testing.TB, d *gfxapi.Device) {
 	t.Helper()
 	pos := []gmath.Vec4{
 		{X: -1, Y: -1, W: 1}, {X: 1, Y: -1, W: 1}, {X: 0, Y: 1, W: 1},

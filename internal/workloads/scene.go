@@ -242,7 +242,10 @@ type SharingStats struct {
 // under a vertex cache with cacheSize entries.
 func ListVsStrip(n, cacheSize int) SharingStats {
 	st := SharingStats{Triangles: n}
-	vc := cache.NewVertexCache(cacheSize)
+	if cacheSize <= 0 {
+		cacheSize = 1 // degenerate but valid: every lookup misses
+	}
+	vc := cache.MustVertexCache(cacheSize)
 	// Strip-ordered triangle list: triangle i references (i, i+1, i+2).
 	for i := 0; i < n; i++ {
 		for k := 0; k < 3; k++ {

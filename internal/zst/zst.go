@@ -221,7 +221,7 @@ func NewBuffer(w, h int, baseAddr uint64, memctl *mem.Controller) *Buffer {
 		cover:     make([]uint64, nb),
 		maxSince:  make([]float32, nb),
 		clearLine: make([]bool, nb),
-		zcache:    cache.New(ZCacheConfig),
+		zcache:    cache.MustNew(ZCacheConfig),
 		memctl:    memctl,
 
 		Compression: true,
@@ -250,7 +250,7 @@ func (b *Buffer) NewShard(memctl *mem.Controller) *Buffer {
 		clearLine: b.clearLine,
 		clearZ:    b.clearZ,
 		clearS:    b.clearS,
-		zcache:    cache.New(ZCacheConfig),
+		zcache:    cache.MustNew(ZCacheConfig),
 		memctl:    memctl,
 
 		Compression: b.Compression,
