@@ -9,6 +9,11 @@
 //	attilasim -list
 //	attilasim -demo "UT2004/Primeval" -w 512 -h 384 -nohz
 //	attilasim -demo "Quake4/demo4" -workers 8     # tile-parallel backend
+//	attilasim -demo "Doom3/trdemo2" -metrics run.json   # machine-readable
+//
+// -metrics writes every pipeline counter of the run (aggregate plus
+// per-frame snapshots) in a format picked by extension: .json
+// (gpuchar/metrics/v1), .csv, or Prometheus text otherwise.
 //
 // Exit codes: 0 success, 1 simulation failure, 2 usage error, 3 trace
 // format error, 4 replay error.
@@ -19,10 +24,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 
 	"gpuchar"
 	"gpuchar/internal/mem"
+	"gpuchar/internal/metrics"
 	"gpuchar/internal/trace"
 )
 
@@ -41,25 +48,18 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-// microFromGPU wraps an already-run GPU's frames as a MicroResult.
-func microFromGPU(prof *gpuchar.Profile, g *gpuchar.GPU, cfg gpuchar.GPUConfig) *gpuchar.MicroResult {
-	res := &gpuchar.MicroResult{Prof: prof, W: cfg.Width, H: cfg.Height, Frames: g.Frames()}
-	for _, f := range res.Frames {
-		res.Agg.Accumulate(f)
-	}
-	return res
-}
-
 func main() {
 	var (
-		demo    = flag.String("demo", "UT2004/Primeval", "Table I demo name")
-		frames  = flag.Int("frames", 2, "frames to simulate")
-		width   = flag.Int("w", 1024, "framebuffer width")
-		height  = flag.Int("h", 768, "framebuffer height")
-		list    = flag.Bool("list", false, "list simulated demo names")
-		pngOut  = flag.String("png", "", "write the last rendered frame as PNG")
-		noHZ    = flag.Bool("nohz", false, "disable Hierarchical Z")
-		noComp  = flag.Bool("nocompress", false, "disable z/color compression and fast clear")
+		demo       = flag.String("demo", "UT2004/Primeval", "Table I demo name")
+		frames     = flag.Int("frames", 2, "frames to simulate")
+		width      = flag.Int("w", 1024, "framebuffer width")
+		height     = flag.Int("h", 768, "framebuffer height")
+		list       = flag.Bool("list", false, "list simulated demo names")
+		pngOut     = flag.String("png", "", "write the last rendered frame as PNG")
+		noHZ       = flag.Bool("nohz", false, "disable Hierarchical Z")
+		noComp     = flag.Bool("nocompress", false, "disable z/color compression and fast clear")
+		metricsOut = flag.String("metrics", "",
+			"write the run's counters machine-readably; format by extension (.json, .csv, otherwise Prometheus text)")
 		workers = flag.Int("workers", runtime.NumCPU(),
 			"tile-parallel fragment workers; framebuffer and kill counts are exact at any count, cache/memory counters are sharded (see DESIGN.md)")
 	)
@@ -112,7 +112,7 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("wrote %s\n", *pngOut)
-		res = microFromGPU(prof, g, cfg)
+		res = gpuchar.MicroResultFromGPU(prof, g, cfg)
 	} else {
 		res, err = gpuchar.CharacterizeConfig(prof, *frames, cfg)
 		if err != nil {
@@ -147,4 +147,34 @@ func main() {
 	v, zb, sh, col := res.BytesPer()
 	fmt.Printf("bytes: %.2f /vertex, %.2f /z&st frag, %.2f /shaded frag, %.2f /blended frag\n",
 		v, zb, sh, col)
+
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, res); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *metricsOut)
+	}
+}
+
+// writeMetrics dumps the run's counter snapshots to path, choosing the
+// format from the extension: .json and .csv select those backends,
+// anything else gets the Prometheus text exposition format.
+func writeMetrics(path string, res *gpuchar.MicroResult) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	snaps := res.MetricsSnapshots()
+	switch filepath.Ext(path) {
+	case ".json":
+		err = metrics.WriteJSON(out, snaps)
+	case ".csv":
+		err = metrics.WriteCSV(out, snaps)
+	default:
+		err = metrics.WriteProm(out, "gpuchar", snaps)
+	}
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

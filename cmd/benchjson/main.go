@@ -14,12 +14,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"testing"
 
 	"gpuchar"
 	"gpuchar/internal/geom"
+	"gpuchar/internal/metrics"
 	"gpuchar/internal/rast"
 )
 
@@ -47,6 +49,12 @@ type output struct {
 	// callback, and the allocation-free SetupInto + reused QuadEmitter
 	// the pipeline now uses.
 	Rasterizer map[string]measurement `json:"rasterizer"`
+
+	// MetricsExport measures the unified counter registry's overhead:
+	// the merged cumulative snapshot EndFrame takes at each frame
+	// boundary, the snapshot diff that derives one frame's activity,
+	// and serializing a run's snapshots as the -json/-metrics payload.
+	MetricsExport map[string]measurement `json:"metrics_export"`
 }
 
 func bench(f func(b *testing.B)) measurement {
@@ -125,6 +133,51 @@ type countEmitter struct{ quads int }
 
 func (c *countEmitter) EmitQuad(q *rast.Quad) { c.quads++ }
 
+// benchMetricsExport renders one frame of the demo (workers=4 so the
+// snapshot also merges shard registries) and then measures the
+// snapshot, diff and JSON-encode operations in isolation.
+func benchMetricsExport(demo string, w, h int) map[string]measurement {
+	prof := gpuchar.ProfileByName(demo)
+	cfg := gpuchar.R520Config(w, h)
+	cfg.TileWorkers = 4
+	g := gpuchar.NewGPU(cfg)
+	dev := gpuchar.NewDevice(prof.API, g)
+	wl := gpuchar.NewWorkload(prof, dev, w, h)
+	if err := wl.Run(1); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	res := gpuchar.MicroResultFromGPU(prof, g, cfg)
+	snaps := res.MetricsSnapshots()
+
+	snapshot := bench(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.MetricsSnapshot()
+		}
+	})
+	cur := g.MetricsSnapshot()
+	diff := bench(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cur.Diff(cur)
+		}
+	})
+	writeJSON := bench(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := metrics.WriteJSON(io.Discard, snaps); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return map[string]measurement{
+		"frame_snapshot_merged": snapshot,
+		"snapshot_diff":         diff,
+		"write_json_run":        writeJSON,
+	}
+}
+
 func main() {
 	var (
 		demo   = flag.String("demo", "Doom3/trdemo2", "simulated demo to measure")
@@ -145,6 +198,8 @@ func main() {
 		GoVersion:  runtime.Version(),
 		Rasterizer: benchRasterizer(),
 	}
+	fmt.Fprintf(os.Stderr, "benchjson: metrics export...\n")
+	doc.MetricsExport = benchMetricsExport(*demo, *width, *height)
 	for _, n := range counts {
 		fmt.Fprintf(os.Stderr, "benchjson: pipeline frame, workers=%d...\n", n)
 		doc.PipelineFrame = append(doc.PipelineFrame, benchFrame(*demo, *width, *height, n))

@@ -34,7 +34,9 @@ func main() {
 			"concurrent demo renders (output is identical at any count)")
 		tileWorkers = flag.Int("tileworkers", 1,
 			"tile-parallel fragment workers inside the simulator; >1 shards cache/memory counters (framebuffer and kill counts stay exact)")
-		csvDir    = flag.String("csv", "", "directory for figure CSV output")
+		csvDir  = flag.String("csv", "", "directory for figure CSV output")
+		jsonOut = flag.String("json", "",
+			"write every counter behind the tables as a gpuchar/metrics/v1 JSON document")
 		markdown  = flag.Bool("md", false, "emit tables as markdown")
 		keepGoing = flag.Bool("keep-going", false,
 			"tolerate failing demos/experiments: emit the surviving tables and report the casualties")
@@ -115,6 +117,22 @@ func main() {
 				fmt.Printf("wrote %s\n\n", path)
 			}
 		}
+	}
+	if *jsonOut != "" {
+		out, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
+			os.Exit(1)
+		}
+		werr := ctx.WriteJSON(out)
+		if cerr := out.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "characterize: %v\n", werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
 	}
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "characterize: %v\n", runErr)

@@ -1,0 +1,49 @@
+// Command schemacheck validates a gpuchar metrics JSON export against
+// the checked-in schema (metrics_schema.json at the repo root). It
+// implements the small JSON-Schema subset that schema actually uses —
+// type, const, required, properties, additionalProperties,
+// patternProperties, items, minItems — with no dependencies, so CI can
+// gate `characterize -json` output without network access:
+//
+//	go run ./cmd/characterize -exp table3 -json /tmp/metrics.json
+//	go run ./cmd/schemacheck -schema metrics_schema.json /tmp/metrics.json
+//
+// Exit status is 0 when the document conforms, 1 otherwise (every
+// violation is reported with its JSON path).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	schemaPath := flag.String("schema", "metrics_schema.json", "schema file to validate against")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintf(os.Stderr, "usage: schemacheck [-schema file] <metrics.json>\n")
+		os.Exit(2)
+	}
+
+	schema, err := loadJSON(*schemaPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schemacheck: schema: %v\n", err)
+		os.Exit(2)
+	}
+	doc, err := loadJSON(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schemacheck: document: %v\n", err)
+		os.Exit(1)
+	}
+
+	errs := Validate(schema, doc)
+	if len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "schemacheck: %s\n", e)
+		}
+		fmt.Fprintf(os.Stderr, "schemacheck: %s: %d violation(s)\n", flag.Arg(0), len(errs))
+		os.Exit(1)
+	}
+	fmt.Printf("schemacheck: %s conforms to %s\n", flag.Arg(0), *schemaPath)
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+)
+
+// loadJSON parses a file into the generic JSON object model, keeping
+// numbers as json.Number so integer vs float survives the round trip.
+func loadJSON(path string) (any, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return v, nil
+}
+
+// Validate checks doc against schema and returns every violation found,
+// each prefixed with the JSON path of the offending value.
+func Validate(schema, doc any) []string {
+	var errs []string
+	validate(schema, doc, "$", &errs)
+	return errs
+}
+
+func validate(schema, doc any, path string, errs *[]string) {
+	s, ok := schema.(map[string]any)
+	if !ok {
+		*errs = append(*errs, fmt.Sprintf("%s: schema node is not an object", path))
+		return
+	}
+
+	if t, ok := s["type"].(string); ok && !hasType(doc, t) {
+		*errs = append(*errs, fmt.Sprintf("%s: want %s, got %s", path, t, typeName(doc)))
+		return
+	}
+	if c, ok := s["const"]; ok && fmt.Sprint(c) != fmt.Sprint(doc) {
+		*errs = append(*errs, fmt.Sprintf("%s: want constant %v, got %v", path, c, doc))
+	}
+
+	switch v := doc.(type) {
+	case map[string]any:
+		validateObject(s, v, path, errs)
+	case []any:
+		validateArray(s, v, path, errs)
+	}
+}
+
+func validateObject(s map[string]any, obj map[string]any, path string, errs *[]string) {
+	if req, ok := s["required"].([]any); ok {
+		for _, r := range req {
+			key, _ := r.(string)
+			if _, present := obj[key]; !present {
+				*errs = append(*errs, fmt.Sprintf("%s: missing required key %q", path, key))
+			}
+		}
+	}
+	props, _ := s["properties"].(map[string]any)
+	patterns, _ := s["patternProperties"].(map[string]any)
+
+	for key, val := range obj {
+		childPath := path + "." + key
+		if sub, ok := props[key]; ok {
+			validate(sub, val, childPath, errs)
+			continue
+		}
+		if sub, ok := matchPattern(patterns, key); ok {
+			validate(sub, val, childPath, errs)
+			continue
+		}
+		switch extra := s["additionalProperties"].(type) {
+		case bool:
+			if !extra {
+				*errs = append(*errs, fmt.Sprintf("%s: unexpected key %q", path, key))
+			}
+		case map[string]any:
+			validate(extra, val, childPath, errs)
+		}
+	}
+}
+
+func matchPattern(patterns map[string]any, key string) (any, bool) {
+	for pat, sub := range patterns {
+		if re, err := regexp.Compile(pat); err == nil && re.MatchString(key) {
+			return sub, true
+		}
+	}
+	return nil, false
+}
+
+func validateArray(s map[string]any, arr []any, path string, errs *[]string) {
+	if min, ok := s["minItems"].(json.Number); ok {
+		if n, err := min.Int64(); err == nil && int64(len(arr)) < n {
+			*errs = append(*errs, fmt.Sprintf("%s: has %d items, want at least %d", path, len(arr), n))
+		}
+	}
+	if items, ok := s["items"]; ok {
+		for i, v := range arr {
+			validate(items, v, fmt.Sprintf("%s[%d]", path, i), errs)
+		}
+	}
+}
+
+// hasType reports whether v matches the JSON Schema type name t.
+// "integer" means a number with no fractional or exponent part.
+func hasType(v any, t string) bool {
+	switch t {
+	case "object":
+		_, ok := v.(map[string]any)
+		return ok
+	case "array":
+		_, ok := v.([]any)
+		return ok
+	case "string":
+		_, ok := v.(string)
+		return ok
+	case "number":
+		_, ok := v.(json.Number)
+		return ok
+	case "integer":
+		n, ok := v.(json.Number)
+		if !ok {
+			return false
+		}
+		_, err := n.Int64()
+		return err == nil && !strings.ContainsAny(n.String(), ".eE")
+	case "boolean":
+		_, ok := v.(bool)
+		return ok
+	case "null":
+		return v == nil
+	}
+	return false
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case map[string]any:
+		return "object"
+	case []any:
+		return "array"
+	case string:
+		return "string"
+	case json.Number:
+		return "number"
+	case bool:
+		return "boolean"
+	case nil:
+		return "null"
+	}
+	return fmt.Sprintf("%T", v)
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, src string) any {
+	t.Helper()
+	dec := json.NewDecoder(strings.NewReader(src))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func repoSchema(t *testing.T) any {
+	t.Helper()
+	s, err := loadJSON("../../metrics_schema.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+const validDoc = `{
+  "schema": "gpuchar/metrics/v1",
+  "snapshots": [
+    {
+      "labels": {"demo": "Doom3/trdemo2", "frame": "all", "source": "sim"},
+      "counters": {"zst/quads_killed_hz": 8713, "cache/tex_l0/hits": 42},
+      "gauges": {"api/vs_instr_weighted": 11.5}
+    }
+  ]
+}`
+
+func TestValidDocumentConforms(t *testing.T) {
+	errs := Validate(repoSchema(t), parse(t, validDoc))
+	if len(errs) != 0 {
+		t.Fatalf("valid document rejected: %v", errs)
+	}
+}
+
+func TestViolationsAreCaught(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"wrong schema id",
+			`{"schema": "gpuchar/metrics/v2", "snapshots": [{"labels": {"demo": "d", "frame": "1", "source": "sim"}, "counters": {}}]}`,
+			"constant"},
+		{"missing snapshots",
+			`{"schema": "gpuchar/metrics/v1"}`,
+			"missing required key"},
+		{"empty snapshots",
+			`{"schema": "gpuchar/metrics/v1", "snapshots": []}`,
+			"at least 1"},
+		{"missing labels",
+			`{"schema": "gpuchar/metrics/v1", "snapshots": [{"counters": {}}]}`,
+			"missing required key"},
+		{"missing frame label",
+			`{"schema": "gpuchar/metrics/v1", "snapshots": [{"labels": {"demo": "d", "source": "sim"}, "counters": {}}]}`,
+			`missing required key "frame"`},
+		{"float counter",
+			`{"schema": "gpuchar/metrics/v1", "snapshots": [{"labels": {"demo": "d", "frame": "1", "source": "sim"}, "counters": {"geom/indices": 1.5}}]}`,
+			"want integer"},
+		{"malformed counter name",
+			`{"schema": "gpuchar/metrics/v1", "snapshots": [{"labels": {"demo": "d", "frame": "1", "source": "sim"}, "counters": {"Bad Name": 1}}]}`,
+			"unexpected key"},
+		{"unknown top-level key",
+			`{"schema": "gpuchar/metrics/v1", "extra": 1, "snapshots": [{"labels": {"demo": "d", "frame": "1", "source": "sim"}, "counters": {}}]}`,
+			"unexpected key"},
+	}
+	schema := repoSchema(t)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := Validate(schema, parse(t, tc.doc))
+			if len(errs) == 0 {
+				t.Fatalf("document accepted, want violation matching %q", tc.wantErr)
+			}
+			found := false
+			for _, e := range errs {
+				if strings.Contains(e, tc.wantErr) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no violation matching %q in %v", tc.wantErr, errs)
+			}
+		})
+	}
+}

@@ -117,6 +117,11 @@ func CharacterizeConfig(p *Profile, frames int, cfg GPUConfig) (*MicroResult, er
 	return core.RunMicroConfig(p, frames, cfg)
 }
 
+// MicroResultFromGPU wraps an already-run GPU's frames as a MicroResult.
+func MicroResultFromGPU(p *Profile, g *GPU, cfg GPUConfig) *MicroResult {
+	return core.MicroResultFromGPU(p, g, cfg)
+}
+
 // NewContext returns an experiment context with paper-resolution
 // defaults.
 func NewContext() *Context { return core.NewContext() }

@@ -7,7 +7,11 @@
 // traffic implied by line fills and dirty write-backs, but not timing.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"gpuchar/internal/metrics"
+)
 
 // Config describes a set-associative cache geometry.
 type Config struct {
@@ -36,6 +40,16 @@ type Stats struct {
 	Misses         int64
 	FillBytes      int64 // bytes read from memory on line fills
 	WritebackBytes int64 // bytes written to memory on dirty evictions
+}
+
+// Register binds every counter of s into the registry under prefix
+// (e.g. "cache/z/hits"). It is the single definition of the cache
+// counter names shared by live stages and frame snapshots.
+func (s *Stats) Register(r *metrics.Registry, prefix string) {
+	r.Bind(prefix+"/hits", &s.Hits)
+	r.Bind(prefix+"/misses", &s.Misses)
+	r.Bind(prefix+"/fill_bytes", &s.FillBytes)
+	r.Bind(prefix+"/writeback_bytes", &s.WritebackBytes)
 }
 
 // Accesses returns the total number of accesses.
@@ -115,6 +129,11 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 // ResetStats clears the statistics but keeps cache contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// RegisterMetrics binds the cache's live counters into r under prefix.
+func (c *Cache) RegisterMetrics(r *metrics.Registry, prefix string) {
+	c.stats.Register(r, prefix)
+}
 
 // Access touches the line containing addr. If write is true the line is
 // marked dirty. It returns true on a hit. On a miss the line is filled

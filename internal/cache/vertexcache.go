@@ -1,6 +1,10 @@
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"gpuchar/internal/metrics"
+)
 
 // VertexCache models the post-transform vertex cache of a modern GPU:
 // a small FIFO of recently shaded vertex indices. When an index hits, the
@@ -81,6 +85,11 @@ func (vc *VertexCache) Stats() Stats { return vc.stats }
 
 // ResetStats clears the counters but keeps the cache contents.
 func (vc *VertexCache) ResetStats() { vc.stats = Stats{} }
+
+// RegisterMetrics binds the cache's live counters into r under prefix.
+func (vc *VertexCache) RegisterMetrics(r *metrics.Registry, prefix string) {
+	vc.stats.Register(r, prefix)
+}
 
 // Capacity returns the number of entries the cache can hold.
 func (vc *VertexCache) Capacity() int { return len(vc.entries) }

@@ -400,7 +400,9 @@ func runFig5(c *Context) (*Result, error) {
 			return nil, err
 		}
 		fig.Series = append(fig.Series, r.VCacheSeries())
-		t.AddRow(name, report.F(r.VertexCacheHitRate()), "~0.6-0.8, bound 0.667")
+		t.AddRow(name,
+			report.FOpt(r.VertexCacheHitRate(), r.Agg.VCache.Accesses() > 0),
+			"~0.6-0.8, bound 0.667")
 	}
 	return &Result{Tables: []*report.Table{t}, Figures: []*report.Figure{fig}}, nil
 }
@@ -626,8 +628,11 @@ func runTable13(c *Context) (*Result, error) {
 			return nil, err
 		}
 		ref := PaperMicro[name]
-		t.AddRow(name, report.F(r.BilinearPerRequest()), report.F(ref.Bilinear),
-			report.F(r.ALUPerBilinear()), report.F(ref.ALUPerBilinear))
+		t.AddRow(name,
+			report.FOpt(r.BilinearPerRequest(), r.Agg.Tex.Requests > 0),
+			report.F(ref.Bilinear),
+			report.FOpt(r.ALUPerBilinear(), r.Agg.Tex.BilinearSamples > 0),
+			report.F(ref.ALUPerBilinear))
 	}
 	return &Result{Tables: []*report.Table{t}}, nil
 }
@@ -649,7 +654,11 @@ func runTable14(c *Context) (*Result, error) {
 		}
 		ref := PaperMicro[name]
 		z, l0, l1, color := r.CacheHitRates()
-		t.AddRow(name, report.Pct(z), report.Pct(l0), report.Pct(l1), report.Pct(color),
+		t.AddRow(name,
+			report.PctOpt(z, r.Agg.ZCache.Accesses() > 0),
+			report.PctOpt(l0, r.Agg.TexL0.Accesses() > 0),
+			report.PctOpt(l1, r.Agg.TexL1.Accesses() > 0),
+			report.PctOpt(color, r.Agg.ColorCache.Accesses() > 0),
 			fmt.Sprintf("%.1f/%.1f/%.1f", ref.ZCacheHit, ref.TexL0Hit, ref.ColorCacheHit))
 	}
 	return &Result{Tables: []*report.Table{t}}, nil

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"io"
+	"strconv"
+
+	"gpuchar/internal/gfxapi"
+	"gpuchar/internal/metrics"
+	"gpuchar/internal/workloads"
+)
+
+// Snapshot labels used by the machine-readable export: every snapshot
+// names its demo, its source layer (API replay or GPU simulation) and
+// its frame — a 1-based frame number, or LabelAllFrames for the
+// whole-run aggregate the tables are computed from.
+const (
+	LabelDemo   = "demo"
+	LabelFrame  = "frame"
+	LabelSource = "source"
+
+	SourceAPI = "api"
+	SourceSim = "sim"
+
+	LabelAllFrames = "all"
+)
+
+// apiSnapshot converts one API-level frame record into a counter
+// snapshot under the "api" namespace.
+func apiSnapshot(f gfxapi.FrameStats) metrics.Snapshot {
+	r := metrics.NewRegistry()
+	f.Register(r, "api")
+	return r.Snapshot()
+}
+
+// MetricsSnapshots returns the run's counters in machine-readable form:
+// the whole-run aggregate (frame="all") followed by one snapshot per
+// frame, all labeled with the demo name and source="api".
+func (r *APIResult) MetricsSnapshots() []metrics.Snapshot {
+	out := make([]metrics.Snapshot, 0, len(r.Frames)+1)
+	perFrame := make([]metrics.Snapshot, len(r.Frames))
+	for i, f := range r.Frames {
+		perFrame[i] = apiSnapshot(f)
+	}
+	agg := metrics.Sum(perFrame...)
+	out = append(out, agg.WithLabels(
+		LabelDemo, r.Prof.Name, LabelSource, SourceAPI, LabelFrame, LabelAllFrames))
+	for i, s := range perFrame {
+		out = append(out, s.WithLabels(
+			LabelDemo, r.Prof.Name, LabelSource, SourceAPI,
+			LabelFrame, strconv.Itoa(i+1)))
+	}
+	return out
+}
+
+// MetricsSnapshots returns the simulated run's counters: the aggregate
+// every table reads (frame="all") followed by the per-frame snapshots,
+// labeled with the demo name and source="sim".
+func (r *MicroResult) MetricsSnapshots() []metrics.Snapshot {
+	out := make([]metrics.Snapshot, 0, len(r.Frames)+1)
+	out = append(out, r.Agg.MetricsSnapshot().WithLabels(
+		LabelDemo, r.Prof.Name, LabelSource, SourceSim, LabelFrame, LabelAllFrames))
+	for i := range r.Frames {
+		out = append(out, r.Frames[i].MetricsSnapshot().WithLabels(
+			LabelDemo, r.Prof.Name, LabelSource, SourceSim,
+			LabelFrame, strconv.Itoa(i+1)))
+	}
+	return out
+}
+
+// ExportSnapshots collects every counter snapshot the context's cached
+// runs produced — API replays first, then simulations, each in Table I
+// demo order — so `characterize -json` exports exactly the data its
+// tables were computed from, deterministically.
+func (c *Context) ExportSnapshots() []metrics.Snapshot {
+	c.mu.Lock()
+	api := make(map[string]*APIResult, len(c.apiCache))
+	for k, v := range c.apiCache {
+		api[k] = v
+	}
+	micro := make(map[string]*MicroResult, len(c.microCache))
+	for k, v := range c.microCache {
+		micro[k] = v
+	}
+	c.mu.Unlock()
+
+	var out []metrics.Snapshot
+	for _, p := range workloads.Registry() {
+		if r, ok := api[p.Name]; ok {
+			out = append(out, r.MetricsSnapshots()...)
+		}
+	}
+	for _, p := range workloads.Registry() {
+		if r, ok := micro[p.Name]; ok {
+			out = append(out, r.MetricsSnapshots()...)
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the context's collected snapshots as the
+// gpuchar/metrics/v1 JSON document (the `characterize -json` payload).
+func (c *Context) WriteJSON(w io.Writer) error {
+	return metrics.WriteJSON(w, c.ExportSnapshots())
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCharacterizeGolden pins the default `characterize` text output
+// byte-for-byte against a snapshot taken before the metrics-registry
+// refactor: the counter model underneath the tables may change shape,
+// but the numbers the paper reproduction reports must not move. The
+// render loop below mirrors cmd/characterize's exactly (table, blank
+// line, figure summary, blank line).
+func TestCharacterizeGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep; skipped with -short")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "characterize_golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := NewContext()
+	ctx.APIFrames = 40
+	ctx.SimFrames = 1
+	ctx.W, ctx.H = 256, 192
+	ctx.Workers = 4
+
+	var buf bytes.Buffer
+	for _, e := range Experiments() {
+		res, err := e.Run(ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		for _, tb := range res.Tables {
+			tb.Render(&buf)
+			fmt.Fprintln(&buf)
+		}
+		for _, f := range res.Figures {
+			f.Summary(&buf)
+			fmt.Fprintln(&buf)
+		}
+	}
+
+	if !bytes.Equal(buf.Bytes(), want) {
+		gotPath := filepath.Join(t.TempDir(), "got.txt")
+		os.WriteFile(gotPath, buf.Bytes(), 0o644)
+		gl, wl := bytes.Split(buf.Bytes(), []byte("\n")), bytes.Split(want, []byte("\n"))
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if !bytes.Equal(gl[i], wl[i]) {
+				t.Fatalf("output diverges from golden at line %d:\n got: %s\nwant: %s\n(full output at %s)",
+					i+1, gl[i], wl[i], gotPath)
+			}
+		}
+		t.Fatalf("output length differs from golden: got %d lines, want %d (full output at %s)",
+			len(gl), len(wl), gotPath)
+	}
+}

@@ -39,11 +39,19 @@ func RunMicroConfig(prof *workloads.Profile, frames int, cfg gpu.Config) (*Micro
 	if err := runGuarded(prof.Name, dev, wl, frames); err != nil {
 		return nil, err
 	}
+	return MicroResultFromGPU(prof, g, cfg), nil
+}
+
+// MicroResultFromGPU wraps an already-run GPU's frames as a MicroResult,
+// aggregating the per-frame statistics. It is the single place the
+// aggregate is computed, shared by RunMicroConfig and callers that drive
+// the pipeline themselves (attilasim's -png path).
+func MicroResultFromGPU(prof *workloads.Profile, g *gpu.GPU, cfg gpu.Config) *MicroResult {
 	r := &MicroResult{Prof: prof, W: cfg.Width, H: cfg.Height, Frames: g.Frames()}
 	for _, f := range r.Frames {
 		r.Agg.Accumulate(f)
 	}
-	return r, nil
+	return r
 }
 
 func (r *MicroResult) screen() float64 { return float64(r.W * r.H) }

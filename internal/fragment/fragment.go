@@ -10,6 +10,7 @@ package fragment
 import (
 	"gpuchar/internal/geom"
 	"gpuchar/internal/gmath"
+	"gpuchar/internal/metrics"
 	"gpuchar/internal/rast"
 	"gpuchar/internal/shader"
 )
@@ -25,15 +26,16 @@ type Stats struct {
 	CompleteOut      int64
 }
 
-// Add accumulates o into s.
-func (s *Stats) Add(o Stats) {
-	s.QuadsIn += o.QuadsIn
-	s.QuadsShaded += o.QuadsShaded
-	s.QuadsKilledAlpha += o.QuadsKilledAlpha
-	s.FragmentsShaded += o.FragmentsShaded
-	s.FragmentsKilled += o.FragmentsKilled
-	s.QuadsOut += o.QuadsOut
-	s.CompleteOut += o.CompleteOut
+// Register binds every counter of s into the registry under prefix —
+// the single definition of the fragment-stage counter names.
+func (s *Stats) Register(r *metrics.Registry, prefix string) {
+	r.Bind(prefix+"/quads_in", &s.QuadsIn)
+	r.Bind(prefix+"/quads_shaded", &s.QuadsShaded)
+	r.Bind(prefix+"/quads_killed_alpha", &s.QuadsKilledAlpha)
+	r.Bind(prefix+"/fragments_shaded", &s.FragmentsShaded)
+	r.Bind(prefix+"/fragments_killed", &s.FragmentsKilled)
+	r.Bind(prefix+"/quads_out", &s.QuadsOut)
+	r.Bind(prefix+"/complete_out", &s.CompleteOut)
 }
 
 // Stage is the fragment shading engine. The Machine carries the bound
@@ -56,6 +58,11 @@ func (s *Stage) Stats() Stats { return s.stats }
 
 // ResetStats clears the counters.
 func (s *Stage) ResetStats() { s.stats = Stats{} }
+
+// RegisterMetrics binds the stage's live counters into r under prefix.
+func (s *Stage) RegisterMetrics(r *metrics.Registry, prefix string) {
+	s.stats.Register(r, prefix)
+}
 
 // ShadeQuad runs the fragment program on a quad. mask selects the
 // fragments still alive after earlier tests; all four lanes execute (the

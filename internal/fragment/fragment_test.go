@@ -1,6 +1,7 @@
 package fragment
 
 import (
+	"gpuchar/internal/metrics"
 	"testing"
 
 	"gpuchar/internal/geom"
@@ -139,13 +140,18 @@ func TestEmptyMaskNoShading(t *testing.T) {
 	}
 }
 
-func TestStatsAdd(t *testing.T) {
+func TestStatsRegister(t *testing.T) {
 	a := Stats{QuadsIn: 1, QuadsShaded: 2, QuadsKilledAlpha: 3,
 		FragmentsShaded: 4, FragmentsKilled: 5, QuadsOut: 6, CompleteOut: 7}
-	b := a
-	a.Add(b)
+	r := metrics.NewRegistry()
+	a.Register(r, "frag")
+	s := r.Snapshot()
+	s.Merge(s)
+	if r.Load(s) != 0 {
+		t.Fatal("snapshot did not round-trip through the registry")
+	}
 	if a.QuadsIn != 2 || a.CompleteOut != 14 {
-		t.Errorf("Add = %+v", a)
+		t.Errorf("merged stats = %+v", a)
 	}
 }
 

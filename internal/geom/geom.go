@@ -17,6 +17,7 @@ import (
 	"gpuchar/internal/cache"
 	"gpuchar/internal/gmath"
 	"gpuchar/internal/mem"
+	"gpuchar/internal/metrics"
 	"gpuchar/internal/shader"
 )
 
@@ -135,8 +136,21 @@ type Stats struct {
 	TrianglesTraversed int64 // sent to the rasterizer
 }
 
-// Add accumulates other into s.
-func (s *Stats) Add(o Stats) {
+// Register binds every counter of s into the registry under prefix —
+// the single definition of the geometry counter names. Cross-stage
+// accumulation goes through metrics.Snapshot arithmetic, not hand-coded
+// Add methods.
+func (s *Stats) Register(r *metrics.Registry, prefix string) {
+	r.Bind(prefix+"/indices", &s.Indices)
+	r.Bind(prefix+"/vertices_shaded", &s.VerticesShaded)
+	r.Bind(prefix+"/triangles_assembled", &s.TrianglesAssembled)
+	r.Bind(prefix+"/triangles_clipped", &s.TrianglesClipped)
+	r.Bind(prefix+"/triangles_culled", &s.TrianglesCulled)
+	r.Bind(prefix+"/triangles_traversed", &s.TrianglesTraversed)
+}
+
+// add accumulates one draw's counters into the pipeline total.
+func (s *Stats) add(o Stats) {
 	s.Indices += o.Indices
 	s.VerticesShaded += o.VerticesShaded
 	s.TrianglesAssembled += o.TrianglesAssembled
@@ -173,6 +187,18 @@ type Pipeline struct {
 	shaded []ShadedVertex
 	epoch  []uint32
 	gen    uint32
+
+	// stats accumulates across draws; the metrics registry binds to it.
+	stats Stats
+}
+
+// Stats returns the counters accumulated over all draws.
+func (p *Pipeline) Stats() Stats { return p.stats }
+
+// RegisterMetrics binds the pipeline's live counters into r under
+// prefix.
+func (p *Pipeline) RegisterMetrics(r *metrics.Registry, prefix string) {
+	p.stats.Register(r, prefix)
 }
 
 // DefaultVertexCacheSize matches the mid-2000s hardware the paper
@@ -247,6 +273,7 @@ func (p *Pipeline) Draw(vb *VertexBuffer, ib *IndexBuffer, prim PrimitiveType,
 			st.TrianglesTraversed++
 		}
 	}
+	p.stats.add(st)
 	return out, st
 }
 

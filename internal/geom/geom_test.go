@@ -1,6 +1,7 @@
 package geom
 
 import (
+	"gpuchar/internal/metrics"
 	"math"
 	"testing"
 
@@ -333,13 +334,18 @@ func TestOutOfRangeIndicesDropped(t *testing.T) {
 	}
 }
 
-func TestStatsAdd(t *testing.T) {
+func TestStatsRegister(t *testing.T) {
 	a := Stats{Indices: 1, VerticesShaded: 2, TrianglesAssembled: 3,
 		TrianglesClipped: 4, TrianglesCulled: 5, TrianglesTraversed: 6}
-	b := a
-	a.Add(b)
+	r := metrics.NewRegistry()
+	a.Register(r, "geom")
+	s := r.Snapshot()
+	s.Merge(s)
+	if r.Load(s) != 0 {
+		t.Fatal("snapshot did not round-trip through the registry")
+	}
 	if a.Indices != 2 || a.TrianglesTraversed != 12 {
-		t.Errorf("Add = %+v", a)
+		t.Errorf("merged stats = %+v", a)
 	}
 }
 

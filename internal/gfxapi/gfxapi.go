@@ -16,6 +16,7 @@ import (
 
 	"gpuchar/internal/geom"
 	"gpuchar/internal/gmath"
+	"gpuchar/internal/metrics"
 	"gpuchar/internal/rop"
 	"gpuchar/internal/shader"
 	"gpuchar/internal/texture"
@@ -114,6 +115,24 @@ type FrameStats struct {
 	FSInstrWeighted float64
 	FSTexWeighted   float64
 	WeightVertices  float64 // total weight (indices)
+}
+
+// Register binds every counter of f into the registry under prefix —
+// the single definition of the API-level counter names. The
+// instruction-weighted sums are float-valued and register as gauges.
+func (f *FrameStats) Register(r *metrics.Registry, prefix string) {
+	r.Bind(prefix+"/batches", &f.Batches)
+	r.Bind(prefix+"/indices", &f.Indices)
+	r.Bind(prefix+"/index_bytes", &f.IndexBytes)
+	r.Bind(prefix+"/state_calls", &f.StateCalls)
+	r.Bind(prefix+"/primitives", &f.Primitives)
+	r.Bind(prefix+"/indices_list", &f.IndicesByPrim[0])
+	r.Bind(prefix+"/indices_strip", &f.IndicesByPrim[1])
+	r.Bind(prefix+"/indices_fan", &f.IndicesByPrim[2])
+	r.BindFloat(prefix+"/vs_instr_weighted", &f.VSInstrWeighted)
+	r.BindFloat(prefix+"/fs_instr_weighted", &f.FSInstrWeighted)
+	r.BindFloat(prefix+"/fs_tex_weighted", &f.FSTexWeighted)
+	r.BindFloat(prefix+"/weight_vertices", &f.WeightVertices)
 }
 
 // AvgVSInstr returns the index-weighted average vertex program length.

@@ -29,6 +29,7 @@
 package gpu
 
 import (
+	"fmt"
 	"sync"
 
 	"gpuchar/internal/cache"
@@ -37,6 +38,7 @@ import (
 	"gpuchar/internal/gfxapi"
 	"gpuchar/internal/gmath"
 	"gpuchar/internal/mem"
+	"gpuchar/internal/metrics"
 	"gpuchar/internal/rast"
 	"gpuchar/internal/rop"
 	"gpuchar/internal/shader"
@@ -135,6 +137,9 @@ type tileWorker struct {
 	tex   *texture.Unit
 	mem   *mem.Controller
 	queue []quadWork
+	// reg binds the worker's shard counters under the same names as the
+	// serial registry, so shard snapshots Merge element-for-element.
+	reg *metrics.Registry
 }
 
 // quadWork is one binned quad: a copy of the rasterizer's scratch quad
@@ -166,9 +171,13 @@ type GPU struct {
 	blocksX  int             // framebuffer width in 8x8 blocks
 	setupBuf []rast.SetupTri // per-draw triangle setups, reused
 
-	frames    []FrameStats
-	prev      FrameStats // cumulative snapshot at last frame boundary
-	geomAccum geom.Stats // geometry stats accumulated across draws
+	// reg binds every serial-stage counter by pointer; worker shards
+	// carry their own registries. Snapshots of these registries are the
+	// single source of all per-frame statistics.
+	reg *metrics.Registry
+
+	frames []FrameStats
+	prev   metrics.Snapshot // cumulative snapshot at last frame boundary
 }
 
 // tileDim is the screen-space binning granularity of the parallel
@@ -207,6 +216,22 @@ func New(cfg Config) *GPU {
 	g.target.Compression = cfg.ColorCompression
 	g.target.FastClear = cfg.FastClear
 	g.serial = pipe{zbuf: g.zbuf, frag: g.frag, target: g.target}
+
+	// Bind every serial-stage counter into the GPU registry. This is the
+	// one place the live pipeline's counter names are wired; FrameStats
+	// registers the same names via the shared prefix constants.
+	g.reg = metrics.NewRegistry()
+	g.geom.RegisterMetrics(g.reg, PrefixGeom)
+	g.rast.RegisterMetrics(g.reg, PrefixRast)
+	g.zbuf.RegisterMetrics(g.reg, PrefixZSt, PrefixZCache)
+	g.frag.RegisterMetrics(g.reg, PrefixFrag)
+	g.target.RegisterMetrics(g.reg, PrefixRop, PrefixColorCache)
+	g.texUnit.RegisterMetrics(g.reg, PrefixTex, PrefixTexL0, PrefixTexL1)
+	g.geom.VCache.RegisterMetrics(g.reg, PrefixVCache)
+	g.vsMachine.RegisterMetrics(g.reg, PrefixVS)
+	g.fsMachine.RegisterMetrics(g.reg, PrefixFS)
+	g.Mem.RegisterMetrics(g.reg, PrefixMem)
+
 	if cfg.TileWorkers > 1 {
 		// Shards must be created after the Compression/FastClear flags
 		// above are final: they copy the flags at creation.
@@ -216,7 +241,7 @@ func New(cfg Config) *GPU {
 			wfs := shader.NewMachine()
 			wtex := texture.NewUnit(wmem)
 			wfs.Sampler = wtex
-			g.workers = append(g.workers, &tileWorker{
+			w := &tileWorker{
 				pipe: pipe{
 					zbuf:   g.zbuf.NewShard(wmem),
 					frag:   fragment.NewStage(wfs),
@@ -225,7 +250,17 @@ func New(cfg Config) *GPU {
 				fs:  wfs,
 				tex: wtex,
 				mem: wmem,
-			})
+				reg: metrics.NewRegistry(),
+			}
+			// Worker counters bind under the serial names: shard
+			// snapshots are a subset shape that Merge folds in.
+			w.zbuf.RegisterMetrics(w.reg, PrefixZSt, PrefixZCache)
+			w.frag.RegisterMetrics(w.reg, PrefixFrag)
+			w.target.RegisterMetrics(w.reg, PrefixRop, PrefixColorCache)
+			w.tex.RegisterMetrics(w.reg, PrefixTex, PrefixTexL0, PrefixTexL1)
+			w.fs.RegisterMetrics(w.reg, PrefixFS)
+			w.mem.RegisterMetrics(w.reg, PrefixMem)
+			g.workers = append(g.workers, w)
 		}
 	}
 	return g
@@ -292,8 +327,7 @@ func (g *GPU) Execute(dc *gfxapi.DrawCall) {
 	gcfg := geom.Config{
 		ViewportW: g.Cfg.Width, ViewportH: g.Cfg.Height, Cull: dc.State.Cull,
 	}
-	tris, gstats := g.geom.Draw(dc.VB, dc.IB, dc.Prim, dc.VS, gcfg)
-	g.geomAccum.Add(gstats)
+	tris, _ := g.geom.Draw(dc.VB, dc.IB, dc.Prim, dc.VS, gcfg)
 
 	rcfg := rast.Config{Width: g.Cfg.Width, Height: g.Cfg.Height}
 	if len(g.workers) > 0 {
@@ -460,44 +494,33 @@ func (g *GPU) EndFrame() {
 	}
 	g.target.ScanOut()
 
-	cur := g.cumulative()
-	g.frames = append(g.frames, diffStats(cur, g.prev))
+	cur := g.MetricsSnapshot()
+	g.frames = append(g.frames, frameStatsFromSnapshot(cur.Diff(g.prev)))
 	g.prev = cur
 }
 
-// cumulative snapshots all stage counters since construction, merging
-// the tile-worker shards into the serial stages' counters.
-func (g *GPU) cumulative() FrameStats {
-	f := FrameStats{
-		Geom:       g.geomAccum,
-		Rast:       g.rast.Stats(),
-		ZSt:        g.zbuf.Stats(),
-		Frag:       g.frag.Stats(),
-		Rop:        g.target.Stats(),
-		Tex:        g.texUnit.Stats(),
-		VCache:     g.geom.VCache.Stats(),
-		ZCache:     g.zbuf.CacheStats(),
-		TexL0:      g.texUnit.L0Stats(),
-		TexL1:      g.texUnit.L1Stats(),
-		ColorCache: g.target.CacheStats(),
-		VS:         g.vsMachine.Stats(),
-		FS:         g.fsMachine.Stats(),
-		Mem:        g.Mem.Snapshot(),
-	}
+// MetricsSnapshot captures every stage counter since construction as
+// one snapshot, merging the tile-worker shards into the serial stages'
+// counters. This is the machine-readable view behind both FrameStats
+// and the `attilasim -metrics` export.
+func (g *GPU) MetricsSnapshot() metrics.Snapshot {
+	s := g.reg.Snapshot()
 	for _, w := range g.workers {
-		f.ZSt.Add(w.zbuf.Stats())
-		f.Frag.Add(w.frag.Stats())
-		f.Rop.Add(w.target.Stats())
-		f.Tex.Add(w.tex.Stats())
-		f.ZCache = addCache(f.ZCache, w.zbuf.CacheStats())
-		f.TexL0 = addCache(f.TexL0, w.tex.L0Stats())
-		f.TexL1 = addCache(f.TexL1, w.tex.L1Stats())
-		f.ColorCache = addCache(f.ColorCache, w.target.CacheStats())
-		f.FS.Add(w.fs.Stats())
-		ws := w.mem.Snapshot()
-		for c := 0; c < int(mem.NumClients); c++ {
-			f.Mem[c].Add(ws[c])
-		}
+		s.Merge(w.reg.Snapshot())
 	}
-	return f
+	return s
+}
+
+// ShardSnapshots returns the per-worker shard snapshots labeled
+// shard=0..N-1 (nil for the serial pipeline) — the per-worker
+// granularity of the metrics export.
+func (g *GPU) ShardSnapshots() []metrics.Snapshot {
+	if len(g.workers) == 0 {
+		return nil
+	}
+	out := make([]metrics.Snapshot, len(g.workers))
+	for i, w := range g.workers {
+		out[i] = w.reg.Snapshot().WithLabels("shard", fmt.Sprintf("%d", i))
+	}
+	return out
 }

@@ -1,63 +1,83 @@
 package gpu
 
 import (
-	"fmt"
-	"reflect"
-
-	"gpuchar/internal/cache"
+	"gpuchar/internal/mem"
+	"gpuchar/internal/metrics"
 )
 
-// The frame snapshot arithmetic is generated by reflection over
-// FrameStats rather than written out per field: a handwritten diff
-// silently miscounts the moment a stage grows a counter that only one
-// of cumulative()/diffStats knows about, and with sharded stats that
-// drift would corrupt every per-frame table. walkStats visits every
-// integer leaf of the struct (recursing through nested structs and
-// arrays) and panics on any field kind it cannot diff, so adding an
-// incompatible field fails loudly at the first frame boundary (and in
-// TestFrameStatsArithmeticCoversEveryField).
+// Counter name prefixes shared by the live stage registries (wired in
+// New) and the FrameStats registry below. Keeping them as constants in
+// one place is what guarantees the two registries bind identical names,
+// so snapshots taken from a running GPU materialize losslessly into
+// FrameStats values and vice versa (pinned by TestLiveRegistryMatchesFrameStats).
+const (
+	PrefixGeom       = "geom"
+	PrefixRast       = "rast"
+	PrefixZSt        = "zst"
+	PrefixFrag       = "frag"
+	PrefixRop        = "rop"
+	PrefixTex        = "tex"
+	PrefixVCache     = "cache/vertex"
+	PrefixZCache     = "cache/z"
+	PrefixTexL0      = "cache/tex_l0"
+	PrefixTexL1      = "cache/tex_l1"
+	PrefixColorCache = "cache/color"
+	PrefixVS         = "shader/vs"
+	PrefixFS         = "shader/fs"
+	PrefixMem        = "mem"
+)
 
-// walkStats applies op to every integer leaf of dst, paired with the
-// corresponding leaf of src.
-func walkStats(dst, src reflect.Value, op func(a, b int64) int64) {
-	switch dst.Kind() {
-	case reflect.Struct:
-		for i := 0; i < dst.NumField(); i++ {
-			walkStats(dst.Field(i), src.Field(i), op)
-		}
-	case reflect.Array:
-		for i := 0; i < dst.Len(); i++ {
-			walkStats(dst.Index(i), src.Index(i), op)
-		}
-	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
-		dst.SetInt(op(dst.Int(), src.Int()))
-	default:
-		panic(fmt.Sprintf("gpu: FrameStats leaf of unsupported kind %s", dst.Kind()))
+// register binds every counter of f into r, using the same per-stage
+// Register methods (and the same prefixes) as the live GPU registries.
+func (f *FrameStats) register(r *metrics.Registry) {
+	f.Geom.Register(r, PrefixGeom)
+	f.Rast.Register(r, PrefixRast)
+	f.ZSt.Register(r, PrefixZSt)
+	f.Frag.Register(r, PrefixFrag)
+	f.Rop.Register(r, PrefixRop)
+	f.Tex.Register(r, PrefixTex)
+	f.VCache.Register(r, PrefixVCache)
+	f.ZCache.Register(r, PrefixZCache)
+	f.TexL0.Register(r, PrefixTexL0)
+	f.TexL1.Register(r, PrefixTexL1)
+	f.ColorCache.Register(r, PrefixColorCache)
+	f.VS.Register(r, PrefixVS)
+	f.FS.Register(r, PrefixFS)
+	for c := mem.Client(0); c < mem.NumClients; c++ {
+		f.Mem[c].Register(r, PrefixMem+"/"+c.Slug())
 	}
+}
+
+// MetricsSnapshot captures every counter of f as a metrics snapshot,
+// the machine-readable form the exporters consume.
+func (f *FrameStats) MetricsSnapshot() metrics.Snapshot {
+	r := metrics.NewRegistry()
+	f.register(r)
+	return r.Snapshot()
+}
+
+// frameStatsFromSnapshot materializes a snapshot back into the struct
+// form the report tables read. Counters in s with no FrameStats field
+// are dropped; the exhaustiveness test pins that the live GPU registry
+// produces none.
+func frameStatsFromSnapshot(s metrics.Snapshot) FrameStats {
+	var f FrameStats
+	r := metrics.NewRegistry()
+	f.register(r)
+	r.Load(s)
+	return f
 }
 
 // diffStats subtracts two cumulative snapshots to produce one frame's
 // activity.
 func diffStats(now, before FrameStats) FrameStats {
-	out := now
-	walkStats(reflect.ValueOf(&out).Elem(), reflect.ValueOf(&before).Elem(),
-		func(a, b int64) int64 { return a - b })
-	return out
+	return frameStatsFromSnapshot(now.MetricsSnapshot().Diff(before.MetricsSnapshot()))
 }
 
 // Accumulate adds b's counters into a — used to aggregate per-frame
-// statistics over a run and to merge per-worker stat shards.
+// statistics over a run.
 func (a *FrameStats) Accumulate(b FrameStats) {
-	walkStats(reflect.ValueOf(a).Elem(), reflect.ValueOf(&b).Elem(),
-		func(x, y int64) int64 { return x + y })
-}
-
-// addCache merges two cache-stat shards.
-func addCache(a, b cache.Stats) cache.Stats {
-	return cache.Stats{
-		Hits:           a.Hits + b.Hits,
-		Misses:         a.Misses + b.Misses,
-		FillBytes:      a.FillBytes + b.FillBytes,
-		WritebackBytes: a.WritebackBytes + b.WritebackBytes,
-	}
+	s := a.MetricsSnapshot()
+	s.Merge(b.MetricsSnapshot())
+	*a = frameStatsFromSnapshot(s)
 }

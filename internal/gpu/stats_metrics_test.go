@@ -1,0 +1,197 @@
+package gpu
+
+import (
+	"reflect"
+	"testing"
+
+	"gpuchar/internal/metrics"
+)
+
+// countLeaves counts the int64 leaves of v (recursing through nested
+// structs and arrays), panicking on any other leaf kind so a FrameStats
+// field the registry could not bind fails loudly here.
+func countLeaves(v reflect.Value) int {
+	switch v.Kind() {
+	case reflect.Struct:
+		n := 0
+		for i := 0; i < v.NumField(); i++ {
+			n += countLeaves(v.Field(i))
+		}
+		return n
+	case reflect.Array:
+		n := 0
+		for i := 0; i < v.Len(); i++ {
+			n += countLeaves(v.Index(i))
+		}
+		return n
+	case reflect.Int64:
+		return 1
+	default:
+		panic("gpu: FrameStats leaf of unsupported kind " + v.Kind().String())
+	}
+}
+
+// fillLeaves assigns f(i) to the i-th int64 leaf of v in field order.
+func fillLeaves(v reflect.Value, n *int, f func(i int) int64) {
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			fillLeaves(v.Field(i), n, f)
+		}
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			fillLeaves(v.Index(i), n, f)
+		}
+	default:
+		v.SetInt(f(*n))
+		*n++
+	}
+}
+
+// leafValues flattens every int64 leaf of v in field order.
+func leafValues(v reflect.Value, out *[]int64) {
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			leafValues(v.Field(i), out)
+		}
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			leafValues(v.Index(i), out)
+		}
+	default:
+		*out = append(*out, v.Int())
+	}
+}
+
+// TestEveryFrameStatsFieldIsRegistered pins the exhaustiveness
+// invariant of the unified registry: every int64 leaf of FrameStats is
+// bound to exactly one counter (a stage that grows a field without
+// registering it fails here), every counter name is well-formed, and
+// every counter lands in exactly one known export namespace.
+func TestEveryFrameStatsFieldIsRegistered(t *testing.T) {
+	var f FrameStats
+	r := metrics.NewRegistry()
+	f.register(r)
+
+	leaves := countLeaves(reflect.ValueOf(&f).Elem())
+	if r.Len() != leaves {
+		t.Fatalf("registry binds %d counters but FrameStats has %d int64 leaves; "+
+			"a stage field is missing from its Register method", r.Len(), leaves)
+	}
+	if leaves < 40 {
+		t.Fatalf("FrameStats has only %d counters; reflection walk is broken", leaves)
+	}
+
+	namespaces := map[string]bool{
+		"geom": true, "rast": true, "zst": true, "frag": true, "rop": true,
+		"tex": true, "cache": true, "shader": true, "mem": true,
+	}
+	for _, name := range r.Names() {
+		if !metrics.ValidName(name) {
+			t.Errorf("counter %q has a malformed name", name)
+		}
+		if ns := metrics.Namespace(name); !namespaces[ns] {
+			t.Errorf("counter %q is outside the known export namespaces", name)
+		}
+	}
+}
+
+// TestSnapshotRoundTrip gives every counter a distinct value and checks
+// that diffStats and Accumulate (now snapshot arithmetic) transform
+// each leaf independently and losslessly.
+func TestSnapshotRoundTrip(t *testing.T) {
+	var now, before FrameStats
+	n := 0
+	fillLeaves(reflect.ValueOf(&now).Elem(), &n, func(i int) int64 { return 100_000 + 7*int64(i) })
+	leaves := n
+	n = 0
+	fillLeaves(reflect.ValueOf(&before).Elem(), &n, func(i int) int64 { return 3 * int64(i) })
+
+	diff := diffStats(now, before)
+	var got []int64
+	leafValues(reflect.ValueOf(&diff).Elem(), &got)
+	if len(got) != leaves {
+		t.Fatalf("diff visited %d leaves, want %d", len(got), leaves)
+	}
+	for i, v := range got {
+		want := 100_000 + 7*int64(i) - 3*int64(i)
+		if v != want {
+			t.Errorf("diff leaf %d = %d, want %d", i, v, want)
+		}
+	}
+
+	acc := before
+	acc.Accumulate(diff)
+	var accLeaves []int64
+	leafValues(reflect.ValueOf(&acc).Elem(), &accLeaves)
+	for i, v := range accLeaves {
+		want := 100_000 + 7*int64(i)
+		if v != want {
+			t.Errorf("accumulate leaf %d = %d, want %d", i, v, want)
+		}
+	}
+}
+
+// TestLiveRegistryMatchesFrameStats pins the invariant that makes
+// frameStatsFromSnapshot lossless: a live GPU (with tile workers, whose
+// shard counters must merge under the serial names) produces snapshots
+// whose counter set is exactly the FrameStats registry's, so Load drops
+// nothing in either direction.
+func TestLiveRegistryMatchesFrameStats(t *testing.T) {
+	cfg := R520Config(64, 64)
+	cfg.TileWorkers = 3
+	g := New(cfg)
+	live := g.MetricsSnapshot()
+
+	var f FrameStats
+	r := metrics.NewRegistry()
+	f.register(r)
+
+	if unmatched := r.Load(live); unmatched != 0 {
+		t.Fatalf("%d live counters have no FrameStats binding", unmatched)
+	}
+	if live.Len() != r.Len() {
+		t.Fatalf("live snapshot has %d counters, FrameStats registry %d",
+			live.Len(), r.Len())
+	}
+	names := r.Names()
+	for i, c := range live.Counters() {
+		if c.Name != names[i] {
+			t.Fatalf("live counter %d is %q, want %q", i, c.Name, names[i])
+		}
+	}
+
+	// Shard snapshots carry the shard label and a subset of the serial
+	// counter names.
+	shards := g.ShardSnapshots()
+	if len(shards) != 3 {
+		t.Fatalf("ShardSnapshots returned %d snapshots, want 3", len(shards))
+	}
+	for i, s := range shards {
+		if s.Label("shard") == "" {
+			t.Errorf("shard %d snapshot has no shard label", i)
+		}
+		for _, c := range s.Counters() {
+			if _, ok := live.Get(c.Name); !ok {
+				t.Errorf("shard counter %q absent from the merged snapshot", c.Name)
+			}
+		}
+	}
+}
+
+// TestDiffStatsMatchesCumulativeShape renders nothing but checks that a
+// zero diff of a live GPU's cumulative snapshot is exactly zero — the
+// identity that EndFrame's bookkeeping depends on.
+func TestDiffStatsMatchesCumulativeShape(t *testing.T) {
+	g := New(R520Config(64, 64))
+	cur := frameStatsFromSnapshot(g.MetricsSnapshot())
+	d := diffStats(cur, cur)
+	var zeros []int64
+	leafValues(reflect.ValueOf(&d).Elem(), &zeros)
+	for i, v := range zeros {
+		if v != 0 {
+			t.Fatalf("self-diff leaf %d = %d, want 0", i, v)
+		}
+	}
+}

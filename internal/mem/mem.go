@@ -10,7 +10,11 @@
 // to express results as "GB/s at N fps" like the paper does.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"gpuchar/internal/metrics"
+)
 
 // Client identifies a memory traffic source, matching the stage breakdown
 // of the paper's Table XVI.
@@ -29,6 +33,20 @@ const (
 
 var clientNames = [NumClients]string{
 	"Vertex", "Z&Stencil", "Texture", "Color", "DAC", "CP",
+}
+
+// clientSlugs are the metric-name-safe client names ("Z&Stencil" cannot
+// appear in a counter path).
+var clientSlugs = [NumClients]string{
+	"vertex", "zstencil", "texture", "color", "dac", "cp",
+}
+
+// Slug returns the lowercase metric-name segment for the client.
+func (c Client) Slug() string {
+	if c < 0 || c >= NumClients {
+		return fmt.Sprintf("client%d", int(c))
+	}
+	return clientSlugs[c]
 }
 
 // String returns the stage name used in the paper's tables.
@@ -52,6 +70,12 @@ func (t Traffic) Total() int64 { return t.ReadBytes + t.WriteBytes }
 func (t *Traffic) Add(o Traffic) {
 	t.ReadBytes += o.ReadBytes
 	t.WriteBytes += o.WriteBytes
+}
+
+// Register binds the traffic pair into the registry under prefix.
+func (t *Traffic) Register(r *metrics.Registry, prefix string) {
+	r.Bind(prefix+"/read_bytes", &t.ReadBytes)
+	r.Bind(prefix+"/write_bytes", &t.WriteBytes)
 }
 
 // Controller accumulates per-client memory traffic.
@@ -88,6 +112,14 @@ func (m *Controller) Total() Traffic {
 
 // Snapshot captures the current per-client totals.
 func (m *Controller) Snapshot() [NumClients]Traffic { return m.perClient }
+
+// RegisterMetrics binds the per-client traffic counters into r, one
+// pair per client under prefix+"/"+slug (e.g. "mem/zstencil/read_bytes").
+func (m *Controller) RegisterMetrics(r *metrics.Registry, prefix string) {
+	for c := Client(0); c < NumClients; c++ {
+		m.perClient[c].Register(r, prefix+"/"+c.Slug())
+	}
+}
 
 // Reset zeroes all counters (typically at frame boundaries).
 func (m *Controller) Reset() { m.perClient = [NumClients]Traffic{} }

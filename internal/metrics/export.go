@@ -1,0 +1,196 @@
+// Machine-readable export backends for counter snapshots: a JSON
+// document (the `characterize -json` format), CSV (one row per
+// snapshot), and a Prometheus-style text dump (`attilasim -metrics`).
+// All three render counters in sorted name order and snapshots in the
+// order given, so output is deterministic for deterministic input.
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SchemaID identifies the JSON export format; schema validators key off
+// it before trusting the rest of the document.
+const SchemaID = "gpuchar/metrics/v1"
+
+// MarshalJSON renders a snapshot as
+// {"labels":{...},"counters":{...},"gauges":{...}} with sorted keys
+// (encoding/json sorts map keys). Integer counters stay integers;
+// float-valued ones go under "gauges" so consumers need no kind field.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	counters := make(map[string]int64)
+	gauges := make(map[string]float64)
+	for _, c := range s.counters {
+		if c.IsFloat {
+			gauges[c.Name] = c.Float
+		} else {
+			counters[c.Name] = c.Int
+		}
+	}
+	doc := struct {
+		Labels   map[string]string  `json:"labels,omitempty"`
+		Counters map[string]int64   `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges,omitempty"`
+	}{Labels: s.labels, Counters: counters}
+	if len(gauges) > 0 {
+		doc.Gauges = gauges
+	}
+	return json.Marshal(doc)
+}
+
+// jsonDoc is the top-level `characterize -json` document.
+type jsonDoc struct {
+	Schema    string     `json:"schema"`
+	Snapshots []Snapshot `json:"snapshots"`
+}
+
+// WriteJSON writes snapshots as one indented JSON document tagged with
+// SchemaID.
+func WriteJSON(w io.Writer, snaps []Snapshot) error {
+	buf, err := json.MarshalIndent(jsonDoc{Schema: SchemaID, Snapshots: snaps}, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// labelKeys returns the sorted union of label keys across snapshots.
+func labelKeys(snaps []Snapshot) []string {
+	set := map[string]bool{}
+	for _, s := range snaps {
+		for k := range s.labels {
+			set[k] = true
+		}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// counterNames returns the sorted union of counter names across
+// snapshots.
+func counterNames(snaps []Snapshot) []string {
+	set := map[string]bool{}
+	for _, s := range snaps {
+		for _, c := range s.counters {
+			set[c.Name] = true
+		}
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteCSV writes snapshots as CSV: label columns first (sorted key
+// union), then one column per counter (sorted name union). Snapshots
+// missing a counter leave the cell empty, distinguishing "not measured"
+// from a true zero.
+func WriteCSV(w io.Writer, snaps []Snapshot) error {
+	keys := labelKeys(snaps)
+	names := counterNames(snaps)
+	cw := csv.NewWriter(w)
+	header := append(append([]string{}, keys...), names...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, 0, len(header))
+	for _, s := range snaps {
+		row = row[:0]
+		for _, k := range keys {
+			row = append(row, s.labels[k])
+		}
+		for _, n := range names {
+			c, ok := s.get(n)
+			switch {
+			case !ok:
+				row = append(row, "")
+			case c.IsFloat:
+				row = append(row, strconv.FormatFloat(c.Float, 'g', -1, 64))
+			default:
+				row = append(row, strconv.FormatInt(c.Int, 10))
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// promName mangles a hierarchical counter name into a Prometheus metric
+// name: namespace prefix plus the path with slashes as underscores.
+func promName(namespace, name string) string {
+	mangled := strings.ReplaceAll(name, "/", "_")
+	if namespace == "" {
+		return mangled
+	}
+	return namespace + "_" + mangled
+}
+
+// promEscape escapes a label value per the Prometheus text format.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// promLabels renders a sorted {k="v",...} block, or "" when unlabeled.
+func promLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, k, promEscape(labels[k]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteProm writes snapshots in the Prometheus text exposition format,
+// one line per counter, metric names prefixed with namespace (typically
+// "gpuchar") and labels carried through:
+//
+//	gpuchar_zst_hz_killed_quads{demo="Doom3/trdemo2",frame="1"} 8713
+func WriteProm(w io.Writer, namespace string, snaps []Snapshot) error {
+	for _, s := range snaps {
+		lbl := promLabels(s.labels)
+		for _, c := range s.counters {
+			var err error
+			if c.IsFloat {
+				_, err = fmt.Fprintf(w, "%s%s %s\n", promName(namespace, c.Name), lbl,
+					strconv.FormatFloat(c.Float, 'g', -1, 64))
+			} else {
+				_, err = fmt.Fprintf(w, "%s%s %d\n", promName(namespace, c.Name), lbl, c.Int)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// sample builds a labeled two-counter snapshot for the export tests.
+func sample(t *testing.T) Snapshot {
+	t.Helper()
+	var hits, misses int64 = 42, 8
+	var w float64 = 1.5
+	r := NewRegistry()
+	r.Bind("cache/z/hits", &hits)
+	r.Bind("cache/z/misses", &misses)
+	r.BindFloat("api/weight_vertices", &w)
+	return r.Snapshot().WithLabels("demo", "Doom3/trdemo2", "frame", "1")
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []Snapshot{sample(t)}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema    string `json:"schema"`
+		Snapshots []struct {
+			Labels   map[string]string  `json:"labels"`
+			Counters map[string]int64   `json:"counters"`
+			Gauges   map[string]float64 `json:"gauges"`
+		} `json:"snapshots"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Schema != SchemaID {
+		t.Errorf("schema = %q, want %q", doc.Schema, SchemaID)
+	}
+	s := doc.Snapshots[0]
+	if s.Labels["demo"] != "Doom3/trdemo2" || s.Counters["cache/z/hits"] != 42 {
+		t.Errorf("bad snapshot: %+v", s)
+	}
+	if s.Gauges["api/weight_vertices"] != 1.5 {
+		t.Errorf("gauge = %v", s.Gauges)
+	}
+	if _, isCounter := s.Counters["api/weight_vertices"]; isCounter {
+		t.Errorf("float counter leaked into integer counters")
+	}
+}
+
+func TestWriteJSONDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	snap := sample(t)
+	if err := WriteJSON(&a, []Snapshot{snap}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&b, []Snapshot{snap}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("JSON export not deterministic")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []Snapshot{sample(t)}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want header+1 row, got %d lines:\n%s", len(lines), buf.String())
+	}
+	wantHeader := "demo,frame,api/weight_vertices,cache/z/hits,cache/z/misses"
+	if lines[0] != wantHeader {
+		t.Errorf("header = %q, want %q", lines[0], wantHeader)
+	}
+	if lines[1] != "Doom3/trdemo2,1,1.5,42,8" {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestWriteCSVMissingCellsEmpty(t *testing.T) {
+	var only int64 = 5
+	r := NewRegistry()
+	r.Bind("cache/z/hits", &only)
+	narrow := r.Snapshot().WithLabels("demo", "x")
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []Snapshot{sample(t), narrow}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// narrow has no frame label, no weight, no misses: empty cells, not
+	// zeros.
+	if lines[2] != "x,,,5," {
+		t.Errorf("narrow row = %q, want %q", lines[2], "x,,,5,")
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, "gpuchar", []Snapshot{sample(t)}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := `gpuchar_cache_z_hits{demo="Doom3/trdemo2",frame="1"} 42`
+	if !strings.Contains(out, want) {
+		t.Errorf("prom output missing %q:\n%s", want, out)
+	}
+	if !strings.Contains(out, "gpuchar_api_weight_vertices{") {
+		t.Errorf("prom output missing gauge:\n%s", out)
+	}
+}
+
+func TestPromEscape(t *testing.T) {
+	var v int64 = 1
+	r := NewRegistry()
+	r.Bind("n", &v)
+	s := r.Snapshot().WithLabels("demo", `a"b\c`+"\n")
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, "", []Snapshot{s}); err != nil {
+		t.Fatal(err)
+	}
+	want := `n{demo="a\"b\\c\n"} 1`
+	if got := strings.TrimSpace(buf.String()); got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}

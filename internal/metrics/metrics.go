@@ -1,0 +1,351 @@
+// Package metrics is the unified counter model shared by every pipeline
+// stage: a registry of hierarchically named counters bound by pointer to
+// the plain int64 (or float64) fields the stages increment on their hot
+// paths, point-in-time snapshots of those counters, and the snapshot
+// arithmetic — Diff for frame boundaries, Merge for tile-worker shards —
+// that previously existed as reflection walkers and hand-written
+// per-stage Add methods.
+//
+// The model is deliberately two-phase. Registration happens once, at
+// construction time, and is the only place names are parsed or maps are
+// touched; after that a stage increments its own struct fields directly,
+// so the registry adds zero per-increment overhead. Reading happens at
+// frame boundaries (or export time) through Snapshot, which copies every
+// bound value into an immutable, name-sorted view.
+//
+// Counter names are slash-separated hierarchies of lowercase
+// [a-z0-9_] segments ("zst/hz_killed_quads", "mem/texture/read_bytes");
+// the first segment is the counter's export namespace. Snapshots carry
+// optional string labels (demo, frame, shard, ...) that the exporters in
+// export.go render but the arithmetic ignores.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ValidName reports whether name is a well-formed counter name:
+// slash-separated, non-empty segments of lowercase letters, digits and
+// underscores, not starting or ending with a slash.
+func ValidName(name string) bool {
+	if name == "" {
+		return false
+	}
+	segStart := true
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c == '/':
+			if segStart {
+				return false // empty segment
+			}
+			segStart = true
+		case (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_':
+			segStart = false
+		default:
+			return false
+		}
+	}
+	return !segStart
+}
+
+// Namespace returns the first segment of a counter name — the export
+// namespace the exhaustiveness tests partition counters by.
+func Namespace(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '/' {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// binding couples a counter name with the live field it reads.
+type binding struct {
+	name string
+	ip   *int64
+	fp   *float64 // exactly one of ip/fp is non-nil
+}
+
+// Registry binds named counters to the fields that back them. All
+// registration must happen before the first Snapshot; Bind and BindFloat
+// panic on invalid or duplicate names, which is a construction-time
+// programming error (like expvar.Publish or prometheus.MustRegister),
+// not a runtime condition.
+type Registry struct {
+	bindings []binding
+	byName   map[string]int
+	sorted   bool // bindings currently in name order
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]int{}}
+}
+
+func (r *Registry) add(name string, ip *int64, fp *float64) {
+	if !ValidName(name) {
+		panic(fmt.Sprintf("metrics: invalid counter name %q", name))
+	}
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate counter %q", name))
+	}
+	r.byName[name] = len(r.bindings)
+	r.bindings = append(r.bindings, binding{name: name, ip: ip, fp: fp})
+	r.sorted = false
+}
+
+// Bind registers an int64 counter under name. The registry reads *c at
+// snapshot time and writes it in Load; the owner keeps incrementing the
+// field directly.
+func (r *Registry) Bind(name string, c *int64) { r.add(name, c, nil) }
+
+// BindFloat registers a float64-valued counter (a weighted sum such as
+// the API layer's instruction-weight accumulators). It participates in
+// Snapshot, Diff, Merge and Load exactly like an integer counter.
+func (r *Registry) BindFloat(name string, c *float64) { r.add(name, nil, c) }
+
+// Len returns the number of bound counters.
+func (r *Registry) Len() int { return len(r.bindings) }
+
+// ensureSorted orders bindings by name once; byName is rebuilt to match.
+func (r *Registry) ensureSorted() {
+	if r.sorted {
+		return
+	}
+	sort.Slice(r.bindings, func(i, j int) bool {
+		return r.bindings[i].name < r.bindings[j].name
+	})
+	for i, b := range r.bindings {
+		r.byName[b.name] = i
+	}
+	r.sorted = true
+}
+
+// Names returns the bound counter names in sorted order.
+func (r *Registry) Names() []string {
+	r.ensureSorted()
+	out := make([]string, len(r.bindings))
+	for i, b := range r.bindings {
+		out[i] = b.name
+	}
+	return out
+}
+
+// Snapshot copies every bound counter into an immutable view. Names come
+// out sorted, so snapshots of registries that bound the same counters —
+// a tile-worker shard and its serial counterpart, say — line up
+// element-for-element regardless of registration order.
+func (r *Registry) Snapshot() Snapshot {
+	r.ensureSorted()
+	s := Snapshot{counters: make([]Counter, len(r.bindings))}
+	for i, b := range r.bindings {
+		c := Counter{Name: b.name}
+		if b.ip != nil {
+			c.Int = *b.ip
+		} else {
+			c.Float = *b.fp
+			c.IsFloat = true
+		}
+		s.counters[i] = c
+	}
+	return s
+}
+
+// Load writes a snapshot's values back into the bound counters: the
+// inverse of Snapshot, used to materialize a merged or diffed snapshot
+// as a plain stats struct. Counters bound but absent from the snapshot
+// are zeroed; snapshot entries with no bound counter are counted in the
+// return value (zero whenever both sides describe the same stage set —
+// the invariant the gpu package's exhaustiveness test pins).
+func (r *Registry) Load(s Snapshot) (unmatched int) {
+	r.ensureSorted()
+	matched := 0
+	for _, b := range r.bindings {
+		c, ok := s.get(b.name)
+		if ok {
+			matched++
+		}
+		switch {
+		case b.ip != nil && ok:
+			*b.ip = c.Int
+		case b.ip != nil:
+			*b.ip = 0
+		case ok:
+			*b.fp = c.Float
+		default:
+			*b.fp = 0
+		}
+	}
+	return len(s.counters) - matched
+}
+
+// Counter is one named value in a snapshot. Integer counters carry Int;
+// float-valued ones set IsFloat and carry Float.
+type Counter struct {
+	Name    string
+	Int     int64
+	Float   float64
+	IsFloat bool
+}
+
+// Value returns the counter as a float64 regardless of kind.
+func (c Counter) Value() float64 {
+	if c.IsFloat {
+		return c.Float
+	}
+	return float64(c.Int)
+}
+
+// Snapshot is an immutable, name-sorted set of counter values plus
+// optional labels. The zero value is an empty snapshot.
+type Snapshot struct {
+	counters []Counter
+	labels   map[string]string
+}
+
+// Len returns the number of counters in the snapshot.
+func (s Snapshot) Len() int { return len(s.counters) }
+
+// Counters returns the counters in name order. The slice is shared; do
+// not modify it.
+func (s Snapshot) Counters() []Counter { return s.counters }
+
+// get finds a counter by name via binary search.
+func (s Snapshot) get(name string) (Counter, bool) {
+	i := sort.Search(len(s.counters), func(i int) bool {
+		return s.counters[i].Name >= name
+	})
+	if i < len(s.counters) && s.counters[i].Name == name {
+		return s.counters[i], true
+	}
+	return Counter{}, false
+}
+
+// Get returns the integer value of a counter, and whether it exists.
+func (s Snapshot) Get(name string) (int64, bool) {
+	c, ok := s.get(name)
+	return c.Int, ok
+}
+
+// GetFloat returns a counter's value as float64, and whether it exists.
+func (s Snapshot) GetFloat(name string) (float64, bool) {
+	c, ok := s.get(name)
+	return c.Value(), ok
+}
+
+// Labels returns the snapshot's labels (nil when unlabeled). The map is
+// shared; treat it as read-only.
+func (s Snapshot) Labels() map[string]string { return s.labels }
+
+// Label returns one label value, or "".
+func (s Snapshot) Label(key string) string { return s.labels[key] }
+
+// WithLabels returns a copy of the snapshot with the given key/value
+// pairs added (values share the counter storage). Odd trailing arguments
+// are ignored.
+func (s Snapshot) WithLabels(kv ...string) Snapshot {
+	out := s
+	out.labels = make(map[string]string, len(s.labels)+len(kv)/2)
+	for k, v := range s.labels {
+		out.labels[k] = v
+	}
+	for i := 0; i+1 < len(kv); i += 2 {
+		out.labels[kv[i]] = kv[i+1]
+	}
+	return out
+}
+
+// combine merge-joins two sorted counter sets with op applied to values
+// present on both sides; one-sided counters pass through with op applied
+// against zero. It is total: shape mismatches widen the result instead
+// of failing, so a serial-only counter (geometry, vertex cache) merges
+// cleanly with a worker shard that never bound it.
+func combine(a, b []Counter, op func(x, y float64) float64,
+	iop func(x, y int64) int64) []Counter {
+
+	out := make([]Counter, 0, len(a))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Name == b[j].Name:
+			c := a[i]
+			if c.IsFloat || b[j].IsFloat {
+				c.IsFloat = true
+				c.Float = op(a[i].Value(), b[j].Value())
+				c.Int = 0
+			} else {
+				c.Int = iop(a[i].Int, b[j].Int)
+			}
+			out = append(out, c)
+			i++
+			j++
+		case a[i].Name < b[j].Name:
+			out = append(out, apply1(a[i], op, iop, false))
+			i++
+		default:
+			out = append(out, apply1(b[j], op, iop, true))
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		out = append(out, apply1(a[i], op, iop, false))
+	}
+	for ; j < len(b); j++ {
+		out = append(out, apply1(b[j], op, iop, true))
+	}
+	return out
+}
+
+// apply1 applies op to a one-sided counter, with the counter on the
+// right side when rhs is set (so subtraction negates correctly).
+func apply1(c Counter, op func(x, y float64) float64,
+	iop func(x, y int64) int64, rhs bool) Counter {
+
+	if c.IsFloat {
+		if rhs {
+			c.Float = op(0, c.Float)
+		} else {
+			c.Float = op(c.Float, 0)
+		}
+		return c
+	}
+	if rhs {
+		c.Int = iop(0, c.Int)
+	} else {
+		c.Int = iop(c.Int, 0)
+	}
+	return c
+}
+
+// Diff returns s - before, the frame's activity between two cumulative
+// snapshots. Labels are taken from s.
+func (s Snapshot) Diff(before Snapshot) Snapshot {
+	return Snapshot{
+		labels: s.labels,
+		counters: combine(s.counters, before.counters,
+			func(x, y float64) float64 { return x - y },
+			func(x, y int64) int64 { return x - y }),
+	}
+}
+
+// Merge adds o's counters into s — the generic replacement for every
+// per-stage shard-merge Add method. Counters present on only one side
+// pass through unchanged, so merging a tile-worker shard (which has no
+// geometry counters) into the serial snapshot is well-defined. Labels
+// of s are kept.
+func (s *Snapshot) Merge(o Snapshot) {
+	s.counters = combine(s.counters, o.counters,
+		func(x, y float64) float64 { return x + y },
+		func(x, y int64) int64 { return x + y })
+}
+
+// Sum returns the merge of all snapshots (an empty snapshot when none).
+func Sum(snaps ...Snapshot) Snapshot {
+	var out Snapshot
+	for _, s := range snaps {
+		out.Merge(s)
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestValidName(t *testing.T) {
+	good := []string{"geom", "geom/indices", "mem/texture/read_bytes", "a_1/b2"}
+	for _, n := range good {
+		if !ValidName(n) {
+			t.Errorf("ValidName(%q) = false, want true", n)
+		}
+	}
+	bad := []string{"", "/geom", "geom/", "geom//x", "Geom", "geom-x", "geom indices"}
+	for _, n := range bad {
+		if ValidName(n) {
+			t.Errorf("ValidName(%q) = true, want false", n)
+		}
+	}
+}
+
+func TestNamespace(t *testing.T) {
+	if ns := Namespace("mem/texture/read_bytes"); ns != "mem" {
+		t.Errorf("Namespace = %q, want mem", ns)
+	}
+	if ns := Namespace("geom"); ns != "geom" {
+		t.Errorf("Namespace = %q, want geom", ns)
+	}
+}
+
+func TestBindPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	var v int64
+	r := NewRegistry()
+	r.Bind("a/b", &v)
+	mustPanic("duplicate", func() { r.Bind("a/b", &v) })
+	mustPanic("invalid", func() { r.Bind("A/b", &v) })
+}
+
+func TestSnapshotReflectsLiveFields(t *testing.T) {
+	var hits, misses int64
+	var weight float64
+	r := NewRegistry()
+	r.Bind("cache/hits", &hits)
+	r.Bind("cache/misses", &misses)
+	r.BindFloat("api/weight", &weight)
+
+	hits, misses, weight = 3, 1, 2.5
+	s := r.Snapshot()
+	if v, ok := s.Get("cache/hits"); !ok || v != 3 {
+		t.Errorf("hits = %d,%v want 3,true", v, ok)
+	}
+	if v, ok := s.GetFloat("api/weight"); !ok || v != 2.5 {
+		t.Errorf("weight = %g,%v want 2.5,true", v, ok)
+	}
+	// The snapshot is a copy: later increments don't alter it.
+	hits = 100
+	if v, _ := s.Get("cache/hits"); v != 3 {
+		t.Errorf("snapshot mutated by live increment: %d", v)
+	}
+	// Names come out sorted regardless of registration order.
+	want := []string{"api/weight", "cache/hits", "cache/misses"}
+	if got := r.Names(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Names = %v, want %v", got, want)
+	}
+}
+
+func TestDiffMergeRoundTrip(t *testing.T) {
+	var a, b int64
+	var f float64
+	r := NewRegistry()
+	r.Bind("x/a", &a)
+	r.Bind("x/b", &b)
+	r.BindFloat("x/f", &f)
+
+	a, b, f = 10, 20, 1.5
+	before := r.Snapshot()
+	a, b, f = 17, 21, 4.0
+	now := r.Snapshot()
+
+	d := now.Diff(before)
+	if v, _ := d.Get("x/a"); v != 7 {
+		t.Errorf("diff a = %d, want 7", v)
+	}
+	if v, _ := d.Get("x/b"); v != 1 {
+		t.Errorf("diff b = %d, want 1", v)
+	}
+	if v, _ := d.GetFloat("x/f"); v != 2.5 {
+		t.Errorf("diff f = %g, want 2.5", v)
+	}
+
+	// before + diff == now.
+	sum := before
+	sum.Merge(d)
+	for _, c := range now.Counters() {
+		got, _ := sum.GetFloat(c.Name)
+		if got != c.Value() {
+			t.Errorf("merge %s = %g, want %g", c.Name, got, c.Value())
+		}
+	}
+}
+
+func TestMergeDisjointShapes(t *testing.T) {
+	// A serial snapshot with geometry counters merges with a worker
+	// shard that never bound them: one-sided counters pass through.
+	var g, z1, z2 int64
+	serial := NewRegistry()
+	serial.Bind("geom/indices", &g)
+	serial.Bind("zst/quads_in", &z1)
+	shard := NewRegistry()
+	shard.Bind("zst/quads_in", &z2)
+
+	g, z1, z2 = 5, 10, 32
+	s := serial.Snapshot()
+	s.Merge(shard.Snapshot())
+	if v, _ := s.Get("geom/indices"); v != 5 {
+		t.Errorf("one-sided geom = %d, want 5", v)
+	}
+	if v, _ := s.Get("zst/quads_in"); v != 42 {
+		t.Errorf("merged zst = %d, want 42", v)
+	}
+
+	// Subtraction with a counter only on the right negates it.
+	d := serial.Snapshot().Diff(s)
+	if v, _ := d.Get("zst/quads_in"); v != -32 {
+		t.Errorf("diff zst = %d, want -32", v)
+	}
+}
+
+func TestSum(t *testing.T) {
+	var a1, a2, a3 int64
+	mk := func(p *int64) Snapshot {
+		r := NewRegistry()
+		r.Bind("n", p)
+		return r.Snapshot()
+	}
+	a1, a2, a3 = 1, 2, 3
+	s := Sum(mk(&a1), mk(&a2), mk(&a3))
+	if v, _ := s.Get("n"); v != 6 {
+		t.Errorf("Sum = %d, want 6", v)
+	}
+	if Sum().Len() != 0 {
+		t.Errorf("empty Sum should be empty")
+	}
+}
+
+func TestLoad(t *testing.T) {
+	var src1, src2 int64
+	var srcF float64
+	src := NewRegistry()
+	src.Bind("a/x", &src1)
+	src.Bind("a/y", &src2)
+	src.BindFloat("a/w", &srcF)
+	src1, src2, srcF = 7, 9, 0.25
+	snap := src.Snapshot()
+
+	var d1, d2, stale int64
+	var dF float64
+	dst := NewRegistry()
+	dst.Bind("a/x", &d1)
+	dst.Bind("a/y", &d2)
+	dst.Bind("a/z", &stale) // bound but absent from snapshot: zeroed
+	dst.BindFloat("a/w", &dF)
+	stale = 99
+	if unmatched := dst.Load(snap); unmatched != 0 {
+		t.Errorf("unmatched = %d, want 0", unmatched)
+	}
+	if d1 != 7 || d2 != 9 || dF != 0.25 || stale != 0 {
+		t.Errorf("Load: got %d %d %g %d, want 7 9 0.25 0", d1, d2, dF, stale)
+	}
+
+	// A snapshot entry with no bound counter is reported.
+	narrow := NewRegistry()
+	var only int64
+	narrow.Bind("a/x", &only)
+	if unmatched := narrow.Load(snap); unmatched != 2 {
+		t.Errorf("unmatched = %d, want 2", unmatched)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	var v int64 = 1
+	r := NewRegistry()
+	r.Bind("n", &v)
+	s := r.Snapshot().WithLabels("demo", "Doom3/trdemo2", "frame", "1")
+	if s.Label("demo") != "Doom3/trdemo2" || s.Label("frame") != "1" {
+		t.Errorf("labels = %v", s.Labels())
+	}
+	// WithLabels copies: extending one snapshot's labels leaves the
+	// original untouched.
+	s2 := s.WithLabels("shard", "0")
+	if s.Label("shard") != "" || s2.Label("shard") != "0" {
+		t.Errorf("label aliasing: %v vs %v", s.Labels(), s2.Labels())
+	}
+	// Labels survive Diff and are ignored by arithmetic.
+	d := s2.Diff(s)
+	if d.Label("shard") != "0" {
+		t.Errorf("diff dropped labels: %v", d.Labels())
+	}
+}

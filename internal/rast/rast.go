@@ -12,6 +12,7 @@ package rast
 import (
 	"gpuchar/internal/geom"
 	"gpuchar/internal/gmath"
+	"gpuchar/internal/metrics"
 )
 
 // Tile dimensions of the recursive rasterizer.
@@ -99,12 +100,13 @@ type Stats struct {
 	CompleteQuads  int64
 }
 
-// Add accumulates other into s.
-func (s *Stats) Add(o Stats) {
-	s.TrianglesSetup += o.TrianglesSetup
-	s.QuadsEmitted += o.QuadsEmitted
-	s.Fragments += o.Fragments
-	s.CompleteQuads += o.CompleteQuads
+// Register binds every counter of s into the registry under prefix —
+// the single definition of the rasterizer counter names.
+func (s *Stats) Register(r *metrics.Registry, prefix string) {
+	r.Bind(prefix+"/triangles_setup", &s.TrianglesSetup)
+	r.Bind(prefix+"/quads_emitted", &s.QuadsEmitted)
+	r.Bind(prefix+"/fragments", &s.Fragments)
+	r.Bind(prefix+"/complete_quads", &s.CompleteQuads)
 }
 
 // QuadEfficiency returns the percentage of complete quads (Table X).
@@ -163,6 +165,12 @@ func (r *Rasterizer) Stats() Stats { return r.stats }
 
 // ResetStats clears the counters.
 func (r *Rasterizer) ResetStats() { r.stats = Stats{} }
+
+// RegisterMetrics binds the rasterizer's live counters into reg under
+// prefix.
+func (r *Rasterizer) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	r.stats.Register(reg, prefix)
+}
 
 // Setup computes the edge and interpolation equations of a screen
 // triangle. It returns nil for triangles with non-positive area (the

@@ -137,8 +137,31 @@ func F(v float64) string {
 	}
 }
 
+// FOpt formats a float cell that may never have been measured: ok
+// false renders an empty cell, distinguishing "stage never exercised"
+// from a true zero.
+func FOpt(v float64, ok bool) string {
+	if !ok {
+		return ""
+	}
+	return F(v)
+}
+
+// FMean formats a running mean as a table cell, empty when the mean
+// accumulated no samples.
+func FMean(m *stats.Mean) string { return FOpt(m.Value(), m.Valid()) }
+
 // Pct formats a percentage cell.
 func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// PctOpt formats a percentage cell that may never have been measured:
+// ok false renders an empty cell instead of a spurious "0.0%".
+func PctOpt(v float64, ok bool) string {
+	if !ok {
+		return ""
+	}
+	return Pct(v)
+}
 
 // PaperVs formats a "measured (paper X)" comparison cell.
 func PaperVs(measured, paper float64) string {

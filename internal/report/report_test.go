@@ -119,6 +119,30 @@ func TestFormatters(t *testing.T) {
 	}
 }
 
+func TestOptionalFormatters(t *testing.T) {
+	if got := FOpt(1.5, true); got != "1.50" {
+		t.Errorf("FOpt(1.5, true) = %q", got)
+	}
+	if got := FOpt(0, false); got != "" {
+		t.Errorf("FOpt(_, false) = %q, want empty cell", got)
+	}
+	if got := PctOpt(12.34, true); got != "12.3%" {
+		t.Errorf("PctOpt = %q", got)
+	}
+	if got := PctOpt(0, false); got != "" {
+		t.Errorf("PctOpt(_, false) = %q, want empty cell", got)
+	}
+	var m stats.Mean
+	if got := FMean(&m); got != "" {
+		t.Errorf("FMean of empty mean = %q, want empty cell", got)
+	}
+	m.Add(2)
+	m.Add(3)
+	if got := FMean(&m); got != "2.50" {
+		t.Errorf("FMean = %q", got)
+	}
+}
+
 func TestSparkline(t *testing.T) {
 	s := stats.NewSeries("x")
 	for i := 0; i < 64; i++ {

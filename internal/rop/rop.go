@@ -18,6 +18,7 @@ import (
 	"gpuchar/internal/cache"
 	"gpuchar/internal/gmath"
 	"gpuchar/internal/mem"
+	"gpuchar/internal/metrics"
 	"gpuchar/internal/rast"
 )
 
@@ -81,12 +82,13 @@ type Stats struct {
 	Fragments   int64 // fragments blended/written
 }
 
-// Add accumulates o into s.
-func (s *Stats) Add(o Stats) {
-	s.QuadsIn += o.QuadsIn
-	s.QuadsMasked += o.QuadsMasked
-	s.QuadsOut += o.QuadsOut
-	s.Fragments += o.Fragments
+// Register binds every counter of s into the registry under prefix —
+// the single definition of the color-stage counter names.
+func (s *Stats) Register(r *metrics.Registry, prefix string) {
+	r.Bind(prefix+"/quads_in", &s.QuadsIn)
+	r.Bind(prefix+"/quads_masked", &s.QuadsMasked)
+	r.Bind(prefix+"/quads_out", &s.QuadsOut)
+	r.Bind(prefix+"/fragments", &s.Fragments)
 }
 
 // blockDim is the pixel footprint of a 256-byte color cache line
@@ -205,6 +207,13 @@ func (t *Target) ResetStats() {
 
 // CacheStats exposes the color cache counters for Table XIV.
 func (t *Target) CacheStats() cache.Stats { return t.cache.Stats() }
+
+// RegisterMetrics binds the stage and color-cache counters into r under
+// the two prefixes.
+func (t *Target) RegisterMetrics(r *metrics.Registry, statPrefix, cachePrefix string) {
+	t.stats.Register(r, statPrefix)
+	t.cache.RegisterMetrics(r, cachePrefix)
+}
 
 // At returns the stored color (for tests and the DAC).
 func (t *Target) At(x, y int) gmath.Vec4 { return t.pix[y*t.w+x] }

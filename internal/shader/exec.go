@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"gpuchar/internal/gmath"
+	"gpuchar/internal/metrics"
 )
 
 // Sampler provides texture sampling to fragment programs. The interpreter
@@ -33,12 +34,13 @@ type ExecStats struct {
 	Kills int64
 }
 
-// Add accumulates other into s.
-func (s *ExecStats) Add(o ExecStats) {
-	s.Invocations += o.Invocations
-	s.Instructions += o.Instructions
-	s.TexInstructions += o.TexInstructions
-	s.Kills += o.Kills
+// Register binds every counter of s into the registry under prefix —
+// the single definition of the shader execution counter names.
+func (s *ExecStats) Register(r *metrics.Registry, prefix string) {
+	r.Bind(prefix+"/invocations", &s.Invocations)
+	r.Bind(prefix+"/instructions", &s.Instructions)
+	r.Bind(prefix+"/tex_instructions", &s.TexInstructions)
+	r.Bind(prefix+"/kills", &s.Kills)
 }
 
 // AvgInstructions returns instructions per invocation.
@@ -77,6 +79,11 @@ func (m *Machine) Stats() ExecStats { return m.stats }
 
 // ResetStats zeroes the statistics counters.
 func (m *Machine) ResetStats() { m.stats = ExecStats{} }
+
+// RegisterMetrics binds the machine's live counters into r under prefix.
+func (m *Machine) RegisterMetrics(r *metrics.Registry, prefix string) {
+	m.stats.Register(r, prefix)
+}
 
 // RunVertex executes a vertex program on a single vertex. in holds the
 // vertex attributes; the shaded results are written to out.

@@ -26,12 +26,18 @@ func (m *Mean) Add(x float64) { m.sum += x; m.n++ }
 func (m *Mean) AddN(sum float64, n int64) { m.sum += sum; m.n += n }
 
 // Value returns the mean of the accumulated samples, or 0 when empty.
+// Callers that must distinguish an empty mean from a true zero (a table
+// cell for a never-exercised stage, say) should check Valid first.
 func (m *Mean) Value() float64 {
 	if m.n == 0 {
 		return 0
 	}
 	return m.sum / float64(m.n)
 }
+
+// Valid reports whether the mean has accumulated any samples — the
+// disambiguation of Value's 0-when-empty convention.
+func (m *Mean) Valid() bool { return m.n > 0 }
 
 // Sum returns the total of all accumulated samples.
 func (m *Mean) Sum() float64 { return m.sum }

@@ -26,6 +26,20 @@ func TestMean(t *testing.T) {
 	}
 }
 
+func TestMeanValid(t *testing.T) {
+	var m Mean
+	if m.Valid() {
+		t.Error("empty mean reports Valid")
+	}
+	m.Add(0)
+	if !m.Valid() {
+		t.Error("mean with a zero sample must be Valid — that is the whole point")
+	}
+	if m.Value() != 0 {
+		t.Errorf("mean of {0} = %v", m.Value())
+	}
+}
+
 func TestSeriesBasics(t *testing.T) {
 	s := NewSeries("batches")
 	for _, v := range []float64{5, 1, 9, 3} {

@@ -6,6 +6,7 @@ import (
 	"gpuchar/internal/cache"
 	"gpuchar/internal/gmath"
 	"gpuchar/internal/mem"
+	"gpuchar/internal/metrics"
 )
 
 // FilterMode selects the texture filtering algorithm.
@@ -58,11 +59,12 @@ type SampleStats struct {
 	TexelFetches int64
 }
 
-// Add accumulates o into s (merging per-worker sampling shards).
-func (s *SampleStats) Add(o SampleStats) {
-	s.Requests += o.Requests
-	s.BilinearSamples += o.BilinearSamples
-	s.TexelFetches += o.TexelFetches
+// Register binds every counter of s into the registry under prefix —
+// the single definition of the texture sampling counter names.
+func (s *SampleStats) Register(r *metrics.Registry, prefix string) {
+	r.Bind(prefix+"/requests", &s.Requests)
+	r.Bind(prefix+"/bilinear_samples", &s.BilinearSamples)
+	r.Bind(prefix+"/texel_fetches", &s.TexelFetches)
 }
 
 // AvgBilinearPerRequest returns the Table XIII headline metric.
@@ -126,6 +128,14 @@ func (u *Unit) ResetStats() {
 	u.stats = SampleStats{}
 	u.l0.ResetStats()
 	u.l1.ResetStats()
+}
+
+// RegisterMetrics binds the sampling and L0/L1 cache counters into r
+// under the three prefixes.
+func (u *Unit) RegisterMetrics(r *metrics.Registry, texPrefix, l0Prefix, l1Prefix string) {
+	u.stats.Register(r, texPrefix)
+	u.l0.RegisterMetrics(r, l0Prefix)
+	u.l1.RegisterMetrics(r, l1Prefix)
 }
 
 // SampleQuad filters the bound texture for a 2x2 quad. The level of

@@ -43,26 +43,7 @@ func TestCalibrationProbe(t *testing.T) {
 	// Aggregate over frames.
 	var agg gpu.FrameStats
 	for _, f := range g.Frames() {
-		agg.Geom.Add(f.Geom)
-		agg.Rast.Add(f.Rast)
-		agg.ZSt.Add(f.ZSt)
-		agg.Frag.Add(f.Frag)
-		agg.Rop.Add(f.Rop)
-		agg.Tex.Requests += f.Tex.Requests
-		agg.Tex.BilinearSamples += f.Tex.BilinearSamples
-		agg.VCache.Hits += f.VCache.Hits
-		agg.VCache.Misses += f.VCache.Misses
-		agg.ZCache.Hits += f.ZCache.Hits
-		agg.ZCache.Misses += f.ZCache.Misses
-		agg.TexL0.Hits += f.TexL0.Hits
-		agg.TexL0.Misses += f.TexL0.Misses
-		agg.ColorCache.Hits += f.ColorCache.Hits
-		agg.ColorCache.Misses += f.ColorCache.Misses
-		agg.VS.Add(f.VS)
-		agg.FS.Add(f.FS)
-		for c := 0; c < int(mem.NumClients); c++ {
-			agg.Mem[c].Add(f.Mem[c])
-		}
+		agg.Accumulate(f)
 	}
 	nf := float64(frames)
 	screen := float64(w * h)

@@ -12,6 +12,7 @@ package zst
 import (
 	"gpuchar/internal/cache"
 	"gpuchar/internal/mem"
+	"gpuchar/internal/metrics"
 	"gpuchar/internal/rast"
 )
 
@@ -148,16 +149,17 @@ type Stats struct {
 	ZKilledFragments int64
 }
 
-// Add accumulates o into s.
-func (s *Stats) Add(o Stats) {
-	s.QuadsIn += o.QuadsIn
-	s.QuadsKilledHZ += o.QuadsKilledHZ
-	s.QuadsKilled += o.QuadsKilled
-	s.QuadsOut += o.QuadsOut
-	s.CompleteOut += o.CompleteOut
-	s.FragmentsIn += o.FragmentsIn
-	s.FragmentsOut += o.FragmentsOut
-	s.ZKilledFragments += o.ZKilledFragments
+// Register binds every counter of s into the registry under prefix —
+// the single definition of the z & stencil counter names.
+func (s *Stats) Register(r *metrics.Registry, prefix string) {
+	r.Bind(prefix+"/quads_in", &s.QuadsIn)
+	r.Bind(prefix+"/quads_killed_hz", &s.QuadsKilledHZ)
+	r.Bind(prefix+"/quads_killed", &s.QuadsKilled)
+	r.Bind(prefix+"/quads_out", &s.QuadsOut)
+	r.Bind(prefix+"/complete_out", &s.CompleteOut)
+	r.Bind(prefix+"/fragments_in", &s.FragmentsIn)
+	r.Bind(prefix+"/fragments_out", &s.FragmentsOut)
+	r.Bind(prefix+"/z_killed_fragments", &s.ZKilledFragments)
 }
 
 // hzBlockDim is the footprint of one Hierarchical Z entry. ATTILA uses
@@ -307,6 +309,13 @@ func (b *Buffer) ResetStats() {
 
 // CacheStats exposes the z & stencil cache counters for Table XIV.
 func (b *Buffer) CacheStats() cache.Stats { return b.zcache.Stats() }
+
+// RegisterMetrics binds the stage and z-cache counters into r under the
+// two prefixes.
+func (b *Buffer) RegisterMetrics(r *metrics.Registry, statPrefix, cachePrefix string) {
+	b.stats.Register(r, statPrefix)
+	b.zcache.RegisterMetrics(r, cachePrefix)
+}
 
 // DepthAt returns the stored depth (for tests and debugging).
 func (b *Buffer) DepthAt(x, y int) float32 { return b.depth[y*b.w+x] }

@@ -1,6 +1,7 @@
 package zst
 
 import (
+	"gpuchar/internal/metrics"
 	"testing"
 
 	"gpuchar/internal/mem"
@@ -322,12 +323,17 @@ func TestFlushCacheWritesBackCompressed(t *testing.T) {
 	}
 }
 
-func TestStatsAdd(t *testing.T) {
+func TestStatsRegister(t *testing.T) {
 	a := Stats{QuadsIn: 1, QuadsKilledHZ: 2, QuadsKilled: 3, QuadsOut: 4,
 		CompleteOut: 5, FragmentsIn: 6, FragmentsOut: 7, ZKilledFragments: 8}
-	b := a
-	a.Add(b)
+	r := metrics.NewRegistry()
+	a.Register(r, "zst")
+	s := r.Snapshot()
+	s.Merge(s)
+	if r.Load(s) != 0 {
+		t.Fatal("snapshot did not round-trip through the registry")
+	}
 	if a.QuadsIn != 2 || a.ZKilledFragments != 16 {
-		t.Errorf("Add = %+v", a)
+		t.Errorf("merged stats = %+v", a)
 	}
 }
