@@ -10,6 +10,8 @@
 //	attilasim -demo "UT2004/Primeval" -w 512 -h 384 -nohz
 //	attilasim -demo "Quake4/demo4" -workers 8     # tile-parallel backend
 //	attilasim -demo "Doom3/trdemo2" -metrics run.json   # machine-readable
+//	attilasim -demo "Doom3/trdemo2" -trace run-trace.json  # Perfetto trace
+//	attilasim -demo "Doom3/trdemo2" -frames 50 -listen :9090
 //
 // -metrics writes every pipeline counter of the run (aggregate plus
 // per-frame snapshots) in a format picked by extension: .json
@@ -30,22 +32,28 @@ import (
 	"gpuchar"
 	"gpuchar/internal/mem"
 	"gpuchar/internal/metrics"
+	"gpuchar/internal/obsv"
 	"gpuchar/internal/trace"
 )
 
-// fail reports err and exits with a code distinguishing trace format
-// damage (3) and replay failures (4) from simulation errors (1).
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "attilasim: %v\n", err)
+// exitCode maps the error taxonomy onto distinct process exit codes so
+// scripts can tell a malformed trace (3) from a replay failure (4) from
+// everything else (1) — the same table tracetool uses.
+func exitCode(err error) int {
 	var fe *trace.FormatError
 	var re *trace.ReplayError
 	switch {
 	case errors.As(err, &fe):
-		os.Exit(3)
+		return 3
 	case errors.As(err, &re):
-		os.Exit(4)
+		return 4
 	}
-	os.Exit(1)
+	return 1
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "attilasim: %v\n", err)
+	os.Exit(exitCode(err))
 }
 
 func main() {
@@ -62,6 +70,12 @@ func main() {
 			"write the run's counters machine-readably; format by extension (.json, .csv, otherwise Prometheus text)")
 		workers = flag.Int("workers", runtime.NumCPU(),
 			"tile-parallel fragment workers; framebuffer and kill counts are exact at any count, cache/memory counters are sharded (see DESIGN.md)")
+		traceOut = flag.String("trace", "",
+			"write a Chrome/Perfetto trace of the run (load it at ui.perfetto.dev)")
+		traceSample = flag.Int("trace-sample", 1,
+			"record 1-in-N fine-grained spans (per-draw, per-worker-drain); structural spans are always recorded")
+		listen = flag.String("listen", "",
+			"serve /metrics, /progress, /healthz and /debug/pprof on this address (e.g. :9090)")
 	)
 	flag.Parse()
 
@@ -74,11 +88,16 @@ func main() {
 
 	prof := gpuchar.ProfileByName(*demo)
 	if prof == nil || !prof.Simulated {
-		fmt.Fprintf(os.Stderr, "attilasim: %q is not a simulated demo (see -list)\n", *demo)
+		fmt.Fprintf(os.Stderr, "attilasim: -demo %q is not a simulated demo (see -list)\n", *demo)
 		os.Exit(2)
 	}
 	if *frames <= 0 || *width <= 0 || *height <= 0 {
-		fmt.Fprintf(os.Stderr, "attilasim: -frames/-w/-h must be positive\n")
+		fmt.Fprintf(os.Stderr, "attilasim: -frames %d, -w %d, -h %d must all be positive\n",
+			*frames, *width, *height)
+		os.Exit(2)
+	}
+	if *traceSample < 1 {
+		fmt.Fprintf(os.Stderr, "attilasim: -trace-sample %d must be >= 1\n", *traceSample)
 		os.Exit(2)
 	}
 	cfg := gpuchar.R520Config(*width, *height)
@@ -91,16 +110,43 @@ func main() {
 		cfg.ColorCompression = false
 		cfg.FastClear = false
 	}
-	var res *gpuchar.MicroResult
-	var err error
-	if *pngOut != "" {
-		// Drive the pipeline directly so the framebuffer survives.
-		g := gpuchar.NewGPU(cfg)
-		dev := gpuchar.NewDevice(prof.API, g)
-		wl := gpuchar.NewWorkload(prof, dev, cfg.Width, cfg.Height)
-		if err := wl.Run(*frames); err != nil {
-			fail(err)
+	var tr *obsv.Tracer
+	if *traceOut != "" {
+		tr = obsv.New(obsv.Options{SampleEvery: *traceSample})
+		cfg.Trace = tr
+		cfg.TraceProcess = prof.Name
+	}
+
+	// Drive the pipeline directly (rather than through the core runner)
+	// so the live GPU is reachable: the observability server scrapes it
+	// mid-run and -png reads its framebuffer afterwards.
+	g := gpuchar.NewGPU(cfg)
+	dev := gpuchar.NewDevice(prof.API, g)
+	wl := gpuchar.NewWorkload(prof, dev, cfg.Width, cfg.Height)
+	tracker := obsv.NewProgressTracker(0)
+	wl.OnFrame = func(frame int) { tracker.FrameDone(prof.Name, frame) }
+	if *listen != "" {
+		srv, err := obsv.StartServer(*listen, obsv.ServerSources{
+			Snapshots: func() []metrics.Snapshot {
+				if s, ok := g.PublishedSnapshot(); ok {
+					return []metrics.Snapshot{s.WithLabels("demo", prof.Name, "source", "sim")}
+				}
+				return nil
+			},
+			Progress: tracker.Snapshot,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "attilasim: -listen %q: %v\n", *listen, err)
+			os.Exit(1)
 		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "attilasim: observability server on http://%s\n", srv.Addr)
+	}
+
+	if err := wl.Run(*frames); err != nil {
+		fail(err)
+	}
+	if *pngOut != "" {
 		out, err := os.Create(*pngOut)
 		if err != nil {
 			fail(err)
@@ -112,13 +158,8 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("wrote %s\n", *pngOut)
-		res = gpuchar.MicroResultFromGPU(prof, g, cfg)
-	} else {
-		res, err = gpuchar.CharacterizeConfig(prof, *frames, cfg)
-		if err != nil {
-			fail(err)
-		}
 	}
+	res := gpuchar.MicroResultFromGPU(prof, g, cfg)
 
 	fmt.Printf("== %s: %d frames at %dx%d\n", prof.Name, *frames, *width, *height)
 	clip, cull, trav := res.ClipCullPct()
@@ -154,6 +195,12 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *metricsOut)
 	}
+	if tr != nil {
+		if err := writeChromeTrace(*traceOut, tr); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *traceOut)
+	}
 }
 
 // writeMetrics dumps the run's counter snapshots to path, choosing the
@@ -177,4 +224,17 @@ func writeMetrics(path string, res *gpuchar.MicroResult) error {
 		err = cerr
 	}
 	return err
+}
+
+// writeChromeTrace dumps the run's trace events to path.
+func writeChromeTrace(path string, tr *obsv.Tracer) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := tr.WriteChromeJSON(out)
+	if cerr := out.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }

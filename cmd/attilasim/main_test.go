@@ -1,0 +1,31 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"gpuchar/internal/trace"
+)
+
+// TestExitCode pins attilasim's exit-code taxonomy to the same table
+// tracetool uses: 1 failure, 3 trace format error, 4 replay error.
+func TestExitCode(t *testing.T) {
+	format := &trace.FormatError{Cmd: 1, Err: errors.New("truncated")}
+	replay := &trace.ReplayError{Cmd: 2, Err: errors.New("bad handle")}
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{errors.New("simulation failure"), 1},
+		{format, 3},
+		{fmt.Errorf("wrapped: %w", format), 3},
+		{replay, 4},
+		{fmt.Errorf("wrapped: %w", replay), 4},
+	}
+	for _, c := range cases {
+		if got := exitCode(c.err); got != c.want {
+			t.Errorf("exitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"gpuchar"
 	"gpuchar/internal/geom"
 	"gpuchar/internal/metrics"
+	"gpuchar/internal/obsv"
 	"gpuchar/internal/rast"
 )
 
@@ -55,6 +56,22 @@ type output struct {
 	// boundary, the snapshot diff that derives one frame's activity,
 	// and serializing a run's snapshots as the -json/-metrics payload.
 	MetricsExport map[string]measurement `json:"metrics_export"`
+
+	// StageWalltime is the per-stage busy-time split of a short traced
+	// run (the obsv stage clocks' view): absolute nanoseconds and the
+	// share of the accounted total per pipeline stage. Shares, not
+	// absolutes, are the reviewable signal — wall-clock varies by host.
+	StageWalltime *stageWalltime `json:"stage_walltime,omitempty"`
+}
+
+// stageWalltime is the per-stage timing summary derived from the
+// tracer's stage clocks over an instrumented run.
+type stageWalltime struct {
+	Frames  int                `json:"frames"`
+	Workers int                `json:"workers"`
+	TotalNs int64              `json:"total_ns"`
+	Nanos   map[string]int64   `json:"nanos"`
+	Share   map[string]float64 `json:"share"`
 }
 
 func bench(f func(b *testing.B)) measurement {
@@ -178,6 +195,39 @@ func benchMetricsExport(demo string, w, h int) map[string]measurement {
 	}
 }
 
+// measureStageWalltime renders a short traced run and splits its
+// accounted busy time per pipeline stage via the tracer's stage
+// clocks. Sampling is set high so the span ring costs next to nothing;
+// the clocks run regardless.
+func measureStageWalltime(demo string, w, h, workers, frames int) *stageWalltime {
+	prof := gpuchar.ProfileByName(demo)
+	cfg := gpuchar.R520Config(w, h)
+	cfg.TileWorkers = workers
+	cfg.Trace = obsv.New(obsv.Options{SampleEvery: 1 << 20})
+	cfg.TraceProcess = prof.Name
+	g := gpuchar.NewGPU(cfg)
+	dev := gpuchar.NewDevice(prof.API, g)
+	wl := gpuchar.NewWorkload(prof, dev, w, h)
+	if err := wl.Run(frames); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	nanos := g.StageNanos()
+	out := &stageWalltime{
+		Frames: frames, Workers: workers,
+		Nanos: nanos, Share: map[string]float64{},
+	}
+	for _, ns := range nanos {
+		out.TotalNs += ns
+	}
+	if out.TotalNs > 0 {
+		for stage, ns := range nanos {
+			out.Share[stage] = float64(ns) / float64(out.TotalNs)
+		}
+	}
+	return out
+}
+
 func main() {
 	var (
 		demo   = flag.String("demo", "Doom3/trdemo2", "simulated demo to measure")
@@ -200,6 +250,8 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: metrics export...\n")
 	doc.MetricsExport = benchMetricsExport(*demo, *width, *height)
+	fmt.Fprintf(os.Stderr, "benchjson: stage walltime...\n")
+	doc.StageWalltime = measureStageWalltime(*demo, *width, *height, 4, 4)
 	for _, n := range counts {
 		fmt.Fprintf(os.Stderr, "benchjson: pipeline frame, workers=%d...\n", n)
 		doc.PipelineFrame = append(doc.PipelineFrame, benchFrame(*demo, *width, *height, n))

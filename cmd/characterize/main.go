@@ -10,6 +10,9 @@
 //	characterize -exp fig1 -csv out/    # write figure CSVs to a directory
 //	characterize -simframes 4 -frames 500 -exp table16
 //	characterize -exp all -workers 8    # fan demo renders over 8 goroutines
+//	characterize -exp table7 -trace run.json   # Perfetto trace of the run
+//	characterize -exp all -listen :9090        # live /metrics, /progress, pprof
+//	characterize -exp all -progress 50         # stderr ticker every 50 frames
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"runtime"
 
 	"gpuchar"
+	"gpuchar/internal/obsv"
 )
 
 func main() {
@@ -40,6 +44,16 @@ func main() {
 		markdown  = flag.Bool("md", false, "emit tables as markdown")
 		keepGoing = flag.Bool("keep-going", false,
 			"tolerate failing demos/experiments: emit the surviving tables and report the casualties")
+		traceOut = flag.String("trace", "",
+			"write a Chrome/Perfetto trace of the whole run (load it at ui.perfetto.dev)")
+		traceDir = flag.String("tracedir", "",
+			"write one Chrome/Perfetto trace per experiment into this directory")
+		traceSample = flag.Int("trace-sample", 1,
+			"record 1-in-N fine-grained spans (per-draw, per-worker-drain); structural spans are always recorded")
+		listen = flag.String("listen", "",
+			"serve /metrics, /progress, /healthz and /debug/pprof on this address (e.g. :9090)")
+		progressN = flag.Int("progress", 0,
+			"print a progress line (demo, frame, frames/sec) to stderr every N completed frames")
 	)
 	flag.Parse()
 
@@ -52,6 +66,27 @@ func main() {
 			fmt.Printf("%-8s %s  %s\n", e.ID, kind, e.Title)
 		}
 		return
+	}
+
+	// Usage errors exit 2 and name the offending value.
+	if *traceSample < 1 {
+		fmt.Fprintf(os.Stderr, "characterize: -trace-sample %d must be >= 1\n", *traceSample)
+		os.Exit(2)
+	}
+	if *progressN < 0 {
+		fmt.Fprintf(os.Stderr, "characterize: -progress %d must be >= 0\n", *progressN)
+		os.Exit(2)
+	}
+	if *traceOut != "" && *traceDir != "" {
+		fmt.Fprintf(os.Stderr, "characterize: -trace %q and -tracedir %q are mutually exclusive\n",
+			*traceOut, *traceDir)
+		os.Exit(2)
+	}
+	if *frames <= 0 || *simFrames <= 0 || *width <= 0 || *height <= 0 {
+		fmt.Fprintf(os.Stderr,
+			"characterize: -frames %d, -simframes %d, -w %d, -h %d must all be positive\n",
+			*frames, *simFrames, *width, *height)
+		os.Exit(2)
 	}
 
 	ctx := gpuchar.NewContext()
@@ -78,8 +113,42 @@ func main() {
 		ids = []string{*exp}
 	}
 
+	tracker := obsv.NewProgressTracker(len(ids))
+	if *progressN > 0 {
+		tracker.LogEvery = *progressN
+		tracker.LogTo = os.Stderr
+	}
+	ctx.Progress = tracker
+
+	var tr *obsv.Tracer
+	if *traceOut != "" {
+		tr = obsv.New(obsv.Options{SampleEvery: *traceSample})
+		ctx.Trace = tr
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "characterize: -tracedir %q: %v\n", *traceDir, err)
+			os.Exit(1)
+		}
+		ctx.TraceDir = *traceDir
+		ctx.TraceSample = *traceSample
+	}
+	if *listen != "" {
+		srv, err := obsv.StartServer(*listen, obsv.ServerSources{
+			Snapshots: ctx.LiveSnapshots,
+			Progress:  tracker.Snapshot,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "characterize: -listen %q: %v\n", *listen, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "characterize: observability server on http://%s\n", srv.Addr)
+	}
+
 	results, runErr := gpuchar.RunExperiments(ids, ctx)
 	if runErr != nil && !*keepGoing {
+		writeTrace(tr, *traceOut)
 		fmt.Fprintf(os.Stderr, "characterize: %v\n", runErr)
 		os.Exit(1)
 	}
@@ -134,8 +203,31 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
 	}
+	writeTrace(tr, *traceOut)
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "characterize: %v\n", runErr)
 		os.Exit(1)
 	}
+}
+
+// writeTrace dumps the shared tracer to path; it runs on success and on
+// the abort path alike, so a failed sweep still leaves its trace behind.
+func writeTrace(tr *obsv.Tracer, path string) {
+	if tr == nil {
+		return
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "characterize: -trace %q: %v\n", path, err)
+		os.Exit(1)
+	}
+	werr := tr.WriteChromeJSON(out)
+	if cerr := out.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fmt.Fprintf(os.Stderr, "characterize: -trace %q: %v\n", path, werr)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }

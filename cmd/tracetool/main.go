@@ -40,23 +40,13 @@ func main() {
 	)
 	flag.Parse()
 
-	modes := 0
-	for _, m := range []string{*record, *inspect, *replay, *verify} {
-		if m != "" {
-			modes++
-		}
+	opts := options{
+		record: *record, inspect: *inspect, replay: *replay, verify: *verify,
+		simulate: *simulate, lenient: *lenient,
+		frames: *frames, width: *width, height: *height,
 	}
-	switch {
-	case modes != 1:
-		usageErr("exactly one of -record, -inspect, -replay, -verify is required")
-	case *simulate && *replay == "":
-		usageErr("-simulate only applies to -replay")
-	case *lenient && *replay == "":
-		usageErr("-lenient only applies to -replay")
-	case *record != "" && *frames <= 0:
-		usageErr(fmt.Sprintf("-frames %d must be positive", *frames))
-	case *width <= 0 || *height <= 0:
-		usageErr(fmt.Sprintf("framebuffer %dx%d must be positive", *width, *height))
+	if err := opts.validate(); err != nil {
+		usageErr(err.Error())
 	}
 
 	switch {
@@ -83,6 +73,38 @@ func usageErr(msg string) {
 	fmt.Fprintf(os.Stderr, "tracetool: %s\n", msg)
 	flag.Usage()
 	os.Exit(2)
+}
+
+// options is the parsed flag set, separated from flag.Parse so the
+// usage-validation rules are unit-testable.
+type options struct {
+	record, inspect, replay, verify string
+	simulate, lenient               bool
+	frames, width, height           int
+}
+
+// validate enforces the usage rules; every violation names the
+// offending flag and its value. A non-nil error means exit code 2.
+func (o options) validate() error {
+	modes := 0
+	for _, m := range []string{o.record, o.inspect, o.replay, o.verify} {
+		if m != "" {
+			modes++
+		}
+	}
+	switch {
+	case modes != 1:
+		return fmt.Errorf("exactly one of -record, -inspect, -replay, -verify is required (got %d)", modes)
+	case o.simulate && o.replay == "":
+		return fmt.Errorf("-simulate only applies to -replay")
+	case o.lenient && o.replay == "":
+		return fmt.Errorf("-lenient only applies to -replay")
+	case o.record != "" && o.frames <= 0:
+		return fmt.Errorf("-frames %d must be positive", o.frames)
+	case o.width <= 0 || o.height <= 0:
+		return fmt.Errorf("-w %d and -h %d must be positive", o.width, o.height)
+	}
+	return nil
 }
 
 // exitCode maps the error taxonomy onto distinct process exit codes so

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"gpuchar/internal/trace"
+)
+
+// TestValidateUsage pins the flag-validation rules: exactly which
+// combinations are usage errors (exit 2) and that every message names
+// the offending flag value.
+func TestValidateUsage(t *testing.T) {
+	ok := options{replay: "x.trc", frames: 10, width: 1024, height: 768}
+	cases := []struct {
+		name string
+		o    options
+		want string // "" = valid; otherwise a substring of the message
+	}{
+		{"replay ok", ok, ""},
+		{"record ok", options{record: "x.trc", frames: 10, width: 640, height: 480}, ""},
+		{"no mode", options{frames: 10, width: 1, height: 1}, "got 0"},
+		{"two modes", options{record: "a", inspect: "b", frames: 1, width: 1, height: 1}, "got 2"},
+		{"simulate without replay", options{inspect: "a", simulate: true, frames: 1, width: 1, height: 1},
+			"-simulate only applies to -replay"},
+		{"lenient without replay", options{verify: "a", lenient: true, frames: 1, width: 1, height: 1},
+			"-lenient only applies to -replay"},
+		{"bad frames", options{record: "a", frames: -3, width: 1, height: 1}, "-frames -3"},
+		{"bad size", options{replay: "a", frames: 1, width: 0, height: 768}, "-w 0 and -h 768"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.o.validate()
+			if c.want == "" {
+				if err != nil {
+					t.Fatalf("validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validate() = nil, want error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("validate() = %q, want it to contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestExitCode pins the exit-code taxonomy (0 success, 1 failure,
+// 2 usage, 3 trace format, 4 replay) for the error-driven codes,
+// including wrapped errors.
+func TestExitCode(t *testing.T) {
+	format := &trace.FormatError{Cmd: 3, Err: errors.New("bad magic")}
+	replay := &trace.ReplayError{Cmd: 7, Err: errors.New("unknown object")}
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{errors.New("plain failure"), 1},
+		{format, 3},
+		{fmt.Errorf("wrapped: %w", format), 3},
+		{replay, 4},
+		{fmt.Errorf("wrapped: %w", replay), 4},
+	}
+	for _, c := range cases {
+		if got := exitCode(c.err); got != c.want {
+			t.Errorf("exitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"gpuchar/internal/core"
 	"gpuchar/internal/gfxapi"
 	"gpuchar/internal/gpu"
+	"gpuchar/internal/obsv"
 	"gpuchar/internal/trace"
 	"gpuchar/internal/workloads"
 )
@@ -65,6 +66,22 @@ type (
 	TraceRecorder = trace.Recorder
 	// TracePlayer replays a captured stream into a device.
 	TracePlayer = trace.Player
+	// Tracer is the low-overhead execution tracer; bind one to
+	// GPUConfig.Trace or Context.Trace and export Chrome/Perfetto JSON
+	// with WriteChromeJSON. A nil *Tracer is the disabled tracer.
+	Tracer = obsv.Tracer
+	// TracerOptions configures a Tracer (ring capacity, span sampling).
+	TracerOptions = obsv.Options
+	// ProgressTracker aggregates run progress for the -progress ticker
+	// and the observability server's /progress endpoint.
+	ProgressTracker = obsv.ProgressTracker
+	// Progress is a point-in-time run progress report.
+	Progress = obsv.Progress
+	// ObservabilityServer serves /metrics, /progress, /healthz and
+	// /debug/pprof for a running characterization.
+	ObservabilityServer = obsv.Server
+	// ServerSources are the data feeds an ObservabilityServer renders.
+	ServerSources = obsv.ServerSources
 )
 
 // Graphics API dialects (Table I).
@@ -125,6 +142,21 @@ func MicroResultFromGPU(p *Profile, g *GPU, cfg GPUConfig) *MicroResult {
 // NewContext returns an experiment context with paper-resolution
 // defaults.
 func NewContext() *Context { return core.NewContext() }
+
+// NewTracer creates an execution tracer (see Tracer).
+func NewTracer(o TracerOptions) *Tracer { return obsv.New(o) }
+
+// NewProgressTracker starts tracking a run of totalExperiments
+// experiments (0 for runs that are not experiment-shaped).
+func NewProgressTracker(totalExperiments int) *ProgressTracker {
+	return obsv.NewProgressTracker(totalExperiments)
+}
+
+// StartObservabilityServer serves the observability endpoints on addr
+// until Close.
+func StartObservabilityServer(addr string, src ServerSources) (*ObservabilityServer, error) {
+	return obsv.StartServer(addr, src)
+}
 
 // Experiments lists every regenerable paper table and figure.
 func Experiments() []Experiment { return core.Experiments() }

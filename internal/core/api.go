@@ -20,11 +20,18 @@ type APIResult struct {
 // API statistics only — the equivalent of replaying a captured trace
 // through the paper's statistics gatherer.
 func RunAPI(prof *workloads.Profile, frames int) (*APIResult, error) {
+	return runAPIHooked(prof, frames, nil)
+}
+
+// runAPIHooked is RunAPI plus an optional per-frame completion
+// callback, the Context's instrumented path.
+func runAPIHooked(prof *workloads.Profile, frames int, onFrame func(frame int)) (*APIResult, error) {
 	if prof == nil {
 		return nil, fmt.Errorf("core: nil profile")
 	}
 	dev := gfxapi.NewDevice(prof.API, gfxapi.NullBackend{})
 	wl := workloads.New(prof, dev, 1024, 768)
+	wl.OnFrame = onFrame
 	// Scale two-region demos so short runs sample both regions.
 	wl.SetRegionBoundary(frames / 2)
 	if err := runGuarded(prof.Name, dev, wl, frames); err != nil {

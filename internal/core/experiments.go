@@ -7,6 +7,7 @@ import (
 
 	"gpuchar/internal/gpu"
 	"gpuchar/internal/mem"
+	"gpuchar/internal/obsv"
 	"gpuchar/internal/report"
 	"gpuchar/internal/workloads"
 )
@@ -46,10 +47,34 @@ type Context struct {
 	// (the simulation has no cancellation points, so its goroutine is
 	// abandoned and its eventual result discarded).
 	Deadline time.Duration
+	// Trace, when non-nil, receives the whole sweep's spans on one
+	// timeline: per-experiment spans plus every demo render's frame,
+	// stage and draw spans (see internal/obsv). The `characterize
+	// -trace` flag binds one.
+	Trace *obsv.Tracer
+	// TraceDir, when set while Trace is nil, gives each experiment its
+	// own tracer and writes TraceDir/<experiment-id>.json as it
+	// finishes. Because demo renders are cached, a demo's spans land in
+	// the experiment that rendered it first; prefetched renders
+	// (Workers > 1) precede all experiments and are not recorded.
+	TraceDir string
+	// TraceSample is the 1-in-N sampling applied to fine-grained spans
+	// by TraceDir's per-experiment tracers (a Trace tracer carries its
+	// own sampling). <= 1 records everything.
+	TraceSample int
+	// Progress, when non-nil, receives experiment start/end and
+	// per-frame completion events — the shared feed behind the
+	// `-progress` ticker and the HTTP /progress endpoint.
+	Progress *obsv.ProgressTracker
 
 	mu         sync.Mutex
 	apiCache   map[string]*APIResult
 	microCache map[string]*MicroResult
+	// expTracer is the per-experiment tracer while TraceDir drives the
+	// sweep; liveGPUs tracks in-flight simulated renders for the
+	// observability server's live /metrics feed.
+	expTracer *obsv.Tracer
+	liveGPUs  map[string]*gpu.GPU
 	// apiErr/microErr negative-cache failed renders so a poisoned demo
 	// fails once, not once per experiment that references it.
 	apiErr   map[string]error
@@ -85,7 +110,9 @@ func (c *Context) API(name string) (*APIResult, error) {
 	if prof == nil {
 		return nil, fmt.Errorf("core: unknown demo %q", name)
 	}
-	r, err := RunAPI(prof, c.APIFrames)
+	r, err := runAPIHooked(prof, c.APIFrames, func(frame int) {
+		c.Progress.FrameDone(name, frame)
+	})
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err != nil {
@@ -119,7 +146,15 @@ func (c *Context) Micro(name string) (*MicroResult, error) {
 	}
 	cfg := gpu.R520Config(c.W, c.H)
 	cfg.TileWorkers = c.TileWorkers
-	r, err := RunMicroConfig(prof, c.SimFrames, cfg)
+	cfg.Trace = c.tracer()
+	cfg.TraceProcess = name
+	r, err := runMicroHooked(prof, c.SimFrames, cfg, microHooks{
+		onFrame: func(frame int) { c.Progress.FrameDone(name, frame) },
+		onGPU: func(g *gpu.GPU) func() {
+			c.addLiveGPU(name, g)
+			return func() { c.removeLiveGPU(name) }
+		},
+	})
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err != nil {

@@ -30,12 +30,33 @@ func RunMicro(prof *workloads.Profile, frames, w, h int) (*MicroResult, error) {
 // RunMicroConfig is RunMicro with an explicit GPU configuration, used by
 // the ablation benchmarks.
 func RunMicroConfig(prof *workloads.Profile, frames int, cfg gpu.Config) (*MicroResult, error) {
+	return runMicroHooked(prof, frames, cfg, microHooks{})
+}
+
+// microHooks observe one simulated render: a per-frame completion
+// callback and a live-GPU registration hook whose returned func runs
+// when the render finishes (however it ends). Either may be nil.
+type microHooks struct {
+	onFrame func(frame int)
+	onGPU   func(g *gpu.GPU) (done func())
+}
+
+// runMicroHooked is RunMicroConfig plus observability hooks — the
+// shared body behind the public runner and the Context's instrumented
+// path.
+func runMicroHooked(prof *workloads.Profile, frames int, cfg gpu.Config, h microHooks) (*MicroResult, error) {
 	if prof == nil || !prof.Simulated {
 		return nil, fmt.Errorf("core: profile not simulated")
 	}
 	g := gpu.New(cfg)
 	dev := gfxapi.NewDevice(prof.API, g)
 	wl := workloads.New(prof, dev, cfg.Width, cfg.Height)
+	wl.OnFrame = h.onFrame
+	if h.onGPU != nil {
+		if done := h.onGPU(g); done != nil {
+			defer done()
+		}
+	}
 	if err := runGuarded(prof.Name, dev, wl, frames); err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"gpuchar/internal/obsv"
 	"gpuchar/internal/workloads"
 )
 
@@ -96,11 +97,24 @@ func RunExperiments(c *Context, ids []string) ([]*Result, error) {
 	for _, id := range ids {
 		var res *Result
 		var err error
+		c.Progress.StartExperiment(id)
+		expTr := c.beginExperimentTrace()
+		var sp obsv.Span
+		if t := c.tracer(); t.Enabled() {
+			sp = t.Begin(t.Track("experiments", "sweep"), id)
+		}
 		if e := ByID(id); e == nil {
 			err = fmt.Errorf("unknown experiment %q", id)
 		} else {
 			res, err = runExperiment(c, e)
 		}
+		sp.End()
+		if expTr != nil {
+			if werr := c.finishExperimentTrace(id, expTr); werr != nil && err == nil {
+				err = werr
+			}
+		}
+		c.Progress.EndExperiment(id)
 		if err != nil {
 			ee := &ExperimentError{ID: id, Err: err}
 			if !c.KeepGoing {

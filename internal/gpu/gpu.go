@@ -31,6 +31,7 @@ package gpu
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"gpuchar/internal/cache"
 	"gpuchar/internal/fragment"
@@ -39,6 +40,7 @@ import (
 	"gpuchar/internal/gmath"
 	"gpuchar/internal/mem"
 	"gpuchar/internal/metrics"
+	"gpuchar/internal/obsv"
 	"gpuchar/internal/rast"
 	"gpuchar/internal/rop"
 	"gpuchar/internal/shader"
@@ -75,6 +77,14 @@ type Config struct {
 	ZCompression     bool
 	ColorCompression bool
 	FastClear        bool
+
+	// Trace, when non-nil, receives per-frame, per-stage, per-draw and
+	// per-tile-worker spans (see trace.go). Nil keeps tracing compiled
+	// down to a branch per hook.
+	Trace *obsv.Tracer
+	// TraceProcess names the process grouping the GPU's tracks in the
+	// trace viewer — typically the demo name. Empty means "gpu".
+	TraceProcess string
 }
 
 // R520Config returns the ATTILA configuration of Table II at the given
@@ -125,6 +135,9 @@ type pipe struct {
 	zbuf   *zst.Buffer
 	frag   *fragment.Stage
 	target *rop.Target
+	// clk accumulates per-stage busy time while tracing; nil (the
+	// default) keeps the quad path free of timing calls.
+	clk *stageClock
 }
 
 // tileWorker is one fine-grained fragment-backend worker: a pipe over
@@ -178,6 +191,12 @@ type GPU struct {
 
 	frames []FrameStats
 	prev   metrics.Snapshot // cumulative snapshot at last frame boundary
+
+	// gt is the tracing state (nil unless Config.Trace was set).
+	gt *gpuTracer
+	// published is the cumulative snapshot at the last frame boundary,
+	// readable concurrently with rendering (the /metrics live feed).
+	published atomic.Pointer[metrics.Snapshot]
 }
 
 // tileDim is the screen-space binning granularity of the parallel
@@ -263,6 +282,13 @@ func New(cfg Config) *GPU {
 			g.workers = append(g.workers, w)
 		}
 	}
+	if cfg.Trace != nil {
+		g.gt = newGPUTracer(cfg.Trace, cfg.TraceProcess, len(g.workers))
+		g.serial.clk = &g.gt.serial
+		for i, w := range g.workers {
+			w.clk = &g.gt.worker[i]
+		}
+	}
 	return g
 }
 
@@ -327,14 +353,27 @@ func (g *GPU) Execute(dc *gfxapi.DrawCall) {
 	gcfg := geom.Config{
 		ViewportW: g.Cfg.Width, ViewportH: g.Cfg.Height, Cull: dc.State.Cull,
 	}
+	var drawStart, mark int64
+	if g.gt != nil {
+		g.gt.draws++
+		drawStart = obsv.Nanotime()
+		mark = drawStart
+	}
 	tris, _ := g.geom.Draw(dc.VB, dc.IB, dc.Prim, dc.VS, gcfg)
+	if g.gt != nil {
+		g.gt.serial.lap(stGeom, &mark)
+	}
 
 	rcfg := rast.Config{Width: g.Cfg.Width, Height: g.Cfg.Height}
 	if len(g.workers) > 0 {
-		g.executeParallel(tris, dc, rcfg, &zstate, earlyZ)
+		g.executeParallel(tris, dc, rcfg, &zstate, earlyZ, drawStart)
 		return
 	}
 
+	var pre stageClock
+	if g.gt != nil {
+		pre = g.gt.serial
+	}
 	g.emit = emitCtx{g: g, fs: dc.FS, zstate: zstate, ropState: dc.State.Rop, earlyZ: earlyZ}
 	var setup rast.SetupTri
 	for i := range tris {
@@ -344,6 +383,9 @@ func (g *GPU) Execute(dc *gfxapi.DrawCall) {
 		}
 		g.emit.front = tri.FrontFacing
 		g.rast.RasterizeTo(&setup, rcfg, &g.emit)
+	}
+	if g.gt != nil {
+		g.gt.finishSerialDraw(pre, drawStart, mark, len(tris))
 	}
 }
 
@@ -370,7 +412,7 @@ func (bn *binner) EmitQuad(q *rast.Quad) {
 // queue in submission order. The per-draw barrier keeps Clear and
 // EndFrame (main-thread operations) trivially safe.
 func (g *GPU) executeParallel(tris []geom.Triangle, dc *gfxapi.DrawCall,
-	rcfg rast.Config, zstate *zst.State, earlyZ bool) {
+	rcfg rast.Config, zstate *zst.State, earlyZ bool, drawStart int64) {
 
 	for _, w := range g.workers {
 		w.fs.Consts = dc.Consts
@@ -385,6 +427,10 @@ func (g *GPU) executeParallel(tris []geom.Triangle, dc *gfxapi.DrawCall,
 	// they live in a per-draw scratch slice reused across draws. Stale
 	// pointers into an outgrown backing array stay valid: setups are
 	// never mutated after SetupInto.
+	var binStart int64
+	if g.gt != nil {
+		binStart = obsv.Nanotime()
+	}
 	g.setupBuf = g.setupBuf[:0]
 	bn := binner{g: g}
 	for i := range tris {
@@ -402,15 +448,25 @@ func (g *GPU) executeParallel(tris []geom.Triangle, dc *gfxapi.DrawCall,
 		bn.front = tri.FrontFacing
 		g.rast.RasterizeTo(s, rcfg, &bn)
 	}
+	sampled := false
+	if g.gt != nil {
+		g.gt.serial.lap(stRast, &binStart)
+		sampled = g.gt.tr.Sampled(g.gt.draws)
+	}
 
 	var wg sync.WaitGroup
-	for _, w := range g.workers {
+	for wi, w := range g.workers {
 		if len(w.queue) == 0 {
 			continue
 		}
 		wg.Add(1)
-		go func(w *tileWorker) {
+		go func(wi int, w *tileWorker) {
 			defer wg.Done()
+			var sp obsv.Span
+			if sampled {
+				sp = g.gt.tr.Begin(g.gt.workerTk[wi], "drain")
+			}
+			n := len(w.queue)
 			ropState := dc.State.Rop
 			zs := *zstate
 			for i := range w.queue {
@@ -418,9 +474,17 @@ func (g *GPU) executeParallel(tris []geom.Triangle, dc *gfxapi.DrawCall,
 				w.processQuad(&qw.q, dc.FS, &zs, &ropState, earlyZ, qw.front)
 			}
 			w.queue = w.queue[:0]
-		}(w)
+			if sampled {
+				sp.EndArgs(map[string]any{"quads": int64(n)})
+			}
+		}(wi, w)
 	}
 	wg.Wait()
+	if sampled {
+		now := obsv.Nanotime()
+		g.gt.tr.Emit(g.gt.drawTk, "draw", drawStart, now-drawStart,
+			map[string]any{"tris": int64(len(tris)), "draw": int64(g.gt.draws)})
+	}
 }
 
 // processQuad runs one quad through HZ, z & stencil, shading and the
@@ -429,15 +493,26 @@ func (p *pipe) processQuad(q *rast.Quad, fs *shader.Program,
 	zstate *zst.State, ropState *rop.State, earlyZ, frontFacing bool) {
 
 	mask := q.Mask
+	clk := p.clk
+	var mark int64
+	if clk != nil {
+		mark = obsv.Nanotime()
+	}
 
 	// Hierarchical Z runs before shading regardless of early/late z.
 	if !p.zbuf.HZTestQuad(q, zstate) {
 		p.zbuf.RecordHZKill(q, mask)
+		if clk != nil {
+			clk.lap(stZST, &mark)
+		}
 		return
 	}
 
 	if earlyZ {
 		mask = p.zbuf.TestQuad(q, mask, zstate, frontFacing)
+		if clk != nil {
+			clk.lap(stZST, &mark)
+		}
 		if mask == 0 {
 			return
 		}
@@ -446,26 +521,44 @@ func (p *pipe) processQuad(q *rast.Quad, fs *shader.Program,
 			// quad reaches the color stage without being shaded, where
 			// it is dropped — the paper's Table IX "Color Mask" bucket.
 			p.target.WriteQuad(q, mask, &zeroColors, ropState)
+			if clk != nil {
+				clk.lap(stRop, &mark)
+			}
 			return
 		}
 		live, colors := p.frag.ShadeQuad(q, mask, fs)
+		if clk != nil {
+			clk.lap(stFrag, &mark)
+		}
 		if live == 0 {
 			return
 		}
 		p.target.WriteQuad(q, live, colors, ropState)
+		if clk != nil {
+			clk.lap(stRop, &mark)
+		}
 		return
 	}
 
 	// Late z: shade first (the program may kill), then test.
 	live, colors := p.frag.ShadeQuad(q, mask, fs)
+	if clk != nil {
+		clk.lap(stFrag, &mark)
+	}
 	if live == 0 {
 		return
 	}
 	live = p.zbuf.TestQuad(q, live, zstate, frontFacing)
+	if clk != nil {
+		clk.lap(stZST, &mark)
+	}
 	if live == 0 {
 		return
 	}
 	p.target.WriteQuad(q, live, colors, ropState)
+	if clk != nil {
+		clk.lap(stRop, &mark)
+	}
 }
 
 // Clear fast-clears the requested buffers.
@@ -486,17 +579,38 @@ func (g *GPU) Clear(op gfxapi.ClearOp) {
 // statistics. Shard caches flush in worker order, so the merged
 // counters are deterministic for a fixed worker count.
 func (g *GPU) EndFrame() {
+	var mark int64
+	if g.gt != nil {
+		mark = obsv.Nanotime()
+	}
+	// Z flushes then color flushes (each shard flushes into its own mem
+	// counters, so the split loops keep the merged totals identical to
+	// the interleaved order) — the split lets the stage clocks charge
+	// flush time to the right stage.
 	g.zbuf.FlushCache()
-	g.target.FlushCache()
 	for _, w := range g.workers {
 		w.zbuf.FlushCache()
+	}
+	if g.gt != nil {
+		g.gt.serial.lap(stZST, &mark)
+	}
+	g.target.FlushCache()
+	for _, w := range g.workers {
 		w.target.FlushCache()
 	}
 	g.target.ScanOut()
+	if g.gt != nil {
+		g.gt.serial.lap(stRop, &mark)
+	}
 
 	cur := g.MetricsSnapshot()
-	g.frames = append(g.frames, frameStatsFromSnapshot(cur.Diff(g.prev)))
+	diff := cur.Diff(g.prev)
+	g.frames = append(g.frames, frameStatsFromSnapshot(diff))
 	g.prev = cur
+	g.published.Store(&cur)
+	if g.gt != nil {
+		g.gt.endFrame(diff)
+	}
 }
 
 // MetricsSnapshot captures every stage counter since construction as

@@ -1,0 +1,50 @@
+// Span-attribute rendering: the bridge between counter snapshots and
+// the observability tracer. A frame's snapshot diff becomes the
+// attribute map attached to that frame's span, so a Perfetto trace
+// carries the same numbers the tables are computed from; summing the
+// frame spans' attributes reproduces the run's final snapshot exactly
+// (pinned by the gpu package's trace tests).
+package metrics
+
+import "strings"
+
+// Attrs renders the snapshot as span attributes: one entry per
+// non-zero counter, keyed by counter name, integer counters as int64
+// and float-valued ones as float64. Zero counters are dropped to keep
+// traces compact — absence means "no activity", matching the CSV
+// exporter's empty-cell convention. Labels are not included.
+func (s Snapshot) Attrs() map[string]any {
+	return s.AttrsUnder()
+}
+
+// AttrsUnder is Attrs restricted to counters whose name equals one of
+// the given prefixes or lives under it ("zst" matches "zst" and
+// "zst/hz_killed_quads" but not "zstx/..."). No prefixes means no
+// restriction. The per-stage pipeline spans use this to carry exactly
+// their own stage's counter deltas.
+func (s Snapshot) AttrsUnder(prefixes ...string) map[string]any {
+	out := map[string]any{}
+	for _, c := range s.counters {
+		if len(prefixes) > 0 && !underAny(c.Name, prefixes) {
+			continue
+		}
+		switch {
+		case c.IsFloat && c.Float != 0:
+			out[c.Name] = c.Float
+		case !c.IsFloat && c.Int != 0:
+			out[c.Name] = c.Int
+		}
+	}
+	return out
+}
+
+// underAny reports whether name is one of the prefixes or nested under
+// one of them.
+func underAny(name string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if name == p || strings.HasPrefix(name, p+"/") {
+			return true
+		}
+	}
+	return false
+}

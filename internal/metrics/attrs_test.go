@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+// attrsFixture builds a snapshot with nested counters, a zero counter,
+// a float gauge and a prefix-collision name ("zstx" vs "zst").
+func attrsFixture() Snapshot {
+	reg := NewRegistry()
+	var (
+		zst   int64 = 7
+		hz    int64 = 11
+		zero  int64
+		zstx  int64 = 13
+		ratio       = 0.25
+	)
+	reg.Bind("zst", &zst)
+	reg.Bind("zst/hz_killed_quads", &hz)
+	reg.Bind("zst/idle", &zero)
+	reg.Bind("zstx/other", &zstx)
+	reg.BindFloat("frag/alu_per_tex", &ratio)
+	return reg.Snapshot()
+}
+
+func TestAttrsDropsZerosAndKeepsTypes(t *testing.T) {
+	got := attrsFixture().Attrs()
+	want := map[string]any{
+		"zst":                 int64(7),
+		"zst/hz_killed_quads": int64(11),
+		"zstx/other":          int64(13),
+		"frag/alu_per_tex":    0.25,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Attrs() = %#v, want %#v", got, want)
+	}
+	if _, ok := got["zst/idle"]; ok {
+		t.Error("zero counter survived into attrs")
+	}
+	if _, ok := got["zst"].(int64); !ok {
+		t.Errorf("integer counter rendered as %T, want int64", got["zst"])
+	}
+	if _, ok := got["frag/alu_per_tex"].(float64); !ok {
+		t.Errorf("float counter rendered as %T, want float64", got["frag/alu_per_tex"])
+	}
+}
+
+// TestAttrsUnderPrefixBoundary pins the prefix semantics the stage
+// spans rely on: a prefix matches itself and its "/"-nested children,
+// never a sibling that merely shares leading characters.
+func TestAttrsUnderPrefixBoundary(t *testing.T) {
+	s := attrsFixture()
+	got := s.AttrsUnder("zst")
+	want := map[string]any{
+		"zst":                 int64(7),
+		"zst/hz_killed_quads": int64(11),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf(`AttrsUnder("zst") = %#v, want %#v`, got, want)
+	}
+
+	if got := s.AttrsUnder("frag", "zstx"); len(got) != 2 {
+		t.Errorf(`AttrsUnder("frag", "zstx") = %#v, want 2 entries`, got)
+	}
+	if got := s.AttrsUnder("nope"); len(got) != 0 {
+		t.Errorf(`AttrsUnder("nope") = %#v, want empty`, got)
+	}
+	// No prefixes = unrestricted, identical to Attrs.
+	if got := s.AttrsUnder(); !reflect.DeepEqual(got, s.Attrs()) {
+		t.Errorf("AttrsUnder() = %#v, want Attrs()", got)
+	}
+}
+
+// TestAttrsPartition checks that disjoint prefix sets split a snapshot
+// without overlap or loss — the invariant behind the per-stage spans
+// summing to the frame span.
+func TestAttrsPartition(t *testing.T) {
+	s := attrsFixture()
+	parts := [][]string{{"zst"}, {"zstx"}, {"frag"}}
+	union := map[string]any{}
+	for _, p := range parts {
+		for k, v := range s.AttrsUnder(p...) {
+			if _, dup := union[k]; dup {
+				t.Errorf("counter %s matched two prefix sets", k)
+			}
+			union[k] = v
+		}
+	}
+	if !reflect.DeepEqual(union, s.Attrs()) {
+		t.Errorf("partition union = %#v, want %#v", union, s.Attrs())
+	}
+}

@@ -1,0 +1,94 @@
+// Chrome trace-event export: the tracer's ring serialized as the JSON
+// object format that chrome://tracing and ui.perfetto.dev load
+// directly. Every registered track becomes a named process/thread pair,
+// so a characterize run shows one process per demo with frame, stage
+// and tile-worker rows inside it.
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// TraceSchemaID identifies the exported trace document; the checked-in
+// trace_events_schema.json validates against it in CI.
+const TraceSchemaID = "gpuchar/trace/v1"
+
+// chromeEvent is one trace-event in Chrome's JSON object format.
+// Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int32          `json:"pid"`
+	Tid  int32          `json:"tid"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the top-level trace document.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData"`
+}
+
+// us converts tracer nanoseconds to trace-event microseconds.
+func us(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WriteChromeJSON serializes the recorded events as a Chrome
+// trace-event document. Metadata events naming every registered track
+// come first, then the payload events oldest-first. Safe to call while
+// other goroutines still emit; the export is a consistent point-in-time
+// copy.
+func (t *Tracer) WriteChromeJSON(w io.Writer) error {
+	doc := chromeDoc{
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]any{"schema": TraceSchemaID},
+	}
+	if t != nil {
+		t.mu.Lock()
+		procs := append([]string(nil), t.procs...)
+		threads := append([]trackName(nil), t.threads...)
+		dropped := uint64(0)
+		if t.next > uint64(len(t.buf)) {
+			dropped = t.next - uint64(len(t.buf))
+		}
+		t.mu.Unlock()
+		if dropped > 0 {
+			doc.OtherData["dropped_events"] = dropped
+		}
+		for i, name := range procs {
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: int32(i + 1), Tid: 0,
+				Args: map[string]any{"name": name},
+			})
+		}
+		for _, tn := range threads {
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: tn.pid, Tid: tn.tid,
+				Args: map[string]any{"name": tn.name},
+			})
+		}
+		for _, e := range t.Events() {
+			ce := chromeEvent{
+				Name: e.Name, Ph: string(e.Ph), Pid: e.Pid, Tid: e.Tid,
+				TS: us(e.TS), Args: e.Args,
+			}
+			if e.Ph == 'X' {
+				d := us(e.Dur)
+				ce.Dur = &d
+			}
+			if e.Ph == 'i' {
+				ce.S = "t" // thread-scoped instant
+			}
+			doc.TraceEvents = append(doc.TraceEvents, ce)
+		}
+	}
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []chromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,253 @@
+// Package obsv is the pipeline's execution-observability layer: a
+// low-overhead span/event tracer whose output opens directly in
+// ui.perfetto.dev (chrome.go), a progress model for long characterization
+// runs (progress.go), and an HTTP server exposing live metrics, progress
+// and pprof endpoints (server.go).
+//
+// The tracer is designed around one invariant: when tracing is off it
+// must cost nothing but a branch. Every method on *Tracer and Span is
+// nil-safe, so instrumented code holds a possibly-nil *Tracer and calls
+// it unconditionally; with a nil receiver each hook compiles to a
+// pointer test and an immediate return. No build tags, no interface
+// dispatch, no indirection through function values.
+//
+// When tracing is on, events go into a fixed-capacity ring under a
+// mutex: multi-minute runs are bounded in memory (the newest events
+// win, the overwrite count is reported in the export) and tile workers
+// can emit concurrently. Fine-grained spans (per-draw, per-worker-drain)
+// honor a 1-in-N sampling knob; structural spans (per-frame, per-stage,
+// per-experiment) are always recorded.
+package obsv
+
+import (
+	"sync"
+	"time"
+)
+
+// base anchors Nanotime: all tracer timestamps are monotonic
+// nanoseconds since process start, so spans from concurrently rendering
+// demos land on one consistent timeline.
+var base = time.Now()
+
+// Nanotime returns monotonic nanoseconds since process start.
+func Nanotime() int64 { return int64(time.Since(base)) }
+
+// Track identifies one timeline in the trace: a (process, thread) pair
+// in Chrome trace-event terms. Processes group tracks (one per demo, or
+// "experiments"); threads are the individual rows inside the group
+// ("frames", "geom", "tile-worker-3", ...). The zero Track is valid and
+// maps to an unnamed process/thread 0.
+type Track struct {
+	Pid, Tid int32
+}
+
+// Event is one recorded trace event. Ph follows the Chrome trace-event
+// phase alphabet; the tracer emits 'X' (complete span), 'i' (instant)
+// and 'C' (counter).
+type Event struct {
+	Name string
+	Ph   byte
+	Pid  int32
+	Tid  int32
+	TS   int64 // ns since process start
+	Dur  int64 // ns, 'X' only
+	Args map[string]any
+}
+
+// Options configures a Tracer.
+type Options struct {
+	// Capacity is the ring size in events; once full, new events
+	// overwrite the oldest. <= 0 selects DefaultCapacity.
+	Capacity int
+	// SampleEvery records 1-in-N fine-grained spans (per-draw,
+	// per-worker-drain). <= 1 records all of them. Structural spans
+	// ignore it.
+	SampleEvery int
+}
+
+// DefaultCapacity is the default ring size: large enough for a full
+// characterize run's structural spans, bounded enough to cap memory at
+// a few tens of megabytes.
+const DefaultCapacity = 1 << 20
+
+// Tracer collects spans and events into a ring buffer. A nil *Tracer is
+// the disabled tracer: every method is a no-op and Begin/Emit cost one
+// branch. Create one with New; share it freely across goroutines.
+type Tracer struct {
+	sample uint64
+
+	mu      sync.Mutex
+	buf     []Event
+	next    uint64 // total events ever written; buf index is next % len
+	procs   []string
+	procIDs map[string]int32
+	threads []trackName
+}
+
+// trackName records a registered thread track for export metadata.
+type trackName struct {
+	pid  int32
+	tid  int32
+	name string
+}
+
+// New creates a tracer. The zero Options give a DefaultCapacity ring
+// with no sampling.
+func New(o Options) *Tracer {
+	capacity := o.Capacity
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	sample := o.SampleEvery
+	if sample < 1 {
+		sample = 1
+	}
+	return &Tracer{
+		sample:  uint64(sample),
+		buf:     make([]Event, 0, capacity),
+		procIDs: map[string]int32{},
+	}
+}
+
+// Enabled reports whether the tracer records anything; callers use it
+// to skip argument construction on the disabled path.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Sampled reports whether the n-th fine-grained span should be
+// recorded under the tracer's 1-in-N sampling. Structural spans skip
+// this check and are always recorded.
+func (t *Tracer) Sampled(n uint64) bool {
+	return t != nil && (t.sample <= 1 || n%t.sample == 0)
+}
+
+// Track registers (or finds) the timeline for the given process and
+// thread names and returns its id. Registration takes the tracer lock;
+// instrumented code resolves its tracks once, up front, and emits
+// against the ids. A nil tracer returns the zero Track.
+func (t *Tracer) Track(process, thread string) Track {
+	if t == nil {
+		return Track{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pid, ok := t.procIDs[process]
+	if !ok {
+		t.procs = append(t.procs, process)
+		pid = int32(len(t.procs)) // 1-based: pid 0 stays unnamed
+		t.procIDs[process] = pid
+	}
+	for _, tn := range t.threads {
+		if tn.pid == pid && tn.name == thread {
+			return Track{Pid: pid, Tid: tn.tid}
+		}
+	}
+	tid := int32(1)
+	for _, tn := range t.threads {
+		if tn.pid == pid && tn.tid >= tid {
+			tid = tn.tid + 1
+		}
+	}
+	t.threads = append(t.threads, trackName{pid: pid, tid: tid, name: thread})
+	return Track{Pid: pid, Tid: tid}
+}
+
+// emit appends one event to the ring, overwriting the oldest once full.
+func (t *Tracer) emit(e Event) {
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+	} else {
+		t.buf[t.next%uint64(len(t.buf))] = e
+	}
+	t.next++
+	t.mu.Unlock()
+}
+
+// Emit records a complete span with explicit timing: the path for
+// synthetic spans reconstructed from accumulated stage clocks rather
+// than live Begin/End pairs. startNS is Nanotime-based; durNS >= 0.
+func (t *Tracer) Emit(tk Track, name string, startNS, durNS int64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Name: name, Ph: 'X', Pid: tk.Pid, Tid: tk.Tid, TS: startNS, Dur: durNS, Args: args})
+}
+
+// Instant records a zero-duration event.
+func (t *Tracer) Instant(tk Track, name string, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Name: name, Ph: 'i', Pid: tk.Pid, Tid: tk.Tid, TS: Nanotime(), Args: args})
+}
+
+// Counter records a counter sample (a stepped time series in Perfetto).
+func (t *Tracer) Counter(tk Track, name string, value float64) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Name: name, Ph: 'C', Pid: tk.Pid, Tid: tk.Tid, TS: Nanotime(),
+		Args: map[string]any{"value": value}})
+}
+
+// Span is an in-flight interval opened by Begin. The zero Span (from a
+// nil tracer) is valid and End on it is a no-op.
+type Span struct {
+	t     *Tracer
+	tk    Track
+	name  string
+	start int64
+}
+
+// Begin opens a span on the given track. On a nil tracer this is one
+// branch and returns the no-op Span.
+func (t *Tracer) Begin(tk Track, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, tk: tk, name: name, start: Nanotime()}
+}
+
+// End closes the span.
+func (s Span) End() { s.EndArgs(nil) }
+
+// EndArgs closes the span, attaching the given attributes.
+func (s Span) EndArgs(args map[string]any) {
+	if s.t == nil {
+		return
+	}
+	s.t.emit(Event{Name: s.name, Ph: 'X', Pid: s.tk.Pid, Tid: s.tk.Tid,
+		TS: s.start, Dur: Nanotime() - s.start, Args: args})
+}
+
+// Events returns a copy of the recorded events, oldest first. With a
+// wrapped ring only the newest Capacity events remain.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	if t.next > uint64(len(t.buf)) { // wrapped: oldest is at next % len
+		start := t.next % uint64(len(t.buf))
+		out = append(out, t.buf[start:]...)
+		out = append(out, t.buf[:start]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}
+
+// Dropped returns how many events were overwritten by ring wrap-around.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.next <= uint64(len(t.buf)) {
+		return 0
+	}
+	return t.next - uint64(len(t.buf))
+}

@@ -1,0 +1,252 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer Enabled() = true")
+	}
+	if tr.Sampled(0) {
+		t.Error("nil tracer Sampled() = true")
+	}
+	tk := tr.Track("p", "t")
+	if tk != (Track{}) {
+		t.Errorf("nil tracer Track() = %+v, want zero", tk)
+	}
+	tr.Emit(tk, "x", 0, 1, nil)
+	tr.Instant(tk, "x", nil)
+	tr.Counter(tk, "x", 1)
+	sp := tr.Begin(tk, "x")
+	sp.End()
+	sp.EndArgs(map[string]any{"k": 1})
+	if got := tr.Events(); got != nil {
+		t.Errorf("nil tracer Events() = %v, want nil", got)
+	}
+	if tr.Dropped() != 0 {
+		t.Error("nil tracer Dropped() != 0")
+	}
+}
+
+func TestTrackRegistration(t *testing.T) {
+	tr := New(Options{})
+	a := tr.Track("demoA", "frames")
+	b := tr.Track("demoA", "draws")
+	c := tr.Track("demoB", "frames")
+	if a.Pid != b.Pid {
+		t.Errorf("same process got pids %d and %d", a.Pid, b.Pid)
+	}
+	if a.Tid == b.Tid {
+		t.Errorf("distinct threads share tid %d", a.Tid)
+	}
+	if a.Pid == c.Pid {
+		t.Errorf("distinct processes share pid %d", a.Pid)
+	}
+	if again := tr.Track("demoA", "frames"); again != a {
+		t.Errorf("re-registration moved track: %+v vs %+v", again, a)
+	}
+}
+
+func TestRingOverwriteAndDropped(t *testing.T) {
+	tr := New(Options{Capacity: 4})
+	tk := tr.Track("p", "t")
+	for i := 0; i < 10; i++ {
+		tr.Emit(tk, "e", int64(i), 1, nil)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len(Events()) = %d, want 4", len(evs))
+	}
+	// Oldest-first: the survivors are events 6..9.
+	for i, e := range evs {
+		if e.TS != int64(6+i) {
+			t.Errorf("event %d TS = %d, want %d", i, e.TS, 6+i)
+		}
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("Dropped() = %d, want 6", tr.Dropped())
+	}
+}
+
+func TestSampling(t *testing.T) {
+	tr := New(Options{SampleEvery: 4})
+	hits := 0
+	for n := uint64(0); n < 16; n++ {
+		if tr.Sampled(n) {
+			hits++
+		}
+	}
+	if hits != 4 {
+		t.Errorf("1-in-4 sampling hit %d of 16", hits)
+	}
+	all := New(Options{})
+	for n := uint64(0); n < 8; n++ {
+		if !all.Sampled(n) {
+			t.Fatalf("unsampled tracer skipped span %d", n)
+		}
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	tr := New(Options{Capacity: 1 << 10})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tk := tr.Track("p", "t")
+			for i := 0; i < 100; i++ {
+				tr.Emit(tk, "e", int64(i), 1, nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(tr.Events()); got != 800 {
+		t.Errorf("Events() = %d, want 800", got)
+	}
+}
+
+// TestWriteChromeJSON pins the export shape Perfetto needs: metadata
+// naming events first, microsecond timestamps, dur on 'X' spans and the
+// schema marker in otherData.
+func TestWriteChromeJSON(t *testing.T) {
+	tr := New(Options{})
+	tk := tr.Track("demo", "frames")
+	tr.Emit(tk, "frame", 2000, 3000, map[string]any{"frame": int64(0)})
+	tr.Instant(tk, "mark", nil)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int32          `json:"pid"`
+			Tid  int32          `json:"tid"`
+			TS   float64        `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.OtherData["schema"] != TraceSchemaID {
+		t.Errorf("schema = %v, want %s", doc.OtherData["schema"], TraceSchemaID)
+	}
+	var haveProc, haveThread bool
+	var frame *int
+	for i, e := range doc.TraceEvents {
+		switch e.Name {
+		case "process_name":
+			haveProc = true
+			if e.Ph != "M" {
+				t.Errorf("process_name ph = %q", e.Ph)
+			}
+		case "thread_name":
+			haveThread = true
+		case "frame":
+			idx := i
+			frame = &idx
+		}
+	}
+	if !haveProc || !haveThread {
+		t.Fatalf("metadata missing: process=%v thread=%v", haveProc, haveThread)
+	}
+	if frame == nil {
+		t.Fatal("frame span missing")
+	}
+	f := doc.TraceEvents[*frame]
+	if f.TS != 2 || f.Dur == nil || *f.Dur != 3 {
+		t.Errorf("frame ts/dur = %g/%v, want 2/3 (microseconds)", f.TS, f.Dur)
+	}
+
+	// An empty tracer still exports a well-formed document with an
+	// events array (not null).
+	var empty bytes.Buffer
+	if err := New(Options{}).WriteChromeJSON(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), `"traceEvents":[]`) &&
+		!strings.Contains(empty.String(), `"traceEvents": []`) {
+		t.Errorf("empty export lacks traceEvents array: %s", empty.String())
+	}
+}
+
+func TestProgressTracker(t *testing.T) {
+	p := NewProgressTracker(3)
+	p.StartExperiment("table7")
+	p.StartExperiment("table9")
+	s := p.Snapshot()
+	if s.Experiments.Total != 3 || s.Experiments.Done != 0 {
+		t.Errorf("total/done = %d/%d, want 3/0", s.Experiments.Total, s.Experiments.Done)
+	}
+	if len(s.Experiments.Running) != 2 || s.Experiments.Running[0] != "table7" {
+		t.Errorf("running = %v, want sorted [table7 table9]", s.Experiments.Running)
+	}
+	for f := 0; f < 5; f++ {
+		p.FrameDone("Doom3/trdemo2", f)
+	}
+	p.EndExperiment("table7")
+	s = p.Snapshot()
+	if s.Experiments.Done != 1 || len(s.Experiments.Running) != 1 {
+		t.Errorf("after end: done=%d running=%v", s.Experiments.Done, s.Experiments.Running)
+	}
+	if s.Frames.Done != 5 {
+		t.Errorf("frames done = %d, want 5", s.Frames.Done)
+	}
+	if s.Demos["Doom3/trdemo2"] != 4 {
+		t.Errorf("demo frame = %d, want 4", s.Demos["Doom3/trdemo2"])
+	}
+	if s.ETASeconds < 0 {
+		t.Errorf("ETA = %f", s.ETASeconds)
+	}
+
+	// Nil tracker: every method is a no-op.
+	var nilP *ProgressTracker
+	nilP.StartExperiment("x")
+	nilP.EndExperiment("x")
+	nilP.FrameDone("d", 0)
+	if got := nilP.Snapshot(); got.Frames.Done != 0 {
+		t.Errorf("nil tracker snapshot = %+v", got)
+	}
+}
+
+func TestProgressTicker(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgressTracker(1)
+	p.LogEvery = 2
+	p.LogTo = &buf
+	for f := 0; f < 4; f++ {
+		p.FrameDone("UT2004/Primeval", f)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("ticker printed %d lines, want 2: %q", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], "demo=UT2004/Primeval") ||
+		!strings.Contains(lines[0], "frame=1") ||
+		!strings.Contains(lines[0], "frames/sec=") {
+		t.Errorf("ticker line = %q", lines[0])
+	}
+}
+
+func TestNanotimeMonotonic(t *testing.T) {
+	a := Nanotime()
+	time.Sleep(time.Millisecond)
+	b := Nanotime()
+	if b <= a {
+		t.Errorf("Nanotime not monotonic: %d then %d", a, b)
+	}
+}

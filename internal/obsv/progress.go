@@ -1,0 +1,167 @@
+// Progress model for long characterization runs: one tracker shared by
+// the experiment fan-out, the per-frame workload hooks, the `/progress`
+// HTTP endpoint and the `-progress` stderr ticker, so every consumer
+// reports from the same numbers.
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// rateWindow is how many recent frame completions the frames/sec
+// estimate averages over.
+const rateWindow = 64
+
+// ExperimentProgress is the experiment-level slice of a Progress report.
+type ExperimentProgress struct {
+	Total   int      `json:"total"`
+	Done    int      `json:"done"`
+	Running []string `json:"running,omitempty"`
+}
+
+// FrameProgress is the frame-level slice of a Progress report.
+type FrameProgress struct {
+	Done   int64   `json:"done"`
+	PerSec float64 `json:"per_sec"`
+}
+
+// Progress is the point-in-time state of a run: the `/progress`
+// endpoint's JSON document.
+type Progress struct {
+	ElapsedSeconds float64            `json:"elapsed_seconds"`
+	Experiments    ExperimentProgress `json:"experiments"`
+	Frames         FrameProgress      `json:"frames"`
+	// Demos maps each demo that has completed at least one frame to its
+	// last finished zero-based frame index.
+	Demos map[string]int `json:"demos,omitempty"`
+	// ETASeconds extrapolates the remaining experiments from the average
+	// time per finished one; 0 until the first experiment completes.
+	ETASeconds float64 `json:"eta_seconds"`
+}
+
+// ProgressTracker accumulates run progress. All methods are safe for
+// concurrent use and nil-safe, so instrumented code calls them
+// unconditionally. Create one with NewProgressTracker.
+type ProgressTracker struct {
+	// LogEvery, when > 0, prints a liveness line to LogTo after every
+	// LogEvery-th completed frame — the `characterize -progress` ticker.
+	LogEvery int
+	// LogTo receives the ticker lines (typically os.Stderr).
+	LogTo io.Writer
+
+	mu        sync.Mutex
+	start     time.Time
+	total     int
+	done      int
+	running   map[string]bool
+	frames    int64
+	times     [rateWindow]time.Time // ring of recent frame completions
+	demoFrame map[string]int
+}
+
+// NewProgressTracker starts tracking a run of totalExperiments
+// experiments (0 when the run is not experiment-shaped, e.g. attilasim).
+func NewProgressTracker(totalExperiments int) *ProgressTracker {
+	return &ProgressTracker{
+		start:     time.Now(),
+		total:     totalExperiments,
+		running:   map[string]bool{},
+		demoFrame: map[string]int{},
+	}
+}
+
+// StartExperiment marks an experiment as running.
+func (p *ProgressTracker) StartExperiment(id string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.running[id] = true
+	p.mu.Unlock()
+}
+
+// EndExperiment marks an experiment as finished (however it ended).
+func (p *ProgressTracker) EndExperiment(id string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	delete(p.running, id)
+	p.done++
+	p.mu.Unlock()
+}
+
+// FrameDone records one completed frame of a demo render and, when the
+// ticker is configured, prints the liveness line every LogEvery frames.
+func (p *ProgressTracker) FrameDone(demo string, frame int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.demoFrame[demo] = frame
+	p.times[p.frames%rateWindow] = time.Now()
+	p.frames++
+	tick := p.LogEvery > 0 && p.LogTo != nil && p.frames%int64(p.LogEvery) == 0
+	var rate float64
+	if tick {
+		rate = p.rateLocked()
+	}
+	w := p.LogTo
+	p.mu.Unlock()
+	if tick {
+		fmt.Fprintf(w, "progress: demo=%s frame=%d frames/sec=%.1f\n", demo, frame, rate)
+	}
+}
+
+// rateLocked estimates frames/sec over the recent completion window.
+// Callers hold p.mu.
+func (p *ProgressTracker) rateLocked() float64 {
+	n := p.frames
+	if n < 2 {
+		return 0
+	}
+	span := int64(rateWindow)
+	if n < span {
+		span = n
+	}
+	newest := p.times[(n-1)%rateWindow]
+	oldest := p.times[(n-span)%rateWindow]
+	dt := newest.Sub(oldest).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return float64(span-1) / dt
+}
+
+// Snapshot returns the current progress report.
+func (p *ProgressTracker) Snapshot() Progress {
+	if p == nil {
+		return Progress{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := Progress{
+		ElapsedSeconds: time.Since(p.start).Seconds(),
+		Experiments:    ExperimentProgress{Total: p.total, Done: p.done},
+		Frames:         FrameProgress{Done: p.frames, PerSec: p.rateLocked()},
+	}
+	for id := range p.running {
+		out.Experiments.Running = append(out.Experiments.Running, id)
+	}
+	sort.Strings(out.Experiments.Running)
+	if len(p.demoFrame) > 0 {
+		out.Demos = make(map[string]int, len(p.demoFrame))
+		for d, f := range p.demoFrame {
+			out.Demos[d] = f
+		}
+	}
+	if p.done > 0 && p.total > p.done {
+		perExp := time.Since(p.start).Seconds() / float64(p.done)
+		out.ETASeconds = perExp * float64(p.total-p.done)
+	}
+	return out
+}

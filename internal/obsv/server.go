@@ -1,0 +1,112 @@
+// The observability HTTP server: a small mux over the live metrics
+// registry snapshots, the run's progress model, and the standard pprof
+// profiling endpoints, mounted behind `-listen` on both attilasim and
+// characterize so multi-minute runs are inspectable while they execute.
+//
+//	/metrics       Prometheus text: live counter snapshots + run gauges
+//	/progress      Progress JSON (experiments done/running, frames/sec, ETA)
+//	/healthz       liveness probe
+//	/debug/pprof/  CPU/heap/goroutine profiles (net/http/pprof)
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"gpuchar/internal/metrics"
+)
+
+// ServerSources are the data feeds the server renders. Either may be
+// nil: /metrics then serves only the run gauges, /progress an empty
+// report.
+type ServerSources struct {
+	// Snapshots returns the live counter snapshots to expose on
+	// /metrics. It is called per scrape and must be safe for concurrent
+	// use with the running simulation (the GPU publishes frame-boundary
+	// snapshots for exactly this reason).
+	Snapshots func() []metrics.Snapshot
+	// Progress returns the run's progress report for /progress and the
+	// obsv_* gauges on /metrics.
+	Progress func() Progress
+}
+
+// Server is a running observability server. Create with StartServer,
+// stop with Close.
+type Server struct {
+	Addr string // actual listen address (resolves ":0" ports)
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// StartServer listens on addr and serves the observability endpoints in
+// a background goroutine until Close.
+func StartServer(addr string, src ServerSources) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obsv: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeRunGauges(w, src)
+		if src.Snapshots != nil {
+			_ = metrics.WriteProm(w, "gpuchar", src.Snapshots())
+		}
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		var p Progress
+		if src.Progress != nil {
+			p = src.Progress()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(p)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:   ln,
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// writeRunGauges renders the server's own gauges, so /metrics is
+// non-empty from the first scrape even before any snapshot exists.
+func writeRunGauges(w http.ResponseWriter, src ServerSources) {
+	var p Progress
+	if src.Progress != nil {
+		p = src.Progress()
+	}
+	fmt.Fprintf(w, "obsv_up 1\n")
+	fmt.Fprintf(w, "obsv_elapsed_seconds %g\n", p.ElapsedSeconds)
+	fmt.Fprintf(w, "obsv_experiments_total %d\n", p.Experiments.Total)
+	fmt.Fprintf(w, "obsv_experiments_done %d\n", p.Experiments.Done)
+	fmt.Fprintf(w, "obsv_experiments_running %d\n", len(p.Experiments.Running))
+	fmt.Fprintf(w, "obsv_frames_done %d\n", p.Frames.Done)
+	fmt.Fprintf(w, "obsv_frames_per_second %g\n", p.Frames.PerSec)
+	fmt.Fprintf(w, "obsv_eta_seconds %g\n", p.ETASeconds)
+}
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,125 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"gpuchar/internal/metrics"
+)
+
+// startTestServer brings up a server on an ephemeral port with one live
+// counter snapshot and a progress feed.
+func startTestServer(t *testing.T) *Server {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	var frags int64 = 4096
+	reg.Bind("rast/fragments", &frags)
+	snap := reg.Snapshot().WithLabels("demo", "Doom3/trdemo2", "state", "running")
+	p := NewProgressTracker(2)
+	p.StartExperiment("table7")
+	p.FrameDone("Doom3/trdemo2", 0)
+
+	srv, err := StartServer("127.0.0.1:0", ServerSources{
+		Snapshots: func() []metrics.Snapshot { return []metrics.Snapshot{snap} },
+		Progress:  p.Snapshot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func get(t *testing.T, srv *Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr, path))
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	srv := startTestServer(t)
+
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, body = get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"obsv_up 1",
+		"obsv_experiments_total 2",
+		"obsv_frames_done 1",
+		"gpuchar_rast_fragments",
+		`demo="Doom3/trdemo2"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, srv, "/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/progress = %d", code)
+	}
+	for _, want := range []string{`"total": 2`, `"table7"`, `"done": 1`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/progress missing %q in:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+}
+
+// TestServerNilSources checks the endpoints degrade gracefully with no
+// data feeds: /metrics still serves the run gauges (CI scrapes once and
+// asserts non-empty output).
+func TestServerNilSources(t *testing.T) {
+	srv, err := StartServer("127.0.0.1:0", ServerSources{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "obsv_up 1") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	code, body = get(t, srv, "/progress")
+	if code != http.StatusOK || !strings.Contains(body, `"elapsed_seconds"`) {
+		t.Errorf("/progress = %d %q", code, body)
+	}
+}
+
+func TestServerClose(t *testing.T) {
+	srv, err := StartServer("127.0.0.1:0", ServerSources{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("server still serving after Close")
+	}
+	var nilSrv *Server
+	if err := nilSrv.Close(); err != nil {
+		t.Errorf("nil server Close() = %v", err)
+	}
+}
