@@ -22,7 +22,6 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,30 +29,19 @@ import (
 	"runtime"
 
 	"gpuchar"
+	"gpuchar/internal/cliutil"
 	"gpuchar/internal/mem"
 	"gpuchar/internal/metrics"
 	"gpuchar/internal/obsv"
-	"gpuchar/internal/trace"
 )
 
-// exitCode maps the error taxonomy onto distinct process exit codes so
-// scripts can tell a malformed trace (3) from a replay failure (4) from
-// everything else (1) — the same table tracetool uses.
-func exitCode(err error) int {
-	var fe *trace.FormatError
-	var re *trace.ReplayError
-	switch {
-	case errors.As(err, &fe):
-		return 3
-	case errors.As(err, &re):
-		return 4
-	}
-	return 1
-}
+// exitCode is the shared taxonomy (1 failure, 3 trace format error,
+// 4 replay error) — the same table tracetool uses; a package variable
+// so tests can pin it by name.
+var exitCode = cliutil.ExitCode
 
 func fail(err error) {
-	fmt.Fprintf(os.Stderr, "attilasim: %v\n", err)
-	os.Exit(exitCode(err))
+	cliutil.Fail("attilasim", err)
 }
 
 func main() {
@@ -88,17 +76,16 @@ func main() {
 
 	prof := gpuchar.ProfileByName(*demo)
 	if prof == nil || !prof.Simulated {
-		fmt.Fprintf(os.Stderr, "attilasim: -demo %q is not a simulated demo (see -list)\n", *demo)
-		os.Exit(2)
+		cliutil.Usagef("attilasim", "-demo %q is not a simulated demo (see -list)", *demo)
 	}
-	if *frames <= 0 || *width <= 0 || *height <= 0 {
-		fmt.Fprintf(os.Stderr, "attilasim: -frames %d, -w %d, -h %d must all be positive\n",
-			*frames, *width, *height)
-		os.Exit(2)
+	if err := cliutil.PositiveFlags(
+		cliutil.Flag{Name: "-frames", Value: *frames},
+		cliutil.Flag{Name: "-w", Value: *width},
+		cliutil.Flag{Name: "-h", Value: *height}); err != nil {
+		cliutil.Usagef("attilasim", "%v", err)
 	}
 	if *traceSample < 1 {
-		fmt.Fprintf(os.Stderr, "attilasim: -trace-sample %d must be >= 1\n", *traceSample)
-		os.Exit(2)
+		cliutil.Usagef("attilasim", "-trace-sample %d must be >= 1", *traceSample)
 	}
 	cfg := gpuchar.R520Config(*width, *height)
 	cfg.TileWorkers = *workers
@@ -136,8 +123,7 @@ func main() {
 			Progress: tracker.Snapshot,
 		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "attilasim: -listen %q: %v\n", *listen, err)
-			os.Exit(1)
+			fail(fmt.Errorf("-listen %q: %w", *listen, err))
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "attilasim: observability server on http://%s\n", srv.Addr)

@@ -11,19 +11,23 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"strconv"
 	"testing"
+	"time"
 
 	"gpuchar"
 	"gpuchar/internal/geom"
 	"gpuchar/internal/metrics"
 	"gpuchar/internal/obsv"
 	"gpuchar/internal/rast"
+	"gpuchar/internal/serve"
 )
 
 // measurement is one benchmark result in the output JSON.
@@ -62,6 +66,19 @@ type output struct {
 	// share of the accounted total per pipeline stage. Shares, not
 	// absolutes, are the reviewable signal — wall-clock varies by host.
 	StageWalltime *stageWalltime `json:"stage_walltime,omitempty"`
+
+	// ServiceThroughput is the serve scheduler's end-to-end job rate:
+	// identical-cost API-level jobs pushed through the queue at several
+	// worker counts. The scaling ratio between counts, not the absolute
+	// rate, is the reviewable signal.
+	ServiceThroughput *serviceThroughput `json:"service_throughput,omitempty"`
+}
+
+// serviceThroughput is the jobs/sec sweep over scheduler worker counts.
+type serviceThroughput struct {
+	Jobs       int                `json:"jobs"`
+	APIFrames  int                `json:"api_frames"`
+	JobsPerSec map[string]float64 `json:"jobs_per_sec"`
 }
 
 // stageWalltime is the per-stage timing summary derived from the
@@ -228,6 +245,55 @@ func measureStageWalltime(demo string, w, h, workers, frames int) *stageWalltime
 	return out
 }
 
+// measureServiceThroughput pushes n identical-cost jobs through a
+// fresh serve.Service per worker count and reports jobs/sec. Each job
+// renders the fig1 demo set at the API level; a one-pixel width
+// offset per job keeps the cache keys distinct (API-replay cost does
+// not depend on resolution) so every job really renders.
+func measureServiceThroughput(n, apiFrames int, workerCounts []int) *serviceThroughput {
+	out := &serviceThroughput{
+		Jobs: n, APIFrames: apiFrames,
+		JobsPerSec: map[string]float64{},
+	}
+	for _, workers := range workerCounts {
+		s, err := serve.Open(serve.Config{Workers: workers, QueueDepth: n})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		ids := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			v, err := s.Submit(serve.JobSpec{
+				Experiments: []string{"fig1"},
+				APIFrames:   apiFrames,
+				Width:       1024 + i,
+				Height:      768,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: submit: %v\n", err)
+				os.Exit(1)
+			}
+			ids = append(ids, v.ID)
+		}
+		for _, id := range ids {
+			done, err := s.Done(id)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+			<-done
+		}
+		elapsed := time.Since(start)
+		out.JobsPerSec[strconv.Itoa(workers)] = float64(n) / elapsed.Seconds()
+		if err := s.Shutdown(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	return out
+}
+
 func main() {
 	var (
 		demo   = flag.String("demo", "Doom3/trdemo2", "simulated demo to measure")
@@ -252,6 +318,8 @@ func main() {
 	doc.MetricsExport = benchMetricsExport(*demo, *width, *height)
 	fmt.Fprintf(os.Stderr, "benchjson: stage walltime...\n")
 	doc.StageWalltime = measureStageWalltime(*demo, *width, *height, 4, 4)
+	fmt.Fprintf(os.Stderr, "benchjson: service throughput...\n")
+	doc.ServiceThroughput = measureServiceThroughput(24, 6, []int{1, 4, 8})
 	for _, n := range counts {
 		fmt.Fprintf(os.Stderr, "benchjson: pipeline frame, workers=%d...\n", n)
 		doc.PipelineFrame = append(doc.PipelineFrame, benchFrame(*demo, *width, *height, n))

@@ -23,8 +23,13 @@ import (
 	"runtime"
 
 	"gpuchar"
+	"gpuchar/internal/cliutil"
 	"gpuchar/internal/obsv"
 )
+
+func fail(err error) {
+	cliutil.Fail("characterize", err)
+}
 
 func main() {
 	var (
@@ -70,23 +75,21 @@ func main() {
 
 	// Usage errors exit 2 and name the offending value.
 	if *traceSample < 1 {
-		fmt.Fprintf(os.Stderr, "characterize: -trace-sample %d must be >= 1\n", *traceSample)
-		os.Exit(2)
+		cliutil.Usagef("characterize", "-trace-sample %d must be >= 1", *traceSample)
 	}
 	if *progressN < 0 {
-		fmt.Fprintf(os.Stderr, "characterize: -progress %d must be >= 0\n", *progressN)
-		os.Exit(2)
+		cliutil.Usagef("characterize", "-progress %d must be >= 0", *progressN)
 	}
 	if *traceOut != "" && *traceDir != "" {
-		fmt.Fprintf(os.Stderr, "characterize: -trace %q and -tracedir %q are mutually exclusive\n",
+		cliutil.Usagef("characterize", "-trace %q and -tracedir %q are mutually exclusive",
 			*traceOut, *traceDir)
-		os.Exit(2)
 	}
-	if *frames <= 0 || *simFrames <= 0 || *width <= 0 || *height <= 0 {
-		fmt.Fprintf(os.Stderr,
-			"characterize: -frames %d, -simframes %d, -w %d, -h %d must all be positive\n",
-			*frames, *simFrames, *width, *height)
-		os.Exit(2)
+	if err := cliutil.PositiveFlags(
+		cliutil.Flag{Name: "-frames", Value: *frames},
+		cliutil.Flag{Name: "-simframes", Value: *simFrames},
+		cliutil.Flag{Name: "-w", Value: *width},
+		cliutil.Flag{Name: "-h", Value: *height}); err != nil {
+		cliutil.Usagef("characterize", "%v", err)
 	}
 
 	ctx := gpuchar.NewContext()
@@ -127,8 +130,7 @@ func main() {
 	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "characterize: -tracedir %q: %v\n", *traceDir, err)
-			os.Exit(1)
+			fail(fmt.Errorf("-tracedir %q: %w", *traceDir, err))
 		}
 		ctx.TraceDir = *traceDir
 		ctx.TraceSample = *traceSample
@@ -139,8 +141,7 @@ func main() {
 			Progress:  tracker.Snapshot,
 		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "characterize: -listen %q: %v\n", *listen, err)
-			os.Exit(1)
+			fail(fmt.Errorf("-listen %q: %w", *listen, err))
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "characterize: observability server on http://%s\n", srv.Addr)
@@ -149,8 +150,7 @@ func main() {
 	results, runErr := gpuchar.RunExperiments(ids, ctx)
 	if runErr != nil && !*keepGoing {
 		writeTrace(tr, *traceOut)
-		fmt.Fprintf(os.Stderr, "characterize: %v\n", runErr)
-		os.Exit(1)
+		fail(runErr)
 	}
 	for _, res := range results {
 		if res == nil {
@@ -169,19 +169,16 @@ func main() {
 			fmt.Println()
 			if *csvDir != "" {
 				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-					fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
-					os.Exit(1)
+					fail(err)
 				}
 				path := filepath.Join(*csvDir, f.ID+".csv")
 				out, err := os.Create(path)
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
-					os.Exit(1)
+					fail(err)
 				}
 				f.RenderCSV(out)
 				if err := out.Close(); err != nil {
-					fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
-					os.Exit(1)
+					fail(err)
 				}
 				fmt.Printf("wrote %s\n\n", path)
 			}
@@ -190,23 +187,20 @@ func main() {
 	if *jsonOut != "" {
 		out, err := os.Create(*jsonOut)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		werr := ctx.WriteJSON(out)
 		if cerr := out.Close(); werr == nil {
 			werr = cerr
 		}
 		if werr != nil {
-			fmt.Fprintf(os.Stderr, "characterize: %v\n", werr)
-			os.Exit(1)
+			fail(werr)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
 	}
 	writeTrace(tr, *traceOut)
 	if runErr != nil {
-		fmt.Fprintf(os.Stderr, "characterize: %v\n", runErr)
-		os.Exit(1)
+		fail(runErr)
 	}
 }
 
@@ -218,16 +212,14 @@ func writeTrace(tr *obsv.Tracer, path string) {
 	}
 	out, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "characterize: -trace %q: %v\n", path, err)
-		os.Exit(1)
+		fail(fmt.Errorf("-trace %q: %w", path, err))
 	}
 	werr := tr.WriteChromeJSON(out)
 	if cerr := out.Close(); werr == nil {
 		werr = cerr
 	}
 	if werr != nil {
-		fmt.Fprintf(os.Stderr, "characterize: -trace %q: %v\n", path, werr)
-		os.Exit(1)
+		fail(fmt.Errorf("-trace %q: %w", path, werr))
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"gpuchar/internal/cliutil"
+	"gpuchar/internal/serve"
+)
+
+// runClient talks to a running daemon:
+//
+//	gpuchard client [-addr URL] submit [-exp ids] [-frames N] ... [-wait]
+//	gpuchard client [-addr URL] status|result|cancel <id>
+//	gpuchard client [-addr URL] list
+func runClient(args []string) {
+	fs := flag.NewFlagSet("gpuchard client", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:9190", "daemon base URL")
+	_ = fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) == 0 {
+		cliutil.Usagef("gpuchard", "client needs a command: submit, status, result, cancel, list")
+	}
+	c := &client{base: strings.TrimRight(*addr, "/")}
+	switch cmd, ids := rest[0], rest[1:]; cmd {
+	case "submit":
+		c.submit(ids)
+	case "status":
+		c.oneJob(ids, "status", func(id string) {
+			c.printJSON("/jobs/" + id)
+		})
+	case "result":
+		c.oneJob(ids, "result", func(id string) {
+			body := c.get("/jobs/"+id+"/result", http.StatusOK)
+			_, _ = os.Stdout.Write(body)
+		})
+	case "cancel":
+		c.oneJob(ids, "cancel", func(id string) {
+			req, _ := http.NewRequest(http.MethodDelete, c.base+"/jobs/"+id, nil)
+			c.do(req, http.StatusOK, os.Stdout)
+		})
+	case "list":
+		c.printJSON("/jobs")
+	default:
+		cliutil.Usagef("gpuchard", "unknown client command %q", cmd)
+	}
+}
+
+type client struct {
+	base string
+}
+
+// submit posts a job spec (or a trace upload) and optionally waits for
+// the result.
+func (c *client) submit(args []string) {
+	fs := flag.NewFlagSet("gpuchard client submit", flag.ExitOnError)
+	exp := fs.String("exp", "", "comma-separated experiment ids (empty: the full sweep)")
+	frames := fs.Int("frames", 0, "API-level frames per demo (0: server default)")
+	simFrames := fs.Int("simframes", 0, "simulated frames per demo (0: server default)")
+	width := fs.Int("w", 0, "framebuffer width (0: server default)")
+	height := fs.Int("h", 0, "framebuffer height (0: server default)")
+	traceF := fs.String("trace", "", "upload this trace file instead of a workload spec")
+	name := fs.String("name", "", "label for an uploaded trace's snapshots")
+	wait := fs.Bool("wait", false, "block until the job finishes and print the result document")
+	_ = fs.Parse(args)
+
+	var resp *http.Response
+	var err error
+	if *traceF != "" {
+		raw, rerr := os.ReadFile(*traceF)
+		if rerr != nil {
+			fail(rerr)
+		}
+		url := c.base + "/jobs"
+		if *name != "" {
+			url += "?name=" + *name
+		}
+		resp, err = http.Post(url, "application/octet-stream", bytes.NewReader(raw))
+	} else {
+		spec := serve.JobSpec{
+			APIFrames: *frames, SimFrames: *simFrames,
+			Width: *width, Height: *height,
+		}
+		if *exp != "" {
+			spec.Experiments = strings.Split(*exp, ",")
+		}
+		body, _ := json.Marshal(spec)
+		resp, err = http.Post(c.base+"/jobs", "application/json", bytes.NewReader(body))
+	}
+	if err != nil {
+		fail(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		fail(fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body))))
+	}
+	var view serve.JobView
+	if err := json.Unmarshal(body, &view); err != nil {
+		fail(err)
+	}
+	if !*wait {
+		_, _ = os.Stdout.Write(body)
+		return
+	}
+	final := c.waitDone(view.ID)
+	if final.State != serve.StateDone {
+		fail(fmt.Errorf("job %s: %s (%s)", final.ID, final.State, final.Error))
+	}
+	res := c.get("/jobs/"+final.ID+"/result", http.StatusOK)
+	_, _ = os.Stdout.Write(res)
+}
+
+// waitDone long-polls the job until it terminates.
+func (c *client) waitDone(id string) serve.JobView {
+	for {
+		body := c.get("/jobs/"+id+"?wait=30s", http.StatusOK)
+		var view serve.JobView
+		if err := json.Unmarshal(body, &view); err != nil {
+			fail(err)
+		}
+		switch view.State {
+		case serve.StateQueued, serve.StateRunning:
+			fmt.Fprintf(os.Stderr, "gpuchard: %s %s: %d/%d frames\n",
+				view.ID, view.State, view.FramesDone, view.FramesTotal)
+			time.Sleep(100 * time.Millisecond)
+		default:
+			return view
+		}
+	}
+}
+
+func (c *client) oneJob(args []string, cmd string, f func(id string)) {
+	if len(args) != 1 {
+		cliutil.Usagef("gpuchard", "client %s needs exactly one job id", cmd)
+	}
+	f(args[0])
+}
+
+func (c *client) printJSON(path string) {
+	body := c.get(path, http.StatusOK)
+	_, _ = os.Stdout.Write(body)
+}
+
+func (c *client) get(path string, want int) []byte {
+	req, _ := http.NewRequest(http.MethodGet, c.base+path, nil)
+	var buf bytes.Buffer
+	c.do(req, want, &buf)
+	return buf.Bytes()
+}
+
+func (c *client) do(req *http.Request, want int, out io.Writer) {
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fail(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != want {
+		fail(fmt.Errorf("%s %s: HTTP %d: %s", req.Method, req.URL.Path,
+			resp.StatusCode, strings.TrimSpace(string(body))))
+	}
+	_, _ = out.Write(body)
+}

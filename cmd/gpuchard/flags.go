@@ -1,0 +1,52 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"runtime"
+	"time"
+
+	"gpuchar/internal/serve"
+)
+
+// serveOpts are the daemon flags that are not serve.Config fields.
+type serveOpts struct {
+	listen string
+	drain  time.Duration
+}
+
+// serveFlags builds the daemon flag set, binding directly into a
+// serve.Config.
+func serveFlags() (*flag.FlagSet, *serve.Config, *serveOpts) {
+	fs := flag.NewFlagSet("gpuchard", flag.ExitOnError)
+	cfg := &serve.Config{}
+	opts := &serveOpts{}
+	fs.StringVar(&opts.listen, "listen", ":9190",
+		"address for the job API and observability endpoints")
+	fs.IntVar(&cfg.Workers, "workers", runtime.NumCPU(),
+		"concurrent characterization jobs")
+	fs.IntVar(&cfg.QueueDepth, "queue", 16,
+		"queued jobs beyond the running ones before POST /jobs returns 429")
+	fs.StringVar(&cfg.SpoolDir, "spool", "",
+		"directory for job specs, frame checkpoints and results; enables kill/restart resume (empty: in-memory only)")
+	fs.IntVar(&cfg.CacheEntries, "cache-entries", 64,
+		"result cache capacity in entries (0 = unbounded)")
+	fs.Int64Var(&cfg.CacheBytes, "cache-bytes", 256<<20,
+		"result cache capacity in bytes (0 = unbounded)")
+	fs.IntVar(&cfg.CheckpointEvery, "checkpoint-every", 25,
+		"persist an API-replay checkpoint every N frames (simulated demos checkpoint per demo)")
+	fs.DurationVar(&cfg.JobTimeout, "timeout", 0,
+		"per-job wall-clock limit (0 = none)")
+	fs.DurationVar(&opts.drain, "drain", 30*time.Second,
+		"graceful shutdown budget after SIGINT/SIGTERM")
+	return fs, cfg, opts
+}
+
+// contextWithTimeout is context.WithTimeout that treats a zero duration
+// as unbounded.
+func contextWithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.WithCancel(context.Background())
+	}
+	return context.WithTimeout(context.Background(), d)
+}

@@ -1,0 +1,109 @@
+// Command gpuchard is the characterization daemon: a job queue, a
+// content-addressed result cache and a checkpoint/resume spool behind
+// the observability HTTP server, so characterization runs become
+// submittable jobs instead of one-shot processes.
+//
+// Server:
+//
+//	gpuchard -listen :9190 -workers 4 -spool /var/lib/gpuchar
+//
+// mounts the job API next to the usual endpoints:
+//
+//	POST   /jobs              submit a JSON job spec or a raw trace upload
+//	GET    /jobs              list jobs
+//	GET    /jobs/{id}         job status (?wait=30s long-polls)
+//	GET    /jobs/{id}/result  the finished gpuchar/metrics/v1 document
+//	DELETE /jobs/{id}         cancel
+//	/metrics /progress /healthz /debug/pprof/   (observability)
+//
+// With -spool, jobs survive the process: a killed daemon restarted on
+// the same spool resumes interrupted jobs from their last frame
+// checkpoint and serves finished results from disk.
+//
+// Client:
+//
+//	gpuchard client -addr http://host:9190 submit -exp fig1,table3
+//	gpuchard client submit -trace doom3.trc -name doom3
+//	gpuchard client status <id>
+//	gpuchard client result <id> > metrics.json
+//	gpuchard client cancel <id>
+//	gpuchard client list
+//
+// Exit codes: 0 success, 1 failure, 2 usage error, 3 trace format
+// error, 4 replay error.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"gpuchar/internal/cliutil"
+	"gpuchar/internal/obsv"
+	"gpuchar/internal/serve"
+)
+
+func fail(err error) {
+	cliutil.Fail("gpuchard", err)
+}
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "client" {
+		runClient(os.Args[2:])
+		return
+	}
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "serve" {
+		args = args[1:]
+	}
+	runServe(args)
+}
+
+// runServe starts the daemon and blocks until SIGINT/SIGTERM, then
+// drains: running jobs persist a final checkpoint, in-flight HTTP
+// responses complete, and the process exits cleanly.
+func runServe(args []string) {
+	fs, cfg, opts := serveFlags()
+	_ = fs.Parse(args)
+	if err := cliutil.PositiveFlags(
+		cliutil.Flag{Name: "-workers", Value: cfg.Workers},
+		cliutil.Flag{Name: "-queue", Value: cfg.QueueDepth},
+		cliutil.Flag{Name: "-checkpoint-every", Value: cfg.CheckpointEvery}); err != nil {
+		cliutil.Usagef("gpuchard", "%v", err)
+	}
+
+	svc, err := serve.Open(*cfg)
+	if err != nil {
+		fail(err)
+	}
+	srv, err := obsv.StartServer(opts.listen, obsv.ServerSources{
+		Snapshots: svc.MetricsSnapshots,
+		Mount:     svc.Mount,
+	})
+	if err != nil {
+		fail(fmt.Errorf("-listen %q: %w", opts.listen, err))
+	}
+	fmt.Fprintf(os.Stderr, "gpuchard: serving jobs on http://%s (workers %d, queue %d",
+		srv.Addr, cfg.Workers, cfg.QueueDepth)
+	if cfg.SpoolDir != "" {
+		fmt.Fprintf(os.Stderr, ", spool %s", cfg.SpoolDir)
+	}
+	fmt.Fprintln(os.Stderr, ")")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Fprintf(os.Stderr, "gpuchard: %s, draining (budget %s)\n", s, opts.drain)
+
+	ctx, cancel := contextWithTimeout(opts.drain)
+	defer cancel()
+	// Stop accepting HTTP first so clients see clean refusals, then let
+	// the workers persist their final checkpoints.
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "gpuchard: http shutdown: %v\n", err)
+	}
+	if err := svc.Shutdown(ctx); err != nil {
+		fail(fmt.Errorf("shutdown: %w", err))
+	}
+}

@@ -14,13 +14,13 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"gpuchar"
+	"gpuchar/internal/cliutil"
 	"gpuchar/internal/gfxapi"
 	"gpuchar/internal/trace"
 )
@@ -72,7 +72,7 @@ func main() {
 func usageErr(msg string) {
 	fmt.Fprintf(os.Stderr, "tracetool: %s\n", msg)
 	flag.Usage()
-	os.Exit(2)
+	os.Exit(cliutil.ExitUsage)
 }
 
 // options is the parsed flag set, separated from flag.Parse so the
@@ -100,31 +100,21 @@ func (o options) validate() error {
 	case o.lenient && o.replay == "":
 		return fmt.Errorf("-lenient only applies to -replay")
 	case o.record != "" && o.frames <= 0:
-		return fmt.Errorf("-frames %d must be positive", o.frames)
+		return cliutil.PositiveFlags(cliutil.Flag{Name: "-frames", Value: o.frames})
 	case o.width <= 0 || o.height <= 0:
-		return fmt.Errorf("-w %d and -h %d must be positive", o.width, o.height)
+		return cliutil.PositiveFlags(
+			cliutil.Flag{Name: "-w", Value: o.width},
+			cliutil.Flag{Name: "-h", Value: o.height})
 	}
 	return nil
 }
 
-// exitCode maps the error taxonomy onto distinct process exit codes so
-// scripts can tell a malformed trace (3) from a replay failure (4) from
-// everything else (1).
-func exitCode(err error) int {
-	var fe *trace.FormatError
-	var re *trace.ReplayError
-	switch {
-	case errors.As(err, &fe):
-		return 3
-	case errors.As(err, &re):
-		return 4
-	}
-	return 1
-}
+// exitCode is the shared taxonomy (1 failure, 3 trace format error,
+// 4 replay error); a package variable so tests can pin it by name.
+var exitCode = cliutil.ExitCode
 
 func fail(sub string, err error) {
-	fmt.Fprintf(os.Stderr, "tracetool: %s: %v\n", sub, err)
-	os.Exit(exitCode(err))
+	cliutil.Fail("tracetool", fmt.Errorf("%s: %w", sub, err))
 }
 
 func doRecord(path, demo string, frames, w, h int) error {

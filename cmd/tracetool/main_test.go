@@ -28,7 +28,7 @@ func TestValidateUsage(t *testing.T) {
 		{"lenient without replay", options{verify: "a", lenient: true, frames: 1, width: 1, height: 1},
 			"-lenient only applies to -replay"},
 		{"bad frames", options{record: "a", frames: -3, width: 1, height: 1}, "-frames -3"},
-		{"bad size", options{replay: "a", frames: 1, width: 0, height: 768}, "-w 0 and -h 768"},
+		{"bad size", options{replay: "a", frames: 1, width: 0, height: 768}, "-w 0, -h 768"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

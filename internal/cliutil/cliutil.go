@@ -1,0 +1,81 @@
+// Package cliutil collects the helpers the gpuchar command-line tools
+// share: the error-driven exit-code taxonomy, stderr failure and usage
+// reporting, and positive-flag validation. Extracting them keeps the
+// tools' observable contract — messages that name the offending value,
+// scripts that branch on the exit code — identical across attilasim,
+// tracetool, characterize and gpuchard.
+package cliutil
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpuchar/internal/trace"
+)
+
+// The process exit codes every tool shares.
+const (
+	ExitOK          = 0
+	ExitFailure     = 1 // any error outside the taxonomy below
+	ExitUsage       = 2 // flag-validation error
+	ExitFormatError = 3 // malformed trace stream (trace.FormatError)
+	ExitReplayError = 4 // trace replayed but not cleanly (trace.ReplayError)
+)
+
+// ExitCode maps the error taxonomy onto distinct process exit codes so
+// scripts can tell a malformed trace (3) from a replay failure (4) from
+// everything else (1). Wrapped errors are unwrapped.
+func ExitCode(err error) int {
+	var fe *trace.FormatError
+	var re *trace.ReplayError
+	switch {
+	case errors.As(err, &fe):
+		return ExitFormatError
+	case errors.As(err, &re):
+		return ExitReplayError
+	}
+	return ExitFailure
+}
+
+// osExit is swapped out by tests that drive Fail/Usagef.
+var osExit = os.Exit
+
+// Fail prints "tool: err" to stderr and exits with the taxonomy code
+// for err.
+func Fail(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	osExit(ExitCode(err))
+}
+
+// Usagef prints "tool: message" to stderr and exits with the usage
+// code (2).
+func Usagef(tool, format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", tool, fmt.Sprintf(format, args...))
+	osExit(ExitUsage)
+}
+
+// Flag is one named integer flag value for PositiveFlags.
+type Flag struct {
+	Name  string
+	Value int
+}
+
+// PositiveFlags validates that every flag value is positive. The error
+// lists all of them with their values — "-frames 0, -w 1024, -h 768
+// must all be positive" — so the offender is visible in context.
+func PositiveFlags(flags ...Flag) error {
+	ok := true
+	parts := make([]string, len(flags))
+	for i, f := range flags {
+		parts[i] = fmt.Sprintf("%s %d", f.Name, f.Value)
+		if f.Value <= 0 {
+			ok = false
+		}
+	}
+	if ok {
+		return nil
+	}
+	return fmt.Errorf("%s must all be positive", strings.Join(parts, ", "))
+}

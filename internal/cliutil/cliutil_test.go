@@ -1,0 +1,67 @@
+package cliutil
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"gpuchar/internal/trace"
+)
+
+// TestExitCode pins the shared taxonomy, including wrapped errors.
+func TestExitCode(t *testing.T) {
+	format := &trace.FormatError{Cmd: 1, Err: errors.New("bad magic")}
+	replay := &trace.ReplayError{Cmd: 2, Err: errors.New("unknown object")}
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{errors.New("plain failure"), ExitFailure},
+		{format, ExitFormatError},
+		{fmt.Errorf("wrapped: %w", format), ExitFormatError},
+		{replay, ExitReplayError},
+		{fmt.Errorf("wrapped: %w", replay), ExitReplayError},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// TestPositiveFlags pins the message shape the tools' usage errors
+// have always had: every flag listed with its value.
+func TestPositiveFlags(t *testing.T) {
+	if err := PositiveFlags(Flag{"-frames", 10}, Flag{"-w", 1024}); err != nil {
+		t.Errorf("all-positive: %v", err)
+	}
+	err := PositiveFlags(Flag{"-frames", 0}, Flag{"-w", 1024}, Flag{"-h", 768})
+	if err == nil {
+		t.Fatal("zero flag accepted")
+	}
+	want := "-frames 0, -w 1024, -h 768 must all be positive"
+	if err.Error() != want {
+		t.Errorf("message %q, want %q", err, want)
+	}
+}
+
+// TestFailAndUsagef drives the exit helpers through the test seam.
+func TestFailAndUsagef(t *testing.T) {
+	var code int
+	old := osExit
+	osExit = func(c int) { code = c }
+	defer func() { osExit = old }()
+
+	Fail("tool", errors.New("boom"))
+	if code != ExitFailure {
+		t.Errorf("Fail(plain) exited %d, want %d", code, ExitFailure)
+	}
+	Fail("tool", &trace.FormatError{Cmd: -1, Err: errors.New("bad header")})
+	if code != ExitFormatError {
+		t.Errorf("Fail(format) exited %d, want %d", code, ExitFormatError)
+	}
+	Usagef("tool", "-x %d must be positive", -1)
+	if code != ExitUsage {
+		t.Errorf("Usagef exited %d, want %d", code, ExitUsage)
+	}
+}

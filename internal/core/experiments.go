@@ -211,25 +211,44 @@ type Result struct {
 type Experiment struct {
 	ID    string // "table3", "fig5", ...
 	Title string
-	// Micro marks experiments that need the GPU simulator.
+	// Micro marks experiments that need the GPU simulator (they all
+	// consume exactly the SimDemos).
 	Micro bool
-	// API marks experiments that replay demos at the API level; Prefetch
-	// uses the two flags to decide which runs to fan out.
+	// API marks experiments that replay demos at the API level.
 	API bool
-	Run func(*Context) (*Result, error)
+	// APIDemos lists the demos the experiment reads through
+	// Context.API. Prefetch and NeededDemos render exactly this set, so
+	// the context cache — and with it the exported JSON document — is
+	// identical whether the demos were fanned out or rendered lazily.
+	APIDemos []string
+	Run      func(*Context) (*Result, error)
 }
+
+// apiDemoNames is every Table I demo in registry order: the demand of
+// the full-table experiments.
+func apiDemoNames() []string {
+	var names []string
+	for _, p := range workloads.Registry() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// fig8Demos are the two timedemos the paper plots shader instruction
+// counts for in Figure 8.
+var fig8Demos = []string{"Quake4/demo4", "FEAR/interval2"}
 
 // Experiments returns the full registry in paper order.
 func Experiments() []Experiment {
 	return []Experiment{
 		{ID: "table1", Title: "Game workload description", Run: runTable1},
 		{ID: "table2", Title: "ATTILA/R520 configuration", Run: runTable2},
-		{ID: "fig1", Title: "Batches per frame", API: true, Run: runFig1},
-		{ID: "table3", Title: "Indices per batch and frame, index BW", API: true, Run: runTable3},
-		{ID: "fig2", Title: "Index BW per frame", API: true, Run: runFig2},
-		{ID: "fig3", Title: "Average state calls between batches", API: true, Run: runFig3},
-		{ID: "table4", Title: "Average vertex shader instructions", API: true, Run: runTable4},
-		{ID: "table5", Title: "Primitive utilization", API: true, Run: runTable5},
+		{ID: "fig1", Title: "Batches per frame", API: true, APIDemos: PlottedDemos, Run: runFig1},
+		{ID: "table3", Title: "Indices per batch and frame, index BW", API: true, APIDemos: apiDemoNames(), Run: runTable3},
+		{ID: "fig2", Title: "Index BW per frame", API: true, APIDemos: PlottedDemos, Run: runFig2},
+		{ID: "fig3", Title: "Average state calls between batches", API: true, APIDemos: PlottedDemos, Run: runFig3},
+		{ID: "table4", Title: "Average vertex shader instructions", API: true, APIDemos: apiDemoNames(), Run: runTable4},
+		{ID: "table5", Title: "Primitive utilization", API: true, APIDemos: apiDemoNames(), Run: runTable5},
 		{ID: "fig5", Title: "Post-transform vertex cache hit rate", Micro: true, Run: runFig5},
 		{ID: "table6", Title: "System bus bandwidths", Run: runTable6},
 		{ID: "fig6", Title: "Indices, assembled and traversed triangles", Micro: true, Run: runFig6},
@@ -239,8 +258,8 @@ func Experiments() []Experiment {
 		{ID: "table9", Title: "Quads removed or processed per stage", Micro: true, Run: runTable9},
 		{ID: "table10", Title: "Quad efficiency", Micro: true, Run: runTable10},
 		{ID: "table11", Title: "Average overdraw per pixel and stage", Micro: true, Run: runTable11},
-		{ID: "table12", Title: "Fragment program instructions and ALU/TEX ratio", API: true, Run: runTable12},
-		{ID: "fig8", Title: "Fragment program instructions per frame", API: true, Run: runFig8},
+		{ID: "table12", Title: "Fragment program instructions and ALU/TEX ratio", API: true, APIDemos: apiDemoNames(), Run: runTable12},
+		{ID: "fig8", Title: "Fragment program instructions per frame", API: true, APIDemos: fig8Demos, Run: runFig8},
 		{ID: "table13", Title: "Bilinear samples and ALU-to-bilinear ratio", Micro: true, Run: runTable13},
 		{ID: "table14", Title: "Cache configuration and hit rates", Micro: true, Run: runTable14},
 		{ID: "table15", Title: "Average memory usage profile", Micro: true, Run: runTable15},
@@ -635,7 +654,7 @@ func runFig8(c *Context) (*Result, error) {
 	fig := &report.Figure{ID: "fig8",
 		Title:  "Average fragment program instructions per frame",
 		YLabel: "instructions"}
-	for _, name := range []string{"Quake4/demo4", "FEAR/interval2"} {
+	for _, name := range fig8Demos {
 		r, err := c.API(name)
 		if err != nil {
 			if c.skipDemo(name, err) {

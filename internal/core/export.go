@@ -36,17 +36,25 @@ func apiSnapshot(f gfxapi.FrameStats) metrics.Snapshot {
 // the whole-run aggregate (frame="all") followed by one snapshot per
 // frame, all labeled with the demo name and source="api".
 func (r *APIResult) MetricsSnapshots() []metrics.Snapshot {
-	out := make([]metrics.Snapshot, 0, len(r.Frames)+1)
-	perFrame := make([]metrics.Snapshot, len(r.Frames))
-	for i, f := range r.Frames {
+	return APISnapshotsFor(r.Prof.Name, r.Frames)
+}
+
+// APISnapshotsFor labels a per-frame API record list as an export
+// snapshot set under an arbitrary demo name — the shared body behind
+// APIResult.MetricsSnapshots and the trace-replay jobs, whose frames
+// come from an uploaded stream rather than a registry profile.
+func APISnapshotsFor(name string, frames []gfxapi.FrameStats) []metrics.Snapshot {
+	out := make([]metrics.Snapshot, 0, len(frames)+1)
+	perFrame := make([]metrics.Snapshot, len(frames))
+	for i, f := range frames {
 		perFrame[i] = apiSnapshot(f)
 	}
 	agg := metrics.Sum(perFrame...)
 	out = append(out, agg.WithLabels(
-		LabelDemo, r.Prof.Name, LabelSource, SourceAPI, LabelFrame, LabelAllFrames))
+		LabelDemo, name, LabelSource, SourceAPI, LabelFrame, LabelAllFrames))
 	for i, s := range perFrame {
 		out = append(out, s.WithLabels(
-			LabelDemo, r.Prof.Name, LabelSource, SourceAPI,
+			LabelDemo, name, LabelSource, SourceAPI,
 			LabelFrame, strconv.Itoa(i+1)))
 	}
 	return out

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"gpuchar/internal/obsv"
-	"gpuchar/internal/workloads"
 )
 
 // prefetchJob is one demo render: an API-level replay or a full
@@ -27,25 +26,16 @@ func (c *Context) Prefetch(ids []string) error {
 	if c.Workers <= 1 {
 		return nil
 	}
-	needAPI, needMicro := false, false
-	for _, id := range ids {
-		e := ByID(id)
-		if e == nil {
-			return fmt.Errorf("core: unknown experiment %q", id)
-		}
-		needAPI = needAPI || e.API
-		needMicro = needMicro || e.Micro
+	api, micro, err := demoDemand(ids)
+	if err != nil {
+		return err
 	}
 	var jobs []prefetchJob
-	if needAPI {
-		for _, p := range workloads.Registry() {
-			jobs = append(jobs, prefetchJob{name: p.Name})
-		}
+	for _, name := range api {
+		jobs = append(jobs, prefetchJob{name: name})
 	}
-	if needMicro {
-		for _, name := range SimDemos {
-			jobs = append(jobs, prefetchJob{name: name, micro: true})
-		}
+	for _, name := range micro {
+		jobs = append(jobs, prefetchJob{name: name, micro: true})
 	}
 	if len(jobs) == 0 {
 		return nil

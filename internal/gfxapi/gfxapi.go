@@ -402,3 +402,11 @@ func (d *Device) EndFrame() {
 	d.frames = append(d.frames, d.frame)
 	d.frame = FrameStats{}
 }
+
+// DropFrame discards the in-progress frame's statistics without
+// archiving them. A resumed render uses it to shed the resource-creation
+// burst its fresh Setup just emitted: in the continuous run that burst
+// belongs to frame 0, which the resume already has in its checkpoint.
+func (d *Device) DropFrame() {
+	d.frame = FrameStats{}
+}

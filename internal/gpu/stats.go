@@ -56,6 +56,14 @@ func (f *FrameStats) MetricsSnapshot() metrics.Snapshot {
 	return r.Snapshot()
 }
 
+// FrameStatsFromSnapshot materializes a snapshot back into the struct
+// form the report tables read — the inverse of MetricsSnapshot, used by
+// the serve layer to rebuild checkpointed frames. Counters in s with no
+// FrameStats field are dropped.
+func FrameStatsFromSnapshot(s metrics.Snapshot) FrameStats {
+	return frameStatsFromSnapshot(s)
+}
+
 // frameStatsFromSnapshot materializes a snapshot back into the struct
 // form the report tables read. Counters in s with no FrameStats field
 // are dropped; the exhaustiveness test pins that the live GPU registry

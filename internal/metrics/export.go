@@ -62,6 +62,56 @@ func WriteJSON(w io.Writer, snaps []Snapshot) error {
 	return err
 }
 
+// UnmarshalJSON is the inverse of MarshalJSON: it reads the
+// {"labels":...,"counters":...,"gauges":...} form back into a snapshot.
+// The round trip is lossless — counter values are int64, gauges use
+// encoding/json's shortest-round-trip float formatting — which is what
+// lets the serve layer's checkpoints and cached results rebuild the
+// exact FrameStats a run produced.
+func (s *Snapshot) UnmarshalJSON(b []byte) error {
+	var doc struct {
+		Labels   map[string]string  `json:"labels"`
+		Counters map[string]int64   `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return err
+	}
+	counters := make([]Counter, 0, len(doc.Counters)+len(doc.Gauges))
+	for name, v := range doc.Counters {
+		if !ValidName(name) {
+			return fmt.Errorf("metrics: invalid counter name %q", name)
+		}
+		counters = append(counters, Counter{Name: name, Int: v})
+	}
+	for name, v := range doc.Gauges {
+		if !ValidName(name) {
+			return fmt.Errorf("metrics: invalid gauge name %q", name)
+		}
+		if _, dup := doc.Counters[name]; dup {
+			return fmt.Errorf("metrics: %q is both counter and gauge", name)
+		}
+		counters = append(counters, Counter{Name: name, Float: v, IsFloat: true})
+	}
+	sort.Slice(counters, func(i, j int) bool { return counters[i].Name < counters[j].Name })
+	s.counters = counters
+	s.labels = doc.Labels
+	return nil
+}
+
+// ReadJSON parses a WriteJSON document, rejecting payloads whose schema
+// tag is not SchemaID.
+func ReadJSON(r io.Reader) ([]Snapshot, error) {
+	var doc jsonDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("metrics: decode: %w", err)
+	}
+	if doc.Schema != SchemaID {
+		return nil, fmt.Errorf("metrics: schema %q, want %q", doc.Schema, SchemaID)
+	}
+	return doc.Snapshots, nil
+}
+
 // labelKeys returns the sorted union of label keys across snapshots.
 func labelKeys(snaps []Snapshot) []string {
 	set := map[string]bool{}

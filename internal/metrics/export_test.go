@@ -3,6 +3,7 @@ package metrics
 import (
 	"bytes"
 	"encoding/json"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -126,5 +127,88 @@ func TestPromEscape(t *testing.T) {
 	want := `n{demo="a\"b\\c\n"} 1`
 	if got := strings.TrimSpace(buf.String()); got != want {
 		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+// TestJSONRoundTrip pins the decode path the serve checkpoints rely on:
+// WriteJSON then ReadJSON reproduces the snapshots exactly, including a
+// second encode being byte-identical to the first.
+func TestJSONRoundTrip(t *testing.T) {
+	orig := []Snapshot{
+		sample(t),
+		sample(t).WithLabels("frame", "2"),
+	}
+	var a bytes.Buffer
+	if err := WriteJSON(&a, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("got %d snapshots, want %d", len(back), len(orig))
+	}
+	for i, s := range back {
+		if s.Len() != orig[i].Len() {
+			t.Errorf("snapshot %d: %d counters, want %d", i, s.Len(), orig[i].Len())
+		}
+		if v, ok := s.Get("cache/z/hits"); !ok || v != 42 {
+			t.Errorf("snapshot %d: hits = %d, %v", i, v, ok)
+		}
+		if v, ok := s.GetFloat("api/weight_vertices"); !ok || v != 1.5 {
+			t.Errorf("snapshot %d: gauge = %v, %v", i, v, ok)
+		}
+	}
+	if back[1].Label("frame") != "2" {
+		t.Errorf("labels lost: %v", back[1].Labels())
+	}
+	var b bytes.Buffer
+	if err := WriteJSON(&b, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("re-encoded document differs from original")
+	}
+}
+
+// TestJSONRoundTripFloatExact checks that awkward float values survive
+// the encode/decode cycle bit-exactly (encoding/json uses the shortest
+// representation that round-trips).
+func TestJSONRoundTripFloatExact(t *testing.T) {
+	vals := []float64{1.0 / 3.0, 0.1, 123456789.123456789, 2.2250738585072014e-308}
+	r := NewRegistry()
+	stored := make([]float64, len(vals))
+	copy(stored, vals)
+	for i := range stored {
+		r.BindFloat("api/v"+strconv.Itoa(i), &stored[i])
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []Snapshot{r.Snapshot()}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range vals {
+		if got, ok := back[0].GetFloat("api/v" + strconv.Itoa(i)); !ok || got != want {
+			t.Errorf("v%d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestReadJSONRejects pins the failure modes: wrong schema tag, invalid
+// counter names, and a name claimed by both kinds.
+func TestReadJSONRejects(t *testing.T) {
+	cases := map[string]string{
+		"wrong schema": `{"schema":"other/v9","snapshots":[]}`,
+		"bad name":     `{"schema":"gpuchar/metrics/v1","snapshots":[{"counters":{"BAD NAME":1}}]}`,
+		"dual kind":    `{"schema":"gpuchar/metrics/v1","snapshots":[{"counters":{"api/x":1},"gauges":{"api/x":2}}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := ReadJSON(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: ReadJSON accepted %s", name, doc)
+		}
 	}
 }

@@ -10,6 +10,7 @@
 package obsv
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -32,6 +33,11 @@ type ServerSources struct {
 	// Progress returns the run's progress report for /progress and the
 	// obsv_* gauges on /metrics.
 	Progress func() Progress
+	// Mount, when non-nil, registers additional routes on the server's
+	// mux before it starts serving — how the characterization daemon
+	// hangs its /jobs API next to /metrics and /progress. It must not
+	// claim the built-in paths (the mux panics on duplicates).
+	Mount func(mux *http.ServeMux)
 }
 
 // Server is a running observability server. Create with StartServer,
@@ -76,6 +82,9 @@ func StartServer(addr string, src ServerSources) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if src.Mount != nil {
+		src.Mount(mux)
+	}
 
 	s := &Server{
 		Addr: ln.Addr().String(),
@@ -103,10 +112,28 @@ func writeRunGauges(w http.ResponseWriter, src ServerSources) {
 	fmt.Fprintf(w, "obsv_eta_seconds %g\n", p.ETASeconds)
 }
 
-// Close stops the server and releases the listener.
+// Close stops the server immediately, dropping in-flight requests, and
+// releases the listener.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
 	return s.srv.Close()
+}
+
+// Shutdown stops the server gracefully: the listener closes at once (no
+// new connections), in-flight requests drain to completion, and ctx
+// bounds the wait — on expiry the remaining connections are dropped and
+// ctx's error returned. The daemon's signal handler uses it so a job
+// result being streamed at SIGTERM still arrives whole.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	if err := s.srv.Shutdown(ctx); err != nil {
+		// Past the deadline: tear the stragglers down.
+		s.srv.Close()
+		return err
+	}
+	return nil
 }

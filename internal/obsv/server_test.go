@@ -1,11 +1,13 @@
 package obsv
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"gpuchar/internal/metrics"
 )
@@ -121,5 +123,89 @@ func TestServerClose(t *testing.T) {
 	var nilSrv *Server
 	if err := nilSrv.Close(); err != nil {
 		t.Errorf("nil server Close() = %v", err)
+	}
+}
+
+// TestServerMount pins the extension hook: routes registered through
+// ServerSources.Mount serve alongside the built-ins.
+func TestServerMount(t *testing.T) {
+	srv, err := StartServer("127.0.0.1:0", ServerSources{
+		Mount: func(mux *http.ServeMux) {
+			mux.HandleFunc("/extra", func(w http.ResponseWriter, r *http.Request) {
+				fmt.Fprint(w, "mounted")
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, body := get(t, srv, "/extra"); code != 200 || body != "mounted" {
+		t.Errorf("GET /extra = %d %q", code, body)
+	}
+	if code, _ := get(t, srv, "/healthz"); code != 200 {
+		t.Errorf("built-in /healthz lost after Mount: %d", code)
+	}
+}
+
+// TestServerGracefulShutdown pins the drain contract: a request in
+// flight when Shutdown begins still completes, and new connections are
+// refused.
+func TestServerGracefulShutdown(t *testing.T) {
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	srv, err := StartServer("127.0.0.1:0", ServerSources{
+		Mount: func(mux *http.ServeMux) {
+			mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+				close(inHandler)
+				<-release
+				fmt.Fprint(w, "drained")
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		code int
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(fmt.Sprintf("http://%s/slow", srv.Addr))
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		got <- result{code: resp.StatusCode, body: string(body), err: err}
+	}()
+	<-inHandler
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+	// Let Shutdown close the listener, then release the handler.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := http.Get(fmt.Sprintf("http://%s/healthz", srv.Addr)); err != nil {
+			break // listener closed: new connections refused
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(release)
+
+	r := <-got
+	if r.err != nil || r.code != 200 || r.body != "drained" {
+		t.Errorf("in-flight request: %d %q %v; want it to drain to completion", r.code, r.body, r.err)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Errorf("Shutdown: %v", err)
 	}
 }

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"container/list"
+
+	"gpuchar/internal/metrics"
+)
+
+// ResultCache is a content-addressed LRU over finished job results:
+// key = hash(normalized spec, trace digest, code version), value = the
+// job's metrics JSON document. Resubmitting an identical job is served
+// from here without touching a worker. The cache is not goroutine-safe;
+// the owning Service serializes access under its mutex (which also
+// makes the hit/miss counters race-free).
+type ResultCache struct {
+	maxEntries int
+	maxBytes   int64
+
+	entries map[string]*list.Element
+	lru     *list.List // front = most recent
+	bytes   int64
+
+	hits, misses, evictions, sizeBytes, sizeEntries int64
+}
+
+type cacheEntry struct {
+	key    string
+	result []byte
+}
+
+// NewResultCache creates a cache bounded by entry count and total
+// result bytes. Zero bounds mean unbounded (on that axis).
+func NewResultCache(maxEntries int, maxBytes int64) *ResultCache {
+	return &ResultCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		entries:    map[string]*list.Element{},
+		lru:        list.New(),
+	}
+}
+
+// Register binds the cache's counters into a metrics registry under
+// prefix (e.g. "serve/cache").
+func (c *ResultCache) Register(r *metrics.Registry, prefix string) {
+	r.Bind(prefix+"/hits", &c.hits)
+	r.Bind(prefix+"/misses", &c.misses)
+	r.Bind(prefix+"/evictions", &c.evictions)
+	r.Bind(prefix+"/bytes", &c.sizeBytes)
+	r.Bind(prefix+"/entries", &c.sizeEntries)
+}
+
+// Get returns the cached result for key, counting the hit or miss.
+func (c *ResultCache) Get(key string) ([]byte, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).result, true
+}
+
+// Put stores a result, evicting least-recently-used entries past the
+// bounds. A single result larger than maxBytes is still stored (the
+// cache then holds just it); an existing key is refreshed.
+func (c *ResultCache) Put(key string, result []byte) {
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(result)) - int64(len(e.result))
+		e.result = result
+		c.lru.MoveToFront(el)
+		c.sync()
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, result: result})
+	c.bytes += int64(len(result))
+	for c.over() {
+		el := c.lru.Back()
+		if el == nil || el == c.lru.Front() {
+			break // never evict the entry just inserted
+		}
+		e := el.Value.(*cacheEntry)
+		c.lru.Remove(el)
+		delete(c.entries, e.key)
+		c.bytes -= int64(len(e.result))
+		c.evictions++
+	}
+	c.sync()
+}
+
+// Len returns the number of cached results.
+func (c *ResultCache) Len() int { return c.lru.Len() }
+
+// over reports whether either bound is exceeded.
+func (c *ResultCache) over() bool {
+	if c.maxEntries > 0 && c.lru.Len() > c.maxEntries {
+		return true
+	}
+	if c.maxBytes > 0 && c.bytes > c.maxBytes {
+		return true
+	}
+	return false
+}
+
+// sync refreshes the gauge-like size counters.
+func (c *ResultCache) sync() {
+	c.sizeBytes = c.bytes
+	c.sizeEntries = int64(c.lru.Len())
+}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"gpuchar/internal/metrics"
+)
+
+func cacheCounter(t *testing.T, r *metrics.Registry, name string) int64 {
+	t.Helper()
+	v, ok := r.Snapshot().Get(name)
+	if !ok {
+		t.Fatalf("counter %s not registered", name)
+	}
+	return v
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewResultCache(4, 0)
+	reg := metrics.NewRegistry()
+	c.Register(reg, "serve/cache")
+
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", []byte("result-a"))
+	got, ok := c.Get("a")
+	if !ok || string(got) != "result-a" {
+		t.Fatalf("Get(a) = %q, %v", got, ok)
+	}
+	if h := cacheCounter(t, reg, "serve/cache/hits"); h != 1 {
+		t.Errorf("hits = %d, want 1", h)
+	}
+	if m := cacheCounter(t, reg, "serve/cache/misses"); m != 1 {
+		t.Errorf("misses = %d, want 1", m)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewResultCache(3, 0)
+	reg := metrics.NewRegistry()
+	c.Register(reg, "serve/cache")
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	c.Get("k0") // refresh k0: k1 is now the LRU
+	c.Put("k3", []byte{3})
+	if _, ok := c.Get("k1"); ok {
+		t.Error("k1 survived eviction despite being LRU")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s evicted, want k1 only", k)
+		}
+	}
+	if e := cacheCounter(t, reg, "serve/cache/evictions"); e != 1 {
+		t.Errorf("evictions = %d, want 1", e)
+	}
+}
+
+func TestCacheByteBound(t *testing.T) {
+	c := NewResultCache(0, 10)
+	c.Put("a", make([]byte, 6))
+	c.Put("b", make([]byte, 6)) // 12 bytes: evicts a
+	if _, ok := c.Get("a"); ok {
+		t.Error("a survived the byte bound")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Error("b evicted")
+	}
+	// An oversized entry still lands (the cache holds just it).
+	c.Put("huge", make([]byte, 64))
+	if _, ok := c.Get("huge"); !ok {
+		t.Error("oversized entry rejected")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived next to an oversized entry")
+	}
+}
+
+func TestCacheRefreshExistingKey(t *testing.T) {
+	c := NewResultCache(2, 0)
+	c.Put("a", []byte("v1"))
+	c.Put("a", []byte("v2"))
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after refresh, want 1", c.Len())
+	}
+	if got, _ := c.Get("a"); string(got) != "v2" {
+		t.Errorf("Get(a) = %q, want v2", got)
+	}
+}
+
+// TestSpecKey pins the content addressing: normalization folds
+// equivalent specs together, any parameter or code-version change
+// splits them.
+func TestSpecKey(t *testing.T) {
+	base := JobSpec{Experiments: []string{"table3"}}.normalized()
+	same := JobSpec{Experiments: []string{"table3"}, APIFrames: 120,
+		SimFrames: 2, Width: 1024, Height: 768, TileWorkers: 1}.normalized()
+	if base.key() != same.key() {
+		t.Error("defaulted and explicit specs hash differently")
+	}
+	diff := JobSpec{Experiments: []string{"table3"}, APIFrames: 60}.normalized()
+	if base.key() == diff.key() {
+		t.Error("different api_frames share a key")
+	}
+	tr1 := JobSpec{Trace: []byte("stream-one"), TraceName: "x"}.normalized()
+	tr2 := JobSpec{Trace: []byte("stream-two"), TraceName: "x"}.normalized()
+	if tr1.key() == tr2.key() {
+		t.Error("different trace bytes share a key")
+	}
+
+	keyV1 := base.key()
+	old := CodeVersion
+	defer func() { CodeVersion = old }()
+	CodeVersion = "gpuchar/other"
+	if keyV1 == base.key() {
+		t.Error("code version change did not invalidate the key")
+	}
+}

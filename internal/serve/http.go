@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// maxUploadBytes bounds a POST /jobs body; a trace upload past it is
+// rejected before buffering (413).
+const maxUploadBytes = 256 << 20
+
+// Mount registers the job API on a mux, alongside whatever else it
+// serves (the obsv endpoints, in the daemon):
+//
+//	POST   /jobs            submit: JSON JobSpec, or a raw trace stream
+//	                        (Content-Type application/octet-stream,
+//	                        ?name= labels the snapshots)
+//	GET    /jobs            list all jobs
+//	GET    /jobs/{id}       status; ?wait=<dur> long-polls completion
+//	GET    /jobs/{id}/result  the finished metrics JSON document
+//	DELETE /jobs/{id}       cancel (and forget the checkpoint)
+func (s *Service) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/jobs/", s.handleJob)
+}
+
+func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.handleSubmit(w, r)
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.Jobs())
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if len(body) > maxUploadBytes {
+		httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", maxUploadBytes)
+		return
+	}
+	var spec JobSpec
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/octet-stream") {
+		// Raw trace upload; ?name= labels its snapshots.
+		spec = JobSpec{Trace: body, TraceName: r.URL.Query().Get("name")}
+	} else {
+		if len(body) > 0 {
+			if err := json.Unmarshal(body, &spec); err != nil {
+				httpError(w, http.StatusBadRequest, "bad job spec: %v", err)
+				return
+			}
+		}
+		// An empty body is a valid spec: the full default sweep.
+	}
+	view, err := s.Submit(spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, view)
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int(RetryAfter/time.Second)))
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrShutdown):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		httpError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" {
+		httpError(w, http.StatusNotFound, "missing job id")
+		return
+	}
+	switch {
+	case sub == "" && r.Method == http.MethodGet:
+		s.handleStatus(w, r, id)
+	case sub == "" && r.Method == http.MethodDelete:
+		switch err := s.Cancel(id); {
+		case err == nil:
+			view, _ := s.Job(id)
+			writeJSON(w, http.StatusOK, view)
+		case errors.Is(err, ErrNotFound):
+			httpError(w, http.StatusNotFound, "%v", err)
+		default:
+			httpError(w, http.StatusInternalServerError, "%v", err)
+		}
+	case sub == "result" && r.Method == http.MethodGet:
+		res, err := s.Result(id)
+		switch {
+		case errors.Is(err, ErrNotFound):
+			httpError(w, http.StatusNotFound, "%v", err)
+		case err != nil:
+			httpError(w, http.StatusConflict, "%v", err)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(res)
+		}
+	default:
+		httpError(w, http.StatusNotFound, "no route %s %s", r.Method, r.URL.Path)
+	}
+}
+
+// handleStatus returns a job view, optionally long-polling completion
+// with ?wait=<duration> (capped at 30s; returns the current state on
+// expiry rather than an error, so clients just loop).
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request, id string) {
+	if waitS := r.URL.Query().Get("wait"); waitS != "" {
+		d, err := time.ParseDuration(waitS)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad wait %q: %v", waitS, err)
+			return
+		}
+		if d > 30*time.Second {
+			d = 30 * time.Second
+		}
+		done, derr := s.Done(id)
+		if derr != nil {
+			httpError(w, http.StatusNotFound, "%v", derr)
+			return
+		}
+		select {
+		case <-done:
+		case <-time.After(d):
+		case <-r.Context().Done():
+		}
+	}
+	view, err := s.Job(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{
+		"error": fmt.Sprintf(format, args...),
+	})
+}

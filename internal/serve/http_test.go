@@ -1,0 +1,310 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"gpuchar/internal/geom"
+	"gpuchar/internal/gfxapi"
+	"gpuchar/internal/gmath"
+	"gpuchar/internal/metrics"
+	"gpuchar/internal/obsv"
+	"gpuchar/internal/shader"
+	"gpuchar/internal/trace"
+)
+
+// startDaemon wires a Service into the obsv server the way cmd/gpuchard
+// does and returns the base URL.
+func startDaemon(t *testing.T, cfg Config) (*Service, string) {
+	t.Helper()
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := obsv.StartServer("127.0.0.1:0", obsv.ServerSources{
+		Snapshots: s.MetricsSnapshots,
+		Mount:     s.Mount,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = srv.Close()
+		shutdownNow(t, s)
+	})
+	return s, "http://" + srv.Addr
+}
+
+func getJSON(t *testing.T, url string, v interface{}) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil && resp.StatusCode < 300 {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postSpec(t *testing.T, base string, spec JobSpec) (*http.Response, JobView) {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view JobView
+	_ = json.NewDecoder(resp.Body).Decode(&view)
+	return resp, view
+}
+
+// pollDone long-polls GET /jobs/{id}?wait until the job terminates.
+func pollDone(t *testing.T, base, id string) JobView {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		var view JobView
+		if code := getJSON(t, base+"/jobs/"+id+"?wait=5s", &view); code != http.StatusOK {
+			t.Fatalf("status poll: HTTP %d", code)
+		}
+		if view.State.terminal() {
+			return view
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not finish over HTTP", id)
+		}
+	}
+}
+
+// TestHTTPJobLifecycle drives the REST API end to end: submit a spec,
+// long-poll to completion, fetch the result, and confirm the document
+// matches the single-shot characterize output byte for byte. A
+// resubmission is a cache hit, visible both in the job view and in the
+// Prometheus counters on /metrics.
+func TestHTTPJobLifecycle(t *testing.T) {
+	spec := JobSpec{Experiments: []string{"fig1"}, APIFrames: 6}
+	want := expectedJSON(t, spec)
+	_, base := startDaemon(t, Config{Workers: 2})
+
+	resp, view := postSpec(t, base, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs: HTTP %d", resp.StatusCode)
+	}
+	if view.ID == "" || view.State.terminal() {
+		t.Fatalf("accepted view: %+v", view)
+	}
+
+	final := pollDone(t, base, view.ID)
+	if final.State != StateDone {
+		t.Fatalf("job = %s (%s)", final.State, final.Error)
+	}
+	res, err := http.Get(base + "/jobs/" + view.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("result: HTTP %d (%s)", res.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("HTTP result differs from single-shot characterize output")
+	}
+	// The document parses under the exported schema.
+	if _, err := metrics.ReadJSON(bytes.NewReader(got)); err != nil {
+		t.Errorf("result is not a valid metrics document: %v", err)
+	}
+
+	// Resubmit: cache hit, reflected on /metrics.
+	resp2, view2 := postSpec(t, base, spec)
+	if resp2.StatusCode != http.StatusAccepted || !view2.CacheHit {
+		t.Fatalf("resubmit: HTTP %d, %+v", resp2.StatusCode, view2)
+	}
+	mres, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(mres.Body)
+	mres.Body.Close()
+	if !strings.Contains(string(prom), "gpuchar_serve_cache_hits") {
+		t.Error("/metrics lacks gpuchar_serve_cache_hits")
+	}
+	var hits float64
+	for _, line := range strings.Split(string(prom), "\n") {
+		if strings.HasPrefix(line, "gpuchar_serve_cache_hits") {
+			fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &hits)
+		}
+	}
+	if hits < 1 {
+		t.Errorf("gpuchar_serve_cache_hits = %g, want >= 1", hits)
+	}
+
+	// The job list includes both submissions.
+	var list []JobView
+	if code := getJSON(t, base+"/jobs", &list); code != http.StatusOK || len(list) != 2 {
+		t.Errorf("GET /jobs: HTTP %d, %d jobs", code, len(list))
+	}
+}
+
+// TestHTTPBackpressure pins the 429 + Retry-After contract when the
+// queue is full.
+func TestHTTPBackpressure(t *testing.T) {
+	_, base := startDaemon(t, Config{Workers: 1, QueueDepth: 1})
+
+	var got429 bool
+	for i := 0; i < 8; i++ {
+		resp, _ := postSpec(t, base, JobSpec{Experiments: []string{"fig1"}, APIFrames: 100000 + i})
+		if resp.StatusCode == http.StatusTooManyRequests {
+			got429 = true
+			if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+				t.Errorf("429 without a useful Retry-After (%q)", ra)
+			}
+			break
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("POST %d: HTTP %d", i, resp.StatusCode)
+		}
+	}
+	if !got429 {
+		t.Fatal("queue never pushed back with 429")
+	}
+}
+
+// TestHTTPCancelAndErrors pins DELETE plus the 404/409 edges.
+func TestHTTPCancelAndErrors(t *testing.T) {
+	_, base := startDaemon(t, Config{Workers: 1})
+
+	_, view := postSpec(t, base, JobSpec{Experiments: []string{"fig1"}, APIFrames: 100000})
+	if view.ID == "" {
+		t.Fatal("submission failed")
+	}
+	// Result before completion: 409.
+	if code := getJSON(t, base+"/jobs/"+view.ID+"/result", nil); code != http.StatusConflict {
+		t.Errorf("early result fetch: HTTP %d, want 409", code)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, base+"/jobs/"+view.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var canceled JobView
+	_ = json.NewDecoder(resp.Body).Decode(&canceled)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: HTTP %d", resp.StatusCode)
+	}
+	final := pollDone(t, base, view.ID)
+	if final.State != StateCanceled {
+		t.Errorf("after DELETE job = %s, want canceled", final.State)
+	}
+	// Unknown job: 404 everywhere.
+	for _, path := range []string{"/jobs/j9999-missing", "/jobs/j9999-missing/result"} {
+		if code := getJSON(t, base+path, nil); code != http.StatusNotFound {
+			t.Errorf("GET %s: HTTP %d, want 404", path, code)
+		}
+	}
+	// Bad spec: 400.
+	resp2, _ := postSpec(t, base, JobSpec{Experiments: []string{"nope"}})
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad spec: HTTP %d, want 400", resp2.StatusCode)
+	}
+}
+
+// recordSmallTrace renders a tiny two-frame scene through a recording
+// device and returns the serialized trace stream.
+func recordSmallTrace(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	rec, err := trace.NewRecorder(&buf, gfxapi.OpenGL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := gfxapi.NewDevice(gfxapi.OpenGL, gfxapi.NullBackend{})
+	d.SetRecorder(rec)
+	pos := []gmath.Vec4{
+		{X: -1, Y: -1, W: 1}, {X: 1, Y: -1, W: 1}, {X: 0, Y: 1, W: 1},
+	}
+	vb := d.CreateVertexBuffer([][]gmath.Vec4{pos}, 16)
+	ib := d.CreateIndexBuffer([]uint32{0, 1, 2}, 2)
+	vs, err := d.CreateProgram(shader.BasicTransformVS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := d.CreateProgram(shader.TexturedFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for frame := 0; frame < 2; frame++ {
+		d.Clear(gfxapi.ClearOp{ClearColor: true, ClearDepth: true, Z: 1})
+		d.DrawIndexed(vb, ib, geom.TriangleList, vs, fs)
+		d.EndFrame()
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestHTTPTraceUpload submits a recorded trace as an octet-stream and
+// checks the resulting document carries the upload's label.
+func TestHTTPTraceUpload(t *testing.T) {
+	raw := recordSmallTrace(t)
+	_, base := startDaemon(t, Config{Workers: 1})
+
+	resp, err := http.Post(base+"/jobs?name=uploaded-demo", "application/octet-stream",
+		bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view JobView
+	_ = json.NewDecoder(resp.Body).Decode(&view)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("trace upload: HTTP %d", resp.StatusCode)
+	}
+	final := pollDone(t, base, view.ID)
+	if final.State != StateDone {
+		t.Fatalf("trace job = %s (%s)", final.State, final.Error)
+	}
+	res, err := http.Get(base + "/jobs/" + view.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	snaps, err := metrics.ReadJSON(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("trace result: %v", err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("trace result has no snapshots")
+	}
+	for _, s := range snaps {
+		if s.Label("demo") != "uploaded-demo" {
+			t.Errorf("snapshot labeled %q, want uploaded-demo", s.Label("demo"))
+		}
+	}
+
+	// A corrupt stream is rejected at submission, not at run time.
+	bad := append([]byte("XXXX"), raw[4:]...)
+	resp2, err := http.Post(base+"/jobs", "application/octet-stream", bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("corrupt trace: HTTP %d, want 400", resp2.StatusCode)
+	}
+}

@@ -1,0 +1,431 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gpuchar/internal/metrics"
+)
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	// ErrQueueFull means the bounded queue rejected a submission —
+	// backpressure, not failure (HTTP 429 + Retry-After).
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrShutdown means the service no longer accepts work.
+	ErrShutdown = errors.New("serve: shutting down")
+	// ErrNotFound means the job ID is unknown.
+	ErrNotFound = errors.New("serve: no such job")
+)
+
+// Config sizes a Service. Zero values take the documented defaults.
+type Config struct {
+	// Workers is the number of concurrent job executors (default 1).
+	Workers int
+	// QueueDepth bounds the pending-job queue (default 16); submissions
+	// past it fail with ErrQueueFull.
+	QueueDepth int
+	// SpoolDir, when set, persists job specs, checkpoints and results
+	// so a restarted daemon resumes where it was killed. Empty runs
+	// in-memory only (no checkpoint/resume).
+	SpoolDir string
+	// CacheEntries / CacheBytes bound the result cache (defaults 64
+	// entries, 256 MiB; negative disables that bound).
+	CacheEntries int
+	CacheBytes   int64
+	// CheckpointEvery is the frame interval between durable checkpoints
+	// of an in-progress API render (default 25; <0 checkpoints only at
+	// demo boundaries and cancellation).
+	CheckpointEvery int
+	// JobTimeout, when positive, bounds each job's wall-clock run time.
+	JobTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 64
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 25
+	}
+	return c
+}
+
+// Service is the characterization job scheduler: a bounded queue, a
+// worker pool running jobs through the core engine, a content-addressed
+// result cache, and the spool that makes jobs survive restarts.
+type Service struct {
+	cfg Config
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // submission order, for listing
+	cache *ResultCache
+	seq   int
+	// closing refuses new work while Shutdown drains the pool.
+	closing bool
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	reg      *metrics.Registry
+	counters struct {
+		submitted, completed, failed, canceled, resumed int64
+		framesRestored, queueDepth                      int64
+	}
+}
+
+// Open starts a service: it rescans the spool directory (if any),
+// restores finished results into the cache, re-enqueues unfinished
+// jobs, and launches the worker pool.
+func Open(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:   cfg,
+		jobs:  map[string]*Job{},
+		cache: NewResultCache(cfg.CacheEntries, cfg.CacheBytes),
+		reg:   metrics.NewRegistry(),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.reg.Bind("serve/jobs_submitted", &s.counters.submitted)
+	s.reg.Bind("serve/jobs_completed", &s.counters.completed)
+	s.reg.Bind("serve/jobs_failed", &s.counters.failed)
+	s.reg.Bind("serve/jobs_canceled", &s.counters.canceled)
+	s.reg.Bind("serve/jobs_resumed", &s.counters.resumed)
+	s.reg.Bind("serve/frames_restored", &s.counters.framesRestored)
+	s.reg.Bind("serve/queue_depth", &s.counters.queueDepth)
+	s.cache.Register(s.reg, "serve/cache")
+
+	var pending []*Job
+	if cfg.SpoolDir != "" {
+		if err := os.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: spool %s: %w", cfg.SpoolDir, err)
+		}
+		jobs, _, err := scanSpool(cfg.SpoolDir)
+		if err != nil {
+			return nil, err
+		}
+		for _, j := range jobs {
+			s.jobs[j.ID] = j
+			s.order = append(s.order, j.ID)
+			if n := seqOf(j.ID); n > s.seq {
+				s.seq = n
+			}
+			if j.state == StateDone {
+				s.cache.Put(j.key, j.result)
+			} else {
+				pending = append(pending, j)
+			}
+		}
+	}
+	// The queue must absorb every rediscovered job plus QueueDepth new
+	// ones, or Open itself would block.
+	s.queue = make(chan *Job, cfg.QueueDepth+len(pending))
+	for _, j := range pending {
+		s.queue <- j
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// seqOf parses the monotonic sequence number out of a job ID
+// ("j0042-<hash>" -> 42); 0 for foreign forms.
+func seqOf(id string) int {
+	if !strings.HasPrefix(id, "j") {
+		return 0
+	}
+	dash := strings.IndexByte(id, '-')
+	if dash < 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(id[1:dash])
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Submit validates and enqueues a job. An identical job with a cached
+// result completes instantly (cache hit, no worker involved). A full
+// queue returns ErrQueueFull.
+func (s *Service) Submit(spec JobSpec) (JobView, error) {
+	norm := spec.normalized()
+	if err := norm.validate(); err != nil {
+		return JobView{}, err
+	}
+	key := norm.key()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return JobView{}, ErrShutdown
+	}
+	s.seq++
+	j := &Job{
+		ID:          fmt.Sprintf("j%04d-%s", s.seq, key[:8]),
+		Spec:        norm,
+		key:         key,
+		framesTotal: norm.framesTotal(),
+		done:        make(chan struct{}),
+	}
+	if res, ok := s.cache.Get(key); ok {
+		j.state = StateDone
+		j.result = res
+		j.cacheHit = true
+		j.framesDone = j.framesTotal
+		close(j.done)
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		s.counters.submitted++
+		// Persist so a restart still knows this job and its result.
+		if err := writeJobFile(s.cfg.SpoolDir, j); err == nil {
+			if p := resultPath(s.cfg.SpoolDir, j.ID); p != "" {
+				_ = atomicWrite(p, res)
+			}
+		}
+		return j.view(), nil
+	}
+	j.state = StateQueued
+	select {
+	case s.queue <- j:
+	default:
+		s.seq-- // the rejected job never existed
+		return JobView{}, ErrQueueFull
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.counters.submitted++
+	if err := writeJobFile(s.cfg.SpoolDir, j); err != nil {
+		// The job still runs this process lifetime; it just won't
+		// survive a restart. Not worth failing the submission.
+		_ = err
+	}
+	return j.view(), nil
+}
+
+// RetryAfter is the backoff hint returned with ErrQueueFull.
+const RetryAfter = 2 * time.Second
+
+// Job returns a job's current view.
+func (s *Service) Job(id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, ErrNotFound
+	}
+	return j.view(), nil
+}
+
+// Jobs lists every known job in submission order.
+func (s *Service) Jobs() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].view())
+	}
+	return out
+}
+
+// Result returns a finished job's metrics document.
+func (s *Service) Result(id string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if j.state != StateDone {
+		return nil, fmt.Errorf("serve: job %s is %s, not done", id, j.state)
+	}
+	return j.result, nil
+}
+
+// Done exposes a job's completion channel for long-polling; it closes
+// when the job reaches a terminal state.
+func (s *Service) Done(id string) (<-chan struct{}, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j.done, nil
+}
+
+// Cancel stops a job: a queued job is marked canceled in place (the
+// worker skips it on dequeue), a running one has its context torn down
+// and checkpoints discarded. Canceling a terminal job is a no-op.
+func (s *Service) Cancel(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	switch {
+	case j.state.terminal():
+		return nil
+	case j.state == StateQueued:
+		j.state = StateCanceled
+		j.err = "canceled"
+		s.counters.canceled++
+		removeJobFiles(s.cfg.SpoolDir, j.ID)
+		close(j.done)
+	default: // running
+		j.userCancel = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return nil
+}
+
+// Shutdown stops accepting jobs, cancels running ones (they persist a
+// final checkpoint and return to the queued state for the next Open),
+// and waits for the workers to drain, bounded by ctx.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.closing
+	s.closing = true
+	s.mu.Unlock()
+	if !already {
+		s.baseCancel()
+	}
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// MetricsSnapshots returns the service counters as one labeled
+// snapshot — the obsv server's Snapshots source.
+func (s *Service) MetricsSnapshots() []metrics.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters.queueDepth = int64(len(s.queue))
+	return []metrics.Snapshot{s.reg.Snapshot().WithLabels("source", "serve")}
+}
+
+// worker drains the queue until shutdown.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case j := <-s.queue:
+			s.runOne(j)
+		}
+	}
+}
+
+// runOne executes a dequeued job and classifies its outcome.
+func (s *Service) runOne(j *Job) {
+	s.mu.Lock()
+	if j.state != StateQueued {
+		// Canceled while waiting in the queue.
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	if s.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
+	}
+	j.cancel = cancel
+	s.mu.Unlock()
+
+	result, err := s.runJob(ctx, j)
+	cancel()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = result
+		s.cache.Put(j.key, result)
+		s.counters.completed++
+		if p := resultPath(s.cfg.SpoolDir, j.ID); p != "" {
+			_ = atomicWrite(p, result)
+			os.Remove(ckptPath(s.cfg.SpoolDir, j.ID))
+		}
+		close(j.done)
+	case j.userCancel:
+		j.state = StateCanceled
+		j.err = "canceled"
+		s.counters.canceled++
+		removeJobFiles(s.cfg.SpoolDir, j.ID)
+		close(j.done)
+	case s.closing && errors.Is(err, context.Canceled):
+		// Shutdown interrupted the job mid-run. Its checkpoint is on
+		// disk; the next Open re-enqueues and resumes it.
+		j.state = StateQueued
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+		s.counters.failed++
+		removeJobFiles(s.cfg.SpoolDir, j.ID)
+		close(j.done)
+	}
+}
+
+// addFrames credits progress (and restored-frame counts) to a job.
+func (s *Service) addFrames(j *Job, done, restored int) {
+	s.mu.Lock()
+	j.framesDone += done
+	j.framesRestored += restored
+	s.counters.framesRestored += int64(restored)
+	s.mu.Unlock()
+}
+
+// noteResumed counts a job that picked up a prior checkpoint.
+func (s *Service) noteResumed(j *Job) {
+	s.mu.Lock()
+	s.counters.resumed++
+	s.mu.Unlock()
+}
+
+// sortedIDs is a test helper: job IDs in lexical order.
+func (s *Service) sortedIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -451,3 +451,16 @@ func (d *decoder) readU32s(n int) ([]uint32, error) {
 	}
 	return out, nil
 }
+
+// SniffHeader validates just the stream header — magic, version and API
+// dialect — and reports what it found, without committing to a decode.
+// The characterization service uses it to reject a malformed upload at
+// submission time, before a worker slot is spent on it; header damage
+// comes back as the same *FormatError (Cmd -1) a full read would give.
+func SniffHeader(r io.Reader) (api gfxapi.API, ver uint8, err error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return 0, 0, err
+	}
+	return rd.API(), rd.Version(), nil
+}

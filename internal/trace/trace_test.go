@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 
@@ -234,5 +235,29 @@ func TestPlayerRejectsDanglingReferences(t *testing.T) {
 	d := gfxapi.NewDevice(gfxapi.OpenGL, gfxapi.NullBackend{})
 	if _, err := NewPlayer(d).Play(r); err == nil {
 		t.Error("dangling draw replayed without error")
+	}
+}
+
+// TestSniffHeader pins the upload-validation entry point: a good stream
+// reports its dialect and version, header damage is a *FormatError.
+func TestSniffHeader(t *testing.T) {
+	var buf bytes.Buffer
+	rec, err := NewRecorder(&buf, gfxapi.Direct3D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	api, ver, err := SniffHeader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if api != gfxapi.Direct3D || ver == 0 {
+		t.Errorf("SniffHeader = %v, %d", api, ver)
+	}
+	var fe *FormatError
+	if _, _, err := SniffHeader(bytes.NewReader([]byte("nope"))); !errors.As(err, &fe) || fe.Cmd != -1 {
+		t.Errorf("bad magic: err = %v, want header *FormatError", err)
 	}
 }

@@ -1,0 +1,78 @@
+package workloads
+
+// GenState is the complete per-frame mutable state of a workload
+// generator — everything RenderFrame reads or writes that survives a
+// frame boundary. Capturing it after frame k and restoring it into a
+// freshly Setup() workload makes frame k+1 bit-identical to a
+// continuous run: the scene geometry, programs and textures are
+// deterministic functions of the profile rebuilt by Setup, so the only
+// evolving state is this handful of counters and dither accumulators.
+//
+// It is the unit the serve layer's frame-boundary checkpoints persist
+// (JSON tags keep the wire form stable); keep it in sync with the
+// Workload fields mutated outside Setup.
+type GenState struct {
+	// FrameIdx is the next frame to render (frames completed so far).
+	FrameIdx int `json:"frame_idx"`
+	// Rng is the LCG state behind state-call padding and noise seeds.
+	Rng uint32 `json:"rng"`
+	// TexCursor is the texture rotation position (bindNextTextures).
+	TexCursor int `json:"tex_cursor"`
+	// Program dither accumulators (pickVS / pickFS).
+	VSSumW     float64 `json:"vs_sum_w"`
+	VSHiW      float64 `json:"vs_hi_w"`
+	FSSumW     float64 `json:"fs_sum_w"`
+	FSInstrHiW float64 `json:"fs_instr_hi_w"`
+	FSTexHiW   float64 `json:"fs_tex_hi_w"`
+	// AccChunks is the ribbon-chunk dither carry (chunkCounts).
+	AccChunks [3]float64 `json:"acc_chunks"`
+	// StateAcc / BatchNum are the cross-frame render scratch: fractional
+	// state-call carry and the running batch counter that paces texture
+	// rotation.
+	StateAcc float64 `json:"state_acc"`
+	BatchNum int     `json:"batch_num"`
+}
+
+// GenState captures the generator's resumable state. Meaningful at
+// frame boundaries (after RenderFrame returns, before the next one).
+func (wl *Workload) GenState() GenState {
+	return GenState{
+		FrameIdx:   wl.frameIdx,
+		Rng:        wl.rng,
+		TexCursor:  wl.texCursor,
+		VSSumW:     wl.vsSumW,
+		VSHiW:      wl.vsHiW,
+		FSSumW:     wl.fsSumW,
+		FSInstrHiW: wl.fsInstrHiW,
+		FSTexHiW:   wl.fsTexHiW,
+		AccChunks:  wl.accChunks,
+		StateAcc:   wl.scratch.stateAcc,
+		BatchNum:   wl.scratch.batchNum,
+	}
+}
+
+// SetGenState restores a previously captured generator state. Call it
+// after Setup on a fresh workload of the same profile, resolution and
+// region boundary (and before DropFrame, so the warm-up state calls it
+// issues are shed with the setup burst); subsequent RenderFrame calls
+// then reproduce the continuous run's remaining frames exactly.
+func (wl *Workload) SetGenState(s GenState) {
+	if s.FrameIdx > 0 {
+		// A continuous run created these lazily during frame 0; recreate
+		// them now so the first resumed frame doesn't pick up the state
+		// calls.
+		wl.ensureFlipIB(&wl.volShadow)
+		wl.ensureFlipIB(&wl.volPairBack)
+	}
+	wl.frameIdx = s.FrameIdx
+	wl.rng = s.Rng
+	wl.texCursor = s.TexCursor
+	wl.vsSumW = s.VSSumW
+	wl.vsHiW = s.VSHiW
+	wl.fsSumW = s.FSSumW
+	wl.fsInstrHiW = s.FSInstrHiW
+	wl.fsTexHiW = s.FSTexHiW
+	wl.accChunks = s.AccChunks
+	wl.scratch.stateAcc = s.StateAcc
+	wl.scratch.batchNum = s.BatchNum
+}

@@ -1,0 +1,96 @@
+package workloads
+
+import (
+	"testing"
+
+	"gpuchar/internal/gfxapi"
+)
+
+// renderFrames runs a demo for n frames against a null backend and
+// returns the per-frame API statistics.
+func renderFrames(t *testing.T, name string, n int) []gfxapi.FrameStats {
+	t.Helper()
+	prof := ByName(name)
+	if prof == nil {
+		t.Fatalf("unknown demo %q", name)
+	}
+	dev := gfxapi.NewDevice(prof.API, gfxapi.NullBackend{})
+	wl := New(prof, dev, 1024, 768)
+	wl.SetRegionBoundary(n / 2)
+	if err := wl.Run(n); err != nil {
+		t.Fatal(err)
+	}
+	return dev.Frames()
+}
+
+// TestGenStateResumeBitIdentical is the contract the serve layer's
+// frame-boundary checkpoints rest on: rendering k frames, capturing
+// GenState, and continuing on a fresh workload reproduces the
+// continuous run's remaining frames exactly.
+func TestGenStateResumeBitIdentical(t *testing.T) {
+	const total, cut = 12, 5
+	for _, prof := range Registry() {
+		name := prof.Name
+		t.Run(name, func(t *testing.T) {
+			want := renderFrames(t, name, total)
+
+			prof := ByName(name)
+			// First leg: render the frames before the cut and capture state.
+			dev1 := gfxapi.NewDevice(prof.API, gfxapi.NullBackend{})
+			wl1 := New(prof, dev1, 1024, 768)
+			wl1.SetRegionBoundary(total / 2)
+			if err := wl1.Run(cut); err != nil {
+				t.Fatal(err)
+			}
+			st := wl1.GenState()
+			if st.FrameIdx != cut {
+				t.Fatalf("GenState.FrameIdx = %d, want %d", st.FrameIdx, cut)
+			}
+
+			// Second leg: fresh device + workload, Setup, restore, continue.
+			dev2 := gfxapi.NewDevice(prof.API, gfxapi.NullBackend{})
+			wl2 := New(prof, dev2, 1024, 768)
+			wl2.SetRegionBoundary(total / 2)
+			if err := wl2.Setup(); err != nil {
+				t.Fatal(err)
+			}
+			wl2.SetGenState(st)
+			// The fresh Setup's creation burst belongs to frame 0, which the
+			// first leg already produced: drop it.
+			dev2.DropFrame()
+			for i := cut; i < total; i++ {
+				wl2.RenderFrame()
+			}
+
+			got := append(append([]gfxapi.FrameStats{}, dev1.Frames()...), dev2.Frames()...)
+			if len(got) != len(want) {
+				t.Fatalf("got %d frames, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("frame %d differs after resume:\n got %+v\nwant %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGenStateRoundTrip pins that SetGenState(GenState()) is a no-op
+// mid-run — the two methods cover the same field set.
+func TestGenStateRoundTrip(t *testing.T) {
+	prof := ByName("Quake4/demo4")
+	dev := gfxapi.NewDevice(prof.API, gfxapi.NullBackend{})
+	wl := New(prof, dev, 1024, 768)
+	if err := wl.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	st := wl.GenState()
+	wl.SetGenState(st)
+	if got := wl.GenState(); got != st {
+		t.Errorf("round trip changed state:\n got %+v\nwant %+v", got, st)
+	}
+	wl.RenderFrame()
+	if got := wl.GenState(); got == st {
+		t.Errorf("state did not advance after a frame")
+	}
+}

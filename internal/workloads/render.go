@@ -239,17 +239,25 @@ func (wl *Workload) drawScenePass(fill, clip, cull int) {
 	wl.drawRibbonChunks(wl.cullR, cull, geom.TriangleList)
 }
 
+// ensureFlipIB lazily creates the reversed-winding index buffer a
+// flipped draw uses. The creation is a state call, so a resumed render
+// must issue it before its first counted frame (SetGenState does).
+func (wl *Workload) ensureFlipIB(m *mesh) {
+	if m.flipIB != nil || m.ib == nil {
+		return
+	}
+	idx := make([]uint32, len(m.ib.Indices))
+	for i := 0; i < len(idx); i += 3 {
+		idx[i] = m.ib.Indices[i+1]
+		idx[i+1] = m.ib.Indices[i]
+		idx[i+2] = m.ib.Indices[i+2]
+	}
+	m.flipIB = wl.Dev.CreateIndexBuffer(idx, m.ib.BytesPerIndex)
+}
+
 // drawFlipped draws a grid with reversed winding (its back faces).
 func (wl *Workload) drawFlipped(m *mesh) {
-	if m.flipIB == nil {
-		idx := make([]uint32, len(m.ib.Indices))
-		for i := 0; i < len(idx); i += 3 {
-			idx[i] = m.ib.Indices[i+1]
-			idx[i+1] = m.ib.Indices[i]
-			idx[i+2] = m.ib.Indices[i+2]
-		}
-		m.flipIB = wl.Dev.CreateIndexBuffer(idx, m.ib.BytesPerIndex)
-	}
+	wl.ensureFlipIB(m)
 	wl.drawBuffers(m.vb, m.flipIB, geom.TriangleList, false)
 }
 
