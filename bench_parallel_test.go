@@ -14,18 +14,14 @@ import (
 	"gpuchar"
 )
 
-// workerCounts returns the benchmark sweep: 1, 2, 4 and NumCPU,
-// deduplicated and sorted.
+// workerCounts returns the benchmark sweep: 1, 2, 4, 8 and NumCPU when
+// it exceeds the fixed points. Counts above NumCPU still run — the
+// bucket scheduler's behavior under oversubscription is part of what
+// the sweep pins down.
 func workerCounts() []int {
-	counts := []int{1, 2, 4}
-	n := runtime.NumCPU()
-	for _, c := range counts {
-		if c == n {
-			return counts
-		}
-	}
-	if n > 4 {
-		return append(counts, n)
+	counts := []int{1, 2, 4, 8}
+	if n := runtime.NumCPU(); n > 8 {
+		counts = append(counts, n)
 	}
 	return counts
 }

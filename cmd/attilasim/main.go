@@ -40,7 +40,13 @@ import (
 // so tests can pin it by name.
 var exitCode = cliutil.ExitCode
 
+// profStop finishes the -cpuprofile (if any) before an error exit:
+// cliutil.Fail calls os.Exit, which skips defers, and a truncated
+// profile is unreadable.
+var profStop = func() {}
+
 func fail(err error) {
+	profStop()
 	cliutil.Fail("attilasim", err)
 }
 
@@ -64,6 +70,8 @@ func main() {
 			"record 1-in-N fine-grained spans (per-draw, per-worker-drain); structural spans are always recorded")
 		listen = flag.String("listen", "",
 			"serve /metrics, /progress, /healthz and /debug/pprof on this address (e.g. :9090)")
+		cpuprofile = flag.String("cpuprofile", "",
+			"write a CPU profile of the run to this file (single-run alternative to -listen's /debug/pprof)")
 	)
 	flag.Parse()
 
@@ -87,6 +95,12 @@ func main() {
 	if *traceSample < 1 {
 		cliutil.Usagef("attilasim", "-trace-sample %d must be >= 1", *traceSample)
 	}
+	stopProf, err := cliutil.StartCPUProfile(*cpuprofile)
+	if err != nil {
+		fail(err)
+	}
+	profStop = stopProf
+	defer stopProf()
 	cfg := gpuchar.R520Config(*width, *height)
 	cfg.TileWorkers = *workers
 	if *noHZ {

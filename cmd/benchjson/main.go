@@ -24,10 +24,12 @@ import (
 
 	"gpuchar"
 	"gpuchar/internal/geom"
+	"gpuchar/internal/gmath"
 	"gpuchar/internal/metrics"
 	"gpuchar/internal/obsv"
 	"gpuchar/internal/rast"
 	"gpuchar/internal/serve"
+	"gpuchar/internal/shader"
 )
 
 // measurement is one benchmark result in the output JSON.
@@ -48,6 +50,14 @@ type output struct {
 	// PipelineFrame is one full simulated frame per op, swept over
 	// tile-worker counts (workers=1 is the serial pipeline).
 	PipelineFrame []measurement `json:"pipeline_frame"`
+
+	// ShaderExec isolates the fragment-shader executor: the retained
+	// reference interpreter versus the compiled quad kernels the
+	// pipeline runs (see internal/shader/compile.go). One op is one 2x2
+	// quad through the alpha-tested fragment shader with a nil sampler,
+	// so texture instructions write zero texels without dragging the
+	// cache hierarchy into the measurement.
+	ShaderExec map[string]measurement `json:"shader_exec"`
 
 	// Rasterizer compares the two triangle feed paths per op (one
 	// triangle covering ~64x64 pixels): the legacy heap Setup + closure
@@ -120,6 +130,42 @@ func benchFrame(demo string, w, h, workers int) measurement {
 	})
 	m.Workers = workers
 	return m
+}
+
+// benchShaderExec measures one 2x2 quad through AlphaTestedFS on the
+// reference interpreter and on the compiled path. The input values keep
+// every lane alive through the alpha test so both runs execute the full
+// program.
+func benchShaderExec() map[string]measurement {
+	prog := shader.AlphaTestedFS()
+	var in [4][shader.NumInputs]gmath.Vec4
+	for lane := range in {
+		for i := range in[lane] {
+			in[lane][i] = gmath.V4(0.1+0.25*float32(lane), 0.03*float32(i), 0.5, 1)
+		}
+	}
+	var out [4][shader.NumOutputs]gmath.Vec4
+	interp := bench(func(b *testing.B) {
+		m := shader.NewMachine()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.RunQuadInterpreted(prog, &in, 0xF, &out)
+		}
+	})
+	compiled := bench(func(b *testing.B) {
+		m := shader.NewMachine()
+		prog.Compiled() // one-time lowering, outside the timed loop
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.RunQuad(prog, &in, 0xF, &out)
+		}
+	})
+	return map[string]measurement{
+		"interpreted": interp,
+		"compiled":    compiled,
+	}
 }
 
 // benchTri returns a screen-space triangle for the rasterizer paths.
@@ -303,8 +349,8 @@ func main() {
 	)
 	flag.Parse()
 
-	counts := []int{1, 2, 4}
-	if n := runtime.NumCPU(); n > 4 {
+	counts := []int{1, 2, 4, 8}
+	if n := runtime.NumCPU(); n > 8 {
 		counts = append(counts, n)
 	}
 	doc := output{
@@ -314,6 +360,8 @@ func main() {
 		GoVersion:  runtime.Version(),
 		Rasterizer: benchRasterizer(),
 	}
+	fmt.Fprintf(os.Stderr, "benchjson: shader exec...\n")
+	doc.ShaderExec = benchShaderExec()
 	fmt.Fprintf(os.Stderr, "benchjson: metrics export...\n")
 	doc.MetricsExport = benchMetricsExport(*demo, *width, *height)
 	fmt.Fprintf(os.Stderr, "benchjson: stage walltime...\n")

@@ -27,7 +27,13 @@ import (
 	"gpuchar/internal/obsv"
 )
 
+// profStop finishes the -cpuprofile (if any) before an error exit:
+// cliutil.Fail calls os.Exit, which skips defers, and a truncated
+// profile is unreadable.
+var profStop = func() {}
+
 func fail(err error) {
+	profStop()
 	cliutil.Fail("characterize", err)
 }
 
@@ -59,6 +65,8 @@ func main() {
 			"serve /metrics, /progress, /healthz and /debug/pprof on this address (e.g. :9090)")
 		progressN = flag.Int("progress", 0,
 			"print a progress line (demo, frame, frames/sec) to stderr every N completed frames")
+		cpuprofile = flag.String("cpuprofile", "",
+			"write a CPU profile of the run to this file (single-run alternative to -listen's /debug/pprof)")
 	)
 	flag.Parse()
 
@@ -91,6 +99,12 @@ func main() {
 		cliutil.Flag{Name: "-h", Value: *height}); err != nil {
 		cliutil.Usagef("characterize", "%v", err)
 	}
+	stopProf, err := cliutil.StartCPUProfile(*cpuprofile)
+	if err != nil {
+		fail(err)
+	}
+	profStop = stopProf
+	defer stopProf()
 
 	ctx := gpuchar.NewContext()
 	ctx.APIFrames = *frames

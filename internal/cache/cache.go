@@ -65,28 +65,48 @@ func (s Stats) HitRate() float64 {
 }
 
 type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	// age is a per-set LRU stamp; larger is more recent.
-	age uint64
+	// lineAddr is the full line address (addr >> lineShift); it doubles
+	// as the index key, so eviction can drop the map entry.
+	lineAddr uint64
+	dirty    bool
+	// prev/next chain the line into its set's LRU list (-1 terminated);
+	// the list runs LRU (head) to MRU (tail). A line is valid iff it is
+	// on a list.
+	prev, next int32
 }
 
 // Cache is a set-associative, write-allocate, write-back cache with LRU
 // replacement.
+//
+// Lookups and victim selection are O(1): a line-address index replaces
+// the way scan and an intrusive per-set LRU list replaces the age-stamp
+// victim scan. The observable behavior — every hit/miss outcome, victim
+// choice, fill and write-back — is byte-identical to the reference
+// scan-based model (kept in the package tests as refCache), including
+// its fill order for not-yet-valid ways: the reference victim scan
+// starts preferring invalid lines at way 1, so a set fills ways
+// 1, 2, …, W-1 and then way 0.
 type Cache struct {
 	cfg       Config
 	lines     []line // sets*ways lines, set-major
-	stamp     uint64
 	stats     Stats
 	lineShift uint
 
-	// mru short-circuits the way scan for repeated accesses to the same
-	// line — the dominant pattern for texture fetches. Semantics are
-	// identical to a full lookup (the hit is counted and the LRU age
-	// refreshed).
+	// idx maps line address -> index into lines for valid lines.
+	idx map[uint64]int32
+	// used counts the valid ways of each set; lines only invalidate
+	// wholesale (Flush/Invalidate), so a set's valid ways are exactly
+	// the first used entries of its fill order.
+	used []int32
+	// head/tail are the per-set LRU list ends (-1 when empty).
+	head, tail []int32
+
+	// mru short-circuits the index lookup for repeated accesses to the
+	// same line — the dominant pattern for texture fetches. The MRU line
+	// is by construction already the tail of its set's list, so the fast
+	// path touches no list state.
 	mruLineAddr uint64
-	mruLine     *line
+	mruIdx      int32
 }
 
 // New creates a cache. LineBytes must be a positive power of two and
@@ -104,11 +124,20 @@ func New(cfg Config) (*Cache, error) {
 	for 1<<shift != cfg.LineBytes {
 		shift++
 	}
-	return &Cache{
+	c := &Cache{
 		cfg:       cfg,
 		lines:     make([]line, cfg.Sets*cfg.Ways),
 		lineShift: shift,
-	}, nil
+		idx:       make(map[uint64]int32, cfg.Sets*cfg.Ways),
+		used:      make([]int32, cfg.Sets),
+		head:      make([]int32, cfg.Sets),
+		tail:      make([]int32, cfg.Sets),
+		mruIdx:    -1,
+	}
+	for s := range c.head {
+		c.head[s], c.tail[s] = -1, -1
+	}
+	return c, nil
 }
 
 // MustNew is New for statically known geometry (the paper's Table XIV
@@ -135,79 +164,113 @@ func (c *Cache) RegisterMetrics(r *metrics.Registry, prefix string) {
 	c.stats.Register(r, prefix)
 }
 
+// unlink removes line i from set's LRU list.
+func (c *Cache) unlink(set int, i int32) {
+	ln := &c.lines[i]
+	if ln.prev >= 0 {
+		c.lines[ln.prev].next = ln.next
+	} else {
+		c.head[set] = ln.next
+	}
+	if ln.next >= 0 {
+		c.lines[ln.next].prev = ln.prev
+	} else {
+		c.tail[set] = ln.prev
+	}
+}
+
+// pushMRU appends line i at the MRU end of set's LRU list.
+func (c *Cache) pushMRU(set int, i int32) {
+	ln := &c.lines[i]
+	ln.next = -1
+	ln.prev = c.tail[set]
+	if c.tail[set] >= 0 {
+		c.lines[c.tail[set]].next = i
+	} else {
+		c.head[set] = i
+	}
+	c.tail[set] = i
+}
+
 // Access touches the line containing addr. If write is true the line is
 // marked dirty. It returns true on a hit. On a miss the line is filled
 // (FillBytes grows by one line) and, if the victim was dirty, written
 // back (WritebackBytes grows by one line).
 func (c *Cache) Access(addr uint64, write bool) bool {
 	lineAddr := addr >> c.lineShift
-	c.stamp++
-	if c.mruLine != nil && c.mruLineAddr == lineAddr && c.mruLine.valid {
-		c.mruLine.age = c.stamp
+	if c.mruIdx >= 0 && c.mruLineAddr == lineAddr {
 		if write {
-			c.mruLine.dirty = true
+			c.lines[c.mruIdx].dirty = true
 		}
 		c.stats.Hits++
 		return true
 	}
+	if i, ok := c.idx[lineAddr]; ok {
+		set := int(lineAddr % uint64(c.cfg.Sets))
+		if c.tail[set] != i {
+			c.unlink(set, i)
+			c.pushMRU(set, i)
+		}
+		if write {
+			c.lines[i].dirty = true
+		}
+		c.stats.Hits++
+		c.mruLineAddr, c.mruIdx = lineAddr, i
+		return true
+	}
+
+	// Miss: fill an unused way while the set has any (in the reference
+	// model's order: ways 1, 2, …, W-1, then 0), else evict the LRU line.
 	set := int(lineAddr % uint64(c.cfg.Sets))
-	tag := lineAddr / uint64(c.cfg.Sets)
-	base := set * c.cfg.Ways
-
-	// Lookup.
-	for i := 0; i < c.cfg.Ways; i++ {
-		ln := &c.lines[base+i]
-		if ln.valid && ln.tag == tag {
-			ln.age = c.stamp
-			if write {
-				ln.dirty = true
-			}
-			c.stats.Hits++
-			c.mruLineAddr, c.mruLine = lineAddr, ln
-			return true
+	var vi int32
+	if int(c.used[set]) < c.cfg.Ways {
+		base := int32(set * c.cfg.Ways)
+		if int(c.used[set])+1 < c.cfg.Ways {
+			vi = base + c.used[set] + 1
+		} else {
+			vi = base
 		}
-	}
-
-	// Miss: pick the LRU victim (preferring invalid lines).
-	victim := base
-	for i := 1; i < c.cfg.Ways; i++ {
-		v, cand := &c.lines[victim], &c.lines[base+i]
-		if !cand.valid {
-			victim = base + i
-			break
+		c.used[set]++
+	} else {
+		vi = c.head[set]
+		v := &c.lines[vi]
+		if v.dirty {
+			c.stats.WritebackBytes += int64(c.cfg.LineBytes)
 		}
-		if v.valid && cand.age < v.age {
-			victim = base + i
-		}
-	}
-	v := &c.lines[victim]
-	if v.valid && v.dirty {
-		c.stats.WritebackBytes += int64(c.cfg.LineBytes)
+		delete(c.idx, v.lineAddr)
+		c.unlink(set, vi)
 	}
 	c.stats.Misses++
 	c.stats.FillBytes += int64(c.cfg.LineBytes)
-	*v = line{tag: tag, valid: true, dirty: write, age: c.stamp}
-	c.mruLineAddr, c.mruLine = lineAddr, v
+	c.lines[vi] = line{lineAddr: lineAddr, dirty: write, prev: -1, next: -1}
+	c.pushMRU(set, vi)
+	c.idx[lineAddr] = vi
+	c.mruLineAddr, c.mruIdx = lineAddr, vi
 	return false
 }
 
 // Flush writes back all dirty lines and invalidates the cache, adding the
 // corresponding write-back traffic. Real pipelines do this between frames.
 func (c *Cache) Flush() {
-	for i := range c.lines {
-		if c.lines[i].valid && c.lines[i].dirty {
-			c.stats.WritebackBytes += int64(c.cfg.LineBytes)
+	for s := range c.head {
+		for i := c.head[s]; i >= 0; i = c.lines[i].next {
+			if c.lines[i].dirty {
+				c.stats.WritebackBytes += int64(c.cfg.LineBytes)
+			}
 		}
-		c.lines[i] = line{}
 	}
-	c.mruLine = nil
+	c.dropAll()
 }
 
 // Invalidate drops all lines without writing anything back. Used for
 // fast-clear semantics where the backing store is reset wholesale.
-func (c *Cache) Invalidate() {
-	for i := range c.lines {
-		c.lines[i] = line{}
+func (c *Cache) Invalidate() { c.dropAll() }
+
+func (c *Cache) dropAll() {
+	clear(c.idx)
+	for s := range c.head {
+		c.head[s], c.tail[s] = -1, -1
+		c.used[s] = 0
 	}
-	c.mruLine = nil
+	c.mruIdx = -1
 }

@@ -1,0 +1,166 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refCache is the original scan-based set-associative LRU model, kept
+// verbatim as the oracle for the O(1) Cache: per-access way scan for
+// lookup and an age-stamp victim scan preferring invalid lines. The
+// production Cache must reproduce its behavior exactly — same hit/miss
+// outcomes, same victim choices (observable through write-back traffic)
+// and same statistics.
+type refLine struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	age   uint64
+}
+
+type refCache struct {
+	cfg       Config
+	lines     []refLine
+	stamp     uint64
+	stats     Stats
+	lineShift uint
+}
+
+func newRefCache(cfg Config) *refCache {
+	shift := uint(0)
+	for 1<<shift != cfg.LineBytes {
+		shift++
+	}
+	return &refCache{
+		cfg:       cfg,
+		lines:     make([]refLine, cfg.Sets*cfg.Ways),
+		lineShift: shift,
+	}
+}
+
+func (c *refCache) Access(addr uint64, write bool) bool {
+	lineAddr := addr >> c.lineShift
+	c.stamp++
+	set := int(lineAddr % uint64(c.cfg.Sets))
+	tag := lineAddr / uint64(c.cfg.Sets)
+	base := set * c.cfg.Ways
+
+	for i := 0; i < c.cfg.Ways; i++ {
+		ln := &c.lines[base+i]
+		if ln.valid && ln.tag == tag {
+			ln.age = c.stamp
+			if write {
+				ln.dirty = true
+			}
+			c.stats.Hits++
+			return true
+		}
+	}
+
+	victim := base
+	for i := 1; i < c.cfg.Ways; i++ {
+		v, cand := &c.lines[victim], &c.lines[base+i]
+		if !cand.valid {
+			victim = base + i
+			break
+		}
+		if v.valid && cand.age < v.age {
+			victim = base + i
+		}
+	}
+	v := &c.lines[victim]
+	if v.valid && v.dirty {
+		c.stats.WritebackBytes += int64(c.cfg.LineBytes)
+	}
+	c.stats.Misses++
+	c.stats.FillBytes += int64(c.cfg.LineBytes)
+	*v = refLine{tag: tag, valid: true, dirty: write, age: c.stamp}
+	return false
+}
+
+func (c *refCache) Flush() {
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			c.stats.WritebackBytes += int64(c.cfg.LineBytes)
+		}
+		c.lines[i] = refLine{}
+	}
+}
+
+func (c *refCache) Invalidate() {
+	for i := range c.lines {
+		c.lines[i] = refLine{}
+	}
+}
+
+// TestCacheMatchesReference drives the production cache and the
+// reference scan model through long random access sequences over every
+// geometry the pipeline uses (plus stress shapes) and demands identical
+// outcomes and statistics after every operation.
+func TestCacheMatchesReference(t *testing.T) {
+	configs := []Config{
+		{Ways: 64, Sets: 1, LineBytes: 256}, // z & color caches
+		{Ways: 64, Sets: 1, LineBytes: 64},  // texture L0
+		{Ways: 16, Sets: 16, LineBytes: 64}, // texture L1
+		{Ways: 1, Sets: 8, LineBytes: 32},   // direct-mapped stress
+		{Ways: 4, Sets: 3, LineBytes: 16},   // non-power-of-two sets
+		{Ways: 2, Sets: 1, LineBytes: 64},   // tiny, eviction-heavy
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(cfg.Size())))
+			got := MustNew(cfg)
+			want := newRefCache(cfg)
+			// A small address universe forces plenty of conflict misses;
+			// scale with capacity so sets overflow their ways.
+			universe := uint64(cfg.Size()) * 4
+			for op := 0; op < 200000; op++ {
+				switch r := rng.Intn(100); {
+				case r == 0:
+					got.Flush()
+					want.Flush()
+				case r == 1:
+					got.Invalidate()
+					want.Invalidate()
+				default:
+					addr := rng.Uint64() % universe
+					write := rng.Intn(3) == 0
+					g := got.Access(addr, write)
+					w := want.Access(addr, write)
+					if g != w {
+						t.Fatalf("op %d: Access(%#x, %v) = %v, reference %v",
+							op, addr, write, g, w)
+					}
+				}
+				if gs, ws := got.Stats(), want.stats; gs != ws {
+					t.Fatalf("op %d: stats diverged: got %+v, reference %+v", op, gs, ws)
+				}
+			}
+		})
+	}
+}
+
+// TestCacheRepeatAccessFastPath pins the MRU fast path: repeated
+// accesses to one line must not disturb LRU order relative to the
+// reference model.
+func TestCacheRepeatAccessFastPath(t *testing.T) {
+	cfg := Config{Ways: 2, Sets: 1, LineBytes: 64}
+	got := MustNew(cfg)
+	want := newRefCache(cfg)
+	seq := []struct {
+		addr  uint64
+		write bool
+	}{
+		{0, false}, {64, false}, {64, false}, {64, true}, {0, false},
+		{128, false}, // evicts 64 (LRU), not 0
+		{64, false}, {0, false}, {128, false},
+	}
+	for i, s := range seq {
+		if g, w := got.Access(s.addr, s.write), want.Access(s.addr, s.write); g != w {
+			t.Fatalf("step %d: Access(%#x) = %v, reference %v", i, s.addr, g, w)
+		}
+	}
+	if gs, ws := got.Stats(), want.stats; gs != ws {
+		t.Fatalf("stats diverged: got %+v, reference %+v", gs, ws)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"gpuchar/internal/trace"
@@ -54,6 +55,34 @@ func Fail(tool string, err error) {
 func Usagef(tool, format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "%s: %s\n", tool, fmt.Sprintf(format, args...))
 	osExit(ExitUsage)
+}
+
+// StartCPUProfile starts writing a CPU profile to path and returns the
+// stop function to defer. An empty path is a no-op (the flag's
+// default), so callers can wire `-cpuprofile` unconditionally:
+//
+//	stop, err := cliutil.StartCPUProfile(*cpuprofile)
+//	if err != nil { cliutil.Fail(tool, err) }
+//	defer stop()
+//
+// This gives every tool single-run profiles without standing up the
+// obsv HTTP server.
+func StartCPUProfile(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
 }
 
 // Flag is one named integer flag value for PositiveFlags.

@@ -14,22 +14,29 @@
 //
 // With Config.TileWorkers > 1 the fragment backend runs sort-middle
 // tile-parallel: geometry and triangle setup stay serial, rasterized
-// quads are binned to screen-space 8x8-block buckets owned round-robin
-// by N workers, and each worker runs HZ -> z & stencil -> fragment
-// shading -> blend for its quads in submission order against private
-// shader machine, texture unit, cache and stat shards. Because every
-// 8x8 framebuffer block (the granularity of the z/color cache lines,
-// the HZ mirror and the compression metadata) is owned by exactly one
-// worker and quads never straddle blocks, all order-dependent results —
+// quads are binned to screen-space buckets of 8 horizontally
+// consecutive 8x8 blocks (64x8 pixels), and buckets are assigned to N
+// workers per draw by greedy longest-bucket-first load balancing. Each
+// worker runs HZ -> z & stencil -> fragment shading -> blend for its
+// quads in submission order against private shader machine, texture
+// unit, cache and stat shards. Because every 8x8 framebuffer block (the
+// granularity of the z/color cache lines, the HZ mirror and the
+// compression metadata) is owned by exactly one worker within a draw
+// and quads never straddle blocks, all order-dependent results —
 // framebuffer bytes, kill counts, overdraw — are exactly those of the
-// serial pipeline at any worker count. Cache hit rates and memory
-// traffic are per-shard and merged at frame end; they are deterministic
-// for a fixed worker count but shift slightly with N (see DESIGN.md
-// "Parallel architecture").
+// serial pipeline at any worker count. The contiguous bucket runs exist
+// to kill false sharing: a 64-byte cache line of the shared float32
+// pixel planes spans 16 horizontally adjacent pixels — two 8x8 blocks —
+// so per-block round-robin ownership put every pixel line on two
+// workers. Cache hit rates and memory traffic are per-shard and merged
+// at frame end; they are deterministic for a fixed worker count but
+// shift slightly with N (see DESIGN.md "Parallel architecture").
 package gpu
 
 import (
 	"fmt"
+	"slices"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -140,16 +147,20 @@ type pipe struct {
 	clk *stageClock
 }
 
-// tileWorker is one fine-grained fragment-backend worker: a pipe over
-// buffer shards, a private fragment shader machine with its own texture
-// unit, a private memory-controller shard, and the quad queue binned to
-// the worker's tiles for the current draw.
+// tileWorker is one fragment-backend worker: a pipe over buffer shards,
+// a private fragment shader machine with its own texture unit, a
+// private memory-controller shard, and the buckets assigned to it for
+// the current draw.
 type tileWorker struct {
 	pipe
-	fs    *shader.Machine
-	tex   *texture.Unit
-	mem   *mem.Controller
-	queue []quadWork
+	fs  *shader.Machine
+	tex *texture.Unit
+	mem *mem.Controller
+	// groups lists the bucket indices this worker drains this draw, and
+	// quads their total quad count. Both are written by the assignment
+	// pass on the main thread before the worker goroutines start.
+	groups []int32
+	quads  int
 	// reg binds the worker's shard counters under the same names as the
 	// serial registry, so shard snapshots Merge element-for-element.
 	reg *metrics.Registry
@@ -182,6 +193,11 @@ type GPU struct {
 	// Tile-parallel backend state (Cfg.TileWorkers > 1).
 	workers  []*tileWorker
 	blocksX  int             // framebuffer width in 8x8 blocks
+	groupsX  int             // framebuffer width in groupBlocks-block buckets
+	buckets  [][]quadWork    // per-bucket binned quads, reused across draws
+	touched  []int32         // non-empty bucket indices this draw
+	order    []int32         // assignment scratch: touched sorted by load
+	loads    []int           // assignment scratch: per-worker quad counts
 	setupBuf []rast.SetupTri // per-draw triangle setups, reused
 
 	// reg binds every serial-stage counter by pointer; worker shards
@@ -204,6 +220,15 @@ type GPU struct {
 // HZ block and the compression metadata, so one worker owns every
 // order-dependent structure a quad touches.
 const tileDim = 8
+
+// groupBlocks is the number of horizontally consecutive 8x8 blocks per
+// assignment bucket (64 pixels). The shared pixel planes are row-major
+// float32, so a 64-byte cache line spans 16 adjacent pixels — two
+// blocks; buckets of 8 blocks keep every such line (and every whole
+// 1024-byte bucket row at common widths) on one worker, where per-block
+// round-robin assignment made horizontally adjacent blocks ping the
+// same lines between workers.
+const groupBlocks = 8
 
 // New creates a GPU simulator with the given configuration.
 func New(cfg Config) *GPU {
@@ -255,6 +280,10 @@ func New(cfg Config) *GPU {
 		// Shards must be created after the Compression/FastClear flags
 		// above are final: they copy the flags at creation.
 		g.blocksX = (cfg.Width + tileDim - 1) / tileDim
+		g.groupsX = (g.blocksX + groupBlocks - 1) / groupBlocks
+		groupsY := (cfg.Height + tileDim - 1) / tileDim
+		g.buckets = make([][]quadWork, g.groupsX*groupsY)
+		g.loads = make([]int, cfg.TileWorkers)
 		for i := 0; i < cfg.TileWorkers; i++ {
 			wmem := mem.NewController()
 			wfs := shader.NewMachine()
@@ -390,27 +419,79 @@ func (g *GPU) Execute(dc *gfxapi.DrawCall) {
 }
 
 // binner is the parallel path's QuadEmitter: it copies each rasterized
-// quad into the queue of the worker owning the quad's 8x8 block, in
-// submission order.
+// quad into the bucket of the 64x8-pixel block run that owns the quad,
+// in submission order. Buckets are handed to workers wholesale after
+// rasterization, so binning itself never touches worker state.
 type binner struct {
 	g     *GPU
 	front bool
 }
 
-// EmitQuad bins one quad to its owning worker.
+// EmitQuad bins one quad to its bucket.
 func (bn *binner) EmitQuad(q *rast.Quad) {
 	g := bn.g
 	// Quads are 2x2 at even coordinates, so a quad never straddles an
-	// 8x8 block; the top-left pixel identifies the owner.
-	bi := (q.Y/tileDim)*g.blocksX + q.X/tileDim
-	w := g.workers[bi%len(g.workers)]
-	w.queue = append(w.queue, quadWork{q: *q, front: bn.front})
+	// 8x8 block; the top-left pixel identifies the bucket.
+	gi := (q.Y/tileDim)*g.groupsX + q.X/(tileDim*groupBlocks)
+	b := &g.buckets[gi]
+	if len(*b) == 0 {
+		g.touched = append(g.touched, int32(gi))
+	}
+	*b = append(*b, quadWork{q: *q, front: bn.front})
+}
+
+// assignBuckets distributes this draw's non-empty buckets over the
+// workers with greedy longest-processing-time scheduling: buckets
+// sorted by quad count (descending, bucket index breaking ties) each go
+// to the least-loaded worker so far. The assignment is deterministic,
+// and because the per-draw barrier means ownership only has to be
+// stable within one draw, it can follow the load of every draw
+// individually — round-robin block ownership left workers idle whenever
+// the draw's coverage was spatially clustered.
+func (g *GPU) assignBuckets() {
+	g.order = append(g.order[:0], g.touched...)
+	sort.Slice(g.order, func(i, j int) bool {
+		a, b := g.order[i], g.order[j]
+		la, lb := len(g.buckets[a]), len(g.buckets[b])
+		if la != lb {
+			return la > lb
+		}
+		return a < b
+	})
+	for i := range g.loads {
+		g.loads[i] = 0
+	}
+	for _, w := range g.workers {
+		w.groups = w.groups[:0]
+		w.quads = 0
+	}
+	for _, gi := range g.order {
+		wi := 0
+		for i := 1; i < len(g.loads); i++ {
+			if g.loads[i] < g.loads[wi] {
+				wi = i
+			}
+		}
+		w := g.workers[wi]
+		w.groups = append(w.groups, gi)
+		n := len(g.buckets[gi])
+		w.quads += n
+		g.loads[wi] += n
+	}
+	// Workers drain their buckets in screen order: within one draw the
+	// buckets are disjoint block sets, so any order is exact, and screen
+	// order keeps the worker's private texture/z cache shards coherent
+	// with the rasterizer's traversal.
+	for _, w := range g.workers {
+		slices.Sort(w.groups)
+	}
 }
 
 // executeParallel runs the draw's fragment backend tile-parallel:
-// serial setup + binning, then one goroutine per worker draining its
-// queue in submission order. The per-draw barrier keeps Clear and
-// EndFrame (main-thread operations) trivially safe.
+// serial setup + binning into buckets, load-aware bucket assignment,
+// then one goroutine per worker draining its buckets in submission
+// order. The per-draw barrier keeps Clear and EndFrame (main-thread
+// operations) trivially safe.
 func (g *GPU) executeParallel(tris []geom.Triangle, dc *gfxapi.DrawCall,
 	rcfg rast.Config, zstate *zst.State, earlyZ bool, drawStart int64) {
 
@@ -448,6 +529,7 @@ func (g *GPU) executeParallel(tris []geom.Triangle, dc *gfxapi.DrawCall,
 		bn.front = tri.FrontFacing
 		g.rast.RasterizeTo(s, rcfg, &bn)
 	}
+	g.assignBuckets()
 	sampled := false
 	if g.gt != nil {
 		g.gt.serial.lap(stRast, &binStart)
@@ -456,7 +538,7 @@ func (g *GPU) executeParallel(tris []geom.Triangle, dc *gfxapi.DrawCall,
 
 	var wg sync.WaitGroup
 	for wi, w := range g.workers {
-		if len(w.queue) == 0 {
+		if len(w.groups) == 0 {
 			continue
 		}
 		wg.Add(1)
@@ -466,20 +548,27 @@ func (g *GPU) executeParallel(tris []geom.Triangle, dc *gfxapi.DrawCall,
 			if sampled {
 				sp = g.gt.tr.Begin(g.gt.workerTk[wi], "drain")
 			}
-			n := len(w.queue)
 			ropState := dc.State.Rop
 			zs := *zstate
-			for i := range w.queue {
-				qw := &w.queue[i]
-				w.processQuad(&qw.q, dc.FS, &zs, &ropState, earlyZ, qw.front)
+			for _, gi := range w.groups {
+				b := g.buckets[gi]
+				for i := range b {
+					qw := &b[i]
+					w.processQuad(&qw.q, dc.FS, &zs, &ropState, earlyZ, qw.front)
+				}
 			}
-			w.queue = w.queue[:0]
 			if sampled {
-				sp.EndArgs(map[string]any{"quads": int64(n)})
+				sp.EndArgs(map[string]any{
+					"quads": int64(w.quads), "buckets": int64(len(w.groups)),
+				})
 			}
 		}(wi, w)
 	}
 	wg.Wait()
+	for _, gi := range g.touched {
+		g.buckets[gi] = g.buckets[gi][:0]
+	}
+	g.touched = g.touched[:0]
 	if sampled {
 		now := obsv.Nanotime()
 		g.gt.tr.Emit(g.gt.drawTk, "draw", drawStart, now-drawStart,

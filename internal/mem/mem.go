@@ -84,6 +84,12 @@ type Controller struct {
 	// BytesPerCycle is the peak GDDR transfer rate (Table II: 64 B/cycle
 	// for the R520-like configuration).
 	BytesPerCycle int
+
+	// Trailing pad: tile workers carry one Controller shard each, bumped
+	// on every cache fill, and the shards are allocated back to back —
+	// without the pad the tail counters of one worker share a cache line
+	// with the head counters of the next.
+	_ [64]byte
 }
 
 // NewController returns a controller with the R520-like 64 bytes/cycle

@@ -1,0 +1,42 @@
+package shader
+
+import (
+	"testing"
+
+	"gpuchar/internal/gmath"
+)
+
+// BenchmarkRunQuad compares the compiled quad-kernel path against the
+// reference interpreter on the alpha-tested fragment shader (the
+// heaviest library program: texture fetch plus KIL). The nil sampler
+// isolates executor cost from the texture hierarchy. The compiled path
+// must not allocate — operand staging lives on the Machine precisely so
+// nothing escapes per invocation.
+func BenchmarkRunQuad(b *testing.B) {
+	prog := AlphaTestedFS()
+	var in [4][NumInputs]gmath.Vec4
+	for lane := range in {
+		for i := range in[lane] {
+			in[lane][i] = gmath.V4(0.1+0.25*float32(lane), 0.03*float32(i), 0.5, 1)
+		}
+	}
+	var out [4][NumOutputs]gmath.Vec4
+
+	b.Run("compiled", func(b *testing.B) {
+		m := NewMachine()
+		prog.Compiled()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.RunQuad(prog, &in, 0xF, &out)
+		}
+	})
+	b.Run("interpreted", func(b *testing.B) {
+		m := NewMachine()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.RunQuadInterpreted(prog, &in, 0xF, &out)
+		}
+	})
+}

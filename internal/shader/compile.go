@@ -1,0 +1,590 @@
+package shader
+
+import (
+	"math"
+
+	"gpuchar/internal/gmath"
+)
+
+// This file implements the shader program compiler. Programs are few and
+// hot — a frame shades millions of quads with a handful of fragment
+// programs — so each Program is lowered once into a chain of specialized
+// Go closures and the per-quad cost drops to one indirect call per
+// instruction for all four lanes:
+//
+//   - swizzle, negate and write-mask handling are resolved at compile
+//     time: the identity swizzle + full mask path compiles to direct
+//     struct reads and writes with no per-operand branching;
+//   - constant-file operands are read and swizzled once per quad and
+//     broadcast, instead of once per lane;
+//   - register zeroing is bounded by the program's high-water marks and
+//     uses the builtin clear();
+//   - the instruction/texture statistics of a run are known statically
+//     (the ISA has no control flow), so RunQuad counts them with two
+//     multiplies instead of per-instruction increments.
+//
+// The lowering is exact: outputs, the surviving KIL mask and every
+// ExecStats counter are byte-identical to the reference interpreter
+// (RunQuadInterpreted / RunVertexInterpreted), which is kept as the
+// differential-testing and fuzzing oracle.
+
+// quadFile is the register-bank view one compiled fragment invocation
+// executes against: four lockstep lanes over shared constants and a
+// shared sampler. live carries the KIL mask across kernels; kills
+// accumulates the lanes discarded during this invocation.
+type quadFile struct {
+	in      *[4][NumInputs]gmath.Vec4
+	out     *[4][NumOutputs]gmath.Vec4
+	temps   *[4][NumTemps]gmath.Vec4
+	consts  *[NumConsts]gmath.Vec4
+	sampler Sampler
+	live    uint8
+	kills   int64
+
+	// s0..s2 and r are the operand and result staging slots the kernels
+	// compute through. They live here rather than as kernel locals
+	// because their addresses cross indirect calls (quadOp, wr4Fn,
+	// Sampler.SampleQuad) — as locals every one of them would escape to
+	// the heap on every instruction.
+	s0, s1, s2, r [4]gmath.Vec4
+}
+
+// quadKernel executes one compiled instruction for all four lanes.
+type quadKernel func(f *quadFile)
+
+// laneFile is the single-lane register view of a vertex invocation.
+type laneFile struct {
+	in     *[NumInputs]gmath.Vec4
+	out    *[NumOutputs]gmath.Vec4
+	temps  *[NumTemps]gmath.Vec4
+	consts *[NumConsts]gmath.Vec4
+}
+
+// laneKernel executes one compiled instruction for a single lane.
+type laneKernel func(f *laneFile)
+
+// Compiled is the executable form of a Program: a kernel chain per
+// execution mode plus the statically known statistics and register
+// bounds RunQuad needs.
+type Compiled struct {
+	quad []quadKernel
+	lane []laneKernel
+
+	// tempHi and outHi are the program's register high-water marks
+	// (exclusive): RunQuad zeroes exactly these registers per lane.
+	tempHi, outHi uint8
+
+	// instrs and texInstrs are per-lane execution counts; the ISA has
+	// no control flow, so stats are instrs*activeLanes exactly.
+	instrs, texInstrs int64
+}
+
+// Compiled returns the compiled form of the program, lowering it on
+// first use. The result is cached on the Program itself, so the cache
+// is keyed by program identity and a compiled program is shared by
+// every Machine (serial pipeline and tile workers alike) — the kernels
+// close over instruction encodings only, never over machine state.
+func (p *Program) Compiled() *Compiled {
+	p.compileOnce.Do(func() {
+		p.compiled = compile(p)
+	})
+	return p.compiled
+}
+
+// compile lowers every instruction to its quad and lane kernels.
+func compile(p *Program) *Compiled {
+	tempHi, outHi := p.regBounds()
+	c := &Compiled{
+		tempHi: tempHi, outHi: outHi,
+		instrs:    int64(len(p.Instrs)),
+		texInstrs: int64(p.TexCount()),
+	}
+	c.quad = make([]quadKernel, len(p.Instrs))
+	c.lane = make([]laneKernel, len(p.Instrs))
+	for i := range p.Instrs {
+		ins := &p.Instrs[i]
+		c.quad[i] = compileQuadInstr(ins)
+		c.lane[i] = compileLaneInstr(ins)
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------
+// Source operand readers.
+
+// src4Fn reads one source operand for all four lanes.
+type src4Fn func(f *quadFile) [4]gmath.Vec4
+
+// swizNeg applies a swizzle and optional negation exactly like the
+// interpreter's readSrc (negation is Scale(-1), preserving its float
+// semantics).
+func swizNeg(v gmath.Vec4, sw Swizzle, neg bool) gmath.Vec4 {
+	if sw != SwizzleIdentity {
+		v = gmath.Vec4{
+			X: v.Comp(int(sw[0])),
+			Y: v.Comp(int(sw[1])),
+			Z: v.Comp(int(sw[2])),
+			W: v.Comp(int(sw[3])),
+		}
+	}
+	if neg {
+		v = v.Scale(-1)
+	}
+	return v
+}
+
+// compileSrc4 builds the quad reader for one source operand, resolving
+// the register file, swizzle and negation at compile time.
+func compileSrc4(s Src) src4Fn {
+	idx := int(s.Index)
+	direct := s.Swizzle == SwizzleIdentity && !s.Negate
+	sw, neg := s.Swizzle, s.Negate
+	switch s.File {
+	case FileTemp:
+		if direct {
+			return func(f *quadFile) [4]gmath.Vec4 {
+				t := f.temps
+				return [4]gmath.Vec4{t[0][idx], t[1][idx], t[2][idx], t[3][idx]}
+			}
+		}
+		return func(f *quadFile) [4]gmath.Vec4 {
+			t := f.temps
+			return [4]gmath.Vec4{
+				swizNeg(t[0][idx], sw, neg), swizNeg(t[1][idx], sw, neg),
+				swizNeg(t[2][idx], sw, neg), swizNeg(t[3][idx], sw, neg),
+			}
+		}
+	case FileInput:
+		if direct {
+			return func(f *quadFile) [4]gmath.Vec4 {
+				in := f.in
+				return [4]gmath.Vec4{in[0][idx], in[1][idx], in[2][idx], in[3][idx]}
+			}
+		}
+		return func(f *quadFile) [4]gmath.Vec4 {
+			in := f.in
+			return [4]gmath.Vec4{
+				swizNeg(in[0][idx], sw, neg), swizNeg(in[1][idx], sw, neg),
+				swizNeg(in[2][idx], sw, neg), swizNeg(in[3][idx], sw, neg),
+			}
+		}
+	case FileConst:
+		// Constants are uniform across lanes: read and swizzle once per
+		// quad, broadcast.
+		if direct {
+			return func(f *quadFile) [4]gmath.Vec4 {
+				v := f.consts[idx]
+				return [4]gmath.Vec4{v, v, v, v}
+			}
+		}
+		return func(f *quadFile) [4]gmath.Vec4 {
+			v := swizNeg(f.consts[idx], sw, neg)
+			return [4]gmath.Vec4{v, v, v, v}
+		}
+	default:
+		// Unreadable file: the interpreter reads zero (then swizzles and
+		// negates it), so fold the whole operand at compile time.
+		zv := swizNeg(gmath.Vec4{}, sw, neg)
+		return func(f *quadFile) [4]gmath.Vec4 {
+			return [4]gmath.Vec4{zv, zv, zv, zv}
+		}
+	}
+}
+
+// src1Fn reads one source operand for a single lane.
+type src1Fn func(f *laneFile) gmath.Vec4
+
+// compileSrc1 builds the lane reader for one source operand.
+func compileSrc1(s Src) src1Fn {
+	idx := int(s.Index)
+	direct := s.Swizzle == SwizzleIdentity && !s.Negate
+	sw, neg := s.Swizzle, s.Negate
+	switch s.File {
+	case FileTemp:
+		if direct {
+			return func(f *laneFile) gmath.Vec4 { return f.temps[idx] }
+		}
+		return func(f *laneFile) gmath.Vec4 { return swizNeg(f.temps[idx], sw, neg) }
+	case FileInput:
+		if direct {
+			return func(f *laneFile) gmath.Vec4 { return f.in[idx] }
+		}
+		return func(f *laneFile) gmath.Vec4 { return swizNeg(f.in[idx], sw, neg) }
+	case FileConst:
+		if direct {
+			return func(f *laneFile) gmath.Vec4 { return f.consts[idx] }
+		}
+		return func(f *laneFile) gmath.Vec4 { return swizNeg(f.consts[idx], sw, neg) }
+	default:
+		zv := swizNeg(gmath.Vec4{}, sw, neg)
+		return func(f *laneFile) gmath.Vec4 { return zv }
+	}
+}
+
+// ---------------------------------------------------------------------
+// Destination writers.
+
+// wr4Fn writes a quad result through the destination's write mask.
+type wr4Fn func(f *quadFile, v *[4]gmath.Vec4)
+
+// maskWrite merges v into *dst under the component mask.
+func maskWrite(dst *gmath.Vec4, v gmath.Vec4, mask uint8) {
+	if mask&1 != 0 {
+		dst.X = v.X
+	}
+	if mask&2 != 0 {
+		dst.Y = v.Y
+	}
+	if mask&4 != 0 {
+		dst.Z = v.Z
+	}
+	if mask&8 != 0 {
+		dst.W = v.W
+	}
+}
+
+// compileWr4 builds the quad writer for a destination operand. The full
+// mask compiles to four direct struct assignments.
+func compileWr4(d Dst) wr4Fn {
+	idx := int(d.Index)
+	mask := d.Mask
+	switch d.File {
+	case FileTemp:
+		if mask == MaskXYZW {
+			return func(f *quadFile, v *[4]gmath.Vec4) {
+				t := f.temps
+				t[0][idx], t[1][idx], t[2][idx], t[3][idx] = v[0], v[1], v[2], v[3]
+			}
+		}
+		return func(f *quadFile, v *[4]gmath.Vec4) {
+			t := f.temps
+			maskWrite(&t[0][idx], v[0], mask)
+			maskWrite(&t[1][idx], v[1], mask)
+			maskWrite(&t[2][idx], v[2], mask)
+			maskWrite(&t[3][idx], v[3], mask)
+		}
+	case FileOutput:
+		if mask == MaskXYZW {
+			return func(f *quadFile, v *[4]gmath.Vec4) {
+				o := f.out
+				o[0][idx], o[1][idx], o[2][idx], o[3][idx] = v[0], v[1], v[2], v[3]
+			}
+		}
+		return func(f *quadFile, v *[4]gmath.Vec4) {
+			o := f.out
+			maskWrite(&o[0][idx], v[0], mask)
+			maskWrite(&o[1][idx], v[1], mask)
+			maskWrite(&o[2][idx], v[2], mask)
+			maskWrite(&o[3][idx], v[3], mask)
+		}
+	default:
+		// Unwritable file (matches the interpreter's writeMasked no-op
+		// for e.g. the zero-value Dst of a KIL run through RunVertex).
+		return func(f *quadFile, v *[4]gmath.Vec4) {}
+	}
+}
+
+// wr1Fn writes a lane result through the destination's write mask.
+type wr1Fn func(f *laneFile, v gmath.Vec4)
+
+// compileWr1 builds the lane writer for a destination operand.
+func compileWr1(d Dst) wr1Fn {
+	idx := int(d.Index)
+	mask := d.Mask
+	switch d.File {
+	case FileTemp:
+		if mask == MaskXYZW {
+			return func(f *laneFile, v gmath.Vec4) { f.temps[idx] = v }
+		}
+		return func(f *laneFile, v gmath.Vec4) { maskWrite(&f.temps[idx], v, mask) }
+	case FileOutput:
+		if mask == MaskXYZW {
+			return func(f *laneFile, v gmath.Vec4) { f.out[idx] = v }
+		}
+		return func(f *laneFile, v gmath.Vec4) { maskWrite(&f.out[idx], v, mask) }
+	default:
+		return func(f *laneFile, v gmath.Vec4) {}
+	}
+}
+
+// ---------------------------------------------------------------------
+// ALU operation kernels: one function per opcode, all four lanes
+// unrolled by a fixed-trip loop. Every lane computes with exactly the
+// arithmetic of the interpreter's compute() so results are bit-equal.
+
+// quadOp computes dst = op(a, b, c) for four lanes. Operands the opcode
+// does not consume are nil.
+type quadOp func(r, a, b, c *[4]gmath.Vec4)
+
+var quadOps = [numOpcodes]quadOp{
+	OpMOV: func(r, a, b, c *[4]gmath.Vec4) { *r = *a },
+	OpADD: func(r, a, b, c *[4]gmath.Vec4) {
+		for l := 0; l < 4; l++ {
+			r[l] = a[l].Add(b[l])
+		}
+	},
+	OpSUB: func(r, a, b, c *[4]gmath.Vec4) {
+		for l := 0; l < 4; l++ {
+			r[l] = a[l].Sub(b[l])
+		}
+	},
+	OpMUL: func(r, a, b, c *[4]gmath.Vec4) {
+		for l := 0; l < 4; l++ {
+			r[l] = a[l].Mul(b[l])
+		}
+	},
+	OpMAD: func(r, a, b, c *[4]gmath.Vec4) {
+		for l := 0; l < 4; l++ {
+			r[l] = a[l].Mul(b[l]).Add(c[l])
+		}
+	},
+	OpDP3: func(r, a, b, c *[4]gmath.Vec4) {
+		for l := 0; l < 4; l++ {
+			d := a[l].Dot3(b[l])
+			r[l] = gmath.V4(d, d, d, d)
+		}
+	},
+	OpDP4: func(r, a, b, c *[4]gmath.Vec4) {
+		for l := 0; l < 4; l++ {
+			d := a[l].Dot(b[l])
+			r[l] = gmath.V4(d, d, d, d)
+		}
+	},
+	OpMIN: func(r, a, b, c *[4]gmath.Vec4) {
+		for l := 0; l < 4; l++ {
+			r[l] = gmath.Vec4{
+				X: minf(a[l].X, b[l].X), Y: minf(a[l].Y, b[l].Y),
+				Z: minf(a[l].Z, b[l].Z), W: minf(a[l].W, b[l].W),
+			}
+		}
+	},
+	OpMAX: func(r, a, b, c *[4]gmath.Vec4) {
+		for l := 0; l < 4; l++ {
+			r[l] = gmath.Vec4{
+				X: maxf(a[l].X, b[l].X), Y: maxf(a[l].Y, b[l].Y),
+				Z: maxf(a[l].Z, b[l].Z), W: maxf(a[l].W, b[l].W),
+			}
+		}
+	},
+	OpSLT: func(r, a, b, c *[4]gmath.Vec4) {
+		for l := 0; l < 4; l++ {
+			r[l] = cmpEach(a[l], b[l], func(x, y float32) bool { return x < y })
+		}
+	},
+	OpSGE: func(r, a, b, c *[4]gmath.Vec4) {
+		for l := 0; l < 4; l++ {
+			r[l] = cmpEach(a[l], b[l], func(x, y float32) bool { return x >= y })
+		}
+	},
+	OpRCP: func(r, a, b, c *[4]gmath.Vec4) {
+		for l := 0; l < 4; l++ {
+			v := float32(1) / a[l].X
+			r[l] = gmath.V4(v, v, v, v)
+		}
+	},
+	OpRSQ: func(r, a, b, c *[4]gmath.Vec4) {
+		for l := 0; l < 4; l++ {
+			v := float32(1 / math.Sqrt(math.Abs(float64(a[l].X))))
+			r[l] = gmath.V4(v, v, v, v)
+		}
+	},
+	OpEX2: func(r, a, b, c *[4]gmath.Vec4) {
+		for l := 0; l < 4; l++ {
+			v := float32(math.Exp2(float64(a[l].X)))
+			r[l] = gmath.V4(v, v, v, v)
+		}
+	},
+	OpLG2: func(r, a, b, c *[4]gmath.Vec4) {
+		for l := 0; l < 4; l++ {
+			v := float32(math.Log2(math.Abs(float64(a[l].X))))
+			r[l] = gmath.V4(v, v, v, v)
+		}
+	},
+	OpPOW: func(r, a, b, c *[4]gmath.Vec4) {
+		for l := 0; l < 4; l++ {
+			v := float32(math.Pow(float64(a[l].X), float64(b[l].X)))
+			r[l] = gmath.V4(v, v, v, v)
+		}
+	},
+	OpFRC: func(r, a, b, c *[4]gmath.Vec4) {
+		for l := 0; l < 4; l++ {
+			r[l] = gmath.Vec4{
+				X: frc(a[l].X), Y: frc(a[l].Y), Z: frc(a[l].Z), W: frc(a[l].W),
+			}
+		}
+	},
+	OpFLR: func(r, a, b, c *[4]gmath.Vec4) {
+		for l := 0; l < 4; l++ {
+			r[l] = gmath.Vec4{
+				X: flr(a[l].X), Y: flr(a[l].Y), Z: flr(a[l].Z), W: flr(a[l].W),
+			}
+		}
+	},
+	OpABS: func(r, a, b, c *[4]gmath.Vec4) {
+		for l := 0; l < 4; l++ {
+			r[l] = gmath.Vec4{
+				X: absf(a[l].X), Y: absf(a[l].Y), Z: absf(a[l].Z), W: absf(a[l].W),
+			}
+		}
+	},
+	OpLRP: func(r, a, b, c *[4]gmath.Vec4) {
+		one := gmath.V4(1, 1, 1, 1)
+		for l := 0; l < 4; l++ {
+			r[l] = a[l].Mul(b[l]).Add(one.Sub(a[l]).Mul(c[l]))
+		}
+	},
+	OpXPD: func(r, a, b, c *[4]gmath.Vec4) {
+		for l := 0; l < 4; l++ {
+			r[l] = a[l].Vec3().Cross(b[l].Vec3()).Vec4(0)
+		}
+	},
+	OpCMP: func(r, a, b, c *[4]gmath.Vec4) {
+		for l := 0; l < 4; l++ {
+			r[l] = gmath.Vec4{
+				X: cmpSel(a[l].X, b[l].X, c[l].X),
+				Y: cmpSel(a[l].Y, b[l].Y, c[l].Y),
+				Z: cmpSel(a[l].Z, b[l].Z, c[l].Z),
+				W: cmpSel(a[l].W, b[l].W, c[l].W),
+			}
+		}
+	},
+}
+
+// ---------------------------------------------------------------------
+// Per-instruction compilation.
+
+// compileQuadInstr lowers one instruction to its quad kernel.
+func compileQuadInstr(ins *Instruction) quadKernel {
+	if ins.Op.IsTexture() {
+		return compileTexQuad(ins)
+	}
+	if ins.Op == OpKIL {
+		return compileKilQuad(ins)
+	}
+	return compileALUQuad(ins)
+}
+
+// compileTexQuad lowers TEX/TXB/TXP: coordinates are gathered for all
+// four lanes and sampled in one SampleQuad call, exactly like the
+// interpreter's execTex.
+func compileTexQuad(ins *Instruction) quadKernel {
+	src := compileSrc4(ins.Src[0])
+	wr := compileWr4(ins.Dst)
+	unit := int(ins.TexUnit)
+	txb := ins.Op == OpTXB
+	txp := ins.Op == OpTXP
+	return func(f *quadFile) {
+		f.s0 = src(f)
+		var bias float32
+		if txb {
+			// The bias is taken from the first lane's w; real hardware
+			// also evaluates the bias per quad.
+			bias = f.s0[0].W
+		}
+		f.r = [4]gmath.Vec4{}
+		if f.sampler != nil {
+			f.r = f.sampler.SampleQuad(unit, &f.s0, bias, txp)
+		}
+		wr(f, &f.r)
+	}
+}
+
+// compileKilQuad lowers KIL: live lanes with any negative component are
+// removed from the mask and counted.
+func compileKilQuad(ins *Instruction) quadKernel {
+	src := compileSrc4(ins.Src[0])
+	return func(f *quadFile) {
+		if f.live&0xF == 0 {
+			return
+		}
+		a := src(f)
+		for lane := 0; lane < 4; lane++ {
+			bit := uint8(1) << lane
+			if f.live&bit == 0 {
+				continue
+			}
+			v := a[lane]
+			if v.X < 0 || v.Y < 0 || v.Z < 0 || v.W < 0 {
+				f.live &^= bit
+				f.kills++
+			}
+		}
+	}
+}
+
+// compileALUQuad lowers an ALU instruction: operand reads are fused
+// into the kernel and the op runs over all four lanes in one call.
+func compileALUQuad(ins *Instruction) quadKernel {
+	op := quadOps[ins.Op]
+	wr := compileWr4(ins.Dst)
+	switch ins.Op.srcCount() {
+	case 1:
+		s0 := compileSrc4(ins.Src[0])
+		if ins.Op == OpMOV {
+			// MOV needs no compute stage: read, then write.
+			return func(f *quadFile) {
+				f.s0 = s0(f)
+				wr(f, &f.s0)
+			}
+		}
+		return func(f *quadFile) {
+			f.s0 = s0(f)
+			op(&f.r, &f.s0, nil, nil)
+			wr(f, &f.r)
+		}
+	case 2:
+		s0 := compileSrc4(ins.Src[0])
+		s1 := compileSrc4(ins.Src[1])
+		return func(f *quadFile) {
+			f.s0 = s0(f)
+			f.s1 = s1(f)
+			op(&f.r, &f.s0, &f.s1, nil)
+			wr(f, &f.r)
+		}
+	default:
+		s0 := compileSrc4(ins.Src[0])
+		s1 := compileSrc4(ins.Src[1])
+		s2 := compileSrc4(ins.Src[2])
+		return func(f *quadFile) {
+			f.s0 = s0(f)
+			f.s1 = s1(f)
+			f.s2 = s2(f)
+			op(&f.r, &f.s0, &f.s1, &f.s2)
+			wr(f, &f.r)
+		}
+	}
+}
+
+// compileLaneInstr lowers one instruction to its single-lane (vertex)
+// kernel. The interpreter runs every opcode through gather + compute +
+// writeMasked in this mode — texture and KIL opcodes compute a zero
+// vector — and the lane kernels mirror that exactly.
+func compileLaneInstr(ins *Instruction) laneKernel {
+	op := ins.Op
+	wr := compileWr1(ins.Dst)
+	n := op.srcCount()
+	var s0, s1, s2 src1Fn
+	if n > 0 {
+		s0 = compileSrc1(ins.Src[0])
+	}
+	if n > 1 {
+		s1 = compileSrc1(ins.Src[1])
+	}
+	if n > 2 {
+		s2 = compileSrc1(ins.Src[2])
+	}
+	switch n {
+	case 1:
+		return func(f *laneFile) {
+			wr(f, compute(op, [3]gmath.Vec4{s0(f)}))
+		}
+	case 2:
+		return func(f *laneFile) {
+			wr(f, compute(op, [3]gmath.Vec4{s0(f), s1(f)}))
+		}
+	default:
+		return func(f *laneFile) {
+			wr(f, compute(op, [3]gmath.Vec4{s0(f), s1(f), s2(f)}))
+		}
+	}
+}

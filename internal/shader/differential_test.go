@@ -1,0 +1,320 @@
+package shader
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gpuchar/internal/gmath"
+)
+
+// vecBits exposes a Vec4 as raw float bits, so comparisons are
+// bit-exact: NaNs compare equal and +0 differs from -0 (Go's == would
+// do the opposite on both counts). NaNs are canonicalized first: the
+// payload and sign of a generated NaN depend on how the compiler
+// schedules the float expression at each inline site (x86 mulss/addss
+// propagate whichever source operand register holds a NaN), so two
+// textually identical expressions can yield differently-signed NaNs.
+// NaN sign and payload are invisible to every ISA operation — all
+// comparisons (KIL, CMP, SLT, SGE, MIN, MAX) treat any NaN as false —
+// so canonical comparison is the exact observable contract.
+func vecBits(v gmath.Vec4) [4]uint32 {
+	b := [4]uint32{
+		math.Float32bits(v.X), math.Float32bits(v.Y),
+		math.Float32bits(v.Z), math.Float32bits(v.W),
+	}
+	for i, x := range b {
+		if x&0x7f80_0000 == 0x7f80_0000 && x&0x007f_ffff != 0 {
+			b[i] = 0x7fc0_0000
+		}
+	}
+	return b
+}
+
+func quadBanksEqual(a, b *[4][NumOutputs]gmath.Vec4) bool {
+	for lane := range a {
+		for r := range a[lane] {
+			if vecBits(a[lane][r]) != vecBits(b[lane][r]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func laneBanksEqual(a, b *[NumOutputs]gmath.Vec4) bool {
+	for r := range a {
+		if vecBits(a[r]) != vecBits(b[r]) {
+			return false
+		}
+	}
+	return true
+}
+
+// The compiled executor (compile.go) must be indistinguishable from the
+// reference interpreter: identical outputs, identical surviving KIL
+// masks, identical ExecStats. These tests drive both through every
+// library program, every synthesized program shape, and fuzz-generated
+// programs, with randomized inputs, constants and active masks.
+
+// diffSampler is a deterministic pure-function sampler: the texel is a
+// hash-free mix of unit, lane coordinates, bias and projective flag, so
+// both executors see exactly the same texture results without standing
+// up a texture unit.
+type diffSampler struct{ calls int }
+
+func (d *diffSampler) SampleQuad(unit int, coords *[4]gmath.Vec4, bias float32,
+	projective bool) [4]gmath.Vec4 {
+
+	d.calls++
+	var out [4]gmath.Vec4
+	pf := float32(1)
+	if projective {
+		pf = 2
+	}
+	for lane := 0; lane < 4; lane++ {
+		c := coords[lane]
+		out[lane] = gmath.V4(
+			c.X*0.5+float32(unit)*0.125,
+			c.Y*0.25+bias,
+			c.Z*pf-c.W*0.0625,
+			frc(c.X+c.Y+float32(lane)*0.3),
+		)
+	}
+	return out
+}
+
+// fillRandom populates a quad input bank with values in [-2, 2),
+// including exact zeros and negatives to exercise KIL and CMP edges.
+func fillRandom(rng *rand.Rand, in *[4][NumInputs]gmath.Vec4) {
+	for lane := range in {
+		for r := range in[lane] {
+			for cidx := 0; cidx < 4; cidx++ {
+				var v float32
+				switch rng.Intn(8) {
+				case 0:
+					v = 0
+				case 1:
+					v = -1
+				default:
+					v = rng.Float32()*4 - 2
+				}
+				in[lane][r] = in[lane][r].SetComp(cidx, v)
+			}
+		}
+	}
+}
+
+// diffQuad runs p through the compiled executor and the interpreter on
+// identical machines and fails the test on any divergence.
+func diffQuad(t *testing.T, p *Program, rng *rand.Rand, rounds int) {
+	t.Helper()
+	var consts [NumConsts]gmath.Vec4
+	for i := range consts {
+		consts[i] = gmath.V4(rng.Float32()*4-2, rng.Float32()*4-2,
+			rng.Float32()*4-2, rng.Float32()*4-2)
+	}
+	mc := NewMachine()
+	mi := NewMachine()
+	mc.Consts, mi.Consts = consts, consts
+	sc, si := &diffSampler{}, &diffSampler{}
+	mc.Sampler, mi.Sampler = sc, si
+
+	var in [4][NumInputs]gmath.Vec4
+	var outC, outI [4][NumOutputs]gmath.Vec4
+	for round := 0; round < rounds; round++ {
+		fillRandom(rng, &in)
+		// Dirty both output banks identically: untouched registers
+		// must end identical too (zeroing is bounded by outHi).
+		for lane := range outC {
+			for r := range outC[lane] {
+				v := gmath.V4(float32(lane), float32(r), 9, -9)
+				outC[lane][r], outI[lane][r] = v, v
+			}
+		}
+		mask := uint8(rng.Intn(16))
+		liveC := mc.RunQuad(p, &in, mask, &outC)
+		liveI := mi.RunQuadInterpreted(p, &in, mask, &outI)
+		if liveC != liveI {
+			t.Fatalf("%s round %d mask %#x: liveMask compiled %#x, interpreted %#x",
+				p.Name, round, mask, liveC, liveI)
+		}
+		if !quadBanksEqual(&outC, &outI) {
+			t.Fatalf("%s round %d mask %#x: outputs diverged\ncompiled:    %v\ninterpreted: %v",
+				p.Name, round, mask, outC, outI)
+		}
+		if cs, is := mc.Stats(), mi.Stats(); cs != is {
+			t.Fatalf("%s round %d: stats diverged: compiled %+v, interpreted %+v",
+				p.Name, round, cs, is)
+		}
+		if sc.calls != si.calls {
+			t.Fatalf("%s round %d: sampler calls diverged: compiled %d, interpreted %d",
+				p.Name, round, sc.calls, si.calls)
+		}
+	}
+}
+
+// diffVertex runs a vertex program through both executors.
+func diffVertex(t *testing.T, p *Program, rng *rand.Rand, rounds int) {
+	t.Helper()
+	mc := NewMachine()
+	mi := NewMachine()
+	for i := range mc.Consts {
+		c := gmath.V4(rng.Float32()*4-2, rng.Float32()*4-2,
+			rng.Float32()*4-2, rng.Float32()*4-2)
+		mc.Consts[i], mi.Consts[i] = c, c
+	}
+	var in [NumInputs]gmath.Vec4
+	var outC, outI [NumOutputs]gmath.Vec4
+	for round := 0; round < rounds; round++ {
+		for r := range in {
+			in[r] = gmath.V4(rng.Float32()*4-2, rng.Float32()*4-2,
+				rng.Float32()*4-2, rng.Float32()*4-2)
+		}
+		// RunVertex does not zero registers; dirty both banks alike.
+		for r := range outC {
+			v := gmath.V4(float32(r), -3, 7, 0.5)
+			outC[r], outI[r] = v, v
+		}
+		mc.RunVertex(p, &in, &outC)
+		mi.RunVertexInterpreted(p, &in, &outI)
+		if !laneBanksEqual(&outC, &outI) {
+			t.Fatalf("%s round %d: outputs diverged\ncompiled:    %v\ninterpreted: %v",
+				p.Name, round, outC, outI)
+		}
+		if cs, is := mc.Stats(), mi.Stats(); cs != is {
+			t.Fatalf("%s round %d: stats diverged: compiled %+v, interpreted %+v",
+				p.Name, round, cs, is)
+		}
+	}
+}
+
+// TestCompiledMatchesInterpreterLibrary runs every library and
+// synthesized program through both executors.
+func TestCompiledMatchesInterpreterLibrary(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vsProgs := []*Program{BasicTransformVS(), DepthOnlyVS()}
+	if p, err := SynthesizeVS("synthvs", 17); err == nil {
+		vsProgs = append(vsProgs, p)
+	} else {
+		t.Fatalf("SynthesizeVS: %v", err)
+	}
+	for _, p := range vsProgs {
+		diffVertex(t, p, rng, 50)
+	}
+
+	fsProgs := []*Program{TexturedFS(), StencilVolumeFS(), AlphaTestedFS()}
+	if p, err := SynthesizeFS("synthfs", 23, 4, 3); err == nil {
+		fsProgs = append(fsProgs, p)
+	} else {
+		t.Fatalf("SynthesizeFS: %v", err)
+	}
+	if p, err := SynthesizeAlphaFS("synthafs", 19, 3, 2); err == nil {
+		fsProgs = append(fsProgs, p)
+	} else {
+		t.Fatalf("SynthesizeAlphaFS: %v", err)
+	}
+	for _, p := range fsProgs {
+		diffQuad(t, p, rng, 50)
+	}
+}
+
+// TestCompiledNilSampler pins the nil-sampler edge: texture
+// instructions must still write zero texels through the write mask.
+func TestCompiledNilSampler(t *testing.T) {
+	p := MustAssemble("niltex", FragmentProgram, `
+		mov r0, v0
+		tex r0.xy, v1, t0
+		mov o0, r0
+	`)
+	mc, mi := NewMachine(), NewMachine()
+	var in [4][NumInputs]gmath.Vec4
+	for lane := range in {
+		in[lane][0] = gmath.V4(1, 2, 3, 4)
+		in[lane][1] = gmath.V4(5, 6, 7, 8)
+	}
+	var outC, outI [4][NumOutputs]gmath.Vec4
+	liveC := mc.RunQuad(p, &in, 0xF, &outC)
+	liveI := mi.RunQuadInterpreted(p, &in, 0xF, &outI)
+	if liveC != liveI || !quadBanksEqual(&outC, &outI) {
+		t.Fatalf("nil-sampler divergence: live %#x/%#x out %v / %v",
+			liveC, liveI, outC, outI)
+	}
+	want := gmath.V4(0, 0, 3, 4) // xy overwritten by zero texel, zw kept
+	if outC[0][0] != want {
+		t.Fatalf("nil-sampler texel: got %v, want %v", outC[0][0], want)
+	}
+}
+
+// genProgram decodes a fuzz byte stream into a valid fragment program:
+// every field is masked into range, so arbitrary bytes explore opcodes,
+// swizzles, negation, write masks, register files and texture units
+// without tripping validation.
+func genProgram(data []byte) *Program {
+	if len(data) < 4 {
+		return nil
+	}
+	n := int(data[0])%24 + 1
+	p := &Program{Name: "fuzz", Kind: FragmentProgram}
+	pos := 1
+	next := func() byte {
+		if pos >= len(data) {
+			pos = 1 // wrap, keeping streams of any length useful
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	srcFiles := [4]RegFile{FileTemp, FileInput, FileConst, FileConst}
+	for i := 0; i < n; i++ {
+		var ins Instruction
+		ins.Op = Opcode(next()) % numOpcodes
+		if ins.Op.hasDst() {
+			if next()&1 == 0 {
+				ins.Dst.File = FileTemp
+			} else {
+				ins.Dst.File = FileOutput
+			}
+			ins.Dst.Index = next() % NumTemps
+			ins.Dst.Mask = next()%MaskXYZW + 1
+		}
+		for s := 0; s < ins.Op.srcCount(); s++ {
+			b := next()
+			ins.Src[s].File = srcFiles[b&3]
+			ins.Src[s].Index = next() % NumTemps
+			sw := next()
+			ins.Src[s].Swizzle = Swizzle{sw & 3, (sw >> 2) & 3, (sw >> 4) & 3, (sw >> 6) & 3}
+			ins.Src[s].Negate = b&4 != 0
+		}
+		if ins.Op.IsTexture() {
+			ins.TexUnit = next() % NumTexUnits
+		}
+		p.Instrs = append(p.Instrs, ins)
+	}
+	return p
+}
+
+// FuzzCompiledMatchesReference fuzzes program shapes and inputs: any
+// divergence between the compiled executor and the interpreter —
+// outputs, live mask, statistics — is a crash.
+func FuzzCompiledMatchesReference(f *testing.F) {
+	f.Add([]byte{8, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, int64(1))
+	f.Add([]byte{24, 22, 1, 200, 13, 77, 0, 255, 31, 64, 128, 3}, int64(2))
+	f.Add([]byte{3, 25, 9, 0, 0, 0, 22, 4, 4, 4}, int64(3)) // kil + tex
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		p := genProgram(data)
+		if p == nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("generator produced invalid program: %v\n%s", err, p)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		diffQuad(t, p, rng, 4)
+
+		// The same instruction stream as a vertex program (tex/KIL
+		// degrade to zero-compute writes in both executors).
+		vp := &Program{Name: "fuzz-vs", Kind: VertexProgram, Instrs: p.Instrs}
+		diffVertex(t, vp, rng, 4)
+	})
+}

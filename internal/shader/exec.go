@@ -2,6 +2,7 @@ package shader
 
 import (
 	"math"
+	"math/bits"
 
 	"gpuchar/internal/gmath"
 	"gpuchar/internal/metrics"
@@ -69,6 +70,13 @@ type Machine struct {
 	stats ExecStats
 	// scratch register state, reused across invocations
 	temps [4][NumTemps]gmath.Vec4
+
+	// qf and lf are the register-bank views the compiled kernels run
+	// against. They live on the Machine (not the stack) because their
+	// addresses pass through indirect kernel calls — as locals, escape
+	// analysis would heap-allocate them on every invocation.
+	qf quadFile
+	lf laneFile
 }
 
 // NewMachine returns a Machine with zeroed constants and no sampler.
@@ -86,8 +94,60 @@ func (m *Machine) RegisterMetrics(r *metrics.Registry, prefix string) {
 }
 
 // RunVertex executes a vertex program on a single vertex. in holds the
-// vertex attributes; the shaded results are written to out.
+// vertex attributes; the shaded results are written to out. Execution
+// uses the compiled form of the program (see compile.go).
 func (m *Machine) RunVertex(p *Program, in *[NumInputs]gmath.Vec4, out *[NumOutputs]gmath.Vec4) {
+	c := p.Compiled()
+	m.stats.Invocations++
+	m.stats.Instructions += c.instrs
+	f := &m.lf
+	f.in, f.out, f.temps, f.consts = in, out, &m.temps[0], &m.Consts
+	for _, k := range c.lane {
+		k(f)
+	}
+}
+
+// RunQuad executes a fragment program on a 2x2 quad in lockstep.
+// activeMask bit i enables lane i (lanes outside the triangle are helper
+// lanes: they execute for derivative purposes but their outputs are
+// ignored by the caller). The returned liveMask clears lanes killed by
+// KIL. Statistics count only lanes active on entry. Execution uses the
+// compiled form of the program (see compile.go); the ISA has no control
+// flow, so the instruction counts of a run are known statically.
+func (m *Machine) RunQuad(p *Program, in *[4][NumInputs]gmath.Vec4, activeMask uint8,
+	out *[4][NumOutputs]gmath.Vec4) (liveMask uint8) {
+
+	c := p.Compiled()
+	active := int64(bits.OnesCount8(activeMask & 0xF))
+	m.stats.Invocations += active
+	m.stats.Instructions += c.instrs * active
+	m.stats.TexInstructions += c.texInstrs * active
+
+	// Zero the registers this program can touch so the invocation is a
+	// pure function of its inputs: with scratch residue, the shaded
+	// colors would depend on which machine (serial or tile worker)
+	// shaded the previous quad.
+	for lane := 0; lane < 4; lane++ {
+		clear(m.temps[lane][:c.tempHi])
+		clear(out[lane][:c.outHi])
+	}
+
+	f := &m.qf
+	f.in, f.out, f.temps, f.consts = in, out, &m.temps, &m.Consts
+	f.sampler, f.live, f.kills = m.Sampler, activeMask, 0
+	for _, k := range c.quad {
+		k(f)
+	}
+	m.stats.Kills += f.kills
+	return f.live
+}
+
+// RunVertexInterpreted is the reference interpreter for vertex programs.
+// It is semantically identical to RunVertex and is kept as the oracle
+// for the compiled executor's differential and fuzz tests.
+func (m *Machine) RunVertexInterpreted(p *Program, in *[NumInputs]gmath.Vec4,
+	out *[NumOutputs]gmath.Vec4) {
+
 	m.stats.Invocations++
 	m.stats.Instructions += int64(len(p.Instrs))
 	temps := &m.temps[0]
@@ -98,32 +158,25 @@ func (m *Machine) RunVertex(p *Program, in *[NumInputs]gmath.Vec4, out *[NumOutp
 	}
 }
 
-// RunQuad executes a fragment program on a 2x2 quad in lockstep.
-// activeMask bit i enables lane i (lanes outside the triangle are helper
-// lanes: they execute for derivative purposes but their outputs are
-// ignored by the caller). The returned liveMask clears lanes killed by
-// KIL. Statistics count only lanes active on entry.
-func (m *Machine) RunQuad(p *Program, in *[4][NumInputs]gmath.Vec4, activeMask uint8,
+// RunQuadInterpreted is the reference interpreter for fragment programs:
+// per-instruction, per-lane execution with no compiled specialization.
+// It is semantically identical to RunQuad — same outputs, same live
+// mask, same statistics — and is kept as the oracle for the compiled
+// executor's differential and fuzz tests (and as the baseline of the
+// shader_exec benchmark section).
+func (m *Machine) RunQuadInterpreted(p *Program, in *[4][NumInputs]gmath.Vec4, activeMask uint8,
 	out *[4][NumOutputs]gmath.Vec4) (liveMask uint8) {
 
-	active := int64(popcount4(activeMask))
+	active := int64(bits.OnesCount8(activeMask & 0xF))
 	m.stats.Invocations += active
 	m.stats.Instructions += int64(len(p.Instrs)) * active
 	liveMask = activeMask
 
-	// Zero the registers this program can touch so the invocation is a
-	// pure function of its inputs: with scratch residue, the shaded
-	// colors would depend on which machine (serial or tile worker)
-	// shaded the previous quad.
+	// See RunQuad: invocations must be pure functions of their inputs.
 	tempHi, outHi := p.regBounds()
-	var zero gmath.Vec4
 	for lane := 0; lane < 4; lane++ {
-		for r := uint8(0); r < tempHi; r++ {
-			m.temps[lane][r] = zero
-		}
-		for r := uint8(0); r < outHi; r++ {
-			out[lane][r] = zero
-		}
+		clear(m.temps[lane][:tempHi])
+		clear(out[lane][:outHi])
 	}
 
 	for i := range p.Instrs {
@@ -370,14 +423,4 @@ func cmpEach(a, b gmath.Vec4, pred func(x, y float32) bool) gmath.Vec4 {
 	return gmath.Vec4{
 		X: sel(a.X, b.X), Y: sel(a.Y, b.Y), Z: sel(a.Z, b.Z), W: sel(a.W, b.W),
 	}
-}
-
-func popcount4(m uint8) int {
-	n := 0
-	for i := 0; i < 4; i++ {
-		if m&(1<<i) != 0 {
-			n++
-		}
-	}
-	return n
 }

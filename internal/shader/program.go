@@ -34,6 +34,12 @@ type Program struct {
 	// invocation can touch.
 	boundsOnce    sync.Once
 	tempHi, outHi uint8
+
+	// Compiled form, lowered lazily by Compiled(). Caching on the
+	// Program itself keys the compiled-program cache by identity with
+	// no lookup cost, and lets every Machine share one lowering.
+	compileOnce sync.Once
+	compiled    *Compiled
 }
 
 // regBounds returns the exclusive upper bounds of the temp and output

@@ -294,21 +294,17 @@ func (u *Unit) fetchTexel(t *Texture, x, y, lv int) gmath.Vec4 {
 }
 
 // uncompressedOffset computes the tiled 4-bytes-per-texel address used
-// for L0 (decompressed) lookups: 4x4-texel tiles of 64 bytes.
+// for L0 (decompressed) lookups: 4x4-texel tiles of 64 bytes. The level
+// base (sum of 4-byte-per-texel level sizes) and the per-row tile count
+// are precomputed by initLayout.
 func (t *Texture) uncompressedOffset(x, y, lv int) uint64 {
 	lv = clampInt(lv, 0, len(t.levels)-1)
 	li := &t.levels[lv]
-	x &= li.w - 1
-	y &= li.h - 1
-	// Level base in decompressed space: sum of 4-byte-per-texel levels.
-	var base uint64
-	for i := 0; i < lv; i++ {
-		base += uint64(t.levels[i].w*t.levels[i].h) * 4
-	}
-	tilesPerRow := (li.w + 3) / 4
-	tile := (y/4)*tilesPerRow + x/4
-	within := (y%4)*4 + x%4
-	return base + uint64(tile*64+within*4)
+	x &= li.wMask
+	y &= li.hMask
+	tile := (y>>2)*li.uncTilesPerRow + x>>2
+	within := (y&3)<<2 + x&3
+	return li.uncBase + uint64(tile)<<6 + uint64(within)<<2
 }
 
 func floorf(x float32) float32 { return float32(math.Floor(float64(x))) }

@@ -24,12 +24,30 @@ type Texture struct {
 	levels []levelInfo
 	data   [][]byte // per-level encoded bytes; nil for procedural content
 	proc   ProcFunc
+
+	// Precomputed addressing constants (see initLayout). Every dimension
+	// involved — level sizes, block dims, block bytes, tile shapes — is a
+	// power of two, so the per-fetch divisions and modulos of the tiled
+	// address computation reduce to shifts and masks resolved at texture
+	// creation time.
+	bdShift        uint // log2(format block dim)
+	twShift        uint // log2(tile width in blocks)
+	thShift        uint // log2(tile height in blocks)
+	bbShift        uint // log2(format block bytes)
+	tileSpanShift  uint // log2(bytes per tile) — 64 for all formats
+	twMask, thMask int
 }
 
 type levelInfo struct {
 	w, h   int
 	offset uint64 // byte offset from BaseAddr
 	bytes  int
+
+	// Precomputed addressing constants (see initLayout).
+	wMask, hMask   int    // wrap masks (w-1, h-1)
+	tilesPerRow    int    // compressed-space tiles per block row
+	uncBase        uint64 // level base in decompressed (4 B/texel) space
+	uncTilesPerRow int    // decompressed-space 4x4 tiles per row
 }
 
 // New creates a procedural mipmapped texture. Width and height must be
@@ -48,7 +66,47 @@ func New(name string, format Format, w, h int, proc ProcFunc) (*Texture, error) 
 			break
 		}
 	}
+	t.initLayout()
 	return t, nil
+}
+
+// initLayout precomputes the shift/mask form of the tiled address
+// layout. It changes no address: blockOffset and uncompressedOffset
+// produce byte-identical results to the division-based formulation they
+// replace (pinned by TestAddressLayoutMatchesReference).
+func (t *Texture) initLayout() {
+	f := t.Format
+	bd := f.BlockDim()
+	bb := f.BlockBytes()
+	lineBlocks := 64 / bb
+	if lineBlocks < 1 {
+		lineBlocks = 1
+	}
+	tw, th := tileShape(lineBlocks)
+	t.bdShift = log2u(bd)
+	t.twShift, t.thShift = log2u(tw), log2u(th)
+	t.twMask, t.thMask = tw-1, th-1
+	t.bbShift = log2u(bb)
+	t.tileSpanShift = log2u(lineBlocks * bb)
+	var uncBase uint64
+	for i := range t.levels {
+		li := &t.levels[i]
+		li.wMask, li.hMask = li.w-1, li.h-1
+		blocksW := (li.w + bd - 1) / bd
+		li.tilesPerRow = (blocksW + tw - 1) / tw
+		li.uncBase = uncBase
+		uncBase += uint64(li.w*li.h) * 4
+		li.uncTilesPerRow = (li.w + 3) / 4
+	}
+}
+
+// log2u returns log2(v) for power-of-two v.
+func log2u(v int) uint {
+	s := uint(0)
+	for 1<<s < v {
+		s++
+	}
+	return s
 }
 
 // MustNew is New for statically valid dimensions; it panics on error.
@@ -107,8 +165,8 @@ func (t *Texture) TotalBytes() int {
 func (t *Texture) Texel(x, y, lv int) (RGBA, uint64) {
 	lv = clampInt(lv, 0, len(t.levels)-1)
 	li := &t.levels[lv]
-	x &= li.w - 1 // wrap (dimensions are powers of two)
-	y &= li.h - 1
+	x &= li.wMask // wrap (dimensions are powers of two)
+	y &= li.hMask
 	addr := t.BaseAddr + li.offset + t.blockOffset(li, x, y)
 	if t.data != nil {
 		return t.decodeTexel(lv, x, y), addr
@@ -122,21 +180,14 @@ func (t *Texture) Texel(x, y, lv int) (RGBA, uint64) {
 // blockOffset computes the tiled byte offset of the block containing
 // texel (x, y) within a level. Blocks are grouped into cache-line-sized
 // 2D tiles so that a 64-byte line maps to a compact screen-space
-// footprint, as in real GPU texture layouts.
+// footprint, as in real GPU texture layouts. All factors are powers of
+// two, so the whole computation is shifts and masks over the constants
+// initLayout resolved at creation time.
 func (t *Texture) blockOffset(li *levelInfo, x, y int) uint64 {
-	f := t.Format
-	bd := f.BlockDim()
-	bx, by := x/bd, y/bd
-	blocksW := (li.w + bd - 1) / bd
-	lineBlocks := 64 / f.BlockBytes()
-	if lineBlocks < 1 {
-		lineBlocks = 1
-	}
-	tw, th := tileShape(lineBlocks)
-	tilesPerRow := (blocksW + tw - 1) / tw
-	tile := (by/th)*tilesPerRow + bx/tw
-	within := (by%th)*tw + bx%tw
-	return uint64((tile*lineBlocks + within) * f.BlockBytes())
+	bx, by := x>>t.bdShift, y>>t.bdShift
+	tile := (by>>t.thShift)*li.tilesPerRow + bx>>t.twShift
+	within := (by&t.thMask)<<t.twShift + bx&t.twMask
+	return uint64(tile)<<t.tileSpanShift + uint64(within)<<t.bbShift
 }
 
 // tileShape factors lineBlocks into a near-square power-of-two tile.
