@@ -6,8 +6,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -17,18 +19,27 @@ import (
 
 // runClient talks to a running daemon:
 //
-//	gpuchard client [-addr URL] submit [-exp ids] [-frames N] ... [-wait]
+//	gpuchard client [-addr URL] [-retries N] [-max-wait D] submit [-exp ids] [-frames N] ... [-wait]
 //	gpuchard client [-addr URL] status|result|cancel <id>
 //	gpuchard client [-addr URL] list
 func runClient(args []string) {
 	fs := flag.NewFlagSet("gpuchard client", flag.ExitOnError)
 	addr := fs.String("addr", "http://127.0.0.1:9190", "daemon base URL")
+	retries := fs.Int("retries", 8,
+		"max retry attempts on connection errors, 429 backpressure and 5xx (0 disables)")
+	maxWait := fs.Duration("max-wait", 2*time.Minute,
+		"total budget for one request including retries and backoff (0 = unbounded)")
 	_ = fs.Parse(args)
 	rest := fs.Args()
 	if len(rest) == 0 {
 		cliutil.Usagef("gpuchard", "client needs a command: submit, status, result, cancel, list")
 	}
-	c := &client{base: strings.TrimRight(*addr, "/")}
+	c := &client{
+		base:    strings.TrimRight(*addr, "/"),
+		hc:      http.DefaultClient,
+		retries: *retries,
+		maxWait: *maxWait,
+	}
 	switch cmd, ids := rest[0], rest[1:]; cmd {
 	case "submit":
 		c.submit(ids)
@@ -43,8 +54,11 @@ func runClient(args []string) {
 		})
 	case "cancel":
 		c.oneJob(ids, "cancel", func(id string) {
-			req, _ := http.NewRequest(http.MethodDelete, c.base+"/jobs/"+id, nil)
-			c.do(req, http.StatusOK, os.Stdout)
+			body, err := c.doRetry(http.MethodDelete, "/jobs/"+id, "", nil, http.StatusOK)
+			if err != nil {
+				fail(err)
+			}
+			_, _ = os.Stdout.Write(body)
 		})
 	case "list":
 		c.printJSON("/jobs")
@@ -54,7 +68,10 @@ func runClient(args []string) {
 }
 
 type client struct {
-	base string
+	base    string
+	hc      *http.Client
+	retries int
+	maxWait time.Duration
 }
 
 // submit posts a job spec (or a trace upload) and optionally waits for
@@ -71,18 +88,18 @@ func (c *client) submit(args []string) {
 	wait := fs.Bool("wait", false, "block until the job finishes and print the result document")
 	_ = fs.Parse(args)
 
-	var resp *http.Response
+	var body []byte
 	var err error
 	if *traceF != "" {
 		raw, rerr := os.ReadFile(*traceF)
 		if rerr != nil {
 			fail(rerr)
 		}
-		url := c.base + "/jobs"
+		url := "/jobs"
 		if *name != "" {
 			url += "?name=" + *name
 		}
-		resp, err = http.Post(url, "application/octet-stream", bytes.NewReader(raw))
+		body, err = c.doRetry(http.MethodPost, url, "application/octet-stream", raw, http.StatusAccepted)
 	} else {
 		spec := serve.JobSpec{
 			APIFrames: *frames, SimFrames: *simFrames,
@@ -91,16 +108,11 @@ func (c *client) submit(args []string) {
 		if *exp != "" {
 			spec.Experiments = strings.Split(*exp, ",")
 		}
-		body, _ := json.Marshal(spec)
-		resp, err = http.Post(c.base+"/jobs", "application/json", bytes.NewReader(body))
+		payload, _ := json.Marshal(spec)
+		body, err = c.doRetry(http.MethodPost, "/jobs", "application/json", payload, http.StatusAccepted)
 	}
 	if err != nil {
 		fail(err)
-	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		fail(fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body))))
 	}
 	var view serve.JobView
 	if err := json.Unmarshal(body, &view); err != nil {
@@ -150,22 +162,113 @@ func (c *client) printJSON(path string) {
 }
 
 func (c *client) get(path string, want int) []byte {
-	req, _ := http.NewRequest(http.MethodGet, c.base+path, nil)
-	var buf bytes.Buffer
-	c.do(req, want, &buf)
-	return buf.Bytes()
-}
-
-func (c *client) do(req *http.Request, want int, out io.Writer) {
-	resp, err := http.DefaultClient.Do(req)
+	body, err := c.doRetry(http.MethodGet, path, "", nil, want)
 	if err != nil {
 		fail(err)
 	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != want {
-		fail(fmt.Errorf("%s %s: HTTP %d: %s", req.Method, req.URL.Path,
-			resp.StatusCode, strings.TrimSpace(string(body))))
+	return body
+}
+
+// retryBase is the first backoff step; each retry doubles it (with
+// ±50% jitter) up to retryCap. A server Retry-After hint overrides a
+// shorter computed backoff — the server knows its own load.
+const (
+	retryBase = 200 * time.Millisecond
+	retryCap  = 10 * time.Second
+)
+
+// doRetry issues one request with the client's retry policy: transient
+// transport errors, 429 backpressure and 5xx responses are retried with
+// exponential backoff and jitter, honoring Retry-After, until the
+// status matches want, the attempts run out, or the -max-wait budget
+// expires. The payload is replayed from memory on every attempt, so a
+// half-sent body is never resumed mid-stream.
+func (c *client) doRetry(method, path, contentType string, payload []byte, want int) ([]byte, error) {
+	var deadline time.Time
+	if c.maxWait > 0 {
+		deadline = time.Now().Add(c.maxWait)
 	}
-	_, _ = out.Write(body)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest(method, c.base+path, bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		if !deadline.IsZero() {
+			// Propagate the remaining budget as the request deadline so a
+			// hung server cannot out-wait -max-wait.
+			ctx, cancel := contextWithDeadline(deadline)
+			req = req.WithContext(ctx)
+			defer cancel()
+		}
+
+		resp, err := c.hc.Do(req)
+		var status int
+		var retryAfter time.Duration
+		var body []byte
+		if err != nil {
+			lastErr = err
+		} else {
+			body, _ = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			status = resp.StatusCode
+			if status == want {
+				return body, nil
+			}
+			retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+			lastErr = fmt.Errorf("%s %s: HTTP %d: %s", method, path, status,
+				strings.TrimSpace(string(body)))
+			if !retryableStatus(status) {
+				return nil, lastErr
+			}
+		}
+		if attempt >= c.retries {
+			return nil, fmt.Errorf("%w (after %d attempts)", lastErr, attempt+1)
+		}
+		delay := backoff(attempt, retryAfter)
+		if !deadline.IsZero() && time.Now().Add(delay).After(deadline) {
+			return nil, fmt.Errorf("%w (gave up: -max-wait %s exhausted)", lastErr, c.maxWait)
+		}
+		fmt.Fprintf(os.Stderr, "gpuchard: %v; retrying in %s (%d/%d)\n",
+			lastErr, delay.Round(time.Millisecond), attempt+1, c.retries)
+		time.Sleep(delay)
+	}
+}
+
+// retryableStatus: 429 is backpressure, 5xx is the server (or an
+// intermediary) hurting — both are worth another try. 4xx other than
+// 429 is the caller's bug; retrying cannot help.
+func retryableStatus(status int) bool {
+	return status == http.StatusTooManyRequests || status >= 500
+}
+
+// backoff computes the sleep before retry attempt+1: exponential with
+// ±50% jitter, floored by the server's Retry-After hint.
+func backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := retryBase << attempt
+	if d > retryCap || d <= 0 {
+		d = retryCap
+	}
+	// Jitter spreads a thundering herd of retrying clients.
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// parseRetryAfter reads the delay-seconds form of a Retry-After header
+// (the only form the daemon emits); 0 when absent or unparseable.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }

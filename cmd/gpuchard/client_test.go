@@ -1,0 +1,130 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gpuchar/internal/fault"
+)
+
+// TestRetryOn429HonorsRetryAfter pins the client backoff loop: 429
+// backpressure with Retry-After is retried (waiting at least the
+// server's hint) until the submit lands.
+func TestRetryOn429HonorsRetryAfter(t *testing.T) {
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"serve: queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		_, _ = w.Write([]byte(`{"id":"j0001-abcd","state":"queued"}`))
+	}))
+	defer srv.Close()
+
+	c := &client{base: srv.URL, hc: srv.Client(), retries: 5, maxWait: 30 * time.Second}
+	body, err := c.doRetry(http.MethodPost, "/jobs", "application/json", []byte(`{}`), http.StatusAccepted)
+	if err != nil {
+		t.Fatalf("doRetry: %v", err)
+	}
+	if !strings.Contains(string(body), "j0001-abcd") {
+		t.Errorf("unexpected body %q", body)
+	}
+	if n := atomic.LoadInt32(&calls); n != 3 {
+		t.Errorf("server saw %d calls; want 3 (two 429s then accept)", n)
+	}
+}
+
+// TestRetrySurvivesConnectionResets pins transport-level resilience:
+// injected connection resets are retried and the request eventually
+// lands, with the full body replayed each attempt.
+func TestRetrySurvivesConnectionResets(t *testing.T) {
+	var got atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		buf := make([]byte, 64)
+		n, _ := r.Body.Read(buf)
+		got.Store(string(buf[:n]))
+		w.WriteHeader(http.StatusAccepted)
+		_, _ = w.Write([]byte(`{"id":"j0001-abcd"}`))
+	}))
+	defer srv.Close()
+
+	inj := fault.New(3, fault.Rule{Site: fault.HTTP, Kind: fault.Reset, Prob: 1, Count: 2})
+	defer inj.Close()
+	hc := &http.Client{Transport: &fault.RoundTripper{Base: http.DefaultTransport, In: inj}}
+	c := &client{base: srv.URL, hc: hc, retries: 5, maxWait: 30 * time.Second}
+	if _, err := c.doRetry(http.MethodPost, "/jobs", "application/json",
+		[]byte(`{"api_frames":4}`), http.StatusAccepted); err != nil {
+		t.Fatalf("doRetry through resets: %v", err)
+	}
+	if body, _ := got.Load().(string); body != `{"api_frames":4}` {
+		t.Errorf("replayed body = %q; want the original payload", body)
+	}
+}
+
+// TestNoRetryOnCallerError pins that a 4xx other than 429 fails
+// immediately — retrying a bad request cannot help.
+func TestNoRetryOnCallerError(t *testing.T) {
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		http.Error(w, `{"error":"bad spec"}`, http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	c := &client{base: srv.URL, hc: srv.Client(), retries: 5, maxWait: 30 * time.Second}
+	if _, err := c.doRetry(http.MethodPost, "/jobs", "application/json", nil, http.StatusAccepted); err == nil {
+		t.Fatal("bad request did not fail")
+	}
+	if n := atomic.LoadInt32(&calls); n != 1 {
+		t.Errorf("server saw %d calls for a 400; want exactly 1", n)
+	}
+}
+
+// TestMaxWaitBoundsRetries pins the -max-wait cap: a persistently
+// unavailable server exhausts the budget instead of sleeping past it.
+func TestMaxWaitBoundsRetries(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, `{"error":"degraded"}`, http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := &client{base: srv.URL, hc: srv.Client(), retries: 100, maxWait: 200 * time.Millisecond}
+	start := time.Now()
+	_, err := c.doRetry(http.MethodGet, "/jobs", "", nil, http.StatusOK)
+	if err == nil {
+		t.Fatal("expected failure once -max-wait is exhausted")
+	}
+	if !strings.Contains(err.Error(), "max-wait") {
+		t.Errorf("error %q does not mention the exhausted budget", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("gave up after %s; the 30s Retry-After leaked past -max-wait", elapsed)
+	}
+}
+
+// TestRetriesExhausted pins the -retries cap with backoff still honored.
+func TestRetriesExhausted(t *testing.T) {
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	c := &client{base: srv.URL, hc: srv.Client(), retries: 2, maxWait: 30 * time.Second}
+	_, err := c.doRetry(http.MethodGet, "/jobs", "", nil, http.StatusOK)
+	if err == nil {
+		t.Fatal("expected failure after retries exhausted")
+	}
+	if n := atomic.LoadInt32(&calls); n != 3 {
+		t.Errorf("server saw %d calls; want 3 (initial + 2 retries)", n)
+	}
+}

@@ -13,6 +13,10 @@ import (
 type serveOpts struct {
 	listen string
 	drain  time.Duration
+	// Fault injection (chaos testing only): a fault plan and the seed
+	// that makes its schedule reproducible.
+	faultPlan string
+	faultSeed int64
 }
 
 // serveFlags builds the daemon flag set, binding directly into a
@@ -37,9 +41,24 @@ func serveFlags() (*flag.FlagSet, *serve.Config, *serveOpts) {
 		"persist an API-replay checkpoint every N frames (simulated demos checkpoint per demo)")
 	fs.DurationVar(&cfg.JobTimeout, "timeout", 0,
 		"per-job wall-clock limit (0 = none)")
+	fs.DurationVar(&cfg.HangGrace, "hang-grace", 30*time.Second,
+		"how long a canceled or expired job may linger before its worker is reaped")
+	fs.IntVar(&cfg.DegradedAfter, "degraded-after", 3,
+		"consecutive spool write failures before the daemon sheds load with 503 (-1 disables)")
+	fs.DurationVar(&cfg.DegradedFor, "degraded-for", 5*time.Second,
+		"how long load shedding lasts unless a spool write succeeds sooner")
 	fs.DurationVar(&opts.drain, "drain", 30*time.Second,
 		"graceful shutdown budget after SIGINT/SIGTERM")
+	fs.StringVar(&opts.faultPlan, "fault", "",
+		"CHAOS TESTING: comma-separated fault rules site:kind:prob[:count[:after]] (see internal/fault)")
+	fs.Int64Var(&opts.faultSeed, "fault-seed", 1,
+		"CHAOS TESTING: seed for the -fault schedule; same seed, same schedule")
 	return fs, cfg, opts
+}
+
+// contextWithDeadline is context.WithDeadline against Background.
+func contextWithDeadline(d time.Time) (context.Context, context.CancelFunc) {
+	return context.WithDeadline(context.Background(), d)
 }
 
 // contextWithTimeout is context.WithTimeout that treats a zero duration

@@ -40,6 +40,7 @@ import (
 	"syscall"
 
 	"gpuchar/internal/cliutil"
+	"gpuchar/internal/fault"
 	"gpuchar/internal/obsv"
 	"gpuchar/internal/serve"
 )
@@ -73,6 +74,22 @@ func runServe(args []string) {
 		cliutil.Usagef("gpuchard", "%v", err)
 	}
 
+	// -fault arms the chaos harness: a seeded injector driving faults at
+	// the spool and execution boundaries. Production runs leave it off
+	// and pay nothing (nil injector, real filesystem).
+	if opts.faultPlan != "" {
+		rules, err := fault.ParsePlan(opts.faultPlan)
+		if err != nil {
+			cliutil.Usagef("gpuchard", "-fault: %v", err)
+		}
+		inj := fault.New(opts.faultSeed, rules...)
+		defer inj.Close()
+		cfg.Inject = inj
+		cfg.FS = fault.NewFaulty(fault.OS{}, inj)
+		fmt.Fprintf(os.Stderr, "gpuchard: FAULT INJECTION ARMED (seed %d): %s\n",
+			opts.faultSeed, opts.faultPlan)
+	}
+
 	svc, err := serve.Open(*cfg)
 	if err != nil {
 		fail(err)
@@ -80,6 +97,7 @@ func runServe(args []string) {
 	srv, err := obsv.StartServer(opts.listen, obsv.ServerSources{
 		Snapshots: svc.MetricsSnapshots,
 		Mount:     svc.Mount,
+		Health:    svc.Health,
 	})
 	if err != nil {
 		fail(fmt.Errorf("-listen %q: %w", opts.listen, err))

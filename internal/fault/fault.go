@@ -1,0 +1,315 @@
+// Package fault is the deterministic fault-injection layer threaded
+// through the characterization service's I/O and execution boundaries:
+// a seedable Injector decides, per operation, whether to misbehave, and
+// wrappers apply the decision at each boundary — a filesystem for the
+// serve spool (fs.go), an http.RoundTripper for the client (http.go),
+// and an io.Reader for trace and cache reads (reader.go).
+//
+// Everything an Injector does is a pure function of its seed, its rules
+// and the sequence of operations it observes, so a failing chaos run
+// replays exactly from its seed. Injected failures surface as *Error, a
+// typed error call sites can classify with errors.As.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Site identifies an injection point. Each site counts its operations
+// and its injected faults independently, and the service exports the
+// fault counts as gpuchar_serve_faults_<site>.
+type Site string
+
+const (
+	// FSWrite / FSRename / FSSync / FSRead / FSRemove are the spool
+	// filesystem boundaries (fault.Faulty applies them).
+	FSWrite  Site = "fs_write"
+	FSRename Site = "fs_rename"
+	FSSync   Site = "fs_sync"
+	FSRead   Site = "fs_read"
+	FSRemove Site = "fs_remove"
+	// TraceRead is the byte stream feeding the trace decoder.
+	TraceRead Site = "trace_read"
+	// HTTP is the client transport (fault.RoundTripper).
+	HTTP Site = "http"
+	// Exec is worker job execution (panics, hangs, slow jobs).
+	Exec Site = "exec"
+)
+
+// Sites returns every injection site in a fixed order, for metric
+// registration.
+func Sites() []Site {
+	return []Site{FSWrite, FSRename, FSSync, FSRead, FSRemove, TraceRead, HTTP, Exec}
+}
+
+// Kind is the failure mode a rule injects. Not every kind is meaningful
+// at every site; the wrapper applying the fault maps unknown kinds to
+// plain errors.
+type Kind string
+
+const (
+	// Err fails the operation with a typed error, nothing applied.
+	Err Kind = "error"
+	// Short applies a prefix of a write, then fails (torn write).
+	Short Kind = "short"
+	// Corrupt flips one bit in the data a read returns.
+	Corrupt Kind = "corrupt"
+	// Truncate cuts a read stream short (clean early EOF).
+	Truncate Kind = "truncate"
+	// Crash kills the filesystem: this operation half-applies and every
+	// later one fails with ErrCrashed — a process kill, seen from disk.
+	Crash Kind = "crash"
+	// Panic panics the executing worker.
+	Panic Kind = "panic"
+	// Hang blocks execution until the injector is Closed, ignoring
+	// context cancellation — the pathology the watchdog exists for.
+	Hang Kind = "hang"
+	// Slow delays execution by the rule's Delay.
+	Slow Kind = "slow"
+	// Reset fails an HTTP round trip like a dropped connection.
+	Reset Kind = "reset"
+	// Unavail synthesizes an HTTP 503 with a Retry-After header.
+	Unavail Kind = "unavail"
+	// Latency delays an HTTP round trip by the rule's Delay.
+	Latency Kind = "latency"
+)
+
+// Rule arms one failure mode at one site.
+type Rule struct {
+	Site Site
+	Kind Kind
+	// Prob is the chance each operation at the site fires the rule.
+	// 1 fires deterministically (no RNG draw), which is how seeded
+	// chaos schedules stay reproducible under concurrency.
+	Prob float64
+	// After lets the first N operations at the site pass untouched.
+	After int
+	// Count caps the rule's firings; 0 is unlimited.
+	Count int
+	// Delay parameterizes Slow and Latency (default 10ms).
+	Delay time.Duration
+}
+
+// Fault is one injection decision.
+type Fault struct {
+	Site  Site
+	Kind  Kind
+	Delay time.Duration
+}
+
+// Error is the typed error every injected failure surfaces as.
+type Error struct {
+	Site Site
+	Kind Kind
+	Op   string // human context: a path, URL or operation name
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault: injected %s at %s (%s)", e.Kind, e.Site, e.Op)
+}
+
+// Timeout and Temporary make *Error a net.Error, so HTTP clients treat
+// injected resets like real transient transport failures.
+func (e *Error) Timeout() bool   { return false }
+func (e *Error) Temporary() bool { return true }
+
+// IsInjected reports whether err came from an injector.
+func IsInjected(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe)
+}
+
+// ErrCrashed is what a crashed filesystem answers to everything.
+var ErrCrashed = errors.New("fault: filesystem crashed")
+
+// Injector decides faults from a seed and a rule set. A nil *Injector
+// is valid and never injects, so wrappers can be threaded through
+// production paths unconditionally. All methods are safe for concurrent
+// use; with Prob-1 rules the decision sequence per site is a pure
+// function of the per-site operation order.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []ruleState
+	ops   map[Site]int64
+	count map[Site]int64
+	total int64
+	stop  chan struct{}
+}
+
+type ruleState struct {
+	Rule
+	fired int
+}
+
+// New builds an injector from a seed and its rules.
+func New(seed int64, rules ...Rule) *Injector {
+	in := &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		ops:   map[Site]int64{},
+		count: map[Site]int64{},
+		stop:  make(chan struct{}),
+	}
+	for _, r := range rules {
+		if r.Delay <= 0 {
+			r.Delay = 10 * time.Millisecond
+		}
+		in.rules = append(in.rules, ruleState{Rule: r})
+	}
+	return in
+}
+
+// Decide observes one operation at site and returns the fault to apply,
+// or nil. The first armed rule wins.
+func (in *Injector) Decide(site Site) *Fault {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.ops[site]++
+	for i := range in.rules {
+		r := &in.rules[i]
+		if r.Site != site || (r.Count > 0 && r.fired >= r.Count) {
+			continue
+		}
+		if in.ops[site] <= int64(r.After) {
+			continue
+		}
+		if r.Prob < 1 && in.rng.Float64() >= r.Prob {
+			continue
+		}
+		r.fired++
+		in.count[site]++
+		in.total++
+		return &Fault{Site: site, Kind: r.Kind, Delay: r.Delay}
+	}
+	return nil
+}
+
+// Intn draws a deterministic value in [0,n), for corruption positions.
+func (in *Injector) Intn(n int) int {
+	if in == nil || n <= 1 {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Intn(n)
+}
+
+// Counts returns the injected-fault tally per site.
+func (in *Injector) Counts() map[Site]int64 {
+	out := map[Site]int64{}
+	if in == nil {
+		return out
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for k, v := range in.count {
+		out[k] = v
+	}
+	return out
+}
+
+// Total returns how many faults have been injected overall.
+func (in *Injector) Total() int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.total
+}
+
+// Released is closed by Close; injected hangs block on it, so tests can
+// unstick reaped workers instead of leaking goroutines forever.
+func (in *Injector) Released() <-chan struct{} {
+	if in == nil {
+		closed := make(chan struct{})
+		close(closed)
+		return closed
+	}
+	return in.stop
+}
+
+// Close releases every injected hang. Safe to call twice.
+func (in *Injector) Close() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	select {
+	case <-in.stop:
+	default:
+		close(in.stop)
+	}
+}
+
+// ParsePlan parses a comma-separated fault plan, the -fault flag's
+// syntax: site:kind:prob[:count[:after]] per entry, e.g.
+//
+//	fs_write:error:0.05,exec:slow:0.1,http:reset:1:2:3
+func ParsePlan(plan string) ([]Rule, error) {
+	var rules []Rule
+	for _, entry := range strings.Split(plan, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) < 3 || len(parts) > 5 {
+			return nil, fmt.Errorf("fault: plan entry %q: want site:kind:prob[:count[:after]]", entry)
+		}
+		r := Rule{Site: Site(parts[0]), Kind: Kind(parts[1])}
+		if !validSite(r.Site) {
+			return nil, fmt.Errorf("fault: plan entry %q: unknown site %q", entry, parts[0])
+		}
+		if !validKind(r.Kind) {
+			return nil, fmt.Errorf("fault: plan entry %q: unknown kind %q", entry, parts[1])
+		}
+		p, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || p < 0 || p > 1 {
+			return nil, fmt.Errorf("fault: plan entry %q: probability %q not in [0,1]", entry, parts[2])
+		}
+		r.Prob = p
+		if len(parts) > 3 {
+			if r.Count, err = strconv.Atoi(parts[3]); err != nil || r.Count < 0 {
+				return nil, fmt.Errorf("fault: plan entry %q: bad count %q", entry, parts[3])
+			}
+		}
+		if len(parts) > 4 {
+			if r.After, err = strconv.Atoi(parts[4]); err != nil || r.After < 0 {
+				return nil, fmt.Errorf("fault: plan entry %q: bad after %q", entry, parts[4])
+			}
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, errors.New("fault: empty plan")
+	}
+	return rules, nil
+}
+
+func validSite(s Site) bool {
+	for _, k := range Sites() {
+		if s == k {
+			return true
+		}
+	}
+	return false
+}
+
+func validKind(k Kind) bool {
+	switch k {
+	case Err, Short, Corrupt, Truncate, Crash, Panic, Hang, Slow, Reset, Unavail, Latency:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,331 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDeterministicDecisions pins the reproducibility contract: two
+// injectors with the same seed and rules, fed the same operation
+// sequence, make identical decisions and counts.
+func TestDeterministicDecisions(t *testing.T) {
+	rules := []Rule{
+		{Site: FSWrite, Kind: Err, Prob: 0.3},
+		{Site: FSRead, Kind: Corrupt, Prob: 0.5, After: 2, Count: 3},
+		{Site: Exec, Kind: Slow, Prob: 0.1},
+	}
+	sequence := []Site{FSWrite, FSRead, FSWrite, Exec, FSRead, FSRead, FSRead,
+		FSWrite, Exec, FSRead, FSWrite, FSRead, Exec, FSWrite, FSRead}
+
+	run := func() ([]string, map[Site]int64) {
+		in := New(42, rules...)
+		var got []string
+		for _, s := range sequence {
+			if f := in.Decide(s); f != nil {
+				got = append(got, string(f.Site)+":"+string(f.Kind))
+			} else {
+				got = append(got, "-")
+			}
+		}
+		return got, in.Counts()
+	}
+	a, ca := run()
+	b, cb := run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different decisions:\n%v\n%v", a, b)
+	}
+	if !reflect.DeepEqual(ca, cb) {
+		t.Errorf("same seed, different counts: %v vs %v", ca, cb)
+	}
+	var n int64
+	for _, v := range ca {
+		n += v
+	}
+	in := New(42, rules...)
+	for _, s := range sequence {
+		in.Decide(s)
+	}
+	if in.Total() != n {
+		t.Errorf("Total %d != summed counts %d", in.Total(), n)
+	}
+}
+
+// TestRuleGating pins After and Count: a Prob-1 rule fires exactly
+// Count times, starting after the After'th operation.
+func TestRuleGating(t *testing.T) {
+	in := New(1, Rule{Site: FSWrite, Kind: Err, Prob: 1, After: 2, Count: 2})
+	var fired []int
+	for i := 1; i <= 8; i++ {
+		if in.Decide(FSWrite) != nil {
+			fired = append(fired, i)
+		}
+	}
+	if !reflect.DeepEqual(fired, []int{3, 4}) {
+		t.Errorf("fired at ops %v, want [3 4]", fired)
+	}
+}
+
+// TestNilInjectorNeverInjects pins that a nil injector is a working
+// no-op everywhere.
+func TestNilInjectorNeverInjects(t *testing.T) {
+	var in *Injector
+	if in.Decide(FSWrite) != nil {
+		t.Error("nil injector injected")
+	}
+	if in.Total() != 0 || len(in.Counts()) != 0 {
+		t.Error("nil injector counted")
+	}
+	r := WrapReader(strings.NewReader("hello"), in, TraceRead)
+	got, err := io.ReadAll(r)
+	if err != nil || string(got) != "hello" {
+		t.Errorf("nil-injector reader: %q, %v", got, err)
+	}
+	select {
+	case <-in.Released():
+	default:
+		t.Error("nil injector's Released() should be closed")
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	rules, err := ParsePlan("fs_write:error:0.05, exec:slow:0.1, http:reset:1:2:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Site: FSWrite, Kind: Err, Prob: 0.05},
+		{Site: Exec, Kind: Slow, Prob: 0.1},
+		{Site: HTTP, Kind: Reset, Prob: 1, Count: 2, After: 3},
+	}
+	if !reflect.DeepEqual(rules, want) {
+		t.Errorf("ParsePlan = %+v, want %+v", rules, want)
+	}
+	for _, bad := range []string{"", "fs_write:error", "nosite:error:1",
+		"fs_write:nokind:1", "fs_write:error:2", "fs_write:error:1:x", "fs_write:error:1:1:-2"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestReaderKinds(t *testing.T) {
+	data := bytes.Repeat([]byte("abcdefgh"), 64)
+
+	t.Run("error", func(t *testing.T) {
+		in := New(7, Rule{Site: TraceRead, Kind: Err, Prob: 1})
+		_, err := io.ReadAll(WrapReader(bytes.NewReader(data), in, TraceRead))
+		if !IsInjected(err) {
+			t.Errorf("want injected error, got %v", err)
+		}
+	})
+	t.Run("corrupt", func(t *testing.T) {
+		in := New(7, Rule{Site: TraceRead, Kind: Corrupt, Prob: 1, Count: 1})
+		got, err := io.ReadAll(WrapReader(bytes.NewReader(data), in, TraceRead))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(data) {
+			t.Fatalf("length changed: %d != %d", len(got), len(data))
+		}
+		diff := 0
+		for i := range got {
+			if got[i] != data[i] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Errorf("%d corrupted bytes, want exactly 1", diff)
+		}
+	})
+	t.Run("truncate", func(t *testing.T) {
+		in := New(7, Rule{Site: TraceRead, Kind: Truncate, Prob: 1})
+		got, err := io.ReadAll(WrapReader(bytes.NewReader(data), in, TraceRead))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) >= len(data) || len(got) == 0 {
+			t.Errorf("truncated read returned %d of %d bytes", len(got), len(data))
+		}
+	})
+}
+
+func TestFaultyFS(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.json")
+	data := []byte(`{"payload":"0123456789abcdef"}`)
+
+	t.Run("short write is torn", func(t *testing.T) {
+		f := NewFaulty(OS{}, New(3, Rule{Site: FSWrite, Kind: Short, Prob: 1, Count: 1}))
+		err := f.WriteFile(path, data, 0o644)
+		if !IsInjected(err) {
+			t.Fatalf("want injected error, got %v", err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(data)/2 {
+			t.Errorf("torn write left %d bytes, want %d", len(got), len(data)/2)
+		}
+		// The rule is exhausted: the next write goes through whole.
+		if err := f.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := f.ReadFile(path); !bytes.Equal(got, data) {
+			t.Error("post-fault write did not land")
+		}
+	})
+
+	t.Run("crash kills everything after", func(t *testing.T) {
+		f := NewFaulty(OS{}, New(3, Rule{Site: FSRename, Kind: Crash, Prob: 1}))
+		if err := f.WriteFile(path+".tmp", data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Rename(path+".tmp", path+".2"); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("rename: %v, want ErrCrashed", err)
+		}
+		if !f.Crashed() {
+			t.Error("filesystem not marked crashed")
+		}
+		if _, err := f.ReadFile(path); !errors.Is(err, ErrCrashed) {
+			t.Errorf("post-crash read: %v, want ErrCrashed", err)
+		}
+		if err := f.WriteFile(path, data, 0o644); !errors.Is(err, ErrCrashed) {
+			t.Errorf("post-crash write: %v, want ErrCrashed", err)
+		}
+		// The atomic rename never landed.
+		if _, err := os.Stat(path + ".2"); !os.IsNotExist(err) {
+			t.Error("crashed rename landed")
+		}
+	})
+
+	t.Run("read corruption flips one bit", func(t *testing.T) {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		f := NewFaulty(OS{}, New(9, Rule{Site: FSRead, Kind: Corrupt, Prob: 1, Count: 1}))
+		got, err := f.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(got, data) {
+			t.Error("corrupt read returned clean bytes")
+		}
+		// The on-disk file is untouched; only the read path lied.
+		if disk, _ := os.ReadFile(path); !bytes.Equal(disk, data) {
+			t.Error("read-side corruption damaged the file")
+		}
+	})
+}
+
+// TestCrashFSModes pins the kill-point semantics for each mode.
+func TestCrashFSModes(t *testing.T) {
+	data := []byte(`{"payload":"0123456789abcdef"}`)
+	for _, tc := range []struct {
+		mode      CrashMode
+		wantBytes int
+	}{
+		{CrashBefore, -1},             // file never appears
+		{CrashPartial, len(data) / 2}, // torn prefix
+		{CrashAfter, len(data)},       // fully landed, caller still sees the crash
+	} {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "x.json")
+		c := &CrashFS{Base: OS{}, CrashOp: 1, Mode: tc.mode}
+		if err := c.WriteFile(path, data, 0o644); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("mode %d: %v, want ErrCrashed", tc.mode, err)
+		}
+		got, err := os.ReadFile(path)
+		if tc.wantBytes < 0 {
+			if !os.IsNotExist(err) {
+				t.Errorf("mode %d: file exists with %d bytes", tc.mode, len(got))
+			}
+		} else if len(got) != tc.wantBytes {
+			t.Errorf("mode %d: %d bytes on disk, want %d", tc.mode, len(got), tc.wantBytes)
+		}
+		// Everything after the kill point is dead.
+		if _, err := c.ReadFile(path); !errors.Is(err, ErrCrashed) {
+			t.Errorf("mode %d: post-crash read alive: %v", tc.mode, err)
+		}
+	}
+}
+
+// TestCrashFSOpCounting pins that a CrashOp-0 pass counts operations
+// without crashing — the matrix's sizing pass.
+func TestCrashFSOpCounting(t *testing.T) {
+	dir := t.TempDir()
+	c := &CrashFS{Base: OS{}}
+	path := filepath.Join(dir, "y")
+	if err := c.WriteFile(path, []byte("a"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SyncFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename(path, path+"2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadFile(path + "2"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Ops() != 4 {
+		t.Errorf("Ops = %d, want 4", c.Ops())
+	}
+}
+
+func TestRoundTripper(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	t.Run("reset", func(t *testing.T) {
+		hc := &http.Client{Transport: &RoundTripper{In: New(5, Rule{Site: HTTP, Kind: Reset, Prob: 1, Count: 1})}}
+		if _, err := hc.Post(srv.URL, "text/plain", strings.NewReader("x")); err == nil {
+			t.Fatal("injected reset did not fail the request")
+		}
+		resp, err := hc.Get(srv.URL) // rule exhausted
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	})
+	t.Run("unavail", func(t *testing.T) {
+		hc := &http.Client{Transport: &RoundTripper{In: New(5, Rule{Site: HTTP, Kind: Unavail, Prob: 1, Count: 1})}}
+		resp, err := hc.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("status %d, want 503", resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Error("injected 503 missing Retry-After")
+		}
+	})
+	t.Run("latency", func(t *testing.T) {
+		hc := &http.Client{Transport: &RoundTripper{In: New(5,
+			Rule{Site: HTTP, Kind: Latency, Prob: 1, Count: 1, Delay: 30 * time.Millisecond})}}
+		start := time.Now()
+		resp, err := hc.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if d := time.Since(start); d < 30*time.Millisecond {
+			t.Errorf("latency fault took only %s", d)
+		}
+	})
+}

@@ -1,0 +1,329 @@
+package fault
+
+import (
+	"os"
+	"sync"
+)
+
+// FS is the filesystem boundary the serve spool writes through. It is
+// deliberately whole-file (the spool only ever reads and atomically
+// replaces small JSON documents), which makes partial-failure semantics
+// easy to state: WriteFile either lands data, a prefix of it (torn), or
+// nothing.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]os.DirEntry, error)
+	// SyncFile fsyncs a written file, SyncDir its directory — the two
+	// barriers that make tmp+rename durable across a power cut.
+	SyncFile(name string) error
+	SyncDir(name string) error
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (OS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+func (OS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error                   { return os.Remove(name) }
+func (OS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (OS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+func (OS) SyncFile(name string) error                 { return syncPath(name) }
+func (OS) SyncDir(name string) error                  { return syncPath(name) }
+
+func syncPath(name string) error {
+	f, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// Faulty wraps a base filesystem with injection at the FS* sites:
+// failed and short (torn) writes, failed rename/remove/fsync, read
+// errors, bit flips and truncation on read, and a whole-filesystem
+// crash. Decisions come from the injector; a nil injector passes
+// everything through.
+type Faulty struct {
+	Base FS
+	In   *Injector
+
+	mu      sync.Mutex
+	crashed bool
+}
+
+// NewFaulty wraps base with injection.
+func NewFaulty(base FS, in *Injector) *Faulty { return &Faulty{Base: base, In: in} }
+
+// Crashed reports whether an injected crash has killed the filesystem.
+func (f *Faulty) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// check runs the common per-op protocol: dead after a crash, then one
+// injection decision.
+func (f *Faulty) check(site Site, op string) (*Fault, error) {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return nil, ErrCrashed
+	}
+	fa := f.In.Decide(site)
+	if fa != nil && fa.Kind == Crash {
+		f.mu.Lock()
+		f.crashed = true
+		f.mu.Unlock()
+	}
+	return fa, nil
+}
+
+func (f *Faulty) MkdirAll(path string, perm os.FileMode) error {
+	fa, err := f.check(FSWrite, "mkdir "+path)
+	if err != nil {
+		return err
+	}
+	if fa != nil {
+		switch fa.Kind {
+		case Crash:
+			return ErrCrashed
+		default:
+			return &Error{Site: FSWrite, Kind: fa.Kind, Op: "mkdir " + path}
+		}
+	}
+	return f.Base.MkdirAll(path, perm)
+}
+
+func (f *Faulty) WriteFile(name string, data []byte, perm os.FileMode) error {
+	fa, err := f.check(FSWrite, name)
+	if err != nil {
+		return err
+	}
+	if fa == nil {
+		return f.Base.WriteFile(name, data, perm)
+	}
+	switch fa.Kind {
+	case Short:
+		_ = f.Base.WriteFile(name, data[:len(data)/2], perm)
+		return &Error{Site: FSWrite, Kind: Short, Op: name}
+	case Crash:
+		// A kill mid-write leaves a torn prefix behind.
+		_ = f.Base.WriteFile(name, data[:len(data)/2], perm)
+		return ErrCrashed
+	default:
+		return &Error{Site: FSWrite, Kind: fa.Kind, Op: name}
+	}
+}
+
+func (f *Faulty) Rename(oldpath, newpath string) error {
+	fa, err := f.check(FSRename, newpath)
+	if err != nil {
+		return err
+	}
+	if fa != nil {
+		if fa.Kind == Crash {
+			return ErrCrashed // rename is atomic: a crash means it never landed
+		}
+		return &Error{Site: FSRename, Kind: fa.Kind, Op: newpath}
+	}
+	return f.Base.Rename(oldpath, newpath)
+}
+
+func (f *Faulty) Remove(name string) error {
+	fa, err := f.check(FSRemove, name)
+	if err != nil {
+		return err
+	}
+	if fa != nil {
+		if fa.Kind == Crash {
+			return ErrCrashed
+		}
+		return &Error{Site: FSRemove, Kind: fa.Kind, Op: name}
+	}
+	return f.Base.Remove(name)
+}
+
+func (f *Faulty) ReadFile(name string) ([]byte, error) {
+	fa, err := f.check(FSRead, name)
+	if err != nil {
+		return nil, err
+	}
+	if fa == nil {
+		return f.Base.ReadFile(name)
+	}
+	switch fa.Kind {
+	case Corrupt:
+		data, err := f.Base.ReadFile(name)
+		if err != nil || len(data) == 0 {
+			return data, err
+		}
+		data = append([]byte(nil), data...)
+		bit := f.In.Intn(len(data) * 8)
+		data[bit/8] ^= 1 << (bit % 8)
+		return data, nil
+	case Truncate:
+		data, err := f.Base.ReadFile(name)
+		if err != nil || len(data) == 0 {
+			return data, err
+		}
+		return append([]byte(nil), data[:len(data)/2]...), nil
+	case Crash:
+		return nil, ErrCrashed
+	default:
+		return nil, &Error{Site: FSRead, Kind: fa.Kind, Op: name}
+	}
+}
+
+func (f *Faulty) ReadDir(name string) ([]os.DirEntry, error) {
+	fa, err := f.check(FSRead, name)
+	if err != nil {
+		return nil, err
+	}
+	if fa != nil {
+		if fa.Kind == Crash {
+			return nil, ErrCrashed
+		}
+		return nil, &Error{Site: FSRead, Kind: fa.Kind, Op: name}
+	}
+	return f.Base.ReadDir(name)
+}
+
+func (f *Faulty) SyncFile(name string) error { return f.sync(name) }
+func (f *Faulty) SyncDir(name string) error  { return f.sync(name) }
+
+func (f *Faulty) sync(name string) error {
+	fa, err := f.check(FSSync, name)
+	if err != nil {
+		return err
+	}
+	if fa != nil {
+		if fa.Kind == Crash {
+			return ErrCrashed
+		}
+		return &Error{Site: FSSync, Kind: fa.Kind, Op: name}
+	}
+	return f.Base.SyncFile(name)
+}
+
+// CrashMode says how the operation at a CrashFS kill point applies.
+type CrashMode int
+
+const (
+	// CrashBefore kills the process before the operation touches disk.
+	CrashBefore CrashMode = iota
+	// CrashPartial half-applies a mutating operation: a torn prefix for
+	// WriteFile; renames and removes (atomic in the model) do not land.
+	CrashPartial
+	// CrashAfter applies the operation fully, then kills the process —
+	// the caller still sees the crash, as a killed process would.
+	CrashAfter
+)
+
+// CrashFS crashes at exactly one filesystem operation, for the
+// kill-point matrix: run once with CrashOp 0 to count operations, then
+// once per (operation, mode) pair. After the kill point every call
+// returns ErrCrashed, like a dead process's spool.
+type CrashFS struct {
+	Base    FS
+	CrashOp int // 1-based operation index to crash at; 0 never crashes
+	Mode    CrashMode
+
+	mu      sync.Mutex
+	n       int
+	crashed bool
+}
+
+// Ops returns how many operations have been observed.
+func (c *CrashFS) Ops() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// step advances the op counter and reports whether this operation is
+// the kill point (and whether the FS was already dead).
+func (c *CrashFS) step() (kill bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return false, ErrCrashed
+	}
+	c.n++
+	if c.CrashOp > 0 && c.n == c.CrashOp {
+		c.crashed = true
+		return true, nil
+	}
+	return false, nil
+}
+
+// mutate applies one mutating operation under the crash protocol:
+// partial is the half-applied form (nil = does not land at all).
+func (c *CrashFS) mutate(full func() error, partial func() error) error {
+	kill, err := c.step()
+	if err != nil {
+		return err
+	}
+	if !kill {
+		return full()
+	}
+	switch c.Mode {
+	case CrashPartial:
+		if partial != nil {
+			_ = partial()
+		}
+	case CrashAfter:
+		_ = full()
+	}
+	return ErrCrashed
+}
+
+func (c *CrashFS) MkdirAll(path string, perm os.FileMode) error {
+	return c.mutate(func() error { return c.Base.MkdirAll(path, perm) },
+		func() error { return c.Base.MkdirAll(path, perm) })
+}
+
+func (c *CrashFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return c.mutate(func() error { return c.Base.WriteFile(name, data, perm) },
+		func() error { return c.Base.WriteFile(name, data[:len(data)/2], perm) })
+}
+
+func (c *CrashFS) Rename(oldpath, newpath string) error {
+	return c.mutate(func() error { return c.Base.Rename(oldpath, newpath) }, nil)
+}
+
+func (c *CrashFS) Remove(name string) error {
+	return c.mutate(func() error { return c.Base.Remove(name) }, nil)
+}
+
+func (c *CrashFS) ReadFile(name string) ([]byte, error) {
+	kill, err := c.step()
+	if err != nil || kill {
+		return nil, ErrCrashed
+	}
+	return c.Base.ReadFile(name)
+}
+
+func (c *CrashFS) ReadDir(name string) ([]os.DirEntry, error) {
+	kill, err := c.step()
+	if err != nil || kill {
+		return nil, ErrCrashed
+	}
+	return c.Base.ReadDir(name)
+}
+
+func (c *CrashFS) SyncFile(name string) error {
+	return c.mutate(func() error { return c.Base.SyncFile(name) }, nil)
+}
+
+func (c *CrashFS) SyncDir(name string) error {
+	return c.mutate(func() error { return c.Base.SyncDir(name) }, nil)
+}

@@ -1,0 +1,63 @@
+package fault
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// RoundTripper injects transport failures in front of a base
+// http.RoundTripper: connection resets (typed *Error, a net.Error),
+// synthesized 503s carrying Retry-After, and latency spikes. It is how
+// the gpuchard client's retry path is exercised without a flaky server.
+type RoundTripper struct {
+	Base http.RoundTripper // nil means http.DefaultTransport
+	In   *Injector
+}
+
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := rt.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	f := rt.In.Decide(HTTP)
+	if f == nil {
+		return base.RoundTrip(req)
+	}
+	switch f.Kind {
+	case Reset:
+		drain(req)
+		return nil, &Error{Site: HTTP, Kind: Reset, Op: req.Method + " " + req.URL.Path}
+	case Unavail:
+		drain(req)
+		return &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  http.Header{"Retry-After": {"1"}},
+			Body:    io.NopCloser(strings.NewReader(`{"error":"injected fault: unavailable"}`)),
+			Request: req,
+		}, nil
+	case Latency:
+		select {
+		case <-time.After(f.Delay):
+		case <-req.Context().Done():
+			drain(req)
+			return nil, req.Context().Err()
+		}
+		return base.RoundTrip(req)
+	default:
+		drain(req)
+		return nil, &Error{Site: HTTP, Kind: f.Kind, Op: req.Method + " " + req.URL.Path}
+	}
+}
+
+// drain consumes and closes the request body, as the RoundTripper
+// contract requires when a request is not sent.
+func drain(req *http.Request) {
+	if req.Body != nil {
+		_, _ = io.Copy(io.Discard, req.Body)
+		_ = req.Body.Close()
+	}
+}

@@ -1,0 +1,52 @@
+package fault
+
+import "io"
+
+// WrapReader threads read-side injection into a byte stream: EIO-style
+// errors, single-bit flips and truncation, decided per Read call at the
+// given site. With a nil injector the stream is returned untouched, so
+// production paths wrap unconditionally.
+func WrapReader(r io.Reader, in *Injector, site Site) io.Reader {
+	if in == nil {
+		return r
+	}
+	return &reader{r: r, in: in, site: site}
+}
+
+type reader struct {
+	r    io.Reader
+	in   *Injector
+	site Site
+	eof  bool // a truncation fault ends the stream early
+}
+
+func (fr *reader) Read(p []byte) (int, error) {
+	if fr.eof {
+		return 0, io.EOF
+	}
+	f := fr.in.Decide(fr.site)
+	if f == nil {
+		return fr.r.Read(p)
+	}
+	switch f.Kind {
+	case Corrupt:
+		n, err := fr.r.Read(p)
+		if n > 0 {
+			bit := fr.in.Intn(n * 8)
+			p[bit/8] ^= 1 << (bit % 8)
+		}
+		return n, err
+	case Truncate:
+		n, err := fr.r.Read(p)
+		if n > 1 {
+			n /= 2
+		}
+		fr.eof = true
+		if err != nil && err != io.EOF {
+			return n, err
+		}
+		return n, nil
+	default:
+		return 0, &Error{Site: fr.site, Kind: f.Kind, Op: "read"}
+	}
+}

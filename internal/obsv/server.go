@@ -38,6 +38,10 @@ type ServerSources struct {
 	// hangs its /jobs API next to /metrics and /progress. It must not
 	// claim the built-in paths (the mux panics on duplicates).
 	Mount func(mux *http.ServeMux)
+	// Health, when non-nil, drives /healthz: (false, detail) turns the
+	// probe into a 503 so orchestrators stop routing to a degraded
+	// daemon. Nil keeps the always-ok behavior.
+	Health func() (ok bool, detail string)
 }
 
 // Server is a running observability server. Create with StartServer,
@@ -58,6 +62,13 @@ func StartServer(addr string, src ServerSources) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if src.Health != nil {
+			if ok, detail := src.Health(); !ok {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintln(w, detail)
+				return
+			}
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -88,8 +99,16 @@ func StartServer(addr string, src ServerSources) (*Server, error) {
 
 	s := &Server{
 		Addr: ln.Addr().String(),
-		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
-		ln:   ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+			// Reap idle keep-alive connections so a scrape-happy client
+			// population cannot pin file descriptors forever. No blanket
+			// ReadTimeout/WriteTimeout: the /jobs long-poll and big trace
+			// uploads manage their own deadlines.
+			IdleTimeout: 2 * time.Minute,
+		},
+		ln: ln,
 	}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -207,5 +208,37 @@ func TestServerGracefulShutdown(t *testing.T) {
 	}
 	if err := <-shutdownErr; err != nil {
 		t.Errorf("Shutdown: %v", err)
+	}
+}
+
+// TestHealthzReflectsDegradedState pins the Health source: /healthz
+// turns 503 with the detail line while the daemon reports itself
+// unhealthy, and recovers to 200 ok.
+func TestHealthzReflectsDegradedState(t *testing.T) {
+	var degraded int32
+	srv, err := StartServer("127.0.0.1:0", ServerSources{
+		Health: func() (bool, string) {
+			if atomic.LoadInt32(&degraded) == 1 {
+				return false, "degraded: spool on fire"
+			}
+			return true, "ok"
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if code, body := get(t, srv, "/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("healthy /healthz = %d %q", code, body)
+	}
+	atomic.StoreInt32(&degraded, 1)
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "spool on fire") {
+		t.Errorf("degraded /healthz = %d %q; want 503 with detail", code, body)
+	}
+	atomic.StoreInt32(&degraded, 0)
+	if code, _ := get(t, srv, "/healthz"); code != http.StatusOK {
+		t.Errorf("recovered /healthz = %d; want 200", code)
 	}
 }

@@ -3,10 +3,6 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
-	"fmt"
-	"os"
-	"path/filepath"
-	"strings"
 
 	"gpuchar/internal/core"
 	"gpuchar/internal/gfxapi"
@@ -15,24 +11,21 @@ import (
 	"gpuchar/internal/workloads"
 )
 
-// Spool file layout, one trio per job under Config.SpoolDir:
-//
-//	<id>.job.json     the submitted spec (pending-job discovery)
-//	<id>.ckpt.json    the latest checkpoint (removed on completion)
-//	<id>.result.json  the finished metrics document
-//
-// All writes go through atomicWrite (tmp + rename), so a kill at any
-// instant leaves either the previous file or the new one, never a
-// torn read.
-
-// Schema tags pin the wire formats so a future layout change fails
-// loudly instead of resuming from a misread file.
+// Schema tags pin the spool wire formats so a future layout change
+// fails loudly instead of resuming from a misread file. The v1.1
+// envelopes (see spool.go) add a SHA-256 over the body — torn, stale or
+// bit-rotted files are detected and quarantined on load. Bare v1
+// bodies, written before the checksum existed, are still readable.
 const (
-	CheckpointSchema = "gpuchar/checkpoint/v1"
-	JobFileSchema    = "gpuchar/job/v1"
+	CheckpointSchema     = "gpuchar/checkpoint/v1.1"
+	checkpointBodySchema = "gpuchar/checkpoint/v1"
+	JobFileSchema        = "gpuchar/job/v1.1"
+	jobBodySchema        = "gpuchar/job/v1"
+	ResultFileSchema     = "gpuchar/result/v1.1"
+	resultBodySchema     = metrics.SchemaID // legacy bare result documents
 )
 
-// jobFile is the persisted submission record.
+// jobFile is the persisted submission record (the envelope body).
 type jobFile struct {
 	Schema string  `json:"schema"`
 	ID     string  `json:"id"`
@@ -66,7 +59,7 @@ type curCheckpoint struct {
 
 func newCheckpoint(jobID, key string) *checkpointFile {
 	return &checkpointFile{
-		Schema: CheckpointSchema, JobID: jobID, Key: key,
+		Schema: checkpointBodySchema, JobID: jobID, Key: key,
 		API: map[string]json.RawMessage{}, Sim: map[string]json.RawMessage{},
 	}
 }
@@ -120,152 +113,4 @@ func decodeSimFrames(raw json.RawMessage) ([]gpu.FrameStats, error) {
 		frames[i] = gpu.FrameStatsFromSnapshot(s)
 	}
 	return frames, nil
-}
-
-// atomicWrite lands data at path via a temp file and rename, so
-// concurrent readers and kills see whole files only.
-func atomicWrite(path string, data []byte) error {
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return nil
-}
-
-// spool path helpers. An empty dir (no spool configured) yields "".
-func jobPath(dir, id string) string {
-	if dir == "" {
-		return ""
-	}
-	return filepath.Join(dir, id+".job.json")
-}
-func ckptPath(dir, id string) string {
-	if dir == "" {
-		return ""
-	}
-	return filepath.Join(dir, id+".ckpt.json")
-}
-func resultPath(dir, id string) string {
-	if dir == "" {
-		return ""
-	}
-	return filepath.Join(dir, id+".result.json")
-}
-
-// writeCheckpoint persists ck for job id; a no-op without a spool.
-func writeCheckpoint(dir string, ck *checkpointFile) error {
-	path := ckptPath(dir, ck.JobID)
-	if path == "" {
-		return nil
-	}
-	doc, err := json.Marshal(ck)
-	if err != nil {
-		return err
-	}
-	return atomicWrite(path, doc)
-}
-
-// loadCheckpoint reads a job's checkpoint. Missing file, wrong schema
-// or a key mismatch all come back as (nil, nil): the job then simply
-// starts over. Only I/O-level surprises are errors.
-func loadCheckpoint(dir, id, key string) (*checkpointFile, error) {
-	path := ckptPath(dir, id)
-	if path == "" {
-		return nil, nil
-	}
-	doc, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return nil, nil
-	}
-	if err != nil {
-		return nil, err
-	}
-	var ck checkpointFile
-	if err := json.Unmarshal(doc, &ck); err != nil || ck.Schema != CheckpointSchema || ck.Key != key {
-		// A torn or foreign checkpoint is worth a restart, not a dead job.
-		return nil, nil
-	}
-	if ck.API == nil {
-		ck.API = map[string]json.RawMessage{}
-	}
-	if ck.Sim == nil {
-		ck.Sim = map[string]json.RawMessage{}
-	}
-	return &ck, nil
-}
-
-// writeJobFile persists a submission record.
-func writeJobFile(dir string, j *Job) error {
-	path := jobPath(dir, j.ID)
-	if path == "" {
-		return nil
-	}
-	doc, err := json.Marshal(jobFile{Schema: JobFileSchema, ID: j.ID, Spec: j.Spec})
-	if err != nil {
-		return err
-	}
-	return atomicWrite(path, doc)
-}
-
-// removeJobFiles deletes every spool file of a job (cancel / delete).
-func removeJobFiles(dir, id string) {
-	if dir == "" {
-		return
-	}
-	os.Remove(jobPath(dir, id))
-	os.Remove(ckptPath(dir, id))
-	os.Remove(resultPath(dir, id))
-}
-
-// scanSpool rediscovers jobs from a spool directory: finished jobs come
-// back done with their results, unfinished ones pending (their
-// checkpoints picked up when a worker claims them). Malformed files are
-// reported but do not block the scan.
-func scanSpool(dir string) (jobs []*Job, malformed []string, err error) {
-	ents, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, nil, fmt.Errorf("serve: spool %s: %w", dir, err)
-	}
-	for _, ent := range ents {
-		name := ent.Name()
-		if !strings.HasSuffix(name, ".job.json") {
-			continue
-		}
-		doc, err := os.ReadFile(filepath.Join(dir, name))
-		if err != nil {
-			malformed = append(malformed, name)
-			continue
-		}
-		var jf jobFile
-		if err := json.Unmarshal(doc, &jf); err != nil || jf.Schema != JobFileSchema ||
-			jf.ID == "" || jf.ID != strings.TrimSuffix(name, ".job.json") {
-			malformed = append(malformed, name)
-			continue
-		}
-		spec := jf.Spec.normalized()
-		if err := spec.validate(); err != nil {
-			malformed = append(malformed, name)
-			continue
-		}
-		j := &Job{
-			ID:          jf.ID,
-			Spec:        spec,
-			key:         spec.key(),
-			state:       StateQueued,
-			framesTotal: spec.framesTotal(),
-			done:        make(chan struct{}),
-		}
-		if res, err := os.ReadFile(resultPath(dir, jf.ID)); err == nil {
-			j.state = StateDone
-			j.result = res
-			j.framesDone = j.framesTotal
-			close(j.done)
-		}
-		jobs = append(jobs, j)
-	}
-	return jobs, malformed, nil
 }

@@ -15,6 +15,11 @@ import (
 // rejected before buffering (413).
 const maxUploadBytes = 256 << 20
 
+// uploadReadTimeout bounds how long a submission may dribble its body
+// in — a slowloris client holds a connection, never a worker. Long-poll
+// GETs are unaffected (the deadline is set only on the upload path).
+const uploadReadTimeout = 2 * time.Minute
+
 // Mount registers the job API on a mux, alongside whatever else it
 // serves (the obsv endpoints, in the daemon):
 //
@@ -42,13 +47,22 @@ func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes+1))
+	// Body read hardening: a hard size cap (MaxBytesReader poisons the
+	// connection past it, instead of LimitReader silently truncating)
+	// plus a read deadline so a stalled upload cannot hold the slot
+	// open indefinitely. The deadline is cleared once the body is in so
+	// it never bleeds into response writing.
+	rc := http.NewResponseController(w)
+	_ = rc.SetReadDeadline(time.Now().Add(uploadReadTimeout))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+	_ = rc.SetReadDeadline(time.Time{})
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", maxUploadBytes)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "read body: %v", err)
-		return
-	}
-	if len(body) > maxUploadBytes {
-		httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", maxUploadBytes)
 		return
 	}
 	var spec JobSpec
@@ -70,8 +84,14 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, view)
 	case errors.Is(err, ErrQueueFull):
+		// Backpressure: the queue is full but the service is healthy.
 		w.Header().Set("Retry-After", strconv.Itoa(int(RetryAfter/time.Second)))
 		httpError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrDegraded):
+		// Load shedding: the service itself is unhealthy (spool I/O
+		// failing) — 503, distinct from mere queue pressure.
+		w.Header().Set("Retry-After", strconv.Itoa(int(RetryAfter/time.Second)))
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
 	case errors.Is(err, ErrShutdown):
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 	default:

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"gpuchar/internal/fault"
 	"gpuchar/internal/geom"
 	"gpuchar/internal/gfxapi"
 	"gpuchar/internal/gmath"
@@ -30,6 +31,7 @@ func startDaemon(t *testing.T, cfg Config) (*Service, string) {
 	srv, err := obsv.StartServer("127.0.0.1:0", obsv.ServerSources{
 		Snapshots: s.MetricsSnapshots,
 		Mount:     s.Mount,
+		Health:    s.Health,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -306,5 +308,40 @@ func TestHTTPTraceUpload(t *testing.T) {
 	resp2.Body.Close()
 	if resp2.StatusCode != http.StatusBadRequest {
 		t.Errorf("corrupt trace: HTTP %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestHTTPDegradedSheds503 pins the load-shedding surface: while the
+// spool is failing, POST /jobs answers 503 + Retry-After (distinct from
+// the 429 a merely full queue produces) and /healthz flips to 503; both
+// recover once the cooldown passes.
+func TestHTTPDegradedSheds503(t *testing.T) {
+	inj := fault.New(7,
+		fault.Rule{Site: fault.FSWrite, Kind: fault.Err, Prob: 1, After: 1, Count: 2},
+		fault.Rule{Site: fault.Exec, Kind: fault.Slow, Prob: 1, Count: 100, Delay: time.Hour})
+	defer inj.Close()
+	_, base := startDaemon(t, Config{
+		Workers: 1, SpoolDir: t.TempDir(),
+		FS:            fault.NewFaulty(fault.OS{}, inj),
+		Inject:        inj,
+		DegradedAfter: 2, DegradedFor: 30 * time.Second,
+	})
+
+	spec := JobSpec{Experiments: []string{"table3"}, APIFrames: 4}
+	for i := 0; i < 2; i++ {
+		resp, _ := postSpec(t, base, JobSpec{Experiments: spec.Experiments, APIFrames: 4 + i})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("priming POST %d: HTTP %d", i, resp.StatusCode)
+		}
+	}
+	resp, _ := postSpec(t, base, JobSpec{Experiments: []string{"fig1"}, APIFrames: 4})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded POST: HTTP %d; want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("503 without a useful Retry-After (%q)", ra)
+	}
+	if code := getJSON(t, base+"/healthz", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("/healthz while degraded = HTTP %d; want 503", code)
 	}
 }

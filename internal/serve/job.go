@@ -110,9 +110,9 @@ func (s *JobSpec) validate() error {
 // normalized spec with the trace bytes replaced by their digest, plus
 // the code version.
 type keySpec struct {
-	Spec      JobSpec `json:"spec"`
-	TraceSHA  string  `json:"trace_sha,omitempty"`
-	CodeVer   string  `json:"code_version"`
+	Spec     JobSpec `json:"spec"`
+	TraceSHA string  `json:"trace_sha,omitempty"`
+	CodeVer  string  `json:"code_version"`
 }
 
 // key returns the content address of a normalized spec's result.
@@ -167,6 +167,7 @@ type Job struct {
 	key            string
 	state          State
 	err            string
+	errClass       string
 	result         []byte
 	cacheHit       bool
 	framesDone     int
@@ -184,10 +185,14 @@ type Job struct {
 // JobView is the externally visible state of a job — what GET /jobs/id
 // returns.
 type JobView struct {
-	ID       string `json:"id"`
-	State    State  `json:"state"`
-	Error    string `json:"error,omitempty"`
-	CacheHit bool   `json:"cache_hit,omitempty"`
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	Error string `json:"error,omitempty"`
+	// ErrorClass buckets a failure (hung, panic, injected, timeout,
+	// canceled, internal) so clients and chaos suites can branch on the
+	// kind without parsing message text.
+	ErrorClass string `json:"error_class,omitempty"`
+	CacheHit   bool   `json:"cache_hit,omitempty"`
 	// Frame progress: restored counts frames spliced in from a
 	// checkpoint rather than rendered.
 	FramesDone     int `json:"frames_done"`
@@ -203,6 +208,7 @@ func (j *Job) view() JobView {
 		ID:             j.ID,
 		State:          j.state,
 		Error:          j.err,
+		ErrorClass:     j.errClass,
 		CacheHit:       j.cacheHit,
 		FramesDone:     j.framesDone,
 		FramesTotal:    j.framesTotal,

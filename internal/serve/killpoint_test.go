@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"gpuchar/internal/fault"
+)
+
+// killSpec is the workload the crash matrix runs: small enough that a
+// full lifecycle is tens of milliseconds, with CheckpointEvery 1 so the
+// spool sees the densest possible write schedule.
+var killSpec = JobSpec{Experiments: []string{"table3"}, APIFrames: 4}
+
+func killConfig(dir string, fsys fault.FS) Config {
+	return Config{
+		Workers:         1,
+		SpoolDir:        dir,
+		CheckpointEvery: 1,
+		FS:              fsys,
+	}
+}
+
+// runLifecycle drives one submit-to-shutdown pass over the given
+// filesystem, tolerating failures at every step (that is the point).
+func runLifecycle(t *testing.T, dir string, fsys fault.FS) {
+	t.Helper()
+	s, err := Open(killConfig(dir, fsys))
+	if err != nil {
+		return // crashed during Open: the restart must cope with the dir as-is
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	v, err := s.Submit(killSpec)
+	if err != nil {
+		return
+	}
+	done, err := s.Done(v.ID)
+	if err != nil {
+		return
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Minute):
+		t.Fatalf("lifecycle job %s wedged", v.ID)
+	}
+}
+
+// verifyRecovery restarts on the real filesystem and demands the one
+// safety property: whatever the crash left behind, the service comes
+// up, never serves a wrong byte, and still completes the workload.
+func verifyRecovery(t *testing.T, dir string, want []byte) {
+	t.Helper()
+	s, err := Open(killConfig(dir, fault.OS{}))
+	if err != nil {
+		t.Fatalf("restart after crash: %v", err)
+	}
+	defer shutdownNow(t, s)
+	// Any job the spool preserved must finish with the exact clean-run
+	// bytes (a done job serves its verified stored result; a pending one
+	// resumes or re-renders).
+	for _, v := range s.Jobs() {
+		final := waitJob(t, s, v.ID)
+		if final.State == StateDone {
+			got, err := s.Result(v.ID)
+			if err != nil || !bytes.Equal(got, want) {
+				t.Fatalf("job %s: restored result differs from clean run (%v)", v.ID, err)
+			}
+		}
+	}
+	// And the service is fully functional: a fresh submission of the
+	// same spec completes byte-identically.
+	v, err := s.Submit(killSpec)
+	if err != nil {
+		t.Fatalf("submit after crash recovery: %v", err)
+	}
+	if final := waitJob(t, s, v.ID); final.State != StateDone {
+		t.Fatalf("job after crash recovery = %+v; want done", final)
+	}
+	got, err := s.Result(v.ID)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("result after crash recovery differs from clean run (%v)", err)
+	}
+}
+
+// TestKillPointMatrix crashes the spool at every filesystem operation
+// of a job lifecycle, in all three crash shapes (before the op, torn
+// mid-op, after the op), and requires a clean-filesystem restart to
+// recover every time. This is the crash-consistency proof for the
+// fsync'd tmp+rename protocol plus checksummed envelopes: a kill at any
+// instant may cost work, never correctness.
+func TestKillPointMatrix(t *testing.T) {
+	want := expectedJSON(t, killSpec)
+
+	// Pass 1: count the operations of a fault-free lifecycle.
+	countDir := t.TempDir()
+	counter := &fault.CrashFS{Base: fault.OS{}}
+	runLifecycle(t, countDir, counter)
+	total := counter.Ops()
+	if total < 10 {
+		t.Fatalf("only %d spool ops in a full lifecycle; the matrix would be vacuous", total)
+	}
+	t.Logf("lifecycle performs %d spool operations", total)
+
+	// Crashing at all ~170 ops × 3 modes takes minutes; by default the
+	// matrix samples kill points evenly across the lifecycle (every op
+	// index class still gets hit: writes, syncs, renames, reads).
+	// GPUCHAR_KILLPOINT_EXHAUSTIVE=1 restores the full sweep for chaos
+	// CI and release qualification.
+	stride := total / 15
+	if testing.Short() {
+		stride = total / 6
+	}
+	if os.Getenv("GPUCHAR_KILLPOINT_EXHAUSTIVE") != "" {
+		stride = 1
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	modes := []struct {
+		name string
+		mode fault.CrashMode
+	}{
+		{"before", fault.CrashBefore},
+		{"partial", fault.CrashPartial},
+		{"after", fault.CrashAfter},
+	}
+	for op := 1; op <= total; op += stride {
+		for _, m := range modes {
+			op, m := op, m
+			t.Run(fmt.Sprintf("op%03d_%s", op, m.name), func(t *testing.T) {
+				dir := t.TempDir()
+				runLifecycle(t, dir, &fault.CrashFS{Base: fault.OS{}, CrashOp: op, Mode: m.mode})
+				verifyRecovery(t, dir, want)
+			})
+		}
+	}
+}

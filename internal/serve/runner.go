@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"gpuchar/internal/core"
+	"gpuchar/internal/fault"
 	"gpuchar/internal/gfxapi"
 	"gpuchar/internal/gpu"
 	"gpuchar/internal/metrics"
@@ -21,16 +22,19 @@ import (
 // cache in the same registry order.
 func (s *Service) runJob(ctx context.Context, j *Job) ([]byte, error) {
 	if len(j.Spec.Trace) > 0 {
-		return runTraceJob(ctx, j.Spec)
+		return s.runTraceJob(ctx, j.Spec)
 	}
 	spec := j.Spec
 	api, micro, err := core.NeededDemos(spec.Experiments)
 	if err != nil {
 		return nil, err
 	}
-	ck, err := loadCheckpoint(s.cfg.SpoolDir, j.ID, j.key)
+	ck, err := s.spool.loadCheckpoint(j.ID, j.key)
 	if err != nil {
-		return nil, err
+		// An unreadable checkpoint never fails the job: start clean. The
+		// read failure still counts toward degraded-mode health.
+		s.noteSpool(err)
+		ck = nil
 	}
 	if ck == nil {
 		ck = newCheckpoint(j.ID, j.key)
@@ -130,9 +134,9 @@ func (s *Service) runAPIDemo(ctx context.Context, j *Job, ck *checkpointFile,
 		if s.cfg.CheckpointEvery > 0 && sinceCkpt >= s.cfg.CheckpointEvery &&
 			c.Gen.FrameIdx < j.Spec.APIFrames {
 			sinceCkpt = 0
-			if err := s.persistCur(ck, name, c); err != nil {
-				return err
-			}
+			// Checkpoints are best effort: a failed write costs resume
+			// coverage, not the render. It feeds degraded-mode health.
+			s.noteSpool(s.persistCur(ck, name, c))
 		}
 		return nil
 	})
@@ -145,9 +149,7 @@ func (s *Service) runAPIDemo(ctx context.Context, j *Job, ck *checkpointFile,
 	}
 	ck.API[name] = raw
 	ck.Cur = nil
-	if err := writeCheckpoint(s.cfg.SpoolDir, ck); err != nil {
-		return err
-	}
+	s.noteSpool(s.spool.writeCheckpoint(ck))
 	cctx.SeedAPI(name, res)
 	return nil
 }
@@ -159,7 +161,7 @@ func (s *Service) persistCur(ck *checkpointFile, demo string, c *core.APICheckpo
 		return err
 	}
 	ck.Cur = &curCheckpoint{Demo: demo, Gen: c.Gen, Frames: raw}
-	return writeCheckpoint(s.cfg.SpoolDir, ck)
+	return s.spool.writeCheckpoint(ck)
 }
 
 // seedSimFromCheckpoint installs a completed simulated render from the
@@ -212,18 +214,20 @@ func (s *Service) runSimDemo(ctx context.Context, j *Job, ck *checkpointFile,
 		return err
 	}
 	ck.Sim[name] = raw
-	if err := writeCheckpoint(s.cfg.SpoolDir, ck); err != nil {
-		return err
-	}
+	s.noteSpool(s.spool.writeCheckpoint(ck))
 	cctx.SeedMicro(name, res)
 	return nil
 }
 
 // runTraceJob replays an uploaded trace against a null backend and
 // exports the API-level statistics. Cancellation threads through the
-// reader, so a huge stream aborts promptly.
-func runTraceJob(ctx context.Context, spec JobSpec) ([]byte, error) {
-	rd, err := trace.NewReader(&ctxReader{ctx: ctx, r: bytes.NewReader(spec.Trace)})
+// reader, so a huge stream aborts promptly; the same reader is the
+// trace_read injection point (bit flips and truncation must surface as
+// the trace package's typed format errors, never a wrong result).
+func (s *Service) runTraceJob(ctx context.Context, spec JobSpec) ([]byte, error) {
+	var src io.Reader = &ctxReader{ctx: ctx, r: bytes.NewReader(spec.Trace)}
+	src = fault.WrapReader(src, s.inj, fault.TraceRead)
+	rd, err := trace.NewReader(src)
 	if err != nil {
 		return nil, err
 	}

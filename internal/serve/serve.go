@@ -4,13 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"os"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"gpuchar/internal/fault"
 	"gpuchar/internal/metrics"
 )
 
@@ -19,10 +20,20 @@ var (
 	// ErrQueueFull means the bounded queue rejected a submission —
 	// backpressure, not failure (HTTP 429 + Retry-After).
 	ErrQueueFull = errors.New("serve: queue full")
+	// ErrDegraded means the service is shedding load because its own
+	// machinery is failing (spool I/O errors), distinct from a merely
+	// full queue (HTTP 503 + Retry-After).
+	ErrDegraded = errors.New("serve: degraded, shedding load")
 	// ErrShutdown means the service no longer accepts work.
 	ErrShutdown = errors.New("serve: shutting down")
 	// ErrNotFound means the job ID is unknown.
 	ErrNotFound = errors.New("serve: no such job")
+	// ErrJobHung marks a job whose worker ignored its deadline and was
+	// reaped by the watchdog.
+	ErrJobHung = errors.New("serve: job hung past its deadline; worker reaped")
+	// ErrWorkerPanic marks a job that panicked mid-run; the panic is
+	// contained to the job, never the daemon.
+	ErrWorkerPanic = errors.New("serve: worker panicked")
 )
 
 // Config sizes a Service. Zero values take the documented defaults.
@@ -46,6 +57,22 @@ type Config struct {
 	CheckpointEvery int
 	// JobTimeout, when positive, bounds each job's wall-clock run time.
 	JobTimeout time.Duration
+	// HangGrace bounds how long a canceled or expired job may keep
+	// running before the watchdog reaps its worker slot (default 30s).
+	HangGrace time.Duration
+	// DegradedAfter is the consecutive-spool-write-failure threshold
+	// that trips load shedding (default 3; negative disables).
+	DegradedAfter int
+	// DegradedFor is how long load shedding lasts after tripping, if no
+	// spool write succeeds sooner (default 5s).
+	DegradedFor time.Duration
+	// FS is the filesystem the spool writes through; nil means the real
+	// OS filesystem. The chaos harness substitutes fault.FS wrappers.
+	FS fault.FS
+	// Inject, when non-nil, threads deterministic fault injection
+	// through the service's execution boundaries (worker exec, trace
+	// reads). Spool I/O faults come from wrapping FS instead.
+	Inject *fault.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +91,15 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 25
 	}
+	if c.HangGrace <= 0 {
+		c.HangGrace = 30 * time.Second
+	}
+	if c.DegradedAfter == 0 {
+		c.DegradedAfter = 3
+	}
+	if c.DegradedFor <= 0 {
+		c.DegradedFor = 5 * time.Second
+	}
 	return c
 }
 
@@ -71,7 +107,9 @@ func (c Config) withDefaults() Config {
 // worker pool running jobs through the core engine, a content-addressed
 // result cache, and the spool that makes jobs survive restarts.
 type Service struct {
-	cfg Config
+	cfg   Config
+	spool *spool
+	inj   *fault.Injector
 
 	mu    sync.Mutex
 	jobs  map[string]*Job
@@ -80,6 +118,11 @@ type Service struct {
 	seq   int
 	// closing refuses new work while Shutdown drains the pool.
 	closing bool
+	// Degraded-mode state: consecutive spool-write failures trip load
+	// shedding until degradedUntil (or until a write succeeds).
+	spoolFailStreak int
+	degradedUntil   time.Time
+	degradedReason  string
 
 	queue chan *Job
 	wg    sync.WaitGroup
@@ -89,8 +132,12 @@ type Service struct {
 
 	reg      *metrics.Registry
 	counters struct {
-		submitted, completed, failed, canceled, resumed int64
-		framesRestored, queueDepth                      int64
+		submitted, completed, failed, canceled, resumed       int64
+		framesRestored, queueDepth                            int64
+		shed, reaped, panics, degraded                        int64
+		spoolWriteErrs                                        int64
+		quarantinedJobs, quarantinedCkpts, quarantinedResults int64
+		faults                                                []int64
 	}
 }
 
@@ -101,6 +148,8 @@ func Open(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	s := &Service{
 		cfg:   cfg,
+		spool: newSpool(cfg.SpoolDir, cfg.FS),
+		inj:   cfg.Inject,
 		jobs:  map[string]*Job{},
 		cache: NewResultCache(cfg.CacheEntries, cfg.CacheBytes),
 		reg:   metrics.NewRegistry(),
@@ -113,14 +162,27 @@ func Open(cfg Config) (*Service, error) {
 	s.reg.Bind("serve/jobs_resumed", &s.counters.resumed)
 	s.reg.Bind("serve/frames_restored", &s.counters.framesRestored)
 	s.reg.Bind("serve/queue_depth", &s.counters.queueDepth)
+	s.reg.Bind("serve/jobs_shed", &s.counters.shed)
+	s.reg.Bind("serve/degraded", &s.counters.degraded)
+	s.reg.Bind("serve/spool_write_errors", &s.counters.spoolWriteErrs)
+	s.reg.Bind("serve/recovered/jobs_reaped", &s.counters.reaped)
+	s.reg.Bind("serve/recovered/worker_panics", &s.counters.panics)
+	s.reg.Bind("serve/recovered/jobs_quarantined", &s.counters.quarantinedJobs)
+	s.reg.Bind("serve/recovered/checkpoints_quarantined", &s.counters.quarantinedCkpts)
+	s.reg.Bind("serve/recovered/results_quarantined", &s.counters.quarantinedResults)
+	sites := fault.Sites()
+	s.counters.faults = make([]int64, len(sites))
+	for i, site := range sites {
+		s.reg.Bind("serve/faults/"+string(site), &s.counters.faults[i])
+	}
 	s.cache.Register(s.reg, "serve/cache")
 
 	var pending []*Job
 	if cfg.SpoolDir != "" {
-		if err := os.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
+		if err := s.spool.fs.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
 			return nil, fmt.Errorf("serve: spool %s: %w", cfg.SpoolDir, err)
 		}
-		jobs, _, err := scanSpool(cfg.SpoolDir)
+		jobs, err := s.spool.scan()
 		if err != nil {
 			return nil, err
 		}
@@ -169,7 +231,8 @@ func seqOf(id string) int {
 
 // Submit validates and enqueues a job. An identical job with a cached
 // result completes instantly (cache hit, no worker involved). A full
-// queue returns ErrQueueFull.
+// queue returns ErrQueueFull; a degraded service sheds with
+// ErrDegraded.
 func (s *Service) Submit(spec JobSpec) (JobView, error) {
 	norm := spec.normalized()
 	if err := norm.validate(); err != nil {
@@ -181,6 +244,10 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 	defer s.mu.Unlock()
 	if s.closing {
 		return JobView{}, ErrShutdown
+	}
+	if s.degradedLocked() {
+		s.counters.shed++
+		return JobView{}, fmt.Errorf("%w (%s)", ErrDegraded, s.degradedReason)
 	}
 	s.seq++
 	j := &Job{
@@ -200,10 +267,10 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 		s.order = append(s.order, j.ID)
 		s.counters.submitted++
 		// Persist so a restart still knows this job and its result.
-		if err := writeJobFile(s.cfg.SpoolDir, j); err == nil {
-			if p := resultPath(s.cfg.SpoolDir, j.ID); p != "" {
-				_ = atomicWrite(p, res)
-			}
+		if err := s.spool.writeJob(j); err == nil {
+			s.noteSpoolLocked(s.spool.writeResult(j.ID, res))
+		} else {
+			s.noteSpoolLocked(err)
 		}
 		return j.view(), nil
 	}
@@ -217,15 +284,15 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	s.counters.submitted++
-	if err := writeJobFile(s.cfg.SpoolDir, j); err != nil {
-		// The job still runs this process lifetime; it just won't
-		// survive a restart. Not worth failing the submission.
-		_ = err
-	}
+	// A failed job-file write means the job won't survive a restart; it
+	// still runs this process lifetime. Not worth failing the
+	// submission, but it does count toward degraded-mode tripping.
+	s.noteSpoolLocked(s.spool.writeJob(j))
 	return j.view(), nil
 }
 
-// RetryAfter is the backoff hint returned with ErrQueueFull.
+// RetryAfter is the backoff hint returned with ErrQueueFull and
+// ErrDegraded.
 const RetryAfter = 2 * time.Second
 
 // Job returns a job's current view.
@@ -293,7 +360,7 @@ func (s *Service) Cancel(id string) error {
 		j.state = StateCanceled
 		j.err = "canceled"
 		s.counters.canceled++
-		removeJobFiles(s.cfg.SpoolDir, j.ID)
+		s.spool.removeJob(j.ID)
 		close(j.done)
 	default: // running
 		j.userCancel = true
@@ -304,9 +371,61 @@ func (s *Service) Cancel(id string) error {
 	return nil
 }
 
+// Health reports liveness for /healthz: false while the service sheds
+// load because its own machinery (spool I/O) is failing.
+func (s *Service) Health() (bool, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.degradedLocked() {
+		return false, "degraded: " + s.degradedReason
+	}
+	return true, "ok"
+}
+
+// degradedLocked reports whether load shedding is active. Callers hold
+// s.mu.
+func (s *Service) degradedLocked() bool {
+	if s.degradedUntil.IsZero() || time.Now().After(s.degradedUntil) {
+		s.counters.degraded = 0
+		return false
+	}
+	return true
+}
+
+// noteSpoolLocked tracks spool-write health: DegradedAfter consecutive
+// failures trip load shedding for DegradedFor (a success clears it
+// early). Callers hold s.mu.
+func (s *Service) noteSpoolLocked(err error) {
+	if !s.spool.enabled() {
+		return
+	}
+	if err == nil {
+		s.spoolFailStreak = 0
+		s.degradedUntil = time.Time{}
+		s.counters.degraded = 0
+		return
+	}
+	s.spoolFailStreak++
+	if s.cfg.DegradedAfter > 0 && s.spoolFailStreak >= s.cfg.DegradedAfter {
+		s.degradedUntil = time.Now().Add(s.cfg.DegradedFor)
+		s.degradedReason = fmt.Sprintf("spool: %v", err)
+		s.counters.degraded = 1
+	}
+}
+
+// noteSpool is noteSpoolLocked for callers outside the lock (the
+// runner's checkpoint writes).
+func (s *Service) noteSpool(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.noteSpoolLocked(err)
+}
+
 // Shutdown stops accepting jobs, cancels running ones (they persist a
 // final checkpoint and return to the queued state for the next Open),
-// and waits for the workers to drain, bounded by ctx.
+// and waits for the workers to drain, bounded by ctx. A worker stuck in
+// a hung job is reaped by its watchdog after HangGrace, so a drain
+// cannot wedge behind it.
 func (s *Service) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	already := s.closing
@@ -334,6 +453,18 @@ func (s *Service) MetricsSnapshots() []metrics.Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.counters.queueDepth = int64(len(s.queue))
+	s.counters.quarantinedJobs = atomic.LoadInt64(&s.spool.quarantinedJobs)
+	s.counters.quarantinedCkpts = atomic.LoadInt64(&s.spool.quarantinedCheckpoints)
+	s.counters.quarantinedResults = atomic.LoadInt64(&s.spool.quarantinedResults)
+	s.counters.spoolWriteErrs = atomic.LoadInt64(&s.spool.writeErrs)
+	if !s.degradedLocked() {
+		s.counters.degraded = 0
+	}
+	for i, site := range fault.Sites() {
+		if n, ok := s.inj.Counts()[site]; ok {
+			s.counters.faults[i] = n
+		}
+	}
 	return []metrics.Snapshot{s.reg.Snapshot().WithLabels("source", "serve")}
 }
 
@@ -350,7 +481,8 @@ func (s *Service) worker() {
 	}
 }
 
-// runOne executes a dequeued job and classifies its outcome.
+// runOne executes a dequeued job under the watchdog and classifies its
+// outcome.
 func (s *Service) runOne(j *Job) {
 	s.mu.Lock()
 	if j.state != StateQueued {
@@ -366,7 +498,7 @@ func (s *Service) runOne(j *Job) {
 	j.cancel = cancel
 	s.mu.Unlock()
 
-	result, err := s.runJob(ctx, j)
+	result, err := s.supervise(ctx, j)
 	cancel()
 
 	s.mu.Lock()
@@ -378,16 +510,14 @@ func (s *Service) runOne(j *Job) {
 		j.result = result
 		s.cache.Put(j.key, result)
 		s.counters.completed++
-		if p := resultPath(s.cfg.SpoolDir, j.ID); p != "" {
-			_ = atomicWrite(p, result)
-			os.Remove(ckptPath(s.cfg.SpoolDir, j.ID))
-		}
+		s.noteSpoolLocked(s.spool.writeResult(j.ID, result))
+		s.spool.removeCheckpoint(j.ID)
 		close(j.done)
 	case j.userCancel:
 		j.state = StateCanceled
 		j.err = "canceled"
 		s.counters.canceled++
-		removeJobFiles(s.cfg.SpoolDir, j.ID)
+		s.spool.removeJob(j.ID)
 		close(j.done)
 	case s.closing && errors.Is(err, context.Canceled):
 		// Shutdown interrupted the job mid-run. Its checkpoint is on
@@ -396,9 +526,104 @@ func (s *Service) runOne(j *Job) {
 	default:
 		j.state = StateFailed
 		j.err = err.Error()
+		j.errClass = classifyErr(err)
 		s.counters.failed++
-		removeJobFiles(s.cfg.SpoolDir, j.ID)
+		s.spool.removeJob(j.ID)
 		close(j.done)
+	}
+}
+
+// supervise runs the job body in its own goroutine so the worker slot
+// survives panics and hangs: a panic becomes an ErrWorkerPanic job
+// failure; a job that ignores its canceled/expired context for longer
+// than HangGrace is reaped (the runaway goroutine is abandoned — it can
+// no longer affect the job record — and the worker moves on).
+func (s *Service) supervise(ctx context.Context, j *Job) ([]byte, error) {
+	type outcome struct {
+		result []byte
+		err    error
+	}
+	out := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s.mu.Lock()
+				s.counters.panics++
+				s.mu.Unlock()
+				out <- outcome{err: fmt.Errorf("%w: %v", ErrWorkerPanic, r)}
+			}
+		}()
+		if err := s.execFault(ctx); err != nil {
+			out <- outcome{err: err}
+			return
+		}
+		res, err := s.runJob(ctx, j)
+		out <- outcome{result: res, err: err}
+	}()
+	select {
+	case o := <-out:
+		return o.result, o.err
+	case <-ctx.Done():
+	}
+	// The context is dead (deadline, cancel or shutdown); give the job
+	// HangGrace to notice, checkpoint and return before reaping it.
+	timer := time.NewTimer(s.cfg.HangGrace)
+	defer timer.Stop()
+	select {
+	case o := <-out:
+		return o.result, o.err
+	case <-timer.C:
+		s.mu.Lock()
+		s.counters.reaped++
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w (grace %s after %v)", ErrJobHung, s.cfg.HangGrace, ctx.Err())
+	}
+}
+
+// execFault applies an injected worker-execution fault, if armed:
+// panic, hang (until the injector is closed — the watchdog's prey),
+// slow-down, or a plain typed error.
+func (s *Service) execFault(ctx context.Context) error {
+	f := s.inj.Decide(fault.Exec)
+	if f == nil {
+		return nil
+	}
+	switch f.Kind {
+	case fault.Panic:
+		panic(&fault.Error{Site: fault.Exec, Kind: fault.Panic, Op: "worker"})
+	case fault.Hang:
+		<-s.inj.Released()
+		return &fault.Error{Site: fault.Exec, Kind: fault.Hang, Op: "worker"}
+	case fault.Slow:
+		select {
+		case <-time.After(f.Delay):
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	default:
+		return &fault.Error{Site: fault.Exec, Kind: f.Kind, Op: "worker"}
+	}
+}
+
+// classifyErr buckets a job failure for the error_class view field, so
+// chaos runs can assert every failure surfaced as a typed error.
+func classifyErr(err error) string {
+	switch {
+	case errors.Is(err, ErrJobHung):
+		return "hung"
+	case errors.Is(err, ErrWorkerPanic):
+		return "panic"
+	case fault.IsInjected(err):
+		return "injected"
+	case errors.Is(err, fault.ErrCrashed):
+		return "crashed"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return "internal"
 	}
 }
 

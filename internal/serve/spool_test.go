@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gpuchar/internal/fault"
+)
+
+// TestSealOpenRoundTrip pins the envelope format: the body round-trips
+// byte-identically, a flipped bit fails the checksum, and a foreign
+// schema is rejected.
+func TestSealOpenRoundTrip(t *testing.T) {
+	body := []byte(`{"schema":"gpuchar/job/v1","id":"j0001-aaaa"}`)
+	doc, err := seal(JobFileSchema, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := openSealed(doc, JobFileSchema, jobBodySchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Errorf("body did not round-trip: %q != %q", got, body)
+	}
+
+	// Flip one bit inside the base64 body and the checksum must catch it.
+	var env envelope
+	if err := json.Unmarshal(doc, &env); err != nil {
+		t.Fatal(err)
+	}
+	env.Body[3] ^= 0x40
+	tampered, _ := json.Marshal(env)
+	if _, err := openSealed(tampered, JobFileSchema, jobBodySchema); err == nil {
+		t.Error("tampered envelope passed its checksum")
+	}
+
+	if _, err := openSealed(doc, ResultFileSchema, resultBodySchema); err == nil {
+		t.Error("job envelope accepted under the result schema")
+	}
+}
+
+// TestLegacyBareDocsAccepted pins read-compat with pre-v1.1 spools:
+// a bare body document whose own schema field matches the legacy
+// schema is accepted verbatim (it carries no checksum to verify).
+func TestLegacyBareDocsAccepted(t *testing.T) {
+	legacy := []byte(`{"schema":"gpuchar/checkpoint/v1","job_id":"j0001-aaaa","key":"k"}`)
+	got, err := openSealed(legacy, CheckpointSchema, checkpointBodySchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, legacy) {
+		t.Error("legacy document was not returned verbatim")
+	}
+	// With no legacy schema allowed, the same document is rejected.
+	if _, err := openSealed(legacy, CheckpointSchema, ""); err == nil {
+		t.Error("bare document accepted with legacy compat disabled")
+	}
+}
+
+// TestLegacyCheckpointLoads proves an old bare-v1 checkpoint written
+// before the envelope existed still resumes.
+func TestLegacyCheckpointLoads(t *testing.T) {
+	dir := t.TempDir()
+	sp := newSpool(dir, nil)
+	ck := newCheckpoint("j0001-aaaa", "key1")
+	raw, _ := json.Marshal(ck)
+	if err := os.WriteFile(sp.ckptPath("j0001-aaaa"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sp.loadCheckpoint("j0001-aaaa", "key1")
+	if err != nil || got == nil {
+		t.Fatalf("legacy checkpoint did not load: %+v, %v", got, err)
+	}
+	if got.JobID != "j0001-aaaa" || got.Key != "key1" {
+		t.Errorf("legacy checkpoint fields lost: %+v", got)
+	}
+}
+
+// TestCorruptResultQuarantinedOnRestart is the quarantine acceptance
+// path: a bit-rotted result file is moved aside and counted, never
+// served — the restarted service re-renders and the final result is
+// byte-identical to a clean run.
+func TestCorruptResultQuarantinedOnRestart(t *testing.T) {
+	spec := JobSpec{Experiments: []string{"table3"}, APIFrames: 8}
+	want := expectedJSON(t, spec)
+	dir := t.TempDir()
+	cfg := Config{Workers: 1, SpoolDir: dir}
+
+	s1, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, s1, v.ID)
+	shutdownNow(t, s1)
+
+	// Rot one byte mid-file.
+	path := filepath.Join(dir, v.ID+".result.json")
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc[len(doc)/2] ^= 0x01
+	if err := os.WriteFile(path, doc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownNow(t, s2)
+	final := waitJob(t, s2, v.ID)
+	if final.State != StateDone {
+		t.Fatalf("job after quarantine = %+v; want done", final)
+	}
+	got, err := s2.Result(v.ID)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Errorf("re-rendered result differs from clean run (%v)", err)
+	}
+	if n := serviceCounter(t, s2, "serve/recovered/results_quarantined"); n != 1 {
+		t.Errorf("results_quarantined = %d; want 1", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", v.ID+".result.json")); err != nil {
+		t.Errorf("corrupt result not moved to quarantine: %v", err)
+	}
+}
+
+// TestCorruptJobFileQuarantined pins the same for submission records:
+// scan quarantines a checksum-failing job file and keeps going.
+func TestCorruptJobFileQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	doc, err := seal(JobFileSchema, []byte(`{"schema":"gpuchar/job/v1","id":"j0001-aaaa"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc[len(doc)-10] ^= 0x01
+	if err := os.WriteFile(filepath.Join(dir, "j0001-aaaa.job.json"), doc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(Config{SpoolDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownNow(t, s)
+	if n := len(s.Jobs()); n != 0 {
+		t.Errorf("%d jobs from a corrupt spool file", n)
+	}
+	if n := serviceCounter(t, s, "serve/recovered/jobs_quarantined"); n != 1 {
+		t.Errorf("jobs_quarantined = %d; want 1", n)
+	}
+}
+
+// TestDegradedShedsLoad drives the spool-failure path: consecutive
+// write failures trip load shedding (ErrDegraded, /healthz false), a
+// cooldown or a successful write clears it.
+func TestDegradedShedsLoad(t *testing.T) {
+	spec := JobSpec{Experiments: []string{"table3"}, APIFrames: 4}
+	// The deterministic schedule: skip the Open-time MkdirAll (FSWrite
+	// op 1), fail exactly the next two writes — the two job files. A
+	// Slow exec fault parks the worker so it makes no spool writes of
+	// its own during the test window.
+	inj := fault.New(7,
+		fault.Rule{Site: fault.FSWrite, Kind: fault.Err, Prob: 1, After: 1, Count: 2},
+		fault.Rule{Site: fault.Exec, Kind: fault.Slow, Prob: 1, Count: 100, Delay: time.Hour})
+	defer inj.Close()
+	dir := t.TempDir()
+	s, err := Open(Config{
+		Workers: 1, SpoolDir: dir,
+		FS:            fault.NewFaulty(fault.OS{}, inj),
+		DegradedAfter: 2, DegradedFor: 250 * time.Millisecond,
+		CheckpointEvery: -1, // keep the worker away from the write budget
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownNow(t, s)
+
+	// Two failed job-file writes trip the breaker...
+	if _, err := s.Submit(spec); err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	if _, err := s.Submit(JobSpec{Experiments: []string{"fig1"}, APIFrames: 4}); err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+	// ...so the third submission is shed with the typed error.
+	if _, err := s.Submit(JobSpec{Experiments: []string{"fig2"}, APIFrames: 4}); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("submit while degraded = %v; want ErrDegraded", err)
+	}
+	if ok, detail := s.Health(); ok || detail == "ok" {
+		t.Errorf("Health() = %v %q while degraded", ok, detail)
+	}
+	if n := serviceCounter(t, s, "serve/degraded"); n != 1 {
+		t.Errorf("degraded gauge = %d; want 1", n)
+	}
+	if n := serviceCounter(t, s, "serve/jobs_shed"); n != 1 {
+		t.Errorf("jobs_shed = %d; want 1", n)
+	}
+
+	// The cooldown expires (and the fault rule is exhausted), so the
+	// service heals and accepts work again.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := s.Submit(JobSpec{Experiments: []string{"fig2"}, APIFrames: 4}); err == nil {
+			break
+		} else if !errors.Is(err, ErrDegraded) {
+			t.Fatalf("submit after cooldown: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("service never recovered from degraded mode")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if ok, _ := s.Health(); !ok {
+		t.Error("Health() still false after recovery")
+	}
+}
