@@ -82,6 +82,21 @@ type output struct {
 	// worker counts. The scaling ratio between counts, not the absolute
 	// rate, is the reviewable signal.
 	ServiceThroughput *serviceThroughput `json:"service_throughput,omitempty"`
+
+	// ConfigSweep is the sweep orchestrator's cell rate: a small
+	// (hardware-config x demo) grid computed through the local runner at
+	// several worker counts. Every cell is a full (cheap) simulation, so
+	// the scaling ratio between counts is the reviewable signal.
+	ConfigSweep *configSweep `json:"config_sweep,omitempty"`
+}
+
+// configSweep is the cells/sec sweep over orchestrator worker counts.
+type configSweep struct {
+	Cells       int                `json:"cells"`
+	Configs     []string           `json:"configs"`
+	SimFrames   int                `json:"sim_frames"`
+	Resolution  string             `json:"resolution"`
+	CellsPerSec map[string]float64 `json:"cells_per_sec"`
 }
 
 // serviceThroughput is the jobs/sec sweep over scheduler worker counts.
@@ -340,6 +355,37 @@ func measureServiceThroughput(n, apiFrames int, workerCounts []int) *serviceThro
 	return out
 }
 
+// measureConfigSweep runs a (config x demo) grid through the local
+// sweep runner at each worker count and reports cells/sec. The grid
+// uses the sweep's default demos and experiment (table14, the cheapest
+// full-simulation experiment) at a small resolution, so one cell is a
+// real simulation without dominating the benchmark run.
+func measureConfigSweep(workerCounts []int) *configSweep {
+	spec := gpuchar.SweepSpec{
+		Configs:   []string{"r520", "caches-off", "no-hz"},
+		SimFrames: 1,
+		Width:     192,
+		Height:    144,
+	}
+	out := &configSweep{
+		Configs: spec.Configs, SimFrames: 1, Resolution: "192x144",
+		CellsPerSec: map[string]float64{},
+	}
+	for _, workers := range workerCounts {
+		start := time.Now()
+		res, err := gpuchar.RunSweep(spec, gpuchar.LocalSweepRunner{},
+			gpuchar.SweepOptions{Workers: workers})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: sweep: %v\n", err)
+			os.Exit(1)
+		}
+		elapsed := time.Since(start)
+		out.Cells = len(res.Rows)
+		out.CellsPerSec[strconv.Itoa(workers)] = float64(len(res.Rows)) / elapsed.Seconds()
+	}
+	return out
+}
+
 func main() {
 	var (
 		demo   = flag.String("demo", "Doom3/trdemo2", "simulated demo to measure")
@@ -368,6 +414,8 @@ func main() {
 	doc.StageWalltime = measureStageWalltime(*demo, *width, *height, 4, 4)
 	fmt.Fprintf(os.Stderr, "benchjson: service throughput...\n")
 	doc.ServiceThroughput = measureServiceThroughput(24, 6, []int{1, 4, 8})
+	fmt.Fprintf(os.Stderr, "benchjson: config sweep...\n")
+	doc.ConfigSweep = measureConfigSweep([]int{1, 4, 8})
 	for _, n := range counts {
 		fmt.Fprintf(os.Stderr, "benchjson: pipeline frame, workers=%d...\n", n)
 		doc.PipelineFrame = append(doc.PipelineFrame, benchFrame(*demo, *width, *height, n))

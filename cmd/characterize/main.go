@@ -13,14 +13,19 @@
 //	characterize -exp table7 -trace run.json   # Perfetto trace of the run
 //	characterize -exp all -listen :9090        # live /metrics, /progress, pprof
 //	characterize -exp all -progress 50         # stderr ticker every 50 frames
+//	characterize -list-configs                 # named hardware variants
+//	characterize -exp table14 -config texl0-half   # run under a variant
+//	characterize -sweep r520,texl0-half,texl0-2x   # comparative pivot tables
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 
 	"gpuchar"
 	"gpuchar/internal/cliutil"
@@ -67,8 +72,25 @@ func main() {
 			"print a progress line (demo, frame, frames/sec) to stderr every N completed frames")
 		cpuprofile = flag.String("cpuprofile", "",
 			"write a CPU profile of the run to this file (single-run alternative to -listen's /debug/pprof)")
+		configName = flag.String("config", "",
+			"named hardware config to simulate under (see -list-configs); the default is byte-identical to r520")
+		listConfigs = flag.Bool("list-configs", false,
+			"list the named hardware configs and exit")
+		sweepConfigs = flag.String("sweep", "",
+			"comma-separated config names: run a local sweep and print per-metric pivot tables (demo rows x config columns)")
+		sweepJSON = flag.String("sweep-json", "",
+			"write the sweep result as a gpuchar/sweep/v1 JSON document")
+		sweepCSV = flag.String("sweep-csv", "",
+			"write the sweep result as long-form CSV (config,digest,demo,metric,value)")
 	)
 	flag.Parse()
+
+	if *listConfigs {
+		for _, v := range gpuchar.HWConfigs() {
+			fmt.Printf("%-20s %.12s  %s\n", v.Name, v.Digest(), v.Description)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range gpuchar.Experiments() {
@@ -106,6 +128,15 @@ func main() {
 	profStop = stopProf
 	defer stopProf()
 
+	if *sweepConfigs != "" {
+		if *configName != "" {
+			cliutil.Usagef("characterize", "-sweep and -config are mutually exclusive")
+		}
+		runSweep(*sweepConfigs, *exp, *frames, *simFrames, *width, *height,
+			*tileWorkers, *workers, *markdown, *sweepJSON, *sweepCSV)
+		return
+	}
+
 	ctx := gpuchar.NewContext()
 	ctx.APIFrames = *frames
 	ctx.SimFrames = *simFrames
@@ -113,6 +144,13 @@ func main() {
 	ctx.Workers = *workers
 	ctx.TileWorkers = *tileWorkers
 	ctx.KeepGoing = *keepGoing
+	if *configName != "" {
+		v, ok := gpuchar.HWConfigByName(*configName)
+		if !ok {
+			cliutil.Usagef("characterize", "-config %q is not a known config (see -list-configs)", *configName)
+		}
+		ctx.HW = &v
+	}
 
 	var ids []string
 	switch *exp {
@@ -216,6 +254,72 @@ func main() {
 	if runErr != nil {
 		fail(runErr)
 	}
+}
+
+// runSweep executes a local (config x demo) sweep and renders its
+// per-metric pivot tables, plus optional JSON/CSV artifacts. -exp
+// narrows the experiments each cell runs ("all" keeps the sweep
+// default, the cheapest full-simulation experiment).
+func runSweep(configs, exp string, frames, simFrames, width, height,
+	tileWorkers, workers int, markdown bool, jsonPath, csvPath string) {
+
+	spec := gpuchar.SweepSpec{
+		APIFrames:   frames,
+		SimFrames:   simFrames,
+		Width:       width,
+		Height:      height,
+		TileWorkers: tileWorkers,
+	}
+	for _, name := range strings.Split(configs, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			spec.Configs = append(spec.Configs, name)
+		}
+	}
+	if exp != "" && exp != "all" {
+		for _, id := range strings.Split(exp, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				spec.Experiments = append(spec.Experiments, id)
+			}
+		}
+	}
+	res, err := gpuchar.RunSweep(spec, gpuchar.LocalSweepRunner{}, gpuchar.SweepOptions{
+		Workers: workers,
+		Progress: func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fail(err)
+	}
+	for _, t := range res.PivotTables() {
+		if markdown {
+			t.Markdown(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+	writeSweepArtifact(jsonPath, res.WriteJSON)
+	writeSweepArtifact(csvPath, res.WriteCSV)
+}
+
+// writeSweepArtifact writes one sweep output file, skipping empty paths.
+func writeSweepArtifact(path string, write func(w io.Writer) error) {
+	if path == "" {
+		return
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	werr := write(out)
+	if cerr := out.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fail(werr)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }
 
 // writeTrace dumps the shared tracer to path; it runs on success and on

@@ -15,13 +15,16 @@ import (
 
 	"gpuchar/internal/cliutil"
 	"gpuchar/internal/serve"
+	"gpuchar/internal/sweep"
 )
 
 // runClient talks to a running daemon:
 //
-//	gpuchard client [-addr URL] [-retries N] [-max-wait D] submit [-exp ids] [-frames N] ... [-wait]
+//	gpuchard client [-addr URL] [-retries N] [-max-wait D] submit [-exp ids] [-frames N] [-config name] ... [-wait]
+//	gpuchard client [-addr URL] sweep -configs a,b,c [-demos ...] [-json out]
 //	gpuchard client [-addr URL] status|result|cancel <id>
 //	gpuchard client [-addr URL] list
+//	gpuchard client [-addr URL] configs
 func runClient(args []string) {
 	fs := flag.NewFlagSet("gpuchard client", flag.ExitOnError)
 	addr := fs.String("addr", "http://127.0.0.1:9190", "daemon base URL")
@@ -32,7 +35,7 @@ func runClient(args []string) {
 	_ = fs.Parse(args)
 	rest := fs.Args()
 	if len(rest) == 0 {
-		cliutil.Usagef("gpuchard", "client needs a command: submit, status, result, cancel, list")
+		cliutil.Usagef("gpuchard", "client needs a command: submit, sweep, status, result, cancel, list, configs")
 	}
 	c := &client{
 		base:    strings.TrimRight(*addr, "/"),
@@ -43,6 +46,10 @@ func runClient(args []string) {
 	switch cmd, ids := rest[0], rest[1:]; cmd {
 	case "submit":
 		c.submit(ids)
+	case "sweep":
+		c.sweep(ids)
+	case "configs":
+		c.printJSON("/configs")
 	case "status":
 		c.oneJob(ids, "status", func(id string) {
 			c.printJSON("/jobs/" + id)
@@ -85,6 +92,7 @@ func (c *client) submit(args []string) {
 	height := fs.Int("h", 0, "framebuffer height (0: server default)")
 	traceF := fs.String("trace", "", "upload this trace file instead of a workload spec")
 	name := fs.String("name", "", "label for an uploaded trace's snapshots")
+	config := fs.String("config", "", "named hardware config the job simulates under (see the configs command)")
 	wait := fs.Bool("wait", false, "block until the job finishes and print the result document")
 	_ = fs.Parse(args)
 
@@ -104,6 +112,7 @@ func (c *client) submit(args []string) {
 		spec := serve.JobSpec{
 			APIFrames: *frames, SimFrames: *simFrames,
 			Width: *width, Height: *height,
+			Config: *config,
 		}
 		if *exp != "" {
 			spec.Experiments = strings.Split(*exp, ",")
@@ -128,6 +137,88 @@ func (c *client) submit(args []string) {
 	}
 	res := c.get("/jobs/"+final.ID+"/result", http.StatusOK)
 	_, _ = os.Stdout.Write(res)
+}
+
+// sweep runs a (config x demo) grid through the daemon's job queue and
+// renders the comparative pivot tables. Cells ride the normal job API —
+// submit, long-poll, result — so the daemon's content-addressed cache
+// dedupes repeated cells across sweeps and submitters.
+func (c *client) sweep(args []string) {
+	fs := flag.NewFlagSet("gpuchard client sweep", flag.ExitOnError)
+	configs := fs.String("configs", "", "comma-separated hardware config names (required; see the configs command)")
+	demos := fs.String("demos", "", "comma-separated demo rows (empty: the simulated set)")
+	exp := fs.String("exp", "", "comma-separated experiment ids per cell (empty: the sweep default)")
+	frames := fs.Int("frames", 0, "API-level frames per demo (0: server default)")
+	simFrames := fs.Int("simframes", 0, "simulated frames per demo (0: server default)")
+	width := fs.Int("w", 0, "framebuffer width (0: server default)")
+	height := fs.Int("h", 0, "framebuffer height (0: server default)")
+	workers := fs.Int("workers", 4, "concurrent cells in flight against the daemon")
+	jsonOut := fs.String("json", "", "write the gpuchar/sweep/v1 result document to this file")
+	csvOut := fs.String("csv", "", "write the long-form CSV to this file")
+	md := fs.Bool("md", false, "render pivot tables as markdown")
+	_ = fs.Parse(args)
+	if *configs == "" {
+		cliutil.Usagef("gpuchard", "client sweep needs -configs (comma-separated names)")
+	}
+
+	spec := sweep.Spec{
+		Configs:     splitList(*configs),
+		Demos:       splitList(*demos),
+		Experiments: splitList(*exp),
+		APIFrames:   *frames,
+		SimFrames:   *simFrames,
+		Width:       *width,
+		Height:      *height,
+	}
+	res, err := sweep.Run(spec, sweep.QueueRunner{Do: c.doRetry}, sweep.Options{
+		Workers: *workers,
+		Progress: func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "gpuchard: sweep "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fail(err)
+	}
+	for _, t := range res.PivotTables() {
+		if *md {
+			t.Markdown(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+	writeArtifact(*jsonOut, res.WriteJSON)
+	writeArtifact(*csvOut, res.WriteCSV)
+}
+
+// splitList parses a comma-separated flag value, dropping empties.
+func splitList(v string) []string {
+	var out []string
+	for _, s := range strings.Split(v, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// writeArtifact writes one sweep output file, skipping empty paths.
+func writeArtifact(path string, write func(w io.Writer) error) {
+	if path == "" {
+		return
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	werr := write(out)
+	if cerr := out.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fail(werr)
+	}
+	fmt.Fprintf(os.Stderr, "gpuchard: wrote %s\n", path)
 }
 
 // waitDone long-polls the job until it terminates.

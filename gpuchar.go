@@ -23,7 +23,9 @@ import (
 	"gpuchar/internal/core"
 	"gpuchar/internal/gfxapi"
 	"gpuchar/internal/gpu"
+	"gpuchar/internal/hwconfig"
 	"gpuchar/internal/obsv"
+	"gpuchar/internal/sweep"
 	"gpuchar/internal/trace"
 	"gpuchar/internal/workloads"
 )
@@ -82,6 +84,23 @@ type (
 	ObservabilityServer = obsv.Server
 	// ServerSources are the data feeds an ObservabilityServer renders.
 	ServerSources = obsv.ServerSources
+	// HWVariant is one named, sweepable hardware configuration: every
+	// gpu.Config parameter plus a canonical content digest. Bind one to
+	// Context.HW to characterize under it.
+	HWVariant = hwconfig.Variant
+	// SweepSpec describes a (config x demo x experiment) sweep grid.
+	SweepSpec = sweep.Spec
+	// SweepResult is a completed sweep: rows plus pivot-table and
+	// CSV/JSON renderers.
+	SweepResult = sweep.Result
+	// SweepRunner computes one sweep cell (local or via a daemon).
+	SweepRunner = sweep.Runner
+	// SweepOptions tunes the sweep orchestrator.
+	SweepOptions = sweep.Options
+	// LocalSweepRunner computes sweep cells in-process.
+	LocalSweepRunner = sweep.LocalRunner
+	// QueueSweepRunner computes sweep cells through a gpuchard daemon.
+	QueueSweepRunner = sweep.QueueRunner
 )
 
 // Graphics API dialects (Table I).
@@ -156,6 +175,26 @@ func NewProgressTracker(totalExperiments int) *ProgressTracker {
 // until Close.
 func StartObservabilityServer(addr string, src ServerSources) (*ObservabilityServer, error) {
 	return obsv.StartServer(addr, src)
+}
+
+// HWConfigs returns the named hardware variant registry: the r520
+// default plus the cache-scaled, ablation, resolution and tile-worker
+// families.
+func HWConfigs() []HWVariant { return hwconfig.All() }
+
+// HWConfigByName resolves one registry variant.
+func HWConfigByName(name string) (HWVariant, bool) { return hwconfig.ByName(name) }
+
+// HWConfigNames lists the registry variant names in listing order.
+func HWConfigNames() []string { return hwconfig.Names() }
+
+// DefaultHWConfig returns the paper's r520 hardware point.
+func DefaultHWConfig() HWVariant { return hwconfig.Default() }
+
+// RunSweep expands a sweep spec and computes every cell through the
+// runner, returning the comparative grid.
+func RunSweep(spec SweepSpec, r SweepRunner, opts SweepOptions) (*SweepResult, error) {
+	return sweep.Run(spec, r, opts)
 }
 
 // Experiments lists every regenerable paper table and figure.

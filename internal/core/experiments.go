@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gpuchar/internal/gpu"
+	"gpuchar/internal/hwconfig"
 	"gpuchar/internal/mem"
 	"gpuchar/internal/obsv"
 	"gpuchar/internal/report"
@@ -35,6 +36,12 @@ type Context struct {
 	// the serial pipeline, whose counters — including the sharded cache
 	// and memory ones — are bit-identical to the seed implementation.
 	TileWorkers int
+	// HW selects the hardware variant every simulated run uses. nil (and
+	// the r520 default variant) keep the seed configuration, so default
+	// output stays byte-identical; a sweep builds one Context per
+	// variant. A variant that pins resolution or tile fan-out overrides
+	// W/H and TileWorkers.
+	HW *hwconfig.Variant
 	// KeepGoing makes the sweep fault-tolerant: a demo whose render
 	// fails (error or recovered panic) is dropped from every table and
 	// figure that wanted it, an experiment that fails is skipped, and
@@ -144,8 +151,7 @@ func (c *Context) Micro(name string) (*MicroResult, error) {
 	if prof == nil {
 		return nil, fmt.Errorf("core: unknown demo %q", name)
 	}
-	cfg := gpu.R520Config(c.W, c.H)
-	cfg.TileWorkers = c.TileWorkers
+	cfg := c.gpuConfig()
 	cfg.Trace = c.tracer()
 	cfg.TraceProcess = name
 	r, err := runMicroHooked(prof, c.SimFrames, cfg, microHooks{
@@ -163,6 +169,24 @@ func (c *Context) Micro(name string) (*MicroResult, error) {
 	}
 	c.microCache[name] = r
 	return r, nil
+}
+
+// gpuConfig materializes the context's hardware point. With no variant
+// (or the default one) this is exactly the seed's gpu.R520Config +
+// TileWorkers wiring; otherwise the variant decides, with the context's
+// resolution and tile fan-out filling whatever the variant leaves as
+// "inherit".
+func (c *Context) gpuConfig() gpu.Config {
+	if c.HW == nil {
+		cfg := gpu.R520Config(c.W, c.H)
+		cfg.TileWorkers = c.TileWorkers
+		return cfg
+	}
+	cfg := c.HW.GPUConfig(c.W, c.H)
+	if cfg.TileWorkers == 0 {
+		cfg.TileWorkers = c.TileWorkers
+	}
+	return cfg
 }
 
 // skipDemo decides what a failed demo render means for the experiment
@@ -302,10 +326,18 @@ func runTable1(c *Context) (*Result, error) {
 }
 
 func runTable2(c *Context) (*Result, error) {
-	cfg := gpu.R520Config(c.W, c.H)
+	cfg := c.gpuConfig()
 	t := &report.Table{
 		ID: "table2", Title: "ATTILA configuration vs R520 (Table II)",
 		Headers: []string{"Parameter", "R520", "Simulator"},
+	}
+	if c.HW != nil && !c.HW.IsDefault() {
+		name := c.HW.Name
+		if name == "" {
+			name = "inline"
+		}
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("hardware variant: %s (digest %.12s)", name, c.HW.Digest()))
 	}
 	t.AddRow("Vertex/Fragment shaders", "8/16", fmt.Sprintf("%d (unified)", cfg.UnifiedShaders))
 	t.AddRow("Triangle setup", "2 triangles/cycle", fmt.Sprintf("%d triangles/cycle", cfg.TrianglesPerCycle))

@@ -56,11 +56,24 @@ import (
 )
 
 // Config is the simulated GPU configuration. R520Config reproduces the
-// paper's Table II.
+// paper's Table II; internal/hwconfig materializes named sweep variants
+// into Configs.
+//
+// Fields split into two classes. Behavioral parameters change what the
+// simulator computes — framebuffer bytes, traffic counts, cache hit
+// rates: Width/Height, VertexCacheSize, the four cache geometries,
+// TileWorkers/TileBucketBlocks (cache-counter sharding only; the
+// framebuffer stays exact) and the feature toggles. Informational
+// parameters only label reports and scale bandwidth projections — the
+// Table II rates: UnifiedShaders, TrianglesPerCycle, BilinearsPerCycle,
+// ZStencilRate, ColorRate and MemBytesPerCycle. The hwconfig registry's
+// exhaustiveness test pins this classification.
 type Config struct {
+	// Width, Height is the framebuffer size (behavioral).
 	Width, Height int
 
-	// Informational rate parameters (Table II).
+	// Informational rate parameters (Table II): carried into reports
+	// and bandwidth-at-fps projections, never into traffic counts.
 	UnifiedShaders    int
 	TrianglesPerCycle int
 	BilinearsPerCycle int
@@ -68,8 +81,19 @@ type Config struct {
 	ColorRate         int
 	MemBytesPerCycle  int
 
-	// VertexCacheSize is the post-transform FIFO depth.
+	// VertexCacheSize is the post-transform FIFO depth (behavioral:
+	// Figure 5 hit rates and vertex traffic). 0 takes the Table II
+	// default.
 	VertexCacheSize int
+
+	// Cache geometries (behavioral: Table XIV hit rates, Tables XV-XVII
+	// traffic). Zero values take the paper's Table XIV defaults. The z
+	// and color caches keep their one-line-per-8x8-block addressing at
+	// any line size.
+	ZCache     cache.Config
+	TexL0      cache.Config
+	TexL1      cache.Config
+	ColorCache cache.Config
 
 	// TileWorkers is the number of tile-parallel fragment-backend
 	// workers. 0 or 1 selects the serial pipeline; larger values shard
@@ -78,8 +102,14 @@ type Config struct {
 	// are bit-identical at any worker count; cache counters are sharded
 	// (deterministic per count, slightly different across counts).
 	TileWorkers int
+	// TileBucketBlocks is the number of horizontally consecutive 8x8
+	// blocks per parallel-assignment bucket (0 takes the default 8).
+	// Pure scheduling granularity: the framebuffer is exact at any
+	// value, and it only matters when TileWorkers > 1.
+	TileBucketBlocks int
 
-	// Feature toggles for ablation studies.
+	// Feature toggles for ablation studies (behavioral: traffic and
+	// kill counts; never framebuffer contents).
 	HZ               bool
 	ZCompression     bool
 	ColorCompression bool
@@ -87,7 +117,8 @@ type Config struct {
 
 	// Trace, when non-nil, receives per-frame, per-stage, per-draw and
 	// per-tile-worker spans (see trace.go). Nil keeps tracing compiled
-	// down to a branch per hook.
+	// down to a branch per hook. Runtime wiring, not a hardware
+	// parameter.
 	Trace *obsv.Tracer
 	// TraceProcess names the process grouping the GPU's tracks in the
 	// trace viewer — typically the demo name. Empty means "gpu".
@@ -95,7 +126,8 @@ type Config struct {
 }
 
 // R520Config returns the ATTILA configuration of Table II at the given
-// framebuffer size (the paper uses 1024x768).
+// framebuffer size (the paper uses 1024x768), with the Table XIV cache
+// geometries spelled out.
 func R520Config(w, h int) Config {
 	return Config{
 		Width: w, Height: h,
@@ -104,8 +136,13 @@ func R520Config(w, h int) Config {
 		BilinearsPerCycle: 16,
 		ZStencilRate:      16,
 		ColorRate:         16,
-		MemBytesPerCycle:  64,
+		MemBytesPerCycle:  mem.DefaultBytesPerCycle,
 		VertexCacheSize:   geom.DefaultVertexCacheSize,
+		ZCache:            zst.ZCacheConfig,
+		TexL0:             texture.L0Config,
+		TexL1:             texture.L1Config,
+		ColorCache:        rop.ColorCacheConfig,
+		TileBucketBlocks:  groupBlocks,
 		HZ:                true,
 		ZCompression:      true,
 		ColorCompression:  true,
@@ -193,7 +230,8 @@ type GPU struct {
 	// Tile-parallel backend state (Cfg.TileWorkers > 1).
 	workers  []*tileWorker
 	blocksX  int             // framebuffer width in 8x8 blocks
-	groupsX  int             // framebuffer width in groupBlocks-block buckets
+	bucketPx int             // bucket width in pixels (tileDim * Cfg.TileBucketBlocks)
+	groupsX  int             // framebuffer width in TileBucketBlocks-block buckets
 	buckets  [][]quadWork    // per-bucket binned quads, reused across draws
 	touched  []int32         // non-empty bucket indices this draw
 	order    []int32         // assignment scratch: touched sorted by load
@@ -230,7 +268,10 @@ const tileDim = 8
 // same lines between workers.
 const groupBlocks = 8
 
-// New creates a GPU simulator with the given configuration.
+// New creates a GPU simulator with the given configuration. Zero-valued
+// cache geometries, the vertex cache size, the memory rate and the
+// bucket width take the Table II / Table XIV defaults, so a zero Config
+// (plus a resolution) is the paper's hardware point.
 func New(cfg Config) *GPU {
 	if cfg.Width <= 0 || cfg.Height <= 0 {
 		cfg.Width, cfg.Height = 1024, 768
@@ -238,7 +279,22 @@ func New(cfg Config) *GPU {
 	if cfg.VertexCacheSize <= 0 {
 		cfg.VertexCacheSize = geom.DefaultVertexCacheSize
 	}
-	m := mem.NewController()
+	if cfg.ZCache == (cache.Config{}) {
+		cfg.ZCache = zst.ZCacheConfig
+	}
+	if cfg.TexL0 == (cache.Config{}) {
+		cfg.TexL0 = texture.L0Config
+	}
+	if cfg.TexL1 == (cache.Config{}) {
+		cfg.TexL1 = texture.L1Config
+	}
+	if cfg.ColorCache == (cache.Config{}) {
+		cfg.ColorCache = rop.ColorCacheConfig
+	}
+	if cfg.TileBucketBlocks <= 0 {
+		cfg.TileBucketBlocks = groupBlocks
+	}
+	m := mem.NewControllerRate(cfg.MemBytesPerCycle)
 	vs := shader.NewMachine()
 	fs := shader.NewMachine()
 	g := &GPU{
@@ -248,10 +304,10 @@ func New(cfg Config) *GPU {
 		fsMachine: fs,
 		geom:      geom.NewPipeline(vs, m),
 		rast:      rast.New(),
-		zbuf:      zst.NewBuffer(cfg.Width, cfg.Height, 0x0200_0000, m),
-		texUnit:   texture.NewUnit(m),
+		zbuf:      zst.NewBufferCache(cfg.Width, cfg.Height, 0x0200_0000, m, cfg.ZCache),
+		texUnit:   texture.NewUnitCaches(m, cfg.TexL0, cfg.TexL1),
 		frag:      fragment.NewStage(fs),
-		target:    rop.NewTarget(cfg.Width, cfg.Height, 0x0400_0000, m),
+		target:    rop.NewTargetCache(cfg.Width, cfg.Height, 0x0400_0000, m, cfg.ColorCache),
 	}
 	g.geom.VCache = cache.MustVertexCache(cfg.VertexCacheSize)
 	g.fsMachine.Sampler = g.texUnit
@@ -280,14 +336,15 @@ func New(cfg Config) *GPU {
 		// Shards must be created after the Compression/FastClear flags
 		// above are final: they copy the flags at creation.
 		g.blocksX = (cfg.Width + tileDim - 1) / tileDim
-		g.groupsX = (g.blocksX + groupBlocks - 1) / groupBlocks
+		g.bucketPx = tileDim * cfg.TileBucketBlocks
+		g.groupsX = (g.blocksX + cfg.TileBucketBlocks - 1) / cfg.TileBucketBlocks
 		groupsY := (cfg.Height + tileDim - 1) / tileDim
 		g.buckets = make([][]quadWork, g.groupsX*groupsY)
 		g.loads = make([]int, cfg.TileWorkers)
 		for i := 0; i < cfg.TileWorkers; i++ {
-			wmem := mem.NewController()
+			wmem := mem.NewControllerRate(cfg.MemBytesPerCycle)
 			wfs := shader.NewMachine()
-			wtex := texture.NewUnit(wmem)
+			wtex := texture.NewUnitCaches(wmem, cfg.TexL0, cfg.TexL1)
 			wfs.Sampler = wtex
 			w := &tileWorker{
 				pipe: pipe{
@@ -432,7 +489,7 @@ func (bn *binner) EmitQuad(q *rast.Quad) {
 	g := bn.g
 	// Quads are 2x2 at even coordinates, so a quad never straddles an
 	// 8x8 block; the top-left pixel identifies the bucket.
-	gi := (q.Y/tileDim)*g.groupsX + q.X/(tileDim*groupBlocks)
+	gi := (q.Y/tileDim)*g.groupsX + q.X/g.bucketPx
 	b := &g.buckets[gi]
 	if len(*b) == 0 {
 		g.touched = append(g.touched, int32(gi))

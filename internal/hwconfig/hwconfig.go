@@ -1,0 +1,238 @@
+// Package hwconfig turns the simulator's hardware model into a
+// first-class, sweepable artifact: a Variant is a complete, validated,
+// named set of the gpu.Config parameters (Table II rates, Table XIV
+// cache geometries, resolution, tile-parallel fan-out, bandwidth-saving
+// toggles), a registry holds the named points a sweep can reference
+// ("r520" plus cache-scaled, caches-off, ablation, resolution and
+// tile-worker families), and a canonical digest hashes the behavioral
+// parameters so equivalent configs — named or inline — share one
+// content address. The serve layer folds the digest into its result
+// cache key, which is what makes a sweep cell computed anywhere a hit
+// everywhere.
+package hwconfig
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"gpuchar/internal/cache"
+	"gpuchar/internal/geom"
+	"gpuchar/internal/gpu"
+	"gpuchar/internal/mem"
+	"gpuchar/internal/rop"
+	"gpuchar/internal/texture"
+	"gpuchar/internal/zst"
+)
+
+// CacheGeom is a cache geometry in the JSON-facing shape. It mirrors
+// cache.Config with stable snake_case field names.
+type CacheGeom struct {
+	Ways      int `json:"ways"`
+	Sets      int `json:"sets"`
+	LineBytes int `json:"line_bytes"`
+}
+
+// Config converts to the cache package's geometry type.
+func (g CacheGeom) Config() cache.Config {
+	return cache.Config{Ways: g.Ways, Sets: g.Sets, LineBytes: g.LineBytes}
+}
+
+// geomOf converts a cache.Config into the JSON-facing shape.
+func geomOf(c cache.Config) CacheGeom {
+	return CacheGeom{Ways: c.Ways, Sets: c.Sets, LineBytes: c.LineBytes}
+}
+
+// Variant is one named hardware point. Every field is a complete value
+// (no zero-means-default ambiguity) except Width/Height and
+// TileWorkers, where 0 means "inherit from the caller" — a variant
+// normally sweeps the machine, not the workload framing.
+//
+// JSON documents deserialize as overrides over Default(): absent fields
+// keep the r520 value, so an inline config of {"tex_l0":{"ways":16,
+// "sets":1,"line_bytes":64}} is the paper's machine with a quarter-size
+// texture L0.
+type Variant struct {
+	Name        string `json:"name,omitempty"`
+	Description string `json:"description,omitempty"`
+
+	// Width/Height pin the rendering resolution; 0 inherits the
+	// caller's (the resolution-family variants set these).
+	Width  int `json:"width,omitempty"`
+	Height int `json:"height,omitempty"`
+
+	// Informational Table II rates (reports and bandwidth projections
+	// only — see gpu.Config's behavioral/informational split).
+	UnifiedShaders    int `json:"unified_shaders"`
+	TrianglesPerCycle int `json:"triangles_per_cycle"`
+	BilinearsPerCycle int `json:"bilinears_per_cycle"`
+	ZStencilRate      int `json:"zstencil_rate"`
+	ColorRate         int `json:"color_rate"`
+	MemBytesPerCycle  int `json:"mem_bytes_per_cycle"`
+
+	// VertexCacheSize is the post-transform FIFO depth.
+	VertexCacheSize int `json:"vertex_cache_size"`
+
+	// The four Table XIV cache geometries.
+	ZCache     CacheGeom `json:"zcache"`
+	TexL0      CacheGeom `json:"tex_l0"`
+	TexL1      CacheGeom `json:"tex_l1"`
+	ColorCache CacheGeom `json:"color_cache"`
+
+	// TileWorkers pins the tile-parallel fan-out; 0 inherits the
+	// caller's. TileBucketBlocks is the parallel assignment granularity
+	// in 8x8 blocks.
+	TileWorkers      int `json:"tile_workers,omitempty"`
+	TileBucketBlocks int `json:"tile_bucket_blocks"`
+
+	// Bandwidth-saving feature toggles.
+	HZ               bool `json:"hz"`
+	ZCompression     bool `json:"z_compression"`
+	ColorCompression bool `json:"color_compression"`
+	FastClear        bool `json:"fast_clear"`
+}
+
+// Default returns the paper's hardware point: Table II rates and Table
+// XIV cache geometries, resolution and tile fan-out inherited from the
+// caller. Its parameter values are sourced from the stage packages'
+// constants, so the registry can never drift from the simulator.
+func Default() Variant {
+	return Variant{
+		Name:              "r520",
+		Description:       "ATTILA/R520 reference point (Table II rates, Table XIV caches)",
+		UnifiedShaders:    16,
+		TrianglesPerCycle: 2,
+		BilinearsPerCycle: 16,
+		ZStencilRate:      16,
+		ColorRate:         16,
+		MemBytesPerCycle:  mem.DefaultBytesPerCycle,
+		VertexCacheSize:   geom.DefaultVertexCacheSize,
+		ZCache:            geomOf(zst.ZCacheConfig),
+		TexL0:             geomOf(texture.L0Config),
+		TexL1:             geomOf(texture.L1Config),
+		ColorCache:        geomOf(rop.ColorCacheConfig),
+		TileBucketBlocks:  8,
+		HZ:                true,
+		ZCompression:      true,
+		ColorCompression:  true,
+		FastClear:         true,
+	}
+}
+
+// variantAlias strips Variant's methods so the JSON hooks below can use
+// the default struct (de)serialization.
+type variantAlias Variant
+
+// UnmarshalJSON decodes a variant document as overrides over Default():
+// fields present in the JSON replace the r520 value, absent fields keep
+// it. Name and Description never inherit — an inline override without a
+// name is anonymous, not a counterfeit "r520".
+func (v *Variant) UnmarshalJSON(b []byte) error {
+	a := variantAlias(Default())
+	a.Name, a.Description = "", ""
+	if err := json.Unmarshal(b, &a); err != nil {
+		return err
+	}
+	*v = Variant(a)
+	return nil
+}
+
+// Validate rejects a variant the simulator could not run: invalid cache
+// geometries (per cache.New), non-positive sizes or rates, or a
+// half-specified resolution.
+func (v Variant) Validate() error {
+	if (v.Width > 0) != (v.Height > 0) {
+		return fmt.Errorf("hwconfig: resolution %dx%d must set both dimensions or neither", v.Width, v.Height)
+	}
+	if v.Width < 0 || v.Height < 0 {
+		return fmt.Errorf("hwconfig: resolution %dx%d must not be negative", v.Width, v.Height)
+	}
+	for _, c := range []struct {
+		name string
+		g    CacheGeom
+	}{
+		{"zcache", v.ZCache}, {"tex_l0", v.TexL0},
+		{"tex_l1", v.TexL1}, {"color_cache", v.ColorCache},
+	} {
+		if _, err := cache.New(c.g.Config()); err != nil {
+			return fmt.Errorf("hwconfig: %s: %w", c.name, err)
+		}
+	}
+	if v.VertexCacheSize < 1 {
+		return fmt.Errorf("hwconfig: vertex_cache_size %d must be >= 1", v.VertexCacheSize)
+	}
+	if v.TileWorkers < 0 {
+		return fmt.Errorf("hwconfig: tile_workers %d must be >= 0", v.TileWorkers)
+	}
+	if v.TileBucketBlocks < 1 {
+		return fmt.Errorf("hwconfig: tile_bucket_blocks %d must be >= 1", v.TileBucketBlocks)
+	}
+	for _, r := range []struct {
+		name string
+		val  int
+	}{
+		{"unified_shaders", v.UnifiedShaders},
+		{"triangles_per_cycle", v.TrianglesPerCycle},
+		{"bilinears_per_cycle", v.BilinearsPerCycle},
+		{"zstencil_rate", v.ZStencilRate},
+		{"color_rate", v.ColorRate},
+		{"mem_bytes_per_cycle", v.MemBytesPerCycle},
+	} {
+		if r.val < 1 {
+			return fmt.Errorf("hwconfig: %s %d must be >= 1", r.name, r.val)
+		}
+	}
+	return nil
+}
+
+// Digest returns the canonical content address of the variant's
+// parameters: the SHA-256 of its canonical JSON with Name and
+// Description blanked. Two variants with the same digest run the same
+// simulation, whatever they are called — the property the serve layer's
+// cache key relies on.
+func (v Variant) Digest() string {
+	v.Name, v.Description = "", ""
+	doc, err := json.Marshal(variantAlias(v))
+	if err != nil {
+		// A Variant is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("hwconfig: marshal variant: %v", err))
+	}
+	sum := sha256.Sum256(doc)
+	return hex.EncodeToString(sum[:])
+}
+
+// defaultDigest is computed once; IsDefault is called per report row.
+var defaultDigest = Default().Digest()
+
+// IsDefault reports whether the variant is behaviorally the paper's
+// point (its digest matches Default's, whatever the name).
+func (v Variant) IsDefault() bool { return v.Digest() == defaultDigest }
+
+// GPUConfig materializes the variant as a simulator configuration at
+// the caller's resolution (overridden when the variant pins one).
+func (v Variant) GPUConfig(w, h int) gpu.Config {
+	if v.Width > 0 {
+		w, h = v.Width, v.Height
+	}
+	return gpu.Config{
+		Width: w, Height: h,
+		UnifiedShaders:    v.UnifiedShaders,
+		TrianglesPerCycle: v.TrianglesPerCycle,
+		BilinearsPerCycle: v.BilinearsPerCycle,
+		ZStencilRate:      v.ZStencilRate,
+		ColorRate:         v.ColorRate,
+		MemBytesPerCycle:  v.MemBytesPerCycle,
+		VertexCacheSize:   v.VertexCacheSize,
+		ZCache:            v.ZCache.Config(),
+		TexL0:             v.TexL0.Config(),
+		TexL1:             v.TexL1.Config(),
+		ColorCache:        v.ColorCache.Config(),
+		TileWorkers:       v.TileWorkers,
+		TileBucketBlocks:  v.TileBucketBlocks,
+		HZ:                v.HZ,
+		ZCompression:      v.ZCompression,
+		ColorCompression:  v.ColorCompression,
+		FastClear:         v.FastClear,
+	}
+}

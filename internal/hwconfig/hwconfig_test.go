@@ -1,0 +1,191 @@
+package hwconfig
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"gpuchar/internal/gpu"
+)
+
+// TestRegistryValid pins that every registry entry validates, names are
+// unique, and each non-default entry is behaviorally distinct from the
+// default (a registry variant that hashes like r520 is a no-op entry).
+func TestRegistryValid(t *testing.T) {
+	seen := map[string]bool{}
+	for _, v := range All() {
+		if v.Name == "" {
+			t.Fatal("registry variant with empty name")
+		}
+		if seen[v.Name] {
+			t.Fatalf("duplicate registry name %q", v.Name)
+		}
+		seen[v.Name] = true
+		if err := v.Validate(); err != nil {
+			t.Errorf("%s: %v", v.Name, err)
+		}
+		if v.Name != "r520" && v.IsDefault() {
+			t.Errorf("%s: digest equals the default's — no behavioral delta", v.Name)
+		}
+	}
+	if !seen["r520"] {
+		t.Fatal("registry is missing the r520 default")
+	}
+}
+
+// TestDefaultMatchesR520Config pins that materializing the default
+// variant reproduces gpu.R520Config exactly — the registry cannot drift
+// from the simulator's own Table II constructor.
+func TestDefaultMatchesR520Config(t *testing.T) {
+	got := Default().GPUConfig(1024, 768)
+	want := gpu.R520Config(1024, 768)
+	if got != want {
+		t.Errorf("Default().GPUConfig(1024,768) = %+v, want %+v", got, want)
+	}
+	if !Default().IsDefault() {
+		t.Error("Default().IsDefault() = false")
+	}
+}
+
+// TestJSONRoundTrip pins that every registry variant survives a
+// marshal/unmarshal cycle unchanged.
+func TestJSONRoundTrip(t *testing.T) {
+	for _, v := range All() {
+		doc, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", v.Name, err)
+		}
+		var back Variant
+		if err := json.Unmarshal(doc, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", v.Name, err)
+		}
+		if back != v {
+			t.Errorf("%s: round trip changed the variant:\n got %+v\nwant %+v", v.Name, back, v)
+		}
+	}
+}
+
+// TestJSONOverlay pins the inline-override semantics: absent fields
+// keep the r520 value, present fields replace it, and the name never
+// inherits.
+func TestJSONOverlay(t *testing.T) {
+	var v Variant
+	if err := json.Unmarshal([]byte(`{"hz": false, "tex_l0": {"ways": 16, "sets": 1, "line_bytes": 64}}`), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Name != "" {
+		t.Errorf("overlay inherited name %q", v.Name)
+	}
+	if v.HZ {
+		t.Error("overlay kept hz = true")
+	}
+	if v.TexL0.Ways != 16 {
+		t.Errorf("tex_l0.ways = %d, want 16", v.TexL0.Ways)
+	}
+	// Everything else is the default.
+	want := Default()
+	want.Name, want.Description = "", ""
+	want.HZ = false
+	want.TexL0.Ways = 16
+	if v != want {
+		t.Errorf("overlay = %+v, want %+v", v, want)
+	}
+}
+
+// TestDigestSemantics pins the content-address contract: the digest
+// ignores naming, tracks behavior, and an inline overlay equivalent to
+// a named variant shares its digest (the cross-submitter cache-hit
+// property).
+func TestDigestSemantics(t *testing.T) {
+	a := Default()
+	b := Default()
+	b.Name, b.Description = "renamed", "same machine"
+	if a.Digest() != b.Digest() {
+		t.Error("renaming changed the digest")
+	}
+	c := Default()
+	c.HZ = false
+	if c.Digest() == a.Digest() {
+		t.Error("disabling HZ kept the digest")
+	}
+
+	var inline Variant
+	if err := json.Unmarshal([]byte(`{"hz": false}`), &inline); err != nil {
+		t.Fatal(err)
+	}
+	named := MustByName("no-hz")
+	if inline.Digest() != named.Digest() {
+		t.Error("inline {\"hz\":false} and named no-hz differ in digest")
+	}
+}
+
+// TestValidateRejects pins a few representative invalid variants.
+func TestValidateRejects(t *testing.T) {
+	bad := []func(*Variant){
+		func(v *Variant) { v.ZCache.LineBytes = 100 }, // not a power of two
+		func(v *Variant) { v.TexL0.Ways = 0 },
+		func(v *Variant) { v.VertexCacheSize = 0 },
+		func(v *Variant) { v.Width = 640 }, // height missing
+		func(v *Variant) { v.TileBucketBlocks = 0 },
+		func(v *Variant) { v.MemBytesPerCycle = 0 },
+	}
+	for i, tweak := range bad {
+		v := Default()
+		tweak(&v)
+		if err := v.Validate(); err == nil {
+			t.Errorf("bad variant %d validated", i)
+		}
+	}
+}
+
+// informationalFields are the gpu.Config fields that never change what
+// the simulator computes (report labels and bandwidth projections
+// only); runtimeFields are observability wiring, not hardware
+// parameters. Everything else must be exercised by some registry
+// variant.
+var (
+	informationalFields = map[string]bool{
+		"UnifiedShaders":    true,
+		"TrianglesPerCycle": true,
+		"BilinearsPerCycle": true,
+		"ZStencilRate":      true,
+		"ColorRate":         true,
+		"MemBytesPerCycle":  true,
+	}
+	runtimeFields = map[string]bool{
+		"Trace":        true,
+		"TraceProcess": true,
+	}
+)
+
+// TestRegistryCoversGPUConfig is the exhaustiveness check: every
+// gpu.Config field is either varied by at least one registry variant or
+// explicitly classified informational/runtime above. Adding a
+// behavioral knob to gpu.Config without a sweepable variant (or an
+// explicit classification) fails here.
+func TestRegistryCoversGPUConfig(t *testing.T) {
+	base := reflect.ValueOf(Default().GPUConfig(1024, 768))
+	varied := map[string]bool{}
+	for _, v := range All() {
+		cfg := reflect.ValueOf(v.GPUConfig(1024, 768))
+		for i := 0; i < cfg.NumField(); i++ {
+			if !cfg.Field(i).Equal(base.Field(i)) {
+				varied[cfg.Type().Field(i).Name] = true
+			}
+		}
+	}
+	typ := reflect.TypeOf(gpu.Config{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		switch {
+		case varied[name]:
+			if informationalFields[name] || runtimeFields[name] {
+				t.Errorf("field %s is classified informational/runtime but some variant varies it", name)
+			}
+		case informationalFields[name], runtimeFields[name]:
+			// Explicitly out of sweep scope.
+		default:
+			t.Errorf("gpu.Config field %s is neither varied by a registry variant nor classified informational/runtime", name)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package hwconfig
+
+import "fmt"
+
+// derive copies the default variant and applies a tweak under a new
+// name — every registry entry is the r520 point plus one described
+// delta, so the families stay honest ablations.
+func derive(name, desc string, tweak func(*Variant)) Variant {
+	v := Default()
+	v.Name, v.Description = name, desc
+	tweak(&v)
+	return v
+}
+
+// All returns the named variant registry in listing order: the r520
+// default, the cache-scaled families, the caches-off point, the
+// bandwidth-saving ablations, the resolution family and the
+// tile-parallel family. Every entry passes Validate (pinned by test).
+func All() []Variant {
+	return []Variant{
+		Default(),
+
+		// Texture L0 scaling — "Table XIV as a function of L0 size".
+		derive("texl0-quarter", "texture L0 scaled to 1KB (16 ways)", func(v *Variant) { v.TexL0.Ways = 16 }),
+		derive("texl0-half", "texture L0 scaled to 2KB (32 ways)", func(v *Variant) { v.TexL0.Ways = 32 }),
+		derive("texl0-2x", "texture L0 scaled to 8KB (128 ways)", func(v *Variant) { v.TexL0.Ways = 128 }),
+		derive("texl0-4x", "texture L0 scaled to 16KB (256 ways)", func(v *Variant) { v.TexL0.Ways = 256 }),
+
+		// Texture L1 scaling (set count keeps the 16-way associativity).
+		derive("texl1-half", "texture L1 scaled to 8KB (8 sets)", func(v *Variant) { v.TexL1.Sets = 8 }),
+		derive("texl1-2x", "texture L1 scaled to 32KB (32 sets)", func(v *Variant) { v.TexL1.Sets = 32 }),
+
+		// Z & stencil and color cache scaling.
+		derive("zcache-half", "z & stencil cache scaled to 8KB (32 ways)", func(v *Variant) { v.ZCache.Ways = 32 }),
+		derive("zcache-2x", "z & stencil cache scaled to 32KB (128 ways)", func(v *Variant) { v.ZCache.Ways = 128 }),
+		derive("colorcache-half", "color cache scaled to 8KB (32 ways)", func(v *Variant) { v.ColorCache.Ways = 32 }),
+		derive("colorcache-2x", "color cache scaled to 32KB (128 ways)", func(v *Variant) { v.ColorCache.Ways = 128 }),
+
+		// Minimum-geometry caches: every access thrashes, so hit rates
+		// collapse and raw traffic surfaces. Stats move, the framebuffer
+		// must not (pinned by the caches-off ablation test).
+		derive("caches-off", "minimum-geometry caches everywhere (traffic upper bound)", func(v *Variant) {
+			v.ZCache.Ways, v.ZCache.Sets = 1, 1
+			v.TexL0.Ways, v.TexL0.Sets = 1, 1
+			v.TexL1.Ways, v.TexL1.Sets = 1, 1
+			v.ColorCache.Ways, v.ColorCache.Sets = 1, 1
+			v.VertexCacheSize = 1
+		}),
+
+		// Bandwidth-saving ablations (paper §III.E).
+		derive("no-hz", "Hierarchical Z disabled", func(v *Variant) { v.HZ = false }),
+		derive("no-zcompression", "z & stencil 2:1 compression disabled", func(v *Variant) { v.ZCompression = false }),
+		derive("no-colorcompression", "same-color block compression disabled", func(v *Variant) { v.ColorCompression = false }),
+		derive("no-compression", "both compression schemes disabled", func(v *Variant) {
+			v.ZCompression, v.ColorCompression = false, false
+		}),
+		derive("no-fastclear", "fast clear disabled (clears pay full fills)", func(v *Variant) { v.FastClear = false }),
+		derive("no-bw-savings", "compression and fast clear disabled (raw traffic)", func(v *Variant) {
+			v.ZCompression, v.ColorCompression, v.FastClear = false, false, false
+		}),
+
+		// Resolution family: pins the framebuffer size regardless of the
+		// caller's -w/-h.
+		derive("res-640x480", "640x480 framebuffer", func(v *Variant) { v.Width, v.Height = 640, 480 }),
+		derive("res-800x600", "800x600 framebuffer", func(v *Variant) { v.Width, v.Height = 800, 600 }),
+		derive("res-1280x1024", "1280x1024 framebuffer", func(v *Variant) { v.Width, v.Height = 1280, 1024 }),
+
+		// Tile-parallel family: pins the fragment-backend fan-out (the
+		// framebuffer stays exact; cache counters shard).
+		derive("tile-2", "2 tile-parallel fragment workers", func(v *Variant) { v.TileWorkers = 2 }),
+		derive("tile-4", "4 tile-parallel fragment workers", func(v *Variant) { v.TileWorkers = 4 }),
+		derive("tile-8", "8 tile-parallel fragment workers", func(v *Variant) { v.TileWorkers = 8 }),
+		derive("tile-4-bucket-1", "4 workers with single-block buckets (false-sharing study)", func(v *Variant) {
+			v.TileWorkers, v.TileBucketBlocks = 4, 1
+		}),
+	}
+}
+
+// ByName returns the named registry variant.
+func ByName(name string) (Variant, bool) {
+	for _, v := range All() {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return Variant{}, false
+}
+
+// MustByName is ByName for registry-sourced names (tests, cmd wiring).
+func MustByName(name string) Variant {
+	v, ok := ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("hwconfig: unknown variant %q", name))
+	}
+	return v
+}
+
+// Names returns every registry variant name in listing order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, v := range all {
+		names[i] = v.Name
+	}
+	return names
+}

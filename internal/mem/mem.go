@@ -92,10 +92,25 @@ type Controller struct {
 	_ [64]byte
 }
 
+// DefaultBytesPerCycle is the R520-like peak GDDR rate of Table II.
+const DefaultBytesPerCycle = 64
+
 // NewController returns a controller with the R520-like 64 bytes/cycle
 // peak rate.
 func NewController() *Controller {
-	return &Controller{BytesPerCycle: 64}
+	return NewControllerRate(DefaultBytesPerCycle)
+}
+
+// NewControllerRate returns a controller with an explicit peak transfer
+// rate (bytes/cycle); 0 or negative takes the Table II default. The
+// rate is informational — traffic counts never depend on it — but
+// variant configs carry it so bandwidth projections scale with the
+// modelled memory system.
+func NewControllerRate(bytesPerCycle int) *Controller {
+	if bytesPerCycle <= 0 {
+		bytesPerCycle = DefaultBytesPerCycle
+	}
+	return &Controller{BytesPerCycle: bytesPerCycle}
 }
 
 // Read records n bytes read from memory by client c.

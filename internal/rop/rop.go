@@ -96,7 +96,8 @@ func (s *Stats) Register(r *metrics.Registry, prefix string) {
 // compression.
 const blockDim = 8
 
-// ColorCacheConfig is the paper's Table XIV color cache geometry.
+// ColorCacheConfig is the paper's Table XIV color cache geometry — the
+// default for targets created without an explicit geometry.
 var ColorCacheConfig = cache.Config{Ways: 64, Sets: 1, LineBytes: 256}
 
 // compressedLineBytes is the cost of transferring a same-color block:
@@ -115,9 +116,13 @@ type Target struct {
 	blockCol  []gmath.Vec4 // the uniform color per block
 	clearCol  gmath.Vec4
 
-	cache  *cache.Cache
-	memctl *mem.Controller
-	stats  Stats
+	// cacheCfg is the target's color-cache geometry: one line per 8x8
+	// pixel block regardless of the configured line size (the same
+	// block-granular model as the z cache).
+	cacheCfg cache.Config
+	cache    *cache.Cache
+	memctl   *mem.Controller
+	stats    Stats
 
 	// shards lists the tile-worker views created by NewShard so Clear
 	// can propagate the clear register and cache invalidations. Only
@@ -130,9 +135,17 @@ type Target struct {
 	FastClear   bool
 }
 
-// NewTarget creates a w x h render target at baseAddr; memctl may be
-// nil to skip traffic accounting.
+// NewTarget creates a w x h render target at baseAddr with the Table
+// XIV cache geometry; memctl may be nil to skip traffic accounting.
 func NewTarget(w, h int, baseAddr uint64, memctl *mem.Controller) *Target {
+	return NewTargetCache(w, h, baseAddr, memctl, ColorCacheConfig)
+}
+
+// NewTargetCache is NewTarget with an explicit color-cache geometry,
+// the hook the sweepable hardware variants configure. The geometry must
+// be valid per cache.New; hwconfig.Variant.Validate vets user-supplied
+// configs before they reach this constructor.
+func NewTargetCache(w, h int, baseAddr uint64, memctl *mem.Controller, cc cache.Config) *Target {
 	nb := blocks(w) * blocks(h)
 	t := &Target{
 		w: w, h: h,
@@ -141,7 +154,8 @@ func NewTarget(w, h int, baseAddr uint64, memctl *mem.Controller) *Target {
 		clearLine: make([]bool, nb),
 		uniform:   make([]bool, nb),
 		blockCol:  make([]gmath.Vec4, nb),
-		cache:     cache.MustNew(ColorCacheConfig),
+		cacheCfg:  cc,
+		cache:     cache.MustNew(cc),
 		memctl:    memctl,
 
 		Compression: true,
@@ -166,7 +180,8 @@ func (t *Target) NewShard(memctl *mem.Controller) *Target {
 		uniform:   t.uniform,
 		blockCol:  t.blockCol,
 		clearCol:  t.clearCol,
-		cache:     cache.MustNew(ColorCacheConfig),
+		cacheCfg:  t.cacheCfg,
+		cache:     cache.MustNew(t.cacheCfg),
 		memctl:    memctl,
 
 		Compression: t.Compression,
@@ -294,7 +309,7 @@ func factor(f BlendFactor, src, dst gmath.Vec4) gmath.Vec4 {
 // others transfer a full line. Write-backs follow the same ladder.
 func (t *Target) touchLine(x, y int) {
 	bi := t.blockIndex(x, y)
-	addr := t.baseAddr + uint64(bi)*uint64(ColorCacheConfig.LineBytes)
+	addr := t.baseAddr + uint64(bi)*uint64(t.cacheCfg.LineBytes)
 	before := t.cache.Stats()
 	hit := t.cache.Access(addr, true)
 	if t.memctl == nil {
@@ -322,7 +337,7 @@ func (t *Target) touchLine(x, y int) {
 		case t.uniform[bi] && t.Compression:
 			t.memctl.Read(mem.ClientColor, compressedLineBytes)
 		default:
-			t.memctl.Read(mem.ClientColor, int64(ColorCacheConfig.LineBytes))
+			t.memctl.Read(mem.ClientColor, int64(t.cacheCfg.LineBytes))
 		}
 	}
 	t.clearLine[bi] = false
@@ -353,10 +368,10 @@ func (t *Target) FlushCache() {
 	if !t.Compression {
 		frac = 0
 	}
-	lines := wb / int64(ColorCacheConfig.LineBytes)
+	lines := wb / int64(t.cacheCfg.LineBytes)
 	compLines := int64(frac * float64(lines))
 	t.memctl.Write(mem.ClientColor,
-		compLines*compressedLineBytes+(lines-compLines)*int64(ColorCacheConfig.LineBytes))
+		compLines*compressedLineBytes+(lines-compLines)*int64(t.cacheCfg.LineBytes))
 }
 
 // ScanOut models the DAC reading the full frame for display, charging

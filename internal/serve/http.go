@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"gpuchar/internal/hwconfig"
 )
 
 // maxUploadBytes bounds a POST /jobs body; a trace upload past it is
@@ -30,9 +32,31 @@ const uploadReadTimeout = 2 * time.Minute
 //	GET    /jobs/{id}       status; ?wait=<dur> long-polls completion
 //	GET    /jobs/{id}/result  the finished metrics JSON document
 //	DELETE /jobs/{id}       cancel (and forget the checkpoint)
+//	GET    /configs         the named hardware variants a spec's
+//	                        "config" field may reference
 func (s *Service) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("/jobs", s.handleJobs)
 	mux.HandleFunc("/jobs/", s.handleJob)
+	mux.HandleFunc("/configs", s.handleConfigs)
+}
+
+// configView is one row of GET /configs.
+type configView struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Digest      string `json:"digest"`
+}
+
+func (s *Service) handleConfigs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var out []configView
+	for _, v := range hwconfig.All() {
+		out = append(out, configView{Name: v.Name, Description: v.Description, Digest: v.Digest()})
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
@@ -127,6 +151,19 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 		case err != nil:
 			httpError(w, http.StatusConflict, "%v", err)
 		default:
+			// The result body is schema-pinned (gpuchar/metrics/v1), so
+			// the effective-spec echo rides response headers instead.
+			if view, verr := s.Job(id); verr == nil {
+				if view.Config != "" {
+					w.Header().Set("X-Gpuchar-Config", view.Config)
+					w.Header().Set("X-Gpuchar-Config-Digest", view.ConfigDigest)
+				}
+				if view.Spec != nil {
+					if doc, merr := json.Marshal(view.Spec); merr == nil {
+						w.Header().Set("X-Gpuchar-Spec", string(doc))
+					}
+				}
+			}
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusOK)
 			_, _ = w.Write(res)

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"gpuchar/internal/core"
+	"gpuchar/internal/hwconfig"
 	"gpuchar/internal/trace"
 	"gpuchar/internal/workloads"
 )
@@ -21,7 +22,7 @@ import (
 // one build are never served for another (the simulator's counters are
 // bit-stable only within a build). Bump it when the characterization
 // output changes; tests override it to exercise invalidation.
-var CodeVersion = "gpuchar/1"
+var CodeVersion = "gpuchar/2"
 
 // JobSpec describes one characterization job: either an experiment
 // sweep over the synthetic workloads, or a replay of an uploaded trace
@@ -38,6 +39,15 @@ type JobSpec struct {
 	Height    int `json:"height,omitempty"`
 	// TileWorkers is the simulator's tile-parallel fan-out (0/1 serial).
 	TileWorkers int `json:"tile_workers,omitempty"`
+	// Config names a hardware variant from the hwconfig registry
+	// ("r520", "texl0-half", ...). Empty means the default point.
+	Config string `json:"config,omitempty"`
+	// ConfigParams is an inline hardware variant: a JSON document whose
+	// fields override the r520 default (hwconfig overlay semantics).
+	// Mutually exclusive with Config. Cache keys hash the variant's
+	// canonical digest, so an inline document equivalent to a named
+	// variant shares its cached results.
+	ConfigParams *hwconfig.Variant `json:"config_params,omitempty"`
 	// Trace, when non-empty, makes this a replay job: the bytes are a
 	// recorded trace stream (v1/v2), validated at submission. Trace jobs
 	// run no experiments.
@@ -56,6 +66,7 @@ func (s JobSpec) normalized() JobSpec {
 		// Replay jobs ignore the sweep parameters entirely.
 		s.Experiments = nil
 		s.APIFrames, s.SimFrames, s.Width, s.Height, s.TileWorkers = 0, 0, 0, 0, 0
+		s.Config, s.ConfigParams = "", nil
 		return s
 	}
 	if len(s.Experiments) == 0 {
@@ -103,16 +114,57 @@ func (s *JobSpec) validate() error {
 	if s.TileWorkers < 0 {
 		return fmt.Errorf("serve: tile_workers %d must be >= 0", s.TileWorkers)
 	}
+	v, err := s.variant()
+	if err != nil {
+		return err
+	}
+	if err := v.Validate(); err != nil {
+		return fmt.Errorf("serve: config: %w", err)
+	}
 	return nil
 }
 
+// variant resolves the spec's hardware selection: the named registry
+// entry, the inline parameter document, or the r520 default.
+func (s JobSpec) variant() (hwconfig.Variant, error) {
+	if s.Config != "" && s.ConfigParams != nil {
+		return hwconfig.Variant{}, fmt.Errorf("serve: config %q and config_params are mutually exclusive", s.Config)
+	}
+	if s.Config != "" {
+		v, ok := hwconfig.ByName(s.Config)
+		if !ok {
+			return hwconfig.Variant{}, fmt.Errorf("serve: unknown config %q", s.Config)
+		}
+		return v, nil
+	}
+	if s.ConfigParams != nil {
+		return *s.ConfigParams, nil
+	}
+	return hwconfig.Default(), nil
+}
+
+// hwVariant is variant() falling back to the default — for paths past
+// validation (runner, views) and for jobs restored from an older spool,
+// where the selection fields may be absent.
+func (s JobSpec) hwVariant() hwconfig.Variant {
+	v, err := s.variant()
+	if err != nil {
+		return hwconfig.Default()
+	}
+	return v
+}
+
 // keySpec is the canonical form hashed into the cache key: the
-// normalized spec with the trace bytes replaced by their digest, plus
-// the code version.
+// normalized spec with the trace bytes replaced by their digest and the
+// hardware selection replaced by its canonical digest, plus the code
+// version. Hashing the config digest (never the name) is what makes a
+// sweep cell computed under an inline config a cache hit for the
+// equivalent named one, and vice versa.
 type keySpec struct {
-	Spec     JobSpec `json:"spec"`
-	TraceSHA string  `json:"trace_sha,omitempty"`
-	CodeVer  string  `json:"code_version"`
+	Spec         JobSpec `json:"spec"`
+	TraceSHA     string  `json:"trace_sha,omitempty"`
+	ConfigDigest string  `json:"config_digest,omitempty"`
+	CodeVer      string  `json:"code_version"`
 }
 
 // key returns the content address of a normalized spec's result.
@@ -122,6 +174,9 @@ func (s JobSpec) key() string {
 		sum := sha256.Sum256(s.Trace)
 		ks.TraceSHA = hex.EncodeToString(sum[:])
 		ks.Spec.Trace = nil
+	} else {
+		ks.ConfigDigest = s.hwVariant().Digest()
+		ks.Spec.Config, ks.Spec.ConfigParams = "", nil
 	}
 	doc, err := json.Marshal(ks)
 	if err != nil {
@@ -200,11 +255,21 @@ type JobView struct {
 	FramesRestored int `json:"frames_restored,omitempty"`
 	// Experiments echoes the normalized sweep (empty for replay jobs).
 	Experiments []string `json:"experiments,omitempty"`
+	// Config and ConfigDigest echo the resolved hardware variant (empty
+	// for replay jobs; "inline" when the spec carried a parameter
+	// document without a name).
+	Config       string `json:"config,omitempty"`
+	ConfigDigest string `json:"config_digest,omitempty"`
+	// Spec echoes the fully-normalized spec the job runs under — every
+	// defaulted parameter made explicit — with the trace bytes elided.
+	Spec *JobSpec `json:"spec,omitempty"`
 }
 
 // view snapshots a job. Callers hold the service mutex.
 func (j *Job) view() JobView {
-	return JobView{
+	echo := j.Spec
+	echo.Trace = nil
+	v := JobView{
 		ID:             j.ID,
 		State:          j.state,
 		Error:          j.err,
@@ -214,7 +279,17 @@ func (j *Job) view() JobView {
 		FramesTotal:    j.framesTotal,
 		FramesRestored: j.framesRestored,
 		Experiments:    j.Spec.Experiments,
+		Spec:           &echo,
 	}
+	if len(j.Spec.Trace) == 0 {
+		hw := j.Spec.hwVariant()
+		v.Config = hw.Name
+		if v.Config == "" {
+			v.Config = "inline"
+		}
+		v.ConfigDigest = hw.Digest()
+	}
+	return v
 }
 
 // terminal reports whether a state is final.

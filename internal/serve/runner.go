@@ -8,7 +8,6 @@ import (
 	"gpuchar/internal/core"
 	"gpuchar/internal/fault"
 	"gpuchar/internal/gfxapi"
-	"gpuchar/internal/gpu"
 	"gpuchar/internal/metrics"
 	"gpuchar/internal/trace"
 )
@@ -47,6 +46,8 @@ func (s *Service) runJob(ctx context.Context, j *Job) ([]byte, error) {
 	cctx.SimFrames = spec.SimFrames
 	cctx.W, cctx.H = spec.Width, spec.Height
 	cctx.TileWorkers = spec.TileWorkers
+	hw := spec.hwVariant()
+	cctx.HW = &hw
 	cctx.Workers = 1 // everything is pre-seeded; nothing may re-render
 
 	for _, name := range api {
@@ -180,7 +181,10 @@ func (s *Service) seedSimFromCheckpoint(cctx *core.Context, j *Job, ck *checkpoi
 	if err != nil {
 		return false, err
 	}
-	r := &core.MicroResult{Prof: prof, W: j.Spec.Width, H: j.Spec.Height, Frames: frames}
+	// The effective resolution may differ from the spec's when the
+	// hardware variant pins one (the res-* family).
+	cfg := j.Spec.hwVariant().GPUConfig(j.Spec.Width, j.Spec.Height)
+	r := &core.MicroResult{Prof: prof, W: cfg.Width, H: cfg.Height, Frames: frames}
 	for _, f := range frames {
 		r.Agg.Accumulate(f)
 	}
@@ -200,8 +204,10 @@ func (s *Service) runSimDemo(ctx context.Context, j *Job, ck *checkpointFile,
 	if err != nil {
 		return err
 	}
-	cfg := gpu.R520Config(j.Spec.Width, j.Spec.Height)
-	cfg.TileWorkers = j.Spec.TileWorkers
+	cfg := j.Spec.hwVariant().GPUConfig(j.Spec.Width, j.Spec.Height)
+	if cfg.TileWorkers == 0 {
+		cfg.TileWorkers = j.Spec.TileWorkers
+	}
 	res, err := core.RunMicroCancelable(prof, j.Spec.SimFrames, cfg, func(frame int) error {
 		s.addFrames(j, 1, 0)
 		return ctx.Err()

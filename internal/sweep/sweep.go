@@ -1,0 +1,361 @@
+// Package sweep turns named hardware variants into comparative data: a
+// Spec expands a (config × demo × experiment) grid into cells, a Runner
+// produces each cell's metrics document — locally or through a gpuchard
+// daemon, where the config digest in the cache key dedupes cells across
+// submitters — and the Result renders the grid as a long-form CSV plus
+// per-metric pivot tables ("Table XIV as a function of texture-L0
+// size").
+package sweep
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"gpuchar/internal/core"
+	"gpuchar/internal/hwconfig"
+	"gpuchar/internal/metrics"
+	"gpuchar/internal/report"
+	"gpuchar/internal/serve"
+)
+
+// SchemaID tags the sweep result JSON document.
+const SchemaID = "gpuchar/sweep/v1"
+
+// Spec describes a sweep grid. The zero value with Configs filled runs
+// every simulated demo under table14 at paper defaults.
+type Spec struct {
+	// Configs are hwconfig registry names, one column per entry.
+	Configs []string `json:"configs"`
+	// Demos restricts the comparative rows; empty means every simulated
+	// demo (core.SimDemos).
+	Demos []string `json:"demos,omitempty"`
+	// Experiments are run in every cell; empty means table14 — the
+	// cheapest experiment that simulates every demo, which is all the
+	// metric extraction needs.
+	Experiments []string `json:"experiments,omitempty"`
+	// APIFrames/SimFrames/Width/Height/TileWorkers mirror the
+	// characterize flags; zero takes the serve defaults (120, 2, 1024,
+	// 768, 1).
+	APIFrames   int `json:"api_frames,omitempty"`
+	SimFrames   int `json:"sim_frames,omitempty"`
+	Width       int `json:"width,omitempty"`
+	Height      int `json:"height,omitempty"`
+	TileWorkers int `json:"tile_workers,omitempty"`
+}
+
+// Cell is one column of the sweep: a resolved hardware variant plus the
+// job that computes it. Cells with equal digests are deduped by Expand;
+// a daemon dedupes them again across sweeps through its result cache.
+type Cell struct {
+	Config hwconfig.Variant
+	Digest string
+	Job    serve.JobSpec
+}
+
+// normalized fills the spec's defaults in place.
+func (s Spec) normalized() Spec {
+	if len(s.Demos) == 0 {
+		s.Demos = append([]string{}, core.SimDemos...)
+	}
+	if len(s.Experiments) == 0 {
+		s.Experiments = []string{"table14"}
+	}
+	if s.SimFrames == 0 {
+		s.SimFrames = 2
+	}
+	return s
+}
+
+// Expand validates the spec and returns its cells in Configs order,
+// keeping the first of any digest-equal duplicates.
+func (s Spec) Expand() ([]Cell, error) {
+	if len(s.Configs) == 0 {
+		return nil, fmt.Errorf("sweep: no configs")
+	}
+	s = s.normalized()
+	for _, id := range s.Experiments {
+		if core.ByID(id) == nil {
+			return nil, fmt.Errorf("sweep: unknown experiment %q", id)
+		}
+	}
+	seen := map[string]string{}
+	var cells []Cell
+	for _, name := range s.Configs {
+		v, ok := hwconfig.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("sweep: unknown config %q (known: %v)", name, hwconfig.Names())
+		}
+		d := v.Digest()
+		if prev, dup := seen[d]; dup {
+			if prev == name {
+				continue // exact duplicate: silently collapse
+			}
+			return nil, fmt.Errorf("sweep: configs %q and %q are behaviorally identical", prev, name)
+		}
+		seen[d] = name
+		cells = append(cells, Cell{
+			Config: v,
+			Digest: d,
+			Job: serve.JobSpec{
+				Experiments: append([]string{}, s.Experiments...),
+				APIFrames:   s.APIFrames,
+				SimFrames:   s.SimFrames,
+				Width:       s.Width,
+				Height:      s.Height,
+				TileWorkers: s.TileWorkers,
+				Config:      name,
+			},
+		})
+	}
+	return cells, nil
+}
+
+// MetricNames are the derived comparative metrics, in output order.
+// Each is computed from a cell's frame="all" source="sim" snapshot;
+// metrics whose denominators were never exercised are omitted from the
+// row rather than reported as zero.
+var MetricNames = []string{
+	"vcache_hit_pct",
+	"zcache_hit_pct",
+	"texl0_hit_pct",
+	"texl1_hit_pct",
+	"colorcache_hit_pct",
+	"hz_kill_pct",
+	"zst_kill_pct",
+	"mem_mb_per_frame",
+}
+
+// Row is one (config, demo) point of the grid.
+type Row struct {
+	Config   string             `json:"config"`
+	Digest   string             `json:"config_digest"`
+	Demo     string             `json:"demo"`
+	CacheHit bool               `json:"cache_hit,omitempty"`
+	Metrics  map[string]float64 `json:"metrics"`
+}
+
+// Result is a completed sweep: the normalized spec and one row per
+// (config, demo) cell in grid order.
+type Result struct {
+	Schema string `json:"schema"`
+	Spec   Spec   `json:"spec"`
+	Rows   []Row  `json:"rows"`
+}
+
+// hitPct derives a hit percentage from a cache's hit/miss counters,
+// reporting false when the cache was never accessed.
+func hitPct(s metrics.Snapshot, prefix string) (float64, bool) {
+	h, _ := s.Get(prefix + "/hits")
+	m, _ := s.Get(prefix + "/misses")
+	if h+m == 0 {
+		return 0, false
+	}
+	return 100 * float64(h) / float64(h+m), true
+}
+
+// memSlugs are the memory controller's client counter segments.
+var memSlugs = []string{"vertex", "zstencil", "texture", "color", "dac", "cp"}
+
+// extractRow derives the comparative metrics for one demo from its
+// aggregate simulated snapshot.
+func extractRow(cell Cell, s metrics.Snapshot, simFrames int, cached bool) Row {
+	row := Row{
+		Config:   cell.Config.Name,
+		Digest:   cell.Digest,
+		Demo:     s.Label(core.LabelDemo),
+		CacheHit: cached,
+		Metrics:  map[string]float64{},
+	}
+	for name, prefix := range map[string]string{
+		"vcache_hit_pct":     "cache/vertex",
+		"zcache_hit_pct":     "cache/z",
+		"texl0_hit_pct":      "cache/tex_l0",
+		"texl1_hit_pct":      "cache/tex_l1",
+		"colorcache_hit_pct": "cache/color",
+	} {
+		if v, ok := hitPct(s, prefix); ok {
+			row.Metrics[name] = v
+		}
+	}
+	if in, _ := s.Get("zst/quads_in"); in > 0 {
+		hz, _ := s.Get("zst/quads_killed_hz")
+		z, _ := s.Get("zst/quads_killed")
+		row.Metrics["hz_kill_pct"] = 100 * float64(hz) / float64(in)
+		row.Metrics["zst_kill_pct"] = 100 * float64(z) / float64(in)
+	}
+	var traffic int64
+	for _, slug := range memSlugs {
+		rd, _ := s.Get("mem/" + slug + "/read_bytes")
+		wr, _ := s.Get("mem/" + slug + "/write_bytes")
+		traffic += rd + wr
+	}
+	if simFrames < 1 {
+		simFrames = 1
+	}
+	row.Metrics["mem_mb_per_frame"] = float64(traffic) / float64(simFrames) / (1 << 20)
+	return row
+}
+
+// CellRows extracts one Row per requested demo from a cell's metrics
+// document (the gpuchar/metrics/v1 payload its job produced). Demos
+// absent from the document are skipped — a keep-going run may have
+// dropped one.
+func (s Spec) CellRows(cell Cell, doc []byte, cached bool) ([]Row, error) {
+	s = s.normalized()
+	snaps, err := metrics.ReadJSON(bytes.NewReader(doc))
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %s: %w", cell.Config.Name, err)
+	}
+	bySim := map[string]metrics.Snapshot{}
+	for _, snap := range snaps {
+		if snap.Label(core.LabelSource) == core.SourceSim &&
+			snap.Label(core.LabelFrame) == core.LabelAllFrames {
+			bySim[snap.Label(core.LabelDemo)] = snap
+		}
+	}
+	var rows []Row
+	for _, demo := range s.Demos {
+		snap, ok := bySim[demo]
+		if !ok {
+			continue
+		}
+		rows = append(rows, extractRow(cell, snap, s.SimFrames, cached))
+	}
+	return rows, nil
+}
+
+// metricNames returns MetricNames filtered to those any row carries,
+// keeping canonical order, then any unknown extras sorted.
+func (r *Result) metricNames() []string {
+	present := map[string]bool{}
+	for _, row := range r.Rows {
+		for name := range row.Metrics {
+			present[name] = true
+		}
+	}
+	var names []string
+	for _, n := range MetricNames {
+		if present[n] {
+			names = append(names, n)
+			delete(present, n)
+		}
+	}
+	var extra []string
+	for n := range present {
+		extra = append(extra, n)
+	}
+	sort.Strings(extra)
+	return append(names, extra...)
+}
+
+// configOrder returns the distinct configs in first-appearance (grid)
+// order.
+func (r *Result) configOrder() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, row := range r.Rows {
+		if !seen[row.Config] {
+			seen[row.Config] = true
+			out = append(out, row.Config)
+		}
+	}
+	return out
+}
+
+// demoOrder returns the distinct demos in first-appearance order.
+func (r *Result) demoOrder() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, row := range r.Rows {
+		if !seen[row.Demo] {
+			seen[row.Demo] = true
+			out = append(out, row.Demo)
+		}
+	}
+	return out
+}
+
+// Pivot renders one metric as a table: demo rows × config columns.
+func (r *Result) Pivot(metric string) *report.Table {
+	configs := r.configOrder()
+	t := &report.Table{
+		ID:      "sweep/" + metric,
+		Title:   fmt.Sprintf("%s by hardware config", metric),
+		Headers: append([]string{"Game/Timedemo"}, configs...),
+	}
+	cell := map[[2]string]string{}
+	for _, row := range r.Rows {
+		if v, ok := row.Metrics[metric]; ok {
+			cell[[2]string{row.Demo, row.Config}] = report.F(v)
+		}
+	}
+	for _, demo := range r.demoOrder() {
+		cells := []string{demo}
+		for _, cfg := range configs {
+			cells = append(cells, cell[[2]string{demo, cfg}])
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// PivotTables renders every present metric as a pivot table.
+func (r *Result) PivotTables() []*report.Table {
+	var out []*report.Table
+	for _, name := range r.metricNames() {
+		out = append(out, r.Pivot(name))
+	}
+	return out
+}
+
+// WriteCSV writes the long form: one line per (config, demo, metric).
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"config", "config_digest", "demo", "metric", "value"}); err != nil {
+		return err
+	}
+	names := r.metricNames()
+	for _, row := range r.Rows {
+		for _, name := range names {
+			v, ok := row.Metrics[name]
+			if !ok {
+				continue
+			}
+			if err := cw.Write([]string{row.Config, row.Digest, row.Demo, name,
+				strconv.FormatFloat(v, 'g', -1, 64)}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON writes the result as the gpuchar/sweep/v1 document.
+func (r *Result) WriteJSON(w io.Writer) error {
+	r.Schema = SchemaID
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadJSON parses a WriteJSON document, rejecting other schemas.
+func ReadJSON(rd io.Reader) (*Result, error) {
+	var r Result
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("sweep: decode: %w", err)
+	}
+	if r.Schema != SchemaID {
+		return nil, fmt.Errorf("sweep: schema %q, want %q", r.Schema, SchemaID)
+	}
+	return &r, nil
+}

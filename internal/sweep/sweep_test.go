@@ -1,0 +1,262 @@
+package sweep
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// fakeDoc builds a minimal gpuchar/metrics/v1 document with one
+// aggregate simulated snapshot per demo, with counters scaled so cells
+// are distinguishable per config.
+func fakeDoc(scale int, demos ...string) []byte {
+	var snaps []string
+	for _, d := range demos {
+		snaps = append(snaps, fmt.Sprintf(`{
+			"labels": {"demo": %q, "frame": "all", "source": "sim"},
+			"counters": {
+				"cache/z/hits": %d, "cache/z/misses": 10,
+				"cache/tex_l0/hits": 80, "cache/tex_l0/misses": 20,
+				"zst/quads_in": 100, "zst/quads_killed_hz": 20, "zst/quads_killed": 30,
+				"mem/texture/read_bytes": 1048576, "mem/color/write_bytes": 1048576
+			}
+		}`, d, 90*scale))
+	}
+	return []byte(`{"schema": "gpuchar/metrics/v1", "snapshots": [` + strings.Join(snaps, ",") + `]}`)
+}
+
+func TestExpand(t *testing.T) {
+	cells, err := Spec{Configs: []string{"r520", "caches-off", "r520"}}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells, want 2 (duplicate r520 collapsed)", len(cells))
+	}
+	if cells[0].Config.Name != "r520" || cells[1].Config.Name != "caches-off" {
+		t.Errorf("cell order %s, %s", cells[0].Config.Name, cells[1].Config.Name)
+	}
+	if cells[0].Job.Config != "r520" || len(cells[0].Job.Experiments) == 0 {
+		t.Errorf("cell job not filled: %+v", cells[0].Job)
+	}
+	if cells[0].Digest == cells[1].Digest {
+		t.Error("distinct configs share a digest")
+	}
+
+	if _, err := (Spec{Configs: []string{"no-such"}}).Expand(); err == nil {
+		t.Error("unknown config accepted")
+	}
+	if _, err := (Spec{}).Expand(); err == nil {
+		t.Error("empty config list accepted")
+	}
+	if _, err := (Spec{Configs: []string{"r520"}, Experiments: []string{"nope"}}).Expand(); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestCellRows(t *testing.T) {
+	spec := Spec{Configs: []string{"r520"}, Demos: []string{"A", "B"}, SimFrames: 2}
+	cells, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := spec.CellRows(cells[0], fakeDoc(1, "A", "B", "C"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (demo C not requested)", len(rows))
+	}
+	r := rows[0]
+	if r.Config != "r520" || r.Demo != "A" || !r.CacheHit {
+		t.Errorf("row identity: %+v", r)
+	}
+	if got := r.Metrics["zcache_hit_pct"]; got != 90 {
+		t.Errorf("zcache_hit_pct = %g, want 90", got)
+	}
+	if got := r.Metrics["hz_kill_pct"]; got != 20 {
+		t.Errorf("hz_kill_pct = %g, want 20", got)
+	}
+	if got := r.Metrics["mem_mb_per_frame"]; got != 1 {
+		t.Errorf("mem_mb_per_frame = %g, want 1 (2MB over 2 frames)", got)
+	}
+	if _, ok := r.Metrics["colorcache_hit_pct"]; ok {
+		t.Error("unexercised color cache reported a hit rate")
+	}
+}
+
+// stubRunner serves canned documents per config name.
+type stubRunner struct {
+	docs   map[string][]byte
+	cached map[string]bool
+}
+
+func (s stubRunner) RunCell(cell Cell) ([]byte, bool, error) {
+	doc, ok := s.docs[cell.Config.Name]
+	if !ok {
+		return nil, false, fmt.Errorf("no doc for %s", cell.Config.Name)
+	}
+	return doc, s.cached[cell.Config.Name], nil
+}
+
+func TestRunAssemblesGridOrder(t *testing.T) {
+	spec := Spec{
+		Configs:   []string{"r520", "no-hz", "caches-off"},
+		Demos:     []string{"A", "B"},
+		SimFrames: 1,
+	}
+	r := stubRunner{
+		docs: map[string][]byte{
+			"r520":       fakeDoc(1, "A", "B"),
+			"no-hz":      fakeDoc(1, "A", "B"),
+			"caches-off": fakeDoc(1, "A", "B"),
+		},
+		cached: map[string]bool{"no-hz": true},
+	}
+	res, err := Run(spec, r, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(res.Rows))
+	}
+	// Grid order: config-major, demo-minor, regardless of completion
+	// order under 3 workers.
+	want := []string{"r520/A", "r520/B", "no-hz/A", "no-hz/B", "caches-off/A", "caches-off/B"}
+	for i, row := range res.Rows {
+		if got := row.Config + "/" + row.Demo; got != want[i] {
+			t.Errorf("row %d = %s, want %s", i, got, want[i])
+		}
+	}
+	if !res.Rows[2].CacheHit || res.Rows[0].CacheHit {
+		t.Error("cache_hit flags not carried through")
+	}
+
+	// A failing cell fails the sweep.
+	delete(r.docs, "no-hz")
+	if _, err := Run(spec, r, Options{}); err == nil {
+		t.Error("missing cell did not fail the sweep")
+	}
+}
+
+func TestPivotAndCSV(t *testing.T) {
+	spec := Spec{Configs: []string{"r520", "no-hz"}, Demos: []string{"A", "B"}, SimFrames: 1}
+	r := stubRunner{docs: map[string][]byte{
+		"r520":  fakeDoc(1, "A", "B"),
+		"no-hz": fakeDoc(2, "A", "B"),
+	}}
+	res, err := Run(spec, r, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Pivot("zcache_hit_pct")
+	if len(p.Headers) != 3 || p.Headers[1] != "r520" || p.Headers[2] != "no-hz" {
+		t.Fatalf("pivot headers %v", p.Headers)
+	}
+	if len(p.Rows) != 2 || p.Rows[0][0] != "A" {
+		t.Fatalf("pivot rows %v", p.Rows)
+	}
+	if p.Rows[0][1] == p.Rows[0][2] {
+		t.Errorf("pivot cells identical across configs: %v", p.Rows[0])
+	}
+	if n := len(res.PivotTables()); n < 4 {
+		t.Errorf("PivotTables = %d tables, want one per present metric", n)
+	}
+
+	var csvBuf bytes.Buffer
+	if err := res.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csvBuf.String(), "config,config_digest,demo,metric,value\n") {
+		t.Errorf("csv header: %q", strings.SplitN(csvBuf.String(), "\n", 2)[0])
+	}
+	if !strings.Contains(csvBuf.String(), "no-hz") {
+		t.Error("csv missing no-hz rows")
+	}
+
+	var jsonBuf bytes.Buffer
+	if err := res.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&jsonBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != len(res.Rows) || back.Schema != SchemaID {
+		t.Errorf("round trip: %d rows schema %q", len(back.Rows), back.Schema)
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"schema":"other"}`)); err == nil {
+		t.Error("foreign schema accepted")
+	}
+}
+
+// TestQueueRunner drives the submit → long-poll → result protocol
+// against a fake daemon.
+func TestQueueRunner(t *testing.T) {
+	polls := 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method", http.StatusMethodNotAllowed)
+			return
+		}
+		body, _ := io.ReadAll(r.Body)
+		if !strings.Contains(string(body), `"config":"no-hz"`) {
+			t.Errorf("submitted spec missing config: %s", body)
+		}
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"id": "j1", "state": "queued"}`)
+	})
+	mux.HandleFunc("/jobs/j1", func(w http.ResponseWriter, r *http.Request) {
+		polls++
+		state := "running"
+		if polls >= 2 {
+			state = "done"
+		}
+		fmt.Fprintf(w, `{"id": "j1", "state": %q, "cache_hit": true}`, state)
+	})
+	mux.HandleFunc("/jobs/j1/result", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write(fakeDoc(1, "A"))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	q := QueueRunner{Do: func(method, path, contentType string, body []byte, wantStatus int) ([]byte, error) {
+		req, err := http.NewRequest(method, srv.URL+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != wantStatus {
+			return nil, fmt.Errorf("status %d, want %d", resp.StatusCode, wantStatus)
+		}
+		return b, nil
+	}}
+
+	spec := Spec{Configs: []string{"no-hz"}, Demos: []string{"A"}, SimFrames: 1}
+	res, err := Run(spec, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || !res.Rows[0].CacheHit {
+		t.Fatalf("rows %+v", res.Rows)
+	}
+	if polls < 2 {
+		t.Errorf("expected the runner to poll to completion, polls = %d", polls)
+	}
+}

@@ -77,7 +77,8 @@ func (s SampleStats) AvgBilinearPerRequest() float64 {
 
 // L0Config and L1Config are the paper's Table XIV texture cache
 // geometries: a small fully-associative L0 holding decompressed texels
-// and a set-associative L1 holding compressed data.
+// and a set-associative L1 holding compressed data. They are the
+// defaults for units created without explicit geometries.
 var (
 	L0Config = cache.Config{Ways: 64, Sets: 1, LineBytes: 64}
 	L1Config = cache.Config{Ways: 16, Sets: 16, LineBytes: 64}
@@ -88,6 +89,8 @@ var (
 // implements the shader.Sampler interface.
 type Unit struct {
 	bindings [16]binding
+	l0Cfg    cache.Config
+	l1Cfg    cache.Config
 	l0       *cache.Cache
 	l1       *cache.Cache
 	memctl   *mem.Controller
@@ -99,12 +102,23 @@ type binding struct {
 	state SamplerState
 }
 
-// NewUnit creates a texture unit connected to the given memory
-// controller (which may be nil for pure filtering tests).
+// NewUnit creates a texture unit with the Table XIV cache geometries
+// connected to the given memory controller (which may be nil for pure
+// filtering tests).
 func NewUnit(m *mem.Controller) *Unit {
+	return NewUnitCaches(m, L0Config, L1Config)
+}
+
+// NewUnitCaches is NewUnit with explicit L0/L1 geometries, the hook the
+// sweepable hardware variants configure. The geometries must be valid
+// per cache.New; hwconfig.Variant.Validate vets user-supplied configs
+// before they reach this constructor.
+func NewUnitCaches(m *mem.Controller, l0, l1 cache.Config) *Unit {
 	return &Unit{
-		l0:     cache.MustNew(L0Config),
-		l1:     cache.MustNew(L1Config),
+		l0Cfg:  l0,
+		l1Cfg:  l1,
+		l0:     cache.MustNew(l0),
+		l1:     cache.MustNew(l1),
 		memctl: m,
 	}
 }
@@ -282,7 +296,7 @@ func (u *Unit) fetchTexel(t *Texture, x, y, lv int) gmath.Vec4 {
 	uncAddr := t.BaseAddr*16 + t.uncompressedOffset(x, y, lv)
 	if !u.l0.Access(uncAddr, false) {
 		if !u.l1.Access(compAddr, false) && u.memctl != nil {
-			u.memctl.Read(mem.ClientTexture, int64(L1Config.LineBytes))
+			u.memctl.Read(mem.ClientTexture, int64(u.l1Cfg.LineBytes))
 		}
 	}
 	return gmath.Vec4{

@@ -170,7 +170,8 @@ const hzBlockDim = 8
 // depth+stencil values = an 8x8 pixel block (Table XIV: 64w x 256B).
 const lineDim = 8
 
-// ZCacheConfig is the paper's Table XIV z & stencil cache geometry.
+// ZCacheConfig is the paper's Table XIV z & stencil cache geometry —
+// the default for buffers created without an explicit geometry.
 var ZCacheConfig = cache.Config{Ways: 64, Sets: 1, LineBytes: 256}
 
 // Buffer is the combined depth (float) + stencil (uint8) framebuffer
@@ -192,9 +193,14 @@ type Buffer struct {
 	clearZ    float32
 	clearS    uint8
 
-	zcache *cache.Cache
-	memctl *mem.Controller
-	stats  Stats
+	// cacheCfg is the buffer's z-cache geometry: one line per 8x8
+	// pixel block regardless of the configured line size, so shrinking
+	// LineBytes models a cheaper (leakier) cache without changing the
+	// block footprint the stage tests against.
+	cacheCfg cache.Config
+	zcache   *cache.Cache
+	memctl   *mem.Controller
+	stats    Stats
 
 	// shards lists the tile-worker views created by NewShard, so that
 	// Clear/ClearStencil can propagate the clear registers and cache
@@ -208,9 +214,18 @@ type Buffer struct {
 	FastClear   bool
 }
 
-// NewBuffer creates a w x h depth/stencil buffer. baseAddr places it in
-// the GPU address space for cache addressing; memctl may be nil.
+// NewBuffer creates a w x h depth/stencil buffer with the Table XIV
+// cache geometry. baseAddr places it in the GPU address space for cache
+// addressing; memctl may be nil.
 func NewBuffer(w, h int, baseAddr uint64, memctl *mem.Controller) *Buffer {
+	return NewBufferCache(w, h, baseAddr, memctl, ZCacheConfig)
+}
+
+// NewBufferCache is NewBuffer with an explicit z-cache geometry, the
+// hook the sweepable hardware variants configure. The geometry must be
+// valid per cache.New; hwconfig.Variant.Validate vets user-supplied
+// configs before they reach this constructor.
+func NewBufferCache(w, h int, baseAddr uint64, memctl *mem.Controller, cc cache.Config) *Buffer {
 	blocksX := (w + hzBlockDim - 1) / hzBlockDim
 	blocksY := (h + hzBlockDim - 1) / hzBlockDim
 	nb := blocksX * blocksY
@@ -223,7 +238,8 @@ func NewBuffer(w, h int, baseAddr uint64, memctl *mem.Controller) *Buffer {
 		cover:     make([]uint64, nb),
 		maxSince:  make([]float32, nb),
 		clearLine: make([]bool, nb),
-		zcache:    cache.MustNew(ZCacheConfig),
+		cacheCfg:  cc,
+		zcache:    cache.MustNew(cc),
 		memctl:    memctl,
 
 		Compression: true,
@@ -252,7 +268,8 @@ func (b *Buffer) NewShard(memctl *mem.Controller) *Buffer {
 		clearLine: b.clearLine,
 		clearZ:    b.clearZ,
 		clearS:    b.clearS,
-		zcache:    cache.MustNew(ZCacheConfig),
+		cacheCfg:  b.cacheCfg,
+		zcache:    cache.MustNew(b.cacheCfg),
 		memctl:    memctl,
 
 		Compression: b.Compression,
@@ -462,7 +479,7 @@ func (b *Buffer) writeDepth(x, y, idx int, z float32) {
 // fill and write-back traffic (accounted by charging half a line).
 func (b *Buffer) touchLine(x, y int, write bool) {
 	bi := b.blockIndex(x, y)
-	addr := b.baseAddr + uint64(bi)*uint64(ZCacheConfig.LineBytes)
+	addr := b.baseAddr + uint64(bi)*uint64(b.cacheCfg.LineBytes)
 	before := b.zcache.Stats()
 	hit := b.zcache.Access(addr, write)
 	if b.memctl == nil {
@@ -479,7 +496,7 @@ func (b *Buffer) touchLine(x, y int, write bool) {
 			b.clearLine[bi] = false
 		} else {
 			b.memctl.Read(mem.ClientZStencil,
-				b.compressed(int64(ZCacheConfig.LineBytes)))
+				b.compressed(int64(b.cacheCfg.LineBytes)))
 		}
 		if write {
 			b.clearLine[bi] = false
