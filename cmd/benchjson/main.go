@@ -19,10 +19,12 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
 	"gpuchar"
+	"gpuchar/internal/explorer"
 	"gpuchar/internal/geom"
 	"gpuchar/internal/gmath"
 	"gpuchar/internal/metrics"
@@ -88,6 +90,22 @@ type output struct {
 	// several worker counts. Every cell is a full (cheap) simulation, so
 	// the scaling ratio between counts is the reviewable signal.
 	ConfigSweep *configSweep `json:"config_sweep,omitempty"`
+
+	// ExplorerAPI is the explorer's serving-path costs: building the
+	// /api/compare document from two real recorded runs, and fanning one
+	// frame event out to 1/8/64 draining SSE subscribers (the hub's
+	// never-block publish path).
+	ExplorerAPI *explorerAPI `json:"explorer_api,omitempty"`
+}
+
+// explorerAPI holds the compare-builder and SSE fan-out measurements.
+type explorerAPI struct {
+	// CompareBuild is one Compare(a, b) document per op, over the full
+	// snapshot series of two single-frame simulated runs.
+	CompareBuild measurement `json:"compare_build"`
+	// SSEFanout is one Hub.Publish per op; Workers is the subscriber
+	// count the event fans out to.
+	SSEFanout []measurement `json:"sse_fanout"`
 }
 
 // configSweep is the cells/sec sweep over orchestrator worker counts.
@@ -386,6 +404,67 @@ func measureConfigSweep(workerCounts []int) *configSweep {
 	return out
 }
 
+// measureExplorerAPI builds two recorded runs from real single-frame
+// simulations under different hardware configs, then measures the
+// compare-document build and the SSE hub's fan-out to draining
+// subscribers.
+func measureExplorerAPI(demo string, w, h int) *explorerAPI {
+	mkRun := func(id, config string) *explorer.Run {
+		v, ok := gpuchar.HWConfigByName(config)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: unknown config %s\n", config)
+			os.Exit(1)
+		}
+		prof := gpuchar.ProfileByName(demo)
+		res, err := gpuchar.CharacterizeConfig(prof, 1, v.GPUConfig(w, h))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return &explorer.Run{
+			ID: id, Kind: explorer.KindConfig, Config: config,
+			ConfigDigest: v.Digest(), SimFrames: 1,
+			Snapshots: res.MetricsSnapshots(),
+		}
+	}
+	ra := mkRun("bench-a", "r520")
+	rb := mkRun("bench-b", "no-hz")
+
+	out := &explorerAPI{}
+	out.CompareBuild = bench(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			explorer.Compare(ra, rb)
+		}
+	})
+
+	ev := explorer.FrameEvent("bench", demo, 1, ra.FinalSnapshot())
+	for _, n := range []int{1, 8, 64} {
+		hub := explorer.NewHub()
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			sub := hub.Subscribe(1024)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for range sub.C {
+				}
+			}()
+		}
+		m := bench(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				hub.Publish(ev)
+			}
+		})
+		m.Workers = n
+		out.SSEFanout = append(out.SSEFanout, m)
+		hub.Close()
+		wg.Wait()
+	}
+	return out
+}
+
 func main() {
 	var (
 		demo   = flag.String("demo", "Doom3/trdemo2", "simulated demo to measure")
@@ -416,6 +495,8 @@ func main() {
 	doc.ServiceThroughput = measureServiceThroughput(24, 6, []int{1, 4, 8})
 	fmt.Fprintf(os.Stderr, "benchjson: config sweep...\n")
 	doc.ConfigSweep = measureConfigSweep([]int{1, 4, 8})
+	fmt.Fprintf(os.Stderr, "benchjson: explorer api...\n")
+	doc.ExplorerAPI = measureExplorerAPI(*demo, *width, *height)
 	for _, n := range counts {
 		fmt.Fprintf(os.Stderr, "benchjson: pipeline frame, workers=%d...\n", n)
 		doc.PipelineFrame = append(doc.PipelineFrame, benchFrame(*demo, *width, *height, n))

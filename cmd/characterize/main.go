@@ -16,12 +16,18 @@
 //	characterize -list-configs                 # named hardware variants
 //	characterize -exp table14 -config texl0-half   # run under a variant
 //	characterize -sweep r520,texl0-half,texl0-2x   # comparative pivot tables
+//	characterize -sweep-diff r520,no-hz            # two-config diff tables
+//
+// With -listen, the server also mounts the run explorer: the embedded
+// UI at /, /api/runs, /api/compare and the /api/events SSE stream, with
+// every completed experiment recorded as a run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -29,6 +35,8 @@ import (
 
 	"gpuchar"
 	"gpuchar/internal/cliutil"
+	"gpuchar/internal/explorer"
+	"gpuchar/internal/metrics"
 	"gpuchar/internal/obsv"
 )
 
@@ -82,6 +90,8 @@ func main() {
 			"write the sweep result as a gpuchar/sweep/v1 JSON document")
 		sweepCSV = flag.String("sweep-csv", "",
 			"write the sweep result as long-form CSV (config,digest,demo,metric,value)")
+		sweepDiff = flag.String("sweep-diff", "",
+			"two comma-separated config names: run both and print per-metric diff tables (the /api/compare document)")
 	)
 	flag.Parse()
 
@@ -128,9 +138,17 @@ func main() {
 	profStop = stopProf
 	defer stopProf()
 
-	if *sweepConfigs != "" {
+	if *sweepConfigs != "" || *sweepDiff != "" {
 		if *configName != "" {
-			cliutil.Usagef("characterize", "-sweep and -config are mutually exclusive")
+			cliutil.Usagef("characterize", "-sweep/-sweep-diff and -config are mutually exclusive")
+		}
+		if *sweepConfigs != "" && *sweepDiff != "" {
+			cliutil.Usagef("characterize", "-sweep and -sweep-diff are mutually exclusive")
+		}
+		if *sweepDiff != "" {
+			runSweepDiff(*sweepDiff, *exp, *frames, *simFrames, *width, *height,
+				*tileWorkers, *workers, *markdown)
+			return
 		}
 		runSweep(*sweepConfigs, *exp, *frames, *simFrames, *width, *height,
 			*tileWorkers, *workers, *markdown, *sweepJSON, *sweepCSV)
@@ -188,15 +206,43 @@ func main() {
 		ctx.TraceSample = *traceSample
 	}
 	if *listen != "" {
+		hw := gpuchar.DefaultHWConfig()
+		if ctx.HW != nil {
+			hw = *ctx.HW
+		}
+		reg := explorer.NewRegistry(0)
+		defer reg.Close()
+		// Every finished experiment becomes an explorer run, so the
+		// embedded UI, /api/runs and /api/compare work against a live
+		// characterization exactly as they do against the daemon.
+		ctx.OnExperimentDone = func(id string, snaps []metrics.Snapshot) {
+			reg.Record(explorer.Run{
+				ID:           id,
+				Kind:         explorer.KindExperiment,
+				Config:       hw.Name,
+				ConfigDigest: hw.Digest(),
+				Experiments:  []string{id},
+				SimFrames:    *simFrames,
+				Snapshots:    snaps,
+			})
+		}
+		tracker.OnFrame = func(demo string, frame int) {
+			reg.Publish(explorer.Event{
+				Type:  explorer.EventProgress,
+				Demo:  demo,
+				Frame: frame,
+			})
+		}
 		srv, err := obsv.StartServer(*listen, obsv.ServerSources{
 			Snapshots: ctx.LiveSnapshots,
 			Progress:  tracker.Snapshot,
+			Mount:     func(mux *http.ServeMux) { reg.Mount(mux) },
 		})
 		if err != nil {
 			fail(fmt.Errorf("-listen %q: %w", *listen, err))
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "characterize: observability server on http://%s\n", srv.Addr)
+		fmt.Fprintf(os.Stderr, "characterize: explorer + observability server on http://%s\n", srv.Addr)
 	}
 
 	results, runErr := gpuchar.RunExperiments(ids, ctx)
@@ -301,6 +347,68 @@ func runSweep(configs, exp string, frames, simFrames, width, height,
 	}
 	writeSweepArtifact(jsonPath, res.WriteJSON)
 	writeSweepArtifact(csvPath, res.WriteCSV)
+}
+
+// runSweepDiff characterizes two named configs and prints their
+// per-metric diff tables — the same gpuchar/compare/v1 document a live
+// daemon serves from /api/compare, built offline. -exp narrows the
+// experiments ("all" keeps table14, the cheapest full-simulation one).
+func runSweepDiff(configs, exp string, frames, simFrames, width, height,
+	tileWorkers, workers int, markdown bool) {
+
+	var names []string
+	for _, name := range strings.Split(configs, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
+		}
+	}
+	if len(names) != 2 {
+		cliutil.Usagef("characterize", "-sweep-diff wants exactly two config names, got %d", len(names))
+	}
+	ids := []string{"table14"}
+	if exp != "" && exp != "all" {
+		ids = nil
+		for _, id := range strings.Split(exp, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+	runs := make([]*explorer.Run, 2)
+	for i, name := range names {
+		v, ok := gpuchar.HWConfigByName(name)
+		if !ok {
+			cliutil.Usagef("characterize", "-sweep-diff %q is not a known config (see -list-configs)", name)
+		}
+		ctx := gpuchar.NewContext()
+		ctx.APIFrames = frames
+		ctx.SimFrames = simFrames
+		ctx.W, ctx.H = width, height
+		ctx.Workers = workers
+		ctx.TileWorkers = tileWorkers
+		ctx.HW = &v
+		fmt.Fprintf(os.Stderr, "sweep-diff: running %s under %s\n", strings.Join(ids, ","), name)
+		if _, err := gpuchar.RunExperiments(ids, ctx); err != nil {
+			fail(fmt.Errorf("config %s: %w", name, err))
+		}
+		runs[i] = &explorer.Run{
+			ID:           name,
+			Kind:         explorer.KindConfig,
+			Config:       name,
+			ConfigDigest: v.Digest(),
+			Experiments:  ids,
+			SimFrames:    simFrames,
+			Snapshots:    ctx.ExportSnapshots(),
+		}
+	}
+	for _, t := range explorer.Compare(runs[0], runs[1]).Tables() {
+		if markdown {
+			t.Markdown(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
 }
 
 // writeSweepArtifact writes one sweep output file, skipping empty paths.

@@ -8,12 +8,14 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"gpuchar/internal/cliutil"
+	"gpuchar/internal/explorer"
 	"gpuchar/internal/serve"
 	"gpuchar/internal/sweep"
 )
@@ -22,6 +24,7 @@ import (
 //
 //	gpuchard client [-addr URL] [-retries N] [-max-wait D] submit [-exp ids] [-frames N] [-config name] ... [-wait]
 //	gpuchard client [-addr URL] sweep -configs a,b,c [-demos ...] [-json out]
+//	gpuchard client [-addr URL] compare <a> <b> [-json] [-md]
 //	gpuchard client [-addr URL] status|result|cancel <id>
 //	gpuchard client [-addr URL] list
 //	gpuchard client [-addr URL] configs
@@ -35,7 +38,7 @@ func runClient(args []string) {
 	_ = fs.Parse(args)
 	rest := fs.Args()
 	if len(rest) == 0 {
-		cliutil.Usagef("gpuchard", "client needs a command: submit, sweep, status, result, cancel, list, configs")
+		cliutil.Usagef("gpuchard", "client needs a command: submit, sweep, compare, status, result, cancel, list, configs")
 	}
 	c := &client{
 		base:    strings.TrimRight(*addr, "/"),
@@ -48,6 +51,8 @@ func runClient(args []string) {
 		c.submit(ids)
 	case "sweep":
 		c.sweep(ids)
+	case "compare":
+		c.compare(ids)
 	case "configs":
 		c.printJSON("/configs")
 	case "status":
@@ -189,6 +194,39 @@ func (c *client) sweep(args []string) {
 	}
 	writeArtifact(*jsonOut, res.WriteJSON)
 	writeArtifact(*csvOut, res.WriteCSV)
+}
+
+// compare fetches the daemon's gpuchar/compare/v1 document between two
+// recorded runs (by job ID, config name, or digest prefix) and renders
+// it as the per-metric diff tables — the same document builder behind
+// the explorer UI's diff view.
+func (c *client) compare(args []string) {
+	fs := flag.NewFlagSet("gpuchard client compare", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "print the raw gpuchar/compare/v1 document instead of tables")
+	md := fs.Bool("md", false, "render diff tables as markdown")
+	_ = fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) != 2 {
+		cliutil.Usagef("gpuchard", "client compare needs exactly two runs: <a> <b> (job id, config name, or digest prefix)")
+	}
+	body := c.get("/api/compare?a="+url.QueryEscape(rest[0])+
+		"&b="+url.QueryEscape(rest[1]), http.StatusOK)
+	if *jsonOut {
+		_, _ = os.Stdout.Write(body)
+		return
+	}
+	var doc explorer.CompareDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		fail(err)
+	}
+	for _, t := range doc.Tables() {
+		if *md {
+			t.Markdown(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
 }
 
 // splitList parses a comma-separated flag value, dropping empties.

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"gpuchar/internal/explorer"
 	"gpuchar/internal/serve"
 )
 
@@ -13,6 +14,8 @@ import (
 type serveOpts struct {
 	listen string
 	drain  time.Duration
+	// runs bounds the explorer run registry's retention.
+	runs int
 	// Fault injection (chaos testing only): a fault plan and the seed
 	// that makes its schedule reproducible.
 	faultPlan string
@@ -49,6 +52,8 @@ func serveFlags() (*flag.FlagSet, *serve.Config, *serveOpts) {
 		"how long load shedding lasts unless a spool write succeeds sooner")
 	fs.DurationVar(&opts.drain, "drain", 30*time.Second,
 		"graceful shutdown budget after SIGINT/SIGTERM")
+	fs.IntVar(&opts.runs, "runs", explorer.DefaultMaxRuns,
+		"completed runs the explorer registry retains for /api/runs and /api/compare")
 	fs.StringVar(&opts.faultPlan, "fault", "",
 		"CHAOS TESTING: comma-separated fault rules site:kind:prob[:count[:after]] (see internal/fault)")
 	fs.Int64Var(&opts.faultSeed, "fault-seed", 1,

@@ -15,6 +15,10 @@
 //	GET    /jobs/{id}/result  the finished gpuchar/metrics/v1 document
 //	DELETE /jobs/{id}         cancel
 //	/metrics /progress /healthz /debug/pprof/   (observability)
+//	GET    /                  embedded explorer UI (runs, live view, diffing)
+//	GET    /api/runs          recorded run registry (also /api/runs/{id})
+//	GET    /api/compare?a=&b= gpuchar/compare/v1 diff of two runs/configs
+//	GET    /api/events        SSE: progress ticks + frame counter deltas
 //
 // With -spool, jobs survive the process: a killed daemon restarted on
 // the same spool resumes interrupted jobs from their last frame
@@ -25,6 +29,7 @@
 //	gpuchard client -addr http://host:9190 submit -exp fig1,table3
 //	gpuchard client submit -trace doom3.trc -name doom3
 //	gpuchard client status <id>
+//	gpuchard client compare <a> <b>
 //	gpuchard client result <id> > metrics.json
 //	gpuchard client cancel <id>
 //	gpuchard client list
@@ -35,11 +40,13 @@ package main
 
 import (
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"gpuchar/internal/cliutil"
+	"gpuchar/internal/explorer"
 	"gpuchar/internal/fault"
 	"gpuchar/internal/obsv"
 	"gpuchar/internal/serve"
@@ -90,14 +97,23 @@ func runServe(args []string) {
 			opts.faultSeed, opts.faultPlan)
 	}
 
+	// The explorer registry records every completed job and serves the
+	// embedded UI at /, the run/compare APIs under /api/, and the SSE
+	// event stream.
+	reg := explorer.NewRegistry(opts.runs)
+	cfg.Explorer = reg
+
 	svc, err := serve.Open(*cfg)
 	if err != nil {
 		fail(err)
 	}
 	srv, err := obsv.StartServer(opts.listen, obsv.ServerSources{
 		Snapshots: svc.MetricsSnapshots,
-		Mount:     svc.Mount,
-		Health:    svc.Health,
+		Mount: func(mux *http.ServeMux) {
+			svc.Mount(mux)
+			reg.Mount(mux)
+		},
+		Health: svc.Health,
 	})
 	if err != nil {
 		fail(fmt.Errorf("-listen %q: %w", opts.listen, err))
@@ -116,8 +132,11 @@ func runServe(args []string) {
 
 	ctx, cancel := contextWithTimeout(opts.drain)
 	defer cancel()
-	// Stop accepting HTTP first so clients see clean refusals, then let
-	// the workers persist their final checkpoints.
+	// End the SSE event streams first — they are in-flight requests the
+	// HTTP drain would otherwise wait on — then stop accepting HTTP so
+	// clients see clean refusals, then let the workers persist their
+	// final checkpoints.
+	reg.Close()
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "gpuchard: http shutdown: %v\n", err)
 	}

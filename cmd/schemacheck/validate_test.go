@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"gpuchar/internal/explorer"
+	"gpuchar/internal/metrics"
 )
 
 func parse(t *testing.T, src string) any {
@@ -90,5 +93,37 @@ func TestViolationsAreCaught(t *testing.T) {
 				t.Fatalf("no violation matching %q in %v", tc.wantErr, errs)
 			}
 		})
+	}
+}
+
+// TestCompareDocumentConforms validates a real explorer.Compare output
+// against compare_schema.json — the same gate CI applies to a live
+// daemon's /api/compare response.
+func TestCompareDocumentConforms(t *testing.T) {
+	schema, err := loadJSON("../../compare_schema.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(id, config, digest string, hz int64) *explorer.Run {
+		reg := metrics.NewRegistry()
+		var in, killed int64 = 1000, hz
+		reg.Bind("zst/quads_in", &in)
+		reg.Bind("zst/quads_killed_hz", &killed)
+		return &explorer.Run{
+			ID: id, Kind: explorer.KindJob, Config: config, ConfigDigest: digest,
+			SimFrames: 1,
+			Snapshots: []metrics.Snapshot{reg.Snapshot().WithLabels(
+				"demo", "Doom3/trdemo2", "source", "sim", "frame", "all")},
+		}
+	}
+	doc := explorer.Compare(
+		mk("ra", "r520", "aaaa1111aaaa1111", 200),
+		mk("rb", "no-hz", "bbbb2222bbbb2222", 0))
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := Validate(schema, parse(t, string(raw))); len(errs) != 0 {
+		t.Fatalf("compare document rejected: %v", errs)
 	}
 }

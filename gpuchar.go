@@ -21,9 +21,11 @@ package gpuchar
 
 import (
 	"gpuchar/internal/core"
+	"gpuchar/internal/explorer"
 	"gpuchar/internal/gfxapi"
 	"gpuchar/internal/gpu"
 	"gpuchar/internal/hwconfig"
+	"gpuchar/internal/metrics"
 	"gpuchar/internal/obsv"
 	"gpuchar/internal/sweep"
 	"gpuchar/internal/trace"
@@ -101,6 +103,21 @@ type (
 	LocalSweepRunner = sweep.LocalRunner
 	// QueueSweepRunner computes sweep cells through a gpuchard daemon.
 	QueueSweepRunner = sweep.QueueRunner
+	// MetricsSnapshot is one immutable set of named counters — the unit
+	// the explorer records, diffs and streams.
+	MetricsSnapshot = metrics.Snapshot
+	// ExplorerRegistry records completed runs and serves the embedded
+	// explorer UI, /api/runs, /api/compare and the /api/events SSE
+	// stream; Mount it on an ObservabilityServer's mux.
+	ExplorerRegistry = explorer.Registry
+	// ExplorerRun is one recorded run: identity, configuration, and the
+	// snapshots backing /api/compare.
+	ExplorerRun = explorer.Run
+	// ExplorerEvent is one SSE event (progress tick, frame counter
+	// delta, or run-recorded notice).
+	ExplorerEvent = explorer.Event
+	// CompareDoc is the gpuchar/compare/v1 two-run diff document.
+	CompareDoc = explorer.CompareDoc
 )
 
 // Graphics API dialects (Table I).
@@ -190,6 +207,16 @@ func HWConfigNames() []string { return hwconfig.Names() }
 
 // DefaultHWConfig returns the paper's r520 hardware point.
 func DefaultHWConfig() HWVariant { return hwconfig.Default() }
+
+// NewExplorerRegistry creates a run registry retaining at most maxRuns
+// completed runs (<= 0 uses the default retention).
+func NewExplorerRegistry(maxRuns int) *ExplorerRegistry {
+	return explorer.NewRegistry(maxRuns)
+}
+
+// CompareRuns builds the gpuchar/compare/v1 diff document between two
+// recorded runs; its Tables render the per-metric diff tables.
+func CompareRuns(a, b *ExplorerRun) *CompareDoc { return explorer.Compare(a, b) }
 
 // RunSweep expands a sweep spec and computes every cell through the
 // runner, returning the comparative grid.

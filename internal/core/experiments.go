@@ -8,6 +8,7 @@ import (
 	"gpuchar/internal/gpu"
 	"gpuchar/internal/hwconfig"
 	"gpuchar/internal/mem"
+	"gpuchar/internal/metrics"
 	"gpuchar/internal/obsv"
 	"gpuchar/internal/report"
 	"gpuchar/internal/workloads"
@@ -73,6 +74,12 @@ type Context struct {
 	// per-frame completion events — the shared feed behind the
 	// `-progress` ticker and the HTTP /progress endpoint.
 	Progress *obsv.ProgressTracker
+	// OnExperimentDone, when non-nil, receives each successfully
+	// completed experiment together with the export snapshots of the
+	// demos it demanded — the feed `characterize -listen` records into
+	// the explorer run registry. Called synchronously from
+	// RunExperiments, in experiment order; set it before the run starts.
+	OnExperimentDone func(id string, snaps []metrics.Snapshot)
 
 	mu         sync.Mutex
 	apiCache   map[string]*APIResult

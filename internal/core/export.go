@@ -105,6 +105,44 @@ func (c *Context) ExportSnapshots() []metrics.Snapshot {
 	return out
 }
 
+// experimentSnapshots collects the export snapshots of exactly the
+// demos one experiment demanded — the slice of ExportSnapshots the
+// OnExperimentDone hook hands to the explorer registry. Demos whose
+// renders failed (keep-going) or were never cached are skipped.
+func (c *Context) experimentSnapshots(id string) []metrics.Snapshot {
+	wantAPI, wantSim, err := demoDemand([]string{id})
+	if err != nil {
+		return nil
+	}
+	c.mu.Lock()
+	api := make(map[string]*APIResult, len(wantAPI))
+	for _, name := range wantAPI {
+		if r, ok := c.apiCache[name]; ok {
+			api[name] = r
+		}
+	}
+	micro := make(map[string]*MicroResult, len(wantSim))
+	for _, name := range wantSim {
+		if r, ok := c.microCache[name]; ok {
+			micro[name] = r
+		}
+	}
+	c.mu.Unlock()
+
+	var out []metrics.Snapshot
+	for _, p := range workloads.Registry() {
+		if r, ok := api[p.Name]; ok {
+			out = append(out, r.MetricsSnapshots()...)
+		}
+	}
+	for _, p := range workloads.Registry() {
+		if r, ok := micro[p.Name]; ok {
+			out = append(out, r.MetricsSnapshots()...)
+		}
+	}
+	return out
+}
+
 // WriteJSON writes the context's collected snapshots as the
 // gpuchar/metrics/v1 JSON document (the `characterize -json` payload).
 func (c *Context) WriteJSON(w io.Writer) error {

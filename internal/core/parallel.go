@@ -115,6 +115,9 @@ func RunExperiments(c *Context, ids []string) ([]*Result, error) {
 			continue
 		}
 		out = append(out, res)
+		if c.OnExperimentDone != nil {
+			c.OnExperimentDone(id, c.experimentSnapshots(id))
+		}
 	}
 	errs = append(errs, c.demoFailures()...)
 	if len(errs) > 0 {

@@ -122,6 +122,22 @@ func renderOneGuarded(name string, dev *gfxapi.Device, wl *workloads.Workload, h
 func RunMicroCancelable(prof *workloads.Profile, frames int, cfg gpu.Config,
 	onFrame func(frame int) error) (*MicroResult, error) {
 
+	var hook func(int, metrics.Snapshot) error
+	if onFrame != nil {
+		hook = func(f int, _ metrics.Snapshot) error { return onFrame(f) }
+	}
+	return RunMicroObserved(prof, frames, cfg, hook)
+}
+
+// RunMicroObserved is RunMicroCancelable with the GPU's frame-boundary
+// state exposed: each callback also receives the cumulative counter
+// snapshot the GPU published at EndFrame (the same snapshot
+// PublishedSnapshot serves to concurrent scrapers). Diffing successive
+// boundaries gives per-frame counter deltas without tracing — the feed
+// behind the explorer's live SSE frame events.
+func RunMicroObserved(prof *workloads.Profile, frames int, cfg gpu.Config,
+	onFrame func(frame int, boundary metrics.Snapshot) error) (*MicroResult, error) {
+
 	if prof == nil || !prof.Simulated {
 		return nil, fmt.Errorf("core: profile not simulated")
 	}
@@ -133,7 +149,8 @@ func RunMicroCancelable(prof *workloads.Profile, frames int, cfg gpu.Config,
 			return nil, err
 		}
 		if onFrame != nil {
-			if err := onFrame(f); err != nil {
+			boundary, _ := g.PublishedSnapshot()
+			if err := onFrame(f, boundary); err != nil {
 				return nil, err
 			}
 		}

@@ -1,0 +1,250 @@
+package explorer
+
+import (
+	"fmt"
+	"sort"
+
+	"gpuchar/internal/report"
+)
+
+// CompareSchemaID tags the comparison document
+// (compare_schema.json gates it in CI).
+const CompareSchemaID = "gpuchar/compare/v1"
+
+// Side identifies one run of a comparison.
+type Side struct {
+	ID           string `json:"id"`
+	Kind         string `json:"kind,omitempty"`
+	Config       string `json:"config,omitempty"`
+	ConfigDigest string `json:"config_digest,omitempty"`
+	SimFrames    int    `json:"sim_frames,omitempty"`
+}
+
+// label names the side in table headers: config name when known, run ID
+// otherwise.
+func (s Side) label() string {
+	if s.Config != "" && s.Config != "inline" {
+		return s.Config
+	}
+	return s.ID
+}
+
+// DeltaRow is one metric compared across the two sides. Delta is b-a
+// exactly as metrics.Snapshot.Diff computes it for raw counters; Ratio
+// is b/a, omitted when a is zero.
+type DeltaRow struct {
+	Name  string   `json:"name"`
+	A     float64  `json:"a"`
+	B     float64  `json:"b"`
+	Delta float64  `json:"delta"`
+	Ratio *float64 `json:"ratio,omitempty"`
+}
+
+// DemoDelta compares the derived metrics of one demo across the sides.
+type DemoDelta struct {
+	Demo    string     `json:"demo"`
+	Metrics []DeltaRow `json:"metrics"`
+}
+
+// CompareDoc is the gpuchar/compare/v1 document: a full per-counter
+// diff of the runs' final snapshots, plus the derived comparative
+// metrics pivoted per demo the way internal/sweep's tables are.
+type CompareDoc struct {
+	Schema   string      `json:"schema"`
+	A        Side        `json:"a"`
+	B        Side        `json:"b"`
+	Counters []DeltaRow  `json:"counters"`
+	Demos    []DemoDelta `json:"demos,omitempty"`
+}
+
+// ratioOf returns b/a as an optional ratio.
+func ratioOf(a, b float64) *float64 {
+	if a == 0 {
+		return nil
+	}
+	r := b / a
+	return &r
+}
+
+// side summarizes a run for the document header.
+func side(r *Run) Side {
+	return Side{
+		ID:           r.ID,
+		Kind:         r.Kind,
+		Config:       r.Config,
+		ConfigDigest: r.ConfigDigest,
+		SimFrames:    r.SimFrames,
+	}
+}
+
+// Compare builds the comparison document for two recorded runs. The
+// counter section is driven by b.FinalSnapshot().Diff(a.FinalSnapshot())
+// so every delta is exactly the metrics.Snapshot.Diff value — the
+// acceptance contract the tests pin. The demo section derives the
+// comparative metrics (DeriveMetrics) per demo present on either side.
+func Compare(a, b *Run) *CompareDoc {
+	doc := &CompareDoc{
+		Schema: CompareSchemaID,
+		A:      side(a),
+		B:      side(b),
+	}
+
+	fa, fb := a.FinalSnapshot(), b.FinalSnapshot()
+	diff := fb.Diff(fa)
+	doc.Counters = make([]DeltaRow, 0, diff.Len())
+	for _, c := range diff.Counters() {
+		av, bv := 0.0, 0.0
+		if ca, ok := fa.GetFloat(c.Name); ok {
+			av = ca
+		}
+		if cb, ok := fb.GetFloat(c.Name); ok {
+			bv = cb
+		}
+		doc.Counters = append(doc.Counters, DeltaRow{
+			Name:  c.Name,
+			A:     av,
+			B:     bv,
+			Delta: c.Value(),
+			Ratio: ratioOf(av, bv),
+		})
+	}
+
+	// Demo section: union of both sides' demos, a-side order first.
+	demoSeen := map[string]bool{}
+	var demos []string
+	for _, r := range []*Run{a, b} {
+		for _, d := range r.demoOrder() {
+			if !demoSeen[d] {
+				demoSeen[d] = true
+				demos = append(demos, d)
+			}
+		}
+	}
+	for _, demo := range demos {
+		sa, oka := a.SimAggregate(demo)
+		sb, okb := b.SimAggregate(demo)
+		if !oka && !okb {
+			continue
+		}
+		ma := map[string]float64{}
+		mb := map[string]float64{}
+		if oka {
+			ma = DeriveMetrics(sa, a.SimFrames)
+		}
+		if okb {
+			mb = DeriveMetrics(sb, b.SimFrames)
+		}
+		var rows []DeltaRow
+		for _, name := range MetricNames {
+			av, hasA := ma[name]
+			bv, hasB := mb[name]
+			if !hasA && !hasB {
+				continue
+			}
+			rows = append(rows, DeltaRow{
+				Name:  name,
+				A:     av,
+				B:     bv,
+				Delta: bv - av,
+				Ratio: ratioOf(av, bv),
+			})
+		}
+		if len(rows) > 0 {
+			doc.Demos = append(doc.Demos, DemoDelta{Demo: demo, Metrics: rows})
+		}
+	}
+	return doc
+}
+
+// topCounterDeltas is how many raw-counter rows the CLI table shows.
+const topCounterDeltas = 16
+
+// Tables renders the document the way sweep pivots render: one table
+// per derived metric (demo rows × a/b/delta columns), then the largest
+// raw-counter movements. The same renderer backs `characterize
+// -sweep-diff` and `gpuchard client compare`.
+func (d *CompareDoc) Tables() []*report.Table {
+	aLab, bLab := d.A.label(), d.B.label()
+	if aLab == bLab {
+		aLab, bLab = "a:"+aLab, "b:"+bLab
+	}
+	var out []*report.Table
+
+	byMetric := map[string]map[string]DeltaRow{}
+	for _, dd := range d.Demos {
+		for _, row := range dd.Metrics {
+			if byMetric[row.Name] == nil {
+				byMetric[row.Name] = map[string]DeltaRow{}
+			}
+			byMetric[row.Name][dd.Demo] = row
+		}
+	}
+	for _, metric := range MetricNames {
+		perDemo, ok := byMetric[metric]
+		if !ok {
+			continue
+		}
+		t := &report.Table{
+			ID:      "compare/" + metric,
+			Title:   fmt.Sprintf("%s: %s vs %s", metric, aLab, bLab),
+			Headers: []string{"Game/Timedemo", aLab, bLab, "delta"},
+		}
+		for _, dd := range d.Demos {
+			row, ok := perDemo[dd.Demo]
+			if !ok {
+				continue
+			}
+			t.AddRow(dd.Demo, report.F(row.A), report.F(row.B), report.F(row.Delta))
+		}
+		out = append(out, t)
+	}
+
+	moved := make([]DeltaRow, 0, len(d.Counters))
+	for _, row := range d.Counters {
+		if row.Delta != 0 {
+			moved = append(moved, row)
+		}
+	}
+	sort.Slice(moved, func(i, j int) bool {
+		di, dj := moved[i].Delta, moved[j].Delta
+		if di < 0 {
+			di = -di
+		}
+		if dj < 0 {
+			dj = -dj
+		}
+		if di != dj {
+			return di > dj
+		}
+		return moved[i].Name < moved[j].Name
+	})
+	if len(moved) > topCounterDeltas {
+		moved = moved[:topCounterDeltas]
+	}
+	t := &report.Table{
+		ID:      "compare/counters",
+		Title:   fmt.Sprintf("largest counter deltas: %s vs %s", aLab, bLab),
+		Headers: []string{"Counter", aLab, bLab, "delta", "ratio"},
+		Notes:   []string{fmt.Sprintf("top %d of %d differing counters by |delta|", len(moved), countMoved(d.Counters))},
+	}
+	for _, row := range moved {
+		ratio := ""
+		if row.Ratio != nil {
+			ratio = report.F(*row.Ratio)
+		}
+		t.AddRow(row.Name, report.F(row.A), report.F(row.B), report.F(row.Delta), ratio)
+	}
+	out = append(out, t)
+	return out
+}
+
+// countMoved counts rows with a nonzero delta.
+func countMoved(rows []DeltaRow) int {
+	n := 0
+	for _, r := range rows {
+		if r.Delta != 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,170 @@
+package explorer
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCompareCountersPinnedToSnapshotDiff is the acceptance contract:
+// every per-counter delta in the compare document equals the
+// metrics.Snapshot.Diff of the two runs' final snapshots, exactly.
+func TestCompareCountersPinnedToSnapshotDiff(t *testing.T) {
+	a := simRun("ra", "r520", "aaaa1111aaaa1111", map[string]int64{
+		"zst/quads_in":        1000,
+		"zst/quads_killed_hz": 200,
+		"cache/z/hits":        900,
+		"cache/z/misses":      100,
+		"only/in_a":           7,
+	})
+	b := simRun("rb", "no-hz", "bbbb2222bbbb2222", map[string]int64{
+		"zst/quads_in":        1000,
+		"zst/quads_killed_hz": 0,
+		"cache/z/hits":        850,
+		"cache/z/misses":      150,
+		"only/in_b":           3,
+	})
+
+	doc := Compare(a, b)
+	if doc.Schema != CompareSchemaID {
+		t.Errorf("schema = %q, want %q", doc.Schema, CompareSchemaID)
+	}
+	if doc.A.ID != "ra" || doc.B.ID != "rb" || doc.A.ConfigDigest == doc.B.ConfigDigest {
+		t.Errorf("sides = %+v / %+v", doc.A, doc.B)
+	}
+
+	fa, fb := a.FinalSnapshot(), b.FinalSnapshot()
+	diff := fb.Diff(fa)
+	if len(doc.Counters) != diff.Len() {
+		t.Fatalf("counter rows = %d, want the full diff (%d)", len(doc.Counters), diff.Len())
+	}
+	for i, c := range diff.Counters() {
+		row := doc.Counters[i]
+		if row.Name != c.Name {
+			t.Fatalf("row %d = %q, want diff order (%q)", i, row.Name, c.Name)
+		}
+		if row.Delta != c.Value() {
+			t.Errorf("%s delta = %v, want Snapshot.Diff value %v", row.Name, row.Delta, c.Value())
+		}
+		av, _ := fa.GetFloat(c.Name)
+		bv, _ := fb.GetFloat(c.Name)
+		if row.A != av || row.B != bv {
+			t.Errorf("%s a/b = %v/%v, want %v/%v", row.Name, row.A, row.B, av, bv)
+		}
+		if av == 0 {
+			if row.Ratio != nil {
+				t.Errorf("%s ratio = %v with a==0, want omitted", row.Name, *row.Ratio)
+			}
+		} else if row.Ratio == nil || *row.Ratio != bv/av {
+			t.Errorf("%s ratio wrong", row.Name)
+		}
+	}
+}
+
+// TestCompareDemoMetricsMatchDeriveMetrics pins the demo section to the
+// shared derivation the sweep pivot tables use.
+func TestCompareDemoMetricsMatchDeriveMetrics(t *testing.T) {
+	vals := map[string]int64{
+		"zst/quads_in":           2000,
+		"zst/quads_killed_hz":    300,
+		"zst/quads_killed":       700,
+		"cache/z/hits":           90,
+		"cache/z/misses":         10,
+		"mem/texture/read_bytes": 4 << 20,
+	}
+	a := simRun("ra", "r520", "aaaa1111aaaa1111", vals)
+	b := simRun("rb", "no-hz", "bbbb2222bbbb2222", map[string]int64{
+		"zst/quads_in":     2000,
+		"zst/quads_killed": 900,
+		"cache/z/hits":     80,
+		"cache/z/misses":   20,
+	})
+
+	doc := Compare(a, b)
+	if len(doc.Demos) != 1 || doc.Demos[0].Demo != "Doom3/trdemo2" {
+		t.Fatalf("demos = %+v", doc.Demos)
+	}
+	sa, _ := a.SimAggregate("Doom3/trdemo2")
+	sb, _ := b.SimAggregate("Doom3/trdemo2")
+	ma := DeriveMetrics(sa, a.SimFrames)
+	mb := DeriveMetrics(sb, b.SimFrames)
+	for _, row := range doc.Demos[0].Metrics {
+		if row.A != ma[row.Name] || row.B != mb[row.Name] {
+			t.Errorf("%s = %v/%v, want DeriveMetrics %v/%v",
+				row.Name, row.A, row.B, ma[row.Name], mb[row.Name])
+		}
+		if row.Delta != row.B-row.A {
+			t.Errorf("%s delta = %v, want b-a", row.Name, row.Delta)
+		}
+	}
+	// hz_kill_pct: a kills 15%, b never kills via HZ but quads_in > 0 so
+	// the metric is present on both sides.
+	found := false
+	for _, row := range doc.Demos[0].Metrics {
+		if row.Name == "hz_kill_pct" {
+			found = true
+			if row.A != 15 || row.B != 0 {
+				t.Errorf("hz_kill_pct = %v/%v, want 15/0", row.A, row.B)
+			}
+		}
+	}
+	if !found {
+		t.Error("hz_kill_pct row missing")
+	}
+}
+
+func TestDeriveMetricsGuards(t *testing.T) {
+	// Never-exercised denominators omit the metric instead of zeroing it.
+	s := snap(map[string]int64{"cache/z/hits": 0, "cache/z/misses": 0})
+	m := DeriveMetrics(s, 1)
+	if _, ok := m["zcache_hit_pct"]; ok {
+		t.Error("zcache_hit_pct present with an idle cache")
+	}
+	if _, ok := m["hz_kill_pct"]; ok {
+		t.Error("hz_kill_pct present without quads")
+	}
+	// mem_mb_per_frame is always present and per-frame normalized.
+	s = snap(map[string]int64{"mem/texture/read_bytes": 8 << 20})
+	if v := DeriveMetrics(s, 4)["mem_mb_per_frame"]; math.Abs(v-2) > 1e-12 {
+		t.Errorf("mem_mb_per_frame = %v, want 2", v)
+	}
+	// A zero simFrames normalizes by one rather than dividing by zero.
+	if v := DeriveMetrics(s, 0)["mem_mb_per_frame"]; math.Abs(v-8) > 1e-12 {
+		t.Errorf("mem_mb_per_frame(0 frames) = %v, want 8", v)
+	}
+}
+
+func TestCompareTables(t *testing.T) {
+	a := simRun("ra", "r520", "aaaa1111aaaa1111", map[string]int64{
+		"zst/quads_in": 100, "zst/quads_killed_hz": 20, "zst/quads_killed": 30,
+	})
+	b := simRun("rb", "no-hz", "bbbb2222bbbb2222", map[string]int64{
+		"zst/quads_in": 100, "zst/quads_killed_hz": 0, "zst/quads_killed": 60,
+	})
+	tables := Compare(a, b).Tables()
+	if len(tables) == 0 {
+		t.Fatal("no tables")
+	}
+	last := tables[len(tables)-1]
+	if last.ID != "compare/counters" {
+		t.Errorf("last table = %s, want compare/counters", last.ID)
+	}
+	// Zero-delta counters (quads_in) are filtered from the movement table.
+	for _, row := range last.Rows {
+		if row[0] == "zst/quads_in" {
+			t.Error("zero-delta counter listed among the movers")
+		}
+	}
+	// Metric tables are headed by the config names.
+	first := tables[0]
+	if first.Headers[1] != "r520" || first.Headers[2] != "no-hz" {
+		t.Errorf("headers = %v, want config-name columns", first.Headers)
+	}
+
+	// Identical labels are disambiguated rather than duplicated.
+	b2 := simRun("rb2", "r520", "aaaa1111aaaa1111", map[string]int64{"zst/quads_in": 100})
+	tables = Compare(a, b2).Tables()
+	h := tables[len(tables)-1].Headers
+	if h[1] == h[2] {
+		t.Errorf("equal side labels not disambiguated: %v", h)
+	}
+}

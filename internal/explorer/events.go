@@ -1,0 +1,191 @@
+package explorer
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gpuchar/internal/metrics"
+)
+
+// Event types on the /api/events stream.
+const (
+	// EventHello opens every subscription with the hub's current stats.
+	EventHello = "hello"
+	// EventProgress is a frame-count tick for an in-flight run.
+	EventProgress = "progress"
+	// EventFrame carries the counter delta of one completed simulated
+	// frame (the GPU's published frame-boundary snapshot diffed against
+	// the previous boundary).
+	EventFrame = "frame"
+	// EventRun announces a newly recorded run.
+	EventRun = "run"
+)
+
+// Event is one message on the explorer stream. Fields are sparse; each
+// type fills the subset it needs.
+type Event struct {
+	Type string `json:"type"`
+	// Seq is a monotone publication counter, assigned by the hub.
+	Seq int64 `json:"seq"`
+	// Run names the job/run the event belongs to ("" for whole-process
+	// progress ticks from characterize).
+	Run   string `json:"run,omitempty"`
+	Demo  string `json:"demo,omitempty"`
+	Frame int    `json:"frame,omitempty"`
+	// FramesDone / FramesTotal carry progress-tick counts.
+	FramesDone  int `json:"frames_done,omitempty"`
+	FramesTotal int `json:"frames_total,omitempty"`
+	// State carries a job state or run kind, per event type.
+	State string `json:"state,omitempty"`
+	// Counters holds the nonzero per-counter deltas of a frame event.
+	Counters map[string]float64 `json:"counters,omitempty"`
+}
+
+// FrameEvent builds a frame-boundary event from a delta snapshot,
+// keeping only nonzero counters.
+func FrameEvent(run, demo string, frame int, delta metrics.Snapshot) Event {
+	counters := make(map[string]float64, delta.Len())
+	for _, c := range delta.Counters() {
+		if v := c.Value(); v != 0 {
+			counters[c.Name] = v
+		}
+	}
+	return Event{Type: EventFrame, Run: run, Demo: demo, Frame: frame, Counters: counters}
+}
+
+// DefaultSubscriberBuffer is the per-subscriber channel depth when the
+// caller passes none: deep enough to absorb flush latency, shallow
+// enough that one stuck consumer costs little memory.
+const DefaultSubscriberBuffer = 64
+
+// Subscriber is one event stream consumer. Receive from C until it
+// closes (hub shut down), then call Unsubscribe.
+type Subscriber struct {
+	C  <-chan Event
+	ch chan Event
+	// dropped counts events discarded because this subscriber's buffer
+	// was full — the same never-block contract as the tracer's ring
+	// (dropped_events): publishers never wait on a slow consumer.
+	dropped atomic.Int64
+}
+
+// Dropped returns how many events this subscriber missed to a full
+// buffer.
+func (s *Subscriber) Dropped() int64 { return s.dropped.Load() }
+
+// Hub fans events out to SSE subscribers. Publish never blocks: a
+// subscriber whose buffer is full loses the event and its drop counter
+// advances. All methods are nil-safe.
+type Hub struct {
+	mu      sync.Mutex
+	subs    map[*Subscriber]bool
+	closed  bool
+	seq     int64
+	dropped atomic.Int64
+}
+
+// HubStats is the hub's counter block, reported under /api/runs.
+type HubStats struct {
+	Subscribers int   `json:"subscribers"`
+	Published   int64 `json:"published"`
+	Dropped     int64 `json:"dropped"`
+}
+
+// NewHub creates an empty hub.
+func NewHub() *Hub {
+	return &Hub{subs: map[*Subscriber]bool{}}
+}
+
+// Subscribe registers a consumer with the given buffer depth (<= 0
+// takes DefaultSubscriberBuffer). On a closed hub the returned
+// subscriber's channel is already closed.
+func (h *Hub) Subscribe(buffer int) *Subscriber {
+	if buffer <= 0 {
+		buffer = DefaultSubscriberBuffer
+	}
+	sub := &Subscriber{ch: make(chan Event, buffer)}
+	sub.C = sub.ch
+	if h == nil {
+		close(sub.ch)
+		return sub
+	}
+	h.mu.Lock()
+	if h.closed {
+		close(sub.ch)
+	} else {
+		h.subs[sub] = true
+	}
+	h.mu.Unlock()
+	return sub
+}
+
+// Unsubscribe removes a consumer and closes its channel (unless the hub
+// close already did).
+func (h *Hub) Unsubscribe(sub *Subscriber) {
+	if h == nil || sub == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.subs[sub] {
+		delete(h.subs, sub)
+		close(sub.ch)
+	}
+	h.mu.Unlock()
+}
+
+// Publish assigns the event its sequence number and offers it to every
+// subscriber without blocking; full buffers drop it and account the
+// loss.
+func (h *Hub) Publish(e Event) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.seq++
+	e.Seq = h.seq
+	for sub := range h.subs {
+		select {
+		case sub.ch <- e:
+		default:
+			sub.dropped.Add(1)
+			h.dropped.Add(1)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Close shuts the hub down: every subscriber's channel closes so active
+// streams terminate, and later Publish/Subscribe calls are no-ops on
+// dead channels. Safe to call twice.
+func (h *Hub) Close() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if !h.closed {
+		h.closed = true
+		for sub := range h.subs {
+			delete(h.subs, sub)
+			close(sub.ch)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Stats snapshots the hub's counters.
+func (h *Hub) Stats() HubStats {
+	if h == nil {
+		return HubStats{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HubStats{
+		Subscribers: len(h.subs),
+		Published:   h.seq,
+		Dropped:     h.dropped.Load(),
+	}
+}

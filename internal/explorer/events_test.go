@@ -1,0 +1,200 @@
+package explorer
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHubPublishOrderAndSeq(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	sub := h.Subscribe(8)
+	defer h.Unsubscribe(sub)
+
+	for i := 0; i < 3; i++ {
+		h.Publish(Event{Type: EventProgress, Frame: i})
+	}
+	for i := 0; i < 3; i++ {
+		e := <-sub.C
+		if e.Frame != i {
+			t.Errorf("event %d frame = %d", i, e.Frame)
+		}
+		if e.Seq != int64(i+1) {
+			t.Errorf("event %d seq = %d, want %d", i, e.Seq, i+1)
+		}
+	}
+	st := h.Stats()
+	if st.Published != 3 || st.Dropped != 0 || st.Subscribers != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestHubSlowConsumerDrops pins the never-block contract: a full
+// subscriber buffer loses events and advances the drop counters, the
+// same accounting pattern as the tracer's dropped_events.
+func TestHubSlowConsumerDrops(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	slow := h.Subscribe(1)
+	defer h.Unsubscribe(slow)
+	fast := h.Subscribe(16)
+	defer h.Unsubscribe(fast)
+
+	for i := 0; i < 5; i++ {
+		h.Publish(Event{Type: EventFrame, Frame: i})
+	}
+	if got := slow.Dropped(); got != 4 {
+		t.Errorf("slow subscriber dropped %d, want 4", got)
+	}
+	if got := fast.Dropped(); got != 0 {
+		t.Errorf("fast subscriber dropped %d, want 0", got)
+	}
+	if st := h.Stats(); st.Dropped != 4 {
+		t.Errorf("hub dropped = %d, want 4", st.Dropped)
+	}
+	// The slow subscriber still holds the first event; nothing blocked.
+	if e := <-slow.C; e.Frame != 0 {
+		t.Errorf("slow subscriber buffered frame %d, want 0", e.Frame)
+	}
+}
+
+func TestHubCloseTerminatesStreams(t *testing.T) {
+	h := NewHub()
+	sub := h.Subscribe(4)
+	h.Publish(Event{Type: EventProgress})
+	h.Close()
+	h.Close() // idempotent
+
+	// Drain: the buffered event, then the close.
+	if e, open := <-sub.C; !open || e.Type != EventProgress {
+		t.Errorf("buffered event lost on close: %+v open=%v", e, open)
+	}
+	if _, open := <-sub.C; open {
+		t.Error("channel still open after hub close")
+	}
+
+	// Post-close operations are safe no-ops.
+	h.Publish(Event{Type: EventProgress})
+	h.Unsubscribe(sub)
+	late := h.Subscribe(4)
+	if _, open := <-late.C; open {
+		t.Error("post-close subscription channel not closed")
+	}
+
+	var nilHub *Hub
+	nilHub.Publish(Event{})
+	nilHub.Close()
+	nilHub.Unsubscribe(nil)
+	if s := nilHub.Subscribe(1); s == nil {
+		t.Error("nil hub Subscribe returned nil")
+	} else if _, open := <-s.C; open {
+		t.Error("nil hub subscription channel not closed")
+	}
+	if st := nilHub.Stats(); st != (HubStats{}) {
+		t.Errorf("nil hub stats = %+v", st)
+	}
+}
+
+// TestHubConcurrentJoinLeave floods the hub from several publishers
+// while subscribers churn — the race-detector workout for the SSE
+// fan-out. Every event a live subscriber observes must arrive in seq
+// order, and received+dropped must never exceed published.
+func TestHubConcurrentJoinLeave(t *testing.T) {
+	h := NewHub()
+	const publishers = 4
+	const perPublisher = 500
+	const churners = 8
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				h.Publish(Event{Type: EventFrame, Frame: i})
+			}
+		}()
+	}
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sub := h.Subscribe(4)
+				var last int64
+				for j := 0; j < 16; j++ {
+					select {
+					case e, open := <-sub.C:
+						if !open {
+							t.Error("channel closed while hub is live")
+							return
+						}
+						if e.Seq <= last {
+							t.Errorf("seq went backwards: %d after %d", e.Seq, last)
+							return
+						}
+						last = e.Seq
+					case <-time.After(time.Millisecond):
+					}
+				}
+				h.Unsubscribe(sub)
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Publishers finish on their own; then release the churners.
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("hub deadlocked under concurrent join/leave")
+	}
+
+	st := h.Stats()
+	if st.Published != publishers*perPublisher {
+		t.Errorf("published = %d, want %d", st.Published, publishers*perPublisher)
+	}
+	h.Close()
+}
+
+// TestHubCloseDuringPublish races Close against a publish flood: no
+// panic (send on closed channel) and no deadlock.
+func TestHubCloseDuringPublish(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		h := NewHub()
+		var subs []*Subscriber
+		for i := 0; i < 4; i++ {
+			subs = append(subs, h.Subscribe(1))
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				h.Publish(Event{Type: EventFrame, Frame: i})
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			h.Close()
+		}()
+		wg.Wait()
+		for _, sub := range subs {
+			for range sub.C { // must drain to close without hanging
+			}
+		}
+	}
+}

@@ -1,0 +1,322 @@
+// Package explorer is the live visual face of the characterization
+// service: a bounded registry of completed runs (jobs, experiments,
+// sweep cells), a comparison/query JSON API over it, an SSE event hub
+// streaming progress ticks and frame-boundary counter deltas, and an
+// embedded single-page UI. It mounts on the observability HTTP server
+// through obsv.ServerSources.Mount, next to /metrics and /jobs.
+//
+// Dependency direction: serve and the binaries import explorer;
+// explorer imports only metrics and report. The snapshot label
+// vocabulary is therefore redeclared here rather than imported from
+// core.
+package explorer
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"gpuchar/internal/metrics"
+)
+
+// Snapshot label vocabulary, mirrored from internal/core (pinned equal
+// by TestLabelVocabularyMatchesCore). Redeclared locally so the
+// dependency arrow stays serve -> explorer, never explorer -> core.
+const (
+	LabelDemo      = "demo"
+	LabelFrame     = "frame"
+	LabelSource    = "source"
+	SourceAPI      = "api"
+	SourceSim      = "sim"
+	LabelAllFrames = "all"
+)
+
+// Run kinds: what produced the recorded result.
+const (
+	// KindJob is a serve-queue job (including sweep cells, which ride
+	// the job API).
+	KindJob = "job"
+	// KindExperiment is one experiment of a local characterize run.
+	KindExperiment = "experiment"
+	// KindConfig is an ad-hoc whole-config run, e.g. one side of a
+	// `characterize -sweep-diff` comparison.
+	KindConfig = "config"
+)
+
+// Run is one completed characterization recorded in the registry: its
+// identity and spec, the hardware point it ran under, and the full
+// snapshot series its result document carried. Runs are immutable once
+// recorded.
+type Run struct {
+	ID   string `json:"id"`
+	Kind string `json:"kind"`
+	// Config / ConfigDigest name the hardware variant ("inline" with a
+	// digest when the spec carried a parameter document).
+	Config       string `json:"config,omitempty"`
+	ConfigDigest string `json:"config_digest,omitempty"`
+	// Experiments echoes the experiment IDs the run computed.
+	Experiments []string `json:"experiments,omitempty"`
+	// Demos lists the demo labels present in the snapshot series.
+	Demos []string `json:"demos,omitempty"`
+	// Spec is the submitter's normalized spec document, verbatim.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// CacheHit marks a run served from the content-addressed cache.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// SimFrames is the simulated frame count behind the per-frame
+	// normalization of derived metrics (mem_mb_per_frame).
+	SimFrames int `json:"sim_frames,omitempty"`
+	// Started / Finished bound the run's wall-clock execution.
+	Started  time.Time `json:"started,omitempty"`
+	Finished time.Time `json:"finished,omitempty"`
+	// StageNanos is the per-stage busy time, when the run was traced.
+	StageNanos map[string]int64 `json:"stage_nanos,omitempty"`
+	// TraceRef points at the run's trace artifact (a -trace file path),
+	// when one exists.
+	TraceRef string `json:"trace_ref,omitempty"`
+	// Snapshots is the full labeled series from the run's
+	// gpuchar/metrics/v1 document: per-demo aggregates (frame="all")
+	// followed by per-frame snapshots.
+	Snapshots []metrics.Snapshot `json:"-"`
+}
+
+// FinalSnapshot merges the run's whole-run aggregates (every
+// frame="all" snapshot, API and simulated alike) into the single
+// snapshot comparisons diff. It is recomputed per call from the
+// immutable series, so it can never go stale.
+func (r *Run) FinalSnapshot() metrics.Snapshot {
+	if r == nil {
+		return metrics.Snapshot{}
+	}
+	var out metrics.Snapshot
+	for _, s := range r.Snapshots {
+		if s.Label(LabelFrame) == LabelAllFrames {
+			out.Merge(s)
+		}
+	}
+	return out
+}
+
+// SimAggregate returns the demo's whole-run simulated aggregate
+// (frame="all", source="sim"), the snapshot the derived comparative
+// metrics are computed from.
+func (r *Run) SimAggregate(demo string) (metrics.Snapshot, bool) {
+	if r == nil {
+		return metrics.Snapshot{}, false
+	}
+	for _, s := range r.Snapshots {
+		if s.Label(LabelDemo) == demo &&
+			s.Label(LabelFrame) == LabelAllFrames &&
+			s.Label(LabelSource) == SourceSim {
+			return s, true
+		}
+	}
+	return metrics.Snapshot{}, false
+}
+
+// demoOrder lists the distinct demo labels in series order.
+func (r *Run) demoOrder() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range r.Snapshots {
+		d := s.Label(LabelDemo)
+		if d != "" && !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// DefaultMaxRuns bounds the registry when the caller passes no limit:
+// enough for a day of interactive sweeps, small enough that a
+// long-lived daemon's memory stays flat.
+const DefaultMaxRuns = 128
+
+// Registry is the bounded run store behind the explorer API. All
+// methods are safe for concurrent use and nil-safe, so recording code
+// calls them unconditionally.
+type Registry struct {
+	mu      sync.Mutex
+	max     int
+	runs    []*Run // insertion order, oldest first
+	byID    map[string]*Run
+	seq     int
+	evicted int64
+
+	hub *Hub
+}
+
+// NewRegistry creates a registry retaining at most maxRuns completed
+// runs (<= 0 takes DefaultMaxRuns); recording past the bound evicts the
+// oldest.
+func NewRegistry(maxRuns int) *Registry {
+	if maxRuns <= 0 {
+		maxRuns = DefaultMaxRuns
+	}
+	return &Registry{
+		max:  maxRuns,
+		byID: map[string]*Run{},
+		hub:  NewHub(),
+	}
+}
+
+// Events returns the registry's SSE hub (nil for a nil registry).
+func (g *Registry) Events() *Hub {
+	if g == nil {
+		return nil
+	}
+	return g.hub
+}
+
+// Publish forwards an event to the hub; a nil registry drops it.
+func (g *Registry) Publish(e Event) {
+	if g == nil {
+		return
+	}
+	g.hub.Publish(e)
+}
+
+// Close terminates the event hub: every subscriber's channel closes, so
+// active SSE streams end and an obsv server Shutdown can drain them.
+// The recorded runs stay readable.
+func (g *Registry) Close() {
+	if g == nil {
+		return
+	}
+	g.hub.Close()
+}
+
+// Record stores a completed run, evicting the oldest past the retention
+// bound, and publishes a "run" event. Empty IDs are assigned
+// ("r0001", ...); a re-recorded ID replaces the prior run in place. The
+// stored copy is returned.
+func (g *Registry) Record(run Run) *Run {
+	if g == nil {
+		return nil
+	}
+	if run.Finished.IsZero() {
+		run.Finished = time.Now()
+	}
+	if run.Started.IsZero() {
+		run.Started = run.Finished
+	}
+	if len(run.Demos) == 0 {
+		run.Demos = run.demoOrder()
+	}
+	if run.Kind == "" {
+		run.Kind = KindJob
+	}
+	g.mu.Lock()
+	if run.ID == "" {
+		g.seq++
+		run.ID = fmt.Sprintf("r%04d", g.seq)
+	}
+	r := &run
+	if prev, ok := g.byID[run.ID]; ok {
+		for i, p := range g.runs {
+			if p == prev {
+				g.runs[i] = r
+				break
+			}
+		}
+	} else {
+		g.runs = append(g.runs, r)
+		for len(g.runs) > g.max {
+			old := g.runs[0]
+			g.runs = g.runs[1:]
+			delete(g.byID, old.ID)
+			g.evicted++
+		}
+	}
+	g.byID[run.ID] = r
+	g.mu.Unlock()
+
+	g.hub.Publish(Event{Type: EventRun, Run: r.ID, Demo: "", State: r.Kind})
+	return r
+}
+
+// RecordResult parses a gpuchar/metrics/v1 result document into the
+// run's snapshot series and records it. A malformed document records
+// nothing and returns the parse error — recording is observational and
+// must never fail the run that produced the document.
+func (g *Registry) RecordResult(run Run, doc []byte) (*Run, error) {
+	if g == nil {
+		return nil, nil
+	}
+	snaps, err := metrics.ReadJSON(bytes.NewReader(doc))
+	if err != nil {
+		return nil, fmt.Errorf("explorer: record %s: %w", run.ID, err)
+	}
+	run.Snapshots = snaps
+	return g.Record(run), nil
+}
+
+// Get returns a run by exact ID.
+func (g *Registry) Get(id string) (*Run, bool) {
+	if g == nil {
+		return nil, false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.byID[id]
+	return r, ok
+}
+
+// Resolve finds the run a compare query names: an exact run ID, else
+// the newest run under a config name, else the newest run whose config
+// digest has the query as a prefix (at least 8 hex chars).
+func (g *Registry) Resolve(q string) (*Run, bool) {
+	if g == nil || q == "" {
+		return nil, false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if r, ok := g.byID[q]; ok {
+		return r, true
+	}
+	for i := len(g.runs) - 1; i >= 0; i-- {
+		if g.runs[i].Config == q {
+			return g.runs[i], true
+		}
+	}
+	if len(q) >= 8 {
+		for i := len(g.runs) - 1; i >= 0; i-- {
+			if d := g.runs[i].ConfigDigest; len(d) >= len(q) && d[:len(q)] == q {
+				return g.runs[i], true
+			}
+		}
+	}
+	return nil, false
+}
+
+// Runs lists the retained runs, oldest first.
+func (g *Registry) Runs() []*Run {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]*Run{}, g.runs...)
+}
+
+// Len returns the retained run count.
+func (g *Registry) Len() int {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.runs)
+}
+
+// Evicted returns how many runs retention has dropped.
+func (g *Registry) Evicted() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.evicted
+}

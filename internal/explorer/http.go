@@ -1,0 +1,227 @@
+package explorer
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"gpuchar/internal/metrics"
+)
+
+//go:embed ui.html
+var uiHTML []byte
+
+// RunsSchemaID / RunSchemaID tag the list and detail documents.
+const (
+	RunsSchemaID = "gpuchar/runs/v1"
+	RunSchemaID  = "gpuchar/run/v1"
+)
+
+// runSummary is one /api/runs entry.
+type runSummary struct {
+	ID           string   `json:"id"`
+	Kind         string   `json:"kind"`
+	Config       string   `json:"config,omitempty"`
+	ConfigDigest string   `json:"config_digest,omitempty"`
+	Experiments  []string `json:"experiments,omitempty"`
+	Demos        []string `json:"demos,omitempty"`
+	CacheHit     bool     `json:"cache_hit,omitempty"`
+	SimFrames    int      `json:"sim_frames,omitempty"`
+	Started      string   `json:"started,omitempty"`
+	Finished     string   `json:"finished,omitempty"`
+	Snapshots    int      `json:"snapshots"`
+	Counters     int      `json:"counters"`
+}
+
+func summarize(r *Run) runSummary {
+	s := runSummary{
+		ID:           r.ID,
+		Kind:         r.Kind,
+		Config:       r.Config,
+		ConfigDigest: r.ConfigDigest,
+		Experiments:  r.Experiments,
+		Demos:        r.Demos,
+		CacheHit:     r.CacheHit,
+		SimFrames:    r.SimFrames,
+		Snapshots:    len(r.Snapshots),
+		Counters:     r.FinalSnapshot().Len(),
+	}
+	if !r.Started.IsZero() {
+		s.Started = r.Started.UTC().Format(time.RFC3339Nano)
+	}
+	if !r.Finished.IsZero() {
+		s.Finished = r.Finished.UTC().Format(time.RFC3339Nano)
+	}
+	return s
+}
+
+// writeJSON emits a response with the pinned headers: an explicit
+// charset on the content type and no-store so curl/browser views never
+// cache live state.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// httpError reports an error as a JSON body.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// Mount registers the explorer API and the embedded UI on the server
+// mux, the obsv.ServerSources.Mount hook:
+//
+//	GET /            embedded single-page UI
+//	GET /api/runs    run list + event-hub stats
+//	GET /api/runs/X  one run: final counters, snapshot series, stages
+//	GET /api/compare?a=&b=  gpuchar/compare/v1 diff document
+//	GET /api/events  SSE stream (progress/frame/run events)
+func (g *Registry) Mount(mux *http.ServeMux) {
+	if g == nil {
+		return
+	}
+	mux.HandleFunc("/api/runs", g.handleRuns)
+	mux.HandleFunc("/api/runs/", g.handleRun)
+	mux.HandleFunc("/api/compare", g.handleCompare)
+	mux.HandleFunc("/api/events", g.handleEvents)
+	mux.HandleFunc("/", g.handleUI)
+}
+
+func (g *Registry) handleRuns(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	runs := g.Runs()
+	list := make([]runSummary, 0, len(runs))
+	for _, run := range runs {
+		list = append(list, summarize(run))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"schema":  RunsSchemaID,
+		"evicted": g.Evicted(),
+		"events":  g.hub.Stats(),
+		"runs":    list,
+	})
+}
+
+func (g *Registry) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/api/runs/")
+	run, ok := g.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown run %q", id)
+		return
+	}
+	doc := map[string]any{
+		"schema":  RunSchemaID,
+		"run":     summarize(run),
+		"final":   run.FinalSnapshot(),
+		"spans":   run.StageNanos,
+		"spec":    run.Spec,
+		"history": run.Snapshots,
+	}
+	if run.TraceRef != "" {
+		doc["trace_ref"] = run.TraceRef
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (g *Registry) handleCompare(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	qa, qb := r.URL.Query().Get("a"), r.URL.Query().Get("b")
+	if qa == "" || qb == "" {
+		httpError(w, http.StatusBadRequest, "need a= and b= (run id, config name, or digest prefix)")
+		return
+	}
+	a, ok := g.Resolve(qa)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no run matches a=%q", qa)
+		return
+	}
+	b, ok := g.Resolve(qb)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no run matches b=%q", qb)
+		return
+	}
+	writeJSON(w, http.StatusOK, Compare(a, b))
+}
+
+func (g *Registry) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	buffer := 0
+	if s := r.URL.Query().Get("buffer"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			buffer = n
+		}
+	}
+	sub := g.hub.Subscribe(buffer)
+	defer g.hub.Unsubscribe(sub)
+
+	w.Header().Set("Content-Type", "text/event-stream; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	writeEvent(w, Event{Type: EventHello, FramesTotal: g.Len()})
+	flusher.Flush()
+
+	for {
+		select {
+		case e, open := <-sub.C:
+			if !open {
+				// Hub closed: the server is shutting down; end the
+				// stream so Shutdown's drain completes.
+				return
+			}
+			writeEvent(w, e)
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeEvent emits one SSE frame: "event: <type>\ndata: <json>\n\n".
+func writeEvent(w http.ResponseWriter, e Event) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data)
+}
+
+func (g *Registry) handleUI(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		httpError(w, http.StatusNotFound, "no such path %q", r.URL.Path)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	w.Write(uiHTML)
+}
+
+// interface check: Run's snapshot series must round-trip through the
+// detail endpoint via metrics' own JSON form.
+var _ json.Marshaler = metrics.Snapshot{}

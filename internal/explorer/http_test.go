@@ -1,0 +1,313 @@
+package explorer
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gpuchar/internal/obsv"
+)
+
+// testServer mounts a registry on an httptest server.
+func testServer(t *testing.T, g *Registry) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	g.Mount(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestResponseHeadersPinned pins the exact Content-Type (with charset)
+// and Cache-Control values of every explorer endpoint, success and
+// error paths alike.
+func TestResponseHeadersPinned(t *testing.T) {
+	g := NewRegistry(0)
+	defer g.Close()
+	g.Record(Run{ID: "r1"})
+	srv := testServer(t, g)
+
+	cases := []struct {
+		path        string
+		status      int
+		contentType string
+	}{
+		{"/api/runs", http.StatusOK, "application/json; charset=utf-8"},
+		{"/api/runs/r1", http.StatusOK, "application/json; charset=utf-8"},
+		{"/api/runs/nope", http.StatusNotFound, "application/json; charset=utf-8"},
+		{"/api/compare", http.StatusBadRequest, "application/json; charset=utf-8"},
+		{"/", http.StatusOK, "text/html; charset=utf-8"},
+		{"/no/such/page", http.StatusNotFound, "application/json; charset=utf-8"},
+	}
+	for _, tc := range cases {
+		resp, _ := get(t, srv.URL+tc.path)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s status = %d, want %d", tc.path, resp.StatusCode, tc.status)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != tc.contentType {
+			t.Errorf("%s Content-Type = %q, want %q", tc.path, ct, tc.contentType)
+		}
+		if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+			t.Errorf("%s Cache-Control = %q, want no-store", tc.path, cc)
+		}
+	}
+
+	// The SSE stream: headers pinned, then hang up.
+	resp, err := http.Get(srv.URL + "/api/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream; charset=utf-8" {
+		t.Errorf("/api/events Content-Type = %q", ct)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("/api/events Cache-Control = %q", cc)
+	}
+	resp.Body.Close()
+}
+
+func TestAPIRunsAndDetail(t *testing.T) {
+	g := NewRegistry(0)
+	defer g.Close()
+	g.Record(Run{
+		ID: "r1", Kind: KindJob, Config: "r520", ConfigDigest: "aaaa1111aaaa1111",
+		Experiments: []string{"table14"}, SimFrames: 2,
+		StageNanos: map[string]int64{"fragment": 123},
+		Snapshots:  simRun("", "", "", map[string]int64{"zst/quads_in": 7}).Snapshots,
+	})
+	srv := testServer(t, g)
+
+	resp, body := get(t, srv.URL+"/api/runs")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var list struct {
+		Schema  string            `json:"schema"`
+		Evicted int64             `json:"evicted"`
+		Events  HubStats          `json:"events"`
+		Runs    []json.RawMessage `json:"runs"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Schema != RunsSchemaID {
+		t.Errorf("schema = %q, want %q", list.Schema, RunsSchemaID)
+	}
+	if len(list.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(list.Runs))
+	}
+
+	_, body = get(t, srv.URL+"/api/runs/r1")
+	var detail struct {
+		Schema string                      `json:"schema"`
+		Run    struct{ ID, Config string } `json:"run"`
+		Spans  map[string]int64            `json:"spans"`
+		Final  struct {
+			Counters map[string]float64 `json:"counters"`
+		} `json:"final"`
+	}
+	if err := json.Unmarshal(body, &detail); err != nil {
+		t.Fatal(err)
+	}
+	if detail.Schema != RunSchemaID || detail.Run.ID != "r1" || detail.Run.Config != "r520" {
+		t.Errorf("detail = %+v", detail)
+	}
+	if detail.Spans["fragment"] != 123 {
+		t.Errorf("spans = %v", detail.Spans)
+	}
+	if detail.Final.Counters["zst/quads_in"] != 7 {
+		t.Errorf("final counters = %v", detail.Final.Counters)
+	}
+}
+
+func TestAPICompare(t *testing.T) {
+	g := NewRegistry(0)
+	defer g.Close()
+	a := simRun("ra", "r520", "aaaa1111aaaa1111", map[string]int64{"zst/quads_in": 100, "zst/quads_killed_hz": 20})
+	b := simRun("rb", "no-hz", "bbbb2222bbbb2222", map[string]int64{"zst/quads_in": 100, "zst/quads_killed_hz": 0})
+	g.Record(*a)
+	g.Record(*b)
+	srv := testServer(t, g)
+
+	if resp, _ := get(t, srv.URL+"/api/compare?a=ra"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing b= -> %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := get(t, srv.URL+"/api/compare?a=ra&b=missing"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown b= -> %d, want 404", resp.StatusCode)
+	}
+
+	// Resolution works by ID, config name and digest prefix alike.
+	for _, q := range []string{"a=ra&b=rb", "a=r520&b=no-hz", "a=aaaa1111&b=bbbb2222"} {
+		resp, body := get(t, srv.URL+"/api/compare?"+q)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("compare?%s -> %d: %s", q, resp.StatusCode, body)
+		}
+		var doc CompareDoc
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc.Schema != CompareSchemaID {
+			t.Errorf("schema = %q", doc.Schema)
+		}
+		if doc.A.ID != "ra" || doc.B.ID != "rb" {
+			t.Errorf("compare?%s sides = %s / %s", q, doc.A.ID, doc.B.ID)
+		}
+		// The served deltas are the Snapshot.Diff values.
+		diff := b.FinalSnapshot().Diff(a.FinalSnapshot())
+		for i, c := range diff.Counters() {
+			if doc.Counters[i].Name != c.Name || doc.Counters[i].Delta != c.Value() {
+				t.Errorf("counter %d = %+v, want %s %v", i, doc.Counters[i], c.Name, c.Value())
+			}
+		}
+	}
+}
+
+func TestUIServedAtRoot(t *testing.T) {
+	g := NewRegistry(0)
+	defer g.Close()
+	srv := testServer(t, g)
+	resp, body := get(t, srv.URL+"/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "gpuchar explorer") {
+		t.Error("UI page missing its title")
+	}
+	if resp, _ := get(t, srv.URL+"/favicon.ico"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("non-root path -> %d, want 404", resp.StatusCode)
+	}
+}
+
+// sseClient reads SSE frames off a response body.
+type sseClient struct {
+	resp *http.Response
+	sc   *bufio.Scanner
+}
+
+func dialSSE(t *testing.T, url string) *sseClient {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return &sseClient{resp: resp, sc: bufio.NewScanner(resp.Body)}
+}
+
+// next returns the next (event, data) frame, or ok=false at stream end.
+func (c *sseClient) next() (event, data string, ok bool) {
+	for c.sc.Scan() {
+		line := c.sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "" && event != "":
+			return event, data, true
+		}
+	}
+	return "", "", false
+}
+
+func TestSSEStreamDeliversEvents(t *testing.T) {
+	g := NewRegistry(0)
+	defer g.Close()
+	srv := testServer(t, g)
+
+	c := dialSSE(t, srv.URL+"/api/events")
+	ev, _, ok := c.next()
+	if !ok || ev != EventHello {
+		t.Fatalf("first frame = %q ok=%v, want hello", ev, ok)
+	}
+
+	g.Publish(Event{Type: EventProgress, Run: "j1", FramesDone: 3, FramesTotal: 10})
+	ev, data, ok := c.next()
+	if !ok || ev != EventProgress {
+		t.Fatalf("frame = %q ok=%v, want progress", ev, ok)
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(data), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Run != "j1" || e.FramesDone != 3 || e.FramesTotal != 10 || e.Seq == 0 {
+		t.Errorf("progress event = %+v", e)
+	}
+
+	g.Publish(FrameEvent("j1", "Doom3/trdemo2", 1,
+		snap(map[string]int64{"zst/quads_in": 5, "zst/zero": 0})))
+	ev, data, ok = c.next()
+	if !ok || ev != EventFrame {
+		t.Fatalf("frame = %q, want frame event", ev)
+	}
+	if err := json.Unmarshal([]byte(data), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Counters["zst/quads_in"] != 5 {
+		t.Errorf("frame counters = %v", e.Counters)
+	}
+	if _, has := e.Counters["zst/zero"]; has {
+		t.Error("zero-delta counter not filtered from the frame event")
+	}
+}
+
+// TestShutdownDrainsActiveStreams pins the shutdown ordering contract:
+// an obsv server's graceful Shutdown waits on in-flight requests, and an
+// SSE stream is one — closing the registry first ends the stream, so
+// Shutdown completes within its budget.
+func TestShutdownDrainsActiveStreams(t *testing.T) {
+	g := NewRegistry(0)
+	srv, err := obsv.StartServer("127.0.0.1:0", obsv.ServerSources{
+		Mount: func(mux *http.ServeMux) { g.Mount(mux) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := dialSSE(t, fmt.Sprintf("http://%s/api/events", srv.Addr))
+	if ev, _, ok := c.next(); !ok || ev != EventHello {
+		t.Fatalf("no hello on the stream (%q, %v)", ev, ok)
+	}
+	g.Publish(Event{Type: EventProgress, FramesDone: 1})
+	if ev, _, ok := c.next(); !ok || ev != EventProgress {
+		t.Fatalf("no progress on the stream (%q, %v)", ev, ok)
+	}
+
+	// Close the hub, then shut down: the drain must finish well inside
+	// the deadline because the stream handler returns on hub close.
+	g.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown did not drain the SSE stream: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("drain took %v", elapsed)
+	}
+	// The client sees a clean end of stream.
+	if ev, _, ok := c.next(); ok {
+		t.Errorf("unexpected frame after close: %q", ev)
+	}
+}

@@ -1,0 +1,72 @@
+package explorer
+
+import "gpuchar/internal/metrics"
+
+// MetricNames are the derived comparative metrics, in output order.
+// Each is computed from a run's frame="all" source="sim" snapshot;
+// metrics whose denominators were never exercised are omitted from the
+// result rather than reported as zero. internal/sweep's pivot tables
+// and the compare document share this one definition.
+var MetricNames = []string{
+	"vcache_hit_pct",
+	"zcache_hit_pct",
+	"texl0_hit_pct",
+	"texl1_hit_pct",
+	"colorcache_hit_pct",
+	"hz_kill_pct",
+	"zst_kill_pct",
+	"mem_mb_per_frame",
+}
+
+// hitPct derives a hit percentage from a cache's hit/miss counters,
+// reporting false when the cache was never accessed.
+func hitPct(s metrics.Snapshot, prefix string) (float64, bool) {
+	h, _ := s.Get(prefix + "/hits")
+	m, _ := s.Get(prefix + "/misses")
+	if h+m == 0 {
+		return 0, false
+	}
+	return 100 * float64(h) / float64(h+m), true
+}
+
+// memSlugs are the memory controller's client counter segments.
+var memSlugs = []string{"vertex", "zstencil", "texture", "color", "dac", "cp"}
+
+// hitPctPrefixes maps each derived cache metric to its counter prefix.
+var hitPctPrefixes = map[string]string{
+	"vcache_hit_pct":     "cache/vertex",
+	"zcache_hit_pct":     "cache/z",
+	"texl0_hit_pct":      "cache/tex_l0",
+	"texl1_hit_pct":      "cache/tex_l1",
+	"colorcache_hit_pct": "cache/color",
+}
+
+// DeriveMetrics computes the comparative metrics of one demo's
+// aggregate simulated snapshot: cache hit rates, HZ/Z-kill rates, and
+// memory traffic normalized per simulated frame. Never-exercised
+// denominators leave their metric out of the map.
+func DeriveMetrics(s metrics.Snapshot, simFrames int) map[string]float64 {
+	out := map[string]float64{}
+	for name, prefix := range hitPctPrefixes {
+		if v, ok := hitPct(s, prefix); ok {
+			out[name] = v
+		}
+	}
+	if in, _ := s.Get("zst/quads_in"); in > 0 {
+		hz, _ := s.Get("zst/quads_killed_hz")
+		z, _ := s.Get("zst/quads_killed")
+		out["hz_kill_pct"] = 100 * float64(hz) / float64(in)
+		out["zst_kill_pct"] = 100 * float64(z) / float64(in)
+	}
+	var traffic int64
+	for _, slug := range memSlugs {
+		rd, _ := s.Get("mem/" + slug + "/read_bytes")
+		wr, _ := s.Get("mem/" + slug + "/write_bytes")
+		traffic += rd + wr
+	}
+	if simFrames < 1 {
+		simFrames = 1
+	}
+	out["mem_mb_per_frame"] = float64(traffic) / float64(simFrames) / (1 << 20)
+	return out
+}

@@ -1,0 +1,235 @@
+package explorer
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"gpuchar/internal/metrics"
+)
+
+// snap builds a labeled snapshot from literal counter values, the way a
+// parsed gpuchar/metrics/v1 document would carry them.
+func snap(vals map[string]int64, labels ...string) metrics.Snapshot {
+	reg := metrics.NewRegistry()
+	names := make([]string, 0, len(vals))
+	for name := range vals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	store := make([]int64, len(names))
+	for i, name := range names {
+		store[i] = vals[name]
+		reg.Bind(name, &store[i])
+	}
+	return reg.Snapshot().WithLabels(labels...)
+}
+
+// simRun builds a one-demo run whose aggregate carries the given
+// counters.
+func simRun(id, config, digest string, vals map[string]int64) *Run {
+	return &Run{
+		ID:           id,
+		Kind:         KindJob,
+		Config:       config,
+		ConfigDigest: digest,
+		SimFrames:    2,
+		Snapshots: []metrics.Snapshot{
+			snap(vals, LabelDemo, "Doom3/trdemo2", LabelSource, SourceSim, LabelFrame, LabelAllFrames),
+		},
+	}
+}
+
+func TestRecordDefaults(t *testing.T) {
+	g := NewRegistry(0)
+	defer g.Close()
+
+	r := g.Record(Run{Snapshots: []metrics.Snapshot{
+		snap(map[string]int64{"a/x": 1}, LabelDemo, "Doom3/trdemo2", LabelFrame, LabelAllFrames),
+		snap(map[string]int64{"a/x": 1}, LabelDemo, "Quake4/demo4", LabelFrame, LabelAllFrames),
+	}})
+	if r.ID != "r0001" {
+		t.Errorf("assigned ID = %q, want r0001", r.ID)
+	}
+	if r.Kind != KindJob {
+		t.Errorf("default kind = %q, want %q", r.Kind, KindJob)
+	}
+	if r.Finished.IsZero() || !r.Started.Equal(r.Finished) {
+		t.Errorf("timestamps not defaulted: started %v finished %v", r.Started, r.Finished)
+	}
+	if want := []string{"Doom3/trdemo2", "Quake4/demo4"}; len(r.Demos) != 2 ||
+		r.Demos[0] != want[0] || r.Demos[1] != want[1] {
+		t.Errorf("demos = %v, want %v", r.Demos, want)
+	}
+	if r2 := g.Record(Run{}); r2.ID != "r0002" {
+		t.Errorf("second assigned ID = %q, want r0002", r2.ID)
+	}
+}
+
+func TestRecordRetention(t *testing.T) {
+	g := NewRegistry(2)
+	defer g.Close()
+
+	g.Record(Run{ID: "a"})
+	g.Record(Run{ID: "b"})
+	g.Record(Run{ID: "c"})
+	if g.Len() != 2 {
+		t.Fatalf("len = %d, want 2", g.Len())
+	}
+	if g.Evicted() != 1 {
+		t.Errorf("evicted = %d, want 1", g.Evicted())
+	}
+	if _, ok := g.Get("a"); ok {
+		t.Error("oldest run survived past the retention bound")
+	}
+	runs := g.Runs()
+	if len(runs) != 2 || runs[0].ID != "b" || runs[1].ID != "c" {
+		t.Errorf("runs = %v, want [b c]", []string{runs[0].ID, runs[1].ID})
+	}
+
+	// Re-recording an ID replaces in place: no growth, no eviction.
+	g.Record(Run{ID: "b", Kind: KindConfig})
+	if g.Len() != 2 || g.Evicted() != 1 {
+		t.Errorf("after replace: len %d evicted %d, want 2, 1", g.Len(), g.Evicted())
+	}
+	if r, _ := g.Get("b"); r.Kind != KindConfig {
+		t.Errorf("replaced run kind = %q, want %q", r.Kind, KindConfig)
+	}
+}
+
+func TestRecordResult(t *testing.T) {
+	g := NewRegistry(0)
+	defer g.Close()
+
+	var doc bytes.Buffer
+	if err := metrics.WriteJSON(&doc, []metrics.Snapshot{
+		snap(map[string]int64{"zst/quads_in": 100},
+			LabelDemo, "Doom3/trdemo2", LabelSource, SourceSim, LabelFrame, LabelAllFrames),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := g.RecordResult(Run{ID: "j1"}, doc.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Snapshots) != 1 {
+		t.Fatalf("snapshots = %d, want 1", len(r.Snapshots))
+	}
+	if v, _ := r.FinalSnapshot().Get("zst/quads_in"); v != 100 {
+		t.Errorf("parsed counter = %d, want 100", v)
+	}
+
+	// A malformed document records nothing and reports the parse error.
+	if _, err := g.RecordResult(Run{ID: "bad"}, []byte("{not json")); err == nil {
+		t.Error("malformed document recorded without error")
+	}
+	if _, ok := g.Get("bad"); ok {
+		t.Error("malformed document left a run behind")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	g := NewRegistry(0)
+	defer g.Close()
+
+	g.Record(Run{ID: "r1", Config: "r520", ConfigDigest: strings.Repeat("ab", 16)})
+	g.Record(Run{ID: "r2", Config: "r520", ConfigDigest: strings.Repeat("ab", 16)})
+	g.Record(Run{ID: "r3", Config: "no-hz", ConfigDigest: strings.Repeat("cd", 16)})
+
+	if r, ok := g.Resolve("r1"); !ok || r.ID != "r1" {
+		t.Errorf("Resolve(r1) = %v, %v", r, ok)
+	}
+	// Config name resolves to the newest run under it.
+	if r, ok := g.Resolve("r520"); !ok || r.ID != "r2" {
+		t.Errorf("Resolve(r520) -> %+v, want newest (r2)", r)
+	}
+	// Digest prefixes need at least 8 characters.
+	if r, ok := g.Resolve("cdcdcdcd"); !ok || r.ID != "r3" {
+		t.Errorf("Resolve(cdcdcdcd) -> %+v, want r3", r)
+	}
+	if _, ok := g.Resolve("cdcd"); ok {
+		t.Error("4-char digest prefix resolved; want at least 8")
+	}
+	if _, ok := g.Resolve("nope"); ok {
+		t.Error("unknown query resolved")
+	}
+	if _, ok := g.Resolve(""); ok {
+		t.Error("empty query resolved")
+	}
+}
+
+func TestFinalSnapshotMergesAllFrameAggregates(t *testing.T) {
+	r := &Run{Snapshots: []metrics.Snapshot{
+		snap(map[string]int64{"a/x": 3}, LabelDemo, "d1", LabelFrame, LabelAllFrames),
+		snap(map[string]int64{"a/x": 4}, LabelDemo, "d2", LabelFrame, LabelAllFrames),
+		// Per-frame snapshots must not be double-counted.
+		snap(map[string]int64{"a/x": 100}, LabelDemo, "d1", LabelFrame, "1"),
+	}}
+	if v, _ := r.FinalSnapshot().Get("a/x"); v != 7 {
+		t.Errorf("final a/x = %d, want 7 (aggregates only)", v)
+	}
+}
+
+func TestSimAggregate(t *testing.T) {
+	r := &Run{Snapshots: []metrics.Snapshot{
+		snap(map[string]int64{"a/x": 1}, LabelDemo, "d1", LabelSource, SourceAPI, LabelFrame, LabelAllFrames),
+		snap(map[string]int64{"a/x": 2}, LabelDemo, "d1", LabelSource, SourceSim, LabelFrame, LabelAllFrames),
+	}}
+	s, ok := r.SimAggregate("d1")
+	if !ok {
+		t.Fatal("sim aggregate not found")
+	}
+	if v, _ := s.Get("a/x"); v != 2 {
+		t.Errorf("sim aggregate a/x = %d, want 2 (not the api aggregate)", v)
+	}
+	if _, ok := r.SimAggregate("d2"); ok {
+		t.Error("aggregate for absent demo found")
+	}
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var g *Registry
+	g.Publish(Event{Type: EventProgress})
+	g.Close()
+	if r := g.Record(Run{ID: "x"}); r != nil {
+		t.Error("nil registry recorded a run")
+	}
+	if _, err := g.RecordResult(Run{}, nil); err != nil {
+		t.Errorf("nil RecordResult err = %v", err)
+	}
+	if _, ok := g.Get("x"); ok {
+		t.Error("nil Get found a run")
+	}
+	if _, ok := g.Resolve("x"); ok {
+		t.Error("nil Resolve found a run")
+	}
+	if g.Runs() != nil || g.Len() != 0 || g.Evicted() != 0 || g.Events() != nil {
+		t.Error("nil registry accessors not zero")
+	}
+	var r *Run
+	if r.FinalSnapshot().Len() != 0 {
+		t.Error("nil run FinalSnapshot not empty")
+	}
+	if _, ok := r.SimAggregate("d"); ok {
+		t.Error("nil run SimAggregate found something")
+	}
+}
+
+func TestRecordPublishesRunEvent(t *testing.T) {
+	g := NewRegistry(0)
+	defer g.Close()
+	sub := g.Events().Subscribe(4)
+	defer g.Events().Unsubscribe(sub)
+
+	g.Record(Run{ID: "r1", Kind: KindExperiment})
+	select {
+	case e := <-sub.C:
+		if e.Type != EventRun || e.Run != "r1" || e.State != KindExperiment {
+			t.Errorf("run event = %+v", e)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no run event published")
+	}
+}

@@ -1,0 +1,31 @@
+package explorer_test
+
+import (
+	"testing"
+
+	"gpuchar/internal/core"
+	"gpuchar/internal/explorer"
+)
+
+// TestLabelVocabularyMatchesCore pins explorer's redeclared snapshot
+// label vocabulary to core's. The constants are duplicated so the
+// dependency arrow stays serve -> explorer (never explorer -> core);
+// this test is what keeps the copies honest.
+func TestLabelVocabularyMatchesCore(t *testing.T) {
+	pairs := []struct {
+		name      string
+		got, want string
+	}{
+		{"LabelDemo", explorer.LabelDemo, core.LabelDemo},
+		{"LabelFrame", explorer.LabelFrame, core.LabelFrame},
+		{"LabelSource", explorer.LabelSource, core.LabelSource},
+		{"SourceAPI", explorer.SourceAPI, core.SourceAPI},
+		{"SourceSim", explorer.SourceSim, core.SourceSim},
+		{"LabelAllFrames", explorer.LabelAllFrames, core.LabelAllFrames},
+	}
+	for _, p := range pairs {
+		if p.got != p.want {
+			t.Errorf("explorer.%s = %q, core's is %q", p.name, p.got, p.want)
+		}
+	}
+}

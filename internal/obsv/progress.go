@@ -52,6 +52,11 @@ type ProgressTracker struct {
 	LogEvery int
 	// LogTo receives the ticker lines (typically os.Stderr).
 	LogTo io.Writer
+	// OnFrame, when non-nil, receives every completed frame after the
+	// tracker's own accounting — the hook `characterize -listen` streams
+	// explorer progress events from. Called without the tracker lock
+	// held; set it before the run starts.
+	OnFrame func(demo string, frame int)
 
 	mu        sync.Mutex
 	start     time.Time
@@ -114,6 +119,9 @@ func (p *ProgressTracker) FrameDone(demo string, frame int) {
 	p.mu.Unlock()
 	if tick {
 		fmt.Fprintf(w, "progress: demo=%s frame=%d frames/sec=%.1f\n", demo, frame, rate)
+	}
+	if p.OnFrame != nil {
+		p.OnFrame(demo, frame)
 	}
 }
 

@@ -62,6 +62,7 @@ func StartServer(addr string, src ServerSources) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-store")
 		if src.Health != nil {
 			if ok, detail := src.Health(); !ok {
 				w.WriteHeader(http.StatusServiceUnavailable)
@@ -73,6 +74,7 @@ func StartServer(addr string, src ServerSources) (*Server, error) {
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-store")
 		writeRunGauges(w, src)
 		if src.Snapshots != nil {
 			_ = metrics.WriteProm(w, "gpuchar", src.Snapshots())
@@ -83,7 +85,8 @@ func StartServer(addr string, src ServerSources) (*Server, error) {
 		if src.Progress != nil {
 			p = src.Progress()
 		}
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-store")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(p)

@@ -242,3 +242,32 @@ func TestHealthzReflectsDegradedState(t *testing.T) {
 		t.Errorf("recovered /healthz = %d; want 200", code)
 	}
 }
+
+// TestResponseHeadersPinned pins the exact Content-Type (including
+// charset) and Cache-Control of every observability endpoint, so curl
+// and browser views never render mojibake or stale state.
+func TestResponseHeadersPinned(t *testing.T) {
+	srv := startTestServer(t)
+	cases := []struct {
+		path        string
+		contentType string
+	}{
+		{"/healthz", "text/plain; charset=utf-8"},
+		{"/metrics", "text/plain; version=0.0.4; charset=utf-8"},
+		{"/progress", "application/json; charset=utf-8"},
+	}
+	for _, tc := range cases {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr, tc.path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != tc.contentType {
+			t.Errorf("%s Content-Type = %q, want %q", tc.path, ct, tc.contentType)
+		}
+		if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+			t.Errorf("%s Cache-Control = %q, want no-store", tc.path, cc)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"testing"
+
+	"gpuchar/internal/explorer"
+)
+
+// drainEvents empties a subscriber's buffer, counting events by type.
+func drainEvents(sub *explorer.Subscriber) map[string]int {
+	counts := map[string]int{}
+	for {
+		select {
+		case e := <-sub.C:
+			counts[e.Type]++
+		default:
+			return counts
+		}
+	}
+}
+
+// TestExplorerRecordsJobs wires a registry into the service and pins
+// the observability contract end to end: completed jobs land in the
+// registry with their config digests, the compare document between two
+// differently-configured jobs carries the Snapshot.Diff deltas, the SSE
+// hub sees progress/frame/run events, and cache hits are recorded too.
+func TestExplorerRecordsJobs(t *testing.T) {
+	reg := explorer.NewRegistry(0)
+	defer reg.Close()
+	s, err := Open(Config{Workers: 2, QueueDepth: 8, Explorer: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownNow(t, s)
+
+	sub := reg.Events().Subscribe(4096)
+	defer reg.Events().Unsubscribe(sub)
+
+	specA := JobSpec{Experiments: []string{"table14"}, SimFrames: 1, Width: 128, Height: 96}
+	specB := specA
+	specB.Config = "no-hz"
+	va, err := s.Submit(specA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := s.Submit(specB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa := waitJob(t, s, va.ID); fa.State != StateDone {
+		t.Fatalf("job a = %s (%s)", fa.State, fa.Error)
+	}
+	if fb := waitJob(t, s, vb.ID); fb.State != StateDone {
+		t.Fatalf("job b = %s (%s)", fb.State, fb.Error)
+	}
+
+	ra, ok := reg.Get(va.ID)
+	if !ok {
+		t.Fatal("job a not recorded")
+	}
+	rb, ok := reg.Get(vb.ID)
+	if !ok {
+		t.Fatal("job b not recorded")
+	}
+	if ra.Kind != explorer.KindJob || rb.Kind != explorer.KindJob {
+		t.Errorf("kinds = %s/%s", ra.Kind, rb.Kind)
+	}
+	if ra.ConfigDigest == "" || ra.ConfigDigest == rb.ConfigDigest {
+		t.Errorf("config digests not distinct: %q vs %q", ra.ConfigDigest, rb.ConfigDigest)
+	}
+	if rb.Config != "no-hz" {
+		t.Errorf("config = %q, want no-hz", rb.Config)
+	}
+	if len(ra.Snapshots) == 0 || ra.FinalSnapshot().Len() == 0 {
+		t.Error("recorded run carries no snapshots")
+	}
+	if ra.Started.IsZero() || ra.Finished.Before(ra.Started) {
+		t.Errorf("timestamps: started %v finished %v", ra.Started, ra.Finished)
+	}
+
+	// The compare document between the two jobs is driven by
+	// Snapshot.Diff of their final snapshots — the acceptance pin.
+	doc := explorer.Compare(ra, rb)
+	diff := rb.FinalSnapshot().Diff(ra.FinalSnapshot())
+	if len(doc.Counters) != diff.Len() {
+		t.Fatalf("compare counters = %d, want %d", len(doc.Counters), diff.Len())
+	}
+	for i, c := range diff.Counters() {
+		if doc.Counters[i].Name != c.Name || doc.Counters[i].Delta != c.Value() {
+			t.Fatalf("counter %d = %+v, want %s %v", i, doc.Counters[i], c.Name, c.Value())
+		}
+	}
+	// no-hz really shows up as a behavioural difference.
+	if hz, _ := ra.FinalSnapshot().Get("zst/quads_killed_hz"); hz == 0 {
+		t.Error("baseline run killed nothing via HZ; comparison is vacuous")
+	}
+	if hz, _ := rb.FinalSnapshot().Get("zst/quads_killed_hz"); hz != 0 {
+		t.Errorf("no-hz run killed %d quads via HZ", hz)
+	}
+
+	counts := drainEvents(sub)
+	if counts[explorer.EventProgress] == 0 {
+		t.Error("no progress events on the hub")
+	}
+	if counts[explorer.EventFrame] == 0 {
+		t.Error("no frame-boundary events on the hub")
+	}
+	if counts[explorer.EventRun] < 2 {
+		t.Errorf("run events = %d, want >= 2", counts[explorer.EventRun])
+	}
+
+	// A cache-hit resubmission is recorded as its own (instant) run.
+	before := reg.Len()
+	v2, err := s.Submit(specA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v2.CacheHit {
+		t.Fatalf("resubmit = %+v, want a cache hit", v2)
+	}
+	r2, ok := reg.Get(v2.ID)
+	if !ok {
+		t.Fatal("cache-hit job not recorded")
+	}
+	if !r2.CacheHit {
+		t.Error("recorded run not flagged as a cache hit")
+	}
+	if reg.Len() != before+1 {
+		t.Errorf("len = %d, want %d", reg.Len(), before+1)
+	}
+}
+
+// TestExplorerNilRegistryIsOptional pins that the registry is strictly
+// observational: a service without one behaves identically.
+func TestExplorerNilRegistryIsOptional(t *testing.T) {
+	s, err := Open(Config{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownNow(t, s)
+	v, err := s.Submit(JobSpec{Experiments: []string{"fig1"}, APIFrames: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := waitJob(t, s, v.ID); final.State != StateDone {
+		t.Fatalf("job = %s (%s)", final.State, final.Error)
+	}
+}

@@ -164,7 +164,8 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 					}
 				}
 			}
-			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.Header().Set("Cache-Control", "no-store")
 			w.WriteHeader(http.StatusOK)
 			_, _ = w.Write(res)
 		}
@@ -206,7 +207,8 @@ func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request, id string
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -214,7 +216,8 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(map[string]string{
 		"error": fmt.Sprintf(format, args...),

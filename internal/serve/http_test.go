@@ -345,3 +345,38 @@ func TestHTTPDegradedSheds503(t *testing.T) {
 		t.Errorf("/healthz while degraded = HTTP %d; want 503", code)
 	}
 }
+
+// TestJobAPIHeadersPinned pins the exact Content-Type (with charset)
+// and Cache-Control of the job API's JSON responses, success and error
+// paths alike — including the raw result document.
+func TestJobAPIHeadersPinned(t *testing.T) {
+	_, base := startDaemon(t, Config{Workers: 1, QueueDepth: 4})
+
+	resp, view := postSpec(t, base, JobSpec{Experiments: []string{"fig1"}, APIFrames: 4})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	pollDone(t, base, view.ID)
+
+	paths := []string{
+		"/jobs",
+		"/jobs/" + view.ID,
+		"/jobs/" + view.ID + "/result",
+		"/jobs/no-such-job", // 404 error body
+		"/configs",
+	}
+	for _, path := range paths {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
+			t.Errorf("%s Content-Type = %q, want application/json; charset=utf-8", path, ct)
+		}
+		if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+			t.Errorf("%s Cache-Control = %q, want no-store", path, cc)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"gpuchar/internal/core"
 	"gpuchar/internal/hwconfig"
@@ -221,6 +222,7 @@ type Job struct {
 
 	key            string
 	state          State
+	started        time.Time
 	err            string
 	errClass       string
 	result         []byte

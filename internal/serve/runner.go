@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"gpuchar/internal/core"
+	"gpuchar/internal/explorer"
 	"gpuchar/internal/fault"
 	"gpuchar/internal/gfxapi"
 	"gpuchar/internal/metrics"
@@ -208,8 +209,15 @@ func (s *Service) runSimDemo(ctx context.Context, j *Job, ck *checkpointFile,
 	if cfg.TileWorkers == 0 {
 		cfg.TileWorkers = j.Spec.TileWorkers
 	}
-	res, err := core.RunMicroCancelable(prof, j.Spec.SimFrames, cfg, func(frame int) error {
+	// Each frame boundary streams its counter delta (published snapshot
+	// vs the previous boundary) to the explorer's SSE hub.
+	var prev metrics.Snapshot
+	res, err := core.RunMicroObserved(prof, j.Spec.SimFrames, cfg, func(frame int, boundary metrics.Snapshot) error {
 		s.addFrames(j, 1, 0)
+		if s.cfg.Explorer != nil {
+			s.cfg.Explorer.Publish(explorer.FrameEvent(j.ID, name, frame+1, boundary.Diff(prev)))
+			prev = boundary
+		}
 		return ctx.Err()
 	})
 	if err != nil {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gpuchar/internal/explorer"
 	"gpuchar/internal/fault"
 	"gpuchar/internal/metrics"
 )
@@ -73,6 +75,11 @@ type Config struct {
 	// through the service's execution boundaries (worker exec, trace
 	// reads). Spool I/O faults come from wrapping FS instead.
 	Inject *fault.Injector
+	// Explorer, when non-nil, receives every completed job as a run
+	// record and the queue's live progress / frame-boundary counter
+	// deltas as SSE events. Recording is observational: a registry
+	// failure never fails the job.
+	Explorer *explorer.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -272,6 +279,7 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 		} else {
 			s.noteSpoolLocked(err)
 		}
+		s.recordRunLocked(j)
 		return j.view(), nil
 	}
 	j.state = StateQueued
@@ -491,6 +499,7 @@ func (s *Service) runOne(j *Job) {
 		return
 	}
 	j.state = StateRunning
+	j.started = time.Now()
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	if s.cfg.JobTimeout > 0 {
 		ctx, cancel = context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
@@ -512,6 +521,7 @@ func (s *Service) runOne(j *Job) {
 		s.counters.completed++
 		s.noteSpoolLocked(s.spool.writeResult(j.ID, result))
 		s.spool.removeCheckpoint(j.ID)
+		s.recordRunLocked(j)
 		close(j.done)
 	case j.userCancel:
 		j.state = StateCanceled
@@ -627,13 +637,46 @@ func classifyErr(err error) string {
 	}
 }
 
-// addFrames credits progress (and restored-frame counts) to a job.
+// addFrames credits progress (and restored-frame counts) to a job and
+// streams the tick to the explorer hub.
 func (s *Service) addFrames(j *Job, done, restored int) {
 	s.mu.Lock()
 	j.framesDone += done
 	j.framesRestored += restored
 	s.counters.framesRestored += int64(restored)
+	fd, ft := j.framesDone, j.framesTotal
 	s.mu.Unlock()
+	s.cfg.Explorer.Publish(explorer.Event{
+		Type:        explorer.EventProgress,
+		Run:         j.ID,
+		State:       string(StateRunning),
+		FramesDone:  fd,
+		FramesTotal: ft,
+	})
+}
+
+// recordRunLocked feeds a completed job into the explorer run registry.
+// Callers hold s.mu; the registry has its own lock and never calls back
+// into the service, so the nesting is safe. Parse failures are
+// swallowed — recording must never fail the job that produced the
+// result.
+func (s *Service) recordRunLocked(j *Job) {
+	if s.cfg.Explorer == nil {
+		return
+	}
+	v := j.view()
+	spec, _ := json.Marshal(v.Spec)
+	_, _ = s.cfg.Explorer.RecordResult(explorer.Run{
+		ID:           j.ID,
+		Kind:         explorer.KindJob,
+		Config:       v.Config,
+		ConfigDigest: v.ConfigDigest,
+		Experiments:  v.Experiments,
+		Spec:         spec,
+		CacheHit:     j.cacheHit,
+		SimFrames:    j.Spec.SimFrames,
+		Started:      j.started,
+	}, j.result)
 }
 
 // noteResumed counts a job that picked up a prior checkpoint.

@@ -17,6 +17,7 @@ import (
 	"strconv"
 
 	"gpuchar/internal/core"
+	"gpuchar/internal/explorer"
 	"gpuchar/internal/hwconfig"
 	"gpuchar/internal/metrics"
 	"gpuchar/internal/report"
@@ -116,19 +117,10 @@ func (s Spec) Expand() ([]Cell, error) {
 }
 
 // MetricNames are the derived comparative metrics, in output order.
-// Each is computed from a cell's frame="all" source="sim" snapshot;
-// metrics whose denominators were never exercised are omitted from the
-// row rather than reported as zero.
-var MetricNames = []string{
-	"vcache_hit_pct",
-	"zcache_hit_pct",
-	"texl0_hit_pct",
-	"texl1_hit_pct",
-	"colorcache_hit_pct",
-	"hz_kill_pct",
-	"zst_kill_pct",
-	"mem_mb_per_frame",
-}
+// The definition (and the derivation itself) lives in
+// internal/explorer so the sweep pivots and the explorer's compare
+// documents can never disagree.
+var MetricNames = explorer.MetricNames
 
 // Row is one (config, demo) point of the grid.
 type Row struct {
@@ -147,58 +139,16 @@ type Result struct {
 	Rows   []Row  `json:"rows"`
 }
 
-// hitPct derives a hit percentage from a cache's hit/miss counters,
-// reporting false when the cache was never accessed.
-func hitPct(s metrics.Snapshot, prefix string) (float64, bool) {
-	h, _ := s.Get(prefix + "/hits")
-	m, _ := s.Get(prefix + "/misses")
-	if h+m == 0 {
-		return 0, false
-	}
-	return 100 * float64(h) / float64(h+m), true
-}
-
-// memSlugs are the memory controller's client counter segments.
-var memSlugs = []string{"vertex", "zstencil", "texture", "color", "dac", "cp"}
-
 // extractRow derives the comparative metrics for one demo from its
 // aggregate simulated snapshot.
 func extractRow(cell Cell, s metrics.Snapshot, simFrames int, cached bool) Row {
-	row := Row{
+	return Row{
 		Config:   cell.Config.Name,
 		Digest:   cell.Digest,
 		Demo:     s.Label(core.LabelDemo),
 		CacheHit: cached,
-		Metrics:  map[string]float64{},
+		Metrics:  explorer.DeriveMetrics(s, simFrames),
 	}
-	for name, prefix := range map[string]string{
-		"vcache_hit_pct":     "cache/vertex",
-		"zcache_hit_pct":     "cache/z",
-		"texl0_hit_pct":      "cache/tex_l0",
-		"texl1_hit_pct":      "cache/tex_l1",
-		"colorcache_hit_pct": "cache/color",
-	} {
-		if v, ok := hitPct(s, prefix); ok {
-			row.Metrics[name] = v
-		}
-	}
-	if in, _ := s.Get("zst/quads_in"); in > 0 {
-		hz, _ := s.Get("zst/quads_killed_hz")
-		z, _ := s.Get("zst/quads_killed")
-		row.Metrics["hz_kill_pct"] = 100 * float64(hz) / float64(in)
-		row.Metrics["zst_kill_pct"] = 100 * float64(z) / float64(in)
-	}
-	var traffic int64
-	for _, slug := range memSlugs {
-		rd, _ := s.Get("mem/" + slug + "/read_bytes")
-		wr, _ := s.Get("mem/" + slug + "/write_bytes")
-		traffic += rd + wr
-	}
-	if simFrames < 1 {
-		simFrames = 1
-	}
-	row.Metrics["mem_mb_per_frame"] = float64(traffic) / float64(simFrames) / (1 << 20)
-	return row
 }
 
 // CellRows extracts one Row per requested demo from a cell's metrics
