@@ -53,6 +53,12 @@ type output struct {
 	// tile-worker counts (workers=1 is the serial pipeline).
 	PipelineFrame []measurement `json:"pipeline_frame"`
 
+	// MultipassFrame is the same sweep over a render-to-texture family
+	// (see -mpdemo): each op renders an off-screen pass, resolves it to
+	// a texture and composites it, so the cost of the surface switch
+	// and resolve engine shows up next to the forward path's numbers.
+	MultipassFrame []measurement `json:"multipass_frame"`
+
 	// ShaderExec isolates the fragment-shader executor: the retained
 	// reference interpreter versus the compiled quad kernels the
 	// pipeline runs (see internal/shader/compile.go). One op is one 2x2
@@ -468,6 +474,7 @@ func measureExplorerAPI(demo string, w, h int) *explorerAPI {
 func main() {
 	var (
 		demo   = flag.String("demo", "Doom3/trdemo2", "simulated demo to measure")
+		mpDemo = flag.String("mpdemo", "Deferred/gbuffer", "multi-pass demo for the multipass_frame sweep")
 		width  = flag.Int("w", 256, "framebuffer width")
 		height = flag.Int("h", 192, "framebuffer height")
 		out    = flag.String("o", "", "output file (default stdout)")
@@ -500,6 +507,10 @@ func main() {
 	for _, n := range counts {
 		fmt.Fprintf(os.Stderr, "benchjson: pipeline frame, workers=%d...\n", n)
 		doc.PipelineFrame = append(doc.PipelineFrame, benchFrame(*demo, *width, *height, n))
+	}
+	for _, n := range counts {
+		fmt.Fprintf(os.Stderr, "benchjson: multipass frame, workers=%d...\n", n)
+		doc.MultipassFrame = append(doc.MultipassFrame, benchFrame(*mpDemo, *width, *height, n))
 	}
 
 	buf, err := json.MarshalIndent(doc, "", "  ")

@@ -14,6 +14,7 @@
 //	characterize -exp all -listen :9090        # live /metrics, /progress, pprof
 //	characterize -exp all -progress 50         # stderr ticker every 50 frames
 //	characterize -list-configs                 # named hardware variants
+//	characterize -list-demos                   # workload profiles (name, family, passes)
 //	characterize -exp table14 -config texl0-half   # run under a variant
 //	characterize -sweep r520,texl0-half,texl0-2x   # comparative pivot tables
 //	characterize -sweep-diff r520,no-hz            # two-config diff tables
@@ -84,6 +85,8 @@ func main() {
 			"named hardware config to simulate under (see -list-configs); the default is byte-identical to r520")
 		listConfigs = flag.Bool("list-configs", false,
 			"list the named hardware configs and exit")
+		listDemos = flag.Bool("list-demos", false,
+			"list the workload profiles (name, family, pass count) and exit")
 		sweepConfigs = flag.String("sweep", "",
 			"comma-separated config names: run a local sweep and print per-metric pivot tables (demo rows x config columns)")
 		sweepJSON = flag.String("sweep-json", "",
@@ -98,6 +101,17 @@ func main() {
 	if *listConfigs {
 		for _, v := range gpuchar.HWConfigs() {
 			fmt.Printf("%-20s %.12s  %s\n", v.Name, v.Digest(), v.Description)
+		}
+		return
+	}
+
+	if *listDemos {
+		for _, p := range gpuchar.AllProfiles() {
+			passes := fmt.Sprintf("%d pass", p.PassCount())
+			if p.PassCount() != 1 {
+				passes += "es"
+			}
+			fmt.Printf("%-24s %-10s %s\n", p.Name, p.Family(), passes)
 		}
 		return
 	}

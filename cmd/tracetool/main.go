@@ -177,7 +177,7 @@ func doInspect(path string) error {
 		}
 	}
 	fmt.Printf("%d commands, %d frames\n", total, framesN)
-	for op := gfxapi.OpCreateVB; op <= gfxapi.OpEndFrame; op++ {
+	for op := gfxapi.OpCreateVB; op <= gfxapi.OpResolveTex; op++ {
 		if n := hist[op]; n > 0 {
 			fmt.Printf("  %-14s %d\n", op, n)
 		}

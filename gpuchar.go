@@ -129,6 +129,10 @@ const (
 // Profiles returns the twelve Table I workload profiles.
 func Profiles() []Profile { return workloads.Registry() }
 
+// AllProfiles returns every workload profile: the twelve Table I
+// timedemos plus the modern render-to-texture families.
+func AllProfiles() []Profile { return workloads.All() }
+
 // ProfileByName returns the profile with the given Table I name, or nil.
 func ProfileByName(name string) *Profile { return workloads.ByName(name) }
 

@@ -23,7 +23,7 @@ func TestFacadeProfiles(t *testing.T) {
 }
 
 func TestFacadeExperiments(t *testing.T) {
-	if len(gpuchar.Experiments()) != 24 {
+	if len(gpuchar.Experiments()) != 25 {
 		t.Errorf("experiments = %d", len(gpuchar.Experiments()))
 	}
 	ctx := gpuchar.NewContext()

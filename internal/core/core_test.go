@@ -131,8 +131,8 @@ func TestRunMicroSmall(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 24 {
-		t.Fatalf("experiments = %d, want 24 (17 tables + 7 figures)", len(exps))
+	if len(exps) != 25 {
+		t.Fatalf("experiments = %d, want 25 (18 tables + 7 figures)", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

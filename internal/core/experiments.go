@@ -224,7 +224,7 @@ func (c *Context) demoFailures() ExperimentErrors {
 		return nil
 	}
 	var out ExperimentErrors
-	for _, p := range workloads.Registry() {
+	for _, p := range workloads.All() {
 		if err, ok := c.demoErrs[p.Name]; ok {
 			out = append(out, &ExperimentError{Demo: p.Name, Err: err})
 		}
@@ -242,9 +242,12 @@ type Result struct {
 type Experiment struct {
 	ID    string // "table3", "fig5", ...
 	Title string
-	// Micro marks experiments that need the GPU simulator (they all
-	// consume exactly the SimDemos).
+	// Micro marks experiments that need the GPU simulator.
 	Micro bool
+	// MicroDemos lists the simulated demos a Micro experiment consumes;
+	// empty means the classic SimDemos set, so the Table I experiments
+	// need no per-experiment wiring.
+	MicroDemos []string
 	// API marks experiments that replay demos at the API level.
 	API bool
 	// APIDemos lists the demos the experiment reads through
@@ -268,6 +271,12 @@ func apiDemoNames() []string {
 // fig8Demos are the two timedemos the paper plots shader instruction
 // counts for in Figure 8.
 var fig8Demos = []string{"Quake4/demo4", "FEAR/interval2"}
+
+// ModernDemos lists the synthetic multi-pass demos (workloads.Modern())
+// the render-to-texture experiment simulates, in registry order.
+var ModernDemos = []string{
+	"Deferred/gbuffer", "ShadowMap/cascades", "ParticleStorm/overdraw",
+}
 
 // Experiments returns the full registry in paper order.
 func Experiments() []Experiment {
@@ -296,6 +305,8 @@ func Experiments() []Experiment {
 		{ID: "table15", Title: "Average memory usage profile", Micro: true, Run: runTable15},
 		{ID: "table16", Title: "Memory traffic distribution per GPU stage", Micro: true, Run: runTable16},
 		{ID: "table17", Title: "Bytes per vertex and fragment", Micro: true, Run: runTable17},
+		{ID: "multipass", Title: "Render-to-texture multi-pass characterization",
+			Micro: true, MicroDemos: ModernDemos, Run: runMultipass},
 	}
 }
 
@@ -823,6 +834,47 @@ func runTable17(c *Context) (*Result, error) {
 		t.AddRow(name, report.F(v), report.F(zs), report.F(sh), report.F(col),
 			fmt.Sprintf("%.2f/%.2f/%.2f/%.2f", ref.BVertex, ref.BZSt,
 				ref.BShade, ref.BColor))
+	}
+	return &Result{Tables: []*report.Table{t}}, nil
+}
+
+func runMultipass(c *Context) (*Result, error) {
+	t := &report.Table{
+		ID: "multipass", Title: "Render-to-texture multi-pass characterization",
+		Headers: []string{"Demo", "Family", "Passes", "Targets",
+			"Off-screen frags/frame", "Off-screen z-tests/frame", "Overdraw (blend)"},
+		Notes: []string{
+			"Off-screen columns sum the per-pass (pass=<target>) counter " +
+				"snapshots; the backbuffer keeps its own counters, so the " +
+				"Table I demos are untouched by this instrumentation.",
+		},
+	}
+	for _, name := range ModernDemos {
+		r, err := c.Micro(name)
+		if err != nil {
+			if c.skipDemo(name, err) {
+				continue
+			}
+			return nil, err
+		}
+		var frags, ztests int64
+		for _, s := range r.Pass {
+			if v, ok := s.Get("rop/fragments"); ok {
+				frags += v
+			}
+			if v, ok := s.Get("zst/fragments_in"); ok {
+				ztests += v
+			}
+		}
+		n := r.nframes()
+		if n == 0 {
+			n = 1
+		}
+		_, _, _, blend := r.Overdraw()
+		t.AddRow(name, r.Prof.Family(),
+			fmt.Sprint(r.Prof.PassCount()), fmt.Sprint(len(r.Pass)),
+			report.F(float64(frags)/n), report.F(float64(ztests)/n),
+			report.F(blend))
 	}
 	return &Result{Tables: []*report.Table{t}}, nil
 }

@@ -18,6 +18,12 @@ const (
 	LabelFrame  = "frame"
 	LabelSource = "source"
 
+	// LabelPass marks the per-render-target snapshots of a multi-pass
+	// demo (pass=<target name>). Snapshots carrying it are an extra
+	// dimension alongside the demo aggregate, never a replacement:
+	// consumers keying on (demo, frame="all") must skip them.
+	LabelPass = "pass"
+
 	SourceAPI = "api"
 	SourceSim = "sim"
 
@@ -64,13 +70,20 @@ func APISnapshotsFor(name string, frames []gfxapi.FrameStats) []metrics.Snapshot
 // every table reads (frame="all") followed by the per-frame snapshots,
 // labeled with the demo name and source="sim".
 func (r *MicroResult) MetricsSnapshots() []metrics.Snapshot {
-	out := make([]metrics.Snapshot, 0, len(r.Frames)+1)
+	out := make([]metrics.Snapshot, 0, len(r.Frames)+len(r.Pass)+1)
 	out = append(out, r.Agg.MetricsSnapshot().WithLabels(
 		LabelDemo, r.Prof.Name, LabelSource, SourceSim, LabelFrame, LabelAllFrames))
 	for i := range r.Frames {
 		out = append(out, r.Frames[i].MetricsSnapshot().WithLabels(
 			LabelDemo, r.Prof.Name, LabelSource, SourceSim,
 			LabelFrame, strconv.Itoa(i+1)))
+	}
+	// Per-pass snapshots already carry pass=<target>; the demo labels make
+	// them addressable alongside the aggregate they were merged into.
+	for _, s := range r.Pass {
+		out = append(out, s.WithLabels(
+			LabelDemo, r.Prof.Name, LabelSource, SourceSim,
+			LabelFrame, LabelAllFrames))
 	}
 	return out
 }
@@ -92,12 +105,12 @@ func (c *Context) ExportSnapshots() []metrics.Snapshot {
 	c.mu.Unlock()
 
 	var out []metrics.Snapshot
-	for _, p := range workloads.Registry() {
+	for _, p := range workloads.All() {
 		if r, ok := api[p.Name]; ok {
 			out = append(out, r.MetricsSnapshots()...)
 		}
 	}
-	for _, p := range workloads.Registry() {
+	for _, p := range workloads.All() {
 		if r, ok := micro[p.Name]; ok {
 			out = append(out, r.MetricsSnapshots()...)
 		}
@@ -130,12 +143,12 @@ func (c *Context) experimentSnapshots(id string) []metrics.Snapshot {
 	c.mu.Unlock()
 
 	var out []metrics.Snapshot
-	for _, p := range workloads.Registry() {
+	for _, p := range workloads.All() {
 		if r, ok := api[p.Name]; ok {
 			out = append(out, r.MetricsSnapshots()...)
 		}
 	}
-	for _, p := range workloads.Registry() {
+	for _, p := range workloads.All() {
 		if r, ok := micro[p.Name]; ok {
 			out = append(out, r.MetricsSnapshots()...)
 		}

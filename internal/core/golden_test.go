@@ -3,9 +3,14 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"gpuchar/internal/gfxapi"
+	"gpuchar/internal/trace"
+	"gpuchar/internal/workloads"
 )
 
 // TestCharacterizeGolden pins the default `characterize` text output
@@ -45,6 +50,15 @@ func TestCharacterizeGolden(t *testing.T) {
 		}
 	}
 
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(filepath.Join("testdata", "characterize_golden.txt"),
+			buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("golden file rewritten")
+		return
+	}
+
 	if !bytes.Equal(buf.Bytes(), want) {
 		gotPath := filepath.Join(t.TempDir(), "got.txt")
 		os.WriteFile(gotPath, buf.Bytes(), 0o644)
@@ -57,5 +71,73 @@ func TestCharacterizeGolden(t *testing.T) {
 		}
 		t.Fatalf("output length differs from golden: got %d lines, want %d (full output at %s)",
 			len(gl), len(wl), gotPath)
+	}
+}
+
+// recordTrace runs a demo against a null backend with a recorder
+// attached and returns the encoded trace bytes.
+func recordTrace(t *testing.T, demo string, frames int) []byte {
+	t.Helper()
+	prof := workloads.ByName(demo)
+	if prof == nil {
+		t.Fatalf("unknown demo %q", demo)
+	}
+	var buf bytes.Buffer
+	rec, err := trace.NewRecorder(&buf, prof.API)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := gfxapi.NewDevice(prof.API, gfxapi.NullBackend{})
+	dev.SetRecorder(rec)
+	wl := workloads.New(prof, dev, 256, 192)
+	if err := wl.Run(frames); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestForwardTraceUntouchedByRTOps is the golden guard for the trace
+// format side of the multi-pass subsystem: a forward-rendered demo's
+// trace must contain none of the render-target op codes — the new ops
+// ride on unused code points, and forward streams are provably
+// byte-compatible with pre-multipass readers. The multipass families
+// must use all three, so the guard cannot pass vacuously.
+func TestForwardTraceUntouchedByRTOps(t *testing.T) {
+	rtOps := func(data []byte) map[gfxapi.Op]int {
+		r, err := trace.NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hist := map[gfxapi.Op]int{}
+		for {
+			cmd, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch cmd.Op {
+			case gfxapi.OpCreateRT, gfxapi.OpSetRT, gfxapi.OpResolveTex:
+				hist[cmd.Op]++
+			}
+		}
+		return hist
+	}
+	for _, demo := range []string{"Quake4/demo4", "UT2004/Primeval"} {
+		if hist := rtOps(recordTrace(t, demo, 2)); len(hist) != 0 {
+			t.Errorf("%s: forward-only trace carries RT ops: %v", demo, hist)
+		}
+	}
+	for _, demo := range ModernDemos {
+		hist := rtOps(recordTrace(t, demo, 2))
+		for _, op := range []gfxapi.Op{gfxapi.OpCreateRT, gfxapi.OpSetRT, gfxapi.OpResolveTex} {
+			if hist[op] == 0 {
+				t.Errorf("%s: multipass trace never used %v", demo, op)
+			}
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"gpuchar/internal/gfxapi"
 	"gpuchar/internal/gpu"
 	"gpuchar/internal/mem"
+	"gpuchar/internal/metrics"
 	"gpuchar/internal/stats"
 	"gpuchar/internal/workloads"
 )
@@ -18,6 +19,11 @@ type MicroResult struct {
 	W, H   int
 	Frames []gpu.FrameStats
 	Agg    gpu.FrameStats
+	// Pass holds one whole-run counter snapshot per off-screen render
+	// target (labeled pass=<name>), nil for single-pass demos — the
+	// per-pass dimension of the multi-pass workloads' cache and
+	// bandwidth metrics.
+	Pass []metrics.Snapshot
 }
 
 // RunMicro renders frames of a simulated demo through the GPU simulator
@@ -68,7 +74,8 @@ func runMicroHooked(prof *workloads.Profile, frames int, cfg gpu.Config, h micro
 // aggregate is computed, shared by RunMicroConfig and callers that drive
 // the pipeline themselves (attilasim's -png path).
 func MicroResultFromGPU(prof *workloads.Profile, g *gpu.GPU, cfg gpu.Config) *MicroResult {
-	r := &MicroResult{Prof: prof, W: cfg.Width, H: cfg.Height, Frames: g.Frames()}
+	r := &MicroResult{Prof: prof, W: cfg.Width, H: cfg.Height, Frames: g.Frames(),
+		Pass: g.PassSnapshots()}
 	for _, f := range r.Frames {
 		r.Agg.Accumulate(f)
 	}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// passExactKeys are the per-pass counters the tile ownership argument
+// proves exact at any worker count. Cache hit/miss counters are
+// legitimately sharded (they depend on per-worker access interleaving)
+// and are excluded, mirroring exactStats for FrameStats.
+var passExactKeys = []string{
+	"rop/quads_in", "rop/quads_masked", "rop/quads_out", "rop/fragments",
+	"zst/quads_in", "zst/quads_killed_hz", "zst/quads_killed", "zst/quads_out",
+	"zst/fragments_in", "zst/fragments_out", "zst/z_killed_fragments",
+}
+
+// TestMultipassTileParallelDeterminism extends the tentpole guarantee
+// to the render-to-texture families: every off-screen pass plus the
+// final composite must produce a byte-identical backbuffer and
+// identical order-exact kill counts at 1, 4 and 8 tile workers. The
+// backbuffer comparison transitively pins the off-screen surfaces too,
+// since the composite pass samples each resolved target.
+func TestMultipassTileParallelDeterminism(t *testing.T) {
+	const frames, w, h = 2, 128, 96
+	for _, demo := range ModernDemos {
+		t.Run(demo, func(t *testing.T) {
+			ref := runGPUWorkers(t, demo, 1, frames, w, h)
+			refImg := ref.Target().Image().Pix
+			refPass := ref.PassSnapshots()
+			if len(refPass) == 0 {
+				t.Fatal("no off-screen pass snapshots — demo never left the backbuffer")
+			}
+			for _, n := range []int{4, 8} {
+				g := runGPUWorkers(t, demo, n, frames, w, h)
+				if img := g.Target().Image().Pix; !bytes.Equal(img, refImg) {
+					t.Errorf("workers=%d: framebuffer differs from serial render", n)
+				}
+				if len(g.Frames()) != len(ref.Frames()) {
+					t.Fatalf("workers=%d: %d frames, want %d", n, len(g.Frames()), len(ref.Frames()))
+				}
+				for i := range ref.Frames() {
+					got, want := exactStats(g.Frames()[i]), exactStats(ref.Frames()[i])
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("workers=%d frame %d: order-exact stats differ:\ngot  %+v\nwant %+v",
+							n, i, got, want)
+					}
+				}
+				pass := g.PassSnapshots()
+				if len(pass) != len(refPass) {
+					t.Fatalf("workers=%d: %d pass snapshots, want %d", n, len(pass), len(refPass))
+				}
+				for i, ps := range pass {
+					if name, want := ps.Label("pass"), refPass[i].Label("pass"); name != want {
+						t.Errorf("workers=%d: pass %d named %q, want %q", n, i, name, want)
+						continue
+					}
+					for _, key := range passExactKeys {
+						got, _ := ps.Get(key)
+						want, _ := refPass[i].Get(key)
+						if got != want {
+							t.Errorf("workers=%d pass %q: %s = %d, want %d",
+								n, ps.Label("pass"), key, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}

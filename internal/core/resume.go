@@ -198,7 +198,7 @@ func NeededDemos(ids []string) (api, micro []string, err error) {
 // read through Context.API and Context.Micro.
 func demoDemand(ids []string) (api, micro []string, err error) {
 	wantAPI := make(map[string]bool)
-	needMicro := false
+	wantMicro := make(map[string]bool)
 	for _, id := range ids {
 		e := ByID(id)
 		if e == nil {
@@ -207,15 +207,23 @@ func demoDemand(ids []string) (api, micro []string, err error) {
 		for _, name := range e.APIDemos {
 			wantAPI[name] = true
 		}
-		needMicro = needMicro || e.Micro
+		if e.Micro {
+			demos := e.MicroDemos
+			if len(demos) == 0 {
+				demos = SimDemos
+			}
+			for _, name := range demos {
+				wantMicro[name] = true
+			}
+		}
 	}
-	for _, p := range workloads.Registry() {
+	for _, p := range workloads.All() {
 		if wantAPI[p.Name] {
 			api = append(api, p.Name)
 		}
-	}
-	if needMicro {
-		micro = append(micro, SimDemos...)
+		if wantMicro[p.Name] {
+			micro = append(micro, p.Name)
+		}
 	}
 	return api, micro, nil
 }

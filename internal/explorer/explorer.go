@@ -28,6 +28,7 @@ const (
 	LabelDemo      = "demo"
 	LabelFrame     = "frame"
 	LabelSource    = "source"
+	LabelPass      = "pass"
 	SourceAPI      = "api"
 	SourceSim      = "sim"
 	LabelAllFrames = "all"
@@ -91,7 +92,9 @@ func (r *Run) FinalSnapshot() metrics.Snapshot {
 	}
 	var out metrics.Snapshot
 	for _, s := range r.Snapshots {
-		if s.Label(LabelFrame) == LabelAllFrames {
+		// Per-pass (pass=<target>) snapshots are already folded into
+		// their demo's aggregate; merging them again would double count.
+		if s.Label(LabelFrame) == LabelAllFrames && s.Label(LabelPass) == "" {
 			out.Merge(s)
 		}
 	}
@@ -108,7 +111,8 @@ func (r *Run) SimAggregate(demo string) (metrics.Snapshot, bool) {
 	for _, s := range r.Snapshots {
 		if s.Label(LabelDemo) == demo &&
 			s.Label(LabelFrame) == LabelAllFrames &&
-			s.Label(LabelSource) == SourceSim {
+			s.Label(LabelSource) == SourceSim &&
+			s.Label(LabelPass) == "" {
 			return s, true
 		}
 	}

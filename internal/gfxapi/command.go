@@ -27,12 +27,18 @@ const (
 	OpDraw
 	OpClear
 	OpEndFrame
+	// Render-to-texture ops (v2 traces). Appended past OpEndFrame so v1
+	// readers resync over them instead of misparsing.
+	OpCreateRT
+	OpSetRT
+	OpResolveTex
 )
 
 var opNames = [...]string{
 	"CreateVB", "CreateIB", "CreateTex", "CreateProgram",
 	"SetZState", "SetRopState", "SetCull", "BindTexture",
 	"SetConst", "Draw", "Clear", "EndFrame",
+	"CreateRT", "SetRT", "ResolveTex",
 }
 
 // String names the operation.
@@ -71,6 +77,11 @@ type Command struct {
 	Prim    geom.PrimitiveType
 	ProgID  uint32 // vertex program id
 	ProgID2 uint32 // fragment program id
+
+	// Render-target payload (OpCreateRT; ID2 carries the resolve
+	// texture id).
+	RTName   string
+	RTW, RTH int
 }
 
 // TextureKind selects how a TextureSpec generates texel content.

@@ -177,12 +177,16 @@ type Device struct {
 	frame  FrameStats
 	frames []FrameStats
 
+	// curRT is the bound render target (nil = backbuffer).
+	curRT *RenderTarget
+
 	// resource registries, for traces and bookkeeping
 	nextID   uint32
 	vbs      map[uint32]*geom.VertexBuffer
 	ibs      map[uint32]*geom.IndexBuffer
 	texs     map[uint32]*texture.Texture
 	programs map[uint32]*shader.Program
+	rts      map[uint32]*RenderTarget
 	ids      map[interface{}]uint32
 
 	// nextAddr allocates GPU virtual addresses for resources.
@@ -200,6 +204,7 @@ func NewDevice(api API, backend Backend) *Device {
 		ibs:      map[uint32]*geom.IndexBuffer{},
 		texs:     map[uint32]*texture.Texture{},
 		programs: map[uint32]*shader.Program{},
+		rts:      map[uint32]*RenderTarget{},
 		ids:      map[interface{}]uint32{},
 		nextAddr: 0x1000_0000,
 	}

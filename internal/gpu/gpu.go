@@ -210,6 +210,40 @@ type quadWork struct {
 	front bool
 }
 
+// surface is one renderable color + depth pair: the backbuffer or an
+// off-screen render target. Each carries its own bucket geometry for the
+// tile-parallel backend (targets differ in size) and, for render
+// targets, its own counter registries so per-pass metrics can be
+// labeled. The backbuffer's counters stay in the GPU's main registries,
+// keeping forward-only snapshots byte-identical to the single-surface
+// pipeline.
+type surface struct {
+	name   string
+	w, h   int
+	zbuf   *zst.Buffer
+	target *rop.Target
+	// Per-worker shard views, parallel to GPU.workers.
+	wz []*zst.Buffer
+	wt []*rop.Target
+	// reg and wreg bind this surface's z & color counters under the
+	// standard prefixes; nil for the backbuffer.
+	reg  *metrics.Registry
+	wreg []*metrics.Registry
+	// Parallel-backend bucket geometry (see binner).
+	bucketPx int
+	groupsX  int
+	buckets  [][]quadWork
+}
+
+// initBuckets sizes the parallel-assignment bucket grid for the surface.
+func (s *surface) initBuckets(bucketBlocks int) {
+	blocksX := (s.w + tileDim - 1) / tileDim
+	s.bucketPx = tileDim * bucketBlocks
+	s.groupsX = (blocksX + bucketBlocks - 1) / bucketBlocks
+	groupsY := (s.h + tileDim - 1) / tileDim
+	s.buckets = make([][]quadWork, s.groupsX*groupsY)
+}
+
 // GPU is the pipeline simulator.
 type GPU struct {
 	Cfg Config
@@ -229,14 +263,18 @@ type GPU struct {
 
 	// Tile-parallel backend state (Cfg.TileWorkers > 1).
 	workers  []*tileWorker
-	blocksX  int             // framebuffer width in 8x8 blocks
-	bucketPx int             // bucket width in pixels (tileDim * Cfg.TileBucketBlocks)
-	groupsX  int             // framebuffer width in TileBucketBlocks-block buckets
-	buckets  [][]quadWork    // per-bucket binned quads, reused across draws
 	touched  []int32         // non-empty bucket indices this draw
 	order    []int32         // assignment scratch: touched sorted by load
 	loads    []int           // assignment scratch: per-worker quad counts
 	setupBuf []rast.SetupTri // per-draw triangle setups, reused
+
+	// Multipass state: back is the backbuffer surface, cur the surface
+	// draws currently land in, rtSurfs the off-screen targets in
+	// creation order (the per-pass snapshot order).
+	back    *surface
+	cur     *surface
+	rtSurfs []*surface
+	rtByRT  map[*gfxapi.RenderTarget]*surface
 
 	// reg binds every serial-stage counter by pointer; worker shards
 	// carry their own registries. Snapshots of these registries are the
@@ -335,11 +373,6 @@ func New(cfg Config) *GPU {
 	if cfg.TileWorkers > 1 {
 		// Shards must be created after the Compression/FastClear flags
 		// above are final: they copy the flags at creation.
-		g.blocksX = (cfg.Width + tileDim - 1) / tileDim
-		g.bucketPx = tileDim * cfg.TileBucketBlocks
-		g.groupsX = (g.blocksX + cfg.TileBucketBlocks - 1) / cfg.TileBucketBlocks
-		groupsY := (cfg.Height + tileDim - 1) / tileDim
-		g.buckets = make([][]quadWork, g.groupsX*groupsY)
 		g.loads = make([]int, cfg.TileWorkers)
 		for i := 0; i < cfg.TileWorkers; i++ {
 			wmem := mem.NewControllerRate(cfg.MemBytesPerCycle)
@@ -368,6 +401,18 @@ func New(cfg Config) *GPU {
 			g.workers = append(g.workers, w)
 		}
 	}
+	// The backbuffer is surface zero; off-screen render targets join
+	// rtSurfs as CreateRenderTarget materializes them.
+	g.back = &surface{name: "back", w: cfg.Width, h: cfg.Height, zbuf: g.zbuf, target: g.target}
+	for _, w := range g.workers {
+		g.back.wz = append(g.back.wz, w.zbuf)
+		g.back.wt = append(g.back.wt, w.target)
+	}
+	if cfg.TileWorkers > 1 {
+		g.back.initBuckets(cfg.TileBucketBlocks)
+	}
+	g.cur = g.back
+	g.rtByRT = map[*gfxapi.RenderTarget]*surface{}
 	if cfg.Trace != nil {
 		g.gt = newGPUTracer(cfg.Trace, cfg.TraceProcess, len(g.workers))
 		g.serial.clk = &g.gt.serial
@@ -437,7 +482,7 @@ func (g *GPU) Execute(dc *gfxapi.DrawCall) {
 	earlyZ := !dc.FS.UsesKill()
 
 	gcfg := geom.Config{
-		ViewportW: g.Cfg.Width, ViewportH: g.Cfg.Height, Cull: dc.State.Cull,
+		ViewportW: g.cur.w, ViewportH: g.cur.h, Cull: dc.State.Cull,
 	}
 	var drawStart, mark int64
 	if g.gt != nil {
@@ -450,7 +495,7 @@ func (g *GPU) Execute(dc *gfxapi.DrawCall) {
 		g.gt.serial.lap(stGeom, &mark)
 	}
 
-	rcfg := rast.Config{Width: g.Cfg.Width, Height: g.Cfg.Height}
+	rcfg := rast.Config{Width: g.cur.w, Height: g.cur.h}
 	if len(g.workers) > 0 {
 		g.executeParallel(tris, dc, rcfg, &zstate, earlyZ, drawStart)
 		return
@@ -487,10 +532,11 @@ type binner struct {
 // EmitQuad bins one quad to its bucket.
 func (bn *binner) EmitQuad(q *rast.Quad) {
 	g := bn.g
+	s := g.cur
 	// Quads are 2x2 at even coordinates, so a quad never straddles an
 	// 8x8 block; the top-left pixel identifies the bucket.
-	gi := (q.Y/tileDim)*g.groupsX + q.X/g.bucketPx
-	b := &g.buckets[gi]
+	gi := (q.Y/tileDim)*s.groupsX + q.X/s.bucketPx
+	b := &s.buckets[gi]
 	if len(*b) == 0 {
 		g.touched = append(g.touched, int32(gi))
 	}
@@ -506,10 +552,11 @@ func (bn *binner) EmitQuad(q *rast.Quad) {
 // individually — round-robin block ownership left workers idle whenever
 // the draw's coverage was spatially clustered.
 func (g *GPU) assignBuckets() {
+	buckets := g.cur.buckets
 	g.order = append(g.order[:0], g.touched...)
 	sort.Slice(g.order, func(i, j int) bool {
 		a, b := g.order[i], g.order[j]
-		la, lb := len(g.buckets[a]), len(g.buckets[b])
+		la, lb := len(buckets[a]), len(buckets[b])
 		if la != lb {
 			return la > lb
 		}
@@ -531,7 +578,7 @@ func (g *GPU) assignBuckets() {
 		}
 		w := g.workers[wi]
 		w.groups = append(w.groups, gi)
-		n := len(g.buckets[gi])
+		n := len(buckets[gi])
 		w.quads += n
 		g.loads[wi] += n
 	}
@@ -608,7 +655,7 @@ func (g *GPU) executeParallel(tris []geom.Triangle, dc *gfxapi.DrawCall,
 			ropState := dc.State.Rop
 			zs := *zstate
 			for _, gi := range w.groups {
-				b := g.buckets[gi]
+				b := g.cur.buckets[gi]
 				for i := range b {
 					qw := &b[i]
 					w.processQuad(&qw.q, dc.FS, &zs, &ropState, earlyZ, qw.front)
@@ -623,7 +670,7 @@ func (g *GPU) executeParallel(tris []geom.Triangle, dc *gfxapi.DrawCall,
 	}
 	wg.Wait()
 	for _, gi := range g.touched {
-		g.buckets[gi] = g.buckets[gi][:0]
+		g.cur.buckets[gi] = g.cur.buckets[gi][:0]
 	}
 	g.touched = g.touched[:0]
 	if sampled {
@@ -707,17 +754,17 @@ func (p *pipe) processQuad(q *rast.Quad, fs *shader.Program,
 	}
 }
 
-// Clear fast-clears the requested buffers.
+// Clear fast-clears the requested buffers of the bound surface.
 func (g *GPU) Clear(op gfxapi.ClearOp) {
 	g.Mem.Read(mem.ClientCP, 64)
 	switch {
 	case op.ClearDepth:
-		g.zbuf.Clear(op.Z, op.Stencil)
+		g.cur.zbuf.Clear(op.Z, op.Stencil)
 	case op.ClearStencil:
-		g.zbuf.ClearStencil(op.Stencil)
+		g.cur.zbuf.ClearStencil(op.Stencil)
 	}
 	if op.ClearColor {
-		g.target.Clear(op.Color)
+		g.cur.target.Clear(op.Color)
 	}
 }
 
@@ -734,15 +781,15 @@ func (g *GPU) EndFrame() {
 	// the interleaved order) — the split lets the stage clocks charge
 	// flush time to the right stage.
 	g.zbuf.FlushCache()
-	for _, w := range g.workers {
-		w.zbuf.FlushCache()
+	for _, wz := range g.back.wz {
+		wz.FlushCache()
 	}
 	if g.gt != nil {
 		g.gt.serial.lap(stZST, &mark)
 	}
 	g.target.FlushCache()
-	for _, w := range g.workers {
-		w.target.FlushCache()
+	for _, wt := range g.back.wt {
+		wt.FlushCache()
 	}
 	g.target.ScanOut()
 	if g.gt != nil {
@@ -768,6 +815,125 @@ func (g *GPU) MetricsSnapshot() metrics.Snapshot {
 	for _, w := range g.workers {
 		s.Merge(w.reg.Snapshot())
 	}
+	// Off-screen pass activity folds into the same counter names, so
+	// aggregate tables and bandwidth projections see multi-pass traffic
+	// without any schema change.
+	for _, rs := range g.rtSurfs {
+		s.Merge(rs.reg.Snapshot())
+		for _, wr := range rs.wreg {
+			s.Merge(wr.Snapshot())
+		}
+	}
+	return s
+}
+
+// PassSnapshots returns one merged counter snapshot per off-screen
+// render target, labeled pass=<name>, in creation order — the per-pass
+// dimension of the z/color cache and bandwidth metrics. Nil when the
+// workload never left the backbuffer.
+func (g *GPU) PassSnapshots() []metrics.Snapshot {
+	if len(g.rtSurfs) == 0 {
+		return nil
+	}
+	out := make([]metrics.Snapshot, 0, len(g.rtSurfs))
+	for _, rs := range g.rtSurfs {
+		s := rs.reg.Snapshot()
+		for _, wr := range rs.wreg {
+			s.Merge(wr.Snapshot())
+		}
+		out = append(out, s.WithLabels("pass", rs.name))
+	}
+	return out
+}
+
+// CreateRenderTarget materializes the off-screen surface for rt: a
+// color target and depth buffer at rt's allocated addresses, tile-worker
+// shards, and per-surface registries binding the standard z/color
+// counter names (so pass snapshots Merge into the aggregate).
+func (g *GPU) CreateRenderTarget(rt *gfxapi.RenderTarget) {
+	g.ensureSurface(rt)
+}
+
+// SetRenderTarget swaps the serial pipe and every worker pipe onto the
+// surface backing rt (nil selects the backbuffer). Draws and clears
+// between here and the next swap land in that surface.
+func (g *GPU) SetRenderTarget(rt *gfxapi.RenderTarget) {
+	s := g.back
+	if rt != nil {
+		s = g.ensureSurface(rt)
+	}
+	g.cur = s
+	g.serial.zbuf, g.serial.target = s.zbuf, s.target
+	for i, w := range g.workers {
+		w.pipe.zbuf, w.pipe.target = s.wz[i], s.wt[i]
+	}
+}
+
+// ResolveRenderTarget flushes the pass's dirty cache lines (serial shard
+// first, then workers in order, the EndFrame discipline) and returns the
+// surface's pixels quantized to RGBA8. The resolve engine's traffic —
+// one color-plane read, one texture-footprint write — is charged to the
+// shared memory controller.
+func (g *GPU) ResolveRenderTarget(rt *gfxapi.RenderTarget) []texture.RGBA {
+	s := g.ensureSurface(rt)
+	s.zbuf.FlushCache()
+	for _, wz := range s.wz {
+		wz.FlushCache()
+	}
+	s.target.FlushCache()
+	for _, wt := range s.wt {
+		wt.FlushCache()
+	}
+	g.Mem.Read(mem.ClientColor, int64(s.w*s.h*4))
+	if rt.Tex != nil {
+		g.Mem.Write(mem.ClientTexture, int64(rt.Tex.TotalBytes()))
+	}
+	out := make([]texture.RGBA, s.w*s.h)
+	for y := 0; y < s.h; y++ {
+		for x := 0; x < s.w; x++ {
+			c := s.target.At(x, y).Clamp01()
+			out[y*s.w+x] = texture.RGBA{
+				R: uint8(c.X*255 + 0.5),
+				G: uint8(c.Y*255 + 0.5),
+				B: uint8(c.Z*255 + 0.5),
+				A: uint8(c.W*255 + 0.5),
+			}
+		}
+	}
+	return out
+}
+
+// ensureSurface returns the surface for rt, building it on first use.
+func (g *GPU) ensureSurface(rt *gfxapi.RenderTarget) *surface {
+	if s, ok := g.rtByRT[rt]; ok {
+		return s
+	}
+	s := &surface{name: rt.Name, w: rt.W, h: rt.H}
+	s.zbuf = zst.NewBufferCache(rt.W, rt.H, rt.ZBaseAddr, g.Mem, g.Cfg.ZCache)
+	s.target = rop.NewTargetCache(rt.W, rt.H, rt.BaseAddr, g.Mem, g.Cfg.ColorCache)
+	// Flags must be final before shards copy them at creation.
+	s.zbuf.Compression = g.Cfg.ZCompression
+	s.zbuf.FastClear = g.Cfg.FastClear
+	s.target.Compression = g.Cfg.ColorCompression
+	s.target.FastClear = g.Cfg.FastClear
+	s.reg = metrics.NewRegistry()
+	s.zbuf.RegisterMetrics(s.reg, PrefixZSt, PrefixZCache)
+	s.target.RegisterMetrics(s.reg, PrefixRop, PrefixColorCache)
+	for _, w := range g.workers {
+		wz := s.zbuf.NewShard(w.mem)
+		wt := s.target.NewShard(w.mem)
+		wr := metrics.NewRegistry()
+		wz.RegisterMetrics(wr, PrefixZSt, PrefixZCache)
+		wt.RegisterMetrics(wr, PrefixRop, PrefixColorCache)
+		s.wz = append(s.wz, wz)
+		s.wt = append(s.wt, wt)
+		s.wreg = append(s.wreg, wr)
+	}
+	if g.Cfg.TileWorkers > 1 {
+		s.initBuckets(g.Cfg.TileBucketBlocks)
+	}
+	g.rtSurfs = append(g.rtSurfs, s)
+	g.rtByRT[rt] = s
 	return s
 }
 

@@ -61,10 +61,12 @@ type Cell struct {
 // normalized fills the spec's defaults in place.
 func (s Spec) normalized() Spec {
 	if len(s.Demos) == 0 {
-		s.Demos = append([]string{}, core.SimDemos...)
+		s.Demos = append(append([]string{}, core.SimDemos...), core.ModernDemos...)
 	}
 	if len(s.Experiments) == 0 {
-		s.Experiments = []string{"table14"}
+		// table14 simulates the classic demos, multipass the
+		// render-to-texture ones; together they cover the default rows.
+		s.Experiments = []string{"table14", "multipass"}
 	}
 	if s.SimFrames == 0 {
 		s.SimFrames = 2
@@ -164,7 +166,8 @@ func (s Spec) CellRows(cell Cell, doc []byte, cached bool) ([]Row, error) {
 	bySim := map[string]metrics.Snapshot{}
 	for _, snap := range snaps {
 		if snap.Label(core.LabelSource) == core.SourceSim &&
-			snap.Label(core.LabelFrame) == core.LabelAllFrames {
+			snap.Label(core.LabelFrame) == core.LabelAllFrames &&
+			snap.Label(core.LabelPass) == "" {
 			bySim[snap.Label(core.LabelDemo)] = snap
 		}
 	}

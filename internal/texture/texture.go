@@ -141,6 +141,31 @@ func FromRGBA(name string, format Format, w, h int, img []RGBA) (*Texture, error
 	return t, nil
 }
 
+// UpdateRGBA replaces the texture's content with img, re-encoding the
+// full mip chain in place. The handle, dimensions, layout and GPU
+// address are untouched, so bound samplers and recorded traces stay
+// valid — the resolve path of render-to-texture depends on exactly this
+// stability. img must hold Width*Height texels in row-major order.
+func (t *Texture) UpdateRGBA(img []RGBA) error {
+	if len(img) != t.Width*t.Height {
+		return fmt.Errorf("texture %q: image has %d texels, want %d",
+			t.Name, len(img), t.Width*t.Height)
+	}
+	if t.data == nil {
+		t.data = make([][]byte, len(t.levels))
+	}
+	t.proc = nil
+	cur := img
+	cw, ch := t.Width, t.Height
+	for lv := range t.levels {
+		t.data[lv] = encodeLevel(t.Format, cw, ch, cur)
+		if lv < len(t.levels)-1 {
+			cur, cw, ch = downsample(cur, cw, ch)
+		}
+	}
+	return nil
+}
+
 // Levels returns the number of mip levels.
 func (t *Texture) Levels() int { return len(t.levels) }
 

@@ -96,6 +96,15 @@ func writePayload(w *bufio.Writer, c *gfxapi.Command) error {
 		return writeClear(w, c.ClearOp)
 	case gfxapi.OpEndFrame:
 		// no payload
+	case gfxapi.OpCreateRT:
+		for _, v := range []uint32{c.ID, c.ID2, uint32(c.RTW), uint32(c.RTH)} {
+			if err := writeU32(w, v); err != nil {
+				return err
+			}
+		}
+		return writeString(w, c.RTName)
+	case gfxapi.OpSetRT, gfxapi.OpResolveTex:
+		return writeU32(w, c.ID)
 	default:
 		return fmt.Errorf("trace: cannot encode op %v", c.Op)
 	}
@@ -248,6 +257,35 @@ func readPayload(d *decoder, c gfxapi.Command) (gfxapi.Command, error) {
 		}
 		c.ClearOp = &op
 	case gfxapi.OpEndFrame:
+	case gfxapi.OpCreateRT:
+		var u [4]uint32
+		for i := range u {
+			if u[i], err = d.readU32(); err != nil {
+				return c, err
+			}
+		}
+		if int64(u[2]) > int64(d.lim.MaxTexDim) || int64(u[3]) > int64(d.lim.MaxTexDim) {
+			return c, fmt.Errorf("render target %dx%d: %w", u[2], u[3], ErrLimit)
+		}
+		// The replaying device materializes a color plane, a depth plane
+		// and a resolve texture for this surface; charge the dominant
+		// footprint against the allocation budget before the player can
+		// reach the device. Row-by-row, so a hostile dimension claim
+		// cannot push the Allocated counter more than one row (MaxTexDim
+		// * 4 bytes) past the budget.
+		for y := 0; y < int(u[3]); y++ {
+			if err := d.charge(int64(u[2]) * 4); err != nil {
+				return c, err
+			}
+		}
+		c.ID, c.ID2, c.RTW, c.RTH = u[0], u[1], int(u[2]), int(u[3])
+		if c.RTName, err = d.readString(); err != nil {
+			return c, err
+		}
+	case gfxapi.OpSetRT, gfxapi.OpResolveTex:
+		if c.ID, err = d.readU32(); err != nil {
+			return c, err
+		}
 	default:
 		return c, fmt.Errorf("op %d: %w", uint8(c.Op), ErrUnknownOp)
 	}

@@ -30,6 +30,26 @@ func fuzzSeeds(f *testing.F) [][]byte {
 	hostile := append(header(), frame(uint8(gfxapi.OpCreateVB), append(append(append(
 		u32le(1), u32le(48)...), u32le(1)...), u32le(1<<24)...))...)
 
+	// Render-target op seeds: a healthy create/set/resolve sequence, a
+	// hostile dimension claim, a hostile name-length claim, a dangling
+	// set, and a mid-payload truncation — one per failure mode the v2
+	// RT codec must survive.
+	createRT := func(id, texID, w, h, nameLen uint32, name string) []byte {
+		p := append(append(append(append(u32le(id), u32le(texID)...),
+			u32le(w)...), u32le(h)...), u32le(nameLen)...)
+		return frame(uint8(gfxapi.OpCreateRT), append(p, name...))
+	}
+	rtHealthy := append(header(), createRT(1, 2, 64, 64, 2, "rt")...)
+	rtHealthy = append(rtHealthy, frame(uint8(gfxapi.OpSetRT), u32le(1))...)
+	rtHealthy = append(rtHealthy, frame(uint8(gfxapi.OpResolveTex), u32le(1))...)
+	rtHealthy = append(rtHealthy, frame(uint8(gfxapi.OpSetRT), u32le(0))...)
+	rtHealthy = append(rtHealthy, frame(uint8(gfxapi.OpEndFrame), nil)...)
+	rtHugeDims := append(header(), createRT(1, 2, 1<<30, 1<<30, 2, "rt")...)
+	rtHugeName := append(header(), createRT(1, 2, 64, 64, 1<<28, "rt")...)
+	rtDangling := append(header(), frame(uint8(gfxapi.OpSetRT), u32le(77))...)
+	rtDangling = append(rtDangling, frame(uint8(gfxapi.OpResolveTex), u32le(77))...)
+	rtTruncated := append(header(), frame(uint8(gfxapi.OpCreateRT), u32le(1))...)
+
 	return [][]byte{
 		golden,
 		golden[:len(golden)/2],
@@ -37,6 +57,11 @@ func fuzzSeeds(f *testing.F) [][]byte {
 		header(),
 		{'G', 'T', 'R', 'C', 1, 0, uint8(gfxapi.OpEndFrame)},
 		append(header(), frame(200, []byte{1, 2, 3})...),
+		rtHealthy,
+		rtHugeDims,
+		rtHugeName,
+		rtDangling,
+		rtTruncated,
 	}
 }
 

@@ -92,6 +92,7 @@ type Player struct {
 	ibs   map[uint32]*geom.IndexBuffer
 	texs  map[uint32]*texture.Texture
 	progs map[uint32]*shader.Program
+	rts   map[uint32]*gfxapi.RenderTarget
 
 	// position of the command currently being applied, for errors.
 	cmdIdx int64
@@ -108,6 +109,7 @@ func NewPlayer(dev *gfxapi.Device) *Player {
 		ibs:   map[uint32]*geom.IndexBuffer{},
 		texs:  map[uint32]*texture.Texture{},
 		progs: map[uint32]*shader.Program{},
+		rts:   map[uint32]*gfxapi.RenderTarget{},
 	}
 }
 
@@ -236,6 +238,34 @@ func (p *Player) apply(c *gfxapi.Command) error {
 	case gfxapi.OpEndFrame:
 		p.dev.EndFrame()
 		p.report.Frames++
+	case gfxapi.OpCreateRT:
+		rt, err := p.dev.CreateRenderTarget(c.RTName, c.RTW, c.RTH)
+		if err != nil {
+			return p.replayErr(c.Op, fmt.Errorf("render target %d: %w", c.ID, err))
+		}
+		p.rts[c.ID] = rt
+		// The resolve texture is addressable by later BindTexture calls.
+		p.texs[c.ID2] = rt.Tex
+	case gfxapi.OpSetRT:
+		if c.ID == 0 {
+			p.dev.SetRenderTarget(nil)
+			break
+		}
+		rt := p.rts[c.ID]
+		if rt == nil {
+			p.report.DanglingResources++
+			return p.replayErr(c.Op, fmt.Errorf("bind of unknown render target %d", c.ID))
+		}
+		p.dev.SetRenderTarget(rt)
+	case gfxapi.OpResolveTex:
+		rt := p.rts[c.ID]
+		if rt == nil {
+			p.report.DanglingResources++
+			return p.replayErr(c.Op, fmt.Errorf("resolve of unknown render target %d", c.ID))
+		}
+		if err := p.dev.ResolveToTexture(rt); err != nil {
+			return p.replayErr(c.Op, err)
+		}
 	default:
 		return p.replayErr(c.Op, fmt.Errorf("cannot replay op %d", uint8(c.Op)))
 	}

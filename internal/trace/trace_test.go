@@ -59,6 +59,87 @@ func renderSmallScene(t testing.TB, d *gfxapi.Device) {
 	}
 }
 
+// renderMultipassScene is renderSmallScene plus a render-to-texture
+// pass: draw into an off-screen target, resolve it, then composite the
+// resolve texture onto the backbuffer — one use of each v2 RT op.
+func renderMultipassScene(t testing.TB, d *gfxapi.Device) {
+	t.Helper()
+	rt, err := d.CreateRenderTarget("scene", 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := []gmath.Vec4{
+		{X: -1, Y: -1, W: 1}, {X: 1, Y: -1, W: 1}, {X: 0, Y: 1, W: 1},
+	}
+	uv := []gmath.Vec4{{W: 1}, {X: 1, W: 1}, {X: 0.5, Y: 1, W: 1}}
+	vb := d.CreateVertexBuffer([][]gmath.Vec4{pos, uv}, 32)
+	ib := d.CreateIndexBuffer([]uint32{0, 1, 2}, 2)
+	vs, err := d.CreateProgram(shader.BasicTransformVS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := d.CreateProgram(shader.TexturedFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetMatrix(0, gmath.Identity())
+	d.SetZState(zst.DefaultState())
+	d.SetRopState(rop.DefaultState())
+	d.SetCull(geom.CullNone)
+	for frame := 0; frame < 2; frame++ {
+		d.SetRenderTarget(rt)
+		d.Clear(gfxapi.ClearOp{ClearColor: true, ClearDepth: true, Z: 1})
+		d.DrawIndexed(vb, ib, geom.TriangleList, vs, fs)
+		if err := d.ResolveToTexture(rt); err != nil {
+			t.Fatal(err)
+		}
+		d.SetRenderTarget(nil)
+		d.Clear(gfxapi.ClearOp{ClearColor: true, ClearDepth: true, Z: 1})
+		d.BindTexture(0, rt.Tex, texture.SamplerState{Filter: texture.FilterBilinear})
+		d.DrawIndexed(vb, ib, geom.TriangleList, vs, fs)
+		d.EndFrame()
+	}
+}
+
+// TestMultipassRecordReplayRoundTrip pins the v2 render-target ops'
+// wire format: a trace using OpCreateRT/OpSetRT/OpResolveTex replays
+// into identical per-frame API statistics.
+func TestMultipassRecordReplayRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rec, err := NewRecorder(&buf, gfxapi.OpenGL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := gfxapi.NewDevice(gfxapi.OpenGL, gfxapi.NullBackend{})
+	src.SetRecorder(rec)
+	renderMultipassScene(t, src)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := gfxapi.NewDevice(gfxapi.OpenGL, gfxapi.NullBackend{})
+	frames, err := NewPlayer(dst).Play(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames != 2 {
+		t.Errorf("frames = %d, want 2", frames)
+	}
+	a, b := src.Frames(), dst.Frames()
+	if len(a) != len(b) {
+		t.Fatalf("frame counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("frame %d stats differ:\n  src=%+v\n  dst=%+v", i, a[i], b[i])
+		}
+	}
+}
+
 func TestRecordReplayRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	rec, err := NewRecorder(&buf, gfxapi.OpenGL)

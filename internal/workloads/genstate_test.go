@@ -29,7 +29,7 @@ func renderFrames(t *testing.T, name string, n int) []gfxapi.FrameStats {
 // continuous run's remaining frames exactly.
 func TestGenStateResumeBitIdentical(t *testing.T) {
 	const total, cut = 12, 5
-	for _, prof := range Registry() {
+	for _, prof := range All() {
 		name := prof.Name
 		t.Run(name, func(t *testing.T) {
 			want := renderFrames(t, name, total)

@@ -1,0 +1,220 @@
+package workloads
+
+import (
+	"fmt"
+
+	"gpuchar/internal/geom"
+	"gpuchar/internal/gfxapi"
+	"gpuchar/internal/gmath"
+	"gpuchar/internal/rop"
+	"gpuchar/internal/texture"
+	"gpuchar/internal/zst"
+)
+
+// buildMultipass creates the off-screen render targets and the
+// full-screen quad for the render-to-texture styles. Everything here is
+// a deterministic function of the profile, so a resumed run's Setup
+// recreates identical resources at identical device addresses — the
+// resume invariant rests on it.
+func (wl *Workload) buildMultipass() error {
+	p := wl.Prof
+	sp := &p.Sim
+	if !p.Simulated {
+		return nil
+	}
+	switch sp.Style {
+	case StyleDeferred, StyleShadowMap, StyleParticle:
+	default:
+		return nil
+	}
+
+	size := sp.RTSize
+	if size == 0 {
+		size = 256
+	}
+	mk := func(name string) error {
+		rt, err := wl.Dev.CreateRenderTarget(name, size, size)
+		if err != nil {
+			return err
+		}
+		wl.rts = append(wl.rts, rt)
+		return nil
+	}
+	switch sp.Style {
+	case StyleDeferred:
+		if err := mk(p.Game + "-gbuffer"); err != nil {
+			return err
+		}
+	case StyleShadowMap:
+		for i := 0; i < sp.Cascades; i++ {
+			if err := mk(fmt.Sprintf("%s-shadow%d", p.Game, i)); err != nil {
+				return err
+			}
+		}
+	case StyleParticle:
+		if err := mk(p.Game + "-particles"); err != nil {
+			return err
+		}
+	}
+
+	// Full-screen quad over big cells; UVs span the resolve texture once
+	// across the screen. Placed in front of every scene layer so its
+	// fragments survive the depth test.
+	stride := sp.VertexStride
+	if stride == 0 {
+		stride = 48
+	}
+	wl.fsQuad = gridMesh(wl.Dev, 0, 0, wl.W, wl.H, 64, 0.12,
+		1/float64(wl.W), 1/float64(wl.H), stride, p.BytesPerIndex, wl.W, wl.H)
+	return nil
+}
+
+// drawPassQuad draws the full-screen quad sampling tex on unit 0. It
+// mirrors drawBuffers — program dithering, texture rotation, state-call
+// padding — so full-screen passes count in the same calibration
+// accumulators as scene batches.
+func (wl *Workload) drawPassQuad(tex *texture.Texture) {
+	m := wl.fsQuad
+	w := float64(len(m.ib.Indices))
+	vs := wl.pickVS(w)
+	fs := wl.pickFS(w, false)
+	if wl.scratch.batchNum%8 == 0 {
+		wl.bindNextTextures()
+	}
+	wl.Dev.BindTexture(0, tex,
+		texture.SamplerState{Filter: texture.FilterBilinear})
+	wl.scratch.batchNum++
+	wl.scratch.stateAcc += wl.Prof.StateCallsPerBatch
+	if n := int(wl.scratch.stateAcc); n > 0 {
+		wl.emitStateCalls(n)
+		wl.scratch.stateAcc -= float64(n)
+	}
+	wl.Dev.DrawIndexed(m.vb, m.ib, geom.TriangleList, vs, fs)
+}
+
+// renderDeferredFrame composes one deferred-shading frame: the scene
+// geometry rendered once into the G-buffer target, resolved to a
+// texture, then per light a full-screen additive quad on the backbuffer
+// sampling it. Each frame resolves before it samples, so a resumed run
+// never depends on a previous frame's target contents.
+func (wl *Workload) renderDeferredFrame() {
+	dev := wl.Dev
+	sp := &wl.Prof.Sim
+	dev.SetMatrix(0, gmath.Identity())
+	wl.setShadingConsts()
+	fill, clip, cull := wl.chunkCounts(wl.frameMod(wl.frameIdx))
+
+	// --- Geometry pass into the G-buffer. ---
+	rt := wl.rts[0]
+	dev.SetRenderTarget(rt)
+	dev.Clear(gfxapi.ClearOp{ClearColor: true, ClearDepth: true, Z: 1})
+	dev.SetCull(geom.CullBack)
+	dev.SetZState(zst.DefaultState())
+	dev.SetRopState(rop.DefaultState())
+	wl.drawScenePass(fill, clip, cull)
+	if err := dev.ResolveToTexture(rt); err != nil {
+		panic(fmt.Sprintf("workloads: resolve %s: %v", rt.Name, err))
+	}
+	dev.SetRenderTarget(nil)
+
+	// --- Lighting: additive full-screen quads sampling the G-buffer. ---
+	dev.Clear(gfxapi.ClearOp{ClearColor: true, ClearDepth: true, Z: 1})
+	lightZ := zst.DefaultState()
+	lightZ.ZWrite = false
+	dev.SetZState(lightZ)
+	dev.SetRopState(rop.AdditiveBlend())
+	for l := 0; l < sp.Lights; l++ {
+		wl.drawPassQuad(rt.Tex)
+	}
+}
+
+// renderShadowMapFrame composes one cascaded-shadow-map frame: each
+// cascade renders the scene depth-only (color masked) into its own
+// target with a cascade-tinted clear, then the main pass renders the
+// scene forward and composites one sampling quad per cascade.
+func (wl *Workload) renderShadowMapFrame() {
+	dev := wl.Dev
+	dev.SetMatrix(0, gmath.Identity())
+	wl.setShadingConsts()
+	fill, clip, cull := wl.chunkCounts(wl.frameMod(wl.frameIdx))
+
+	maskOff := rop.State{}
+
+	// --- Depth-only cascade passes. ---
+	for i, rt := range wl.rts {
+		dev.SetRenderTarget(rt)
+		dev.Clear(gfxapi.ClearOp{
+			ClearColor: true, ClearDepth: true, Z: 1,
+			Color: gmath.V4(float32(i+1)/float32(len(wl.rts)+1), 0, 0, 1),
+		})
+		dev.SetCull(geom.CullBack)
+		dev.SetZState(zst.DefaultState())
+		dev.SetRopState(maskOff)
+		wl.drawScenePass(fill, clip, cull)
+		if err := dev.ResolveToTexture(rt); err != nil {
+			panic(fmt.Sprintf("workloads: resolve %s: %v", rt.Name, err))
+		}
+	}
+	dev.SetRenderTarget(nil)
+
+	// --- Main pass: the lit scene, then one sampling quad per cascade. ---
+	dev.Clear(gfxapi.ClearOp{ClearColor: true, ClearDepth: true, Z: 1})
+	dev.SetCull(geom.CullBack)
+	dev.SetZState(zst.DefaultState())
+	dev.SetRopState(rop.AlphaBlend())
+	wl.drawScenePass(fill, clip, cull)
+
+	shadowZ := zst.DefaultState()
+	shadowZ.ZWrite = false
+	dev.SetZState(shadowZ)
+	for _, rt := range wl.rts {
+		wl.drawPassQuad(rt.Tex)
+	}
+}
+
+// renderParticleFrame composes one overdraw-storm frame: the scene
+// forward-rendered on the backbuffer, then ParticleLayers additive
+// ribbon layers blasted into the low-resolution particle target, which
+// is resolved and alpha-composited back over the frame.
+func (wl *Workload) renderParticleFrame() {
+	dev := wl.Dev
+	sp := &wl.Prof.Sim
+	dev.SetMatrix(0, gmath.Identity())
+	wl.setShadingConsts()
+	dev.SetConst(15, gmath.V4(float32(sp.AlphaKillFrac), 0, 0, 0))
+	fill, clip, cull := wl.chunkCounts(wl.frameMod(wl.frameIdx))
+
+	// --- Scene pass on the backbuffer. ---
+	dev.Clear(gfxapi.ClearOp{ClearColor: true, ClearDepth: true, Z: 1})
+	dev.SetCull(geom.CullBack)
+	dev.SetZState(zst.DefaultState())
+	dev.SetRopState(rop.AlphaBlend())
+	wl.drawScenePass(fill, clip, cull)
+	for i := range wl.foliage {
+		wl.drawMesh(wl.foliage[i].mesh, geom.TriangleList, true)
+	}
+
+	// --- Particle pass into the off-screen target: additive layers with
+	// depth writes off, the classic fill-rate storm. ---
+	rt := wl.rts[0]
+	dev.SetRenderTarget(rt)
+	dev.Clear(gfxapi.ClearOp{ClearColor: true, ClearDepth: true, Z: 1})
+	particleZ := zst.DefaultState()
+	particleZ.ZWrite = false
+	dev.SetZState(particleZ)
+	dev.SetRopState(rop.AdditiveBlend())
+	for l := 0; l < sp.ParticleLayers; l++ {
+		wl.drawRibbonChunks(wl.filler, fill, geom.TriangleList)
+	}
+	if err := dev.ResolveToTexture(rt); err != nil {
+		panic(fmt.Sprintf("workloads: resolve %s: %v", rt.Name, err))
+	}
+	dev.SetRenderTarget(nil)
+
+	// --- Composite the resolved particles over the frame. ---
+	compZ := zst.DefaultState()
+	compZ.ZWrite = false
+	dev.SetZState(compZ)
+	dev.SetRopState(rop.AlphaBlend())
+	wl.drawPassQuad(rt.Tex)
+}

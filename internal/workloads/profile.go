@@ -22,6 +22,17 @@ const (
 	// StyleStencilShadow is the Doom3-engine multipass algorithm: depth
 	// prepass, stencil shadow volumes, additive per-light passes.
 	StyleStencilShadow
+	// StyleDeferred is a render-to-texture G-buffer pipeline: one geometry
+	// pass into an off-screen target, resolved and sampled by full-screen
+	// additive lighting quads on the backbuffer.
+	StyleDeferred
+	// StyleShadowMap renders N depth-only cascade passes into off-screen
+	// targets, then a main pass that samples every cascade.
+	StyleShadowMap
+	// StyleParticle is an overdraw storm: the scene forward-rendered, then
+	// layered additive particle ribbons into a low-resolution off-screen
+	// target composited back over the frame.
+	StyleParticle
 )
 
 // SimParams shapes the simulated scene for the three OpenGL demos the
@@ -80,6 +91,15 @@ type SimParams struct {
 	// Texturing.
 	TexSize     int // texture dimensions (square, power of two)
 	NumTextures int // distinct textures cycled across batches
+
+	// Multi-pass parameters (StyleDeferred / StyleShadowMap /
+	// StyleParticle). RTSize is the square power-of-two off-screen target
+	// dimension (defaults to 256); Cascades counts the depth-only
+	// shadow-map passes; ParticleLayers counts the additive ribbon layers
+	// blasted into the particle target.
+	RTSize         int
+	Cascades       int
+	ParticleLayers int
 }
 
 // Profile is one Table I row plus the calibration targets from the API
@@ -131,6 +151,47 @@ type Profile struct {
 func (p *Profile) DurationAt30FPS() (min, sec int) {
 	total := p.Frames / 30
 	return total / 60, total % 60
+}
+
+// Family names the frame-composition family the profile belongs to:
+// "api" for the demos measured at the API level only, otherwise the
+// rendering style of the simulated scene.
+func (p *Profile) Family() string {
+	if !p.Simulated {
+		return "api"
+	}
+	switch p.Sim.Style {
+	case StyleStencilShadow:
+		return "stencil"
+	case StyleDeferred:
+		return "deferred"
+	case StyleShadowMap:
+		return "shadowmap"
+	case StyleParticle:
+		return "particle"
+	}
+	return "forward"
+}
+
+// PassCount is the number of rendering passes a frame of this profile
+// issues (scene or full-screen; resolves not counted).
+func (p *Profile) PassCount() int {
+	if !p.Simulated {
+		return 1
+	}
+	switch p.Sim.Style {
+	case StyleStencilShadow:
+		return 1 + p.Sim.Lights
+	case StyleDeferred:
+		// Geometry pass into the G-buffer + the lighting pass.
+		return 2
+	case StyleShadowMap:
+		return p.Sim.Cascades + 1
+	case StyleParticle:
+		// Scene pass + particle/composite pass.
+		return 2
+	}
+	return 1
 }
 
 // Registry returns the twelve Table I workloads. The order matches the
@@ -320,9 +381,103 @@ func Registry() []Profile {
 	}
 }
 
-// ByName returns the profile with the given Table I name, or nil.
+// Modern returns the three synthetic render-to-texture workloads that
+// exercise the multi-pass subsystem: a deferred-shading G-buffer scene,
+// a cascaded-shadow-map scene, and a particle overdraw storm. They are
+// not Table I rows — the paper's 2004-2006 titles predate widespread
+// deferred pipelines — but they reuse the same calibration machinery so
+// every characterization surface handles them with no special cases.
+func Modern() []Profile {
+	return []Profile{
+		{
+			Name: "Deferred/gbuffer", Game: "Deferred", Engine: "gpuchar-mp",
+			Release: "synthetic", API: gfxapi.OpenGL,
+			Frames: 600, TextureQuality: "High/Trilinear", AnisoLevel: 0,
+			UsesShaders:        true,
+			AvgIndicesPerBatch: 600, AvgIndicesPerFrame: 180000, BytesPerIndex: 4,
+			VSInstr: 18.5, FSInstr: 14.2, FSTex: 2.6,
+			PrimMix:            [3]float64{1, 0, 0},
+			StateCallsPerBatch: 1.5,
+			Simulated:          true,
+			Sim: SimParams{
+				Style:          StyleDeferred,
+				VisibleLayers:  1.6,
+				HiddenLayers:   0.8,
+				Lights:         4,
+				ClipFrac:       0.20,
+				CullFrac:       0.20,
+				FillerCoverage: 0.20,
+				BigCell:        96,
+				VertexStride:   40,
+				TexSize:        256,
+				NumTextures:    8,
+				RTSize:         256,
+			},
+		},
+		{
+			Name: "ShadowMap/cascades", Game: "ShadowMap", Engine: "gpuchar-mp",
+			Release: "synthetic", API: gfxapi.OpenGL,
+			Frames: 600, TextureQuality: "High/Trilinear", AnisoLevel: 0,
+			UsesShaders:        true,
+			AvgIndicesPerBatch: 450, AvgIndicesPerFrame: 160000, BytesPerIndex: 4,
+			VSInstr: 15.3, FSInstr: 11.7, FSTex: 2.4,
+			PrimMix:            [3]float64{1, 0, 0},
+			StateCallsPerBatch: 1.3,
+			Simulated:          true,
+			Sim: SimParams{
+				Style:          StyleShadowMap,
+				VisibleLayers:  1.4,
+				HiddenLayers:   0.6,
+				ClipFrac:       0.25,
+				CullFrac:       0.20,
+				FillerCoverage: 0.15,
+				BigCell:        128,
+				VertexStride:   36,
+				TexSize:        256,
+				NumTextures:    6,
+				RTSize:         128,
+				Cascades:       3,
+			},
+		},
+		{
+			Name: "ParticleStorm/overdraw", Game: "ParticleStorm", Engine: "gpuchar-mp",
+			Release: "synthetic", API: gfxapi.OpenGL,
+			Frames: 600, TextureQuality: "High/Trilinear", AnisoLevel: 0,
+			UsesShaders:        true,
+			AvgIndicesPerBatch: 500, AvgIndicesPerFrame: 150000, BytesPerIndex: 2,
+			VSInstr: 12.4, FSInstr: 9.6, FSTex: 1.8,
+			PrimMix:            [3]float64{1, 0, 0},
+			StateCallsPerBatch: 1.7,
+			Simulated:          true,
+			Sim: SimParams{
+				Style:          StyleParticle,
+				VisibleLayers:  1.3,
+				HiddenLayers:   0.5,
+				AlphaCoverage:  0.8,
+				AlphaKillFrac:  0.30,
+				ClipFrac:       0.15,
+				CullFrac:       0.15,
+				FillerCoverage: 0.25,
+				BigCell:        96,
+				VertexStride:   32,
+				TexSize:        256,
+				NumTextures:    8,
+				RTSize:         128,
+				ParticleLayers: 6,
+			},
+		},
+	}
+}
+
+// All returns every registered profile: the twelve Table I demos
+// followed by the synthetic multi-pass workloads.
+func All() []Profile {
+	return append(Registry(), Modern()...)
+}
+
+// ByName returns the profile with the given name, or nil.
 func ByName(name string) *Profile {
-	reg := Registry()
+	reg := All()
 	for i := range reg {
 		if reg[i].Name == name {
 			return &reg[i]

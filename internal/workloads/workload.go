@@ -55,6 +55,12 @@ type Workload struct {
 	volPairFrnt mesh
 	volPass     mesh // quads in front of the scene
 
+	// Multi-pass resources (StyleDeferred/StyleShadowMap/StyleParticle):
+	// the off-screen targets created at setup and the full-screen quad
+	// that samples their resolves.
+	rts    []*gfxapi.RenderTarget
+	fsQuad mesh
+
 	// Ribbon chunk pools.
 	filler *chunkedRibbon
 	clipR  *chunkedRibbon
@@ -135,14 +141,26 @@ func (wl *Workload) Setup() error {
 	if err := wl.buildTextures(); err != nil {
 		return err
 	}
+	// passes counts how many times the scene geometry is drawn per frame
+	// (the chunkCounts budget divisor), not the total pass count: the
+	// deferred lighting and particle composite passes draw only
+	// full-screen quads.
 	wl.passes = 1
-	if p.Simulated && p.Sim.Style == StyleStencilShadow {
-		wl.passes = 1 + p.Sim.Lights
+	if p.Simulated {
+		switch p.Sim.Style {
+		case StyleStencilShadow:
+			wl.passes = 1 + p.Sim.Lights
+		case StyleShadowMap:
+			wl.passes = p.Sim.Cascades + 1
+		}
 	}
 	if p.Simulated {
 		wl.buildScene()
 	}
 	wl.buildRibbons()
+	if err := wl.buildMultipass(); err != nil {
+		return err
+	}
 	// Level-load burst: games issue thousands of state and creation
 	// calls while loading, producing the startup spike of Figure 3.
 	wl.emitStateCalls(8000)
@@ -640,6 +658,12 @@ func (wl *Workload) RenderFrame() {
 		switch wl.Prof.Sim.Style {
 		case StyleStencilShadow:
 			wl.renderStencilFrame()
+		case StyleDeferred:
+			wl.renderDeferredFrame()
+		case StyleShadowMap:
+			wl.renderShadowMapFrame()
+		case StyleParticle:
+			wl.renderParticleFrame()
 		default:
 			wl.renderForwardFrame()
 		}
